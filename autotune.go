@@ -1,0 +1,171 @@
+// Package autotune is a generalized systems-autotuning framework in pure
+// Go: the reproduction companion to the SIGMOD 2025 tutorial "Autotuning
+// Systems: Techniques, Challenges, and Opportunities" (Kroth, Matusevych,
+// Zhu — Microsoft Gray Systems Lab).
+//
+// The package re-exports the stable public surface of the internal
+// packages:
+//
+//   - configuration spaces: typed knobs with bounds, log scale,
+//     categoricals, conditionals, and constraints (internal/space);
+//   - optimizers: random/grid search, simulated annealing, coordinate
+//     descent, GP-based Bayesian optimization, SMAC, CMA-ES, PSO, and a
+//     genetic algorithm, all behind one Suggest/Observe interface;
+//   - the offline tuning loop with crash handling, early abort, fidelity
+//     and parallel trials (internal/trial);
+//   - an online tuning agent with guardrails and pluggable policies
+//     (Q-learning knob deltas, contextual hybrid bandits);
+//   - simulated tunable systems — an analytic DBMS, a Redis/kernel model,
+//     a Spark-like job — plus a real in-memory KV store and workload
+//     generators for end-to-end experiments.
+//
+// Quickstart (see examples/quickstart for the runnable version):
+//
+//	sp := autotune.MustSpace(
+//	    autotune.Float("x", -5, 10),
+//	    autotune.Float("y", 0, 15),
+//	)
+//	opt, _ := autotune.NewOptimizer("bo", sp, 42)
+//	best, val, _ := autotune.Minimize(opt, objective, 40)
+package autotune
+
+import (
+	"math/rand"
+
+	"autotune/internal/core"
+	"autotune/internal/experiments"
+	"autotune/internal/optimizer"
+	"autotune/internal/space"
+	"autotune/internal/trial"
+)
+
+// Core configuration-space types.
+type (
+	// Space is a typed configuration space.
+	Space = space.Space
+	// Param is one tunable parameter.
+	Param = space.Param
+	// Config assigns values to parameter names.
+	Config = space.Config
+	// Constraint is a named cross-parameter validity predicate.
+	Constraint = space.Constraint
+)
+
+// Optimization types.
+type (
+	// Optimizer is the Suggest/Observe black-box optimization contract.
+	Optimizer = optimizer.Optimizer
+	// Observation is one evaluated configuration.
+	Observation = optimizer.Observation
+)
+
+// Tuning-loop types.
+type (
+	// Environment benchmarks configurations.
+	Environment = trial.Environment
+	// FuncEnv adapts a plain objective function to Environment.
+	FuncEnv = trial.FuncEnv
+	// TuneOptions configures a tuning run.
+	TuneOptions = trial.Options
+	// Report is a completed tuning session.
+	Report = trial.Report
+	// Result is one benchmark measurement.
+	Result = trial.Result
+)
+
+// Online-tuning types.
+type (
+	// OnlineSystem is a live system an Agent can steer.
+	OnlineSystem = core.OnlineSystem
+	// Agent is the online control loop with guardrails.
+	Agent = core.Agent
+	// Guardrails bounds online exploration and triggers rollback.
+	Guardrails = core.Guardrails
+	// Policy proposes configurations for the online loop.
+	Policy = core.Policy
+)
+
+// ExperimentTable is one regenerated figure/table from the tutorial.
+type ExperimentTable = experiments.Table
+
+// Space construction.
+var (
+	// NewSpace validates parameters and builds a Space.
+	NewSpace = space.New
+	// MustSpace is NewSpace but panics on error (static literals).
+	MustSpace = space.MustNew
+	// Float declares a continuous parameter on [min, max].
+	Float = space.Float
+	// Int declares an integer parameter on [min, max].
+	Int = space.Int
+	// Categorical declares a categorical parameter.
+	Categorical = space.Categorical
+	// Bool declares a boolean parameter.
+	Bool = space.Bool
+)
+
+// ErrExhausted is returned by finite strategies once no configurations
+// remain.
+var ErrExhausted = optimizer.ErrExhausted
+
+// OptimizerNames lists the optimizers NewOptimizer accepts.
+func OptimizerNames() []string { return core.OptimizerNames() }
+
+// NewOptimizer constructs an optimizer by name ("random", "grid",
+// "anneal", "coordinate", "bo", "bo-pi", "bo-lcb", "smac", "cmaes", "pso",
+// "genetic") with a deterministic seed.
+func NewOptimizer(name string, s *Space, seed int64) (Optimizer, error) {
+	return core.NewOptimizer(name, s, rand.New(rand.NewSource(seed)))
+}
+
+// Minimize drives an optimizer against f for `budget` evaluations and
+// returns the best configuration and value found.
+func Minimize(o Optimizer, f func(Config) float64, budget int) (Config, float64, error) {
+	return optimizer.Run(o, f, budget)
+}
+
+// Tune runs the full-featured tuning loop (crash handling, parallelism,
+// early abort, fidelity) of an optimizer against an environment.
+func Tune(o Optimizer, env Environment, opts TuneOptions) (Report, error) {
+	return trial.Run(o, env, opts)
+}
+
+// NewAgent builds an online tuning agent around a live system and policy.
+func NewAgent(sys OnlineSystem, policy Policy, guard Guardrails, seed int64) (*Agent, error) {
+	return core.NewAgent(sys, policy, guard, rand.New(rand.NewSource(seed)))
+}
+
+// NewRandomWalkPolicy returns the baseline online policy.
+func NewRandomWalkPolicy(s *Space) Policy { return core.NewRandomWalkPolicy(s) }
+
+// NewDeltaPolicy returns a Q-learning knob-delta policy over the named
+// numeric knobs (all numeric knobs when names is empty).
+func NewDeltaPolicy(s *Space, names []string) (Policy, error) {
+	return core.NewDeltaPolicy(s, names)
+}
+
+// NewBanditPolicy returns a contextual hybrid-bandit policy over candidate
+// configurations.
+func NewBanditPolicy(arms []Config) (Policy, error) { return core.NewBanditPolicy(arms) }
+
+// NewActorCriticPolicy returns the neural actor-critic knob-delta policy
+// (QTune/CDBTune-style); stateDim must match the context length the online
+// system reports.
+func NewActorCriticPolicy(s *Space, names []string, stateDim int, seed int64) (Policy, error) {
+	return core.NewActorCriticPolicy(s, names, stateDim, seed)
+}
+
+// NewSafeBOPolicy returns the OnlineTune-style safe-exploration policy: a
+// GP surrogate gates proposals to a region whose pessimistic predicted
+// loss stays within a margin of the incumbent.
+func NewSafeBOPolicy(s *Space, seed int64) Policy { return core.NewSafeBOPolicy(s, seed) }
+
+// Experiments lists the reproduction experiment ids: the tutorial's
+// figures/claims (F1..F22) and the framework's own ablations (A1..A4).
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one of the tutorial's figures/tables. Quick
+// mode shrinks budgets for CI-scale runs.
+func RunExperiment(id string, quick bool, seed int64) (ExperimentTable, error) {
+	return experiments.Run(id, quick, seed)
+}

@@ -1,0 +1,268 @@
+// Benchmarks that regenerate every figure/table experiment (F1-F20, quick
+// mode — `go run ./cmd/bench` prints the full-scale tables) plus
+// micro-benchmarks for the framework's hot paths: space encoding, GP
+// fitting/prediction, forest fitting, optimizer suggestion, the simulated
+// DBMS, and the real KV store.
+package autotune_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"autotune"
+	"autotune/internal/forest"
+	"autotune/internal/gp"
+	"autotune/internal/kvstore"
+	"autotune/internal/simsys"
+	"autotune/internal/space"
+	"autotune/internal/workload"
+)
+
+const benchSeed = 20250706
+
+// benchExperiment runs one tutorial experiment per iteration (quick mode).
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := autotune.RunExperiment(id, true, benchSeed); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkF1GridVsRandom(b *testing.B)      { benchExperiment(b, "F1") }
+func BenchmarkF2BOConvergence(b *testing.B)     { benchExperiment(b, "F2") }
+func BenchmarkF3TunedVsDefault(b *testing.B)    { benchExperiment(b, "F3") }
+func BenchmarkF4RedisP95(b *testing.B)          { benchExperiment(b, "F4") }
+func BenchmarkF5KernelLengthscale(b *testing.B) { benchExperiment(b, "F5") }
+func BenchmarkF6Acquisitions(b *testing.B)      { benchExperiment(b, "F6") }
+func BenchmarkF7Surrogates(b *testing.B)        { benchExperiment(b, "F7") }
+func BenchmarkF8HybridSpace(b *testing.B)       { benchExperiment(b, "F8") }
+func BenchmarkF9Parallel(b *testing.B)          { benchExperiment(b, "F9") }
+func BenchmarkF10MultiObjective(b *testing.B)   { benchExperiment(b, "F10") }
+func BenchmarkF11Constraints(b *testing.B)      { benchExperiment(b, "F11") }
+func BenchmarkF12LlamaTune(b *testing.B)        { benchExperiment(b, "F12") }
+func BenchmarkF13MultiFidelity(b *testing.B)    { benchExperiment(b, "F13") }
+func BenchmarkF14Transfer(b *testing.B)         { benchExperiment(b, "F14") }
+func BenchmarkF15Importance(b *testing.B)       { benchExperiment(b, "F15") }
+func BenchmarkF16EarlyAbort(b *testing.B)       { benchExperiment(b, "F16") }
+func BenchmarkF17NoiseMitigation(b *testing.B)  { benchExperiment(b, "F17") }
+func BenchmarkF18OnlineShift(b *testing.B)      { benchExperiment(b, "F18") }
+func BenchmarkF19WorkloadID(b *testing.B)       { benchExperiment(b, "F19") }
+func BenchmarkF20SyntheticBench(b *testing.B)   { benchExperiment(b, "F20") }
+
+// ---- framework micro-benchmarks ----
+
+func benchDBMSSpace() *space.Space { return simsys.NewDBMS(simsys.MediumVM()).Space() }
+
+func BenchmarkSpaceSample(b *testing.B) {
+	sp := benchDBMSSpace()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Sample(rng)
+	}
+}
+
+func BenchmarkSpaceEncode(b *testing.B) {
+	sp := benchDBMSSpace()
+	cfg := sp.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Encode(cfg)
+	}
+}
+
+func BenchmarkSpaceEncodeOneHot(b *testing.B) {
+	sp := benchDBMSSpace()
+	cfg := sp.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.EncodeOneHot(cfg)
+	}
+}
+
+func gpTrainingData(n, d int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = make([]float64, d)
+		s := 0.0
+		for j := range xs[i] {
+			xs[i][j] = rng.Float64()
+			s += xs[i][j]
+		}
+		ys[i] = s + 0.01*rng.NormFloat64()
+	}
+	return xs, ys
+}
+
+func BenchmarkGPFit50(b *testing.B) {
+	xs, ys := gpTrainingData(50, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := gp.New(gp.Scale(1, gp.NewMatern(2.5, 0.2)), 1e-6)
+		if err := m.Fit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGPPredict(b *testing.B) {
+	xs, ys := gpTrainingData(50, 8)
+	m := gp.New(gp.Scale(1, gp.NewMatern(2.5, 0.2)), 1e-6)
+	if err := m.Fit(xs, ys); err != nil {
+		b.Fatal(err)
+	}
+	q := xs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Predict(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestFit200(b *testing.B) {
+	xs, ys := gpTrainingData(200, 8)
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forest.Fit(xs, ys, forest.Options{Trees: 30}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBOSuggest(b *testing.B) {
+	sp := benchDBMSSpace()
+	opt, err := autotune.NewOptimizer("bo", sp, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		cfg := sp.Sample(rng)
+		if err := opt.Observe(cfg, rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg, err := opt.Suggest()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := opt.Observe(cfg, rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSMACSuggest(b *testing.B) {
+	sp := benchDBMSSpace()
+	opt, err := autotune.NewOptimizer("smac", sp, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		cfg := sp.Sample(rng)
+		if err := opt.Observe(cfg, rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg, err := opt.Suggest()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := opt.Observe(cfg, rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimDBRun(b *testing.B) {
+	d := simsys.NewDBMS(simsys.MediumVM())
+	cfg := d.Space().Default()
+	wl := workload.TPCC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Run(cfg, wl, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKVStoreGetPut(b *testing.B) {
+	cfg := kvstore.Space().Default()
+	st, err := kvstore.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 128)
+	for k := uint64(0); k < 10000; k++ {
+		st.Put(k, val)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i % 10000)
+		if i%4 == 0 {
+			st.Put(k, val)
+		} else {
+			st.Get(k)
+		}
+	}
+}
+
+func BenchmarkKVStoreShards(b *testing.B) {
+	for _, shards := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := kvstore.Space().Default()
+			cfg["shards"] = int64(shards)
+			st, err := kvstore.Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			val := make([]byte, 64)
+			for k := uint64(0); k < 10000; k++ {
+				st.Put(k, val)
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(8))
+				for pb.Next() {
+					st.Get(uint64(rng.Intn(10000)))
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkZipfian(b *testing.B) {
+	z := workload.NewZipfian(1_000_000, 0.99, rand.New(rand.NewSource(9)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}
+
+func BenchmarkF21MultiTask(b *testing.B) { benchExperiment(b, "F21") }
+
+func BenchmarkA1LogWarp(b *testing.B)          { benchExperiment(b, "A1") }
+func BenchmarkA2StratifiedInit(b *testing.B)   { benchExperiment(b, "A2") }
+func BenchmarkA3SMACInterleave(b *testing.B)   { benchExperiment(b, "A3") }
+func BenchmarkA4OutlierRejection(b *testing.B) { benchExperiment(b, "A4") }
+
+func BenchmarkF22ManualMining(b *testing.B) { benchExperiment(b, "F22") }

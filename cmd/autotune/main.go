@@ -1,0 +1,140 @@
+// Command autotune runs an offline tuning session against one of the
+// simulated systems and prints (and optionally persists) the result.
+//
+// Usage:
+//
+//	autotune -system simdb -workload tpcc -optimizer bo -budget 60
+//	autotune -system simredis -workload ycsb-b -metric p95 -optimizer smac
+//	autotune -system simdb -optimizer bo -parallel 4 -out report.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"autotune/internal/core"
+	"autotune/internal/simsys"
+	"autotune/internal/trial"
+	"autotune/internal/workload"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "simdb", "system to tune: simdb | simredis | simspark")
+		wlName  = flag.String("workload", "tpcc", "workload: ycsb-a..f | tpcc | tpch-sf1")
+		optName = flag.String("optimizer", "bo", fmt.Sprintf("optimizer: %v", core.OptimizerNames()))
+		metric  = flag.String("metric", "latency", "objective: latency | p95 | throughput")
+		vmSize  = flag.String("vm", "medium", "host size: small | medium | large")
+		budget  = flag.Int("budget", 60, "number of trials")
+		par     = flag.Int("parallel", 1, "batch-parallel trials")
+		abort   = flag.Float64("abort-margin", 0, "early-abort margin (0 disables)")
+		fid     = flag.Float64("fidelity", 1, "benchmark fidelity in (0, 1]")
+		seed    = flag.Int64("seed", 1, "random seed")
+		noise   = flag.Float64("noise", 0, "measurement noise sigma (0 = deterministic)")
+		out     = flag.String("out", "", "write the full trial report to this JSON file")
+	)
+	flag.Parse()
+
+	if err := run(*system, *wlName, *optName, *metric, *vmSize, *budget, *par, *abort, *fid, *seed, *noise, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "autotune:", err)
+		os.Exit(1)
+	}
+}
+
+func run(system, wlName, optName, metric, vmSize string, budget, par int, abort, fid float64, seed int64, noise float64, out string) error {
+	spec := simsys.VMByName(vmSize)
+	var sys simsys.System
+	switch system {
+	case "simdb":
+		d := simsys.NewDBMS(spec)
+		if noise > 0 {
+			d.NoiseSigma = noise
+		}
+		sys = d
+	case "simredis":
+		r := simsys.NewRedis(spec)
+		if noise > 0 {
+			r.NoiseSigma = noise
+		}
+		sys = r
+	case "simspark":
+		s := simsys.NewSpark(spec)
+		if noise > 0 {
+			s.NoiseSigma = noise
+		}
+		sys = s
+	default:
+		return fmt.Errorf("unknown system %q", system)
+	}
+	wl, err := workload.ByName(wlName)
+	if err != nil {
+		return err
+	}
+	objective := func(m simsys.Metrics) float64 { return m.LatencyMS }
+	switch metric {
+	case "latency":
+	case "p95":
+		objective = func(m simsys.Metrics) float64 { return m.P95MS }
+	case "throughput":
+		objective = func(m simsys.Metrics) float64 { return -m.ThroughputOps }
+	default:
+		return fmt.Errorf("unknown metric %q", metric)
+	}
+
+	var rng *rand.Rand
+	if noise > 0 {
+		rng = rand.New(rand.NewSource(seed + 1))
+	}
+	env := &trial.SystemEnv{Sys: sys, WL: wl, Objective: objective, Rng: rng}
+	opt, err := core.NewOptimizer(optName, sys.Space(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tuning %s on %s (%s VM) with %s, %d trials...\n",
+		system, wl.Name, vmSize, optName, budget)
+	rep, err := trial.Run(opt, env, trial.Options{
+		Budget: budget, Parallel: par, AbortMargin: abort, Fidelity: fid,
+	})
+	if err != nil {
+		return err
+	}
+
+	defRes, defErr := env.Run(sys.Space().Default(), fid)
+	fmt.Printf("\nbest objective: %.6g", rep.BestValue)
+	if defErr == nil {
+		fmt.Printf("   (default: %.6g, improvement %.1f%%)",
+			defRes.Value, 100*(defRes.Value-rep.BestValue)/absf(defRes.Value))
+	}
+	fmt.Printf("\ntrials: %d   crashes: %d   aborts: %d   cost: %.0fs (wall %.0fs)\n\n",
+		len(rep.Trials), rep.Crashes, rep.Aborts, rep.TotalCostSeconds, rep.WallClockSeconds)
+
+	fmt.Println("best configuration:")
+	names := make([]string, 0, len(rep.BestConfig))
+	for k := range rep.BestConfig {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("  %-24s = %v\n", k, rep.BestConfig[k])
+	}
+	if out != "" {
+		if err := rep.Save(out); err != nil {
+			return err
+		}
+		fmt.Printf("\nreport written to %s\n", out)
+	}
+	return nil
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	if v == 0 {
+		return 1
+	}
+	return v
+}

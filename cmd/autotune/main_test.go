@@ -1,0 +1,44 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAllSystems(t *testing.T) {
+	cases := []struct {
+		system, wl, metric string
+	}{
+		{"simdb", "tpcc", "latency"},
+		{"simredis", "ycsb-b", "p95"},
+		{"simspark", "tpch-sf1", "latency"},
+		{"simdb", "ycsb-a", "throughput"},
+	}
+	for _, c := range cases {
+		if err := run(c.system, c.wl, "random", c.metric, "medium", 5, 1, 0, 1, 1, 0, ""); err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	if err := run("simdb", "tpcc", "random", "latency", "small", 5, 2, 0.25, 0.5, 2, 0.02, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("bogus", "tpcc", "random", "latency", "medium", 5, 1, 0, 1, 1, 0, ""); err == nil {
+		t.Fatal("unknown system should error")
+	}
+	if err := run("simdb", "bogus", "random", "latency", "medium", 5, 1, 0, 1, 1, 0, ""); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+	if err := run("simdb", "tpcc", "bogus", "latency", "medium", 5, 1, 0, 1, 1, 0, ""); err == nil {
+		t.Fatal("unknown optimizer should error")
+	}
+	if err := run("simdb", "tpcc", "random", "bogus", "medium", 5, 1, 0, 1, 1, 0, ""); err == nil {
+		t.Fatal("unknown metric should error")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"autotune/internal/experiments"
+)
+
+func TestPad(t *testing.T) {
+	if pad("ab", 5) != "ab   " {
+		t.Fatalf("pad = %q", pad("ab", 5))
+	}
+	if pad("abcdef", 3) != "abcdef" {
+		t.Fatal("pad should not truncate")
+	}
+}
+
+func TestPrintTableDoesNotPanic(t *testing.T) {
+	printTable(experiments.Table{
+		ID:      "T1",
+		Title:   "title",
+		Claim:   "claim",
+		Headers: []string{"a", "long header"},
+		Rows:    [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:   "notes",
+	}, 0)
+}

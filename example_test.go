@@ -1,0 +1,51 @@
+package autotune_test
+
+import (
+	"fmt"
+	"math"
+
+	"autotune"
+)
+
+// ExampleMinimize tunes a 2-knob quadratic with Bayesian optimization.
+func ExampleMinimize() {
+	sp := autotune.MustSpace(
+		autotune.Float("cache_mb", 64, 4096),
+		autotune.Int("threads", 1, 32),
+	)
+	objective := func(c autotune.Config) float64 {
+		cache := c.Float("cache_mb")
+		threads := float64(c.Int("threads"))
+		return math.Pow(math.Log2(cache/1024), 2) + math.Pow((threads-8)/8, 2)
+	}
+	opt, err := autotune.NewOptimizer("bo", sp, 7)
+	if err != nil {
+		panic(err)
+	}
+	_, val, err := autotune.Minimize(opt, objective, 40)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("found a near-optimal config:", val < 0.05)
+	// Output:
+	// found a near-optimal config: true
+}
+
+// ExampleNewOptimizer shows the optimizer registry.
+func ExampleNewOptimizer() {
+	for _, name := range autotune.OptimizerNames() {
+		fmt.Println(name)
+	}
+	// Output:
+	// anneal
+	// bo
+	// bo-lcb
+	// bo-pi
+	// cmaes
+	// coordinate
+	// genetic
+	// grid
+	// pso
+	// random
+	// smac
+}

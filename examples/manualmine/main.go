@@ -1,0 +1,71 @@
+// Manual mining — the DB-BERT / GPTuner idea (slides 63-64) without the
+// LLM: extract knob importance and documented value ranges from the
+// database manual, seed a configuration from the advice, and tune only the
+// manual's top knobs. Compare against cold-start tuning over all 21 knobs.
+package main
+
+import (
+	"fmt"
+
+	"autotune"
+	"autotune/internal/importance"
+	"autotune/internal/manual"
+	"autotune/internal/simsys"
+	"autotune/internal/workload"
+)
+
+func main() {
+	db := simsys.NewDBMS(simsys.MediumVM())
+	wl := workload.TPCC()
+	latency := func(c autotune.Config) float64 {
+		m, err := db.Run(c, wl, 1, nil)
+		if err != nil {
+			return 1e6
+		}
+		return m.LatencyMS
+	}
+
+	// 1. "Read the manual": extract hints from the built-in corpus.
+	hints := manual.Extract(manual.DBMSCorpus())
+	fmt.Println("manual-derived knob ranking (top 8):")
+	for i, h := range hints[:8] {
+		fmt.Printf("  %d. %-18s score %.1f\n", i+1, h.Knob, h.Score)
+	}
+
+	// 2. Seed a config from the documented advice (50-75% RAM buffer
+	//    pool, O_DIRECT, ...).
+	seeded := manual.ApplyHints(db, hints)
+	fmt.Printf("\nshipped defaults:   %8.3f ms\n", latency(db.Space().Default()))
+	fmt.Printf("documented config:  %8.3f ms (before any tuning)\n", latency(seeded))
+
+	// 3. Tune only the manual's top-8 knobs, starting from the seeded
+	//    config, with a small budget.
+	sub, complete, err := importance.Narrow(db.Space(), manual.TopKnobs(hints, 8), seeded)
+	if err != nil {
+		panic(err)
+	}
+	opt, err := autotune.NewOptimizer("bo", sub, 9)
+	if err != nil {
+		panic(err)
+	}
+	_, informed, err := autotune.Minimize(opt, func(c autotune.Config) float64 {
+		return latency(complete(c))
+	}, 25)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("manual-informed BO: %8.3f ms (25 trials over 8 knobs)\n", informed)
+
+	// 4. Cold start over the full space for comparison.
+	cold, err := autotune.NewOptimizer("bo", db.Space(), 9)
+	if err != nil {
+		panic(err)
+	}
+	_, coldBest, err := autotune.Minimize(cold, latency, 25)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cold full-space BO: %8.3f ms (25 trials over 21 knobs)\n", coldBest)
+	fmt.Println("\nThe manual's emphasis keywords point straight at the knobs that matter,")
+	fmt.Println("so the informed tuner spends its tiny budget where it counts.")
+}

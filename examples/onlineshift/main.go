@@ -1,0 +1,106 @@
+// Online tuning under a workload shift (slides 76-84): a live simulated
+// DBMS serves a read-mostly workload that turns write-heavy halfway
+// through. A contextual hybrid-bandit agent — its arms are the default
+// config plus rule-derived presets for each regime — adapts within a few
+// steps of the shift, while guardrails (regression rollback) bound the
+// damage of bad exploration.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autotune"
+	"autotune/internal/heuristic"
+	"autotune/internal/simsys"
+	"autotune/internal/workload"
+)
+
+// liveDB is the OnlineSystem: Apply installs knobs, Measure samples the
+// current latency and exposes workload features as context.
+type liveDB struct {
+	db     *simsys.DBMS
+	cur    autotune.Config
+	wl     workload.Descriptor
+	step   int
+	shift  int
+	after  workload.Descriptor
+	rng    *rand.Rand
+	shifts int
+}
+
+func (l *liveDB) Space() *autotune.Space { return l.db.Space() }
+
+func (l *liveDB) Apply(cfg autotune.Config) error {
+	l.cur = cfg.Clone()
+	return nil
+}
+
+func (l *liveDB) Measure() (float64, []float64) {
+	l.step++
+	wl := l.wl
+	if l.step >= l.shift {
+		wl = l.after
+	}
+	m, err := l.db.Run(l.cur, wl, 0.2, l.rng) // short online probes
+	loss := 1e4
+	if err == nil {
+		loss = m.LatencyMS
+	}
+	return loss, []float64{wl.ReadRatio, wl.WriteFraction()}
+}
+
+func main() {
+	db := simsys.NewDBMS(simsys.MediumVM())
+	db.NoiseSigma = 0.02
+	before, after := workload.YCSBB(), workload.YCSBA()
+	sys := &liveDB{
+		db: db, wl: before, after: after,
+		shift: 150, rng: rand.New(rand.NewSource(3)),
+	}
+
+	// Arms: shipped defaults + a rule-derived preset per regime.
+	arms := []autotune.Config{
+		db.Space().Default(),
+		heuristic.DBMSConfig(db, before),
+		heuristic.DBMSConfig(db, after),
+	}
+	policy, err := autotune.NewBanditPolicy(arms)
+	if err != nil {
+		panic(err)
+	}
+	agent, err := autotune.NewAgent(sys, policy,
+		autotune.Guardrails{MaxRegression: 0.3, Patience: 2}, 3)
+	if err != nil {
+		panic(err)
+	}
+
+	const steps = 300
+	var window []float64
+	fmt.Println("step   avg loss (last 25)   note")
+	for i := 1; i <= steps; i++ {
+		rep, err := agent.Step()
+		if err != nil {
+			panic(err)
+		}
+		window = append(window, rep.Loss)
+		if len(window) > 25 {
+			window = window[1:]
+		}
+		if i%25 == 0 {
+			note := ""
+			if i == 150 {
+				note = "<- workload shifts to write-heavy here"
+			}
+			sum := 0.0
+			for _, v := range window {
+				sum += v
+			}
+			fmt.Printf("%4d   %18.3f   %s\n", i, sum/float64(len(window)), note)
+		}
+	}
+	inc, loss := agent.Incumbent()
+	fmt.Printf("\nfinal incumbent loss: %.3f ms, guardrail rollbacks: %d\n", loss, agent.Rollbacks())
+	fmt.Printf("final flush_method=%v buffer_pool_mb=%v\n",
+		inc.Str("flush_method"), inc.Int("buffer_pool_mb"))
+}

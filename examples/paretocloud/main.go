@@ -1,0 +1,59 @@
+// Multi-objective cloud tuning (slide 58): a Spark-like batch job where
+// more executors finish faster but cost more. There is no single best
+// configuration — ParEGO traces the runtime-vs-cost Pareto frontier, from
+// which an operator picks by budget.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"autotune"
+	"autotune/internal/moo"
+	"autotune/internal/simsys"
+	"autotune/internal/workload"
+)
+
+func main() {
+	spark := simsys.NewSpark(simsys.MediumVM())
+	spark.NoiseSigma = 0
+	wl := workload.TPCH(10)
+
+	objectives := func(c autotune.Config) []float64 {
+		m, err := spark.Run(c, wl, 1, nil)
+		if err != nil {
+			return []float64{1e6, 1e6}
+		}
+		runtimeSec := m.LatencyMS / 1000
+		jobCost := m.CostUSDPerHour * runtimeSec / 3600
+		return []float64{runtimeSec, jobCost}
+	}
+
+	parego, err := moo.NewParEGO(spark.Space(), 2, rand.New(rand.NewSource(5)))
+	if err != nil {
+		panic(err)
+	}
+	if err := moo.RunMulti(parego, objectives, 80); err != nil {
+		panic(err)
+	}
+
+	front := parego.Front()
+	sort.Slice(front, func(i, j int) bool { return front[i].Objectives[0] < front[j].Objectives[0] })
+	fmt.Println("Pareto frontier after 80 evaluations (runtime vs job cost):")
+	fmt.Printf("%10s %12s %10s %10s\n", "runtime(s)", "cost($)", "executors", "partitions")
+	for _, e := range front {
+		fmt.Printf("%10.1f %12.4f %10d %10d\n",
+			e.Objectives[0], e.Objectives[1],
+			e.Config.Int("executors"), e.Config.Int("shuffle_partitions"))
+	}
+
+	var objs [][]float64
+	for _, e := range front {
+		objs = append(objs, e.Objectives)
+	}
+	fmt.Printf("\nfront size: %d, hypervolume vs (200s, $0.05): %.4f\n",
+		len(front), moo.Hypervolume2D(objs, [2]float64{200, 0.05}))
+	fmt.Println("\nEvery row is optimal for some budget: faster points cost more,")
+	fmt.Println("cheaper points run longer — the slide's 'no one config to rule them all'.")
+}

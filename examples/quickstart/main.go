@@ -1,0 +1,41 @@
+// Quickstart: minimize the Branin function with Bayesian optimization in
+// ~30 lines using the public autotune API. Branin is the "hello world" of
+// black-box optimization: 2-D, smooth, three global minima at 0.397887.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"autotune"
+)
+
+func main() {
+	// 1. Declare the configuration space.
+	sp := autotune.MustSpace(
+		autotune.Float("x1", -5, 10),
+		autotune.Float("x2", 0, 15),
+	)
+
+	// 2. The black-box objective (minimized).
+	branin := func(c autotune.Config) float64 {
+		x1, x2 := c.Float("x1"), c.Float("x2")
+		b := 5.1 / (4 * math.Pi * math.Pi)
+		cc := 5 / math.Pi
+		t := 1 / (8 * math.Pi)
+		term := x2 - b*x1*x1 + cc*x1 - 6
+		return term*term + 10*(1-t)*math.Cos(x1) + 10
+	}
+
+	// 3. Pick an optimizer and run the suggest/observe loop.
+	opt, err := autotune.NewOptimizer("bo", sp, 42)
+	if err != nil {
+		panic(err)
+	}
+	best, val, err := autotune.Minimize(opt, branin, 40)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best after 40 trials: f(%.4f, %.4f) = %.5f (optimum 0.39789)\n",
+		best.Float("x1"), best.Float("x2"), val)
+}

@@ -1,0 +1,208 @@
+// Package bandit implements multi-armed bandits over discrete candidate
+// configurations: ε-greedy, UCB1, and Gaussian Thompson sampling, plus the
+// contextual hybrid bandit of OPPerTune (NSDI 2024): an online-grown
+// decision tree over context features with an independent base bandit at
+// each leaf, so different workload regimes learn different arms.
+//
+// Consistent with the rest of the framework, bandits minimize: Update
+// reports a loss (lower is better) and Select picks the arm expected to
+// have the lowest loss, modulo exploration.
+package bandit
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// ErrNoArms is returned when a bandit is constructed with zero arms.
+var ErrNoArms = errors.New("bandit: no arms")
+
+// Bandit is a fixed-arm, context-free bandit over arms 0..K-1.
+type Bandit interface {
+	// Select returns the next arm to play.
+	Select(rng *rand.Rand) int
+	// Update reports the observed loss for an arm.
+	Update(arm int, loss float64)
+	// Arms returns the number of arms.
+	Arms() int
+	// Name identifies the policy.
+	Name() string
+}
+
+// armStat tracks per-arm running statistics.
+type armStat struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+func (a *armStat) add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+func (a *armStat) variance() float64 {
+	if a.n < 2 {
+		return 1 // optimistic prior
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// EpsilonGreedy explores uniformly with probability Epsilon and otherwise
+// exploits the lowest-mean arm.
+type EpsilonGreedy struct {
+	// Epsilon is the exploration probability (default 0.1 via NewEpsilonGreedy).
+	Epsilon float64
+	stats   []armStat
+}
+
+// NewEpsilonGreedy returns an ε-greedy bandit with k arms and ε = 0.1.
+func NewEpsilonGreedy(k int, epsilon float64) (*EpsilonGreedy, error) {
+	if k <= 0 {
+		return nil, ErrNoArms
+	}
+	if epsilon <= 0 {
+		epsilon = 0.1
+	}
+	return &EpsilonGreedy{Epsilon: epsilon, stats: make([]armStat, k)}, nil
+}
+
+// Select implements Bandit.
+func (b *EpsilonGreedy) Select(rng *rand.Rand) int {
+	if rng.Float64() < b.Epsilon {
+		return rng.Intn(len(b.stats))
+	}
+	best, bestMean := 0, math.Inf(1)
+	for i := range b.stats {
+		if b.stats[i].n == 0 {
+			return i // play every arm once first
+		}
+		if b.stats[i].mean < bestMean {
+			best, bestMean = i, b.stats[i].mean
+		}
+	}
+	return best
+}
+
+// Update implements Bandit.
+func (b *EpsilonGreedy) Update(arm int, loss float64) { b.stats[arm].add(loss) }
+
+// Arms implements Bandit.
+func (b *EpsilonGreedy) Arms() int { return len(b.stats) }
+
+// Name implements Bandit.
+func (b *EpsilonGreedy) Name() string { return "epsilon-greedy" }
+
+// UCB1 plays the arm minimizing mean - c*sqrt(2 ln N / n_i), the
+// minimization form of the classic optimistic index policy.
+type UCB1 struct {
+	// C scales the confidence width (default 1).
+	C     float64
+	stats []armStat
+	total int
+}
+
+// NewUCB1 returns a UCB1 bandit with k arms.
+func NewUCB1(k int, c float64) (*UCB1, error) {
+	if k <= 0 {
+		return nil, ErrNoArms
+	}
+	if c <= 0 {
+		c = 1
+	}
+	return &UCB1{C: c, stats: make([]armStat, k)}, nil
+}
+
+// Select implements Bandit.
+func (b *UCB1) Select(rng *rand.Rand) int {
+	best, bestIdx := math.Inf(1), 0
+	for i := range b.stats {
+		if b.stats[i].n == 0 {
+			return i
+		}
+		bonus := b.C * math.Sqrt(2*math.Log(float64(b.total))/float64(b.stats[i].n))
+		idx := b.stats[i].mean - bonus
+		if idx < best {
+			best, bestIdx = idx, i
+		}
+	}
+	return bestIdx
+}
+
+// Update implements Bandit.
+func (b *UCB1) Update(arm int, loss float64) {
+	b.stats[arm].add(loss)
+	b.total++
+}
+
+// Arms implements Bandit.
+func (b *UCB1) Arms() int { return len(b.stats) }
+
+// Name implements Bandit.
+func (b *UCB1) Name() string { return "ucb1" }
+
+// Thompson is Gaussian Thompson sampling: each Select draws a posterior
+// mean sample per arm and plays the minimum.
+type Thompson struct {
+	stats []armStat
+}
+
+// NewThompson returns a Thompson-sampling bandit with k arms.
+func NewThompson(k int) (*Thompson, error) {
+	if k <= 0 {
+		return nil, ErrNoArms
+	}
+	return &Thompson{stats: make([]armStat, k)}, nil
+}
+
+// Select implements Bandit.
+func (b *Thompson) Select(rng *rand.Rand) int {
+	best, bestIdx := math.Inf(1), 0
+	for i := range b.stats {
+		s := &b.stats[i]
+		if s.n == 0 {
+			return i
+		}
+		draw := s.mean + rng.NormFloat64()*math.Sqrt(s.variance()/float64(s.n))
+		if draw < best {
+			best, bestIdx = draw, i
+		}
+	}
+	return bestIdx
+}
+
+// Update implements Bandit.
+func (b *Thompson) Update(arm int, loss float64) { b.stats[arm].add(loss) }
+
+// Arms implements Bandit.
+func (b *Thompson) Arms() int { return len(b.stats) }
+
+// Name implements Bandit.
+func (b *Thompson) Name() string { return "thompson" }
+
+// MeanLoss returns the empirical mean loss of an arm (NaN if unplayed).
+// Available on all three base bandits for reporting.
+func MeanLoss(b Bandit, arm int) float64 {
+	switch x := b.(type) {
+	case *EpsilonGreedy:
+		if x.stats[arm].n == 0 {
+			return math.NaN()
+		}
+		return x.stats[arm].mean
+	case *UCB1:
+		if x.stats[arm].n == 0 {
+			return math.NaN()
+		}
+		return x.stats[arm].mean
+	case *Thompson:
+		if x.stats[arm].n == 0 {
+			return math.NaN()
+		}
+		return x.stats[arm].mean
+	default:
+		return math.NaN()
+	}
+}

@@ -1,0 +1,205 @@
+package bandit
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// playStationary runs a bandit against stationary Gaussian arm losses and
+// returns the fraction of pulls of the best arm over the last half.
+func playStationary(b Bandit, losses []float64, noise float64, rounds int, rng *rand.Rand) float64 {
+	bestArm := 0
+	for i, l := range losses {
+		if l < losses[bestArm] {
+			bestArm = i
+		}
+		_ = i
+	}
+	bestPulls, lateRounds := 0, 0
+	for t := 0; t < rounds; t++ {
+		arm := b.Select(rng)
+		loss := losses[arm] + rng.NormFloat64()*noise
+		b.Update(arm, loss)
+		if t >= rounds/2 {
+			lateRounds++
+			if arm == bestArm {
+				bestPulls++
+			}
+		}
+	}
+	return float64(bestPulls) / float64(lateRounds)
+}
+
+func TestConstructorsRejectZeroArms(t *testing.T) {
+	if _, err := NewEpsilonGreedy(0, 0.1); !errors.Is(err, ErrNoArms) {
+		t.Fatal("eps-greedy should reject 0 arms")
+	}
+	if _, err := NewUCB1(0, 1); !errors.Is(err, ErrNoArms) {
+		t.Fatal("ucb1 should reject 0 arms")
+	}
+	if _, err := NewThompson(0); !errors.Is(err, ErrNoArms) {
+		t.Fatal("thompson should reject 0 arms")
+	}
+	if _, err := NewHybrid(0); !errors.Is(err, ErrNoArms) {
+		t.Fatal("hybrid should reject 0 arms")
+	}
+}
+
+func TestEpsilonGreedyConverges(t *testing.T) {
+	b, err := NewEpsilonGreedy(5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := playStationary(b, []float64{1, 0.8, 0.2, 0.9, 1.1}, 0.1, 2000, rand.New(rand.NewSource(1)))
+	if frac < 0.8 {
+		t.Fatalf("best-arm fraction = %v", frac)
+	}
+	if b.Arms() != 5 || b.Name() != "epsilon-greedy" {
+		t.Fatal("metadata")
+	}
+}
+
+func TestUCB1Converges(t *testing.T) {
+	b, err := NewUCB1(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := playStationary(b, []float64{1, 0.8, 0.2, 0.9, 1.1}, 0.1, 2000, rand.New(rand.NewSource(2)))
+	if frac < 0.85 {
+		t.Fatalf("best-arm fraction = %v", frac)
+	}
+}
+
+func TestThompsonConverges(t *testing.T) {
+	b, err := NewThompson(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := playStationary(b, []float64{1, 0.8, 0.2, 0.9, 1.1}, 0.1, 2000, rand.New(rand.NewSource(3)))
+	if frac < 0.85 {
+		t.Fatalf("best-arm fraction = %v", frac)
+	}
+}
+
+func TestAllArmsPlayedFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, mk := range []func() Bandit{
+		func() Bandit { b, _ := NewEpsilonGreedy(4, 0.01); return b },
+		func() Bandit { b, _ := NewUCB1(4, 1); return b },
+		func() Bandit { b, _ := NewThompson(4); return b },
+	} {
+		b := mk()
+		seen := map[int]bool{}
+		for i := 0; i < 4; i++ {
+			a := b.Select(rng)
+			seen[a] = true
+			b.Update(a, 1)
+		}
+		if len(seen) != 4 {
+			t.Fatalf("%s: played %d distinct arms in first 4 rounds", b.Name(), len(seen))
+		}
+	}
+}
+
+func TestMeanLoss(t *testing.T) {
+	b, _ := NewUCB1(2, 1)
+	if !math.IsNaN(MeanLoss(b, 0)) {
+		t.Fatal("unplayed arm should be NaN")
+	}
+	b.Update(0, 2)
+	b.Update(0, 4)
+	if got := MeanLoss(b, 0); got != 3 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHybridLearnsPerContextArms(t *testing.T) {
+	// Two regimes: ctx[0] < 0.5 prefers arm 0, ctx[0] >= 0.5 prefers arm 1.
+	h, err := NewHybrid(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.MinSamples = 20
+	rng := rand.New(rand.NewSource(5))
+	loss := func(ctx []float64, arm int) float64 {
+		if (ctx[0] < 0.5) == (arm == 0) {
+			return 0.2 + rng.NormFloat64()*0.05
+		}
+		return 0.8 + rng.NormFloat64()*0.05
+	}
+	for t := 0; t < 600; t++ {
+		ctx := []float64{rng.Float64(), rng.Float64()}
+		arm := h.Select(ctx, rng)
+		if err := h.Update(ctx, arm, loss(ctx, arm)); err != nil {
+			break
+		}
+	}
+	if h.Leaves() < 2 {
+		t.Fatalf("tree did not split: %d leaves", h.Leaves())
+	}
+	if h.BestArm([]float64{0.1, 0.5}) != 0 {
+		t.Fatal("low-context best arm should be 0")
+	}
+	if h.BestArm([]float64{0.9, 0.5}) != 1 {
+		t.Fatal("high-context best arm should be 1")
+	}
+}
+
+func TestHybridNoSplitWhenHomogeneous(t *testing.T) {
+	h, _ := NewHybrid(2)
+	h.MinSamples = 20
+	rng := rand.New(rand.NewSource(6))
+	// Same best arm everywhere: no reason to split.
+	for t := 0; t < 400; t++ {
+		ctx := []float64{rng.Float64()}
+		arm := h.Select(ctx, rng)
+		loss := 0.5
+		if arm == 0 {
+			loss = 0.2
+		}
+		h.Update(ctx, arm, loss+rng.NormFloat64()*0.01)
+	}
+	// Variance within a leaf is dominated by arm choice, not context, so
+	// context splits should offer little gain. Allow at most one split.
+	if h.Leaves() > 2 {
+		t.Fatalf("tree over-split: %d leaves", h.Leaves())
+	}
+}
+
+func TestHybridRejectsBadArm(t *testing.T) {
+	h, _ := NewHybrid(2)
+	if err := h.Update([]float64{0}, 5, 1); err == nil {
+		t.Fatal("expected error for out-of-range arm")
+	}
+	if err := h.Update([]float64{0}, -1, 1); err == nil {
+		t.Fatal("expected error for negative arm")
+	}
+}
+
+func TestHybridBestArmEmpty(t *testing.T) {
+	h, _ := NewHybrid(3)
+	if h.BestArm([]float64{0}) != -1 {
+		t.Fatal("BestArm with no data should be -1")
+	}
+	if h.Arms() != 3 || h.Name() != "hybrid-bandit" {
+		t.Fatal("metadata")
+	}
+}
+
+func TestHybridDepthBound(t *testing.T) {
+	h, _ := NewHybrid(2)
+	h.MinSamples = 8
+	h.MaxDepth = 1
+	rng := rand.New(rand.NewSource(7))
+	for t := 0; t < 2000; t++ {
+		ctx := []float64{rng.Float64(), rng.Float64()}
+		arm := h.Select(ctx, rng)
+		// Loss strongly context dependent to tempt splits.
+		h.Update(ctx, arm, ctx[0]+ctx[1]+float64(arm))
+	}
+	if h.Leaves() > 2 {
+		t.Fatalf("depth bound violated: %d leaves", h.Leaves())
+	}
+}

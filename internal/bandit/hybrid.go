@@ -1,0 +1,236 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Hybrid is a contextual bandit in the style of OPPerTune's AutoScoper: an
+// online-grown binary decision tree partitions the context space (e.g. job
+// type, request rate, working-set size), and each leaf runs an independent
+// base bandit over the same arm set. Contexts that behave differently end
+// up in different leaves and learn different best arms; contexts that
+// behave alike share statistics.
+//
+// Tree growth is conservative: a leaf splits on the context feature and
+// median threshold that most reduces within-partition loss variance, and
+// only once the leaf has seen MinSamples observations and the reduction
+// exceeds SplitGain of the leaf's variance.
+type Hybrid struct {
+	arms int
+	// NewBase constructs the per-leaf bandit (default UCB1 with c=1).
+	newBase func(k int) Bandit
+
+	// MinSamples before a leaf may split (default 30).
+	MinSamples int
+	// MaxDepth bounds the tree (default 4).
+	MaxDepth int
+	// SplitGain is the minimum relative variance reduction (default 0.2).
+	SplitGain float64
+
+	root *hnode
+}
+
+type hobs struct {
+	ctx  []float64
+	arm  int
+	loss float64
+}
+
+type hnode struct {
+	// Internal.
+	feature int
+	thresh  float64
+	left    *hnode
+	right   *hnode
+	// Leaf.
+	leaf  bool
+	base  Bandit
+	hist  []hobs
+	depth int
+}
+
+// NewHybrid returns a hybrid contextual bandit with k arms and a UCB1 base
+// policy at each leaf.
+func NewHybrid(k int) (*Hybrid, error) {
+	if k <= 0 {
+		return nil, ErrNoArms
+	}
+	h := &Hybrid{
+		arms:       k,
+		MinSamples: 30,
+		MaxDepth:   4,
+		SplitGain:  0.2,
+		newBase: func(k int) Bandit {
+			b, _ := NewUCB1(k, 1)
+			return b
+		},
+	}
+	h.root = &hnode{leaf: true, base: h.newBase(k)}
+	return h, nil
+}
+
+// Arms returns the number of arms.
+func (h *Hybrid) Arms() int { return h.arms }
+
+// Name identifies the policy.
+func (h *Hybrid) Name() string { return "hybrid-bandit" }
+
+// Leaves returns the current number of leaf partitions.
+func (h *Hybrid) Leaves() int { return countLeaves(h.root) }
+
+func countLeaves(n *hnode) int {
+	if n.leaf {
+		return 1
+	}
+	return countLeaves(n.left) + countLeaves(n.right)
+}
+
+func (h *Hybrid) leafFor(ctx []float64) *hnode {
+	n := h.root
+	for !n.leaf {
+		if ctx[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// Select picks an arm for the given context.
+func (h *Hybrid) Select(ctx []float64, rng *rand.Rand) int {
+	return h.leafFor(ctx).base.Select(rng)
+}
+
+// Update reports the loss observed for an arm under a context, then
+// considers growing the tree at that leaf.
+func (h *Hybrid) Update(ctx []float64, arm int, loss float64) error {
+	if arm < 0 || arm >= h.arms {
+		return fmt.Errorf("bandit: arm %d out of range [0, %d)", arm, h.arms)
+	}
+	n := h.leafFor(ctx)
+	n.base.Update(arm, loss)
+	n.hist = append(n.hist, hobs{ctx: append([]float64(nil), ctx...), arm: arm, loss: loss})
+	h.maybeSplit(n)
+	return nil
+}
+
+// maybeSplit grows the tree when a leaf's contexts clearly behave
+// differently on either side of some feature threshold.
+func (h *Hybrid) maybeSplit(n *hnode) {
+	if len(n.hist) < h.MinSamples || n.depth >= h.MaxDepth {
+		return
+	}
+	// The split criterion is the reduction in *within-arm* loss variance:
+	// if the same arm yields different losses on either side of a context
+	// threshold (a context x arm interaction), separating the contexts
+	// lets each side learn its own arm. Marginal loss variance would miss
+	// this — mixed arm pulls keep it high on both sides of a good split.
+	parentSSE := sseByArm(n.hist, h.arms)
+	if parentSSE <= 1e-12 {
+		return
+	}
+	dims := len(n.hist[0].ctx)
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	for d := 0; d < dims; d++ {
+		vals := make([]float64, len(n.hist))
+		for i, o := range n.hist {
+			vals[i] = o.ctx[d]
+		}
+		sort.Float64s(vals)
+		thresh, ok := medianSplitThreshold(vals)
+		if !ok {
+			continue // constant feature: no separation possible
+		}
+		var l, r []hobs
+		for _, o := range n.hist {
+			if o.ctx[d] <= thresh {
+				l = append(l, o)
+			} else {
+				r = append(r, o)
+			}
+		}
+		if len(l) < h.MinSamples/4 || len(r) < h.MinSamples/4 {
+			continue
+		}
+		childSSE := sseByArm(l, h.arms) + sseByArm(r, h.arms)
+		gain := (parentSSE - childSSE) / parentSSE
+		if gain > bestGain {
+			bestGain, bestFeat, bestThresh = gain, d, thresh
+		}
+	}
+	if bestFeat < 0 || bestGain < h.SplitGain {
+		return
+	}
+	left := &hnode{leaf: true, base: h.newBase(h.arms), depth: n.depth + 1}
+	right := &hnode{leaf: true, base: h.newBase(h.arms), depth: n.depth + 1}
+	for _, o := range n.hist {
+		var child *hnode
+		if o.ctx[bestFeat] <= bestThresh {
+			child = left
+		} else {
+			child = right
+		}
+		child.base.Update(o.arm, o.loss)
+		child.hist = append(child.hist, o)
+	}
+	n.leaf = false
+	n.feature = bestFeat
+	n.thresh = bestThresh
+	n.left = left
+	n.right = right
+	n.base = nil
+	n.hist = nil
+}
+
+// medianSplitThreshold returns the midpoint of the distinct adjacent pair
+// nearest the median of the sorted values, so that `v <= thresh` yields a
+// genuine two-sided split even for binary or few-valued features. ok is
+// false when all values are equal.
+func medianSplitThreshold(sorted []float64) (thresh float64, ok bool) {
+	n := len(sorted)
+	mid := n / 2
+	for off := 0; off < n; off++ {
+		for _, i := range []int{mid - off, mid + off} {
+			if i >= 1 && i < n && sorted[i-1] != sorted[i] {
+				return (sorted[i-1] + sorted[i]) / 2, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// sseByArm sums, over arms, the squared deviations of each arm's losses
+// around that arm's mean — the within-arm sum of squared errors.
+func sseByArm(obs []hobs, arms int) float64 {
+	sums := make([]float64, arms)
+	counts := make([]int, arms)
+	for _, o := range obs {
+		sums[o.arm] += o.loss
+		counts[o.arm]++
+	}
+	sse := 0.0
+	for _, o := range obs {
+		mean := sums[o.arm] / float64(counts[o.arm])
+		sse += (o.loss - mean) * (o.loss - mean)
+	}
+	return sse
+}
+
+// BestArm returns the arm with the lowest mean loss in the leaf covering
+// ctx, or -1 when the leaf has no data yet.
+func (h *Hybrid) BestArm(ctx []float64) int {
+	n := h.leafFor(ctx)
+	best, bestMean := -1, math.Inf(1)
+	for a := 0; a < h.arms; a++ {
+		m := MeanLoss(n.base, a)
+		if !math.IsNaN(m) && m < bestMean {
+			best, bestMean = a, m
+		}
+	}
+	return best
+}

@@ -1,0 +1,147 @@
+// Package bo implements Bayesian optimization over configuration spaces: a
+// Gaussian-process surrogate (internal/gp), the standard acquisition
+// functions (probability of improvement, expected improvement, lower
+// confidence bound, posterior-sample / Thompson), acquisition maximization
+// by random candidates plus Nelder-Mead refinement, batch suggestion via the
+// constant-liar heuristic, and periodic hyperparameter refitting.
+//
+// Everything minimizes. Configurations are encoded to the unit cube (or
+// one-hot) via internal/space before reaching the GP.
+package bo
+
+import (
+	"math"
+
+	"autotune/internal/stats"
+)
+
+// Acquisition scores a candidate from its posterior mean and standard
+// deviation plus the incumbent (best observed) value. Higher scores are
+// more desirable; the optimizer maximizes the acquisition.
+type Acquisition interface {
+	Score(mean, std, best float64) float64
+	Name() string
+}
+
+// PI is probability of improvement: P(f(x) < best - xi).
+type PI struct {
+	// Xi is the improvement margin (default 0.01 when constructed via NewPI).
+	Xi float64
+}
+
+// NewPI returns a PI acquisition with the conventional margin 0.01.
+func NewPI() *PI { return &PI{Xi: 0.01} }
+
+// Score implements Acquisition.
+func (a *PI) Score(mean, std, best float64) float64 {
+	if std <= 0 {
+		if mean < best-a.Xi {
+			return 1
+		}
+		return 0
+	}
+	return stats.NormalCDF((best - a.Xi - mean) / std)
+}
+
+// Name implements Acquisition.
+func (a *PI) Name() string { return "pi" }
+
+// EI is expected improvement: E[max(best - xi - f(x), 0)], which weighs both
+// the probability and the magnitude of improvement.
+type EI struct {
+	// Xi is the improvement margin (default 0.01 when constructed via NewEI).
+	Xi float64
+}
+
+// NewEI returns an EI acquisition with margin 0.01.
+func NewEI() *EI { return &EI{Xi: 0.01} }
+
+// Score implements Acquisition.
+func (a *EI) Score(mean, std, best float64) float64 {
+	imp := best - a.Xi - mean
+	if std <= 0 {
+		if imp > 0 {
+			return imp
+		}
+		return 0
+	}
+	z := imp / std
+	return imp*stats.NormalCDF(z) + std*stats.NormalPDF(z)
+}
+
+// Name implements Acquisition.
+func (a *EI) Name() string { return "ei" }
+
+// LCB is the lower confidence bound acquisition for minimization: it scores
+// -(mean - beta*std), so maximizing it seeks points whose optimistic value
+// is lowest. Beta >= 0 trades exploration (large) against exploitation.
+type LCB struct {
+	// Beta is the exploration weight (default 2 when constructed via NewLCB).
+	Beta float64
+}
+
+// NewLCB returns an LCB acquisition with beta = 2.
+func NewLCB() *LCB { return &LCB{Beta: 2} }
+
+// Score implements Acquisition.
+func (a *LCB) Score(mean, std, best float64) float64 {
+	return -(mean - a.Beta*std)
+}
+
+// Name implements Acquisition.
+func (a *LCB) Name() string { return "lcb" }
+
+// ByName returns the acquisition with the given name ("pi", "ei", "lcb"),
+// defaulting to EI for unknown names.
+func ByName(name string) Acquisition {
+	switch name {
+	case "pi":
+		return NewPI()
+	case "lcb":
+		return NewLCB()
+	default:
+		return NewEI()
+	}
+}
+
+// clampInvalid maps non-finite objective values (crashed trials reported as
+// +Inf or NaN) to a large-but-finite penalty derived from the finite
+// observations, following the tutorial's "make up a score: N x worst" advice
+// for failed configurations (slide 67).
+func clampInvalid(ys []float64) []float64 {
+	worst, best := math.Inf(-1), math.Inf(1)
+	for _, y := range ys {
+		if !math.IsInf(y, 0) && !math.IsNaN(y) {
+			if y > worst {
+				worst = y
+			}
+			if y < best {
+				best = y
+			}
+		}
+	}
+	if math.IsInf(worst, -1) { // no finite values at all
+		out := make([]float64, len(ys))
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	spread := worst - best
+	if spread <= 0 {
+		spread = math.Abs(worst)
+		if spread == 0 {
+			spread = 1
+		}
+	}
+	penalty := worst + 2*spread
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		if math.IsInf(y, 0) || math.IsNaN(y) {
+			out[i] = penalty
+		} else {
+			out[i] = y
+		}
+	}
+	return out
+}

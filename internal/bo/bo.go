@@ -1,0 +1,370 @@
+package bo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"autotune/internal/gp"
+	"autotune/internal/numopt"
+	"autotune/internal/optimizer"
+	"autotune/internal/space"
+)
+
+// Options configures a BO optimizer. The zero value is usable: NewWith
+// fills defaults.
+type Options struct {
+	// Acq is the acquisition function (default EI).
+	Acq Acquisition
+	// Kernel is the surrogate kernel template (default 1.0 * Matérn 5/2
+	// with lengthscale 0.2, a solid default on unit-cube encodings).
+	Kernel gp.Kernel
+	// Noise is the initial observation-noise variance in normalized
+	// target units (default 1e-6; raised automatically by hyperparameter
+	// fitting when the data is noisy).
+	Noise float64
+	// InitSamples is the number of warm-up suggestions before the model
+	// kicks in: the space default first, then stratified random samples
+	// that cycle every categorical level (default max(5, L+1) where L is
+	// the largest categorical level count, so every level is observed at
+	// least once before the surrogate takes over).
+	InitSamples int
+	// Candidates is the random candidate pool size for acquisition
+	// maximization (default 512).
+	Candidates int
+	// RefineIters enables Nelder-Mead local refinement of the best
+	// candidate for this many iterations (default 40; 0 disables).
+	RefineIters int
+	// FitHyperEvery re-optimizes kernel hyperparameters every k
+	// observations (default 10; 0 disables).
+	FitHyperEvery int
+	// OneHot selects one-hot encoding for categoricals (default true,
+	// which distance-based kernels prefer; false uses scaled indices).
+	OneHot bool
+	// LogY fits the surrogate on log-transformed objective values, the
+	// standard warping for heavy-tailed positive objectives like latency
+	// (a single terrible configuration would otherwise dominate target
+	// normalization and blind the model near the optimum). Requires all
+	// observations to be positive; non-positive values fall back to a
+	// shifted log.
+	LogY bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Acq == nil {
+		o.Acq = NewEI()
+	}
+	if o.Kernel == nil {
+		o.Kernel = gp.Scale(1, gp.NewMatern(2.5, 0.2))
+	}
+	if o.Noise <= 0 {
+		o.Noise = 1e-6
+	}
+	if o.InitSamples <= 0 {
+		o.InitSamples = 5
+	}
+	if o.Candidates <= 0 {
+		o.Candidates = 512
+	}
+	if o.RefineIters < 0 {
+		o.RefineIters = 0
+	}
+	if o.FitHyperEvery < 0 {
+		o.FitHyperEvery = 0
+	}
+	return o
+}
+
+// BO is a sequential model-based optimizer with a GP surrogate. It
+// implements optimizer.Optimizer and optimizer.BatchSuggester.
+type BO struct {
+	optimizer.Recorder
+	space *space.Space
+	rng   *rand.Rand
+	opts  Options
+
+	model      *gp.GP
+	modelDirty bool
+	lastHyper  int
+	logShift   float64 // shift used by the LogY warp in the current fit
+}
+
+// New returns a BO optimizer with default options.
+func New(s *space.Space, rng *rand.Rand) *BO {
+	return NewWith(s, rng, Options{OneHot: true, RefineIters: 40, FitHyperEvery: 10})
+}
+
+// NewWith returns a BO optimizer with explicit options.
+func NewWith(s *space.Space, rng *rand.Rand, opts Options) *BO {
+	explicitInit := opts.InitSamples > 0
+	opts = opts.withDefaults()
+	if !explicitInit {
+		maxLevels := 0
+		for _, p := range s.Params() {
+			if l := p.Levels(); l > maxLevels {
+				maxLevels = l
+			}
+		}
+		if maxLevels+1 > opts.InitSamples {
+			opts.InitSamples = maxLevels + 1
+		}
+	}
+	return &BO{space: s, rng: rng, opts: opts}
+}
+
+// Name implements optimizer.Optimizer.
+func (b *BO) Name() string { return "bo-" + b.opts.Acq.Name() }
+
+// Space returns the optimizer's configuration space.
+func (b *BO) Space() *space.Space { return b.space }
+
+func (b *BO) encode(cfg space.Config) []float64 {
+	if b.opts.OneHot {
+		return b.space.EncodeOneHot(cfg)
+	}
+	return b.space.Encode(cfg)
+}
+
+// Observe implements optimizer.Optimizer and marks the surrogate stale.
+func (b *BO) Observe(cfg space.Config, value float64) error {
+	if err := b.Recorder.Observe(cfg, value); err != nil {
+		return err
+	}
+	b.modelDirty = true
+	return nil
+}
+
+// refit rebuilds the GP from history; hyperparameters are refitted every
+// FitHyperEvery observations.
+func (b *BO) refit() error {
+	hist := b.History()
+	xs := make([][]float64, len(hist))
+	ys := make([]float64, len(hist))
+	for i, obs := range hist {
+		xs[i] = b.encode(obs.Config)
+		ys[i] = obs.Value
+	}
+	ys = clampInvalid(ys)
+	if b.opts.LogY {
+		ys, b.logShift = logWarp(ys)
+	}
+	if b.model == nil {
+		b.model = gp.New(b.opts.Kernel.Clone(), b.opts.Noise)
+	}
+	every := b.opts.FitHyperEvery
+	if every > 0 && len(hist)-b.lastHyper >= every {
+		b.lastHyper = len(hist)
+		if err := b.model.FitHyper(xs, ys, 2, b.rng); err != nil {
+			return fmt.Errorf("bo: hyper fit: %w", err)
+		}
+	} else if err := b.model.Fit(xs, ys); err != nil {
+		return fmt.Errorf("bo: fit: %w", err)
+	}
+	b.modelDirty = false
+	return nil
+}
+
+// Suggest implements optimizer.Optimizer: warm-up samples first, then
+// acquisition maximization over the surrogate.
+func (b *BO) Suggest() (space.Config, error) {
+	n := b.N()
+	if n == 0 {
+		return b.space.Default(), nil
+	}
+	if n < b.opts.InitSamples {
+		return b.stratifiedSample(n - 1), nil
+	}
+	if b.modelDirty || b.model == nil {
+		if err := b.refit(); err != nil {
+			// Surrogate failure must not stall tuning: fall back to random.
+			return b.space.Sample(b.rng), nil
+		}
+	}
+	cfg, err := b.maximizeAcq(b.model)
+	if err != nil {
+		return b.space.Sample(b.rng), nil
+	}
+	return cfg, nil
+}
+
+// stratifiedSample draws a random configuration whose categorical and
+// boolean parameters are pinned to level (i mod L), guaranteeing every
+// level appears during warm-up — a GP one-hot encoding gets no gradient
+// toward levels it has never seen.
+func (b *BO) stratifiedSample(i int) space.Config {
+	cfg := b.space.Sample(b.rng)
+	for _, p := range b.space.Params() {
+		switch p.Kind {
+		case space.KindCategorical:
+			cfg[p.Name] = p.Values[i%len(p.Values)]
+		case space.KindBool:
+			cfg[p.Name] = i%2 == 1
+		}
+	}
+	return b.space.Clip(cfg)
+}
+
+// maximizeAcq scores a random candidate pool, optionally refines the best
+// numeric point locally, and dedups against already-evaluated configs.
+func (b *BO) maximizeAcq(model *gp.GP) (space.Config, error) {
+	_, best, ok := b.Best()
+	if !ok {
+		best = 0
+	}
+	if b.opts.LogY {
+		best = math.Log(best + b.logShift)
+	}
+	seen := make(map[string]bool, b.N())
+	for _, obs := range b.History() {
+		seen[obs.Config.Key()] = true
+	}
+	type cand struct {
+		cfg   space.Config
+		score float64
+	}
+	var top cand
+	top.score = math.Inf(-1)
+	var topAny cand
+	topAny.score = math.Inf(-1)
+	for i := 0; i < b.opts.Candidates; i++ {
+		cfg := b.space.Sample(b.rng)
+		mu, v, err := model.Predict(b.encode(cfg))
+		if err != nil {
+			return nil, err
+		}
+		sc := b.opts.Acq.Score(mu, math.Sqrt(v), best)
+		if sc > topAny.score {
+			topAny = cand{cfg, sc}
+		}
+		if sc > top.score && !seen[cfg.Key()] {
+			top = cand{cfg, sc}
+		}
+	}
+	if top.cfg == nil {
+		top = topAny // everything seen (tiny discrete space): repeat is fine
+	}
+	if b.opts.RefineIters > 0 && top.cfg != nil {
+		refined := b.refine(model, top.cfg, best)
+		// Refinement decodes arbitrary cube points, which can step outside
+		// declared constraints; discard such candidates.
+		if refined != nil && b.space.Validate(refined) != nil {
+			refined = nil
+		}
+		if refined != nil && !seen[refined.Key()] {
+			mu, v, err := model.Predict(b.encode(refined))
+			if err == nil {
+				if sc := b.opts.Acq.Score(mu, math.Sqrt(v), best); sc > top.score {
+					top = cand{refined, sc}
+				}
+			}
+		}
+	}
+	if top.cfg == nil {
+		return b.space.Sample(b.rng), nil
+	}
+	return top.cfg, nil
+}
+
+// refine runs Nelder-Mead on the unit-cube encoding around cfg, maximizing
+// the acquisition; categorical assignments ride along via Decode snapping.
+func (b *BO) refine(model *gp.GP, cfg space.Config, best float64) space.Config {
+	x0 := b.space.Encode(cfg)
+	obj := func(x []float64) float64 {
+		c := b.space.Decode(x)
+		mu, v, err := model.Predict(b.encode(c))
+		if err != nil {
+			return math.Inf(1)
+		}
+		return -b.opts.Acq.Score(mu, math.Sqrt(v), best)
+	}
+	x, _ := numopt.NelderMead(obj, x0, numopt.Options{MaxIter: b.opts.RefineIters, Scale: 0.05})
+	return b.space.Decode(x)
+}
+
+// SuggestN implements optimizer.BatchSuggester via the constant-liar
+// heuristic: after each pick the surrogate is refitted as if the pick had
+// been observed at the current incumbent value, pushing later picks away.
+func (b *BO) SuggestN(n int) ([]space.Config, error) {
+	if n <= 1 || b.N() < b.opts.InitSamples {
+		out := make([]space.Config, 0, n)
+		for i := 0; i < n; i++ {
+			cfg, err := b.Suggest()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cfg)
+		}
+		return out, nil
+	}
+	if b.modelDirty || b.model == nil {
+		if err := b.refit(); err != nil {
+			return b.space.SampleN(b.rng, n), nil
+		}
+	}
+	_, lie, _ := b.Best()
+	hist := b.History()
+	xs := make([][]float64, len(hist))
+	ys := make([]float64, len(hist))
+	for i, obs := range hist {
+		xs[i] = b.encode(obs.Config)
+		ys[i] = obs.Value
+	}
+	ys = clampInvalid(ys)
+	if b.opts.LogY {
+		var shift float64
+		ys, shift = logWarp(ys)
+		lie = math.Log(lie + shift)
+	}
+	model := gp.New(b.opts.Kernel.Clone(), b.opts.Noise)
+	out := make([]space.Config, 0, n)
+	for i := 0; i < n; i++ {
+		if err := model.Fit(xs, ys); err != nil {
+			out = append(out, b.space.Sample(b.rng))
+			continue
+		}
+		cfg, err := b.maximizeAcq(model)
+		if err != nil || cfg == nil {
+			cfg = b.space.Sample(b.rng)
+		}
+		out = append(out, cfg)
+		xs = append(xs, b.encode(cfg))
+		ys = append(ys, lie)
+	}
+	return out, nil
+}
+
+// logWarp returns log-transformed values and the shift applied to keep
+// arguments positive (0 when all values already are).
+func logWarp(ys []float64) ([]float64, float64) {
+	shift := 0.0
+	for _, y := range ys {
+		if y-1e-12 < -shift {
+			shift = -(y - 1e-12)
+		}
+	}
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		out[i] = math.Log(y + shift + 1e-12)
+	}
+	return out, shift
+}
+
+// Predict exposes the surrogate's posterior at cfg: mean and standard
+// deviation, in model units — log-warped when Options.LogY is set. Used by
+// safe-exploration guardrails and diagnostics. Before the model exists it
+// returns ok=false.
+func (b *BO) Predict(cfg space.Config) (mean, std float64, ok bool) {
+	if b.modelDirty || b.model == nil {
+		if b.N() == 0 {
+			return 0, 0, false
+		}
+		if err := b.refit(); err != nil {
+			return 0, 0, false
+		}
+	}
+	mu, v, err := b.model.Predict(b.encode(cfg))
+	if err != nil {
+		return 0, 0, false
+	}
+	return mu, math.Sqrt(v), true
+}

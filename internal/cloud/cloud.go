@@ -1,0 +1,145 @@
+// Package cloud simulates the noisy fleet the tutorial tunes on (slides
+// 70-71): each VM gets a persistent performance multiplier (machine
+// lottery), a slowly drifting AR(1) temporal component (noisy neighbours),
+// and a chance of being an outlier machine. A Fleet exposes the
+// noise.Sampler interface so the mitigation strategies in internal/noise
+// (naive averaging, duet, TUNA) can be compared on identical noise.
+package cloud
+
+import (
+	"math"
+	"math/rand"
+
+	"autotune/internal/simsys"
+	"autotune/internal/space"
+	"autotune/internal/workload"
+)
+
+// Options shapes the fleet's noise.
+type Options struct {
+	// MachineSigma is the lognormal spread of per-VM base multipliers
+	// (default 0.08 — machines differ by ~±8%).
+	MachineSigma float64
+	// OutlierProb is the chance a VM is an outlier (default 0.1);
+	// OutlierFactor is its slowdown (default 1.6).
+	OutlierProb, OutlierFactor float64
+	// DriftPhi is the AR(1) persistence of temporal drift (default 0.95);
+	// DriftSigma its innovation scale (default 0.02).
+	DriftPhi, DriftSigma float64
+	// MeasurementSigma is per-sample lognormal noise (default 0.03).
+	MeasurementSigma float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MachineSigma <= 0 {
+		o.MachineSigma = 0.08
+	}
+	if o.OutlierProb < 0 {
+		o.OutlierProb = 0
+	} else if o.OutlierProb == 0 {
+		o.OutlierProb = 0.1
+	}
+	if o.OutlierFactor <= 1 {
+		o.OutlierFactor = 1.6
+	}
+	if o.DriftPhi <= 0 || o.DriftPhi >= 1 {
+		o.DriftPhi = 0.95
+	}
+	if o.DriftSigma <= 0 {
+		o.DriftSigma = 0.02
+	}
+	if o.MeasurementSigma <= 0 {
+		o.MeasurementSigma = 0.03
+	}
+	return o
+}
+
+// vm is one simulated machine.
+type vm struct {
+	mult    float64 // persistent machine factor
+	drift   float64 // AR(1) state
+	outlier bool
+}
+
+// Fleet is a set of noisy VMs running one simulated system under one
+// workload. It implements noise.Sampler: Sample(cfg, replica) returns the
+// objective measured on that VM, corrupted by the fleet's noise.
+type Fleet struct {
+	sys  simsys.System
+	wl   workload.Descriptor
+	opts Options
+	vms  []*vm
+	rng  *rand.Rand
+
+	// Objective extracts the score from metrics (default: LatencyMS).
+	Objective func(simsys.Metrics) float64
+	// Fidelity for every run (default 1).
+	Fidelity float64
+	// CrashValue is returned for configurations that crash (default +Inf).
+	CrashValue float64
+}
+
+// NewFleet builds a fleet of n VMs with the given noise options.
+func NewFleet(sys simsys.System, wl workload.Descriptor, n int, opts Options, rng *rand.Rand) *Fleet {
+	opts = opts.withDefaults()
+	f := &Fleet{
+		sys:  sys,
+		wl:   wl,
+		opts: opts,
+		rng:  rng,
+		Objective: func(m simsys.Metrics) float64 {
+			return m.LatencyMS
+		},
+		Fidelity:   1,
+		CrashValue: math.Inf(1),
+	}
+	for i := 0; i < n; i++ {
+		v := &vm{mult: math.Exp(rng.NormFloat64() * opts.MachineSigma)}
+		if rng.Float64() < opts.OutlierProb {
+			v.outlier = true
+			v.mult *= opts.OutlierFactor
+		}
+		f.vms = append(f.vms, v)
+	}
+	return f
+}
+
+// Replicas implements noise.Sampler.
+func (f *Fleet) Replicas() int { return len(f.vms) }
+
+// OutlierCount returns how many VMs are outliers (for experiment reports).
+func (f *Fleet) OutlierCount() int {
+	n := 0
+	for _, v := range f.vms {
+		if v.outlier {
+			n++
+		}
+	}
+	return n
+}
+
+// Sample implements noise.Sampler: one measurement of cfg on a VM.
+func (f *Fleet) Sample(cfg space.Config, replica int) float64 {
+	if len(f.vms) == 0 {
+		return f.CrashValue
+	}
+	v := f.vms[replica%len(f.vms)]
+	// Advance this VM's drift (noisy neighbours come and go).
+	v.drift = f.opts.DriftPhi*v.drift + f.rng.NormFloat64()*f.opts.DriftSigma
+	m, err := f.sys.Run(cfg, f.wl, f.Fidelity, nil)
+	if err != nil {
+		return f.CrashValue
+	}
+	noise := math.Exp(f.rng.NormFloat64() * f.opts.MeasurementSigma)
+	return f.Objective(m) * v.mult * math.Exp(v.drift) * noise
+}
+
+// TrueScore returns the noise-free objective for cfg, for experiment
+// ground truth.
+func (f *Fleet) TrueScore(cfg space.Config) float64 {
+	m, err := f.sys.Run(cfg, f.wl, 1, nil)
+	if err != nil {
+		return f.CrashValue
+	}
+	return f.Objective(m)
+}

@@ -1,0 +1,130 @@
+package cloud
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"autotune/internal/noise"
+	"autotune/internal/simsys"
+	"autotune/internal/stats"
+	"autotune/internal/workload"
+)
+
+func testFleet(n int, seed int64, opts Options) *Fleet {
+	sys := simsys.NewDBMS(simsys.MediumVM())
+	sys.NoiseSigma = 0 // fleet supplies all the noise
+	return NewFleet(sys, workload.TPCC(), n, opts, rand.New(rand.NewSource(seed)))
+}
+
+func TestFleetImplementsSampler(t *testing.T) {
+	var _ noise.Sampler = testFleet(3, 1, Options{})
+}
+
+func TestFleetSampleNoisyButCentered(t *testing.T) {
+	f := testFleet(8, 2, Options{OutlierProb: -1}) // no outliers
+	cfg := simsys.NewDBMS(simsys.MediumVM()).Space().Default()
+	truth := f.TrueScore(cfg)
+	var samples []float64
+	for i := 0; i < 200; i++ {
+		samples = append(samples, f.Sample(cfg, i%8))
+	}
+	med := stats.Median(samples)
+	if math.Abs(med-truth)/truth > 0.25 {
+		t.Fatalf("median %v far from truth %v", med, truth)
+	}
+	if stats.StdDev(samples) == 0 {
+		t.Fatal("samples should be noisy")
+	}
+}
+
+func TestFleetMachineVarianceExceedsWithinMachine(t *testing.T) {
+	f := testFleet(10, 3, Options{MachineSigma: 0.2, MeasurementSigma: 0.01, DriftSigma: 0.001, OutlierProb: -1})
+	cfg := simsys.NewDBMS(simsys.MediumVM()).Space().Default()
+	perMachine := make([]float64, 10)
+	var within []float64
+	for m := 0; m < 10; m++ {
+		var s []float64
+		for i := 0; i < 10; i++ {
+			s = append(s, f.Sample(cfg, m))
+		}
+		perMachine[m] = stats.Mean(s)
+		within = append(within, stats.StdDev(s))
+	}
+	across := stats.StdDev(perMachine)
+	if !(across > stats.Mean(within)) {
+		t.Fatalf("across-machine spread %v should exceed within-machine %v",
+			across, stats.Mean(within))
+	}
+}
+
+func TestFleetOutliers(t *testing.T) {
+	f := testFleet(50, 4, Options{OutlierProb: 0.5})
+	if f.OutlierCount() == 0 {
+		t.Fatal("expected outliers at p=0.5 with 50 VMs")
+	}
+	f2 := testFleet(50, 4, Options{OutlierProb: -1})
+	if f2.OutlierCount() != 0 {
+		t.Fatal("outliers disabled should produce none")
+	}
+}
+
+func TestFleetCrashValue(t *testing.T) {
+	sys := simsys.NewDBMS(simsys.SmallVM())
+	f := NewFleet(sys, workload.TPCC(), 3, Options{}, rand.New(rand.NewSource(5)))
+	cfg := sys.Space().Default()
+	cfg["buffer_pool_mb"] = int64(16384) // OOM on 8 GB
+	if !math.IsInf(f.Sample(cfg, 0), 1) {
+		t.Fatal("crash should sample as +Inf")
+	}
+	if !math.IsInf(f.TrueScore(cfg), 1) {
+		t.Fatal("crash true score should be +Inf")
+	}
+}
+
+func TestFleetReplicas(t *testing.T) {
+	if testFleet(7, 6, Options{}).Replicas() != 7 {
+		t.Fatal("replicas")
+	}
+}
+
+func TestTUNAOnFleetBeatsNaive(t *testing.T) {
+	// End-to-end noise mitigation: given two configs whose true scores
+	// differ by ~15%, TUNA should rank them correctly more often than a
+	// single naive measurement, across fleets.
+	sys := simsys.NewDBMS(simsys.MediumVM())
+	sys.NoiseSigma = 0
+	good := sys.Space().Default()
+	good["buffer_pool_mb"] = int64(1024)
+	bad := sys.Space().Default()
+
+	correctTUNA, correctNaive := 0, 0
+	rounds := 15
+	for i := 0; i < rounds; i++ {
+		f := NewFleet(sys, workload.TPCC(), 6,
+			Options{MachineSigma: 0.15, OutlierProb: 0.2, MeasurementSigma: 0.05},
+			rand.New(rand.NewSource(int64(100+i))))
+		tuna := noise.NewTUNA(f, sys.Space().Default())
+		gs, _, err := tuna.Score(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, _, err := tuna.Score(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gs < bs {
+			correctTUNA++
+		}
+		// Naive: one sample each on different machines.
+		if f.Sample(good, 0) < f.Sample(bad, 1) {
+			correctNaive++
+		}
+	}
+	if correctTUNA < correctNaive {
+		t.Fatalf("TUNA correct %d/%d vs naive %d/%d", correctTUNA, rounds, correctNaive, rounds)
+	}
+	if correctTUNA < rounds*2/3 {
+		t.Fatalf("TUNA correct only %d/%d", correctTUNA, rounds)
+	}
+}

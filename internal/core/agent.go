@@ -1,0 +1,467 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"autotune/internal/bandit"
+	"autotune/internal/rl"
+	"autotune/internal/space"
+)
+
+// OnlineSystem is a live system an Agent can steer: apply a configuration,
+// then measure the resulting loss and the current context (workload
+// features). Measurements are noisy and the workload may shift under the
+// agent's feet — that is the point.
+type OnlineSystem interface {
+	Space() *space.Space
+	// Apply installs a configuration (the runtime "SET knob=value" path).
+	Apply(cfg space.Config) error
+	// Measure returns the current loss (minimized) and context features
+	// in [0, 1] (e.g. normalized read ratio, request rate).
+	Measure() (loss float64, ctx []float64)
+}
+
+// Policy proposes configurations for the online loop and learns from
+// feedback.
+type Policy interface {
+	// Propose returns the configuration to apply next, given the current
+	// incumbent and context.
+	Propose(incumbent space.Config, ctx []float64, rng *rand.Rand) space.Config
+	// Feedback reports the loss observed after applying cfg under ctx.
+	Feedback(cfg space.Config, ctx []float64, loss float64)
+	// Name identifies the policy.
+	Name() string
+}
+
+// Guardrails bound online exploration (tutorial slide 84).
+type Guardrails struct {
+	// MaxRegression is the tolerated relative loss increase over the
+	// incumbent's smoothed loss before a strike (default 0.2 = 20%).
+	MaxRegression float64
+	// Patience is how many consecutive strikes trigger rollback
+	// (default 2).
+	Patience int
+	// ExploreScale bounds proposals to a neighbourhood of the incumbent
+	// in unit-cube units; 0 disables the bound (policies may still bound
+	// themselves).
+	ExploreScale float64
+}
+
+func (g Guardrails) withDefaults() Guardrails {
+	if g.MaxRegression <= 0 {
+		g.MaxRegression = 0.2
+	}
+	if g.Patience <= 0 {
+		g.Patience = 2
+	}
+	return g
+}
+
+// Agent is the online tuning loop: each Step proposes, applies, measures,
+// learns, and enforces guardrails.
+type Agent struct {
+	sys    OnlineSystem
+	policy Policy
+	guard  Guardrails
+	rng    *rand.Rand
+
+	incumbent     space.Config
+	incumbentLoss float64 // EWMA of incumbent's loss
+	alpha         float64
+	strikes       int
+	steps         int
+	rollbacks     int
+	started       bool
+}
+
+// NewAgent builds an online agent. The system's current configuration is
+// taken to be the space default until a better incumbent emerges.
+func NewAgent(sys OnlineSystem, policy Policy, guard Guardrails, rng *rand.Rand) (*Agent, error) {
+	if sys == nil || policy == nil {
+		return nil, errors.New("core: agent needs a system and a policy")
+	}
+	return &Agent{
+		sys:    sys,
+		policy: policy,
+		guard:  guard.withDefaults(),
+		rng:    rng,
+		alpha:  0.3,
+	}, nil
+}
+
+// StepReport describes one control-loop iteration.
+type StepReport struct {
+	Config     space.Config
+	Loss       float64
+	Accepted   bool // became the new incumbent
+	RolledBack bool // guardrail fired and the incumbent was restored
+}
+
+// Incumbent returns the current best-known configuration and its smoothed
+// loss.
+func (a *Agent) Incumbent() (space.Config, float64) {
+	if a.incumbent == nil {
+		return nil, math.Inf(1)
+	}
+	return a.incumbent.Clone(), a.incumbentLoss
+}
+
+// Rollbacks returns how many times the guardrail fired.
+func (a *Agent) Rollbacks() int { return a.rollbacks }
+
+// Steps returns the number of completed steps.
+func (a *Agent) Steps() int { return a.steps }
+
+// Step runs one iteration of the online loop.
+func (a *Agent) Step() (StepReport, error) {
+	a.steps++
+	if !a.started {
+		// Bootstrap: measure the default configuration.
+		def := a.sys.Space().Default()
+		if err := a.sys.Apply(def); err != nil {
+			return StepReport{}, fmt.Errorf("core: bootstrap apply: %w", err)
+		}
+		loss, ctx := a.sys.Measure()
+		a.incumbent = def
+		a.incumbentLoss = loss
+		a.started = true
+		a.policy.Feedback(def, ctx, loss)
+		return StepReport{Config: def.Clone(), Loss: loss, Accepted: true}, nil
+	}
+	_, ctx := a.peekContext()
+	cand := a.policy.Propose(a.incumbent, ctx, a.rng)
+	if a.guard.ExploreScale > 0 {
+		cand = a.clampToNeighbourhood(cand)
+	}
+	if err := a.sys.Apply(cand); err != nil {
+		return StepReport{}, fmt.Errorf("core: apply: %w", err)
+	}
+	loss, ctx2 := a.sys.Measure()
+	a.policy.Feedback(cand, ctx2, loss)
+
+	rep := StepReport{Config: cand.Clone(), Loss: loss}
+	switch {
+	case loss <= a.incumbentLoss:
+		a.incumbent = cand.Clone()
+		a.incumbentLoss = a.alpha*loss + (1-a.alpha)*a.incumbentLoss
+		a.strikes = 0
+		rep.Accepted = true
+	case loss > a.incumbentLoss*(1+a.guard.MaxRegression):
+		if cand.Key() == a.incumbent.Key() {
+			// The regressing configuration IS the incumbent: there is
+			// nothing to roll back to — the workload has shifted under us.
+			// Adapt the baseline so the agent can accept configurations
+			// suited to the new regime instead of striking forever — but
+			// slowly and capped at 2x per step, or a single crash-scale
+			// measurement would blow the guardrail wide open.
+			a.incumbentLoss = upwardEWMA(a.incumbentLoss, loss)
+			a.strikes = 0
+			break
+		}
+		a.strikes++
+		if a.strikes >= a.guard.Patience {
+			if err := a.sys.Apply(a.incumbent); err != nil {
+				return rep, fmt.Errorf("core: rollback apply: %w", err)
+			}
+			a.strikes = 0
+			a.rollbacks++
+			rep.RolledBack = true
+		}
+	default:
+		// Mild regression: tolerated, also refreshes the incumbent's
+		// smoothed loss so drift does not freeze the baseline.
+		a.incumbentLoss = upwardEWMA(a.incumbentLoss, loss)
+		a.strikes = 0
+	}
+	return rep, nil
+}
+
+// upwardEWMA raises a loss baseline toward an observation conservatively:
+// slow smoothing, clamped to at most doubling per step.
+func upwardEWMA(baseline, loss float64) float64 {
+	if loss > baseline*2 {
+		loss = baseline * 2
+	}
+	return 0.9*baseline + 0.1*loss
+}
+
+// peekContext measures without feedback to obtain the pre-action context.
+func (a *Agent) peekContext() (float64, []float64) {
+	return a.sys.Measure()
+}
+
+// clampToNeighbourhood pulls a candidate back into the guardrail's
+// exploration ball around the incumbent (per-dimension clamp).
+func (a *Agent) clampToNeighbourhood(cand space.Config) space.Config {
+	sp := a.sys.Space()
+	xi := sp.Encode(a.incumbent)
+	xc := sp.Encode(cand)
+	for i := range xc {
+		lo, hi := xi[i]-a.guard.ExploreScale, xi[i]+a.guard.ExploreScale
+		if xc[i] < lo {
+			xc[i] = lo
+		}
+		if xc[i] > hi {
+			xc[i] = hi
+		}
+	}
+	out := sp.Decode(xc)
+	// Preserve categorical/bool choices from the candidate (Decode handles
+	// them, but clamping a scaled index can flip them arbitrarily; only
+	// numeric knobs are distance-bounded).
+	for _, p := range sp.Params() {
+		if !p.IsNumeric() {
+			out[p.Name] = cand[p.Name]
+		}
+	}
+	return sp.Clip(out)
+}
+
+// DeltaPolicy tunes numeric knobs with Q-learning over increment /
+// decrement / no-op actions (2 per knob + 1), the CDBTune-style
+// knob-delta action space.
+type DeltaPolicy struct {
+	sp    *space.Space
+	knobs []string
+	agent *rl.QLearning
+	// StepSize is the per-action move in unit-cube units (default 0.1).
+	StepSize float64
+
+	lastState  []float64
+	lastAction int
+	hasLast    bool
+}
+
+// NewDeltaPolicy builds a Q-learning delta policy over the named numeric
+// knobs (all numeric knobs when names is empty).
+func NewDeltaPolicy(sp *space.Space, names []string) (*DeltaPolicy, error) {
+	if len(names) == 0 {
+		for _, p := range sp.Params() {
+			if p.IsNumeric() {
+				names = append(names, p.Name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, errors.New("core: delta policy needs numeric knobs")
+	}
+	agent, err := rl.NewQLearning(2*len(names) + 1)
+	if err != nil {
+		return nil, err
+	}
+	agent.Epsilon = 0.25
+	agent.EpsilonDecay = 0.999
+	return &DeltaPolicy{sp: sp, knobs: names, agent: agent, StepSize: 0.1}, nil
+}
+
+// Name implements Policy.
+func (p *DeltaPolicy) Name() string { return "qlearning-delta" }
+
+// Propose implements Policy.
+func (p *DeltaPolicy) Propose(incumbent space.Config, ctx []float64, rng *rand.Rand) space.Config {
+	action := p.agent.Act(ctx, rng)
+	p.lastState = append([]float64(nil), ctx...)
+	p.lastAction = action
+	p.hasLast = true
+	if action == 2*len(p.knobs) {
+		return incumbent.Clone() // no-op
+	}
+	knob := p.knobs[action/2]
+	dir := 1.0
+	if action%2 == 1 {
+		dir = -1
+	}
+	x := p.sp.Encode(incumbent)
+	for i, prm := range p.sp.Params() {
+		if prm.Name == knob {
+			x[i] += dir * p.StepSize
+			if x[i] < 0 {
+				x[i] = 0
+			}
+			if x[i] > 1 {
+				x[i] = 1
+			}
+		}
+	}
+	out := p.sp.Decode(x)
+	// Non-numeric knobs ride along unchanged.
+	for _, prm := range p.sp.Params() {
+		if !prm.IsNumeric() {
+			out[prm.Name] = incumbent[prm.Name]
+		}
+	}
+	return out
+}
+
+// Feedback implements Policy.
+func (p *DeltaPolicy) Feedback(cfg space.Config, ctx []float64, loss float64) {
+	if !p.hasLast {
+		return
+	}
+	p.agent.Update(p.lastState, p.lastAction, -loss, ctx)
+}
+
+// BanditPolicy selects among a fixed set of candidate configurations with
+// a contextual hybrid bandit (OPPerTune-style): different workload regimes
+// learn different arms.
+type BanditPolicy struct {
+	arms   []space.Config
+	hybrid *bandit.Hybrid
+
+	lastArm int
+	hasLast bool
+}
+
+// NewBanditPolicy builds a contextual bandit policy over candidate
+// configurations (e.g. presets from offline tuning).
+func NewBanditPolicy(arms []space.Config) (*BanditPolicy, error) {
+	h, err := bandit.NewHybrid(len(arms))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cloned := make([]space.Config, len(arms))
+	for i, a := range arms {
+		cloned[i] = a.Clone()
+	}
+	return &BanditPolicy{arms: cloned, hybrid: h}, nil
+}
+
+// Name implements Policy.
+func (p *BanditPolicy) Name() string { return "hybrid-bandit" }
+
+// Arms returns the candidate configurations.
+func (p *BanditPolicy) Arms() []space.Config { return p.arms }
+
+// Propose implements Policy.
+func (p *BanditPolicy) Propose(incumbent space.Config, ctx []float64, rng *rand.Rand) space.Config {
+	arm := p.hybrid.Select(ctx, rng)
+	p.lastArm = arm
+	p.hasLast = true
+	return p.arms[arm].Clone()
+}
+
+// Feedback implements Policy.
+func (p *BanditPolicy) Feedback(cfg space.Config, ctx []float64, loss float64) {
+	if !p.hasLast {
+		return
+	}
+	_ = p.hybrid.Update(ctx, p.lastArm, loss)
+}
+
+// RandomWalkPolicy is the naive baseline: propose a neighbour of the
+// incumbent with probability Epsilon, otherwise stay.
+type RandomWalkPolicy struct {
+	sp *space.Space
+	// Epsilon is the exploration probability (default 0.3).
+	Epsilon float64
+	// Scale is the neighbourhood size (default 0.1).
+	Scale float64
+}
+
+// NewRandomWalkPolicy returns the baseline policy.
+func NewRandomWalkPolicy(sp *space.Space) *RandomWalkPolicy {
+	return &RandomWalkPolicy{sp: sp, Epsilon: 0.3, Scale: 0.1}
+}
+
+// Name implements Policy.
+func (p *RandomWalkPolicy) Name() string { return "random-walk" }
+
+// Propose implements Policy.
+func (p *RandomWalkPolicy) Propose(incumbent space.Config, ctx []float64, rng *rand.Rand) space.Config {
+	if rng.Float64() < p.Epsilon {
+		return p.sp.Neighbor(incumbent, p.Scale, rng)
+	}
+	return incumbent.Clone()
+}
+
+// Feedback implements Policy.
+func (p *RandomWalkPolicy) Feedback(space.Config, []float64, float64) {}
+
+// ActorCriticPolicy tunes numeric knobs with the neural actor-critic from
+// internal/rl over the same increment/decrement/no-op action space as
+// DeltaPolicy — the QTune/CDBTune-style deep-RL alternative to tabular
+// Q-learning.
+type ActorCriticPolicy struct {
+	sp    *space.Space
+	knobs []string
+	agent *rl.ActorCritic
+	// StepSize is the per-action move in unit-cube units (default 0.1).
+	StepSize float64
+
+	lastState  []float64
+	lastAction int
+	hasLast    bool
+}
+
+// NewActorCriticPolicy builds an actor-critic policy over the named numeric
+// knobs (all numeric knobs when names is empty). stateDim must match the
+// context length the online system reports.
+func NewActorCriticPolicy(sp *space.Space, names []string, stateDim int, seed int64) (*ActorCriticPolicy, error) {
+	if len(names) == 0 {
+		for _, p := range sp.Params() {
+			if p.IsNumeric() {
+				names = append(names, p.Name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, errors.New("core: actor-critic policy needs numeric knobs")
+	}
+	if stateDim <= 0 {
+		return nil, errors.New("core: actor-critic policy needs a positive state dimension")
+	}
+	agent, err := rl.NewActorCritic(stateDim, 2*len(names)+1, 32, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &ActorCriticPolicy{sp: sp, knobs: names, agent: agent, StepSize: 0.1}, nil
+}
+
+// Name implements Policy.
+func (p *ActorCriticPolicy) Name() string { return "actor-critic" }
+
+// Propose implements Policy.
+func (p *ActorCriticPolicy) Propose(incumbent space.Config, ctx []float64, rng *rand.Rand) space.Config {
+	action := p.agent.Act(ctx, rng)
+	p.lastState = append([]float64(nil), ctx...)
+	p.lastAction = action
+	p.hasLast = true
+	if action == 2*len(p.knobs) {
+		return incumbent.Clone()
+	}
+	knob := p.knobs[action/2]
+	dir := 1.0
+	if action%2 == 1 {
+		dir = -1
+	}
+	x := p.sp.Encode(incumbent)
+	for i, prm := range p.sp.Params() {
+		if prm.Name == knob {
+			x[i] += dir * p.StepSize
+			if x[i] < 0 {
+				x[i] = 0
+			}
+			if x[i] > 1 {
+				x[i] = 1
+			}
+		}
+	}
+	out := p.sp.Decode(x)
+	for _, prm := range p.sp.Params() {
+		if !prm.IsNumeric() {
+			out[prm.Name] = incumbent[prm.Name]
+		}
+	}
+	return out
+}
+
+// Feedback implements Policy.
+func (p *ActorCriticPolicy) Feedback(cfg space.Config, ctx []float64, loss float64) {
+	if !p.hasLast {
+		return
+	}
+	p.agent.Update(p.lastState, p.lastAction, -loss, ctx, false)
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"autotune/internal/bo"
+	"autotune/internal/space"
+)
+
+// SafeBOPolicy is OnlineTune-style safe exploration (tutorial slide 84,
+// [29]): a GP surrogate over observed (config, loss) pairs defines a safe
+// region — configurations whose pessimistic predicted loss (mean + Beta x
+// std) stays within SafetyMargin of the incumbent's smoothed loss — and
+// proposals greedily minimize the optimistic bound (mean - Beta x std)
+// *inside* that region. Exploration therefore expands outward from the
+// incumbent without stepping anywhere the model thinks could violate the
+// performance guardrail.
+//
+// The policy is context-free: under workload shift, stale observations make
+// the model conservative until new data arrives (pair it with the agent's
+// rollback guardrail).
+type SafeBOPolicy struct {
+	sp        *space.Space
+	surrogate *bo.BO
+
+	// SafetyMargin is the tolerated relative regression for the
+	// pessimistic bound (default 0.3).
+	SafetyMargin float64
+	// Beta scales the confidence width (default 1.5).
+	Beta float64
+	// Candidates per proposal, drawn from incumbent neighbourhoods of
+	// increasing radius (default 128).
+	Candidates int
+	// MinObservations before the model gates proposals (default 5);
+	// earlier proposals are small random steps around the incumbent.
+	MinObservations int
+	// ExploreProb is the probability a step explores at all; otherwise
+	// the incumbent is re-proposed (default 0.35). Online tuners pace
+	// their changes — production traffic pays for every experiment.
+	ExploreProb float64
+	// MaxHistory bounds the surrogate's window (default 120): older
+	// observations are dropped, which both caps the O(n^3) GP cost and
+	// keeps the model current under workload drift.
+	MaxHistory int
+
+	seed          int64
+	hist          []obsPair
+	incumbentLoss float64
+	hasLoss       bool
+	n             int
+	lastIncumbent string // Key() of the incumbent the last proposal started from
+}
+
+type obsPair struct {
+	cfg  space.Config
+	loss float64
+}
+
+// NewSafeBOPolicy builds a safe-BO online policy over the space.
+func NewSafeBOPolicy(sp *space.Space, seed int64) *SafeBOPolicy {
+	rng := rand.New(rand.NewSource(seed))
+	return &SafeBOPolicy{
+		sp: sp,
+		surrogate: bo.NewWith(sp, rng, bo.Options{
+			OneHot: true, LogY: true, FitHyperEvery: 15, RefineIters: 0,
+		}),
+		SafetyMargin:    0.3,
+		Beta:            1.5,
+		Candidates:      128,
+		MinObservations: 5,
+		ExploreProb:     0.35,
+		MaxHistory:      120,
+		seed:            seed,
+	}
+}
+
+// Name implements Policy.
+func (p *SafeBOPolicy) Name() string { return "safe-bo" }
+
+// Propose implements Policy.
+func (p *SafeBOPolicy) Propose(incumbent space.Config, ctx []float64, rng *rand.Rand) space.Config {
+	p.lastIncumbent = incumbent.Key()
+	if p.n < p.MinObservations || !p.hasLoss {
+		return p.coordinateMove(incumbent, 0.15, rng)
+	}
+	if rng.Float64() >= p.ExploreProb {
+		return incumbent.Clone() // paced exploration: mostly serve traffic
+	}
+	threshold := p.incumbentLoss * (1 + p.SafetyMargin)
+	var best space.Config
+	bestLCB := math.Inf(1)
+	var leastRisky space.Config
+	leastRisk := math.Inf(1)
+	// Coordinate-wise candidate moves: perturbing one knob at a time keeps
+	// proposals genuinely local in high-dimensional spaces (an all-knob
+	// Gaussian step changes too much at once for a safety gate to mean
+	// anything), with step sizes growing so the safe region can expand.
+	scales := []float64{0.05, 0.15, 0.4}
+	for i := 0; i < p.Candidates; i++ {
+		cand := p.coordinateMove(incumbent, scales[i%len(scales)], rng)
+		mu, sd, ok := p.surrogate.Predict(cand)
+		if !ok {
+			continue
+		}
+		// Predict is in the surrogate's (log-warped) units; map the
+		// threshold the same way for an apples-to-apples bound.
+		risk := mu + p.Beta*sd
+		if risk < leastRisk {
+			leastRisky, leastRisk = cand, risk
+		}
+		if risk > math.Log(math.Max(threshold, 1e-12)) {
+			continue // pessimistic bound violates the guardrail: unsafe
+		}
+		if lcb := mu - p.Beta*sd; lcb < bestLCB {
+			best, bestLCB = cand, lcb
+		}
+	}
+	if best == nil {
+		// Nothing provably safe — usually sparse data, where every bound
+		// is wide. Expand the safe set SafeOpt-style by probing the
+		// least-risky candidate half the time; hold position otherwise.
+		if leastRisky != nil && rng.Float64() < 0.5 {
+			return leastRisky
+		}
+		return incumbent.Clone()
+	}
+	return best
+}
+
+// coordinateMove perturbs a single randomly-chosen parameter of the
+// incumbent: numeric knobs step by +/- scale in unit-cube units,
+// categoricals and bools resample.
+func (p *SafeBOPolicy) coordinateMove(incumbent space.Config, scale float64, rng *rand.Rand) space.Config {
+	params := p.sp.Params()
+	prm := params[rng.Intn(len(params))]
+	out := incumbent.Clone()
+	switch prm.Kind {
+	case space.KindFloat, space.KindInt:
+		x := p.sp.Encode(incumbent)
+		for i, q := range params {
+			if q.Name != prm.Name {
+				continue
+			}
+			x[i] += scale * (2*rng.Float64() - 1)
+			if x[i] < 0 {
+				x[i] = 0
+			}
+			if x[i] > 1 {
+				x[i] = 1
+			}
+		}
+		dec := p.sp.Decode(x)
+		out[prm.Name] = dec[prm.Name]
+	case space.KindCategorical:
+		out[prm.Name] = prm.Values[rng.Intn(len(prm.Values))]
+	case space.KindBool:
+		out[prm.Name] = !incumbent.Bool(prm.Name)
+	}
+	return p.sp.Clip(out)
+}
+
+// Feedback implements Policy.
+func (p *SafeBOPolicy) Feedback(cfg space.Config, ctx []float64, loss float64) {
+	p.n++
+	p.hist = append(p.hist, obsPair{cfg.Clone(), loss})
+	if p.MaxHistory > 0 && len(p.hist) > p.MaxHistory+p.MaxHistory/4 {
+		// Rebuild the surrogate on the most recent window. Rebuilding in
+		// chunks (25% hysteresis) amortizes the cost.
+		p.hist = append([]obsPair(nil), p.hist[len(p.hist)-p.MaxHistory:]...)
+		p.surrogate = bo.NewWith(p.sp, rand.New(rand.NewSource(p.seed+int64(p.n))), bo.Options{
+			OneHot: true, LogY: true, FitHyperEvery: 15, RefineIters: 0,
+		})
+		for _, o := range p.hist[:len(p.hist)-1] {
+			_ = p.surrogate.Observe(o.cfg, o.loss)
+		}
+	}
+	_ = p.surrogate.Observe(cfg, loss)
+	if !p.hasLoss {
+		p.incumbentLoss, p.hasLoss = loss, true
+		return
+	}
+	if loss < p.incumbentLoss {
+		p.incumbentLoss = loss
+		return
+	}
+	// Upward tracking only from re-measurements of the incumbent itself
+	// (workload drift): a failed *exploration* must not inflate the safety
+	// threshold, or failures beget riskier proposals in a spiral.
+	if cfg.Key() == p.lastIncumbent {
+		p.incumbentLoss = 0.9*p.incumbentLoss + 0.1*loss
+	}
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"autotune/internal/bo"
+	"autotune/internal/noise"
+	"autotune/internal/optimizer"
+	"autotune/internal/simsys"
+	"autotune/internal/smac"
+	"autotune/internal/space"
+	"autotune/internal/stats"
+	"autotune/internal/workload"
+)
+
+// Ablations A1-A4 isolate the framework's own design choices (they are not
+// tutorial figures): each compares an optimizer with one mechanism removed
+// against the shipped configuration, on the workloads that motivated the
+// mechanism.
+
+// ---- A1: log-warped targets in BO ----
+
+func init() { registry["A1"] = runA1 }
+
+func runA1(quick bool, seed int64) (Table, error) {
+	d := simsys.NewDBMS(simsys.MediumVM())
+	wl := workload.YCSBA()
+	sp, err := d.Space().Subspace("flush_method", "buffer_pool_mb", "wal_buffer_kb", "checkpoint_secs")
+	if err != nil {
+		return Table{}, err
+	}
+	full := d.Space().Default()
+	obj := func(cfg space.Config) float64 {
+		merged := full.Clone()
+		for k, v := range cfg {
+			merged[k] = v
+		}
+		m, err := d.Run(merged, wl, 1, nil)
+		if err != nil {
+			return 1e6
+		}
+		return m.LatencyMS
+	}
+	budget := 30 // the mechanisms matter in the early-budget regime
+	seeds := pick(quick, 6, 24)
+	t := Table{
+		ID:      "A1",
+		Title:   "Ablation: log-warped GP targets on a heavy-tailed latency objective",
+		Claim:   "(framework design choice) raw latency targets let one terrible config dominate normalization",
+		Headers: []string{"variant", "mean best latency (ms)", "worst seed (ms)"},
+	}
+	for _, v := range []struct {
+		name string
+		logy bool
+	}{{"bo with LogY (shipped)", true}, {"bo raw targets", false}} {
+		logy := v.logy
+		bests := bestsOver(func(rng *rand.Rand) optimizer.Optimizer {
+			return bo.NewWith(sp, rng, bo.Options{OneHot: true, LogY: logy, RefineIters: 40, FitHyperEvery: 10})
+		}, obj, budget, seeds, seed)
+		t.Rows = append(t.Rows, []string{v.name, fm(stats.Mean(bests)), fm(stats.Max(bests))})
+	}
+	t.Notes = "Honest finding: on this surface the warp's effect is within seed noise — target normalization plus the Matern kernel already copes with the 200x dynamic range. The warp stays opt-in (it is a monotone transform, so it cannot corrupt the ranking) and earns its keep on surfaces with even heavier tails; the decisive mechanism for the categorical lock-in seen in development was the stratified warm-up (A2)."
+	return t, nil
+}
+
+// ---- A2: stratified categorical warm-up in BO ----
+
+func init() { registry["A2"] = runA2 }
+
+func runA2(quick bool, seed int64) (Table, error) {
+	d := simsys.NewDBMS(simsys.MediumVM())
+	wl := workload.YCSBA()
+	sp, err := d.Space().Subspace("flush_method", "buffer_pool_mb", "wal_buffer_kb", "checkpoint_secs")
+	if err != nil {
+		return Table{}, err
+	}
+	full := d.Space().Default()
+	obj := func(cfg space.Config) float64 {
+		merged := full.Clone()
+		for k, v := range cfg {
+			merged[k] = v
+		}
+		m, err := d.Run(merged, wl, 1, nil)
+		if err != nil {
+			return 1e6
+		}
+		return m.LatencyMS
+	}
+	budget := 30
+	seeds := pick(quick, 8, 32)
+	t := Table{
+		ID:      "A2",
+		Title:   "Ablation: stratified categorical warm-up (every flush_method level seen once)",
+		Claim:   "(framework design choice) a one-hot GP has no gradient toward categorical levels it has never observed",
+		Headers: []string{"variant", "mean best latency (ms)", "worst seed (ms)"},
+	}
+	// Shipped: default InitSamples is sized to cover all levels.
+	bests := bestsOver(func(rng *rand.Rand) optimizer.Optimizer {
+		return bo.NewWith(sp, rng, bo.Options{OneHot: true, LogY: true, RefineIters: 40, FitHyperEvery: 10})
+	}, obj, budget, seeds, seed)
+	t.Rows = append(t.Rows, []string{"stratified warm-up (shipped)", fm(stats.Mean(bests)), fm(stats.Max(bests))})
+	// Ablated: a tiny warm-up that cannot cover the 6 levels.
+	bests = bestsOver(func(rng *rand.Rand) optimizer.Optimizer {
+		return bo.NewWith(sp, rng, bo.Options{OneHot: true, LogY: true, RefineIters: 40, FitHyperEvery: 10, InitSamples: 3})
+	}, obj, budget, seeds, seed)
+	t.Rows = append(t.Rows, []string{"3-sample warm-up (ablated)", fm(stats.Mean(bests)), fm(stats.Max(bests))})
+	t.Notes = "Stratification spends a few extra warm-up trials (slightly worse mean) to guarantee every flush_method level is observed, which caps the worst-seed outcome — the un-stratified variant occasionally never tries the fast levels and locks into a slow category."
+	return t, nil
+}
+
+// ---- A3: SMAC random interleaving ----
+
+func init() { registry["A3"] = runA3 }
+
+func runA3(quick bool, seed int64) (Table, error) {
+	d := simsys.NewDBMS(simsys.MediumVM())
+	wl := workload.TPCC()
+	obj := dbmsLatencyObjective(d, wl)
+	budget := 40
+	seeds := pick(quick, 6, 24)
+	t := Table{
+		ID:      "A3",
+		Title:   "Ablation: SMAC random interleaving vs pure exploitation",
+		Claim:   "(framework design choice) forest variance collapses in unexplored regions, so EI alone over-exploits",
+		Headers: []string{"variant", "mean best latency (ms)"},
+	}
+	for _, v := range []struct {
+		name       string
+		interleave float64
+	}{
+		{"interleave 0.3 (shipped)", 0.3},
+		{"no interleaving (ablated)", -1},
+	} {
+		iv := v.interleave
+		best := meanBestOver(func(rng *rand.Rand) optimizer.Optimizer {
+			return smac.NewWith(d.Space(), rng, smac.Options{RandomInterleave: iv})
+		}, obj, budget, seeds, seed)
+		t.Rows = append(t.Rows, []string{v.name, fm(best)})
+	}
+	t.Notes = "At this 40-trial budget the two variants converge on the DBMS surface; interleaving is kept because it is the original SMAC's guard against tree-variance collapse and it never measurably hurts — the failure mode it prevents (locking onto a flat plateau early) appeared at smaller budgets during development."
+	return t, nil
+}
+
+// ---- A4: TUNA outlier rejection ----
+
+func init() { registry["A4"] = runA4 }
+
+func runA4(quick bool, seed int64) (Table, error) {
+	seeds := pick(quick, 20, 80)
+	t := Table{
+		ID:      "A4",
+		Title:   "Ablation: MAD outlier rejection inside TUNA scoring",
+		Claim:   "(framework design choice) unstable machines emit wild samples that poison unguarded aggregates",
+		Headers: []string{"variant", "mean |score error| vs truth"},
+	}
+	// TUNA's paired relative scores already cancel *persistently slow*
+	// machines (duet effect), so the rejection earns its keep against
+	// *unstable* machines: one replica whose measurements occasionally
+	// explode. trueRel is the noise-free relative difference.
+	const trueRel = -0.3
+	for _, v := range []struct {
+		name     string
+		outlierK float64
+	}{
+		{"MAD rejection k=3 (shipped)", 3},
+		{"no rejection (ablated)", 1e9},
+	} {
+		var errs []float64
+		for s := 0; s < seeds; s++ {
+			rng := rand.New(rand.NewSource(seed + int64(s)*97))
+			sampler := &unstableSampler{rng: rng, rel: trueRel, replicas: 5, wild: 0}
+			tuna := noise.NewTUNA(sampler, space.Config{"which": "baseline"})
+			tuna.MaxReplicas = 5
+			tuna.OutlierK = v.outlierK
+			score, _, err := tuna.Score(space.Config{"which": "trial"})
+			if err != nil {
+				continue
+			}
+			errs = append(errs, math.Abs(score-trueRel))
+		}
+		t.Rows = append(t.Rows, []string{v.name, fm(stats.Mean(errs))})
+	}
+	t.Notes = "One of five replicas is unstable (samples occasionally 5-10x off); the MAD filter drops its wild relative scores, keeping the stable score near the true -30% improvement."
+	return t, nil
+}
+
+// unstableSampler measures a baseline/trial pair with one unstable replica
+// whose samples are occasionally wildly wrong.
+type unstableSampler struct {
+	rng      *rand.Rand
+	rel      float64
+	replicas int
+	wild     int // the unstable replica index
+}
+
+func (u *unstableSampler) Replicas() int { return u.replicas }
+
+func (u *unstableSampler) Sample(cfg space.Config, replica int) float64 {
+	base := 1.0
+	if cfg.Str("which") == "trial" {
+		base = 1 + u.rel
+	}
+	noise := 0.02 * u.rng.NormFloat64()
+	if replica == u.wild && u.rng.Float64() < 0.6 {
+		// The unstable machine: a throttling burst inflates the sample.
+		noise += u.rng.Float64() * 6
+	}
+	return base * (1 + noise)
+}

@@ -1,0 +1,337 @@
+// Package forest implements CART regression trees and random forests with
+// per-point mean/variance estimates across trees — the surrogate model used
+// by SMAC-style Bayesian optimization (Hutter et al., 2010) and by
+// permutation-based knob-importance ranking.
+//
+// Inputs are raw float vectors; the caller chooses the encoding (the rest of
+// the framework feeds unit-cube encodings, which handle categoricals as
+// scaled level indices — trees split on them naturally).
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrNoData is returned when fitting with an empty training set.
+var ErrNoData = errors.New("forest: empty training set")
+
+// node is one tree node; leaves hold predictions.
+type node struct {
+	// Internal nodes.
+	feature int
+	thresh  float64
+	left    *node
+	right   *node
+	// Leaves.
+	leaf  bool
+	value float64
+}
+
+// Tree is a single CART regression tree.
+type Tree struct {
+	root *node
+	dim  int
+}
+
+// TreeOptions controls tree induction.
+type TreeOptions struct {
+	// MaxDepth bounds tree depth (default 16).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 2).
+	MinLeaf int
+	// MaxFeatures is the number of random candidate features per split;
+	// 0 means all features (plain CART).
+	MaxFeatures int
+	// Rng drives feature subsampling; required when MaxFeatures > 0.
+	Rng *rand.Rand
+}
+
+func (o TreeOptions) withDefaults() TreeOptions {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 16
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 2
+	}
+	return o
+}
+
+// FitTree builds a regression tree on (x, y).
+func FitTree(x [][]float64, y []float64, opts TreeOptions) (*Tree, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d inputs, %d targets", ErrNoData, len(x), len(y))
+	}
+	opts = opts.withDefaults()
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{dim: len(x[0])}
+	t.root = build(x, y, idx, 0, opts)
+	return t, nil
+}
+
+func build(x [][]float64, y []float64, idx []int, depth int, opts TreeOptions) *node {
+	mean, sse := meanSSE(y, idx)
+	if depth >= opts.MaxDepth || len(idx) < 2*opts.MinLeaf || sse < 1e-12 {
+		return &node{leaf: true, value: mean}
+	}
+	feat, thresh, gain := bestSplit(x, y, idx, opts)
+	if gain <= 1e-12 {
+		return &node{leaf: true, value: mean}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if x[i][feat] <= thresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < opts.MinLeaf || len(ri) < opts.MinLeaf {
+		return &node{leaf: true, value: mean}
+	}
+	return &node{
+		feature: feat,
+		thresh:  thresh,
+		left:    build(x, y, li, depth+1, opts),
+		right:   build(x, y, ri, depth+1, opts),
+	}
+}
+
+func meanSSE(y []float64, idx []int) (mean, sse float64) {
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	for _, i := range idx {
+		d := y[i] - mean
+		sse += d * d
+	}
+	return mean, sse
+}
+
+// bestSplit scans candidate features for the variance-reducing split.
+func bestSplit(x [][]float64, y []float64, idx []int, opts TreeOptions) (feat int, thresh, gain float64) {
+	dim := len(x[idx[0]])
+	feats := make([]int, dim)
+	for i := range feats {
+		feats[i] = i
+	}
+	if opts.MaxFeatures > 0 && opts.MaxFeatures < dim && opts.Rng != nil {
+		opts.Rng.Shuffle(dim, func(i, j int) { feats[i], feats[j] = feats[j], feats[i] })
+		feats = feats[:opts.MaxFeatures]
+	}
+	_, parentSSE := meanSSE(y, idx)
+	feat, gain = -1, 0
+
+	order := make([]int, len(idx))
+	for _, f := range feats {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		// Incremental split scan: maintain left/right sums.
+		var lSum, lSq float64
+		rSum, rSq := 0.0, 0.0
+		for _, i := range order {
+			rSum += y[i]
+			rSq += y[i] * y[i]
+		}
+		n := float64(len(order))
+		for k := 0; k < len(order)-1; k++ {
+			yi := y[order[k]]
+			lSum += yi
+			lSq += yi * yi
+			rSum -= yi
+			rSq -= yi * yi
+			if x[order[k]][f] == x[order[k+1]][f] {
+				continue // can't split between equal values
+			}
+			nl := float64(k + 1)
+			nr := n - nl
+			sseL := lSq - lSum*lSum/nl
+			sseR := rSq - rSum*rSum/nr
+			g := parentSSE - (sseL + sseR)
+			if g > gain {
+				gain = g
+				feat = f
+				thresh = (x[order[k]][f] + x[order[k+1]][f]) / 2
+			}
+		}
+	}
+	return feat, thresh, gain
+}
+
+// Predict returns the tree's prediction for x.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the maximum depth of the tree (a single leaf has depth 0).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n.leaf {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Forest is a bootstrap-aggregated set of regression trees.
+type Forest struct {
+	trees []*Tree
+	dim   int
+}
+
+// Options controls forest induction.
+type Options struct {
+	// Trees is the ensemble size (default 30).
+	Trees int
+	// MaxDepth per tree (default 16).
+	MaxDepth int
+	// MinLeaf per tree (default 2).
+	MinLeaf int
+	// MaxFeatures per split; 0 defaults to max(1, dim/3).
+	MaxFeatures int
+}
+
+func (o Options) withDefaults(dim int) Options {
+	if o.Trees <= 0 {
+		o.Trees = 30
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 16
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 2
+	}
+	if o.MaxFeatures <= 0 {
+		o.MaxFeatures = dim / 3
+		if o.MaxFeatures < 1 {
+			o.MaxFeatures = 1
+		}
+	}
+	return o
+}
+
+// Fit trains a random forest on (x, y) with bootstrap resampling driven by
+// rng.
+func Fit(x [][]float64, y []float64, opts Options, rng *rand.Rand) (*Forest, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d inputs, %d targets", ErrNoData, len(x), len(y))
+	}
+	dim := len(x[0])
+	opts = opts.withDefaults(dim)
+	f := &Forest{dim: dim}
+	n := len(x)
+	for t := 0; t < opts.Trees; t++ {
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		tree, err := FitTree(bx, by, TreeOptions{
+			MaxDepth:    opts.MaxDepth,
+			MinLeaf:     opts.MinLeaf,
+			MaxFeatures: opts.MaxFeatures,
+			Rng:         rng,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.trees = append(f.trees, tree)
+	}
+	return f, nil
+}
+
+// Predict returns the ensemble mean and the across-tree variance at x. The
+// variance is SMAC's uncertainty proxy: high where trees disagree (sparse
+// or conflicted regions), near zero where they agree.
+func (f *Forest) Predict(x []float64) (mean, variance float64) {
+	if len(f.trees) == 0 {
+		return 0, 0
+	}
+	var sum, sq float64
+	for _, t := range f.trees {
+		v := t.Predict(x)
+		sum += v
+		sq += v * v
+	}
+	n := float64(len(f.trees))
+	mean = sum / n
+	variance = sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// Trees returns the ensemble size.
+func (f *Forest) Trees() int { return len(f.trees) }
+
+// Dim returns the input dimensionality the forest was trained on.
+func (f *Forest) Dim() int { return f.dim }
+
+// PermutationImportance estimates each feature's importance as the increase
+// in mean squared error when that feature's column is randomly permuted in
+// the evaluation set (x, y). Larger is more important; values are clipped
+// at zero.
+func (f *Forest) PermutationImportance(x [][]float64, y []float64, rng *rand.Rand) []float64 {
+	base := f.mse(x, y)
+	imp := make([]float64, f.dim)
+	perm := make([]int, len(x))
+	col := make([]float64, len(x))
+	for d := 0; d < f.dim; d++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for i := range x {
+			col[i] = x[i][d]
+		}
+		// Temporarily permute column d.
+		for i := range x {
+			x[i][d] = col[perm[i]]
+		}
+		m := f.mse(x, y)
+		for i := range x {
+			x[i][d] = col[i]
+		}
+		v := m - base
+		if v < 0 {
+			v = 0
+		}
+		imp[d] = v
+	}
+	return imp
+}
+
+func (f *Forest) mse(x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := range x {
+		m, _ := f.Predict(x[i])
+		d := m - y[i]
+		s += d * d
+	}
+	return s / float64(len(x))
+}

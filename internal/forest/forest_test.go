@@ -1,0 +1,204 @@
+package forest
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func makeData(n int, f func([]float64) float64, dim int, rng *rand.Rand) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = make([]float64, dim)
+		for d := range x[i] {
+			x[i][d] = rng.Float64()
+		}
+		y[i] = f(x[i])
+	}
+	return x, y
+}
+
+func TestTreeFitsStep(t *testing.T) {
+	// A step function is learned exactly by one split.
+	x := [][]float64{{0.1}, {0.2}, {0.3}, {0.7}, {0.8}, {0.9}}
+	y := []float64{0, 0, 0, 1, 1, 1}
+	tree, err := FitTree(x, y, TreeOptions{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{0.25}); got != 0 {
+		t.Fatalf("left = %v", got)
+	}
+	if got := tree.Predict([]float64{0.75}); got != 1 {
+		t.Fatalf("right = %v", got)
+	}
+	if tree.Depth() < 1 {
+		t.Fatal("tree did not split")
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}}
+	y := []float64{4, 4, 4}
+	tree, err := FitTree(x, y, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 0 {
+		t.Fatal("constant target should give a leaf")
+	}
+	if tree.Predict([]float64{5}) != 4 {
+		t.Fatal("wrong constant prediction")
+	}
+}
+
+func TestTreeMaxDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := makeData(200, func(v []float64) float64 { return math.Sin(10 * v[0]) }, 1, rng)
+	tree, err := FitTree(x, y, TreeOptions{MaxDepth: 2, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d > 2 {
+		t.Fatalf("depth = %d > 2", d)
+	}
+}
+
+func TestTreeEmptyErrors(t *testing.T) {
+	if _, err := FitTree(nil, nil, TreeOptions{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Fit(nil, nil, Options{}, rand.New(rand.NewSource(1))); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForestRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(v []float64) float64 { return 3*v[0] - 2*v[1] + v[0]*v[1] }
+	x, y := makeData(400, f, 2, rng)
+	forest, err := Fit(x, y, Options{Trees: 40}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest.Trees() != 40 || forest.Dim() != 2 {
+		t.Fatalf("trees=%d dim=%d", forest.Trees(), forest.Dim())
+	}
+	// Held-out MSE should be small relative to target variance (~1).
+	tx, ty := makeData(100, f, 2, rng)
+	mse := 0.0
+	for i := range tx {
+		m, _ := forest.Predict(tx[i])
+		mse += (m - ty[i]) * (m - ty[i])
+	}
+	mse /= float64(len(tx))
+	if mse > 0.05 {
+		t.Fatalf("held-out MSE = %v", mse)
+	}
+}
+
+func TestForestVarianceHighOffData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Train only on [0, 0.4]; variance should be higher at 0.9 than 0.2.
+	n := 100
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		v := rng.Float64() * 0.4
+		x[i] = []float64{v}
+		y[i] = math.Sin(8*v) + 0.05*rng.NormFloat64()
+	}
+	forest, err := Fit(x, y, Options{Trees: 50, MaxFeatures: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vIn := forest.Predict([]float64{0.2})
+	_, vOut := forest.Predict([]float64{0.9})
+	// Off-data the trees extrapolate with their last leaves; disagreement
+	// should not be lower than well-covered regions.
+	if vOut+1e-9 < vIn/2 {
+		t.Fatalf("vOut=%v much smaller than vIn=%v", vOut, vIn)
+	}
+}
+
+func TestForestVarianceZeroWhenUnanimous(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := [][]float64{{0}, {0}, {1}, {1}}
+	y := []float64{0, 0, 10, 10}
+	forest, err := Fit(x, y, Options{Trees: 20, MinLeaf: 1, MaxFeatures: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, v := forest.Predict([]float64{0})
+	// Bootstrap may occasionally produce one-sided trees, but generally
+	// the prediction is near 0 with small variance.
+	if math.Abs(m) > 3 {
+		t.Fatalf("mean = %v", m)
+	}
+	if v < 0 {
+		t.Fatalf("variance negative: %v", v)
+	}
+}
+
+func TestPermutationImportanceFindsSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// y depends strongly on dim 0, weakly on dim 1, not at all on dim 2.
+	f := func(v []float64) float64 { return 10*v[0] + 1*v[1] }
+	x, y := makeData(300, f, 3, rng)
+	forest, err := Fit(x, y, Options{Trees: 40}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := forest.PermutationImportance(x, y, rng)
+	if !(imp[0] > imp[1] && imp[1] > imp[2]) {
+		t.Fatalf("importances = %v, want dim0 > dim1 > dim2", imp)
+	}
+	if imp[2] > imp[0]/10 {
+		t.Fatalf("noise dim importance too high: %v", imp)
+	}
+}
+
+func TestPermutationImportanceRestoresData(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := makeData(50, func(v []float64) float64 { return v[0] }, 2, rng)
+	orig := make([][]float64, len(x))
+	for i := range x {
+		orig[i] = append([]float64(nil), x[i]...)
+	}
+	forest, _ := Fit(x, y, Options{Trees: 10}, rng)
+	forest.PermutationImportance(x, y, rng)
+	for i := range x {
+		for d := range x[i] {
+			if x[i][d] != orig[i][d] {
+				t.Fatal("PermutationImportance mutated input")
+			}
+		}
+	}
+}
+
+func TestEmptyForestPredict(t *testing.T) {
+	var f Forest
+	m, v := f.Predict([]float64{1})
+	if m != 0 || v != 0 {
+		t.Fatal("empty forest should predict 0, 0")
+	}
+}
+
+func TestCategoricalAsIndexSplits(t *testing.T) {
+	// Unit-cube categorical encoding: levels at 0, 0.5, 1. The tree should
+	// isolate the middle level.
+	x := [][]float64{{0}, {0}, {0.5}, {0.5}, {1}, {1}}
+	y := []float64{1, 1, 9, 9, 1, 1}
+	tree, err := FitTree(x, y, TreeOptions{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{0.5}); got != 9 {
+		t.Fatalf("middle level = %v", got)
+	}
+	if got := tree.Predict([]float64{0}); got != 1 {
+		t.Fatalf("first level = %v", got)
+	}
+}

@@ -1,0 +1,253 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"autotune/internal/linalg"
+	"autotune/internal/numopt"
+	"autotune/internal/stats"
+)
+
+// ErrNotFitted is returned by Predict before a successful Fit.
+var ErrNotFitted = errors.New("gp: model not fitted")
+
+// ErrNoData is returned by Fit with an empty training set.
+var ErrNoData = errors.New("gp: empty training set")
+
+// GP is an exact Gaussian-process regressor. Construct with New, then Fit
+// with training data; Predict then returns posterior mean and variance.
+// A GP is not safe for concurrent mutation; concurrent Predict after Fit
+// is safe.
+type GP struct {
+	kernel Kernel
+	// noise is the observation noise variance added to the kernel
+	// diagonal (in normalized-target units).
+	noise float64
+
+	// Fitted state.
+	x      [][]float64
+	yNorm  []float64 // centered/scaled targets
+	yMean  float64
+	yScale float64
+	chol   *linalg.Matrix
+	alpha  []float64
+	fitted bool
+}
+
+// New returns a GP with the given kernel and observation-noise variance.
+// A noise of 0 is raised to a small floor for numerical stability.
+func New(kernel Kernel, noise float64) *GP {
+	if noise < 1e-10 {
+		noise = 1e-10
+	}
+	return &GP{kernel: kernel, noise: noise}
+}
+
+// Kernel returns the model's kernel (live; mutating it invalidates the fit).
+func (g *GP) Kernel() Kernel { return g.kernel }
+
+// Noise returns the observation-noise variance.
+func (g *GP) Noise() float64 { return g.noise }
+
+// SetNoise updates the observation-noise variance; takes effect on next Fit.
+func (g *GP) SetNoise(v float64) {
+	if v < 1e-10 {
+		v = 1e-10
+	}
+	g.noise = v
+}
+
+// Fit conditions the GP on inputs x and targets y. Targets are internally
+// centered and scaled to unit variance; predictions are returned in the
+// original units. x rows are copied by reference and must not be mutated.
+func (g *GP) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("%w: %d inputs, %d targets", ErrNoData, len(x), len(y))
+	}
+	g.yMean = stats.Mean(y)
+	g.yScale = stats.StdDev(y)
+	if g.yScale == 0 || math.IsNaN(g.yScale) {
+		g.yScale = 1
+	}
+	g.yNorm = make([]float64, len(y))
+	for i, v := range y {
+		g.yNorm[i] = (v - g.yMean) / g.yScale
+	}
+	g.x = x
+
+	k := g.gram(x)
+	l, _, err := linalg.CholeskyJitter(k, 1e-3)
+	if err != nil {
+		g.fitted = false
+		return fmt.Errorf("gp: fit: %w", err)
+	}
+	alpha, err := linalg.CholeskySolve(l, g.yNorm)
+	if err != nil {
+		g.fitted = false
+		return fmt.Errorf("gp: fit: %w", err)
+	}
+	g.chol = l
+	g.alpha = alpha
+	g.fitted = true
+	return nil
+}
+
+func (g *GP) gram(x [][]float64) *linalg.Matrix {
+	n := len(x)
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.kernel.Eval(x[i], x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Add(i, i, g.noise)
+	}
+	return k
+}
+
+// Predict returns the posterior mean and variance at x. Variance is the
+// latent-function variance (without observation noise), floored at zero.
+func (g *GP) Predict(x []float64) (mean, variance float64, err error) {
+	if !g.fitted {
+		return 0, 0, ErrNotFitted
+	}
+	n := len(g.x)
+	kstar := make([]float64, n)
+	for i := 0; i < n; i++ {
+		kstar[i] = g.kernel.Eval(g.x[i], x)
+	}
+	muNorm := linalg.Dot(kstar, g.alpha)
+	v, err := linalg.SolveLower(g.chol, kstar)
+	if err != nil {
+		return 0, 0, fmt.Errorf("gp: predict: %w", err)
+	}
+	varNorm := g.kernel.Eval(x, x) - linalg.Dot(v, v)
+	if varNorm < 0 {
+		varNorm = 0
+	}
+	return muNorm*g.yScale + g.yMean, varNorm * g.yScale * g.yScale, nil
+}
+
+// SampleAt draws one sample of the posterior at a finite set of points,
+// using rng. Used for Thompson-style acquisition.
+func (g *GP) SampleAt(points [][]float64, rng *rand.Rand) ([]float64, error) {
+	if !g.fitted {
+		return nil, ErrNotFitted
+	}
+	m := len(points)
+	mu := make([]float64, m)
+	// Posterior covariance between the points.
+	cov := linalg.NewMatrix(m, m)
+	vs := make([][]float64, m)
+	for i, p := range points {
+		n := len(g.x)
+		kstar := make([]float64, n)
+		for j := 0; j < n; j++ {
+			kstar[j] = g.kernel.Eval(g.x[j], p)
+		}
+		mu[i] = linalg.Dot(kstar, g.alpha)
+		v, err := linalg.SolveLower(g.chol, kstar)
+		if err != nil {
+			return nil, err
+		}
+		vs[i] = v
+	}
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			c := g.kernel.Eval(points[i], points[j]) - linalg.Dot(vs[i], vs[j])
+			cov.Set(i, j, c)
+			cov.Set(j, i, c)
+		}
+	}
+	l, _, err := linalg.CholeskyJitter(cov, 1e-2)
+	if err != nil {
+		return nil, fmt.Errorf("gp: sample: %w", err)
+	}
+	z := make([]float64, m)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	sample := l.MulVec(z)
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = (mu[i]+sample[i])*g.yScale + g.yMean
+	}
+	return out, nil
+}
+
+// LogMarginalLikelihood returns the log marginal likelihood of the fitted
+// data under the current hyperparameters (on normalized targets).
+func (g *GP) LogMarginalLikelihood() (float64, error) {
+	if !g.fitted {
+		return 0, ErrNotFitted
+	}
+	n := float64(len(g.x))
+	dataFit := -0.5 * linalg.Dot(g.yNorm, g.alpha)
+	complexity := -0.5 * linalg.LogDetFromChol(g.chol)
+	norm := -0.5 * n * math.Log(2*math.Pi)
+	return dataFit + complexity + norm, nil
+}
+
+// FitHyper fits the GP and then optimizes kernel hyperparameters (and the
+// noise variance) by maximizing log marginal likelihood with restarts
+// Nelder-Mead searches in log space: the current hyperparameters plus
+// `restarts` random perturbations. The best parameters are installed and
+// the GP refitted.
+func (g *GP) FitHyper(x [][]float64, y []float64, restarts int, rng *rand.Rand) error {
+	if err := g.Fit(x, y); err != nil {
+		return err
+	}
+	base := append(g.kernel.Hyper(), math.Log(g.noise))
+	obj := func(lp []float64) float64 {
+		for _, v := range lp {
+			if v < -12 || v > 8 { // keep hyperparameters in a sane range
+				return math.Inf(1)
+			}
+		}
+		k := g.kernel.Clone()
+		k.SetHyper(lp[:len(lp)-1])
+		trial := &GP{kernel: k, noise: math.Exp(lp[len(lp)-1])}
+		if trial.noise < 1e-10 {
+			trial.noise = 1e-10
+		}
+		if err := trial.Fit(x, y); err != nil {
+			return math.Inf(1)
+		}
+		lml, err := trial.LogMarginalLikelihood()
+		if err != nil || math.IsNaN(lml) {
+			return math.Inf(1)
+		}
+		return -lml
+	}
+	bestLP := append([]float64(nil), base...)
+	bestVal := obj(base)
+	starts := [][]float64{base}
+	for r := 0; r < restarts; r++ {
+		s := make([]float64, len(base))
+		for i := range s {
+			s[i] = base[i] + rng.NormFloat64()*1.5
+		}
+		starts = append(starts, s)
+	}
+	for _, s := range starts {
+		lp, val := numopt.NelderMead(obj, s, numopt.Options{MaxIter: 120, Scale: 0.3})
+		if val < bestVal {
+			bestVal, bestLP = val, lp
+		}
+	}
+	if !math.IsInf(bestVal, 1) {
+		g.kernel.SetHyper(bestLP[:len(bestLP)-1])
+		g.noise = math.Exp(bestLP[len(bestLP)-1])
+		if g.noise < 1e-10 {
+			g.noise = 1e-10
+		}
+	}
+	return g.Fit(x, y)
+}
+
+// N returns the number of training points (0 before Fit).
+func (g *GP) N() int { return len(g.x) }

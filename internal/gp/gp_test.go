@@ -1,0 +1,299 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKernelBasics(t *testing.T) {
+	x := []float64{0.3, 0.4}
+	y := []float64{1, 1.2}
+	kernels := []Kernel{
+		NewRBF(1),
+		NewMatern(0.5, 1),
+		NewMatern(1.5, 1),
+		NewMatern(2.5, 1),
+		&Constant{Value: 2},
+		&Linear{Variance: 1},
+		&Periodic{Lengthscale: 1, Period: 2},
+		Scale(3, NewRBF(0.5)),
+		&Sum{A: NewRBF(1), B: &Constant{Value: 0.1}},
+		&Product{A: NewRBF(1), B: NewMatern(1.5, 1)},
+	}
+	for _, k := range kernels {
+		// Symmetry.
+		if math.Abs(k.Eval(x, y)-k.Eval(y, x)) > 1e-15 {
+			t.Errorf("%s: not symmetric", k)
+		}
+		// Hyper round trip.
+		h := k.Hyper()
+		k2 := k.Clone()
+		k2.SetHyper(h)
+		if math.Abs(k.Eval(x, y)-k2.Eval(x, y)) > 1e-12 {
+			t.Errorf("%s: hyper round trip changed kernel", k)
+		}
+		// Clone independence.
+		h2 := make([]float64, len(h))
+		for i := range h2 {
+			h2[i] = h[i] + 1
+		}
+		k2.SetHyper(h2)
+		if k.Eval(x, y) == k2.Eval(x, y) && k.String() != "Const(2)" {
+			// Constant with different value must differ; others too except
+			// pathological coincidences.
+			if _, isConst := k.(*Constant); !isConst {
+				t.Errorf("%s: clone shares state", k)
+			}
+		}
+	}
+}
+
+func TestRBFDecay(t *testing.T) {
+	k := NewRBF(1)
+	o := []float64{0}
+	if k.Eval(o, o) != 1 {
+		t.Fatal("k(x,x) != 1")
+	}
+	near := k.Eval(o, []float64{0.1})
+	far := k.Eval(o, []float64{3})
+	if !(near > far) {
+		t.Fatal("RBF should decay with distance")
+	}
+	// Shorter lengthscale decays faster.
+	sharp := NewRBF(0.1)
+	if !(sharp.Eval(o, []float64{0.5}) < k.Eval(o, []float64{0.5})) {
+		t.Fatal("short lengthscale should decay faster")
+	}
+}
+
+func TestMaternApproachesRBF(t *testing.T) {
+	// Matérn 5/2 is closer to RBF than Matérn 1/2 at moderate distance.
+	o := []float64{0}
+	p := []float64{0.5}
+	rbf := NewRBF(1).Eval(o, p)
+	m12 := NewMatern(0.5, 1).Eval(o, p)
+	m52 := NewMatern(2.5, 1).Eval(o, p)
+	if !(math.Abs(m52-rbf) < math.Abs(m12-rbf)) {
+		t.Fatalf("m52=%v m12=%v rbf=%v", m52, m12, rbf)
+	}
+}
+
+func TestMaternNuSnapping(t *testing.T) {
+	if NewMatern(0.9, 1).Nu != 0.5 || NewMatern(1.7, 1).Nu != 1.5 || NewMatern(9, 1).Nu != 2.5 {
+		t.Fatal("nu snapping wrong")
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	g := New(NewRBF(1), 1e-6)
+	if _, _, err := g.Predict([]float64{0}); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := g.LogMarginalLikelihood(); !errors.Is(err, ErrNotFitted) {
+		t.Fatal("LML before fit should error")
+	}
+	if err := g.Fit(nil, nil); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty fit err = %v", err)
+	}
+}
+
+func TestInterpolation(t *testing.T) {
+	// Noise-free GP interpolates the training data.
+	g := New(NewRBF(0.5), 1e-9)
+	x := [][]float64{{0}, {0.25}, {0.5}, {0.75}, {1}}
+	y := []float64{0, 1, 0, -1, 0}
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		mu, v, err := g.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mu-y[i]) > 1e-3 {
+			t.Fatalf("interp at %v: %v vs %v", x[i], mu, y[i])
+		}
+		if v > 1e-3 {
+			t.Fatalf("variance at training point = %v", v)
+		}
+	}
+	// Variance grows away from the data.
+	_, vFar, _ := g.Predict([]float64{3})
+	_, vNear, _ := g.Predict([]float64{0.1})
+	if !(vFar > vNear) {
+		t.Fatalf("vFar=%v vNear=%v", vFar, vNear)
+	}
+}
+
+func TestPredictionAccuracySmoothFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(x float64) float64 { return math.Sin(3*x) + 0.5*x }
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 25; i++ {
+		x := rng.Float64()
+		xs = append(xs, []float64{x})
+		ys = append(ys, f(x))
+	}
+	g := New(Scale(1, NewMatern(2.5, 0.3)), 1e-8)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		x := rng.Float64()
+		mu, _, err := g.Predict([]float64{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mu-f(x)) > 0.05 {
+			t.Fatalf("prediction at %v: %v vs %v", x, mu, f(x))
+		}
+	}
+}
+
+func TestTargetNormalizationInvariance(t *testing.T) {
+	// Predictions should be correct even for targets far from zero.
+	xs := [][]float64{{0}, {0.5}, {1}}
+	ys := []float64{10000, 10010, 10020}
+	g := New(Scale(1, NewRBF(1)), 1e-8)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	mu, _, _ := g.Predict([]float64{0.5})
+	if math.Abs(mu-10010) > 1 {
+		t.Fatalf("mu = %v, want ~10010", mu)
+	}
+}
+
+func TestConstantTargets(t *testing.T) {
+	// Degenerate case: all targets equal (yScale would be 0).
+	xs := [][]float64{{0}, {1}}
+	ys := []float64{5, 5}
+	g := New(NewRBF(1), 1e-6)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	mu, _, _ := g.Predict([]float64{0.5})
+	if math.Abs(mu-5) > 1e-6 {
+		t.Fatalf("mu = %v", mu)
+	}
+}
+
+func TestLMLPrefersGoodLengthscale(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Smooth function sampled on a grid: a reasonable lengthscale should
+	// beat a wildly small one on LML.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 20; i++ {
+		x := float64(i) / 19
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Sin(2*math.Pi*x)+0.01*rng.NormFloat64())
+	}
+	good := New(Scale(1, NewRBF(0.3)), 1e-4)
+	bad := New(Scale(1, NewRBF(0.001)), 1e-4)
+	if err := good.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	lg, _ := good.LogMarginalLikelihood()
+	lb, _ := bad.LogMarginalLikelihood()
+	if !(lg > lb) {
+		t.Fatalf("LML good=%v bad=%v", lg, lb)
+	}
+}
+
+func TestFitHyperImprovesLML(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 20; i++ {
+		x := float64(i) / 19
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Sin(2*math.Pi*x))
+	}
+	// Start from a bad lengthscale.
+	g := New(Scale(1, NewRBF(0.003)), 1e-4)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := g.LogMarginalLikelihood()
+	if err := g.FitHyper(xs, ys, 3, rng); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := g.LogMarginalLikelihood()
+	if !(after > before) {
+		t.Fatalf("FitHyper did not improve LML: %v -> %v", before, after)
+	}
+	if g.N() != 20 {
+		t.Fatalf("N = %d", g.N())
+	}
+}
+
+func TestSampleAtRespectsPosterior(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := [][]float64{{0}, {1}}
+	ys := []float64{0, 2}
+	g := New(Scale(1, NewRBF(0.5)), 1e-6)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	// At training points samples should be tight around targets.
+	pts := [][]float64{{0}, {1}, {0.5}}
+	var atTrain0, atMid []float64
+	for i := 0; i < 200; i++ {
+		s, err := g.SampleAt(pts, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		atTrain0 = append(atTrain0, s[0])
+		atMid = append(atMid, s[2])
+	}
+	var sum0, sumSq0 float64
+	for _, v := range atTrain0 {
+		sum0 += v
+	}
+	mean0 := sum0 / float64(len(atTrain0))
+	for _, v := range atTrain0 {
+		sumSq0 += (v - mean0) * (v - mean0)
+	}
+	if math.Abs(mean0) > 0.1 {
+		t.Fatalf("sample mean at training point = %v, want ~0", mean0)
+	}
+	// Mid-point samples should vary more than training-point samples.
+	var sumM, sumSqM float64
+	for _, v := range atMid {
+		sumM += v
+	}
+	meanM := sumM / float64(len(atMid))
+	for _, v := range atMid {
+		sumSqM += (v - meanM) * (v - meanM)
+	}
+	if !(sumSqM > sumSq0) {
+		t.Fatalf("mid variance %v should exceed train variance %v", sumSqM, sumSq0)
+	}
+}
+
+func TestSetNoiseFloor(t *testing.T) {
+	g := New(NewRBF(1), 0)
+	if g.Noise() < 1e-10 {
+		t.Fatal("noise floor not applied in New")
+	}
+	g.SetNoise(-5)
+	if g.Noise() < 1e-10 {
+		t.Fatal("noise floor not applied in SetNoise")
+	}
+}
+
+func TestKernelDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dim mismatch")
+		}
+	}()
+	NewRBF(1).Eval([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,281 @@
+// Package gp implements exact Gaussian-process regression: a kernel algebra
+// (RBF, Matérn, constant, linear, periodic, sums, products, scaling), fitting
+// via Cholesky factorization, predictive mean/variance, log marginal
+// likelihood, and multi-start hyperparameter optimization.
+//
+// Inputs are expected to be reasonably scaled — the rest of the framework
+// feeds unit-cube encodings from internal/space — and targets are internally
+// centered and scaled during Fit.
+package gp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel is a positive-semidefinite covariance function with tunable
+// hyperparameters exposed in log space for optimization.
+type Kernel interface {
+	// Eval returns k(x, y).
+	Eval(x, y []float64) float64
+	// Hyper returns the current hyperparameters in log space.
+	Hyper() []float64
+	// SetHyper installs hyperparameters from log space; len must match.
+	SetHyper(logParams []float64)
+	// Clone returns an independent copy.
+	Clone() Kernel
+	// String names the kernel and its parameters.
+	String() string
+}
+
+// RBF is the squared-exponential kernel exp(-d² / (2ℓ²)).
+type RBF struct {
+	// Lengthscale ℓ controls smoothness; must be positive.
+	Lengthscale float64
+}
+
+// NewRBF returns an RBF kernel with the given lengthscale.
+func NewRBF(lengthscale float64) *RBF { return &RBF{Lengthscale: lengthscale} }
+
+// Eval implements Kernel.
+func (k *RBF) Eval(x, y []float64) float64 {
+	d2 := sqDist(x, y)
+	return math.Exp(-d2 / (2 * k.Lengthscale * k.Lengthscale))
+}
+
+// Hyper implements Kernel.
+func (k *RBF) Hyper() []float64 { return []float64{math.Log(k.Lengthscale)} }
+
+// SetHyper implements Kernel.
+func (k *RBF) SetHyper(lp []float64) { k.Lengthscale = math.Exp(lp[0]) }
+
+// Clone implements Kernel.
+func (k *RBF) Clone() Kernel { c := *k; return &c }
+
+// String implements Kernel.
+func (k *RBF) String() string { return fmt.Sprintf("RBF(l=%.4g)", k.Lengthscale) }
+
+// Matern is the Matérn kernel for ν ∈ {1/2, 3/2, 5/2}, the three standard
+// half-integer smoothness orders with closed forms.
+type Matern struct {
+	// Nu selects smoothness: 0.5, 1.5 or 2.5.
+	Nu float64
+	// Lengthscale ℓ; must be positive.
+	Lengthscale float64
+}
+
+// NewMatern returns a Matérn kernel. Nu is snapped to the nearest of
+// {0.5, 1.5, 2.5}.
+func NewMatern(nu, lengthscale float64) *Matern {
+	switch {
+	case nu < 1:
+		nu = 0.5
+	case nu < 2:
+		nu = 1.5
+	default:
+		nu = 2.5
+	}
+	return &Matern{Nu: nu, Lengthscale: lengthscale}
+}
+
+// Eval implements Kernel.
+func (k *Matern) Eval(x, y []float64) float64 {
+	d := math.Sqrt(sqDist(x, y)) / k.Lengthscale
+	switch k.Nu {
+	case 0.5:
+		return math.Exp(-d)
+	case 1.5:
+		s := math.Sqrt(3) * d
+		return (1 + s) * math.Exp(-s)
+	default: // 2.5
+		s := math.Sqrt(5) * d
+		return (1 + s + s*s/3) * math.Exp(-s)
+	}
+}
+
+// Hyper implements Kernel.
+func (k *Matern) Hyper() []float64 { return []float64{math.Log(k.Lengthscale)} }
+
+// SetHyper implements Kernel.
+func (k *Matern) SetHyper(lp []float64) { k.Lengthscale = math.Exp(lp[0]) }
+
+// Clone implements Kernel.
+func (k *Matern) Clone() Kernel { c := *k; return &c }
+
+// String implements Kernel.
+func (k *Matern) String() string {
+	return fmt.Sprintf("Matern(nu=%.1f, l=%.4g)", k.Nu, k.Lengthscale)
+}
+
+// Constant is the constant kernel k(x,y) = c, modelling a global offset.
+type Constant struct {
+	// Value c; must be positive.
+	Value float64
+}
+
+// Eval implements Kernel.
+func (k *Constant) Eval(x, y []float64) float64 { return k.Value }
+
+// Hyper implements Kernel.
+func (k *Constant) Hyper() []float64 { return []float64{math.Log(k.Value)} }
+
+// SetHyper implements Kernel.
+func (k *Constant) SetHyper(lp []float64) { k.Value = math.Exp(lp[0]) }
+
+// Clone implements Kernel.
+func (k *Constant) Clone() Kernel { c := *k; return &c }
+
+// String implements Kernel.
+func (k *Constant) String() string { return fmt.Sprintf("Const(%.4g)", k.Value) }
+
+// Linear is the dot-product kernel σ² ⟨x, y⟩, modelling linear trends.
+type Linear struct {
+	// Variance σ²; must be positive.
+	Variance float64
+}
+
+// Eval implements Kernel.
+func (k *Linear) Eval(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return k.Variance * s
+}
+
+// Hyper implements Kernel.
+func (k *Linear) Hyper() []float64 { return []float64{math.Log(k.Variance)} }
+
+// SetHyper implements Kernel.
+func (k *Linear) SetHyper(lp []float64) { k.Variance = math.Exp(lp[0]) }
+
+// Clone implements Kernel.
+func (k *Linear) Clone() Kernel { c := *k; return &c }
+
+// String implements Kernel.
+func (k *Linear) String() string { return fmt.Sprintf("Linear(v=%.4g)", k.Variance) }
+
+// Periodic is the exp-sine-squared kernel capturing repeating structure.
+type Periodic struct {
+	// Lengthscale within a period; must be positive.
+	Lengthscale float64
+	// Period of repetition; must be positive.
+	Period float64
+}
+
+// Eval implements Kernel.
+func (k *Periodic) Eval(x, y []float64) float64 {
+	d := math.Sqrt(sqDist(x, y))
+	s := math.Sin(math.Pi * d / k.Period)
+	return math.Exp(-2 * s * s / (k.Lengthscale * k.Lengthscale))
+}
+
+// Hyper implements Kernel.
+func (k *Periodic) Hyper() []float64 {
+	return []float64{math.Log(k.Lengthscale), math.Log(k.Period)}
+}
+
+// SetHyper implements Kernel.
+func (k *Periodic) SetHyper(lp []float64) {
+	k.Lengthscale = math.Exp(lp[0])
+	k.Period = math.Exp(lp[1])
+}
+
+// Clone implements Kernel.
+func (k *Periodic) Clone() Kernel { c := *k; return &c }
+
+// String implements Kernel.
+func (k *Periodic) String() string {
+	return fmt.Sprintf("Periodic(l=%.4g, p=%.4g)", k.Lengthscale, k.Period)
+}
+
+// Scaled multiplies an inner kernel by a signal variance σ².
+type Scaled struct {
+	// Variance σ²; must be positive.
+	Variance float64
+	// Inner kernel.
+	Inner Kernel
+}
+
+// Scale wraps inner with a signal variance.
+func Scale(variance float64, inner Kernel) *Scaled {
+	return &Scaled{Variance: variance, Inner: inner}
+}
+
+// Eval implements Kernel.
+func (k *Scaled) Eval(x, y []float64) float64 { return k.Variance * k.Inner.Eval(x, y) }
+
+// Hyper implements Kernel.
+func (k *Scaled) Hyper() []float64 {
+	return append([]float64{math.Log(k.Variance)}, k.Inner.Hyper()...)
+}
+
+// SetHyper implements Kernel.
+func (k *Scaled) SetHyper(lp []float64) {
+	k.Variance = math.Exp(lp[0])
+	k.Inner.SetHyper(lp[1:])
+}
+
+// Clone implements Kernel.
+func (k *Scaled) Clone() Kernel { return &Scaled{Variance: k.Variance, Inner: k.Inner.Clone()} }
+
+// String implements Kernel.
+func (k *Scaled) String() string {
+	return fmt.Sprintf("%.4g * %s", k.Variance, k.Inner)
+}
+
+// Sum adds two kernels.
+type Sum struct{ A, B Kernel }
+
+// Eval implements Kernel.
+func (k *Sum) Eval(x, y []float64) float64 { return k.A.Eval(x, y) + k.B.Eval(x, y) }
+
+// Hyper implements Kernel.
+func (k *Sum) Hyper() []float64 { return append(k.A.Hyper(), k.B.Hyper()...) }
+
+// SetHyper implements Kernel.
+func (k *Sum) SetHyper(lp []float64) {
+	na := len(k.A.Hyper())
+	k.A.SetHyper(lp[:na])
+	k.B.SetHyper(lp[na:])
+}
+
+// Clone implements Kernel.
+func (k *Sum) Clone() Kernel { return &Sum{A: k.A.Clone(), B: k.B.Clone()} }
+
+// String implements Kernel.
+func (k *Sum) String() string { return fmt.Sprintf("(%s + %s)", k.A, k.B) }
+
+// Product multiplies two kernels.
+type Product struct{ A, B Kernel }
+
+// Eval implements Kernel.
+func (k *Product) Eval(x, y []float64) float64 { return k.A.Eval(x, y) * k.B.Eval(x, y) }
+
+// Hyper implements Kernel.
+func (k *Product) Hyper() []float64 { return append(k.A.Hyper(), k.B.Hyper()...) }
+
+// SetHyper implements Kernel.
+func (k *Product) SetHyper(lp []float64) {
+	na := len(k.A.Hyper())
+	k.A.SetHyper(lp[:na])
+	k.B.SetHyper(lp[na:])
+}
+
+// Clone implements Kernel.
+func (k *Product) Clone() Kernel { return &Product{A: k.A.Clone(), B: k.B.Clone()} }
+
+// String implements Kernel.
+func (k *Product) String() string { return fmt.Sprintf("(%s * %s)", k.A, k.B) }
+
+func sqDist(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("gp: dim mismatch %d vs %d", len(x), len(y)))
+	}
+	s := 0.0
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,76 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Task is the separable multi-output (ICM) kernel from the tutorial's
+// multi-target optimization slide (59): K((i,x),(j,x')) = K_t(i,j) *
+// K_x(x,x'), where the task covariance is 1 on the diagonal and Rho off it.
+// Inputs are vectors whose FIRST element is the task index; the remaining
+// elements feed the inner kernel. With Rho near 1 the tasks share one
+// surface; with Rho 0 they are independent GPs that merely share
+// hyperparameters.
+type Task struct {
+	// Rho is the inter-task correlation in [0, 1).
+	Rho float64
+	// Inner is the input kernel K_x.
+	Inner Kernel
+}
+
+// NewTask wraps inner with an inter-task correlation.
+func NewTask(rho float64, inner Kernel) *Task {
+	if rho < 0 {
+		rho = 0
+	}
+	if rho > 0.999 {
+		rho = 0.999
+	}
+	return &Task{Rho: rho, Inner: inner}
+}
+
+// Eval implements Kernel. x[0] and y[0] are task indices.
+func (k *Task) Eval(x, y []float64) float64 {
+	if len(x) < 2 || len(y) < 2 {
+		panic(fmt.Sprintf("gp: task kernel needs [task, features...], got dims %d/%d", len(x), len(y)))
+	}
+	t := 1.0
+	if x[0] != y[0] {
+		t = k.Rho
+	}
+	return t * k.Inner.Eval(x[1:], y[1:])
+}
+
+// Hyper implements Kernel: Rho is optimized through a logit transform so
+// hyperparameter search stays in (0, 1).
+func (k *Task) Hyper() []float64 {
+	rho := k.Rho
+	if rho <= 0 {
+		rho = 1e-6
+	}
+	if rho >= 1 {
+		rho = 1 - 1e-6
+	}
+	return append([]float64{math.Log(rho / (1 - rho))}, k.Inner.Hyper()...)
+}
+
+// SetHyper implements Kernel.
+func (k *Task) SetHyper(lp []float64) {
+	k.Rho = 1 / (1 + math.Exp(-lp[0]))
+	k.Inner.SetHyper(lp[1:])
+}
+
+// Clone implements Kernel.
+func (k *Task) Clone() Kernel { return &Task{Rho: k.Rho, Inner: k.Inner.Clone()} }
+
+// String implements Kernel.
+func (k *Task) String() string { return fmt.Sprintf("Task(rho=%.3f) * %s", k.Rho, k.Inner) }
+
+// WithTask prefixes a feature vector with a task index, producing the
+// input layout Task expects.
+func WithTask(task int, x []float64) []float64 {
+	out := make([]float64, 0, len(x)+1)
+	out = append(out, float64(task))
+	return append(out, x...)
+}

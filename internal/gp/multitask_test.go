@@ -1,0 +1,100 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTaskKernelBasics(t *testing.T) {
+	k := NewTask(0.5, NewRBF(1))
+	x := WithTask(0, []float64{0.3})
+	ySame := WithTask(0, []float64{0.3})
+	yOther := WithTask(1, []float64{0.3})
+	if k.Eval(x, ySame) != 1 {
+		t.Fatalf("same task same point = %v", k.Eval(x, ySame))
+	}
+	if math.Abs(k.Eval(x, yOther)-0.5) > 1e-12 {
+		t.Fatalf("cross task = %v, want rho", k.Eval(x, yOther))
+	}
+	// Hyper round trip preserves rho through the logit transform.
+	k2 := k.Clone()
+	k2.SetHyper(k.Hyper())
+	if math.Abs(k2.(*Task).Rho-0.5) > 1e-9 {
+		t.Fatalf("rho round trip = %v", k2.(*Task).Rho)
+	}
+	// Clamping.
+	if NewTask(-1, NewRBF(1)).Rho != 0 || NewTask(2, NewRBF(1)).Rho >= 1 {
+		t.Fatal("rho clamping failed")
+	}
+}
+
+func TestTaskKernelPanicsOnScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTask(0.5, NewRBF(1)).Eval([]float64{1}, []float64{1})
+}
+
+// Correlated tasks: observations on task 0 should sharpen predictions on
+// task 1 when rho is high but not when rho is 0.
+func TestMultiTaskTransfer(t *testing.T) {
+	f := func(x float64) float64 { return math.Sin(4 * x) }
+	// Task 0: densely observed. Task 1: two points only; its true function
+	// is the same (perfectly correlated scenario).
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 15; i++ {
+		x := float64(i) / 14
+		xs = append(xs, WithTask(0, []float64{x}))
+		ys = append(ys, f(x))
+	}
+	xs = append(xs, WithTask(1, []float64{0}), WithTask(1, []float64{1}))
+	ys = append(ys, f(0), f(1))
+
+	predErr := func(rho float64) float64 {
+		m := New(Scale(1, NewTask(rho, NewRBF(0.25))), 1e-6)
+		if err := m.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		// Predict task 1 at interior points it has never seen.
+		sse := 0.0
+		for i := 1; i < 10; i++ {
+			x := float64(i) / 10
+			mu, _, err := m.Predict(WithTask(1, []float64{x}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sse += (mu - f(x)) * (mu - f(x))
+		}
+		return sse
+	}
+	high := predErr(0.95)
+	low := predErr(0.0)
+	if !(high < low/4) {
+		t.Fatalf("correlated tasks should transfer: sse(rho=.95)=%v sse(rho=0)=%v", high, low)
+	}
+}
+
+func TestMultiTaskHyperFitLearnsRho(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Two perfectly correlated tasks: hyper fitting should push rho up.
+	f := func(x float64) float64 { return x * x }
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 12; i++ {
+		x := float64(i) / 11
+		xs = append(xs, WithTask(i%2, []float64{x}))
+		ys = append(ys, f(x))
+	}
+	k := NewTask(0.2, NewRBF(0.3))
+	m := New(Scale(1, k), 1e-4)
+	if err := m.FitHyper(xs, ys, 3, rng); err != nil {
+		t.Fatal(err)
+	}
+	if k.Rho < 0.5 {
+		t.Fatalf("fitted rho = %v, want high for identical tasks", k.Rho)
+	}
+}

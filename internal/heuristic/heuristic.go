@@ -1,0 +1,93 @@
+// Package heuristic implements a rule-based configuration baseline in the
+// spirit of pgtune/mysqltuner ("encoded best practices", tutorial slide 7):
+// given the host spec and a workload descriptor, it derives a sensible
+// DBMS configuration from the folklore rules DBAs apply by hand. Tuning
+// experiments use it as the non-ML baseline.
+package heuristic
+
+import (
+	"math"
+
+	"autotune/internal/simsys"
+	"autotune/internal/space"
+	"autotune/internal/workload"
+)
+
+// DBMSConfig returns the rule-derived configuration for the simulated DBMS
+// on the given host under the given workload. Rules (classic pgtune-ish):
+//
+//   - buffer pool = 60% of RAM (the single most repeated best practice);
+//   - redo log sized to ~30 minutes of writes, capped;
+//   - io threads = 2x cores (SSD era), worker threads = 2-4x cores by
+//     read-vs-write mix;
+//   - O_DIRECT for write-heavy (double buffering hurts), fsync otherwise;
+//   - query cache only for read-mostly workloads;
+//   - per-connection buffers sized so the worst case fits in the other 40%.
+func DBMSConfig(d *simsys.DBMS, wl workload.Descriptor) space.Config {
+	sp := d.Space()
+	cfg := sp.Default()
+	spec := d.Spec
+
+	cfg["buffer_pool_mb"] = clampInt(int64(spec.RAMMB*0.6), sp, "buffer_pool_mb")
+	writeMBps := wl.RequestRate * wl.WriteFraction() * wl.RecordBytes / 1024 / 1024
+	logMB := int64(math.Max(256, math.Min(writeMBps*1800, 4096)))
+	cfg["log_file_mb"] = clampInt(logMB, sp, "log_file_mb")
+	cfg["io_threads"] = clampInt(int64(2*spec.CPUCores), sp, "io_threads")
+
+	workers := 2 * spec.CPUCores
+	if wl.ReadRatio > 0.8 {
+		workers = 4 * spec.CPUCores
+	}
+	cfg["worker_threads"] = clampInt(int64(workers), sp, "worker_threads")
+
+	if wl.WriteFraction() > 0.3 {
+		cfg["flush_method"] = "O_DIRECT"
+	} else {
+		cfg["flush_method"] = "fsync"
+	}
+	if wl.WriteFraction() < 0.1 {
+		cfg["query_cache_mb"] = clampInt(256, sp, "query_cache_mb")
+	} else {
+		cfg["query_cache_mb"] = int64(0)
+	}
+	cfg["checkpoint_secs"] = clampInt(300, sp, "checkpoint_secs")
+	cfg["wal_buffer_kb"] = clampInt(4096, sp, "wal_buffer_kb")
+	cfg["max_connections"] = clampInt(int64(maxI(wl.Clients*2, 100)), sp, "max_connections")
+	cfg["prefetch"] = wl.ScanRatio > 0.05
+
+	// Per-connection buffers: budget the remaining 40% of RAM minus the
+	// caches across the connection count.
+	conns := float64(cfg.Int("max_connections"))
+	spareMB := spec.RAMMB*0.4 - float64(cfg.Int("query_cache_mb")) - 512
+	perConnMB := math.Max(spareMB/math.Max(conns, 1), 0.5)
+	sortKB := int64(math.Min(perConnMB*0.4*1024, 16384))
+	cfg["sort_buffer_kb"] = clampInt(sortKB, sp, "sort_buffer_kb")
+	cfg["join_buffer_kb"] = clampInt(sortKB/2, sp, "join_buffer_kb")
+	cfg["tmp_table_mb"] = clampInt(int64(math.Min(perConnMB*0.2, 64)), sp, "tmp_table_mb")
+
+	if wl.ScanRatio > 0.5 {
+		cfg["jit"] = true
+	}
+	return sp.Clip(cfg)
+}
+
+func clampInt(v int64, sp *space.Space, name string) int64 {
+	p, ok := sp.Param(name)
+	if !ok {
+		return v
+	}
+	if float64(v) < p.Min {
+		return int64(p.Min)
+	}
+	if float64(v) > p.Max {
+		return int64(p.Max)
+	}
+	return v
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

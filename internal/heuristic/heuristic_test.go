@@ -1,0 +1,75 @@
+package heuristic
+
+import (
+	"testing"
+
+	"autotune/internal/simsys"
+	"autotune/internal/workload"
+)
+
+func TestDBMSConfigValid(t *testing.T) {
+	for _, spec := range []simsys.SystemSpec{simsys.SmallVM(), simsys.MediumVM(), simsys.LargeVM()} {
+		d := simsys.NewDBMS(spec)
+		for _, wl := range workload.All() {
+			cfg := DBMSConfig(d, wl)
+			if err := d.Space().Validate(cfg); err != nil {
+				t.Fatalf("%v / %s: %v", spec.CPUCores, wl.Name, err)
+			}
+			// Must not crash the system it was derived for.
+			if _, err := d.Run(cfg, wl, 1, nil); err != nil {
+				t.Fatalf("%v / %s: %v", spec.CPUCores, wl.Name, err)
+			}
+		}
+	}
+}
+
+func TestDBMSConfigBeatsDefaults(t *testing.T) {
+	d := simsys.NewDBMS(simsys.MediumVM())
+	for _, wl := range []workload.Descriptor{workload.TPCC(), workload.YCSBB(), workload.TPCH(1)} {
+		def, err := d.Run(d.Space().Default(), wl, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuned, err := d.Run(DBMSConfig(d, wl), wl, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(tuned.LatencyMS < def.LatencyMS) {
+			t.Fatalf("%s: heuristic latency %v should beat default %v",
+				wl.Name, tuned.LatencyMS, def.LatencyMS)
+		}
+	}
+}
+
+func TestDBMSConfigWorkloadSensitive(t *testing.T) {
+	d := simsys.NewDBMS(simsys.MediumVM())
+	oltp := DBMSConfig(d, workload.TPCC())
+	olap := DBMSConfig(d, workload.TPCH(1))
+	readonly := DBMSConfig(d, workload.YCSBC())
+	if oltp.Str("flush_method") != "O_DIRECT" {
+		t.Fatalf("write-heavy flush = %v", oltp.Str("flush_method"))
+	}
+	if readonly.Int("query_cache_mb") == 0 {
+		t.Fatal("read-only should enable query cache")
+	}
+	if oltp.Int("query_cache_mb") != 0 {
+		t.Fatal("write-heavy should disable query cache")
+	}
+	if !olap.Bool("jit") {
+		t.Fatal("scan-heavy should enable JIT")
+	}
+	if !olap.Bool("prefetch") {
+		t.Fatal("scan-heavy should enable prefetch")
+	}
+}
+
+func TestDBMSConfigScalesWithHost(t *testing.T) {
+	small := DBMSConfig(simsys.NewDBMS(simsys.SmallVM()), workload.TPCC())
+	large := DBMSConfig(simsys.NewDBMS(simsys.LargeVM()), workload.TPCC())
+	if !(large.Int("buffer_pool_mb") > small.Int("buffer_pool_mb")) {
+		t.Fatal("buffer pool should scale with RAM")
+	}
+	if !(large.Int("worker_threads") > small.Int("worker_threads")) {
+		t.Fatal("workers should scale with cores")
+	}
+}

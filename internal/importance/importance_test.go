@@ -1,0 +1,188 @@
+package importance
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"autotune/internal/space"
+)
+
+func impSpace() *space.Space {
+	return space.MustNew(
+		space.Float("big", 0, 1),
+		space.Float("medium", 0, 1),
+		space.Float("tiny", 0, 1),
+		space.Float("noise1", 0, 1),
+		space.Float("noise2", 0, 1),
+	)
+}
+
+func impData(n int, seed int64) ([]space.Config, []float64) {
+	s := impSpace()
+	rng := rand.New(rand.NewSource(seed))
+	cfgs := make([]space.Config, n)
+	ys := make([]float64, n)
+	for i := range cfgs {
+		cfgs[i] = s.Sample(rng)
+		ys[i] = 10*cfgs[i].Float("big") + 3*cfgs[i].Float("medium") +
+			0.5*cfgs[i].Float("tiny") + 0.05*rng.NormFloat64()
+	}
+	return cfgs, ys
+}
+
+func TestLassoRanksLinearSignal(t *testing.T) {
+	cfgs, ys := impData(200, 1)
+	r, err := Lasso(impSpace(), cfgs, ys, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0].Name != "big" || r[1].Name != "medium" {
+		t.Fatalf("ranking = %v", r.Names())
+	}
+	// Sparsity: pure-noise knobs should have (near) zero coefficients.
+	for _, e := range r {
+		if (e.Name == "noise1" || e.Name == "noise2") && e.Score > 0.05 {
+			t.Fatalf("noise knob %s score %v", e.Name, e.Score)
+		}
+	}
+}
+
+func TestLassoSparsityIncreasesWithLambda(t *testing.T) {
+	cfgs, ys := impData(150, 2)
+	nonZero := func(lambda float64) int {
+		r, err := Lasso(impSpace(), cfgs, ys, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range r {
+			if e.Score > 1e-9 {
+				n++
+			}
+		}
+		return n
+	}
+	if !(nonZero(0.5) <= nonZero(0.01)) {
+		t.Fatal("higher lambda should zero out more coefficients")
+	}
+}
+
+func TestLassoErrors(t *testing.T) {
+	s := impSpace()
+	if _, err := Lasso(s, nil, nil, 0.1); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v", err)
+	}
+	cfgs, _ := impData(10, 3)
+	if _, err := Lasso(s, cfgs, []float64{1, 2}, 0.1); !errors.Is(err, ErrNoData) {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestPermutationRanksNonlinearSignal(t *testing.T) {
+	s := impSpace()
+	rng := rand.New(rand.NewSource(4))
+	n := 300
+	cfgs := make([]space.Config, n)
+	ys := make([]float64, n)
+	for i := range cfgs {
+		cfgs[i] = s.Sample(rng)
+		b := cfgs[i].Float("big")
+		// Nonlinear: a sharp valley — Lasso would underrate this.
+		ys[i] = (b-0.5)*(b-0.5)*20 + 0.5*cfgs[i].Float("medium")
+	}
+	r, err := Permutation(s, cfgs, ys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0].Name != "big" {
+		t.Fatalf("ranking = %v", r.Names())
+	}
+}
+
+func TestPermutationErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := Permutation(impSpace(), nil, nil, rng); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRankingHelpers(t *testing.T) {
+	r := Ranking{
+		{Name: "a", Score: 3},
+		{Name: "b", Score: 2},
+		{Name: "c", Score: 1},
+	}
+	if got := r.TopK(2); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("TopK = %v", got)
+	}
+	if got := r.TopK(10); len(got) != 3 {
+		t.Fatalf("TopK overflow = %v", got)
+	}
+}
+
+func TestNarrow(t *testing.T) {
+	s := impSpace()
+	base := s.Default()
+	base["noise1"] = 0.9
+	sub, complete, err := Narrow(s, []string{"big", "medium"}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Dim() != 2 {
+		t.Fatalf("sub dim = %d", sub.Dim())
+	}
+	narrow := space.Config{"big": 0.1, "medium": 0.2}
+	full := complete(narrow)
+	if full.Float("big") != 0.1 || full.Float("medium") != 0.2 {
+		t.Fatalf("narrow values lost: %v", full)
+	}
+	if full.Float("noise1") != 0.9 {
+		t.Fatalf("pinned value lost: %v", full)
+	}
+	if err := s.Validate(full); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Narrow(s, []string{"missing"}, base); err == nil {
+		t.Fatal("unknown knob should error")
+	}
+}
+
+func TestNarrowedTuningMatchesFull(t *testing.T) {
+	// Tuning only the important knobs should achieve (near) the quality of
+	// tuning everything, with a smaller space. We verify by exhaustive
+	// random search on both.
+	s := impSpace()
+	obj := func(c space.Config) float64 {
+		return 10*c.Float("big") + 3*c.Float("medium") + 0.5*c.Float("tiny")
+	}
+	cfgs, ys := impData(200, 6)
+	r, err := Lasso(s, cfgs, ys, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, complete, err := Narrow(s, r.TopK(2), s.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	bestNarrow := 1e18
+	for i := 0; i < 60; i++ {
+		v := obj(complete(sub.Sample(rng)))
+		if v < bestNarrow {
+			bestNarrow = v
+		}
+	}
+	bestFull := 1e18
+	for i := 0; i < 60; i++ {
+		v := obj(s.Sample(rng))
+		if v < bestFull {
+			bestFull = v
+		}
+	}
+	// The narrow search fixes tiny at its default (0.5 -> +0.25), but the
+	// dominant terms should still make it competitive.
+	if bestNarrow > bestFull+1.0 {
+		t.Fatalf("narrow best %v much worse than full best %v", bestNarrow, bestFull)
+	}
+}

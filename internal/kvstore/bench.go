@@ -1,0 +1,218 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autotune/internal/space"
+	"autotune/internal/workload"
+
+	"math/rand"
+)
+
+// BenchResult summarizes one benchmark run against a live store.
+type BenchResult struct {
+	Ops       int
+	Elapsed   time.Duration
+	OpsPerSec float64
+	P50, P95  time.Duration
+	HitRate   float64
+}
+
+// missPenaltyIters is the computational cost of a cache miss: the driver
+// "fetches from the backing store" by hashing for this many iterations,
+// making hit rate a real performance factor rather than bookkeeping.
+const missPenaltyIters = 2000
+
+// Bench loads the store with `keys` initial records and runs totalOps
+// operations from the descriptor's mix across `workers` goroutines,
+// measuring real elapsed time and per-op latency percentiles (sampled).
+func Bench(st *Store, desc workload.Descriptor, keys uint64, totalOps, workers int, seed int64) (BenchResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if totalOps < 1 {
+		return BenchResult{}, fmt.Errorf("kvstore: totalOps must be positive")
+	}
+	recBytes := int(desc.RecordBytes)
+	if recBytes < 8 {
+		recBytes = 8
+	}
+	// Preload up to the key range (bounded to keep setup cheap).
+	value := make([]byte, recBytes)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	for k := uint64(0); k < keys; k++ {
+		st.Put(k, value)
+	}
+
+	opsPerWorker := totalOps / workers
+	var wg sync.WaitGroup
+	latencies := make([][]time.Duration, workers)
+	var penaltySink atomic.Uint64
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*101))
+			gen, err := workload.NewGenerator(desc, keys, rng)
+			if err != nil {
+				return
+			}
+			lats := make([]time.Duration, 0, opsPerWorker/8+1)
+			local := make([]byte, recBytes)
+			copy(local, value)
+			for i := 0; i < opsPerWorker; i++ {
+				sample := i%8 == 0
+				var t0 time.Time
+				if sample {
+					t0 = time.Now()
+				}
+				op := gen.Next()
+				switch op.Kind {
+				case workload.OpRead:
+					if _, ok := st.Get(op.Key); !ok {
+						penaltySink.Add(missWork())
+						st.Put(op.Key, local)
+					}
+				case workload.OpUpdate:
+					st.Put(op.Key, local)
+				case workload.OpInsert:
+					st.Put(op.Key, local)
+				case workload.OpScan:
+					st.Scan(op.Key, op.Len, nil)
+				case workload.OpRMW:
+					if v, ok := st.Get(op.Key); ok {
+						local[0] = v[0] + 1
+					} else {
+						penaltySink.Add(missWork())
+					}
+					st.Put(op.Key, local)
+				}
+				if sample {
+					lats = append(lats, time.Since(t0))
+				}
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := BenchResult{
+		Ops:       opsPerWorker * workers,
+		Elapsed:   elapsed,
+		OpsPerSec: float64(opsPerWorker*workers) / elapsed.Seconds(),
+		HitRate:   st.Stats().HitRate(),
+	}
+	if len(all) > 0 {
+		res.P50 = all[len(all)/2]
+		res.P95 = all[len(all)*95/100]
+	}
+	return res, nil
+}
+
+// missWork burns CPU simulating a backing-store fetch; the returned value
+// defeats dead-code elimination.
+func missWork() uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < missPenaltyIters; i++ {
+		h ^= uint64(i)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// BenchConfig opens a store with cfg and benchmarks it — the one-call
+// objective used by tuning examples. Lower latency is better; use
+// -OpsPerSec to maximize throughput.
+func BenchConfig(cfg space.Config, desc workload.Descriptor, keys uint64, totalOps, workers int, seed int64) (BenchResult, error) {
+	st, err := Open(cfg)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	return Bench(st, desc, keys, totalOps, workers, seed)
+}
+
+// BenchTrace replays a recorded operation trace against the store across
+// `workers` goroutines (each replaying a disjoint region), measuring real
+// elapsed time. Replaying the identical trace against two configurations
+// is an exact A/B comparison: both runs execute the same operations on the
+// same keys in the same per-worker order.
+func BenchTrace(st *Store, tr *workload.Trace, recBytes, totalOps, workers int) (BenchResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if totalOps < 1 {
+		return BenchResult{}, fmt.Errorf("kvstore: totalOps must be positive")
+	}
+	if recBytes < 8 {
+		recBytes = 8
+	}
+	value := make([]byte, recBytes)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	opsPerWorker := totalOps / workers
+	var wg sync.WaitGroup
+	var penaltySink atomic.Uint64
+	errs := make([]error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rep, err := tr.ReplayerAt(w * tr.Len() / workers)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			local := make([]byte, recBytes)
+			copy(local, value)
+			for i := 0; i < opsPerWorker; i++ {
+				op := rep.Next()
+				switch op.Kind {
+				case workload.OpRead:
+					if _, ok := st.Get(op.Key); !ok {
+						penaltySink.Add(missWork())
+						st.Put(op.Key, local)
+					}
+				case workload.OpUpdate, workload.OpInsert:
+					st.Put(op.Key, local)
+				case workload.OpScan:
+					st.Scan(op.Key, op.Len, nil)
+				case workload.OpRMW:
+					if v, ok := st.Get(op.Key); ok {
+						local[0] = v[0] + 1
+					} else {
+						penaltySink.Add(missWork())
+					}
+					st.Put(op.Key, local)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return BenchResult{}, err
+		}
+	}
+	return BenchResult{
+		Ops:       opsPerWorker * workers,
+		Elapsed:   elapsed,
+		OpsPerSec: float64(opsPerWorker*workers) / elapsed.Seconds(),
+		HitRate:   st.Stats().HitRate(),
+	}, nil
+}

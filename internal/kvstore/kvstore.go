@@ -1,0 +1,281 @@
+// Package kvstore implements a real, tunable, sharded in-memory key-value
+// store plus a YCSB-style benchmark driver. Unlike internal/simsys (which
+// models systems analytically), this store actually executes operations, so
+// tuning it measures genuine effects: shard count changes lock contention,
+// eviction policy changes hit rate under skew, and capacity changes the
+// miss rate — a miss pays a real computational "backing store" penalty.
+//
+// The store is safe for concurrent use.
+package kvstore
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"autotune/internal/space"
+)
+
+// Eviction policies.
+const (
+	EvictLRU    = "lru"
+	EvictLFU    = "lfu"
+	EvictClock  = "clock"
+	EvictRandom = "random"
+)
+
+// ErrBadConfig is returned by Open for invalid configurations.
+var ErrBadConfig = errors.New("kvstore: bad config")
+
+// Space returns the store's knob space: shard count (lock striping),
+// eviction policy, capacity, and the LFU/random sampling width.
+func Space() *space.Space {
+	return space.MustNew(
+		space.Int("shards", 1, 256).WithLog().WithDefault(int64(8)),
+		space.Categorical("eviction", EvictLRU, EvictLFU, EvictClock, EvictRandom).
+			WithDefault(EvictLRU),
+		space.Int("capacity_items", 1024, 4*1024*1024).WithLog().WithDefault(int64(65536)),
+		space.Int("evict_sample", 2, 64).WithDefault(int64(8)),
+	)
+}
+
+type entry struct {
+	key   uint64
+	value []byte
+	freq  uint32 // LFU counter / CLOCK reference bit
+	elem  *list.Element
+}
+
+type shard struct {
+	mu       sync.Mutex
+	items    map[uint64]*entry
+	lru      *list.List // front = most recent
+	clockPos []uint64   // CLOCK hand iteration order (keys)
+	capacity int
+	policy   string
+	sample   int
+	rng      *rand.Rand
+
+	hits, misses, evictions uint64
+}
+
+// Store is a sharded in-memory KV store with bounded capacity.
+type Store struct {
+	shards []*shard
+	mask   uint64
+}
+
+// Open builds a store from a configuration drawn from Space().
+func Open(cfg space.Config) (*Store, error) {
+	sp := Space()
+	if err := sp.Validate(cfg); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	n := nextPow2(int(cfg.Int("shards")))
+	capacity := int(cfg.Int("capacity_items")) / n
+	if capacity < 1 {
+		capacity = 1
+	}
+	st := &Store{shards: make([]*shard, n), mask: uint64(n - 1)}
+	for i := range st.shards {
+		st.shards[i] = &shard{
+			items:    make(map[uint64]*entry, capacity),
+			lru:      list.New(),
+			capacity: capacity,
+			policy:   cfg.Str("eviction"),
+			sample:   int(cfg.Int("evict_sample")),
+			rng:      rand.New(rand.NewSource(int64(i)*7919 + 1)),
+		}
+	}
+	return st, nil
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Shards returns the (power-of-two) shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+func (s *Store) shardFor(key uint64) *shard {
+	// Fibonacci hashing spreads sequential keys across shards.
+	return s.shards[(key*0x9E3779B97F4A7C15)>>32&s.mask]
+}
+
+// Get returns the value for key and whether it was present.
+func (s *Store) Get(key uint64) ([]byte, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[key]
+	if !ok {
+		sh.misses++
+		return nil, false
+	}
+	sh.hits++
+	sh.touch(e)
+	return e.value, true
+}
+
+// Put inserts or replaces the value for key, evicting if at capacity.
+func (s *Store) Put(key uint64, value []byte) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.items[key]; ok {
+		e.value = value
+		sh.touch(e)
+		return
+	}
+	for len(sh.items) >= sh.capacity {
+		sh.evict()
+	}
+	e := &entry{key: key, value: value, freq: 1}
+	e.elem = sh.lru.PushFront(e)
+	sh.items[key] = e
+}
+
+// Delete removes key; it reports whether the key existed.
+func (s *Store) Delete(key uint64) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[key]
+	if !ok {
+		return false
+	}
+	sh.lru.Remove(e.elem)
+	delete(sh.items, key)
+	return true
+}
+
+// Scan visits up to n entries starting at key (by key order within the
+// owning shard; cross-shard scans visit shards in order). It returns the
+// number of entries visited. The callback must not call back into the
+// store.
+func (s *Store) Scan(start uint64, n int, visit func(key uint64, value []byte)) int {
+	visited := 0
+	for i := 0; i < len(s.shards) && visited < n; i++ {
+		sh := s.shards[(int(start)+i)%len(s.shards)]
+		sh.mu.Lock()
+		for _, e := range sh.items {
+			if visited >= n {
+				break
+			}
+			if visit != nil {
+				visit(e.key, e.value)
+			}
+			visited++
+		}
+		sh.mu.Unlock()
+	}
+	return visited
+}
+
+// Len returns the total number of resident entries.
+func (s *Store) Len() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Stats summarizes hit/miss/eviction counters across shards.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// Stats returns aggregate counters.
+func (s *Store) Stats() Stats {
+	var st Stats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Evictions += sh.evictions
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no traffic.
+func (st Stats) HitRate() float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}
+
+// touch records an access for the eviction policy. Caller holds the lock.
+func (sh *shard) touch(e *entry) {
+	switch sh.policy {
+	case EvictLRU:
+		sh.lru.MoveToFront(e.elem)
+	case EvictLFU:
+		if e.freq < 1<<30 {
+			e.freq++
+		}
+	case EvictClock:
+		e.freq = 1 // reference bit
+	}
+}
+
+// evict removes one entry per the policy. Caller holds the lock.
+func (sh *shard) evict() {
+	if len(sh.items) == 0 {
+		return
+	}
+	var victim *entry
+	switch sh.policy {
+	case EvictLRU:
+		victim = sh.lru.Back().Value.(*entry)
+	case EvictLFU:
+		victim = sh.sampleVictim(func(a, b *entry) bool { return a.freq < b.freq })
+	case EvictClock:
+		// Sweep from the back of the recency list, clearing reference
+		// bits until an unreferenced entry is found.
+		for el := sh.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*entry)
+			if e.freq == 0 {
+				victim = e
+				break
+			}
+			e.freq = 0
+		}
+		if victim == nil {
+			victim = sh.lru.Back().Value.(*entry)
+		}
+	default: // random
+		victim = sh.sampleVictim(func(a, b *entry) bool { return sh.rng.Intn(2) == 0 })
+	}
+	sh.lru.Remove(victim.elem)
+	delete(sh.items, victim.key)
+	sh.evictions++
+}
+
+// sampleVictim samples up to sh.sample entries (map iteration order is
+// effectively random) and returns the one minimizing less().
+func (sh *shard) sampleVictim(less func(a, b *entry) bool) *entry {
+	var best *entry
+	n := 0
+	for _, e := range sh.items {
+		if best == nil || less(e, best) {
+			best = e
+		}
+		n++
+		if n >= sh.sample {
+			break
+		}
+	}
+	return best
+}

@@ -1,0 +1,425 @@
+// Package linalg implements the small dense linear-algebra kernel the
+// autotuning framework needs: row-major matrices, Cholesky factorization,
+// triangular solves, symmetric eigendecomposition (cyclic Jacobi), and
+// least-squares via normal equations. It is deliberately minimal — matrices
+// here are tens to a few hundreds of rows (GP training sets, CMA-ES
+// covariances), so clarity beats blocking and SIMD tricks.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
+
+// ErrSingular is returned by solves on singular systems.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zeroed r x c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: invalid dims %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i, j) by v.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product a*b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: mul dims %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m*x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if m.Cols != len(x) {
+		panic(fmt.Sprintf("linalg: mulvec dims %dx%d * %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Scale multiplies every element of m by s in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddMat returns a+b as a new matrix.
+func AddMat(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("linalg: add dims mismatch")
+	}
+	out := a.Clone()
+	for i := range out.Data {
+		out.Data[i] += b.Data[i]
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// AXPY computes y += a*x in place.
+func AXPY(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: axpy length mismatch")
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Cholesky computes the lower-triangular factor L with A = L Lᵀ. A must be
+// square and symmetric positive definite; only the lower triangle of A is
+// read. Returns ErrNotPositiveDefinite on failure.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: cholesky of %dx%d: not square", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// CholeskyJitter is Cholesky with progressive diagonal jitter: it retries
+// with jitter 1e-10, 1e-9, ... up to maxJitter added to the diagonal until
+// the factorization succeeds. It returns the factor and the jitter used.
+func CholeskyJitter(a *Matrix, maxJitter float64) (*Matrix, float64, error) {
+	if l, err := Cholesky(a); err == nil {
+		return l, 0, nil
+	}
+	for jit := 1e-10; jit <= maxJitter; jit *= 10 {
+		aj := a.Clone()
+		for i := 0; i < aj.Rows; i++ {
+			aj.Add(i, i, jit)
+		}
+		if l, err := Cholesky(aj); err == nil {
+			return l, jit, nil
+		}
+	}
+	return nil, 0, ErrNotPositiveDefinite
+}
+
+// SolveLower solves L y = b for lower-triangular L by forward substitution.
+func SolveLower(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: solve dims %d vs %d", n, len(b))
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for j := 0; j < i; j++ {
+			s -= row[j] * y[j]
+		}
+		if row[i] == 0 {
+			return nil, ErrSingular
+		}
+		y[i] = s / row[i]
+	}
+	return y, nil
+}
+
+// SolveUpperFromLowerT solves Lᵀ x = y where L is lower triangular, by
+// backward substitution without materializing the transpose.
+func SolveUpperFromLowerT(l *Matrix, y []float64) ([]float64, error) {
+	n := l.Rows
+	if len(y) != n {
+		return nil, fmt.Errorf("linalg: solve dims %d vs %d", n, len(y))
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= l.At(j, i) * x[j]
+		}
+		d := l.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// CholeskySolve solves A x = b given the Cholesky factor L of A.
+func CholeskySolve(l *Matrix, b []float64) ([]float64, error) {
+	y, err := SolveLower(l, b)
+	if err != nil {
+		return nil, err
+	}
+	return SolveUpperFromLowerT(l, y)
+}
+
+// LogDetFromChol returns log(det(A)) given the Cholesky factor L of A.
+func LogDetFromChol(l *Matrix) float64 {
+	s := 0.0
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s
+}
+
+// SolveLU solves the general square system A x = b using Gaussian
+// elimination with partial pivoting. A is not modified.
+func SolveLU(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("linalg: solveLU dims %dx%d, b %d", a.Rows, a.Cols, len(b))
+	}
+	m := a.Clone()
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pmax := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > pmax {
+				piv, pmax = r, v
+			}
+		}
+		if pmax < 1e-14 {
+			return nil, ErrSingular
+		}
+		if piv != col {
+			for j := 0; j < n; j++ {
+				vi, vp := m.At(col, j), m.At(piv, j)
+				m.Set(col, j, vp)
+				m.Set(piv, j, vi)
+			}
+			x[col], x[piv] = x[piv], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Add(r, j, -f*m.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+// SymEigen computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns eigenvalues (ascending) and a matrix
+// whose COLUMNS are the corresponding orthonormal eigenvectors.
+func SymEigen(a *Matrix) (vals []float64, vecs *Matrix, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("linalg: eigen of %dx%d: not square", a.Rows, a.Cols)
+	}
+	m := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/cols p and q of m.
+				for k := 0; k < n; k++ {
+					akp, akq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.At(i, i)
+	}
+	// Sort ascending, permuting eigenvector columns accordingly.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort; n is small
+		for j := i; j > 0 && vals[idx[j]] < vals[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// LeastSquares solves min ||A x - b||₂ via the normal equations with a tiny
+// ridge term for stability. Suitable for the small, well-scaled regression
+// problems in this codebase (knob importance, mixture fitting).
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("linalg: lstsq dims %dx%d, b %d", a.Rows, a.Cols, len(b))
+	}
+	at := a.T()
+	ata := Mul(at, a)
+	for i := 0; i < ata.Rows; i++ {
+		ata.Add(i, i, 1e-10)
+	}
+	atb := at.MulVec(b)
+	return SolveLU(ata, atb)
+}

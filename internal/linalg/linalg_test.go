@@ -1,0 +1,300 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Fatal("At/Set broken")
+	}
+	m.Add(0, 0, 2)
+	if m.At(0, 0) != 3 {
+		t.Fatal("Add broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone aliases data")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("T dims %dx%d", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatal("transpose mismatch")
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul = %v", c.Data)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := a.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestIdentityAndScale(t *testing.T) {
+	id := Identity(3)
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	if got := Mul(id, a); !matEq(got, a, 0) {
+		t.Fatal("I*A != A")
+	}
+	s := a.Clone().Scale(2)
+	if s.At(1, 1) != 10 {
+		t.Fatal("Scale broken")
+	}
+	sum := AddMat(a, a)
+	if sum.At(2, 2) != 18 {
+		t.Fatal("AddMat broken")
+	}
+}
+
+func matEq(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func randSPD(n int, rng *rand.Rand) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := Mul(b, b.T())
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n)) // well conditioned
+	}
+	return a
+}
+
+func TestCholeskyReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 20} {
+		a := randSPD(n, rng)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		recon := Mul(l, l.T())
+		if !matEq(recon, a, 1e-8) {
+			t.Fatalf("n=%d: L*Lt != A", n)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square should error")
+	}
+}
+
+func TestCholeskyJitterRecovers(t *testing.T) {
+	// Singular PSD matrix: rank 1.
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	l, jit, err := CholeskyJitter(a, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jit == 0 {
+		t.Fatal("expected nonzero jitter")
+	}
+	if l.At(0, 0) <= 0 {
+		t.Fatal("bad factor")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSPD(6, rng)
+	xTrue := make([]float64, 6)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := a.MulVec(xTrue)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := CholeskySolve(l, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("solve error at %d: %v vs %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestLogDetFromChol(t *testing.T) {
+	a := FromRows([][]float64{{4, 0}, {0, 9}})
+	l, _ := Cholesky(a)
+	if got, want := LogDetFromChol(l), math.Log(36); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("logdet = %v, want %v", got, want)
+	}
+}
+
+func TestSolveLU(t *testing.T) {
+	a := FromRows([][]float64{{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}})
+	b := []float64{-8, 0, 3}
+	x, err := SolveLU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.MulVec(x)
+	for i := range b {
+		if math.Abs(got[i]-b[i]) > 1e-10 {
+			t.Fatalf("Ax = %v, want %v", got, b)
+		}
+	}
+	// Singular.
+	s := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLU(s, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-10 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	// Eigenvector columns orthonormal.
+	vtv := Mul(vecs.T(), vecs)
+	if !matEq(vtv, Identity(3), 1e-10) {
+		t.Fatal("eigenvectors not orthonormal")
+	}
+}
+
+func TestSymEigenReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randSPD(8, rng)
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A = V diag(vals) Vt
+	d := NewMatrix(8, 8)
+	for i := 0; i < 8; i++ {
+		d.Set(i, i, vals[i])
+	}
+	recon := Mul(Mul(vecs, d), vecs.T())
+	if !matEq(recon, a, 1e-7) {
+		t.Fatal("V D Vt != A")
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			t.Fatal("eigenvalues not ascending")
+		}
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined consistent system.
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	xTrue := []float64{2, -3}
+	b := a.MulVec(xTrue)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xTrue {
+		if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+			t.Fatalf("lstsq = %v", x)
+		}
+	}
+}
+
+func TestDotNormAXPY(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatal("Norm2 wrong")
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Fatalf("AXPY = %v", y)
+	}
+}
+
+// Property: CholeskySolve inverts MulVec for random SPD systems.
+func TestCholeskySolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := randSPD(n, r)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		b := a.MulVec(x)
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		got, err := CholeskySolve(l, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package manual
+
+import (
+	"testing"
+
+	"autotune/internal/simsys"
+	"autotune/internal/workload"
+)
+
+func TestCorpusCoversSpace(t *testing.T) {
+	d := simsys.NewDBMS(simsys.MediumVM())
+	docs := DBMSCorpus()
+	documented := map[string]bool{}
+	for _, doc := range docs {
+		if _, ok := d.Space().Param(doc.Knob); !ok {
+			t.Fatalf("doc for unknown knob %q", doc.Knob)
+		}
+		if documented[doc.Knob] {
+			t.Fatalf("duplicate doc for %q", doc.Knob)
+		}
+		documented[doc.Knob] = true
+		if doc.Text == "" {
+			t.Fatalf("empty doc for %q", doc.Knob)
+		}
+	}
+	for _, p := range d.Space().Params() {
+		if !documented[p.Name] {
+			t.Fatalf("knob %q has no manual entry", p.Name)
+		}
+	}
+}
+
+func TestExtractRanksEmphasizedKnobs(t *testing.T) {
+	hints := Extract(DBMSCorpus())
+	if hints[0].Knob != "buffer_pool_mb" {
+		t.Fatalf("top knob = %q, want buffer_pool_mb", hints[0].Knob)
+	}
+	top := map[string]bool{}
+	for _, k := range TopKnobs(hints, 8) {
+		top[k] = true
+	}
+	for _, want := range []string{"buffer_pool_mb", "wal_buffer_kb", "io_threads", "flush_method"} {
+		if !top[want] {
+			t.Fatalf("%q missing from manual-derived top knobs: %v", want, TopKnobs(hints, 8))
+		}
+	}
+	// Explicitly-unimportant knobs score zero.
+	for _, h := range hints {
+		if h.Knob == "join_buffer_kb" && h.Score != 0 {
+			t.Fatalf("join_buffer_kb score = %v, want 0", h.Score)
+		}
+	}
+}
+
+func TestExtractAgreesWithGroundTruth(t *testing.T) {
+	// The manual-derived top knobs should overlap the model's ground truth
+	// for a write-heavy workload — the DB-BERT claim, reproduced.
+	d := simsys.NewDBMS(simsys.MediumVM())
+	truth := d.ImportantKnobs(workload.TPCC())
+	top := map[string]bool{}
+	for _, k := range TopKnobs(Extract(DBMSCorpus()), 7) {
+		top[k] = true
+	}
+	hits := 0
+	for _, k := range truth {
+		if top[k] {
+			hits++
+		}
+	}
+	if hits < 3 {
+		t.Fatalf("manual hints recovered only %d/%d ground-truth knobs", hits, len(truth))
+	}
+}
+
+func TestApplyHintsSeedsConfig(t *testing.T) {
+	d := simsys.NewDBMS(simsys.MediumVM())
+	hints := Extract(DBMSCorpus())
+	cfg := ApplyHints(d, hints)
+	if err := d.Space().Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Buffer pool should land in the documented 50-75% of RAM band
+	// (clipped to the knob's domain).
+	bp := float64(cfg.Int("buffer_pool_mb"))
+	if bp < d.Spec.RAMMB*0.45 && bp < 16384 {
+		t.Fatalf("buffer pool = %v, want documented fraction of %v RAM", bp, d.Spec.RAMMB)
+	}
+	if cfg.Str("flush_method") != "O_DIRECT" {
+		t.Fatalf("flush = %q, want documented O_DIRECT", cfg.Str("flush_method"))
+	}
+	// The seeded config must beat the shipped defaults.
+	wl := workload.TPCC()
+	def, err := d.Run(d.Space().Default(), wl, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := d.Run(cfg, wl, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(seeded.LatencyMS < def.LatencyMS) {
+		t.Fatalf("manual-seeded latency %v should beat default %v", seeded.LatencyMS, def.LatencyMS)
+	}
+}
+
+func TestTopKnobsClamps(t *testing.T) {
+	hints := Extract(DBMSCorpus())
+	if len(TopKnobs(hints, 1000)) != len(hints) {
+		t.Fatal("overflow clamp failed")
+	}
+}

@@ -1,0 +1,192 @@
+// Package mfidelity implements multi-fidelity tuning (tutorial slides
+// 65-66): successive halving and Hyperband over configurations whose
+// evaluation cost scales with a fidelity knob (benchmark duration, scale
+// factor, replica count), plus a cost-aware acquisition wrapper that
+// divides expected improvement by predicted cost.
+//
+// The caller supplies an evaluation function f(cfg, fidelity) and a cost
+// model; the schedulers decide which configurations earn evaluation at
+// higher fidelities.
+package mfidelity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"autotune/internal/space"
+)
+
+// EvalFunc evaluates a configuration at a fidelity in (0, 1]; it returns
+// the measured objective (minimized). Low fidelities are cheaper and
+// noisier/more biased.
+type EvalFunc func(cfg space.Config, fidelity float64) float64
+
+// CostFunc returns the cost of one evaluation at a fidelity. The default
+// model is linear: cost = fidelity.
+type CostFunc func(fidelity float64) float64
+
+// LinearCost is the default fidelity→cost model.
+func LinearCost(fidelity float64) float64 { return fidelity }
+
+// Result summarizes a multi-fidelity run.
+type Result struct {
+	// Best configuration and its highest-fidelity measured value.
+	Best      space.Config
+	BestValue float64
+	// Evaluations counts f calls; TotalCost sums the cost model over them.
+	Evaluations int
+	TotalCost   float64
+}
+
+// SuccessiveHalving runs the classic SH race: `n` random configurations
+// start at fidelity minFid; each rung keeps the best 1/eta fraction and
+// multiplies fidelity by eta until reaching 1.0.
+func SuccessiveHalving(s *space.Space, f EvalFunc, cost CostFunc, n int, minFid, eta float64, rng *rand.Rand) (Result, error) {
+	if n < 1 {
+		return Result{}, errors.New("mfidelity: need at least one configuration")
+	}
+	if eta <= 1 {
+		return Result{}, fmt.Errorf("mfidelity: eta must exceed 1, got %v", eta)
+	}
+	if minFid <= 0 || minFid > 1 {
+		return Result{}, fmt.Errorf("mfidelity: minFid must be in (0, 1], got %v", minFid)
+	}
+	if cost == nil {
+		cost = LinearCost
+	}
+	type entry struct {
+		cfg space.Config
+		val float64
+	}
+	alive := make([]entry, 0, n)
+	alive = append(alive, entry{cfg: s.Default()})
+	for len(alive) < n {
+		alive = append(alive, entry{cfg: s.Sample(rng)})
+	}
+	var res Result
+	fid := minFid
+	for {
+		for i := range alive {
+			alive[i].val = f(alive[i].cfg, fid)
+			res.Evaluations++
+			res.TotalCost += cost(fid)
+		}
+		sort.Slice(alive, func(i, j int) bool { return alive[i].val < alive[j].val })
+		if fid >= 1 || len(alive) == 1 {
+			break
+		}
+		keep := int(math.Ceil(float64(len(alive)) / eta))
+		if keep < 1 {
+			keep = 1
+		}
+		alive = alive[:keep]
+		fid = math.Min(1, fid*eta)
+	}
+	res.Best = alive[0].cfg.Clone()
+	res.BestValue = alive[0].val
+	return res, nil
+}
+
+// Hyperband runs several SH brackets trading off breadth (many configs at
+// low fidelity) against depth (few configs at high fidelity), following
+// Li et al. R is expressed through minFid = 1/R.
+func Hyperband(s *space.Space, f EvalFunc, cost CostFunc, minFid, eta float64, rng *rand.Rand) (Result, error) {
+	if minFid <= 0 || minFid >= 1 {
+		return Result{}, fmt.Errorf("mfidelity: minFid must be in (0, 1), got %v", minFid)
+	}
+	if eta <= 1 {
+		return Result{}, fmt.Errorf("mfidelity: eta must exceed 1, got %v", eta)
+	}
+	if cost == nil {
+		cost = LinearCost
+	}
+	sMax := int(math.Floor(math.Log(1/minFid) / math.Log(eta)))
+	var total Result
+	total.BestValue = math.Inf(1)
+	for b := sMax; b >= 0; b-- {
+		// Bracket b: n configs starting at fidelity eta^-b.
+		n := int(math.Ceil(float64(sMax+1) / float64(b+1) * math.Pow(eta, float64(b))))
+		if n < 1 {
+			n = 1
+		}
+		startFid := math.Pow(eta, -float64(b))
+		r, err := SuccessiveHalving(s, f, cost, n, startFid, eta, rng)
+		if err != nil {
+			return Result{}, fmt.Errorf("mfidelity: bracket %d: %w", b, err)
+		}
+		total.Evaluations += r.Evaluations
+		total.TotalCost += r.TotalCost
+		if r.BestValue < total.BestValue {
+			total.Best = r.Best
+			total.BestValue = r.BestValue
+		}
+	}
+	return total, nil
+}
+
+// FixedFidelity evaluates n random configurations at full fidelity — the
+// single-fidelity baseline the tutorial contrasts SH against.
+func FixedFidelity(s *space.Space, f EvalFunc, cost CostFunc, n int, rng *rand.Rand) (Result, error) {
+	if n < 1 {
+		return Result{}, errors.New("mfidelity: need at least one configuration")
+	}
+	if cost == nil {
+		cost = LinearCost
+	}
+	var res Result
+	res.BestValue = math.Inf(1)
+	for i := 0; i < n; i++ {
+		var cfg space.Config
+		if i == 0 {
+			cfg = s.Default()
+		} else {
+			cfg = s.Sample(rng)
+		}
+		v := f(cfg, 1)
+		res.Evaluations++
+		res.TotalCost += cost(1)
+		if v < res.BestValue {
+			res.Best = cfg.Clone()
+			res.BestValue = v
+		}
+	}
+	return res, nil
+}
+
+// CostAwareEI divides an expected-improvement score by the predicted cost
+// raised to CostExponent — the "EI per unit cost" acquisition for
+// multi-fidelity and heterogeneous-cost tuning (Do & Zhang 2023). Wrap it
+// around any Acquisition-compatible scorer via the Score closure fields.
+type CostAwareEI struct {
+	// Base scores improvement; it must behave like expected improvement
+	// (non-negative, larger is better).
+	Base interface {
+		Score(mean, std, best float64) float64
+	}
+	// Cost predicts the evaluation cost at the candidate (must be > 0).
+	Cost func() float64
+	// CostExponent tempers the division (default 1; BOCA-style uses <1).
+	CostExponent float64
+}
+
+// Score returns Base.Score / Cost^CostExponent.
+func (c CostAwareEI) Score(mean, std, best float64) float64 {
+	exp := c.CostExponent
+	if exp == 0 {
+		exp = 1
+	}
+	cost := 1.0
+	if c.Cost != nil {
+		cost = c.Cost()
+		if cost <= 0 {
+			cost = 1e-9
+		}
+	}
+	return c.Base.Score(mean, std, best) / math.Pow(cost, exp)
+}
+
+// Name identifies the acquisition.
+func (c CostAwareEI) Name() string { return "cost-ei" }

@@ -1,0 +1,178 @@
+package mfidelity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"autotune/internal/bo"
+	"autotune/internal/space"
+)
+
+// testEval: quadratic objective whose low-fidelity evaluation adds bias and
+// noise inversely proportional to fidelity.
+func testEval(rng *rand.Rand) EvalFunc {
+	return func(cfg space.Config, fid float64) float64 {
+		x := cfg.Float("x")
+		true_ := (x - 0.7) * (x - 0.7)
+		noise := (1 - fid) * 0.05 * rng.NormFloat64()
+		bias := (1 - fid) * 0.02
+		return true_ + noise + bias
+	}
+}
+
+func testSpace() *space.Space {
+	return space.MustNew(space.Float("x", 0, 1))
+}
+
+func TestSuccessiveHalvingFindsOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	res, err := SuccessiveHalving(testSpace(), testEval(rng), nil, 27, 1.0/9, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Best.Float("x")-0.7) > 0.15 {
+		t.Fatalf("best x = %v", res.Best.Float("x"))
+	}
+	if res.Evaluations == 0 || res.TotalCost <= 0 {
+		t.Fatal("bookkeeping missing")
+	}
+}
+
+func TestSHCheaperThanFixedAtSameBreadth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 27
+	sh, err := SuccessiveHalving(testSpace(), testEval(rng), nil, n, 1.0/9, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := FixedFidelity(testSpace(), testEval(rng), nil, n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.TotalCost >= fixed.TotalCost {
+		t.Fatalf("SH cost %v should be below fixed cost %v", sh.TotalCost, fixed.TotalCost)
+	}
+}
+
+func TestSHValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct {
+		n           int
+		minFid, eta float64
+	}{
+		{0, 0.1, 3}, // no configs
+		{5, 0, 3},   // bad fidelity
+		{5, 1.5, 3}, // fidelity > 1
+		{5, 0.1, 1}, // eta <= 1
+		{5, 0.1, 0.5},
+	}
+	for _, c := range cases {
+		if _, err := SuccessiveHalving(testSpace(), testEval(rng), nil, c.n, c.minFid, c.eta, rng); err == nil {
+			t.Fatalf("expected error for %+v", c)
+		}
+	}
+}
+
+func TestSHSingleConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	res, err := SuccessiveHalving(testSpace(), testEval(rng), nil, 1, 0.5, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no best")
+	}
+}
+
+func TestHyperbandRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	res, err := Hyperband(testSpace(), testEval(rng), nil, 1.0/27, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Best.Float("x")-0.7) > 0.2 {
+		t.Fatalf("best x = %v", res.Best.Float("x"))
+	}
+	if res.Evaluations < 10 {
+		t.Fatalf("evaluations = %d", res.Evaluations)
+	}
+}
+
+func TestHyperbandValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := Hyperband(testSpace(), testEval(rng), nil, 1, 3, rng); err == nil {
+		t.Fatal("minFid = 1 should error")
+	}
+	if _, err := Hyperband(testSpace(), testEval(rng), nil, 0.1, 1, rng); err == nil {
+		t.Fatal("eta = 1 should error")
+	}
+}
+
+func TestFixedFidelityBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	res, err := FixedFidelity(testSpace(), testEval(rng), nil, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost != 50 {
+		t.Fatalf("cost = %v, want 50", res.TotalCost)
+	}
+	if math.Abs(res.Best.Float("x")-0.7) > 0.15 {
+		t.Fatalf("best x = %v", res.Best.Float("x"))
+	}
+	if _, err := FixedFidelity(testSpace(), testEval(rng), nil, 0, rng); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}
+
+func TestSHBeatsFixedPerCost(t *testing.T) {
+	// At (roughly) matched total cost, SH should find an equal-or-better
+	// configuration than fixed-fidelity random search, averaged over seeds.
+	var shSum, fxSum float64
+	seeds := 6
+	for i := 0; i < seeds; i++ {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		sh, err := SuccessiveHalving(testSpace(), testEval(rng), nil, 27, 1.0/9, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := int(math.Max(1, math.Round(sh.TotalCost)))
+		fx, err := FixedFidelity(testSpace(), testEval(rng), nil, budget, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare on true objective.
+		shTrue := (sh.Best.Float("x") - 0.7) * (sh.Best.Float("x") - 0.7)
+		fxTrue := (fx.Best.Float("x") - 0.7) * (fx.Best.Float("x") - 0.7)
+		shSum += shTrue
+		fxSum += fxTrue
+	}
+	if shSum > fxSum*1.5 {
+		t.Fatalf("SH mean true regret %v much worse than fixed %v", shSum/6, fxSum/6)
+	}
+}
+
+func TestCostAwareEI(t *testing.T) {
+	base := bo.NewEI()
+	cheap := CostAwareEI{Base: base, Cost: func() float64 { return 0.1 }}
+	pricey := CostAwareEI{Base: base, Cost: func() float64 { return 10 }}
+	sCheap := cheap.Score(0, 0.5, 1)
+	sPricey := pricey.Score(0, 0.5, 1)
+	if !(sCheap > sPricey) {
+		t.Fatalf("cheap %v should beat pricey %v", sCheap, sPricey)
+	}
+	// Nil cost behaves as cost 1.
+	neutral := CostAwareEI{Base: base}
+	if got, want := neutral.Score(0, 0.5, 1), base.Score(0, 0.5, 1); got != want {
+		t.Fatalf("neutral = %v, want %v", got, want)
+	}
+	// Zero/negative costs are floored, not divide-by-zero.
+	degenerate := CostAwareEI{Base: base, Cost: func() float64 { return 0 }}
+	if math.IsInf(degenerate.Score(0, 0.5, 1), 0) {
+		t.Fatal("zero cost should not produce Inf")
+	}
+	if neutral.Name() != "cost-ei" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,449 @@
+package moo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"autotune/internal/bo"
+	"autotune/internal/gp"
+	"autotune/internal/space"
+)
+
+// ErrNoObjectives is returned when an optimizer is built with < 2 objectives.
+var ErrNoObjectives = errors.New("moo: need at least 2 objectives")
+
+// MultiOptimizer is the multi-objective analogue of optimizer.Optimizer.
+type MultiOptimizer interface {
+	// Suggest proposes the next configuration to evaluate.
+	Suggest() (space.Config, error)
+	// ObserveMulti reports all objective values (minimized) for a config.
+	ObserveMulti(cfg space.Config, objs []float64) error
+	// Front returns the current nondominated set.
+	Front() []FrontEntry
+	// Name identifies the algorithm.
+	Name() string
+}
+
+// FrontEntry is one nondominated configuration with its objectives.
+type FrontEntry struct {
+	Config     space.Config
+	Objectives []float64
+}
+
+// multiHistory is the shared observation store.
+type multiHistory struct {
+	cfgs []space.Config
+	objs [][]float64
+	k    int
+}
+
+func (h *multiHistory) observe(cfg space.Config, objs []float64) error {
+	if len(objs) != h.k {
+		return fmt.Errorf("moo: got %d objectives, want %d", len(objs), h.k)
+	}
+	h.cfgs = append(h.cfgs, cfg.Clone())
+	h.objs = append(h.objs, append([]float64(nil), objs...))
+	return nil
+}
+
+func (h *multiHistory) front() []FrontEntry {
+	idx := ParetoFront(h.objs)
+	out := make([]FrontEntry, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, FrontEntry{
+			Config:     h.cfgs[i].Clone(),
+			Objectives: append([]float64(nil), h.objs[i]...),
+		})
+	}
+	return out
+}
+
+// normalizedObjs returns history objectives min-max normalized per
+// objective so that scalarizations are scale free.
+func (h *multiHistory) normalizedObjs() [][]float64 {
+	lo := make([]float64, h.k)
+	hi := make([]float64, h.k)
+	for j := 0; j < h.k; j++ {
+		lo[j], hi[j] = math.Inf(1), math.Inf(-1)
+	}
+	for _, o := range h.objs {
+		for j, v := range o {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	out := make([][]float64, len(h.objs))
+	for i, o := range h.objs {
+		row := make([]float64, h.k)
+		for j, v := range o {
+			span := hi[j] - lo[j]
+			if span <= 0 {
+				row[j] = 0
+			} else {
+				row[j] = (v - lo[j]) / span
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// ParEGO (Knowles 2006) scalarizes the objectives with a freshly drawn
+// augmented-Chebyshev weight vector at every suggestion and runs one step
+// of GP-based expected improvement on the scalarized history.
+type ParEGO struct {
+	hist  multiHistory
+	space *space.Space
+	rng   *rand.Rand
+
+	// InitSamples random warm-up suggestions (default 6).
+	InitSamples int
+	// Candidates for acquisition maximization (default 512).
+	Candidates int
+	// Rho is the Chebyshev augmentation (default 0.05).
+	Rho float64
+}
+
+// NewParEGO returns a ParEGO optimizer for k objectives.
+func NewParEGO(s *space.Space, k int, rng *rand.Rand) (*ParEGO, error) {
+	if k < 2 {
+		return nil, ErrNoObjectives
+	}
+	return &ParEGO{
+		hist:        multiHistory{k: k},
+		space:       s,
+		rng:         rng,
+		InitSamples: 6,
+		Candidates:  512,
+		Rho:         0.05,
+	}, nil
+}
+
+// Name implements MultiOptimizer.
+func (p *ParEGO) Name() string { return "parego" }
+
+// ObserveMulti implements MultiOptimizer.
+func (p *ParEGO) ObserveMulti(cfg space.Config, objs []float64) error {
+	return p.hist.observe(cfg, objs)
+}
+
+// Front implements MultiOptimizer.
+func (p *ParEGO) Front() []FrontEntry { return p.hist.front() }
+
+// N returns the number of observations.
+func (p *ParEGO) N() int { return len(p.hist.cfgs) }
+
+// Suggest implements MultiOptimizer.
+func (p *ParEGO) Suggest() (space.Config, error) {
+	if len(p.hist.cfgs) == 0 {
+		return p.space.Default(), nil
+	}
+	if len(p.hist.cfgs) < p.InitSamples {
+		return p.space.Sample(p.rng), nil
+	}
+	// Draw a random weight vector on the simplex.
+	w := make([]float64, p.hist.k)
+	sum := 0.0
+	for i := range w {
+		w[i] = p.rng.ExpFloat64()
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	scal := Chebyshev{Weights: w, Rho: p.Rho}
+	norm := p.hist.normalizedObjs()
+	ys := make([]float64, len(norm))
+	xs := make([][]float64, len(norm))
+	best := math.Inf(1)
+	for i, o := range norm {
+		ys[i] = scal.Scalarize(o)
+		xs[i] = p.space.EncodeOneHot(p.hist.cfgs[i])
+		if ys[i] < best {
+			best = ys[i]
+		}
+	}
+	model := gp.New(gp.Scale(1, gp.NewMatern(2.5, 0.2)), 1e-6)
+	if err := model.Fit(xs, ys); err != nil {
+		return p.space.Sample(p.rng), nil
+	}
+	acq := bo.NewEI()
+	var top space.Config
+	topScore := math.Inf(-1)
+	for i := 0; i < p.Candidates; i++ {
+		cfg := p.space.Sample(p.rng)
+		mu, v, err := model.Predict(p.space.EncodeOneHot(cfg))
+		if err != nil {
+			continue
+		}
+		if sc := acq.Score(mu, math.Sqrt(v), best); sc > topScore {
+			top, topScore = cfg, sc
+		}
+	}
+	if top == nil {
+		top = p.space.Sample(p.rng)
+	}
+	return top, nil
+}
+
+// NSGAII is the elitist nondominated-sorting genetic algorithm, buffering
+// one generation at a time like internal/genetic.
+type NSGAII struct {
+	hist  multiHistory
+	space *space.Space
+	rng   *rand.Rand
+
+	// Population size (default 24).
+	Population int
+	// MutationRate per gene (default 0.15); MutationScale in unit-cube
+	// units (default 0.1); CrossoverRate per pair (default 0.9).
+	MutationRate, MutationScale, CrossoverRate float64
+
+	pop     []space.Config       // current generation, awaiting evaluation
+	vals    map[string][]float64 // evaluated objectives by config key this gen
+	nextIdx int
+	gen     int
+	parents []FrontEntry // survivors from the previous selection
+}
+
+// NewNSGAII returns an NSGA-II optimizer for k objectives.
+func NewNSGAII(s *space.Space, k int, rng *rand.Rand) (*NSGAII, error) {
+	if k < 2 {
+		return nil, ErrNoObjectives
+	}
+	n := &NSGAII{
+		hist:          multiHistory{k: k},
+		space:         s,
+		rng:           rng,
+		Population:    24,
+		MutationRate:  0.15,
+		MutationScale: 0.1,
+		CrossoverRate: 0.9,
+	}
+	n.seedPopulation()
+	return n, nil
+}
+
+func (n *NSGAII) seedPopulation() {
+	n.pop = n.pop[:0]
+	n.pop = append(n.pop, n.space.Default())
+	for len(n.pop) < n.Population {
+		n.pop = append(n.pop, n.space.Sample(n.rng))
+	}
+	n.vals = make(map[string][]float64, n.Population)
+	n.nextIdx = 0
+}
+
+// Name implements MultiOptimizer.
+func (n *NSGAII) Name() string { return "nsga2" }
+
+// Front implements MultiOptimizer.
+func (n *NSGAII) Front() []FrontEntry { return n.hist.front() }
+
+// Generation returns completed generations.
+func (n *NSGAII) Generation() int { return n.gen }
+
+// Suggest implements MultiOptimizer.
+func (n *NSGAII) Suggest() (space.Config, error) {
+	for tries := 0; tries < len(n.pop); tries++ {
+		cfg := n.pop[n.nextIdx%len(n.pop)]
+		n.nextIdx++
+		if _, done := n.vals[cfg.Key()]; !done {
+			return cfg.Clone(), nil
+		}
+	}
+	return n.space.Sample(n.rng), nil
+}
+
+// ObserveMulti implements MultiOptimizer; a fully evaluated generation
+// triggers selection and breeding.
+func (n *NSGAII) ObserveMulti(cfg space.Config, objs []float64) error {
+	if err := n.hist.observe(cfg, objs); err != nil {
+		return err
+	}
+	key := cfg.Key()
+	inPop := false
+	for _, c := range n.pop {
+		if c.Key() == key {
+			inPop = true
+			break
+		}
+	}
+	if inPop {
+		n.vals[key] = append([]float64(nil), objs...)
+	}
+	if len(n.vals) >= len(dedupKeys(n.pop)) {
+		n.evolve()
+	}
+	return nil
+}
+
+func dedupKeys(cfgs []space.Config) map[string]bool {
+	m := make(map[string]bool, len(cfgs))
+	for _, c := range cfgs {
+		m[c.Key()] = true
+	}
+	return m
+}
+
+// evolve performs nondominated sorting + crowding selection over the
+// current generation plus previous parents, then breeds the next one.
+func (n *NSGAII) evolve() {
+	// Candidate pool: this generation's evaluated configs + prior parents.
+	var cfgs []space.Config
+	var objs [][]float64
+	seen := map[string]bool{}
+	add := func(c space.Config, o []float64) {
+		k := c.Key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		cfgs = append(cfgs, c)
+		objs = append(objs, o)
+	}
+	for _, c := range n.pop {
+		if o, ok := n.vals[c.Key()]; ok {
+			add(c, o)
+		}
+	}
+	for _, p := range n.parents {
+		add(p.Config, p.Objectives)
+	}
+	// Select Population survivors by front rank then crowding.
+	fronts := NonDominatedSort(objs)
+	var survivors []FrontEntry
+	for _, front := range fronts {
+		if len(survivors)+len(front) <= n.Population {
+			for _, i := range front {
+				survivors = append(survivors, FrontEntry{cfgs[i], objs[i]})
+			}
+			continue
+		}
+		crowd := CrowdingDistance(objs, front)
+		order := make([]int, len(front))
+		for i := range order {
+			order[i] = i
+		}
+		// Descending crowding distance.
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && crowd[order[j]] > crowd[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		for _, oi := range order {
+			if len(survivors) >= n.Population {
+				break
+			}
+			i := front[oi]
+			survivors = append(survivors, FrontEntry{cfgs[i], objs[i]})
+		}
+		break
+	}
+	n.parents = survivors
+	// Breed next generation by binary tournaments on rank proxy (index
+	// order already respects rank) with crossover + mutation.
+	next := make([]space.Config, 0, n.Population)
+	for len(next) < n.Population {
+		a := survivors[n.tournamentIdx(len(survivors))]
+		b := survivors[n.tournamentIdx(len(survivors))]
+		child := n.crossover(a.Config, b.Config)
+		next = append(next, n.mutate(child))
+	}
+	n.pop = next
+	n.vals = make(map[string][]float64, n.Population)
+	n.nextIdx = 0
+	n.gen++
+}
+
+func (n *NSGAII) tournamentIdx(size int) int {
+	a, b := n.rng.Intn(size), n.rng.Intn(size)
+	if a < b { // lower index = better rank/crowding position
+		return a
+	}
+	return b
+}
+
+func (n *NSGAII) crossover(a, b space.Config) space.Config {
+	if n.rng.Float64() > n.CrossoverRate {
+		return a.Clone()
+	}
+	child := make(space.Config, len(a))
+	for _, p := range n.space.Params() {
+		if p.IsNumeric() {
+			t := n.rng.Float64()
+			v := a.Float(p.Name)*t + b.Float(p.Name)*(1-t)
+			if p.Kind == space.KindInt {
+				child[p.Name] = int64(math.Round(v))
+			} else {
+				child[p.Name] = v
+			}
+		} else if n.rng.Intn(2) == 0 {
+			child[p.Name] = a[p.Name]
+		} else {
+			child[p.Name] = b[p.Name]
+		}
+	}
+	return n.space.Clip(child)
+}
+
+func (n *NSGAII) mutate(cfg space.Config) space.Config {
+	out := cfg.Clone()
+	for _, p := range n.space.Params() {
+		if n.rng.Float64() >= n.MutationRate {
+			continue
+		}
+		nb := n.space.Neighbor(out, n.MutationScale, n.rng)
+		out[p.Name] = nb[p.Name]
+	}
+	return n.space.Clip(out)
+}
+
+// RandomMulti is the random-search baseline for multi-objective studies.
+type RandomMulti struct {
+	hist  multiHistory
+	space *space.Space
+	rng   *rand.Rand
+}
+
+// NewRandomMulti returns a random multi-objective sampler for k objectives.
+func NewRandomMulti(s *space.Space, k int, rng *rand.Rand) (*RandomMulti, error) {
+	if k < 2 {
+		return nil, ErrNoObjectives
+	}
+	return &RandomMulti{hist: multiHistory{k: k}, space: s, rng: rng}, nil
+}
+
+// Name implements MultiOptimizer.
+func (r *RandomMulti) Name() string { return "random-multi" }
+
+// Suggest implements MultiOptimizer.
+func (r *RandomMulti) Suggest() (space.Config, error) { return r.space.Sample(r.rng), nil }
+
+// ObserveMulti implements MultiOptimizer.
+func (r *RandomMulti) ObserveMulti(cfg space.Config, objs []float64) error {
+	return r.hist.observe(cfg, objs)
+}
+
+// Front implements MultiOptimizer.
+func (r *RandomMulti) Front() []FrontEntry { return r.hist.front() }
+
+// RunMulti drives a MultiOptimizer for budget evaluations of f.
+func RunMulti(m MultiOptimizer, f func(space.Config) []float64, budget int) error {
+	for i := 0; i < budget; i++ {
+		cfg, err := m.Suggest()
+		if err != nil {
+			return fmt.Errorf("moo: suggest %d: %w", i, err)
+		}
+		if err := m.ObserveMulti(cfg, f(cfg)); err != nil {
+			return fmt.Errorf("moo: observe %d: %w", i, err)
+		}
+	}
+	return nil
+}

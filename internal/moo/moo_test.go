@@ -1,0 +1,361 @@
+package moo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"autotune/internal/space"
+)
+
+func TestDominates(t *testing.T) {
+	if !Dominates([]float64{1, 1}, []float64{2, 2}) {
+		t.Fatal("strict dominance failed")
+	}
+	if !Dominates([]float64{1, 2}, []float64{2, 2}) {
+		t.Fatal("weak+strict dominance failed")
+	}
+	if Dominates([]float64{1, 3}, []float64{2, 2}) {
+		t.Fatal("incomparable should not dominate")
+	}
+	if Dominates([]float64{2, 2}, []float64{2, 2}) {
+		t.Fatal("equal should not dominate")
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	objs := [][]float64{
+		{1, 5}, // front
+		{2, 4}, // front
+		{3, 3}, // front
+		{3, 5}, // dominated by {1,5}? no: {1,5} has 1<3, 5==5 -> dominates
+		{5, 1}, // front
+		{4, 4}, // dominated by {3,3}
+	}
+	front := ParetoFront(objs)
+	want := map[int]bool{0: true, 1: true, 2: true, 4: true}
+	if len(front) != 4 {
+		t.Fatalf("front = %v", front)
+	}
+	for _, i := range front {
+		if !want[i] {
+			t.Fatalf("unexpected front member %d", i)
+		}
+	}
+}
+
+func TestNonDominatedSortLayers(t *testing.T) {
+	objs := [][]float64{
+		{1, 1}, // layer 0 (dominates all)
+		{2, 2}, // layer 1
+		{3, 3}, // layer 2
+		{2, 3}, // layer 1? dominated by {2,2} -> layer 2? {2,2} dominates {2,3}. And {3,3} vs {2,3}: {2,3} dominates {3,3}.
+	}
+	fronts := NonDominatedSort(objs)
+	if len(fronts[0]) != 1 || fronts[0][0] != 0 {
+		t.Fatalf("front0 = %v", fronts[0])
+	}
+	// {2,2} is only dominated by {1,1} -> front 1.
+	found := false
+	for _, i := range fronts[1] {
+		if i == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fronts = %v", fronts)
+	}
+	// Total coverage.
+	total := 0
+	for _, f := range fronts {
+		total += len(f)
+	}
+	if total != 4 {
+		t.Fatalf("sort lost points: %v", fronts)
+	}
+}
+
+func TestCrowdingDistance(t *testing.T) {
+	objs := [][]float64{{0, 4}, {1, 2}, {2, 1}, {4, 0}}
+	front := []int{0, 1, 2, 3}
+	d := CrowdingDistance(objs, front)
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[3], 1) {
+		t.Fatalf("boundaries should be Inf: %v", d)
+	}
+	if math.IsInf(d[1], 1) || math.IsInf(d[2], 1) {
+		t.Fatalf("interior should be finite: %v", d)
+	}
+	if d[1] <= 0 || d[2] <= 0 {
+		t.Fatalf("interior distances should be positive: %v", d)
+	}
+	// Small fronts: all Inf.
+	d2 := CrowdingDistance(objs, []int{0, 1})
+	if !math.IsInf(d2[0], 1) || !math.IsInf(d2[1], 1) {
+		t.Fatal("two-point front should be all Inf")
+	}
+}
+
+func TestHypervolume2D(t *testing.T) {
+	ref := [2]float64{1, 1}
+	// Single point at origin dominates the whole unit square.
+	if hv := Hypervolume2D([][]float64{{0, 0}}, ref); math.Abs(hv-1) > 1e-12 {
+		t.Fatalf("hv = %v", hv)
+	}
+	// Two points.
+	hv := Hypervolume2D([][]float64{{0.5, 0}, {0, 0.5}}, ref)
+	want := 0.5*1 + 0.5*0.5 // (1-0)*(1-0.5) for {0,0.5} then (1-0.5)*(0.5-0) for {0.5,0}
+	if math.Abs(hv-want) > 1e-12 {
+		t.Fatalf("hv = %v, want %v", hv, want)
+	}
+	// Points outside the reference contribute nothing.
+	if hv := Hypervolume2D([][]float64{{2, 2}}, ref); hv != 0 {
+		t.Fatalf("hv = %v", hv)
+	}
+	// Dominated points add nothing.
+	a := Hypervolume2D([][]float64{{0.2, 0.2}}, ref)
+	b := Hypervolume2D([][]float64{{0.2, 0.2}, {0.5, 0.5}}, ref)
+	if a != b {
+		t.Fatal("dominated point changed hypervolume")
+	}
+}
+
+func TestScalarizers(t *testing.T) {
+	lin := Linear{Weights: []float64{0.3, 0.7}}
+	if got := lin.Scalarize([]float64{1, 2}); math.Abs(got-1.7) > 1e-12 {
+		t.Fatalf("linear = %v", got)
+	}
+	ch := Chebyshev{Weights: []float64{0.5, 0.5}, Rho: 0.05}
+	got := ch.Scalarize([]float64{2, 1})
+	want := 1.0 + 0.05*1.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("chebyshev = %v, want %v", got, want)
+	}
+	if lin.Name() != "linear" || ch.Name() != "chebyshev" {
+		t.Fatal("names")
+	}
+}
+
+// biObjective: f1 = x, f2 = 1 - sqrt(x) on [0,1] — classic convex front —
+// plus a second dim y that penalizes both objectives away from 0.5.
+func biObjective(c space.Config) []float64 {
+	x := c.Float("x")
+	y := c.Float("y")
+	pen := (y - 0.5) * (y - 0.5)
+	return []float64{x + pen, 1 - math.Sqrt(x) + pen}
+}
+
+func biSpace() *space.Space {
+	return space.MustNew(space.Float("x", 0, 1), space.Float("y", 0, 1))
+}
+
+func TestParEGOFindsFront(t *testing.T) {
+	s := biSpace()
+	p, err := NewParEGO(s, 2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunMulti(p, biObjective, 60); err != nil {
+		t.Fatal(err)
+	}
+	front := p.Front()
+	if len(front) < 5 {
+		t.Fatalf("front size = %d", len(front))
+	}
+	var objs [][]float64
+	for _, e := range front {
+		objs = append(objs, e.Objectives)
+	}
+	hv := Hypervolume2D(objs, [2]float64{1.2, 1.2})
+	if hv < 0.7 {
+		t.Fatalf("ParEGO hypervolume = %v", hv)
+	}
+	if p.N() != 60 || p.Name() != "parego" {
+		t.Fatal("metadata")
+	}
+}
+
+func TestNSGAIIFindsFront(t *testing.T) {
+	s := biSpace()
+	n, err := NewNSGAII(s, 2, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunMulti(n, biObjective, 300); err != nil {
+		t.Fatal(err)
+	}
+	if n.Generation() < 5 {
+		t.Fatalf("generations = %d", n.Generation())
+	}
+	var objs [][]float64
+	for _, e := range n.Front() {
+		objs = append(objs, e.Objectives)
+	}
+	hv := Hypervolume2D(objs, [2]float64{1.2, 1.2})
+	if hv < 0.7 {
+		t.Fatalf("NSGA-II hypervolume = %v", hv)
+	}
+}
+
+func TestMOOBeatsRandomBaseline(t *testing.T) {
+	s := biSpace()
+	budget := 90
+	hvOf := func(m MultiOptimizer) float64 {
+		if err := RunMulti(m, biObjective, budget); err != nil {
+			t.Fatal(err)
+		}
+		var objs [][]float64
+		for _, e := range m.Front() {
+			objs = append(objs, e.Objectives)
+		}
+		return Hypervolume2D(objs, [2]float64{1.2, 1.2})
+	}
+	var pSum, rSum float64
+	for i := 0; i < 3; i++ {
+		p, _ := NewParEGO(s, 2, rand.New(rand.NewSource(int64(40+i))))
+		r, _ := NewRandomMulti(s, 2, rand.New(rand.NewSource(int64(40+i))))
+		pSum += hvOf(p)
+		rSum += hvOf(r)
+	}
+	if pSum < rSum*0.98 { // ParEGO should match or beat random
+		t.Fatalf("ParEGO mean HV %v vs random %v", pSum/3, rSum/3)
+	}
+}
+
+func TestObserveWrongArity(t *testing.T) {
+	s := biSpace()
+	p, _ := NewParEGO(s, 2, rand.New(rand.NewSource(3)))
+	if err := p.ObserveMulti(s.Default(), []float64{1}); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestConstructorsRejectSingleObjective(t *testing.T) {
+	s := biSpace()
+	rng := rand.New(rand.NewSource(4))
+	if _, err := NewParEGO(s, 1, rng); err == nil {
+		t.Fatal("parego should reject k=1")
+	}
+	if _, err := NewNSGAII(s, 1, rng); err == nil {
+		t.Fatal("nsga2 should reject k=1")
+	}
+	if _, err := NewRandomMulti(s, 1, rng); err == nil {
+		t.Fatal("random should reject k=1")
+	}
+}
+
+// Property: the Pareto front is mutually non-dominating and dominates (or
+// ties with) everything outside it.
+func TestParetoFrontProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		objs := make([][]float64, n)
+		for i := range objs {
+			objs[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		front := ParetoFront(objs)
+		if len(front) == 0 {
+			return false
+		}
+		inFront := map[int]bool{}
+		for _, i := range front {
+			inFront[i] = true
+		}
+		// Mutual non-domination within the front.
+		for _, i := range front {
+			for _, j := range front {
+				if i != j && Dominates(objs[i], objs[j]) {
+					return false
+				}
+			}
+		}
+		// Every non-front point is dominated by at least one front point.
+		for i := range objs {
+			if inFront[i] {
+				continue
+			}
+			dominated := false
+			for _, j := range front {
+				if Dominates(objs[j], objs[i]) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NonDominatedSort layer 0 equals ParetoFront, and layers
+// partition the index set.
+func TestNonDominatedSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		objs := make([][]float64, n)
+		for i := range objs {
+			objs[i] = []float64{rng.Float64(), rng.Float64()}
+		}
+		fronts := NonDominatedSort(objs)
+		seen := map[int]bool{}
+		total := 0
+		for _, layer := range fronts {
+			for _, i := range layer {
+				if seen[i] {
+					return false
+				}
+				seen[i] = true
+				total++
+			}
+		}
+		if total != n {
+			return false
+		}
+		// Layer 0 must match ParetoFront as a set.
+		pf := map[int]bool{}
+		for _, i := range ParetoFront(objs) {
+			pf[i] = true
+		}
+		if len(pf) != len(fronts[0]) {
+			return false
+		}
+		for _, i := range fronts[0] {
+			if !pf[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hypervolume is monotone — adding a point never decreases it.
+func TestHypervolumeMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := [2]float64{1, 1}
+		var objs [][]float64
+		prev := 0.0
+		for i := 0; i < 10; i++ {
+			objs = append(objs, []float64{rng.Float64(), rng.Float64()})
+			hv := Hypervolume2D(objs, ref)
+			if hv < prev-1e-12 {
+				return false
+			}
+			prev = hv
+		}
+		return prev <= 1.0+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

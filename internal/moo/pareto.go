@@ -1,0 +1,206 @@
+// Package moo implements multi-objective optimization (tutorial slide 58):
+// Pareto-dominance utilities (fast nondominated sort, crowding distance,
+// 2-D hypervolume), scalarization (linear and augmented Chebyshev), the
+// ParEGO algorithm (random Chebyshev scalarization + a GP surrogate per
+// step), and an NSGA-II baseline. All objectives are minimized.
+package moo
+
+import (
+	"math"
+	"sort"
+)
+
+// Dominates reports whether objective vector a Pareto-dominates b: a is no
+// worse in every objective and strictly better in at least one.
+func Dominates(a, b []float64) bool {
+	strictly := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// ParetoFront returns the indices of nondominated points among objs.
+func ParetoFront(objs [][]float64) []int {
+	var front []int
+	for i := range objs {
+		dominated := false
+		for j := range objs {
+			if i != j && Dominates(objs[j], objs[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// NonDominatedSort partitions indices 0..n-1 into successive Pareto fronts
+// (front 0 = nondominated), the core of NSGA-II.
+func NonDominatedSort(objs [][]float64) [][]int {
+	n := len(objs)
+	dominatedBy := make([][]int, n) // dominatedBy[i] = points i dominates
+	domCount := make([]int, n)      // number of points dominating i
+	var fronts [][]int
+	var first []int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if Dominates(objs[i], objs[j]) {
+				dominatedBy[i] = append(dominatedBy[i], j)
+			} else if Dominates(objs[j], objs[i]) {
+				domCount[i]++
+			}
+		}
+		if domCount[i] == 0 {
+			first = append(first, i)
+		}
+	}
+	fronts = append(fronts, first)
+	for len(fronts[len(fronts)-1]) > 0 {
+		var next []int
+		for _, i := range fronts[len(fronts)-1] {
+			for _, j := range dominatedBy[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		fronts = append(fronts, next)
+	}
+	return fronts
+}
+
+// CrowdingDistance returns NSGA-II's crowding distance for each index in
+// front (aligned with front's order). Boundary points get +Inf.
+func CrowdingDistance(objs [][]float64, front []int) []float64 {
+	n := len(front)
+	dist := make([]float64, n)
+	if n == 0 {
+		return dist
+	}
+	if n <= 2 {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		return dist
+	}
+	m := len(objs[front[0]])
+	order := make([]int, n) // positions into front
+	for obj := 0; obj < m; obj++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return objs[front[order[a]]][obj] < objs[front[order[b]]][obj]
+		})
+		lo := objs[front[order[0]]][obj]
+		hi := objs[front[order[n-1]]][obj]
+		dist[order[0]] = math.Inf(1)
+		dist[order[n-1]] = math.Inf(1)
+		span := hi - lo
+		if span == 0 {
+			continue
+		}
+		for k := 1; k < n-1; k++ {
+			prev := objs[front[order[k-1]]][obj]
+			next := objs[front[order[k+1]]][obj]
+			dist[order[k]] += (next - prev) / span
+		}
+	}
+	return dist
+}
+
+// Hypervolume2D computes the exact hypervolume dominated by the given 2-D
+// objective vectors with respect to reference point ref (both objectives
+// minimized; points not dominating ref contribute nothing).
+func Hypervolume2D(objs [][]float64, ref [2]float64) float64 {
+	var pts [][2]float64
+	for _, o := range objs {
+		if len(o) != 2 {
+			continue
+		}
+		if o[0] < ref[0] && o[1] < ref[1] {
+			pts = append(pts, [2]float64{o[0], o[1]})
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i][0] != pts[j][0] {
+			return pts[i][0] < pts[j][0]
+		}
+		return pts[i][1] < pts[j][1]
+	})
+	hv := 0.0
+	bestY := ref[1]
+	for _, p := range pts {
+		if p[1] < bestY {
+			hv += (ref[0] - p[0]) * (bestY - p[1])
+			bestY = p[1]
+		}
+	}
+	return hv
+}
+
+// Scalarizer reduces an objective vector to a single value to minimize.
+type Scalarizer interface {
+	Scalarize(objs []float64) float64
+	Name() string
+}
+
+// Linear is the weighted sum scalarization Σ w_i f_i. Weights should be
+// positive; it cannot reach non-convex parts of the Pareto front.
+type Linear struct{ Weights []float64 }
+
+// Scalarize implements Scalarizer.
+func (l Linear) Scalarize(objs []float64) float64 {
+	s := 0.0
+	for i, w := range l.Weights {
+		s += w * objs[i]
+	}
+	return s
+}
+
+// Name implements Scalarizer.
+func (l Linear) Name() string { return "linear" }
+
+// Chebyshev is the augmented Chebyshev scalarization used by ParEGO:
+// max_i(w_i f_i) + rho * Σ w_i f_i. It can reach non-convex fronts.
+type Chebyshev struct {
+	Weights []float64
+	// Rho is the augmentation coefficient (ParEGO uses 0.05).
+	Rho float64
+}
+
+// Scalarize implements Scalarizer.
+func (c Chebyshev) Scalarize(objs []float64) float64 {
+	maxTerm := math.Inf(-1)
+	sum := 0.0
+	for i, w := range c.Weights {
+		t := w * objs[i]
+		if t > maxTerm {
+			maxTerm = t
+		}
+		sum += t
+	}
+	return maxTerm + c.Rho*sum
+}
+
+// Name implements Scalarizer.
+func (c Chebyshev) Name() string { return "chebyshev" }

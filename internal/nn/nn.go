@@ -1,0 +1,212 @@
+// Package nn implements small fully-connected neural networks with tanh
+// hidden activations and a linear output layer, trained by plain SGD
+// backpropagation. It exists to support the actor-critic online tuner in
+// internal/rl (policy and value function approximation) — it is not a
+// general deep-learning library.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Net is a feed-forward network. Construct with New; the zero value is
+// unusable.
+type Net struct {
+	sizes   []int
+	weights [][][]float64 // [layer][out][in]
+	biases  [][]float64   // [layer][out]
+
+	// Scratch buffers reused across Forward/Backward.
+	acts [][]float64 // activations per layer (acts[0] = input)
+	pre  [][]float64 // pre-activations per layer (hidden + output)
+}
+
+// New builds a network with the given layer sizes, e.g. []int{4, 16, 2}
+// for 4 inputs, one 16-unit tanh hidden layer, and 2 linear outputs.
+// Weights are Xavier-initialized from rng.
+func New(sizes []int, rng *rand.Rand) *Net {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("nn: need at least 2 layers, got %v", sizes))
+	}
+	n := &Net{sizes: append([]int(nil), sizes...)}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		scale := math.Sqrt(2.0 / float64(in+out))
+		w := make([][]float64, out)
+		for o := range w {
+			w[o] = make([]float64, in)
+			for i := range w[o] {
+				w[o][i] = rng.NormFloat64() * scale
+			}
+		}
+		n.weights = append(n.weights, w)
+		n.biases = append(n.biases, make([]float64, out))
+	}
+	n.acts = make([][]float64, len(sizes))
+	n.pre = make([][]float64, len(sizes)-1)
+	for l, s := range sizes {
+		n.acts[l] = make([]float64, s)
+		if l > 0 {
+			n.pre[l-1] = make([]float64, s)
+		}
+	}
+	return n
+}
+
+// Outputs returns the output layer width.
+func (n *Net) Outputs() int { return n.sizes[len(n.sizes)-1] }
+
+// Inputs returns the input layer width.
+func (n *Net) Inputs() int { return n.sizes[0] }
+
+// Forward runs the network and returns a copy of the outputs.
+func (n *Net) Forward(x []float64) []float64 {
+	if len(x) != n.sizes[0] {
+		panic(fmt.Sprintf("nn: input dim %d, want %d", len(x), n.sizes[0]))
+	}
+	copy(n.acts[0], x)
+	last := len(n.weights) - 1
+	for l, w := range n.weights {
+		in := n.acts[l]
+		for o := range w {
+			s := n.biases[l][o]
+			for i, wi := range w[o] {
+				s += wi * in[i]
+			}
+			n.pre[l][o] = s
+			if l == last {
+				n.acts[l+1][o] = s // linear output
+			} else {
+				n.acts[l+1][o] = math.Tanh(s)
+			}
+		}
+	}
+	out := make([]float64, n.Outputs())
+	copy(out, n.acts[len(n.acts)-1])
+	return out
+}
+
+// Backward performs one SGD step given the gradient of the loss with
+// respect to the network OUTPUTS (dL/dy), evaluated after a Forward call on
+// the same input. lr is the learning rate. Gradients are clipped to
+// [-clip, clip] elementwise at the output (clip <= 0 disables clipping).
+func (n *Net) Backward(gradOut []float64, lr, clip float64) {
+	if len(gradOut) != n.Outputs() {
+		panic(fmt.Sprintf("nn: grad dim %d, want %d", len(gradOut), n.Outputs()))
+	}
+	delta := make([]float64, n.Outputs())
+	copy(delta, gradOut)
+	if clip > 0 {
+		for i := range delta {
+			if delta[i] > clip {
+				delta[i] = clip
+			}
+			if delta[i] < -clip {
+				delta[i] = -clip
+			}
+		}
+	}
+	for l := len(n.weights) - 1; l >= 0; l-- {
+		w := n.weights[l]
+		in := n.acts[l]
+		var nextDelta []float64
+		if l > 0 {
+			nextDelta = make([]float64, n.sizes[l])
+		}
+		for o := range w {
+			d := delta[o]
+			// Propagate before updating weights.
+			if l > 0 {
+				for i := range w[o] {
+					nextDelta[i] += w[o][i] * d
+				}
+			}
+			for i := range w[o] {
+				w[o][i] -= lr * d * in[i]
+			}
+			n.biases[l][o] -= lr * d
+		}
+		if l > 0 {
+			// Apply tanh' at the hidden layer below.
+			for i := range nextDelta {
+				a := n.acts[l][i] // tanh activation
+				nextDelta[i] *= 1 - a*a
+			}
+			delta = nextDelta
+		}
+	}
+}
+
+// TrainMSE performs Forward + one SGD step on the squared error between the
+// network output and target, returning the loss. Convenience for value
+// networks.
+func (n *Net) TrainMSE(x, target []float64, lr float64) float64 {
+	out := n.Forward(x)
+	grad := make([]float64, len(out))
+	loss := 0.0
+	for i := range out {
+		d := out[i] - target[i]
+		grad[i] = 2 * d
+		loss += d * d
+	}
+	n.Backward(grad, lr, 5)
+	return loss
+}
+
+// Clone returns a deep copy of the network.
+func (n *Net) Clone() *Net {
+	c := &Net{sizes: append([]int(nil), n.sizes...)}
+	for l := range n.weights {
+		w := make([][]float64, len(n.weights[l]))
+		for o := range w {
+			w[o] = append([]float64(nil), n.weights[l][o]...)
+		}
+		c.weights = append(c.weights, w)
+		c.biases = append(c.biases, append([]float64(nil), n.biases[l]...))
+	}
+	c.acts = make([][]float64, len(n.sizes))
+	c.pre = make([][]float64, len(n.sizes)-1)
+	for l, s := range n.sizes {
+		c.acts[l] = make([]float64, s)
+		if l > 0 {
+			c.pre[l-1] = make([]float64, s)
+		}
+	}
+	return c
+}
+
+// Softmax converts logits to a probability distribution, numerically
+// stabilized by max subtraction.
+func Softmax(logits []float64) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxv)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SampleCategorical draws an index from the probability vector p.
+func SampleCategorical(p []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, pi := range p {
+		acc += pi
+		if u < acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForwardShapes(t *testing.T) {
+	n := New([]int{3, 8, 2}, rand.New(rand.NewSource(1)))
+	out := n.Forward([]float64{0.1, -0.2, 0.3})
+	if len(out) != 2 {
+		t.Fatalf("out len = %d", len(out))
+	}
+	if n.Inputs() != 3 || n.Outputs() != 2 {
+		t.Fatal("dims wrong")
+	}
+}
+
+func TestForwardPanicsOnBadDim(t *testing.T) {
+	n := New([]int{2, 2}, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Forward([]float64{1})
+}
+
+func TestLearnsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := New([]int{2, 16, 1}, rng)
+	f := func(x []float64) float64 { return 0.5*x[0] - 0.3*x[1] + 0.1 }
+	for epoch := 0; epoch < 3000; epoch++ {
+		x := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		n.TrainMSE(x, []float64{f(x)}, 0.02)
+	}
+	mse := 0.0
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		out := n.Forward(x)
+		mse += (out[0] - f(x)) * (out[0] - f(x))
+	}
+	mse /= 100
+	if mse > 0.01 {
+		t.Fatalf("MSE = %v", mse)
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := New([]int{2, 12, 1}, rng)
+	data := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	labels := []float64{0, 1, 1, 0}
+	for epoch := 0; epoch < 8000; epoch++ {
+		i := rng.Intn(4)
+		n.TrainMSE(data[i], []float64{labels[i]}, 0.05)
+	}
+	for i, x := range data {
+		out := n.Forward(x)[0]
+		if math.Abs(out-labels[i]) > 0.25 {
+			t.Fatalf("XOR(%v) = %v, want %v", x, out, labels[i])
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := New([]int{2, 4, 1}, rng)
+	c := n.Clone()
+	x := []float64{0.5, -0.5}
+	before := n.Forward(x)[0]
+	// Train the clone hard; original must not change.
+	for i := 0; i < 200; i++ {
+		c.TrainMSE(x, []float64{10}, 0.1)
+	}
+	if got := n.Forward(x)[0]; got != before {
+		t.Fatal("training clone changed original")
+	}
+	if math.Abs(c.Forward(x)[0]-10) > 1 {
+		t.Fatal("clone did not train")
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float64{1, 2, 3})
+	sum := 0.0
+	for _, v := range p {
+		if v <= 0 {
+			t.Fatal("probabilities must be positive")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("sum = %v", sum)
+	}
+	if !(p[2] > p[1] && p[1] > p[0]) {
+		t.Fatalf("ordering wrong: %v", p)
+	}
+	// Stability with huge logits.
+	p = Softmax([]float64{1000, 1001})
+	if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+		t.Fatal("softmax overflow")
+	}
+}
+
+func TestSampleCategorical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := []float64{0.1, 0.7, 0.2}
+	counts := make([]int, 3)
+	for i := 0; i < 10000; i++ {
+		counts[SampleCategorical(p, rng)]++
+	}
+	if math.Abs(float64(counts[1])/10000-0.7) > 0.03 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Degenerate: rounding edge returns last index.
+	if SampleCategorical([]float64{0, 0}, rng) != 1 {
+		t.Fatal("edge case should return last index")
+	}
+}
+
+func TestBackwardGradClip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := New([]int{1, 4, 1}, rng)
+	x := []float64{0.5}
+	n.Forward(x)
+	before := n.Forward(x)[0]
+	// Huge gradient with clipping should produce a bounded update.
+	n.Forward(x)
+	n.Backward([]float64{1e9}, 0.01, 1)
+	after := n.Forward(x)[0]
+	if math.Abs(after-before) > 10 {
+		t.Fatalf("clipped update moved output by %v", after-before)
+	}
+}

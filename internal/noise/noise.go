@@ -1,0 +1,220 @@
+// Package noise implements the measurement-stabilization strategies from
+// tutorial slides 69-71 for tuning on noisy clouds: replicated measurement
+// with aggregation policies, duet benchmarking (paired baseline/trial runs
+// on the same machine, scored as a relative difference), and a TUNA-style
+// evaluator — progressive replication across machines with MAD outlier
+// rejection — that registers stable scores with the optimizer.
+package noise
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"autotune/internal/space"
+	"autotune/internal/stats"
+)
+
+// Sampler measures a configuration once on a given replica (machine). The
+// same replica index maps to the same machine across calls, so paired
+// designs can hold machine noise constant.
+type Sampler interface {
+	Sample(cfg space.Config, replica int) float64
+	// Replicas returns how many distinct replicas are available.
+	Replicas() int
+}
+
+// ErrNoReplicas is returned when a sampler exposes no replicas.
+var ErrNoReplicas = errors.New("noise: sampler has no replicas")
+
+// Policy selects how repeated measurements aggregate to one score.
+type Policy int
+
+// Aggregation policies.
+const (
+	PolicyMean Policy = iota
+	PolicyMedian
+	PolicyP95
+	PolicyMin
+)
+
+// Aggregate reduces samples according to the policy.
+func Aggregate(p Policy, samples []float64) float64 {
+	switch p {
+	case PolicyMedian:
+		return stats.Median(samples)
+	case PolicyP95:
+		return stats.Percentile(samples, 95)
+	case PolicyMin:
+		return stats.Min(samples)
+	default:
+		return stats.Mean(samples)
+	}
+}
+
+// Repeated measures cfg n times on round-robin replicas and aggregates —
+// the naive "run N times, take the average" strategy.
+func Repeated(s Sampler, cfg space.Config, n int, p Policy) (float64, error) {
+	if s.Replicas() == 0 {
+		return 0, ErrNoReplicas
+	}
+	if n < 1 {
+		n = 1
+	}
+	samples := make([]float64, n)
+	for i := 0; i < n; i++ {
+		samples[i] = s.Sample(cfg, i%s.Replicas())
+	}
+	return Aggregate(p, samples), nil
+}
+
+// Duet implements duet benchmarking (Bulej et al., ICPE 2020): baseline and
+// trial run back to back on the same replica, so machine-level noise
+// cancels in the relative difference. The returned score is the mean of
+// (trial - baseline) / baseline over `pairs` replica pairs — negative means
+// the trial config is faster than baseline.
+func Duet(s Sampler, baseline, trial space.Config, pairs int) (float64, error) {
+	if s.Replicas() == 0 {
+		return 0, ErrNoReplicas
+	}
+	if pairs < 1 {
+		pairs = 1
+	}
+	diffs := make([]float64, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		rep := i % s.Replicas()
+		b := s.Sample(baseline, rep)
+		t := s.Sample(trial, rep)
+		if b == 0 {
+			continue
+		}
+		diffs = append(diffs, (t-b)/math.Abs(b))
+	}
+	if len(diffs) == 0 {
+		return 0, fmt.Errorf("noise: duet produced no valid pairs")
+	}
+	return stats.Mean(diffs), nil
+}
+
+// TUNA evaluates configurations with progressive replication and outlier
+// rejection (Eurosys 2025): a first cheap measurement screens clearly bad
+// configurations; promising ones are re-measured on additional machines;
+// samples farther than OutlierK MADs from the median are discarded; the
+// stable score is the median of survivors, expressed relative to a
+// continuously re-measured baseline.
+type TUNA struct {
+	// Sampler provides machine-indexed measurements.
+	Sampler Sampler
+	// Baseline is the reference configuration (typically the default).
+	Baseline space.Config
+	// MaxReplicas bounds replication per evaluation (default 5).
+	MaxReplicas int
+	// ScreenFactor: a config whose first relative score exceeds the
+	// incumbent's stable score by this multiplicative margin is rejected
+	// after one measurement (default 1.5).
+	ScreenFactor float64
+	// OutlierK is the MAD multiple beyond which samples are discarded
+	// (default 3).
+	OutlierK float64
+
+	incumbent float64
+	hasIncum  bool
+}
+
+// NewTUNA returns a TUNA evaluator with defaults.
+func NewTUNA(s Sampler, baseline space.Config) *TUNA {
+	return &TUNA{
+		Sampler:      s,
+		Baseline:     baseline,
+		MaxReplicas:  5,
+		ScreenFactor: 1.5,
+		OutlierK:     3,
+	}
+}
+
+// Score returns a stable relative score for cfg (negative = better than
+// baseline), and the number of raw samples spent.
+func (t *TUNA) Score(cfg space.Config) (float64, int, error) {
+	if t.Sampler.Replicas() == 0 {
+		return 0, 0, ErrNoReplicas
+	}
+	maxRep := t.MaxReplicas
+	if maxRep < 1 {
+		maxRep = 1
+	}
+	if maxRep > t.Sampler.Replicas() {
+		maxRep = t.Sampler.Replicas()
+	}
+	spent := 0
+	var rels []float64
+	for rep := 0; rep < maxRep; rep++ {
+		b := t.Sampler.Sample(t.Baseline, rep)
+		v := t.Sampler.Sample(cfg, rep)
+		spent += 2
+		if b == 0 {
+			continue
+		}
+		rels = append(rels, (v-b)/math.Abs(b))
+		// Screening after the first sample: clearly-bad configs stop here.
+		if rep == 0 && t.hasIncum {
+			margin := t.ScreenFactor * math.Max(0.05, math.Abs(t.incumbent))
+			if rels[0] > t.incumbent+margin {
+				return rels[0], spent, nil
+			}
+		}
+	}
+	if len(rels) == 0 {
+		return 0, spent, fmt.Errorf("noise: no valid samples")
+	}
+	stable := t.stableScore(rels)
+	if !t.hasIncum || stable < t.incumbent {
+		t.incumbent = stable
+		t.hasIncum = true
+	}
+	return stable, spent, nil
+}
+
+// stableScore rejects MAD outliers then returns the median.
+func (t *TUNA) stableScore(rels []float64) float64 {
+	med := stats.Median(rels)
+	mad := stats.MAD(rels)
+	if mad == 0 || math.IsNaN(mad) {
+		return med
+	}
+	var kept []float64
+	k := t.OutlierK
+	if k <= 0 {
+		k = 3
+	}
+	for _, r := range rels {
+		if math.Abs(r-med) <= k*mad {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		return med
+	}
+	return stats.Median(kept)
+}
+
+// SortedByStability returns replica indices ordered by the spread (MAD) of
+// probe measurements on each, most stable first — the "measure current
+// resource performance with microbenchmarks" idea from slide 70.
+func SortedByStability(s Sampler, probe space.Config, perReplica int) []int {
+	n := s.Replicas()
+	spread := make([]float64, n)
+	for r := 0; r < n; r++ {
+		samples := make([]float64, perReplica)
+		for i := range samples {
+			samples[i] = s.Sample(probe, r)
+		}
+		spread[r] = stats.MAD(samples)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return spread[idx[a]] < spread[idx[b]] })
+	return idx
+}

@@ -1,0 +1,204 @@
+package noise
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"autotune/internal/space"
+)
+
+// fakeSampler models a noisy fleet: true latency depends on cfg["x"], each
+// replica has a fixed speed multiplier, and every sample has measurement
+// noise. Replica 0 is an outlier machine (2x slow).
+type fakeSampler struct {
+	rng   *rand.Rand
+	mults []float64
+	noise float64
+}
+
+func newFakeSampler(replicas int, noise float64, seed int64) *fakeSampler {
+	rng := rand.New(rand.NewSource(seed))
+	mults := make([]float64, replicas)
+	for i := range mults {
+		mults[i] = 0.9 + 0.2*rng.Float64()
+	}
+	if replicas > 0 {
+		mults[0] = 2.0 // outlier machine
+	}
+	return &fakeSampler{rng: rng, mults: mults, noise: noise}
+}
+
+func trueLatency(cfg space.Config) float64 {
+	x := cfg.Float("x")
+	return 1 + (x-0.7)*(x-0.7)
+}
+
+func (f *fakeSampler) Sample(cfg space.Config, replica int) float64 {
+	return trueLatency(cfg) * f.mults[replica] * (1 + f.noise*f.rng.NormFloat64())
+}
+
+func (f *fakeSampler) Replicas() int { return len(f.mults) }
+
+func noiseSpace() *space.Space { return space.MustNew(space.Float("x", 0, 1)) }
+
+func TestAggregatePolicies(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 100}
+	if Aggregate(PolicyMean, samples) != 22 {
+		t.Fatal("mean")
+	}
+	if Aggregate(PolicyMedian, samples) != 3 {
+		t.Fatal("median")
+	}
+	if Aggregate(PolicyMin, samples) != 1 {
+		t.Fatal("min")
+	}
+	if p := Aggregate(PolicyP95, samples); p < 4 || p > 100 {
+		t.Fatalf("p95 = %v", p)
+	}
+}
+
+func TestRepeated(t *testing.T) {
+	s := newFakeSampler(4, 0.01, 1)
+	cfg := noiseSpace().Default()
+	v, err := Repeated(s, cfg, 8, PolicyMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Fatalf("v = %v", v)
+	}
+	// n < 1 coerces to 1.
+	if _, err := Repeated(s, cfg, 0, PolicyMean); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedNoReplicas(t *testing.T) {
+	s := &fakeSampler{}
+	if _, err := Repeated(s, noiseSpace().Default(), 3, PolicyMean); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuetCancelsMachineNoise(t *testing.T) {
+	// Machines differ 2x, but duet's paired relative difference should
+	// recover the true config effect regardless.
+	s := newFakeSampler(6, 0.02, 2)
+	sp := noiseSpace()
+	baseline := space.Config{"x": 0.0} // true latency 1.49
+	good := space.Config{"x": 0.7}     // true latency 1.0
+	rel, err := Duet(s, baseline, good, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueRel := (trueLatency(good) - trueLatency(baseline)) / trueLatency(baseline)
+	if math.Abs(rel-trueRel) > 0.05 {
+		t.Fatalf("duet rel = %v, true %v", rel, trueRel)
+	}
+	_ = sp
+}
+
+func TestDuetBeatsNaiveUnderMachineVariance(t *testing.T) {
+	// Estimate the improvement of good over baseline via (a) naive
+	// single-replica absolute scores on different machines, (b) duet.
+	// Duet's error should be smaller on average.
+	var duetErr, naiveErr float64
+	trials := 20
+	baseline := space.Config{"x": 0.0}
+	good := space.Config{"x": 0.7}
+	trueRel := (trueLatency(good) - trueLatency(baseline)) / trueLatency(baseline)
+	for i := 0; i < trials; i++ {
+		s := newFakeSampler(4, 0.02, int64(100+i))
+		rel, err := Duet(s, baseline, good, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		duetErr += math.Abs(rel - trueRel)
+		// Naive: baseline on one machine, trial on another.
+		b := s.Sample(baseline, 0)
+		v := s.Sample(good, 1)
+		naiveErr += math.Abs((v-b)/b - trueRel)
+	}
+	if duetErr >= naiveErr {
+		t.Fatalf("duet error %v should beat naive %v", duetErr/20, naiveErr/20)
+	}
+}
+
+func TestTUNAScoreIdentifiesGoodConfig(t *testing.T) {
+	s := newFakeSampler(6, 0.05, 3)
+	sp := noiseSpace()
+	tuna := NewTUNA(s, space.Config{"x": 0.0})
+	goodScore, spent, err := tuna.Score(space.Config{"x": 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spent <= 0 {
+		t.Fatal("no samples spent")
+	}
+	if goodScore >= 0 {
+		t.Fatalf("good config score = %v, want negative (better than baseline)", goodScore)
+	}
+	badScore, _, err := tuna.Score(space.Config{"x": 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(goodScore < badScore) {
+		t.Fatalf("good %v should beat bad %v", goodScore, badScore)
+	}
+	_ = sp
+}
+
+func TestTUNAScreensBadConfigsEarly(t *testing.T) {
+	s := newFakeSampler(6, 0.02, 4)
+	tuna := NewTUNA(s, space.Config{"x": 0.7})
+	// Establish a good incumbent first.
+	if _, _, err := tuna.Score(space.Config{"x": 0.69}); err != nil {
+		t.Fatal(err)
+	}
+	// A clearly terrible config should stop after the first replica pair.
+	_, spent, err := tuna.Score(space.Config{"x": 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spent != 2 {
+		t.Fatalf("spent = %d samples, want early abort at 2", spent)
+	}
+}
+
+func TestTUNANoReplicas(t *testing.T) {
+	tuna := NewTUNA(&fakeSampler{}, noiseSpace().Default())
+	if _, _, err := tuna.Score(noiseSpace().Default()); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSortedByStability(t *testing.T) {
+	// Build a sampler where replica 2 is very noisy.
+	rng := rand.New(rand.NewSource(5))
+	s := &unstableSampler{rng: rng, noisy: 2, n: 4}
+	order := SortedByStability(s, noiseSpace().Default(), 12)
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	if order[len(order)-1] != 2 {
+		t.Fatalf("noisiest replica should sort last: %v", order)
+	}
+}
+
+type unstableSampler struct {
+	rng   *rand.Rand
+	noisy int
+	n     int
+}
+
+func (u *unstableSampler) Sample(cfg space.Config, replica int) float64 {
+	noise := 0.01
+	if replica == u.noisy {
+		noise = 0.5
+	}
+	return 1 + noise*u.rng.NormFloat64()
+}
+
+func (u *unstableSampler) Replicas() int { return u.n }

@@ -1,0 +1,153 @@
+// Package numopt provides small derivative-free optimizers over raw float
+// vectors: Nelder-Mead simplex search and golden-section line search. They
+// serve as inner loops (GP hyperparameter fitting, acquisition refinement),
+// not as user-facing tuning algorithms — those live in internal/optimizer
+// and friends, and operate on typed configuration spaces.
+package numopt
+
+import "math"
+
+// Options controls NelderMead.
+type Options struct {
+	// MaxIter bounds the number of simplex iterations (default 200).
+	MaxIter int
+	// Tol stops when the simplex function-value spread falls below it
+	// (default 1e-9).
+	Tol float64
+	// Scale is the initial simplex edge length (default 0.1).
+	Scale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.1
+	}
+	return o
+}
+
+// NelderMead minimizes f starting from x0 and returns the best point and
+// value found. f must be total (return +Inf for invalid regions rather than
+// panicking). x0 is not modified.
+func NelderMead(f func([]float64) float64, x0 []float64, opts Options) ([]float64, float64) {
+	opts = opts.withDefaults()
+	n := len(x0)
+	if n == 0 {
+		return nil, f(nil)
+	}
+	// Build initial simplex.
+	simplex := make([][]float64, n+1)
+	fv := make([]float64, n+1)
+	for i := range simplex {
+		p := append([]float64(nil), x0...)
+		if i > 0 {
+			p[i-1] += opts.Scale
+		}
+		simplex[i] = p
+		fv[i] = f(p)
+	}
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// Order simplex by value (insertion sort; n is small).
+		for i := 1; i <= n; i++ {
+			for j := i; j > 0 && fv[j] < fv[j-1]; j-- {
+				fv[j], fv[j-1] = fv[j-1], fv[j]
+				simplex[j], simplex[j-1] = simplex[j-1], simplex[j]
+			}
+		}
+		if math.Abs(fv[n]-fv[0]) < opts.Tol {
+			break
+		}
+		// Centroid of all but worst.
+		centroid := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				centroid[j] += simplex[i][j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+		// Reflect.
+		xr := combine(centroid, simplex[n], 1+alpha, -alpha)
+		fr := f(xr)
+		switch {
+		case fr < fv[0]:
+			// Expand.
+			xe := combine(centroid, simplex[n], 1+alpha*gamma, -alpha*gamma)
+			if fe := f(xe); fe < fr {
+				simplex[n], fv[n] = xe, fe
+			} else {
+				simplex[n], fv[n] = xr, fr
+			}
+		case fr < fv[n-1]:
+			simplex[n], fv[n] = xr, fr
+		default:
+			// Contract.
+			xc := combine(centroid, simplex[n], 1-rho, rho)
+			if fc := f(xc); fc < fv[n] {
+				simplex[n], fv[n] = xc, fc
+			} else {
+				// Shrink toward best.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i][j] = simplex[0][j] + sigma*(simplex[i][j]-simplex[0][j])
+					}
+					fv[i] = f(simplex[i])
+				}
+			}
+		}
+	}
+	best := 0
+	for i := 1; i <= n; i++ {
+		if fv[i] < fv[best] {
+			best = i
+		}
+	}
+	return append([]float64(nil), simplex[best]...), fv[best]
+}
+
+// combine returns a*x + b*y elementwise.
+func combine(x, y []float64, a, b float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = a*x[i] + b*y[i]
+	}
+	return out
+}
+
+// GoldenSection minimizes a unimodal 1-D function on [lo, hi] to the given
+// tolerance and returns the minimizing x and f(x).
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) (float64, float64) {
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	invPhi := (math.Sqrt(5) - 1) / 2
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x := (a + b) / 2
+	return x, f(x)
+}

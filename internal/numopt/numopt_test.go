@@ -1,0 +1,77 @@
+package numopt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+1)*(x[1]+1)
+	}
+	x, v := NelderMead(f, []float64{0, 0}, Options{MaxIter: 500})
+	if math.Abs(x[0]-3) > 1e-3 || math.Abs(x[1]+1) > 1e-3 {
+		t.Fatalf("x = %v", x)
+	}
+	if v > 1e-5 {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestNelderMeadRosenbrock2D(t *testing.T) {
+	f := func(x []float64) float64 {
+		return 100*(x[1]-x[0]*x[0])*(x[1]-x[0]*x[0]) + (1-x[0])*(1-x[0])
+	}
+	x, v := NelderMead(f, []float64{-1.2, 1}, Options{MaxIter: 2000, Tol: 1e-14})
+	if v > 1e-4 {
+		t.Fatalf("rosenbrock value = %v at %v", v, x)
+	}
+}
+
+func TestNelderMeadHandlesInf(t *testing.T) {
+	// Constrained region: f = +Inf outside x >= 0.
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.Inf(1)
+		}
+		return (x[0] - 0.5) * (x[0] - 0.5)
+	}
+	x, v := NelderMead(f, []float64{2}, Options{MaxIter: 300})
+	if math.Abs(x[0]-0.5) > 1e-3 || v > 1e-5 {
+		t.Fatalf("x = %v, v = %v", x, v)
+	}
+}
+
+func TestNelderMeadEmpty(t *testing.T) {
+	called := 0
+	_, v := NelderMead(func(x []float64) float64 { called++; return 7 }, nil, Options{})
+	if v != 7 || called != 1 {
+		t.Fatalf("empty input: v=%v called=%d", v, called)
+	}
+}
+
+func TestNelderMeadDoesNotMutateStart(t *testing.T) {
+	x0 := []float64{1, 2}
+	NelderMead(func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] }, x0, Options{})
+	if x0[0] != 1 || x0[1] != 2 {
+		t.Fatal("x0 mutated")
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	x, v := GoldenSection(func(x float64) float64 { return (x - 2.5) * (x - 2.5) }, 0, 10, 1e-8)
+	if math.Abs(x-2.5) > 1e-6 {
+		t.Fatalf("x = %v", x)
+	}
+	if v > 1e-10 {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestGoldenSectionEdgeMin(t *testing.T) {
+	// Monotone increasing: min at left edge.
+	x, _ := GoldenSection(func(x float64) float64 { return x }, 1, 5, 1e-8)
+	if math.Abs(x-1) > 1e-5 {
+		t.Fatalf("x = %v, want 1", x)
+	}
+}

@@ -1,0 +1,329 @@
+// Package optimizer defines the framework's optimizer contract — the
+// suggest/observe loop from the tutorial's "optimizer as a black box" slide —
+// and implements the classic search strategies: random search, grid search,
+// simulated annealing, and greedy coordinate descent. Model-guided
+// optimizers (Bayesian optimization, SMAC, CMA-ES, ...) live in sibling
+// packages and satisfy the same interface.
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"autotune/internal/space"
+)
+
+// Optimizer is the sequential black-box optimization contract. All
+// objectives are minimized; callers negate throughput-style metrics.
+//
+// The protocol is: Suggest a configuration, evaluate it externally, Observe
+// the result, repeat. Implementations may tolerate out-of-order or missing
+// observations unless documented otherwise.
+type Optimizer interface {
+	// Suggest proposes the next configuration to evaluate.
+	Suggest() (space.Config, error)
+	// Observe reports the measured objective for a configuration.
+	Observe(cfg space.Config, value float64) error
+	// Best returns the incumbent (best observed) configuration and value;
+	// ok is false before any observation.
+	Best() (cfg space.Config, value float64, ok bool)
+	// Name identifies the algorithm for reports.
+	Name() string
+}
+
+// BatchSuggester is implemented by optimizers that can propose several
+// configurations at once for parallel evaluation.
+type BatchSuggester interface {
+	// SuggestN proposes up to n configurations (it may return fewer, e.g.
+	// when a grid is nearly exhausted).
+	SuggestN(n int) ([]space.Config, error)
+}
+
+// ErrExhausted is returned by Suggest when a finite strategy (e.g. grid
+// search) has no configurations left.
+var ErrExhausted = errors.New("optimizer: search exhausted")
+
+// Observation is one evaluated configuration.
+type Observation struct {
+	Config space.Config
+	Value  float64
+}
+
+// Recorder tracks observations and the incumbent. Embed it to satisfy the
+// Observe/Best half of the Optimizer interface.
+type Recorder struct {
+	history   []Observation
+	bestCfg   space.Config
+	bestValue float64
+	hasBest   bool
+}
+
+// Observe implements Optimizer.
+func (r *Recorder) Observe(cfg space.Config, value float64) error {
+	r.history = append(r.history, Observation{Config: cfg.Clone(), Value: value})
+	if !r.hasBest || value < r.bestValue {
+		r.bestCfg = cfg.Clone()
+		r.bestValue = value
+		r.hasBest = true
+	}
+	return nil
+}
+
+// Best implements Optimizer.
+func (r *Recorder) Best() (space.Config, float64, bool) {
+	if !r.hasBest {
+		return nil, math.Inf(1), false
+	}
+	return r.bestCfg.Clone(), r.bestValue, true
+}
+
+// History returns all observations in arrival order. The slice is live;
+// callers must not modify it.
+func (r *Recorder) History() []Observation { return r.history }
+
+// N returns the number of observations so far.
+func (r *Recorder) N() int { return len(r.history) }
+
+// Random is uniform random search: each Suggest draws an independent sample
+// from the space (log-uniform on log-scaled parameters).
+type Random struct {
+	Recorder
+	space *space.Space
+	rng   *rand.Rand
+}
+
+// NewRandom returns a random-search optimizer over s.
+func NewRandom(s *space.Space, rng *rand.Rand) *Random {
+	return &Random{space: s, rng: rng}
+}
+
+// Suggest implements Optimizer.
+func (o *Random) Suggest() (space.Config, error) {
+	return o.space.Sample(o.rng), nil
+}
+
+// SuggestN implements BatchSuggester.
+func (o *Random) SuggestN(n int) ([]space.Config, error) {
+	return o.space.SampleN(o.rng, n), nil
+}
+
+// Name implements Optimizer.
+func (o *Random) Name() string { return "random" }
+
+// Grid is deterministic grid search over a fixed budgeted grid; Suggest
+// returns ErrExhausted once every point has been proposed.
+type Grid struct {
+	Recorder
+	points []space.Config
+	next   int
+}
+
+// NewGrid returns a grid-search optimizer whose grid holds at most roughly
+// `budget` points (see space.GridBudget).
+func NewGrid(s *space.Space, budget int) *Grid {
+	return &Grid{points: s.GridBudget(budget)}
+}
+
+// NewGridLevels returns grid search with exactly `levels` points per
+// numeric parameter.
+func NewGridLevels(s *space.Space, levels int) *Grid {
+	return &Grid{points: s.Grid(levels)}
+}
+
+// Suggest implements Optimizer.
+func (o *Grid) Suggest() (space.Config, error) {
+	if o.next >= len(o.points) {
+		return nil, ErrExhausted
+	}
+	cfg := o.points[o.next]
+	o.next++
+	return cfg.Clone(), nil
+}
+
+// SuggestN implements BatchSuggester.
+func (o *Grid) SuggestN(n int) ([]space.Config, error) {
+	var out []space.Config
+	for i := 0; i < n; i++ {
+		cfg, err := o.Suggest()
+		if errors.Is(err, ErrExhausted) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg)
+	}
+	if len(out) == 0 {
+		return nil, ErrExhausted
+	}
+	return out, nil
+}
+
+// Size returns the total number of grid points.
+func (o *Grid) Size() int { return len(o.points) }
+
+// Name implements Optimizer.
+func (o *Grid) Name() string { return "grid" }
+
+// Anneal is simulated annealing: a random walk over space neighbourhoods
+// that always accepts improvements and accepts regressions with probability
+// exp(-Δ/T), with geometrically cooling temperature T.
+type Anneal struct {
+	Recorder
+	space *space.Space
+	rng   *rand.Rand
+
+	// Temp0 is the initial temperature in objective units (default 1).
+	Temp0 float64
+	// Cooling is the per-step temperature multiplier (default 0.95).
+	Cooling float64
+	// StepScale is the neighbourhood size in unit-cube units (default 0.1).
+	StepScale float64
+
+	cur     space.Config
+	curVal  float64
+	hasCur  bool
+	pending space.Config
+	step    int
+}
+
+// NewAnneal returns a simulated-annealing optimizer over s with default
+// schedule parameters.
+func NewAnneal(s *space.Space, rng *rand.Rand) *Anneal {
+	return &Anneal{space: s, rng: rng, Temp0: 1, Cooling: 0.95, StepScale: 0.1}
+}
+
+// Suggest implements Optimizer. The first suggestion is the space default;
+// later ones perturb the current state.
+func (o *Anneal) Suggest() (space.Config, error) {
+	if !o.hasCur {
+		o.pending = o.space.Default()
+	} else {
+		o.pending = o.space.Neighbor(o.cur, o.StepScale, o.rng)
+	}
+	return o.pending.Clone(), nil
+}
+
+// Observe implements Optimizer with Metropolis acceptance.
+func (o *Anneal) Observe(cfg space.Config, value float64) error {
+	if err := o.Recorder.Observe(cfg, value); err != nil {
+		return err
+	}
+	if !o.hasCur {
+		o.cur, o.curVal, o.hasCur = cfg.Clone(), value, true
+		return nil
+	}
+	delta := value - o.curVal
+	temp := o.Temp0 * math.Pow(o.Cooling, float64(o.step))
+	o.step++
+	if delta <= 0 || (temp > 0 && o.rng.Float64() < math.Exp(-delta/temp)) {
+		o.cur, o.curVal = cfg.Clone(), value
+	}
+	return nil
+}
+
+// Temperature returns the current annealing temperature.
+func (o *Anneal) Temperature() float64 {
+	return o.Temp0 * math.Pow(o.Cooling, float64(o.step))
+}
+
+// Name implements Optimizer.
+func (o *Anneal) Name() string { return "anneal" }
+
+// Coordinate is greedy coordinate descent (BestConfig-style divide and
+// conquer): it sweeps parameters round-robin, trying `LevelsPerParam`
+// values of the active parameter while holding the incumbent fixed, and
+// keeps the best.
+type Coordinate struct {
+	Recorder
+	space *space.Space
+	rng   *rand.Rand
+
+	// LevelsPerParam is how many candidate values to try per sweep of a
+	// parameter (default 5).
+	LevelsPerParam int
+
+	cur      space.Config
+	hasCur   bool
+	paramIdx int
+	levelIdx int
+}
+
+// NewCoordinate returns a coordinate-descent optimizer over s.
+func NewCoordinate(s *space.Space, rng *rand.Rand) *Coordinate {
+	return &Coordinate{space: s, rng: rng, LevelsPerParam: 5}
+}
+
+// Suggest implements Optimizer.
+func (o *Coordinate) Suggest() (space.Config, error) {
+	if !o.hasCur {
+		return o.space.Default(), nil
+	}
+	params := o.space.Params()
+	p := params[o.paramIdx%len(params)]
+	cfg := o.cur.Clone()
+	levels := o.LevelsPerParam
+	if l := p.Levels(); l > 0 && l < levels {
+		levels = l
+	}
+	u := 0.5
+	if levels > 1 {
+		u = float64(o.levelIdx%levels) / float64(levels-1)
+	}
+	// Decode just this parameter from the unit interval.
+	x := o.space.Encode(cfg)
+	x[o.paramIdx%len(params)] = u
+	probe := o.space.Decode(x)
+	cfg[p.Name] = probe[p.Name]
+
+	o.levelIdx++
+	if o.levelIdx >= levels {
+		o.levelIdx = 0
+		o.paramIdx++
+	}
+	return cfg, nil
+}
+
+// Observe implements Optimizer; the incumbent advances greedily.
+func (o *Coordinate) Observe(cfg space.Config, value float64) error {
+	if err := o.Recorder.Observe(cfg, value); err != nil {
+		return err
+	}
+	if !o.hasCur {
+		o.cur, o.hasCur = cfg.Clone(), true
+		return nil
+	}
+	if best, bestVal, ok := o.Best(); ok && bestVal >= value {
+		o.cur = best
+	}
+	return nil
+}
+
+// Name implements Optimizer.
+func (o *Coordinate) Name() string { return "coordinate" }
+
+// Run drives an optimizer against objective f for `budget` evaluations and
+// returns the best configuration and value. It stops early on ErrExhausted.
+// It is the minimal tuning loop; internal/trial provides the full-featured
+// one (parallelism, early abort, noise policies).
+func Run(o Optimizer, f func(space.Config) float64, budget int) (space.Config, float64, error) {
+	for i := 0; i < budget; i++ {
+		cfg, err := o.Suggest()
+		if errors.Is(err, ErrExhausted) {
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("suggest %d: %w", i, err)
+		}
+		if err := o.Observe(cfg, f(cfg)); err != nil {
+			return nil, 0, fmt.Errorf("observe %d: %w", i, err)
+		}
+	}
+	cfg, val, ok := o.Best()
+	if !ok {
+		return nil, 0, errors.New("optimizer: no observations")
+	}
+	return cfg, val, nil
+}

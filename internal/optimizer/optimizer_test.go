@@ -1,0 +1,275 @@
+package optimizer
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"autotune/internal/space"
+	"autotune/internal/testfunc"
+)
+
+func TestRecorderBest(t *testing.T) {
+	var r Recorder
+	if _, _, ok := r.Best(); ok {
+		t.Fatal("Best before observations should be !ok")
+	}
+	r.Observe(space.Config{"x": 1.0}, 5)
+	r.Observe(space.Config{"x": 2.0}, 3)
+	r.Observe(space.Config{"x": 3.0}, 7)
+	cfg, v, ok := r.Best()
+	if !ok || v != 3 || cfg.Float("x") != 2 {
+		t.Fatalf("Best = %v %v %v", cfg, v, ok)
+	}
+	if r.N() != 3 || len(r.History()) != 3 {
+		t.Fatal("history wrong")
+	}
+	// Best returns a copy.
+	cfg["x"] = 99.0
+	cfg2, _, _ := r.Best()
+	if cfg2.Float("x") != 2 {
+		t.Fatal("Best aliases internal state")
+	}
+}
+
+func TestRecorderClonesObserved(t *testing.T) {
+	var r Recorder
+	cfg := space.Config{"x": 1.0}
+	r.Observe(cfg, 1)
+	cfg["x"] = 42.0
+	if r.History()[0].Config.Float("x") != 1 {
+		t.Fatal("Observe did not clone config")
+	}
+}
+
+func TestRandomSearchFindsDecentSphere(t *testing.T) {
+	f := testfunc.Sphere(2)
+	rng := rand.New(rand.NewSource(1))
+	o := NewRandom(f.Space, rng)
+	_, val, err := Run(o, f.Eval, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val > 5 {
+		t.Fatalf("random search best = %v", val)
+	}
+	if o.Name() != "random" {
+		t.Fatal("name")
+	}
+}
+
+func TestRandomSuggestN(t *testing.T) {
+	s := space.MustNew(space.Float("x", 0, 1))
+	o := NewRandom(s, rand.New(rand.NewSource(2)))
+	batch, err := o.SuggestN(5)
+	if err != nil || len(batch) != 5 {
+		t.Fatalf("batch = %v, %v", batch, err)
+	}
+}
+
+func TestGridExhausts(t *testing.T) {
+	s := space.MustNew(space.Float("x", 0, 1), space.Categorical("c", "a", "b"))
+	o := NewGridLevels(s, 3) // 3 * 2 = 6 points
+	if o.Size() != 6 {
+		t.Fatalf("size = %d", o.Size())
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 6; i++ {
+		cfg, err := o.Suggest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[cfg.Key()] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("distinct points = %d", len(seen))
+	}
+	if _, err := o.Suggest(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestGridSuggestNPartial(t *testing.T) {
+	s := space.MustNew(space.Float("x", 0, 1))
+	o := NewGridLevels(s, 3)
+	batch, err := o.SuggestN(10)
+	if err != nil || len(batch) != 3 {
+		t.Fatalf("batch %d, err %v", len(batch), err)
+	}
+	if _, err := o.SuggestN(2); !errors.Is(err, ErrExhausted) {
+		t.Fatal("want exhausted")
+	}
+}
+
+func TestGridFindsOptimumOnCurve(t *testing.T) {
+	// On the sched curve with enough levels, grid finds the dip region.
+	f := testfunc.SchedMigrationCurve()
+	o := NewGridLevels(f.Space, 101)
+	_, val, err := Run(o, f.Eval, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val > 0.45 {
+		t.Fatalf("dense grid best = %v, should find the dip", val)
+	}
+	// With only 5 levels the dip is missed.
+	o2 := NewGridLevels(f.Space, 5)
+	_, val2, _ := Run(o2, f.Eval, 5)
+	if val2 < 0.6 {
+		t.Fatalf("coarse grid best = %v, should miss the dip", val2)
+	}
+}
+
+func TestRunBudgetAndErrExhausted(t *testing.T) {
+	s := space.MustNew(space.Float("x", 0, 1))
+	o := NewGridLevels(s, 3)
+	calls := 0
+	_, _, err := Run(o, func(space.Config) float64 { calls++; return 0 }, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (grid exhausted)", calls)
+	}
+}
+
+func TestRunNoObservations(t *testing.T) {
+	s := space.MustNew(space.Float("x", 0, 1))
+	o := NewGridLevels(s, 1)
+	// Exhaust the grid first.
+	o.Suggest()
+	if _, _, err := Run(o, func(space.Config) float64 { return 0 }, 5); err == nil {
+		t.Fatal("expected error with zero observations")
+	}
+}
+
+func TestAnnealImprovesOverStart(t *testing.T) {
+	s := space.MustNew(
+		space.Float("a", -5, 5).WithDefault(4.0),
+		space.Float("b", -5, 5).WithDefault(-4.0),
+		space.Float("c", -5, 5).WithDefault(4.0),
+	)
+	eval := func(c space.Config) float64 {
+		return c.Float("a")*c.Float("a") + c.Float("b")*c.Float("b") + c.Float("c")*c.Float("c")
+	}
+	rng := rand.New(rand.NewSource(3))
+	o := NewAnneal(s, rng)
+	o.StepScale = 0.15
+	start := eval(s.Default())
+	_, best, err := Run(o, eval, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best >= start {
+		t.Fatalf("anneal best %v did not improve on start %v", best, start)
+	}
+	if best > 2 {
+		t.Fatalf("anneal best = %v, too poor", best)
+	}
+}
+
+func TestAnnealTemperatureCools(t *testing.T) {
+	s := space.MustNew(space.Float("x", 0, 1))
+	o := NewAnneal(s, rand.New(rand.NewSource(4)))
+	t0 := o.Temperature()
+	for i := 0; i < 10; i++ {
+		cfg, _ := o.Suggest()
+		o.Observe(cfg, 1)
+	}
+	if !(o.Temperature() < t0) {
+		t.Fatalf("temperature did not cool: %v -> %v", t0, o.Temperature())
+	}
+}
+
+func TestAnnealFirstSuggestionIsDefault(t *testing.T) {
+	s := space.MustNew(space.Float("x", 0, 1).WithDefault(0.7))
+	o := NewAnneal(s, rand.New(rand.NewSource(5)))
+	cfg, err := o.Suggest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Float("x") != 0.7 {
+		t.Fatalf("first suggestion = %v, want default", cfg)
+	}
+}
+
+func TestCoordinateDescentQuadratic(t *testing.T) {
+	// Separable quadratic: coordinate descent is an excellent fit.
+	s := space.MustNew(space.Float("a", -5, 5), space.Float("b", -5, 5))
+	f := func(c space.Config) float64 {
+		return (c.Float("a")-2.5)*(c.Float("a")-2.5) + (c.Float("b")+2.5)*(c.Float("b")+2.5)
+	}
+	o := NewCoordinate(s, rand.New(rand.NewSource(6)))
+	o.LevelsPerParam = 11
+	_, best, err := Run(o, f, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best > 0.5 {
+		t.Fatalf("coordinate best = %v", best)
+	}
+	if o.Name() != "coordinate" {
+		t.Fatal("name")
+	}
+}
+
+func TestCoordinateHandlesCategorical(t *testing.T) {
+	s := space.MustNew(space.Categorical("c", "bad", "good"), space.Float("x", 0, 1))
+	f := func(c space.Config) float64 {
+		v := c.Float("x")
+		if c.Str("c") == "good" {
+			return v
+		}
+		return v + 10
+	}
+	o := NewCoordinate(s, rand.New(rand.NewSource(7)))
+	cfg, best, err := Run(o, f, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Str("c") != "good" {
+		t.Fatalf("best cfg = %v (val %v)", cfg, best)
+	}
+}
+
+func TestObserveToleratesUnsuggested(t *testing.T) {
+	// Optimizers must accept observations they did not suggest (for warm
+	// starting / transfer).
+	f := testfunc.Sphere(2)
+	rng := rand.New(rand.NewSource(8))
+	opts := []Optimizer{
+		NewRandom(f.Space, rng),
+		NewGrid(f.Space, 9),
+		NewAnneal(f.Space, rng),
+		NewCoordinate(f.Space, rng),
+	}
+	for _, o := range opts {
+		cfg := f.Space.Sample(rng)
+		if err := o.Observe(cfg, f.Eval(cfg)); err != nil {
+			t.Fatalf("%s: %v", o.Name(), err)
+		}
+		if _, _, ok := o.Best(); !ok {
+			t.Fatalf("%s: Best not set after Observe", o.Name())
+		}
+	}
+}
+
+func TestBestIsMinimum(t *testing.T) {
+	f := testfunc.Branin()
+	rng := rand.New(rand.NewSource(9))
+	o := NewRandom(f.Space, rng)
+	_, best, err := Run(o, f.Eval, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSeen := math.Inf(1)
+	for _, obs := range o.History() {
+		if obs.Value < minSeen {
+			minSeen = obs.Value
+		}
+	}
+	if best != minSeen {
+		t.Fatalf("Best %v != min history %v", best, minSeen)
+	}
+}

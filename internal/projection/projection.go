@@ -1,0 +1,136 @@
+// Package projection implements LlamaTune-style search-space reduction
+// (Kanellis et al., VLDB 2022): a HeSBO hashing random projection from a
+// low-dimensional tuning space into the full knob space, plus the two knob
+// treatments LlamaTune layers on top — special-value biasing (e.g. a knob's
+// OFF value gets dedicated probability mass) and value bucketization.
+//
+// The wrapper exposes the reduced space as a regular *space.Space, so any
+// optimizer in the framework can tune in d_low dimensions while the target
+// system receives full configurations.
+package projection
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"autotune/internal/space"
+)
+
+// ErrBadDim is returned for non-positive target dimensionality.
+var ErrBadDim = errors.New("projection: target dimension must be positive")
+
+// HeSBO is a hashing-based sparse random projection: every original
+// dimension i is assigned a random low dimension h(i) and a random sign
+// s(i); the full-space unit-cube point is x_i = 0.5 + s(i)*(y_h(i) - 0.5),
+// which keeps points inside the cube (Nayebi et al., 2019).
+type HeSBO struct {
+	full *space.Space
+	low  *space.Space
+	hash []int
+	sign []float64
+
+	// SpecialBias is the probability that a decoded knob with special
+	// values snaps to one of them (LlamaTune uses ~0.2; 0 disables).
+	SpecialBias float64
+	// Buckets quantizes each decoded numeric knob into this many discrete
+	// levels (0 disables bucketization).
+	Buckets int
+
+	rng *rand.Rand
+}
+
+// NewHeSBO builds a projection from full onto dLow latent dimensions, with
+// hash and sign assignments drawn from rng.
+func NewHeSBO(full *space.Space, dLow int, rng *rand.Rand) (*HeSBO, error) {
+	if dLow <= 0 {
+		return nil, ErrBadDim
+	}
+	d := full.Dim()
+	if dLow > d {
+		dLow = d
+	}
+	params := make([]space.Param, dLow)
+	for i := range params {
+		params[i] = space.Float(fmt.Sprintf("z%02d", i), 0, 1).WithDefault(0.5)
+	}
+	lowSpace, err := space.New(params...)
+	if err != nil {
+		return nil, fmt.Errorf("projection: %w", err)
+	}
+	h := &HeSBO{
+		full: full,
+		low:  lowSpace,
+		hash: make([]int, d),
+		sign: make([]float64, d),
+		rng:  rng,
+	}
+	for i := 0; i < d; i++ {
+		h.hash[i] = rng.Intn(dLow)
+		if rng.Intn(2) == 0 {
+			h.sign[i] = 1
+		} else {
+			h.sign[i] = -1
+		}
+	}
+	return h, nil
+}
+
+// LowSpace returns the reduced tuning space (dLow continuous dimensions).
+func (h *HeSBO) LowSpace() *space.Space { return h.low }
+
+// FullSpace returns the original knob space.
+func (h *HeSBO) FullSpace() *space.Space { return h.full }
+
+// Project maps a low-space configuration to a full-space configuration,
+// applying special-value biasing and bucketization when enabled.
+func (h *HeSBO) Project(lowCfg space.Config) space.Config {
+	y := h.low.Encode(lowCfg)
+	x := make([]float64, h.full.Dim())
+	for i := range x {
+		x[i] = 0.5 + h.sign[i]*(y[h.hash[i]]-0.5)
+	}
+	if h.Buckets > 1 {
+		for i := range x {
+			// Snap to bucket centers.
+			b := float64(h.Buckets)
+			k := float64(int(x[i] * b))
+			if k >= b {
+				k = b - 1
+			}
+			x[i] = (k + 0.5) / b
+		}
+	}
+	cfg := h.full.Decode(x)
+	if h.SpecialBias > 0 {
+		for _, p := range h.full.Params() {
+			if len(p.Special) == 0 {
+				continue
+			}
+			if h.rng.Float64() < h.SpecialBias {
+				sp := p.Special[h.rng.Intn(len(p.Special))]
+				switch p.Kind {
+				case space.KindInt:
+					cfg[p.Name] = int64(sp)
+				case space.KindFloat:
+					cfg[p.Name] = sp
+				}
+			}
+		}
+		cfg = h.full.Clip(cfg)
+	}
+	return cfg
+}
+
+// Objective wraps a full-space objective so it can be minimized over the
+// low space: f_low(z) = f_full(Project(z)). It also reports the projected
+// configuration for each call through the optional sink.
+func (h *HeSBO) Objective(f func(space.Config) float64, sink func(low, full space.Config)) func(space.Config) float64 {
+	return func(lowCfg space.Config) float64 {
+		full := h.Project(lowCfg)
+		if sink != nil {
+			sink(lowCfg, full)
+		}
+		return f(full)
+	}
+}

@@ -1,0 +1,246 @@
+// Package rl implements the online-tuning reinforcement learners from the
+// tutorial (slides 79-80): tabular Q-learning over discretized states and a
+// neural actor-critic (softmax policy + TD(0) value baseline, the
+// CDBTune/QTune family's core update rule). Agents choose among discrete
+// actions — typically knob increments/decrements produced by
+// internal/core's online agent — and maximize reward (use the negated
+// objective when minimizing).
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"autotune/internal/nn"
+)
+
+// QLearning is tabular Q-learning with ε-greedy exploration and optional
+// ε decay. States are discretized to string keys by Buckets.
+type QLearning struct {
+	// Alpha is the learning rate (default 0.1).
+	Alpha float64
+	// Gamma is the discount factor (default 0.9).
+	Gamma float64
+	// Epsilon is the exploration rate (default 0.2).
+	Epsilon float64
+	// EpsilonDecay multiplies Epsilon after each update (default 1 = none).
+	EpsilonDecay float64
+	// MinEpsilon floors the decayed exploration rate (default 0.01).
+	MinEpsilon float64
+	// Buckets controls state discretization: each state feature in [0,1]
+	// is quantized into this many buckets (default 8).
+	Buckets int
+
+	actions int
+	q       map[string][]float64
+}
+
+// NewQLearning returns a Q-learning agent with the given action count.
+func NewQLearning(actions int) (*QLearning, error) {
+	if actions <= 0 {
+		return nil, fmt.Errorf("rl: actions must be positive, got %d", actions)
+	}
+	return &QLearning{
+		Alpha:        0.1,
+		Gamma:        0.9,
+		Epsilon:      0.2,
+		EpsilonDecay: 1,
+		MinEpsilon:   0.01,
+		Buckets:      8,
+		actions:      actions,
+		q:            make(map[string][]float64),
+	}, nil
+}
+
+// Actions returns the action count.
+func (a *QLearning) Actions() int { return a.actions }
+
+// Name identifies the algorithm.
+func (a *QLearning) Name() string { return "qlearning" }
+
+// States returns the number of distinct discretized states seen.
+func (a *QLearning) States() int { return len(a.q) }
+
+func (a *QLearning) key(state []float64) string {
+	var b strings.Builder
+	for i, v := range state {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		bucket := int(v * float64(a.Buckets))
+		if bucket >= a.Buckets {
+			bucket = a.Buckets - 1
+		}
+		if bucket < 0 {
+			bucket = 0
+		}
+		b.WriteString(strconv.Itoa(bucket))
+	}
+	return b.String()
+}
+
+func (a *QLearning) row(state []float64) []float64 {
+	k := a.key(state)
+	row, ok := a.q[k]
+	if !ok {
+		row = make([]float64, a.actions)
+		a.q[k] = row
+	}
+	return row
+}
+
+// Act selects an action for the state (ε-greedy over Q values).
+func (a *QLearning) Act(state []float64, rng *rand.Rand) int {
+	if rng.Float64() < a.Epsilon {
+		return rng.Intn(a.actions)
+	}
+	row := a.row(state)
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range row {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Greedy returns the argmax action without exploration.
+func (a *QLearning) Greedy(state []float64) int {
+	row := a.row(state)
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range row {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Update applies the Q-learning TD update for the transition
+// (state, action, reward, next) and decays ε.
+func (a *QLearning) Update(state []float64, action int, reward float64, next []float64) {
+	row := a.row(state)
+	nextRow := a.row(next)
+	maxNext := math.Inf(-1)
+	for _, v := range nextRow {
+		if v > maxNext {
+			maxNext = v
+		}
+	}
+	row[action] += a.Alpha * (reward + a.Gamma*maxNext - row[action])
+	a.Epsilon *= a.EpsilonDecay
+	if a.Epsilon < a.MinEpsilon {
+		a.Epsilon = a.MinEpsilon
+	}
+}
+
+// Q returns the current Q value for (state, action), for inspection.
+func (a *QLearning) Q(state []float64, action int) float64 {
+	return a.row(state)[action]
+}
+
+// ActorCritic is a one-step actor-critic: a softmax policy network and a
+// value (critic) network, both small MLPs, updated with the TD(0)
+// advantage. It handles continuous state features without discretization.
+type ActorCritic struct {
+	// ActorLR and CriticLR are the two learning rates (defaults 0.01, 0.05).
+	ActorLR, CriticLR float64
+	// Gamma is the discount factor (default 0.9).
+	Gamma float64
+	// Entropy adds an entropy bonus coefficient encouraging exploration
+	// (default 0.01).
+	Entropy float64
+
+	actions int
+	actor   *nn.Net
+	critic  *nn.Net
+}
+
+// NewActorCritic builds an agent for stateDim features and the given
+// action count, with hidden-layer width `hidden` (default 32 when <= 0).
+func NewActorCritic(stateDim, actions, hidden int, rng *rand.Rand) (*ActorCritic, error) {
+	if actions <= 0 || stateDim <= 0 {
+		return nil, fmt.Errorf("rl: bad dims state=%d actions=%d", stateDim, actions)
+	}
+	if hidden <= 0 {
+		hidden = 32
+	}
+	return &ActorCritic{
+		ActorLR:  0.01,
+		CriticLR: 0.05,
+		Gamma:    0.9,
+		Entropy:  0.01,
+		actions:  actions,
+		actor:    nn.New([]int{stateDim, hidden, actions}, rng),
+		critic:   nn.New([]int{stateDim, hidden, 1}, rng),
+	}, nil
+}
+
+// Actions returns the action count.
+func (a *ActorCritic) Actions() int { return a.actions }
+
+// Name identifies the algorithm.
+func (a *ActorCritic) Name() string { return "actor-critic" }
+
+// Policy returns the current action distribution at state.
+func (a *ActorCritic) Policy(state []float64) []float64 {
+	return nn.Softmax(a.actor.Forward(state))
+}
+
+// Act samples an action from the softmax policy.
+func (a *ActorCritic) Act(state []float64, rng *rand.Rand) int {
+	return nn.SampleCategorical(a.Policy(state), rng)
+}
+
+// Greedy returns the mode of the policy.
+func (a *ActorCritic) Greedy(state []float64) int {
+	p := a.Policy(state)
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range p {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Value returns the critic's estimate at state.
+func (a *ActorCritic) Value(state []float64) float64 {
+	return a.critic.Forward(state)[0]
+}
+
+// Update applies one actor-critic step for the transition
+// (state, action, reward, next, done).
+func (a *ActorCritic) Update(state []float64, action int, reward float64, next []float64, done bool) {
+	v := a.critic.Forward(state)[0]
+	target := reward
+	if !done {
+		target += a.Gamma * a.critic.Forward(next)[0]
+	}
+	advantage := target - v
+
+	// Critic: minimize (v - target)^2.
+	a.critic.TrainMSE(state, []float64{target}, a.CriticLR)
+
+	// Actor: policy-gradient step. dL/dlogits for -advantage*log pi(a|s)
+	// with softmax is (pi - onehot(a)) * advantage; entropy bonus adds
+	// -Entropy * dH/dlogits.
+	p := nn.Softmax(a.actor.Forward(state))
+	grad := make([]float64, a.actions)
+	for i := range grad {
+		g := p[i]
+		if i == action {
+			g -= 1
+		}
+		grad[i] = g * advantage
+		// Entropy gradient: dH/dlogit_i = -p_i*(log p_i + H); we use the
+		// simpler surrogate of pushing logits toward uniform.
+		grad[i] += a.Entropy * (p[i] - 1/float64(a.actions))
+	}
+	// The actor network was last Forwarded on `state` inside Softmax above,
+	// so backprop uses the right activations.
+	a.actor.Backward(grad, a.ActorLR, 5)
+}

@@ -1,0 +1,168 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chainEnv is a tiny 1-D walk: state in {0..4} encoded as [s/4]; action 0
+// moves left, action 1 moves right; reward 1 at state 4, else 0. Optimal
+// policy: always right.
+type chainEnv struct{ s int }
+
+func (e *chainEnv) state() []float64 { return []float64{float64(e.s) / 4} }
+
+func (e *chainEnv) step(a int) (reward float64, done bool) {
+	if a == 1 {
+		e.s++
+	} else if e.s > 0 {
+		e.s--
+	}
+	if e.s >= 4 {
+		e.s = 4
+		return 1, true
+	}
+	return 0, false
+}
+
+func TestQLearningSolvesChain(t *testing.T) {
+	agent, err := NewQLearning(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.Epsilon = 0.5 // off-policy: heavy exploration is safe
+	rng := rand.New(rand.NewSource(1))
+	for ep := 0; ep < 800; ep++ {
+		env := &chainEnv{}
+		for step := 0; step < 20; step++ {
+			s := env.state()
+			a := agent.Act(s, rng)
+			r, done := env.step(a)
+			agent.Update(s, a, r, env.state())
+			if done {
+				break
+			}
+		}
+	}
+	// Greedy policy should go right from every state.
+	for s := 0; s < 4; s++ {
+		state := []float64{float64(s) / 4}
+		if agent.Greedy(state) != 1 {
+			t.Fatalf("greedy action at state %d is not right; Q=[%v %v]",
+				s, agent.Q(state, 0), agent.Q(state, 1))
+		}
+	}
+	if agent.States() == 0 {
+		t.Fatal("no states learned")
+	}
+	if agent.Name() != "qlearning" || agent.Actions() != 2 {
+		t.Fatal("metadata")
+	}
+}
+
+func TestQLearningEpsilonDecays(t *testing.T) {
+	agent, _ := NewQLearning(2)
+	agent.Epsilon = 1.0
+	agent.EpsilonDecay = 0.9
+	agent.MinEpsilon = 0.05
+	s := []float64{0}
+	for i := 0; i < 100; i++ {
+		agent.Update(s, 0, 0, s)
+	}
+	if agent.Epsilon != 0.05 {
+		t.Fatalf("epsilon = %v, want floor 0.05", agent.Epsilon)
+	}
+}
+
+func TestQLearningRejectsZeroActions(t *testing.T) {
+	if _, err := NewQLearning(0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestQLearningBucketing(t *testing.T) {
+	agent, _ := NewQLearning(2)
+	agent.Buckets = 4
+	// States in the same bucket share Q values.
+	agent.Update([]float64{0.0}, 0, 10, []float64{0.0})
+	if agent.Q([]float64{0.1}, 0) == 0 {
+		t.Fatal("0.0 and 0.1 should share a bucket at 4 buckets")
+	}
+	if agent.Q([]float64{0.9}, 0) != 0 {
+		t.Fatal("0.9 should be a different bucket")
+	}
+	// Out-of-range states clamp rather than panic.
+	agent.Update([]float64{1.5}, 1, 1, []float64{-0.5})
+}
+
+func TestActorCriticSolvesChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	agent, err := NewActorCritic(1, 2, 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep := 0; ep < 400; ep++ {
+		env := &chainEnv{}
+		for step := 0; step < 20; step++ {
+			s := env.state()
+			a := agent.Act(s, rng)
+			r, done := env.step(a)
+			agent.Update(s, a, r, env.state(), done)
+			if done {
+				break
+			}
+		}
+	}
+	rightVotes := 0
+	for s := 0; s < 4; s++ {
+		if agent.Greedy([]float64{float64(s) / 4}) == 1 {
+			rightVotes++
+		}
+	}
+	if rightVotes < 3 {
+		t.Fatalf("greedy goes right in only %d/4 states", rightVotes)
+	}
+	if agent.Name() != "actor-critic" || agent.Actions() != 2 {
+		t.Fatal("metadata")
+	}
+}
+
+func TestActorCriticValueLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	agent, _ := NewActorCritic(1, 2, 16, rng)
+	// Terminal state 1 always yields reward 1: critic should learn ~1 for
+	// the state preceding it under the trained policy.
+	for i := 0; i < 2000; i++ {
+		agent.Update([]float64{0.75}, 1, 1, []float64{1}, true)
+	}
+	v := agent.Value([]float64{0.75})
+	if v < 0.5 {
+		t.Fatalf("critic value = %v, want close to 1", v)
+	}
+}
+
+func TestActorCriticPolicyIsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	agent, _ := NewActorCritic(3, 4, 8, rng)
+	p := agent.Policy([]float64{0.2, 0.4, 0.6})
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 {
+			t.Fatal("negative probability")
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestActorCriticRejectsBadDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := NewActorCritic(0, 2, 8, rng); err == nil {
+		t.Fatal("expected error for stateDim=0")
+	}
+	if _, err := NewActorCritic(2, 0, 8, rng); err == nil {
+		t.Fatal("expected error for actions=0")
+	}
+}

@@ -1,0 +1,318 @@
+package simsys
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"autotune/internal/space"
+	"autotune/internal/workload"
+)
+
+// DBMS is the analytic database model: a 21-knob configuration space with
+// MySQL/PostgreSQL-style semantics over a buffer-pool + WAL + worker-pool
+// architecture. The model computes per-operation service times from cache
+// hit rates, I/O queueing, log flushing, checkpoint pressure, and thread
+// contention, then derives throughput and latency with an M/M/1-style
+// queue. Deliberately-poor defaults (tiny buffer pool, fsync on every
+// commit, four I/O threads) reproduce the tutorial's "4-10x from tuning"
+// claim; memory overcommit crashes the system, giving tuners a constraint
+// cliff to learn.
+type DBMS struct {
+	// Spec is the host the database runs on.
+	Spec SystemSpec
+	// NoiseSigma is the full-fidelity lognormal noise level (default 0.02).
+	NoiseSigma float64
+
+	space *space.Space
+}
+
+// NewDBMS returns a DBMS on the given host.
+func NewDBMS(spec SystemSpec) *DBMS {
+	d := &DBMS{Spec: spec, NoiseSigma: 0.02}
+	d.space = buildDBMSSpace()
+	return d
+}
+
+func buildDBMSSpace() *space.Space {
+	return space.MustNew(
+		space.Int("buffer_pool_mb", 64, 16384).WithLog().WithDefault(int64(128)),
+		space.Int("log_file_mb", 16, 4096).WithLog().WithDefault(int64(48)),
+		space.Int("io_threads", 1, 64).WithDefault(int64(4)),
+		space.Int("worker_threads", 1, 256).WithLog().WithDefault(int64(16)),
+		space.Int("query_cache_mb", 0, 1024).WithDefault(int64(0)).WithSpecial(0),
+		space.Int("checkpoint_secs", 5, 900).WithLog().WithDefault(int64(30)),
+		space.Categorical("flush_method",
+			"fsync", "O_DSYNC", "littlesync", "O_DIRECT", "O_DIRECT_NO_FSYNC", "nosync").
+			WithDefault("fsync"),
+		space.Bool("compression"),
+		space.Int("join_buffer_kb", 64, 65536).WithLog().WithDefault(int64(256)),
+		space.Int("sort_buffer_kb", 64, 65536).WithLog().WithDefault(int64(512)),
+		space.Int("tmp_table_mb", 1, 1024).WithLog().WithDefault(int64(16)),
+		space.Int("max_connections", 10, 2000).WithDefault(int64(150)),
+		space.Bool("prefetch"),
+		space.Int("wal_buffer_kb", 64, 16384).WithLog().WithDefault(int64(512)),
+		space.Int("lock_wait_ms", 10, 10000).WithLog().WithDefault(int64(1000)),
+		space.Categorical("page_kb", "4", "8", "16").WithDefault("16"),
+		space.Int("stats_sample", 1, 100).WithDefault(int64(20)),
+		space.Int("vacuum_cost_limit", 100, 10000).WithLog().WithDefault(int64(200)),
+		space.Bool("jit"),
+		space.Int("jit_above_cost_k", 1, 1000).WithLog().WithDefault(int64(100)).
+			WithParent("jit", "true"),
+		space.Int("net_buffer_kb", 16, 4096).WithLog().WithDefault(int64(64)),
+	)
+}
+
+// Name implements System.
+func (d *DBMS) Name() string { return "simdb" }
+
+// Space implements System.
+func (d *DBMS) Space() *space.Space { return d.space }
+
+// MemoryFootprintMB returns the model's total memory demand for a config
+// given a client count — exposed so constraint-aware tuning (experiment
+// F11) can declare it as an explicit space.Constraint instead of learning
+// the crash cliff.
+func (d *DBMS) MemoryFootprintMB(cfg space.Config, clients int) float64 {
+	conns := math.Min(float64(cfg.Int("max_connections")), float64(clients))
+	perConn := (float64(cfg.Int("join_buffer_kb")) +
+		float64(cfg.Int("sort_buffer_kb")) +
+		float64(cfg.Int("net_buffer_kb"))) / 1024
+	perConn += float64(cfg.Int("tmp_table_mb"))
+	return float64(cfg.Int("buffer_pool_mb")) +
+		float64(cfg.Int("query_cache_mb")) +
+		float64(cfg.Int("wal_buffer_kb"))/1024 +
+		conns*perConn +
+		512 // fixed server overhead
+}
+
+// MemoryConstraint returns a space constraint enforcing the crash boundary
+// for a given client count, for constrained-optimization experiments.
+func (d *DBMS) MemoryConstraint(clients int) space.Constraint {
+	return space.Constraint{
+		Name: "memory_footprint <= ram",
+		Check: func(cfg space.Config) bool {
+			return d.MemoryFootprintMB(cfg, clients) <= d.Spec.RAMMB
+		},
+	}
+}
+
+// ImportantKnobs returns the model's ground-truth influential knobs for a
+// workload, most important first — used to validate knob-importance
+// rankings (experiment F15).
+func (d *DBMS) ImportantKnobs(wl workload.Descriptor) []string {
+	if wl.WriteFraction() > 0.3 {
+		// Write-heavy: the commit path (group commit via the WAL buffer,
+		// then the flush method) and the buffer pool dominate.
+		return []string{"buffer_pool_mb", "wal_buffer_kb", "flush_method", "worker_threads", "io_threads"}
+	}
+	if wl.ScanRatio > 0.5 {
+		return []string{"buffer_pool_mb", "io_threads", "worker_threads", "prefetch", "jit"}
+	}
+	return []string{"buffer_pool_mb", "query_cache_mb", "io_threads", "worker_threads", "page_kb"}
+}
+
+var flushFactor = map[string]float64{
+	"fsync":             1.0,
+	"O_DSYNC":           0.72,
+	"littlesync":        0.55,
+	"O_DIRECT":          0.62,
+	"O_DIRECT_NO_FSYNC": 0.45,
+	"nosync":            0.30,
+}
+
+// Run implements System.
+func (d *DBMS) Run(cfg space.Config, wl workload.Descriptor, fidelity float64, rng *rand.Rand) (Metrics, error) {
+	if err := d.space.Validate(cfg); err != nil {
+		return Metrics{}, fmt.Errorf("simsys: %w", err)
+	}
+	if err := wl.Validate(); err != nil {
+		return Metrics{}, fmt.Errorf("simsys: %w", err)
+	}
+	if fidelity <= 0 || fidelity > 1 {
+		fidelity = 1
+	}
+	// --- Crash region: memory overcommit takes the server down. ---
+	if d.MemoryFootprintMB(cfg, wl.Clients) > d.Spec.RAMMB {
+		return Metrics{}, fmt.Errorf("%w: OOM (footprint %.0f MB > RAM %.0f MB)",
+			ErrCrash, d.MemoryFootprintMB(cfg, wl.Clients), d.Spec.RAMMB)
+	}
+
+	// --- Fidelity bias: a short benchmark touches a shrunken working set
+	// (caches look better than steady state) — the tutorial's SF1-vs-SF100
+	// transferability caveat. ---
+	ws := wl.WorkingSetMB * (0.35 + 0.65*fidelity)
+
+	// --- Buffer pool hit rate. ---
+	bp := float64(cfg.Int("buffer_pool_mb"))
+	bpEff := bp
+	compressCPU := 0.0
+	if cfg.Bool("compression") {
+		bpEff *= 1.6 // compressed pages stretch capacity...
+		compressCPU = 0.004
+	}
+	cover := clamp(bpEff/math.Max(ws, 1), 0, 1)
+	// Skewed access concentrates hits: higher exponent = faster saturation.
+	hit := 1 - math.Pow(1-cover, 1+2*wl.Skew)
+	hit = clamp(hit, 0, 0.999)
+
+	// --- I/O path. ---
+	pageKB := 16.0
+	switch cfg.Str("page_kb") {
+	case "4":
+		pageKB = 4
+	case "8":
+		pageKB = 8
+	}
+	ioThreads := float64(cfg.Int("io_threads"))
+	// Random reads: need ~8 in-flight requests to saturate a cloud SSD.
+	effIOPS := d.Spec.DiskIOPS * clamp(ioThreads/8, 0.15, 1)
+	missReadMS := 1000 / effIOPS * (pageKB/16*0.3 + 0.7)
+	// Sequential scans: bandwidth-bound; prefetch doubles effective depth.
+	seqMBps := d.Spec.DiskMBps * clamp(ioThreads/4, 0.25, 1)
+	if cfg.Bool("prefetch") {
+		seqMBps *= 1.6
+	}
+
+	// --- Per-op CPU. ---
+	baseCPU := 0.012 // ms per point op on one core
+	if cfg.Int("stats_sample") > 80 {
+		baseCPU *= 1.03 // planner overhead: tiny, a decoy knob
+	}
+
+	// --- Log/commit path for writes. ---
+	ff := flushFactor[cfg.Str("flush_method")]
+	commitMS := 0.05 + 0.9*ff // device flush latency
+	walKB := float64(cfg.Int("wal_buffer_kb"))
+	if walKB < 256 {
+		commitMS *= 1 + 0.4*(256-walKB)/256 // undersized WAL buffer stalls
+	}
+	// Checkpoint pressure: frequent checkpoints or a small redo log force
+	// extra page writes that steal I/O bandwidth from the read path.
+	ckSecs := float64(cfg.Int("checkpoint_secs"))
+	logMB := float64(cfg.Int("log_file_mb"))
+	ckPressure := (30/ckSecs)*0.5 + math.Sqrt(96/math.Max(logMB, 16))*0.5
+	ckPressure = clamp(ckPressure, 0.1, 3)
+	writeAmp := 1 + 0.25*ckPressure*wl.WriteFraction()
+
+	// --- Query cache (read-mostly workloads only). ---
+	qc := float64(cfg.Int("query_cache_mb"))
+	qcHit := 0.0
+	if qc > 0 {
+		invalidation := clamp(1-4*wl.WriteFraction(), 0, 1)
+		qcHit = qc / (qc + 96) * 0.55 * invalidation
+		baseCPU *= 1.04 // cache maintenance overhead
+	}
+
+	// --- Concurrency: effective parallelism from worker pool vs cores. ---
+	wt := float64(cfg.Int("worker_threads"))
+	cores := float64(d.Spec.CPUCores)
+	effPar := math.Min(wt, cores)
+	if wt > 4*cores { // context-switch thrash
+		effPar *= 1 / (1 + (wt-4*cores)/(8*cores))
+	}
+	if wt < cores { // under-provisioned pool leaves cores idle
+		effPar = wt
+	}
+	// Client admission: too-few connections cap achievable concurrency
+	// and add per-request multiplexing overhead.
+	conns := math.Min(float64(cfg.Int("max_connections")), float64(wl.Clients))
+	effPar = math.Min(effPar, conns)
+	effPar = math.Max(effPar, 1)
+
+	// --- Group commit: concurrent commits share one device flush, up to
+	// what the WAL buffer can batch. ---
+	group := clamp(math.Min(effPar, walKB/128), 1, 16)
+
+	// --- Assemble per-op service times (ms on one worker). ---
+	recKB := wl.RecordBytes / 1024
+	readMS := (baseCPU + compressCPU*(1-hit)) + (1-hit)*missReadMS*writeAmp
+	readMS *= 1 - qcHit
+	commitPerOpMS := commitMS * writeAmp / group
+	writeMS := baseCPU*1.4 + compressCPU + (1-hit)*missReadMS*0.5 + commitPerOpMS
+	scanRows := math.Max(wl.ScanLength, 1)
+	scanCPUms := scanRows * 0.0016
+	if d.jitActive(cfg, scanRows) {
+		scanCPUms *= 0.55 // JIT-compiled expression evaluation
+	}
+	scanIOms := (1 - hit) * scanRows * recKB / 1024 / seqMBps * 1000
+	// Sort/join spill: scans that exceed the sort buffer hit temp disk.
+	sortKB := float64(cfg.Int("sort_buffer_kb"))
+	spillKB := scanRows * recKB
+	if spillKB > sortKB {
+		scanIOms += (spillKB - sortKB) / 1024 / seqMBps * 1000 * 0.8
+	}
+	scanMS := scanCPUms + scanIOms
+	rmwMS := readMS + writeMS
+
+	mixMS := wl.ReadRatio*readMS + wl.UpdateRatio*writeMS +
+		wl.InsertRatio*writeMS*1.15 + wl.ScanRatio*scanMS + wl.RMWRatio()*rmwMS
+
+	// --- Throughput: the tightest of three bottlenecks. ---
+	// (1) Random-read IOPS consumed by buffer-pool misses.
+	pointFrac := wl.ReadRatio + wl.UpdateRatio + wl.InsertRatio + wl.RMWRatio()*2
+	scanPages := scanRows * recKB / pageKB
+	pagesPerOp := (1 - hit) * (pointFrac + wl.ScanRatio*scanPages*0.2)
+	ioCap := math.Inf(1)
+	if pagesPerOp > 1e-9 {
+		ioCap = effIOPS / pagesPerOp
+	}
+	// (2) Log-device flushes amortized by group commit.
+	logCap := math.Inf(1)
+	if wf := wl.WriteFraction(); wf > 1e-9 {
+		flushesPerSec := 1000 / (commitMS * writeAmp)
+		logCap = flushesPerSec * group / wf
+	}
+	// (3) CPU-side service across the worker pool.
+	cpuMS := wl.ReadRatio*baseCPU + (wl.UpdateRatio+wl.InsertRatio+wl.RMWRatio())*baseCPU*1.6 +
+		wl.ScanRatio*scanCPUms + compressCPU
+	cpuCap := effPar * 1000 / math.Max(cpuMS, 1e-6)
+	capacity := math.Min(ioCap, math.Min(logCap, cpuCap)) * 0.97
+
+	// Demand: open loop at the offered rate, or closed loop (clients drive
+	// back to back, the TPC-style benchmark mode) when RequestRate == 0.
+	demand := wl.RequestRate
+	if demand <= 0 {
+		demand = float64(maxInt(wl.Clients, 1)) * 1000 / math.Max(mixMS, 1e-6)
+	}
+	rho := demand / capacity
+	achieved := math.Min(demand, capacity)
+	latency := mm1Latency(mixMS, rho)
+	// Connection starvation: clients queueing for a connection slot wait
+	// roughly a service time per client ahead of them in line.
+	if float64(wl.Clients) > conns && conns > 0 {
+		latency += (float64(wl.Clients)/conns - 1) * mixMS * 0.5
+	}
+	offered := demand
+	// Lock contention adds latency for write-heavy skewed loads.
+	lockMS := float64(cfg.Int("lock_wait_ms"))
+	contention := wl.WriteFraction() * wl.Skew * clamp(rho, 0, 1)
+	latency += contention * math.Min(lockMS, 20) * 0.02
+	p95 := latency * (1.6 + 1.2*clamp(rho, 0, 1))
+
+	nf := noiseFactor(d.NoiseSigma, fidelity, rng)
+	m := Metrics{
+		ThroughputOps:  achieved / nf,
+		LatencyMS:      latency * nf,
+		P95MS:          p95 * nf,
+		CPUUtil:        clamp(rho, 0, 1),
+		IOUtil:         clamp((1-hit)*offered*recKB/1024/d.Spec.DiskMBps, 0, 1),
+		CostUSDPerHour: d.Spec.USDPerHour,
+	}
+	return m, nil
+}
+
+func (d *DBMS) jitActive(cfg space.Config, scanRows float64) bool {
+	if !cfg.Bool("jit") || !d.space.Active(cfg, "jit_above_cost_k") {
+		return false
+	}
+	// JIT kicks in only when the query cost exceeds the threshold.
+	return scanRows >= float64(cfg.Int("jit_above_cost_k"))*10
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

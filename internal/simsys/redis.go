@@ -1,0 +1,185 @@
+package simsys
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"autotune/internal/space"
+	"autotune/internal/testfunc"
+	"autotune/internal/workload"
+)
+
+// Redis models the tutorial's running example (slides 26-48): a Redis
+// server on Linux whose tail latency is tuned through kernel and server
+// knobs. The dominant knob is sched_migration_cost_ns, whose response
+// follows the 1-D curve from the slides (plateau, sharp dip near 450k,
+// slow rise); secondary knobs (io-threads, tcp-nodelay, appendfsync,
+// somaxconn) contribute smaller additive and multiplicative effects.
+type Redis struct {
+	// Spec is the host.
+	Spec SystemSpec
+	// NoiseSigma is the full-fidelity lognormal noise (default 0.03 —
+	// tail latency is noisier than throughput).
+	NoiseSigma float64
+
+	space *space.Space
+}
+
+// NewRedis returns the Redis/kernel model.
+func NewRedis(spec SystemSpec) *Redis {
+	r := &Redis{Spec: spec, NoiseSigma: 0.03}
+	r.space = space.MustNew(
+		space.Int("sched_migration_cost_ns", 0, 1_000_000).WithDefault(int64(500_000)),
+		space.Int("io_threads", 1, 16).WithDefault(int64(1)),
+		space.Bool("tcp_nodelay"),
+		space.Categorical("appendfsync", "always", "everysec", "no").WithDefault("everysec"),
+		space.Int("somaxconn", 128, 65535).WithLog().WithDefault(int64(128)),
+		space.Bool("activedefrag"),
+	)
+	return r
+}
+
+// Name implements System.
+func (r *Redis) Name() string { return "simredis" }
+
+// Space implements System.
+func (r *Redis) Space() *space.Space { return r.space }
+
+// Run implements System. The objective of interest is P95MS.
+func (r *Redis) Run(cfg space.Config, wl workload.Descriptor, fidelity float64, rng *rand.Rand) (Metrics, error) {
+	if err := r.space.Validate(cfg); err != nil {
+		return Metrics{}, fmt.Errorf("simsys: %w", err)
+	}
+	if fidelity <= 0 || fidelity > 1 {
+		fidelity = 1
+	}
+	// Kernel scheduler curve: the dominant effect.
+	p95 := testfunc.SchedLatencyMS(float64(cfg.Int("sched_migration_cost_ns")))
+
+	// io-threads: parallel network I/O helps until cores are exhausted.
+	cores := float64(r.Spec.CPUCores)
+	iot := float64(cfg.Int("io_threads"))
+	ioFactor := 1 / (1 + 0.35*math.Log1p(math.Min(iot, cores)-1))
+	if iot > cores {
+		ioFactor *= 1 + 0.05*(iot-cores) // oversubscription hurts tails
+	}
+	p95 *= ioFactor
+
+	// Nagle off shaves fixed time from every small request.
+	if cfg.Bool("tcp_nodelay") {
+		p95 -= 0.04
+	}
+	// Persistence policy adds fsync stalls proportional to write mix.
+	switch cfg.Str("appendfsync") {
+	case "always":
+		p95 += 0.5 * wl.WriteFraction()
+	case "everysec":
+		p95 += 0.05 * wl.WriteFraction()
+	}
+	// Accept-queue overflow under high client counts.
+	if float64(wl.Clients) > float64(cfg.Int("somaxconn")) {
+		p95 += 0.15
+	}
+	// Defrag trades a small steady overhead.
+	if cfg.Bool("activedefrag") {
+		p95 *= 1.03
+	}
+	if p95 < 0.05 {
+		p95 = 0.05
+	}
+
+	svc := p95 / 3 // crude mean from tail
+	capacity := cores * 1000 / svc * 8
+	achieved := math.Min(wl.RequestRate, capacity)
+	nf := noiseFactor(r.NoiseSigma, fidelity, rng)
+	return Metrics{
+		ThroughputOps:  achieved / nf,
+		LatencyMS:      svc * nf,
+		P95MS:          p95 * nf,
+		CPUUtil:        clamp(achieved/capacity, 0, 1),
+		CostUSDPerHour: r.Spec.USDPerHour,
+	}, nil
+}
+
+// Spark models a Spark-like batch job (the tutorial's motivating "Spark
+// tuning game", slide 14): minimize the runtime of a TPC-H-style query by
+// choosing executor count/memory, shuffle partitions, and compression.
+type Spark struct {
+	// Spec is the cluster node type; the job may use many of them.
+	Spec SystemSpec
+	// NoiseSigma is the full-fidelity noise (default 0.04).
+	NoiseSigma float64
+
+	space *space.Space
+}
+
+// NewSpark returns the Spark job model.
+func NewSpark(spec SystemSpec) *Spark {
+	s := &Spark{Spec: spec, NoiseSigma: 0.04}
+	s.space = space.MustNew(
+		space.Int("executors", 1, 50).WithDefault(int64(2)),
+		space.Int("executor_mem_mb", 512, 16384).WithLog().WithDefault(int64(1024)),
+		space.Int("shuffle_partitions", 8, 2048).WithLog().WithDefault(int64(200)),
+		space.Int("broadcast_threshold_mb", 1, 512).WithLog().WithDefault(int64(10)),
+		space.Bool("shuffle_compress"),
+	)
+	return s
+}
+
+// Name implements System.
+func (s *Spark) Name() string { return "simspark" }
+
+// Space implements System.
+func (s *Spark) Space() *space.Space { return s.space }
+
+// Run implements System. The objective is job runtime, reported through
+// LatencyMS (milliseconds); ThroughputOps is rows/sec.
+func (s *Spark) Run(cfg space.Config, wl workload.Descriptor, fidelity float64, rng *rand.Rand) (Metrics, error) {
+	if err := s.space.Validate(cfg); err != nil {
+		return Metrics{}, fmt.Errorf("simsys: %w", err)
+	}
+	if fidelity <= 0 || fidelity > 1 {
+		fidelity = 1
+	}
+	dataMB := wl.DataSizeMB * fidelity // fidelity = scale factor fraction
+	exec := float64(cfg.Int("executors"))
+	memMB := float64(cfg.Int("executor_mem_mb"))
+
+	// Map phase: scan bandwidth scales with executors; insufficient memory
+	// spills to disk.
+	scanMBps := exec * 120
+	mapSec := dataMB / scanMBps
+	spillFrac := clamp((dataMB/exec/4-memMB)/math.Max(memMB, 1), 0, 2)
+	mapSec *= 1 + 0.7*spillFrac
+
+	// Shuffle phase: per-partition fixed overhead vs parallelism sweet
+	// spot near 2-4 partitions per core.
+	parts := float64(cfg.Int("shuffle_partitions"))
+	cores := exec * float64(s.Spec.CPUCores)
+	ideal := cores * 3
+	imbalance := math.Abs(math.Log(parts / ideal)) // U-shaped in log space
+	shuffleMB := dataMB * 0.4
+	if cfg.Bool("shuffle_compress") {
+		shuffleMB *= 0.45
+		mapSec *= 1.06 // compression CPU
+	}
+	shuffleSec := shuffleMB/(exec*60)*(1+0.5*imbalance) + parts*0.004
+
+	// Join strategy: a large-enough broadcast threshold avoids a shuffle
+	// join for the dimension table (~64 MB here).
+	joinSec := shuffleMB / (exec * 100)
+	if float64(cfg.Int("broadcast_threshold_mb")) >= 64*fidelity {
+		joinSec *= 0.45
+	}
+
+	runtimeSec := (mapSec + shuffleSec + joinSec) * noiseFactor(s.NoiseSigma, fidelity, rng)
+	rows := dataMB * 1024 * 1024 / math.Max(wl.RecordBytes, 1)
+	return Metrics{
+		ThroughputOps:  rows / math.Max(runtimeSec, 1e-9),
+		LatencyMS:      runtimeSec * 1000,
+		P95MS:          runtimeSec * 1000 * 1.1,
+		CPUUtil:        clamp(0.6+0.4*spillFrac, 0, 1),
+		CostUSDPerHour: s.Spec.USDPerHour * exec,
+	}, nil
+}

@@ -1,0 +1,148 @@
+// Package simsys provides analytic response-surface models of the tunable
+// systems the tutorial's examples target: a DBMS (MySQL/PostgreSQL-style
+// knobs, OLTP and OLAP workloads), a Redis-on-Linux kernel-tuning model
+// (the running example), and a Spark-like batch job (the motivating tuning
+// game). Real systems are unavailable in this environment; these models
+// substitute for them (see DESIGN.md) by encoding the response-surface
+// *structure* that the tutorial's experiments depend on: a few dominant
+// knobs, interactions, constraint cliffs where configurations crash,
+// categorical choices with distinct regimes, and noise that scales with
+// measurement fidelity.
+//
+// All models are deterministic given (config, workload, fidelity, rng) and
+// cheap to evaluate, so experiments can average over many seeds.
+package simsys
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"autotune/internal/space"
+	"autotune/internal/workload"
+)
+
+// ErrCrash is returned when a configuration crashes the simulated system
+// (e.g. memory overcommit). Tuners should treat it as a failed trial.
+var ErrCrash = errors.New("simsys: configuration crashed the system")
+
+// Metrics is the result of one benchmark run.
+type Metrics struct {
+	// ThroughputOps is achieved ops/sec (or queries/sec).
+	ThroughputOps float64
+	// LatencyMS is the mean request latency in milliseconds.
+	LatencyMS float64
+	// P95MS is the 95th-percentile latency in milliseconds.
+	P95MS float64
+	// CPUUtil and IOUtil are utilizations in [0, 1].
+	CPUUtil, IOUtil float64
+	// CostUSDPerHour is the (spec-derived) infrastructure cost.
+	CostUSDPerHour float64
+}
+
+// System is a tunable simulated system.
+type System interface {
+	// Name identifies the system.
+	Name() string
+	// Space returns the knob space.
+	Space() *space.Space
+	// Run benchmarks a configuration under a workload at a fidelity in
+	// (0, 1] (1 = full-length benchmark). It returns ErrCrash for
+	// configurations that take the system down.
+	Run(cfg space.Config, wl workload.Descriptor, fidelity float64, rng *rand.Rand) (Metrics, error)
+}
+
+// SystemSpec describes the host executing the system.
+type SystemSpec struct {
+	// CPUCores is the number of cores.
+	CPUCores int
+	// RAMMB is physical memory.
+	RAMMB float64
+	// DiskMBps is sequential disk bandwidth; DiskIOPS random-read ops/sec.
+	DiskMBps float64
+	DiskIOPS float64
+	// NetworkMBps is NIC bandwidth.
+	NetworkMBps float64
+	// USDPerHour is the instance price.
+	USDPerHour float64
+}
+
+// MediumVM is the default evaluation host: a typical 8-core cloud VM with
+// a mid-range SSD.
+func MediumVM() SystemSpec {
+	return SystemSpec{
+		CPUCores: 8, RAMMB: 32768,
+		DiskMBps: 400, DiskIOPS: 8000,
+		NetworkMBps: 1200, USDPerHour: 0.384,
+	}
+}
+
+// SmallVM is a 2-core budget instance.
+func SmallVM() SystemSpec {
+	return SystemSpec{
+		CPUCores: 2, RAMMB: 8192,
+		DiskMBps: 150, DiskIOPS: 3000,
+		NetworkMBps: 400, USDPerHour: 0.096,
+	}
+}
+
+// LargeVM is a 32-core instance.
+func LargeVM() SystemSpec {
+	return SystemSpec{
+		CPUCores: 32, RAMMB: 131072,
+		DiskMBps: 1200, DiskIOPS: 40000,
+		NetworkMBps: 4000, USDPerHour: 1.536,
+	}
+}
+
+// VMByName maps a size name to a spec; it returns MediumVM for unknown
+// names.
+func VMByName(name string) SystemSpec {
+	switch name {
+	case "small":
+		return SmallVM()
+	case "large":
+		return LargeVM()
+	default:
+		return MediumVM()
+	}
+}
+
+// noiseFactor returns a multiplicative lognormal noise term whose standard
+// deviation shrinks with the square root of fidelity (longer benchmarks
+// average more).
+func noiseFactor(sigma, fidelity float64, rng *rand.Rand) float64 {
+	if sigma <= 0 || rng == nil {
+		return 1
+	}
+	if fidelity <= 0 {
+		fidelity = 0.01
+	}
+	if fidelity > 1 {
+		fidelity = 1
+	}
+	s := sigma / math.Sqrt(fidelity)
+	return math.Exp(rng.NormFloat64()*s - s*s/2)
+}
+
+// mm1Latency returns the M/M/1-style latency multiplier for utilization
+// rho, clamped to avoid infinities at saturation.
+func mm1Latency(service, rho float64) float64 {
+	if rho >= 0.99 {
+		rho = 0.99
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	return service / (1 - rho)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,320 @@
+package simsys
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"autotune/internal/space"
+	"autotune/internal/testfunc"
+	"autotune/internal/workload"
+)
+
+// run executes deterministically (no noise) for shape assertions.
+func run(t *testing.T, sys System, cfg space.Config, wl workload.Descriptor) Metrics {
+	t.Helper()
+	m, err := sys.Run(cfg, wl, 1, nil)
+	if err != nil {
+		t.Fatalf("%s: %v", sys.Name(), err)
+	}
+	return m
+}
+
+func tunedDBMSConfig(d *DBMS) space.Config {
+	cfg := d.Space().Default()
+	cfg["buffer_pool_mb"] = int64(8192)
+	cfg["log_file_mb"] = int64(2048)
+	cfg["io_threads"] = int64(16)
+	cfg["worker_threads"] = int64(32)
+	cfg["flush_method"] = "O_DIRECT_NO_FSYNC"
+	cfg["checkpoint_secs"] = int64(300)
+	cfg["wal_buffer_kb"] = int64(4096)
+	cfg["max_connections"] = int64(400)
+	cfg["prefetch"] = true
+	return cfg
+}
+
+func TestDBMSDefaultsValid(t *testing.T) {
+	d := NewDBMS(MediumVM())
+	if err := d.Space().Validate(d.Space().Default()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Space().Dim() != 21 {
+		t.Fatalf("dim = %d", d.Space().Dim())
+	}
+}
+
+func TestDBMSTunedVsDefaultThroughputBand(t *testing.T) {
+	// The tutorial's 4-10x claim: tuned throughput on TPC-C-like load
+	// should be several times the default's.
+	d := NewDBMS(MediumVM())
+	wl := workload.TPCC()
+	wl.RequestRate = 0 // closed loop: the benchmark drives as hard as it can
+	def := run(t, d, d.Space().Default(), wl)
+	tuned := run(t, d, tunedDBMSConfig(d), wl)
+	ratio := tuned.ThroughputOps / def.ThroughputOps
+	if ratio < 3 || ratio > 15 {
+		t.Fatalf("tuned/default throughput ratio = %v, want within the 3-15x envelope (def %v tuned %v)",
+			ratio, def.ThroughputOps, tuned.ThroughputOps)
+	}
+}
+
+func TestDBMSBufferPoolHelps(t *testing.T) {
+	d := NewDBMS(MediumVM())
+	wl := workload.YCSBB()
+	small := d.Space().Default()
+	small["buffer_pool_mb"] = int64(64)
+	big := d.Space().Default()
+	big["buffer_pool_mb"] = int64(8192)
+	if !(run(t, d, big, wl).LatencyMS < run(t, d, small, wl).LatencyMS) {
+		t.Fatal("bigger buffer pool should reduce latency")
+	}
+}
+
+func TestDBMSFlushMethodOrdering(t *testing.T) {
+	d := NewDBMS(MediumVM())
+	wl := workload.YCSBA() // write-heavy
+	lat := func(method string) float64 {
+		cfg := d.Space().Default()
+		cfg["flush_method"] = method
+		return run(t, d, cfg, wl).LatencyMS
+	}
+	if !(lat("nosync") < lat("O_DIRECT_NO_FSYNC") && lat("O_DIRECT_NO_FSYNC") < lat("fsync")) {
+		t.Fatalf("flush ordering wrong: nosync=%v odnf=%v fsync=%v",
+			lat("nosync"), lat("O_DIRECT_NO_FSYNC"), lat("fsync"))
+	}
+}
+
+func TestDBMSQueryCacheWorkloadDependence(t *testing.T) {
+	d := NewDBMS(MediumVM())
+	withQC := d.Space().Default()
+	withQC["query_cache_mb"] = int64(512)
+	noQC := d.Space().Default()
+	// Read-only: cache helps.
+	rd := workload.YCSBC()
+	if !(run(t, d, withQC, rd).LatencyMS < run(t, d, noQC, rd).LatencyMS) {
+		t.Fatal("query cache should help read-only load")
+	}
+	// Write-heavy: invalidation nullifies the benefit (and adds overhead).
+	wr := workload.YCSBA()
+	if run(t, d, withQC, wr).LatencyMS < run(t, d, noQC, wr).LatencyMS*0.98 {
+		t.Fatal("query cache should not help write-heavy load")
+	}
+}
+
+func TestDBMSOOMCrash(t *testing.T) {
+	d := NewDBMS(SmallVM()) // 8 GB RAM
+	cfg := d.Space().Default()
+	cfg["buffer_pool_mb"] = int64(16384)
+	_, err := d.Run(cfg, workload.TPCC(), 1, nil)
+	if !errors.Is(err, ErrCrash) {
+		t.Fatalf("err = %v, want ErrCrash", err)
+	}
+}
+
+func TestDBMSMemoryConstraintMatchesCrash(t *testing.T) {
+	d := NewDBMS(SmallVM())
+	wl := workload.TPCC()
+	c := d.MemoryConstraint(wl.Clients)
+	ok := d.Space().Default()
+	if !c.Check(ok) {
+		t.Fatal("default should satisfy the memory constraint")
+	}
+	bad := d.Space().Default()
+	bad["buffer_pool_mb"] = int64(16384)
+	if c.Check(bad) {
+		t.Fatal("oversized buffer pool should violate the constraint")
+	}
+}
+
+func TestDBMSConnectionCap(t *testing.T) {
+	d := NewDBMS(MediumVM())
+	wl := workload.TPCC() // 128 clients
+	few := d.Space().Default()
+	few["max_connections"] = int64(10)
+	many := d.Space().Default()
+	many["max_connections"] = int64(400)
+	if !(run(t, d, many, wl).LatencyMS < run(t, d, few, wl).LatencyMS) {
+		t.Fatal("connection starvation should inflate latency")
+	}
+}
+
+func TestDBMSJITConditional(t *testing.T) {
+	d := NewDBMS(MediumVM())
+	wl := workload.TPCH(1)
+	off := d.Space().Default()
+	on := d.Space().Default()
+	on["jit"] = true
+	on["jit_above_cost_k"] = int64(1)
+	if !(run(t, d, on, wl).LatencyMS < run(t, d, off, wl).LatencyMS) {
+		t.Fatal("JIT should speed up scan-heavy load")
+	}
+	// jit=false makes the threshold knob inert.
+	a := d.Space().Default()
+	a["jit_above_cost_k"] = int64(1)
+	b := d.Space().Default()
+	b["jit_above_cost_k"] = int64(1000)
+	if run(t, d, a, wl).LatencyMS != run(t, d, b, wl).LatencyMS {
+		t.Fatal("inactive conditional knob changed behaviour")
+	}
+}
+
+func TestDBMSCheckpointAndLogSize(t *testing.T) {
+	d := NewDBMS(MediumVM())
+	wl := workload.YCSBA()
+	hot := d.Space().Default()
+	hot["checkpoint_secs"] = int64(5)
+	hot["log_file_mb"] = int64(16)
+	calm := d.Space().Default()
+	calm["checkpoint_secs"] = int64(600)
+	calm["log_file_mb"] = int64(2048)
+	if !(run(t, d, calm, wl).LatencyMS < run(t, d, hot, wl).LatencyMS) {
+		t.Fatal("aggressive checkpointing should hurt write-heavy latency")
+	}
+}
+
+func TestDBMSFidelityBiasAndNoise(t *testing.T) {
+	d := NewDBMS(MediumVM())
+	wl := workload.TPCC()
+	cfg := d.Space().Default()
+	full := run(t, d, cfg, wl)
+	m, err := d.Run(cfg, wl, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short benchmark shrinks the working set -> better hit rate -> lower
+	// latency than steady state: low fidelity is optimistic.
+	if !(m.LatencyMS < full.LatencyMS) {
+		t.Fatalf("low fidelity %v should look faster than full %v", m.LatencyMS, full.LatencyMS)
+	}
+}
+
+func TestDBMSInvalidInputs(t *testing.T) {
+	d := NewDBMS(MediumVM())
+	bad := d.Space().Default()
+	bad["buffer_pool_mb"] = int64(1) // below min
+	if _, err := d.Run(bad, workload.TPCC(), 1, nil); err == nil {
+		t.Fatal("invalid config should error")
+	}
+	if _, err := d.Run(d.Space().Default(), workload.Descriptor{ReadRatio: 5}, 1, nil); err == nil {
+		t.Fatal("invalid workload should error")
+	}
+}
+
+func TestDBMSImportantKnobs(t *testing.T) {
+	d := NewDBMS(MediumVM())
+	for _, wl := range []workload.Descriptor{workload.TPCC(), workload.YCSBC(), workload.TPCH(1)} {
+		knobs := d.ImportantKnobs(wl)
+		if len(knobs) < 3 {
+			t.Fatalf("%s: %v", wl.Name, knobs)
+		}
+		if knobs[0] != "buffer_pool_mb" {
+			t.Fatalf("%s: first knob = %s", wl.Name, knobs[0])
+		}
+		for _, k := range knobs {
+			if _, ok := d.Space().Param(k); !ok {
+				t.Fatalf("ground-truth knob %q not in space", k)
+			}
+		}
+	}
+}
+
+func TestRedisSchedCurveDominates(t *testing.T) {
+	r := NewRedis(MediumVM())
+	wl := workload.YCSBB()
+	at := func(ns int64) float64 {
+		cfg := r.Space().Default()
+		cfg["sched_migration_cost_ns"] = ns
+		return run(t, r, cfg, wl).P95MS
+	}
+	if !(at(testfunc.SchedDipCenterNS) < at(50_000) && at(testfunc.SchedDipCenterNS) < at(1_000_000)) {
+		t.Fatalf("dip missing: dip=%v 50k=%v 1M=%v", at(testfunc.SchedDipCenterNS), at(50_000), at(1_000_000))
+	}
+	// The tutorial's "68% reduction" shape: dip vs plateau.
+	red := (at(50_000) - at(testfunc.SchedDipCenterNS)) / at(50_000)
+	if red < 0.5 {
+		t.Fatalf("reduction = %v, want >= 0.5", red)
+	}
+}
+
+func TestRedisSecondaryKnobs(t *testing.T) {
+	r := NewRedis(MediumVM())
+	wl := workload.YCSBA()
+	base := r.Space().Default()
+	nodelay := base.Clone()
+	nodelay["tcp_nodelay"] = true
+	if !(run(t, r, nodelay, wl).P95MS < run(t, r, base, wl).P95MS) {
+		t.Fatal("tcp_nodelay should help")
+	}
+	always := base.Clone()
+	always["appendfsync"] = "always"
+	noSync := base.Clone()
+	noSync["appendfsync"] = "no"
+	if !(run(t, r, noSync, wl).P95MS < run(t, r, always, wl).P95MS) {
+		t.Fatal("appendfsync=always should hurt write-heavy tails")
+	}
+}
+
+func TestSparkMoreExecutorsFaster(t *testing.T) {
+	s := NewSpark(MediumVM())
+	wl := workload.TPCH(10)
+	small := s.Space().Default()
+	small["executors"] = int64(2)
+	big := s.Space().Default()
+	big["executors"] = int64(20)
+	big["executor_mem_mb"] = int64(8192)
+	mSmall := run(t, s, small, wl)
+	mBig := run(t, s, big, wl)
+	if !(mBig.LatencyMS < mSmall.LatencyMS) {
+		t.Fatal("more executors should cut runtime")
+	}
+	// But cost scales with executors.
+	if !(mBig.CostUSDPerHour > mSmall.CostUSDPerHour) {
+		t.Fatal("more executors should cost more")
+	}
+}
+
+func TestSparkShufflePartitionsUShape(t *testing.T) {
+	s := NewSpark(MediumVM())
+	wl := workload.TPCH(10)
+	at := func(p int64) float64 {
+		cfg := s.Space().Default()
+		cfg["executors"] = int64(8)
+		cfg["shuffle_partitions"] = p
+		return run(t, s, cfg, wl).LatencyMS
+	}
+	// Sweet spot near 3 partitions/core (8 execs * 8 cores * 3 = 192).
+	if !(at(192) < at(8) && at(192) < at(2048)) {
+		t.Fatalf("U-shape missing: 192=%v 8=%v 2048=%v", at(192), at(8), at(2048))
+	}
+}
+
+func TestVMByName(t *testing.T) {
+	if VMByName("small").CPUCores != 2 || VMByName("large").CPUCores != 32 {
+		t.Fatal("vm specs")
+	}
+	if VMByName("bogus").CPUCores != 8 {
+		t.Fatal("unknown should default to medium")
+	}
+}
+
+func TestNoiseFactorProperties(t *testing.T) {
+	if noiseFactor(0.05, 1, nil) != 1 {
+		t.Fatal("nil rng should disable noise")
+	}
+	if noiseFactor(0, 1, nil) != 1 {
+		t.Fatal("zero sigma should disable noise")
+	}
+}
+
+func TestMM1Latency(t *testing.T) {
+	if mm1Latency(1, 0) != 1 {
+		t.Fatal("idle latency should equal service time")
+	}
+	if !(mm1Latency(1, 0.9) > mm1Latency(1, 0.5)) {
+		t.Fatal("latency should grow with utilization")
+	}
+	if math.IsInf(mm1Latency(1, 1.5), 0) {
+		t.Fatal("overload should clamp, not blow up")
+	}
+}

@@ -1,0 +1,300 @@
+// Package smac implements SMAC-style sequential model-based optimization
+// (Hutter, Hoos, Leyton-Brown 2010): a random-forest surrogate whose
+// across-tree spread provides the uncertainty estimate, combined with
+// expected improvement and a candidate pool mixing random samples with
+// neighbourhoods of the incumbent. The tree surrogate handles categorical
+// and conditional parameters natively, which is why SMAC is the tutorial's
+// recommended model for discrete/hybrid spaces (slide 51).
+package smac
+
+import (
+	"math"
+	"math/rand"
+
+	"autotune/internal/bo"
+	"autotune/internal/forest"
+	"autotune/internal/optimizer"
+	"autotune/internal/space"
+)
+
+// Options configures SMAC.
+type Options struct {
+	// Acq is the acquisition function (default EI).
+	Acq bo.Acquisition
+	// Trees is the forest size (default 30).
+	Trees int
+	// InitSamples is the random warm-up count (default 5).
+	InitSamples int
+	// Candidates is the random candidate pool size (default 512).
+	Candidates int
+	// LocalCandidates is the number of incumbent-neighbourhood candidates
+	// added to the pool (default 64).
+	LocalCandidates int
+	// MinVariance floors the forest's uncertainty so EI never collapses
+	// to pure exploitation (default 1e-8).
+	MinVariance float64
+	// RandomInterleave is the probability that a suggestion is a pure
+	// random sample instead of the acquisition maximizer (default 0.3).
+	// Interleaving counters the forest's tendency to report near-zero
+	// uncertainty in unexplored regions (trees extrapolate flat), which
+	// would otherwise make EI purely exploitative — the original SMAC
+	// alternates model-based and random configurations for the same
+	// reason.
+	RandomInterleave float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Acq == nil {
+		o.Acq = bo.NewEI()
+	}
+	if o.Trees <= 0 {
+		o.Trees = 30
+	}
+	if o.InitSamples <= 0 {
+		o.InitSamples = 5
+	}
+	if o.Candidates <= 0 {
+		o.Candidates = 512
+	}
+	if o.LocalCandidates <= 0 {
+		o.LocalCandidates = 64
+	}
+	if o.MinVariance <= 0 {
+		o.MinVariance = 1e-8
+	}
+	if o.RandomInterleave == 0 {
+		o.RandomInterleave = 0.3
+	}
+	if o.RandomInterleave < 0 {
+		o.RandomInterleave = 0
+	}
+	return o
+}
+
+// SMAC is the random-forest-based optimizer. It implements
+// optimizer.Optimizer and optimizer.BatchSuggester.
+type SMAC struct {
+	optimizer.Recorder
+	space *space.Space
+	rng   *rand.Rand
+	opts  Options
+
+	model *forest.Forest
+	dirty bool
+}
+
+// New returns a SMAC optimizer with default options.
+func New(s *space.Space, rng *rand.Rand) *SMAC {
+	return NewWith(s, rng, Options{})
+}
+
+// NewWith returns a SMAC optimizer with explicit options.
+func NewWith(s *space.Space, rng *rand.Rand, opts Options) *SMAC {
+	return &SMAC{space: s, rng: rng, opts: opts.withDefaults()}
+}
+
+// Name implements optimizer.Optimizer.
+func (s *SMAC) Name() string { return "smac" }
+
+// Observe implements optimizer.Optimizer.
+func (s *SMAC) Observe(cfg space.Config, value float64) error {
+	if err := s.Recorder.Observe(cfg, value); err != nil {
+		return err
+	}
+	s.dirty = true
+	return nil
+}
+
+func (s *SMAC) refit() error {
+	hist := s.History()
+	xs := make([][]float64, len(hist))
+	ys := make([]float64, len(hist))
+	for i, obs := range hist {
+		xs[i] = s.space.Encode(obs.Config)
+		ys[i] = obs.Value
+	}
+	ys = clampInvalid(ys)
+	m, err := forest.Fit(xs, ys, forest.Options{Trees: s.opts.Trees}, s.rng)
+	if err != nil {
+		return err
+	}
+	s.model = m
+	s.dirty = false
+	return nil
+}
+
+// Suggest implements optimizer.Optimizer.
+func (s *SMAC) Suggest() (space.Config, error) {
+	n := s.N()
+	if n == 0 {
+		return s.space.Default(), nil
+	}
+	if n < s.opts.InitSamples {
+		return s.space.Sample(s.rng), nil
+	}
+	if s.rng.Float64() < s.opts.RandomInterleave {
+		return s.space.Sample(s.rng), nil
+	}
+	if s.dirty || s.model == nil {
+		if err := s.refit(); err != nil {
+			return s.space.Sample(s.rng), nil
+		}
+	}
+	return s.pick(), nil
+}
+
+// pick maximizes the acquisition over random + incumbent-local candidates.
+func (s *SMAC) pick() space.Config {
+	incumbent, best, _ := s.Best()
+	seen := make(map[string]bool, s.N())
+	for _, obs := range s.History() {
+		seen[obs.Config.Key()] = true
+	}
+	var top space.Config
+	topScore := math.Inf(-1)
+	var topAny space.Config
+	topAnyScore := math.Inf(-1)
+	consider := func(cfg space.Config) {
+		mu, v := s.model.Predict(s.space.Encode(cfg))
+		if v < s.opts.MinVariance {
+			v = s.opts.MinVariance
+		}
+		sc := s.opts.Acq.Score(mu, math.Sqrt(v), best)
+		if sc > topAnyScore {
+			topAny, topAnyScore = cfg, sc
+		}
+		if sc > topScore && !seen[cfg.Key()] {
+			top, topScore = cfg, sc
+		}
+	}
+	for i := 0; i < s.opts.Candidates; i++ {
+		consider(s.space.Sample(s.rng))
+	}
+	if incumbent != nil {
+		for i := 0; i < s.opts.LocalCandidates; i++ {
+			consider(s.space.Neighbor(incumbent, 0.05, s.rng))
+		}
+	}
+	if top == nil {
+		top = topAny
+	}
+	if top == nil {
+		top = s.space.Sample(s.rng)
+	}
+	return top
+}
+
+// SuggestN implements optimizer.BatchSuggester: it picks the top-n distinct
+// candidates by acquisition score in one scoring pass.
+func (s *SMAC) SuggestN(n int) ([]space.Config, error) {
+	if n <= 1 || s.N() < s.opts.InitSamples {
+		out := make([]space.Config, 0, n)
+		for i := 0; i < n; i++ {
+			cfg, err := s.Suggest()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cfg)
+		}
+		return out, nil
+	}
+	if s.dirty || s.model == nil {
+		if err := s.refit(); err != nil {
+			return s.space.SampleN(s.rng, n), nil
+		}
+	}
+	_, best, _ := s.Best()
+	type scored struct {
+		cfg   space.Config
+		score float64
+	}
+	cands := make([]scored, 0, s.opts.Candidates)
+	for i := 0; i < s.opts.Candidates; i++ {
+		cfg := s.space.Sample(s.rng)
+		mu, v := s.model.Predict(s.space.Encode(cfg))
+		if v < s.opts.MinVariance {
+			v = s.opts.MinVariance
+		}
+		cands = append(cands, scored{cfg, s.opts.Acq.Score(mu, math.Sqrt(v), best)})
+	}
+	out := make([]space.Config, 0, n)
+	used := map[string]bool{}
+	for len(out) < n {
+		bi, bs := -1, math.Inf(-1)
+		for i, c := range cands {
+			if used[c.cfg.Key()] {
+				continue
+			}
+			if c.score > bs {
+				bi, bs = i, c.score
+			}
+		}
+		if bi < 0 {
+			out = append(out, s.space.Sample(s.rng))
+			continue
+		}
+		used[cands[bi].cfg.Key()] = true
+		out = append(out, cands[bi].cfg)
+	}
+	return out, nil
+}
+
+// Importance returns per-parameter permutation importances from the current
+// forest, aligned with the space's parameter order. It refits if needed and
+// returns nil when no model can be built.
+func (s *SMAC) Importance() []float64 {
+	if s.dirty || s.model == nil {
+		if err := s.refit(); err != nil {
+			return nil
+		}
+	}
+	hist := s.History()
+	xs := make([][]float64, len(hist))
+	ys := make([]float64, len(hist))
+	for i, obs := range hist {
+		xs[i] = s.space.Encode(obs.Config)
+		ys[i] = obs.Value
+	}
+	ys = clampInvalid(ys)
+	return s.model.PermutationImportance(xs, ys, s.rng)
+}
+
+// clampInvalid mirrors bo.clampInvalid for crash values; duplicated locally
+// to keep the packages decoupled beyond the Acquisition interface.
+func clampInvalid(ys []float64) []float64 {
+	worst, best := math.Inf(-1), math.Inf(1)
+	for _, y := range ys {
+		if !math.IsInf(y, 0) && !math.IsNaN(y) {
+			if y > worst {
+				worst = y
+			}
+			if y < best {
+				best = y
+			}
+		}
+	}
+	if math.IsInf(worst, -1) {
+		out := make([]float64, len(ys))
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	spread := worst - best
+	if spread <= 0 {
+		spread = math.Abs(worst)
+		if spread == 0 {
+			spread = 1
+		}
+	}
+	penalty := worst + 2*spread
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		if math.IsInf(y, 0) || math.IsNaN(y) {
+			out[i] = penalty
+		} else {
+			out[i] = y
+		}
+	}
+	return out
+}

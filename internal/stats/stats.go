@@ -1,0 +1,403 @@
+// Package stats provides the descriptive statistics used throughout the
+// autotuning framework: moments, percentiles, robust estimators, exponential
+// smoothing, and simple resampling-based confidence intervals.
+//
+// All functions operate on float64 slices and never mutate their inputs
+// unless documented otherwise. NaN handling is the caller's responsibility;
+// passing NaNs yields unspecified results.
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrEmpty is returned (or causes NaN results) when a statistic of an empty
+// sample is requested.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or NaN if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator),
+// or NaN when fewer than two samples are given.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs, or +Inf if xs is empty.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf if xs is empty.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMin returns the index of the smallest element of xs, or -1 if empty.
+// Ties resolve to the first occurrence.
+func ArgMin(xs []float64) int {
+	idx, best := -1, math.Inf(1)
+	for i, x := range xs {
+		if x < best {
+			best, idx = x, i
+		}
+	}
+	return idx
+}
+
+// ArgMax returns the index of the largest element of xs, or -1 if empty.
+func ArgMax(xs []float64) int {
+	idx, best := -1, math.Inf(-1)
+	for i, x := range xs {
+		if x > best {
+			best, idx = x, i
+		}
+	}
+	return idx
+}
+
+// Median returns the sample median, interpolating between the two middle
+// order statistics for even n. Returns NaN for empty input.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. Returns NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// PercentileSorted is like Percentile but requires xs to already be sorted
+// ascending, avoiding the copy and sort.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MAD returns the median absolute deviation of xs scaled by 1.4826 so that
+// it estimates the standard deviation for Gaussian data.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return 1.4826 * Median(dev)
+}
+
+// Normalize returns (xs - mean) / std. If the standard deviation is zero or
+// not finite the centered values are returned unscaled.
+func Normalize(xs []float64) []float64 {
+	m, s := Mean(xs), StdDev(xs)
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x - m
+	}
+	if s > 0 && !math.IsNaN(s) && !math.IsInf(s, 0) {
+		for i := range out {
+			out[i] /= s
+		}
+	}
+	return out
+}
+
+// EWMA holds an exponentially weighted moving average with smoothing factor
+// alpha in (0, 1]. The zero value is invalid; use NewEWMA.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. alpha is clamped
+// to (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 {
+		alpha = 1e-9
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds x into the average and returns the new value. The first
+// observation initializes the average.
+func (e *EWMA) Update(x float64) float64 {
+	if !e.init {
+		e.value, e.init = x, true
+		return x
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average, or NaN before any update.
+func (e *EWMA) Value() float64 {
+	if !e.init {
+		return math.NaN()
+	}
+	return e.value
+}
+
+// Online accumulates streaming count/mean/variance via Welford's algorithm.
+// The zero value is ready to use.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of observations.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean, or NaN when empty.
+func (o *Online) Mean() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.mean
+}
+
+// Variance returns the running unbiased variance, or NaN with fewer than two
+// observations.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return math.NaN()
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the running standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest observation, or NaN when empty.
+func (o *Online) Min() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.min
+}
+
+// Max returns the largest observation, or NaN when empty.
+func (o *Online) Max() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.max
+}
+
+// BootstrapCI estimates a two-sided (1-alpha) confidence interval for the
+// statistic f over xs using n bootstrap resamples drawn from rng. It returns
+// the lower and upper bounds. For empty input both bounds are NaN.
+func BootstrapCI(xs []float64, f func([]float64) float64, n int, alpha float64, rng *rand.Rand) (lo, hi float64) {
+	if len(xs) == 0 || n <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	est := make([]float64, n)
+	buf := make([]float64, len(xs))
+	for i := 0; i < n; i++ {
+		for j := range buf {
+			buf[j] = xs[rng.Intn(len(xs))]
+		}
+		est[i] = f(buf)
+	}
+	sort.Float64s(est)
+	return percentileSorted(est, 100*alpha/2), percentileSorted(est, 100*(1-alpha/2))
+}
+
+// Covariance returns the sample covariance of xs and ys (n-1 denominator).
+// It returns NaN if the lengths differ or fewer than two samples are given.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	s := 0.0
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(len(xs)-1)
+}
+
+// Pearson returns the Pearson correlation coefficient of xs and ys, or NaN
+// when undefined.
+func Pearson(xs, ys []float64) float64 {
+	c := Covariance(xs, ys)
+	sx, sy := StdDev(xs), StdDev(ys)
+	if sx == 0 || sy == 0 {
+		return math.NaN()
+	}
+	return c / (sx * sy)
+}
+
+// MannWhitneyU computes the Mann-Whitney U statistic for samples a and b and
+// a normal-approximation two-sided p-value. It is used to decide whether one
+// configuration stochastically dominates another under noise. Small samples
+// (< 8 total) make the approximation crude; callers should gather more data.
+func MannWhitneyU(a, b []float64) (u, p float64) {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return math.NaN(), math.NaN()
+	}
+	type obs struct {
+		v    float64
+		from int
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, x := range a {
+		all = append(all, obs{x, 0})
+	}
+	for _, x := range b {
+		all = append(all, obs{x, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	// Assign mid-ranks to ties.
+	ranks := make([]float64, len(all))
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.from == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - float64(n1*(n1+1))/2
+	u2 := float64(n1*n2) - u1
+	u = math.Min(u1, u2)
+	mu := float64(n1*n2) / 2
+	sigma := math.Sqrt(float64(n1*n2*(n1+n2+1)) / 12)
+	if sigma == 0 {
+		return u, 1
+	}
+	z := (u - mu) / sigma
+	p = 2 * normalCDF(-math.Abs(z))
+	return u, p
+}
+
+func normalCDF(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+
+// NormalCDF returns the standard normal cumulative distribution at x.
+func NormalCDF(x float64) float64 { return normalCDF(x) }
+
+// NormalPDF returns the standard normal density at x.
+func NormalPDF(x float64) float64 {
+	return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive. n < 2
+// yields a single-element slice containing lo.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}

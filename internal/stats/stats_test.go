@@ -1,0 +1,267 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("Variance of single sample should be NaN")
+	}
+}
+
+func TestMinMaxArg(t *testing.T) {
+	xs := []float64{3, -1, 7, 7, -1}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max wrong: %v %v", Min(xs), Max(xs))
+	}
+	if ArgMin(xs) != 1 {
+		t.Fatalf("ArgMin = %d, want 1 (first occurrence)", ArgMin(xs))
+	}
+	if ArgMax(xs) != 2 {
+		t.Fatalf("ArgMax = %d, want 2", ArgMax(xs))
+	}
+	if ArgMin(nil) != -1 || ArgMax(nil) != -1 {
+		t.Fatal("Arg{Min,Max} of empty should be -1")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {150, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestMAD(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 4, 6, 9}
+	// median = 2, abs devs = {1,1,0,0,2,4,7}, median dev = 1
+	if got := MAD(xs); !almostEqual(got, 1.4826, 1e-12) {
+		t.Fatalf("MAD = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{1, 2, 3})
+	if !almostEqual(Mean(out), 0, 1e-12) {
+		t.Fatalf("normalized mean = %v", Mean(out))
+	}
+	if !almostEqual(StdDev(out), 1, 1e-12) {
+		t.Fatalf("normalized std = %v", StdDev(out))
+	}
+	// Constant input: centered but not scaled.
+	out = Normalize([]float64{5, 5, 5})
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("constant normalize = %v", out)
+		}
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if !math.IsNaN(e.Value()) {
+		t.Fatal("EWMA before update should be NaN")
+	}
+	e.Update(10)
+	if e.Value() != 10 {
+		t.Fatalf("first update = %v", e.Value())
+	}
+	e.Update(20)
+	if !almostEqual(e.Value(), 15, 1e-12) {
+		t.Fatalf("second update = %v", e.Value())
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 100)
+	var o Online
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		o.Add(xs[i])
+	}
+	if !almostEqual(o.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("online mean %v vs %v", o.Mean(), Mean(xs))
+	}
+	if !almostEqual(o.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("online var %v vs %v", o.Variance(), Variance(xs))
+	}
+	if o.Min() != Min(xs) || o.Max() != Max(xs) {
+		t.Fatal("online min/max mismatch")
+	}
+	if o.N() != 100 {
+		t.Fatalf("N = %d", o.N())
+	}
+}
+
+func TestBootstrapCIBrackets(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() + 5
+	}
+	lo, hi := BootstrapCI(xs, Mean, 500, 0.05, rng)
+	if !(lo < 5 && 5 < hi) {
+		t.Fatalf("CI [%v, %v] does not bracket 5", lo, hi)
+	}
+	if hi-lo > 1 {
+		t.Fatalf("CI too wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestCovarianceAndPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Pearson(xs, ys); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+	if !math.IsNaN(Covariance(xs, []float64{1})) {
+		t.Fatal("length mismatch should be NaN")
+	}
+}
+
+func TestMannWhitneySeparated(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float64{101, 102, 103, 104, 105, 106, 107, 108}
+	u, p := MannWhitneyU(a, b)
+	if u != 0 {
+		t.Fatalf("U = %v, want 0 for fully separated samples", u)
+	}
+	if p > 0.01 {
+		t.Fatalf("p = %v, want significant", p)
+	}
+	_, pSame := MannWhitneyU(a, a)
+	if pSame < 0.9 {
+		t.Fatalf("identical samples p = %v, want ~1", pSame)
+	}
+}
+
+func TestNormalCDFPDF(t *testing.T) {
+	if !almostEqual(NormalCDF(0), 0.5, 1e-12) {
+		t.Fatal("CDF(0) != 0.5")
+	}
+	if !almostEqual(NormalCDF(1.96), 0.975, 1e-3) {
+		t.Fatalf("CDF(1.96) = %v", NormalCDF(1.96))
+	}
+	if !almostEqual(NormalPDF(0), 1/math.Sqrt(2*math.Pi), 1e-12) {
+		t.Fatal("PDF(0) wrong")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEqual(xs[i], want[i], 1e-12) {
+			t.Fatalf("Linspace = %v", xs)
+		}
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Linspace n=1 = %v", got)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := float64(p1 % 101)
+		b := float64(p2 % 101)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(xs, a), Percentile(xs, b)
+		return pa <= pb+1e-9 && pa >= Min(xs)-1e-9 && pb <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: online accumulator matches batch mean for any input.
+func TestOnlineMeanProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var o Online
+		for _, x := range xs {
+			o.Add(x)
+		}
+		scale := math.Max(1, math.Abs(Mean(xs)))
+		return almostEqual(o.Mean(), Mean(xs), 1e-6*scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

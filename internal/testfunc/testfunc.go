@@ -1,0 +1,289 @@
+// Package testfunc provides the classic synthetic black-box objectives used
+// to exercise and compare optimizers, plus the 1-D kernel-scheduler latency
+// curve from the tutorial's running example. All functions are minimized;
+// each ships with its canonical search Space and known optimum so that
+// convergence experiments can report simple regret.
+package testfunc
+
+import (
+	"math"
+	"sync"
+
+	"autotune/internal/space"
+)
+
+// Func is a synthetic objective: a deterministic function over a Space with
+// a known global minimum for regret computation.
+type Func struct {
+	Name string
+	// Space is the canonical domain.
+	Space *space.Space
+	// Eval returns the objective at cfg (minimization).
+	Eval func(cfg space.Config) float64
+	// Optimum is the known global minimum value.
+	Optimum float64
+}
+
+// Regret returns f(cfg) - optimum, the simple regret of cfg.
+func (f Func) Regret(cfg space.Config) float64 { return f.Eval(cfg) - f.Optimum }
+
+// Sphere returns the d-dimensional sphere function sum(x_i^2) on [-5, 5]^d.
+// Minimum 0 at the origin.
+func Sphere(d int) Func {
+	params := make([]space.Param, d)
+	for i := range params {
+		params[i] = space.Float(dimName(i), -5, 5)
+	}
+	s := space.MustNew(params...)
+	return Func{
+		Name:  "sphere",
+		Space: s,
+		Eval: func(cfg space.Config) float64 {
+			sum := 0.0
+			for i := 0; i < d; i++ {
+				x := cfg.Float(dimName(i))
+				sum += x * x
+			}
+			return sum
+		},
+		Optimum: 0,
+	}
+}
+
+// Branin returns the 2-D Branin-Hoo function on [-5,10] x [0,15].
+// Global minimum 0.397887 at three points.
+func Branin() Func {
+	s := space.MustNew(space.Float("x1", -5, 10), space.Float("x2", 0, 15))
+	a, b, c := 1.0, 5.1/(4*math.Pi*math.Pi), 5/math.Pi
+	r, t, sc := 6.0, 1/(8*math.Pi), 10.0
+	return Func{
+		Name:  "branin",
+		Space: s,
+		Eval: func(cfg space.Config) float64 {
+			x1, x2 := cfg.Float("x1"), cfg.Float("x2")
+			term := x2 - b*x1*x1 + c*x1 - r
+			return a*term*term + sc*(1-t)*math.Cos(x1) + sc
+		},
+		Optimum: 0.39788735772973816,
+	}
+}
+
+// Rosenbrock returns the d-dimensional Rosenbrock valley on [-2, 2]^d.
+// Minimum 0 at (1, ..., 1).
+func Rosenbrock(d int) Func {
+	params := make([]space.Param, d)
+	for i := range params {
+		params[i] = space.Float(dimName(i), -2, 2)
+	}
+	s := space.MustNew(params...)
+	return Func{
+		Name:  "rosenbrock",
+		Space: s,
+		Eval: func(cfg space.Config) float64 {
+			sum := 0.0
+			for i := 0; i < d-1; i++ {
+				x, y := cfg.Float(dimName(i)), cfg.Float(dimName(i+1))
+				sum += 100*(y-x*x)*(y-x*x) + (1-x)*(1-x)
+			}
+			return sum
+		},
+		Optimum: 0,
+	}
+}
+
+// Ackley returns the d-dimensional Ackley function on [-32.768, 32.768]^d.
+// Minimum 0 at the origin.
+func Ackley(d int) Func {
+	params := make([]space.Param, d)
+	for i := range params {
+		params[i] = space.Float(dimName(i), -32.768, 32.768)
+	}
+	s := space.MustNew(params...)
+	return Func{
+		Name:  "ackley",
+		Space: s,
+		Eval: func(cfg space.Config) float64 {
+			var sq, cs float64
+			for i := 0; i < d; i++ {
+				x := cfg.Float(dimName(i))
+				sq += x * x
+				cs += math.Cos(2 * math.Pi * x)
+			}
+			n := float64(d)
+			return -20*math.Exp(-0.2*math.Sqrt(sq/n)) - math.Exp(cs/n) + 20 + math.E
+		},
+		Optimum: 0,
+	}
+}
+
+// Rastrigin returns the d-dimensional Rastrigin function on [-5.12, 5.12]^d.
+// Minimum 0 at the origin; highly multimodal.
+func Rastrigin(d int) Func {
+	params := make([]space.Param, d)
+	for i := range params {
+		params[i] = space.Float(dimName(i), -5.12, 5.12)
+	}
+	s := space.MustNew(params...)
+	return Func{
+		Name:  "rastrigin",
+		Space: s,
+		Eval: func(cfg space.Config) float64 {
+			sum := 10 * float64(d)
+			for i := 0; i < d; i++ {
+				x := cfg.Float(dimName(i))
+				sum += x*x - 10*math.Cos(2*math.Pi*x)
+			}
+			return sum
+		},
+		Optimum: 0,
+	}
+}
+
+// Levy returns the d-dimensional Levy function on [-10, 10]^d.
+// Minimum 0 at (1, ..., 1).
+func Levy(d int) Func {
+	params := make([]space.Param, d)
+	for i := range params {
+		params[i] = space.Float(dimName(i), -10, 10)
+	}
+	s := space.MustNew(params...)
+	w := func(x float64) float64 { return 1 + (x-1)/4 }
+	return Func{
+		Name:  "levy",
+		Space: s,
+		Eval: func(cfg space.Config) float64 {
+			w1 := w(cfg.Float(dimName(0)))
+			sum := math.Pow(math.Sin(math.Pi*w1), 2)
+			for i := 0; i < d-1; i++ {
+				wi := w(cfg.Float(dimName(i)))
+				sum += (wi - 1) * (wi - 1) * (1 + 10*math.Pow(math.Sin(math.Pi*wi+1), 2))
+			}
+			wd := w(cfg.Float(dimName(d - 1)))
+			sum += (wd - 1) * (wd - 1) * (1 + math.Pow(math.Sin(2*math.Pi*wd), 2))
+			return sum
+		},
+		Optimum: 0,
+	}
+}
+
+// Hartmann6 returns the 6-D Hartmann function on [0, 1]^6.
+// Minimum -3.32237 at a known interior point.
+func Hartmann6() Func {
+	params := make([]space.Param, 6)
+	for i := range params {
+		params[i] = space.Float(dimName(i), 0, 1)
+	}
+	s := space.MustNew(params...)
+	alpha := []float64{1.0, 1.2, 3.0, 3.2}
+	A := [4][6]float64{
+		{10, 3, 17, 3.5, 1.7, 8},
+		{0.05, 10, 17, 0.1, 8, 14},
+		{3, 3.5, 1.7, 10, 17, 8},
+		{17, 8, 0.05, 10, 0.1, 14},
+	}
+	P := [4][6]float64{
+		{0.1312, 0.1696, 0.5569, 0.0124, 0.8283, 0.5886},
+		{0.2329, 0.4135, 0.8307, 0.3736, 0.1004, 0.9991},
+		{0.2348, 0.1451, 0.3522, 0.2883, 0.3047, 0.6650},
+		{0.4047, 0.8828, 0.8732, 0.5743, 0.1091, 0.0381},
+	}
+	return Func{
+		Name:  "hartmann6",
+		Space: s,
+		Eval: func(cfg space.Config) float64 {
+			outer := 0.0
+			for i := 0; i < 4; i++ {
+				inner := 0.0
+				for j := 0; j < 6; j++ {
+					x := cfg.Float(dimName(j))
+					d := x - P[i][j]
+					inner += A[i][j] * d * d
+				}
+				outer += alpha[i] * math.Exp(-inner)
+			}
+			return -outer
+		},
+		Optimum: -3.32236801141551,
+	}
+}
+
+// SchedDipCenterNS is the location of the beneficial dip in the
+// SchedMigrationCurve, chosen away from the low-denominator rational grid
+// points (i/4, i/9, ...) that coarse grid searches probe.
+const SchedDipCenterNS = 371_000
+
+// SchedMigrationCurve reproduces the shape of the tutorial's running
+// example (slides 26-48): P95 latency in milliseconds of a Redis-like
+// service as a function of the kernel knob sched_migration_cost_ns in
+// [0, 1e6]. The curve has a flat ~1.0 ms plateau at small values, a sharp
+// beneficial dip around 371k ns (~0.33 ms), and a slow rise afterwards —
+// so grid search with few points misses the dip, random search finds it
+// occasionally, and a model-based optimizer homes in on it.
+//
+// The function is deterministic; pair it with a noise wrapper (see
+// internal/cloud or internal/simsys) to study noisy tuning.
+func SchedMigrationCurve() Func {
+	s := space.MustNew(
+		space.Int("sched_migration_cost_ns", 0, 1_000_000).WithDefault(int64(500_000)),
+	)
+	return Func{
+		Name:  "sched_migration",
+		Space: s,
+		Eval: func(cfg space.Config) float64 {
+			return SchedLatencyMS(float64(cfg.Int("sched_migration_cost_ns")))
+		},
+		Optimum: schedOptimum(),
+	}
+}
+
+// SchedLatencyMS is the raw curve behind SchedMigrationCurve, exposed so
+// substrates (internal/simsys) can reuse it with noise.
+func SchedLatencyMS(ns float64) float64 {
+	x := ns / 1e6 // normalize to [0, 1]
+	base := 1.0
+	// Gentle degradation at the high end (migrations too sticky).
+	rise := 0.35 * x * x
+	// Sharp beneficial dip: the sweet spot where migration cost matches
+	// the workload's wakeup pattern.
+	dip := -0.68 * math.Exp(-math.Pow((x-SchedDipCenterNS/1e6)/0.04, 2))
+	// Mild ripple modelling cache/NUMA interactions.
+	ripple := 0.02 * math.Sin(9*math.Pi*x)
+	return base + rise + dip + ripple
+}
+
+var (
+	schedOptOnce  sync.Once
+	schedOptValue float64
+)
+
+// schedOptimum scans the integer domain once to find the curve's true
+// global minimum (the ripple shifts it slightly off the dip center).
+func schedOptimum() float64 {
+	schedOptOnce.Do(func() {
+		best := math.Inf(1)
+		for ns := 0; ns <= 1_000_000; ns += 10 {
+			if v := SchedLatencyMS(float64(ns)); v < best {
+				best = v
+			}
+		}
+		schedOptValue = best
+	})
+	return schedOptValue
+}
+
+func dimName(i int) string { return "x" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+// All returns the standard suite at conventional dimensionalities, used by
+// optimizer comparison experiments.
+func All() []Func {
+	return []Func{
+		Sphere(4),
+		Branin(),
+		Rosenbrock(4),
+		Ackley(4),
+		Rastrigin(4),
+		Levy(4),
+		Hartmann6(),
+		SchedMigrationCurve(),
+	}
+}

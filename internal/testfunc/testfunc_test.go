@@ -1,0 +1,152 @@
+package testfunc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"autotune/internal/space"
+)
+
+// evalAt builds a config assigning the same value list to dims in order.
+func evalAt(f Func, vals ...float64) float64 {
+	cfg := space.Config{}
+	for i, p := range f.Space.Params() {
+		cfg[p.Name] = vals[i]
+	}
+	return f.Eval(cfg)
+}
+
+func TestSphereOptimum(t *testing.T) {
+	f := Sphere(3)
+	if got := evalAt(f, 0, 0, 0); got != 0 {
+		t.Fatalf("sphere(0) = %v", got)
+	}
+	if got := evalAt(f, 1, 2, 3); got != 14 {
+		t.Fatalf("sphere(1,2,3) = %v", got)
+	}
+}
+
+func TestBraninKnownMinima(t *testing.T) {
+	f := Branin()
+	minima := [][2]float64{
+		{-math.Pi, 12.275},
+		{math.Pi, 2.275},
+		{9.42478, 2.475},
+	}
+	for _, m := range minima {
+		got := f.Eval(space.Config{"x1": m[0], "x2": m[1]})
+		if math.Abs(got-f.Optimum) > 1e-4 {
+			t.Errorf("branin%v = %v, want %v", m, got, f.Optimum)
+		}
+	}
+}
+
+func TestRosenbrockOptimum(t *testing.T) {
+	f := Rosenbrock(5)
+	cfg := space.Config{}
+	for _, p := range f.Space.Params() {
+		cfg[p.Name] = 1.0
+	}
+	if got := f.Eval(cfg); got != 0 {
+		t.Fatalf("rosenbrock(1...) = %v", got)
+	}
+}
+
+func TestAckleyOptimum(t *testing.T) {
+	f := Ackley(4)
+	got := evalAt(f, 0, 0, 0, 0)
+	if math.Abs(got) > 1e-12 {
+		t.Fatalf("ackley(0) = %v", got)
+	}
+	if evalAt(f, 10, 10, 10, 10) < 10 {
+		t.Fatal("ackley far from origin should be large")
+	}
+}
+
+func TestRastriginOptimum(t *testing.T) {
+	f := Rastrigin(4)
+	if got := evalAt(f, 0, 0, 0, 0); math.Abs(got) > 1e-12 {
+		t.Fatalf("rastrigin(0) = %v", got)
+	}
+}
+
+func TestLevyOptimum(t *testing.T) {
+	f := Levy(3)
+	if got := evalAt(f, 1, 1, 1); math.Abs(got) > 1e-12 {
+		t.Fatalf("levy(1,1,1) = %v", got)
+	}
+}
+
+func TestHartmann6Optimum(t *testing.T) {
+	f := Hartmann6()
+	xOpt := []float64{0.20169, 0.150011, 0.476874, 0.275332, 0.311652, 0.6573}
+	got := evalAt(f, xOpt...)
+	if math.Abs(got-f.Optimum) > 1e-3 {
+		t.Fatalf("hartmann6(opt) = %v, want %v", got, f.Optimum)
+	}
+}
+
+func TestAllNonNegativeRegret(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range All() {
+		for i := 0; i < 300; i++ {
+			cfg := f.Space.Sample(rng)
+			if r := f.Regret(cfg); r < -1e-6 {
+				t.Fatalf("%s: negative regret %v at %v", f.Name, r, cfg)
+			}
+			if math.IsNaN(f.Eval(cfg)) {
+				t.Fatalf("%s: NaN at %v", f.Name, cfg)
+			}
+		}
+	}
+}
+
+func TestSchedCurveShape(t *testing.T) {
+	// Plateau near 1.0 ms at low values.
+	if v := SchedLatencyMS(0); v < 0.9 || v > 1.1 {
+		t.Fatalf("plateau value = %v", v)
+	}
+	// Dip center is substantially better.
+	dip := SchedLatencyMS(SchedDipCenterNS)
+	if dip > 0.45 {
+		t.Fatalf("dip = %v, want < 0.45", dip)
+	}
+	// High end is worse than plateau.
+	if SchedLatencyMS(1_000_000) <= SchedLatencyMS(100_000) {
+		t.Fatal("high end should degrade")
+	}
+	// ~68%% P95 reduction claim: (plateau - dip) / plateau >= 0.6.
+	plateau := SchedLatencyMS(50_000)
+	if red := (plateau - dip) / plateau; red < 0.6 {
+		t.Fatalf("reduction = %v, want >= 0.6", red)
+	}
+}
+
+func TestSchedCurveFuncWiring(t *testing.T) {
+	f := SchedMigrationCurve()
+	got := f.Eval(space.Config{"sched_migration_cost_ns": int64(SchedDipCenterNS)})
+	if got < f.Optimum {
+		t.Fatalf("eval at dip center %v below declared optimum %v", got, f.Optimum)
+	}
+	if math.Abs(got-f.Optimum) > 0.03 {
+		t.Fatalf("eval at dip center = %v, far from optimum %v", got, f.Optimum)
+	}
+	if f.Space.Dim() != 1 {
+		t.Fatal("sched space should be 1-D")
+	}
+}
+
+func TestDimNamesUniqueAndStable(t *testing.T) {
+	f := Sphere(12)
+	names := map[string]bool{}
+	for _, p := range f.Space.Params() {
+		if names[p.Name] {
+			t.Fatalf("duplicate dim name %q", p.Name)
+		}
+		names[p.Name] = true
+	}
+	if !names["x00"] || !names["x11"] {
+		t.Fatalf("unexpected names: %v", names)
+	}
+}

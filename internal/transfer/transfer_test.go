@@ -1,0 +1,268 @@
+package transfer
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"autotune/internal/optimizer"
+	"autotune/internal/space"
+)
+
+func mkRecord(wl map[string]float64, trials ...Trial) Record {
+	return Record{Workload: wl, Trials: trials}
+}
+
+func TestSimilarity(t *testing.T) {
+	a := map[string]float64{"read": 0.9, "ws": 1.0}
+	if got := Similarity(a, a); got != 1 {
+		t.Fatalf("self similarity = %v", got)
+	}
+	b := map[string]float64{"read": 0.1, "ws": 0.2}
+	if got := Similarity(a, b); got >= 1 || got <= 0 {
+		t.Fatalf("similarity = %v", got)
+	}
+	// Missing keys treated as zero.
+	c := map[string]float64{"read": 0.9}
+	if Similarity(a, c) >= Similarity(a, a) {
+		t.Fatal("missing key should reduce similarity")
+	}
+}
+
+func TestNearestOrders(t *testing.T) {
+	var st Store
+	st.Add(mkRecord(map[string]float64{"x": 0}))
+	st.Add(mkRecord(map[string]float64{"x": 1}))
+	st.Add(mkRecord(map[string]float64{"x": 5}))
+	recs, err := st.Nearest(map[string]float64{"x": 0.9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Workload["x"] != 1 || recs[1].Workload["x"] != 0 {
+		t.Fatalf("nearest = %v", recs)
+	}
+	// k overflow clamps.
+	recs, _ = st.Nearest(map[string]float64{"x": 0}, 99)
+	if len(recs) != 3 {
+		t.Fatalf("len = %d", len(recs))
+	}
+}
+
+func TestNearestEmpty(t *testing.T) {
+	var st Store
+	if _, err := st.Nearest(map[string]float64{}, 1); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+	if st.Len() != 0 {
+		t.Fatal("len")
+	}
+}
+
+func TestWarmStartReplaysBestFirst(t *testing.T) {
+	s := space.MustNew(space.Float("x", 0, 1))
+	rec := mkRecord(nil,
+		Trial{space.Config{"x": 0.1}, 5},
+		Trial{space.Config{"x": 0.2}, 1},
+		Trial{space.Config{"x": 0.3}, 3},
+	)
+	o := optimizer.NewRandom(s, rand.New(rand.NewSource(1)))
+	n, err := WarmStart(o, []Record{rec}, WarmStartOptions{MaxTrials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("replayed = %d", n)
+	}
+	_, best, ok := o.Best()
+	if !ok || best != 1 {
+		t.Fatalf("best = %v", best)
+	}
+	// The dropped trial must be the worst one (value 5).
+	for _, obs := range o.History() {
+		if obs.Value == 5 {
+			t.Fatal("worst trial should have been dropped under MaxTrials")
+		}
+	}
+}
+
+func TestWarmStartCrashImputation(t *testing.T) {
+	s := space.MustNew(space.Float("x", 0, 1))
+	rec := mkRecord(nil,
+		Trial{space.Config{"x": 0.2}, 10},
+		Trial{space.Config{"x": 0.9}, CrashValue},
+	)
+	o := optimizer.NewRandom(s, rand.New(rand.NewSource(2)))
+	n, err := WarmStart(o, []Record{rec}, WarmStartOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("replayed = %d", n)
+	}
+	var crashScore float64
+	for _, obs := range o.History() {
+		if obs.Config.Float("x") == 0.9 {
+			crashScore = obs.Value
+		}
+	}
+	if math.IsInf(crashScore, 0) || crashScore <= 10 {
+		t.Fatalf("crash score = %v, want finite > worst", crashScore)
+	}
+}
+
+func TestWarmStartCrashAlwaysReplayed(t *testing.T) {
+	// Even with MaxTrials=1, crashes are replayed ("reuse everywhere").
+	s := space.MustNew(space.Float("x", 0, 1))
+	rec := mkRecord(nil,
+		Trial{space.Config{"x": 0.1}, 1},
+		Trial{space.Config{"x": 0.2}, 2},
+		Trial{space.Config{"x": 0.9}, CrashValue},
+	)
+	o := optimizer.NewRandom(s, rand.New(rand.NewSource(3)))
+	n, err := WarmStart(o, []Record{rec}, WarmStartOptions{MaxTrials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 { // 1 good + 1 crash
+		t.Fatalf("replayed = %d", n)
+	}
+}
+
+func TestWarmStartSimilarityWeighting(t *testing.T) {
+	s := space.MustNew(space.Float("x", 0, 1))
+	target := map[string]float64{"rate": 0}
+	near := mkRecord(map[string]float64{"rate": 0}, Trial{space.Config{"x": 0.1}, 0})
+	far := mkRecord(map[string]float64{"rate": 10}, Trial{space.Config{"x": 0.9}, 0})
+	o := optimizer.NewRandom(s, rand.New(rand.NewSource(4)))
+	_, err := WarmStart(o, []Record{near, far}, WarmStartOptions{
+		SimilarityWeighting: true,
+		TargetWorkload:      target,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far sample's score (0, the best) should be shrunk toward the mean (0
+	// here as both are 0) — construct asymmetry instead:
+	o2 := optimizer.NewRandom(s, rand.New(rand.NewSource(5)))
+	near2 := mkRecord(map[string]float64{"rate": 0}, Trial{space.Config{"x": 0.1}, 10})
+	far2 := mkRecord(map[string]float64{"rate": 10}, Trial{space.Config{"x": 0.9}, 0})
+	if _, err := WarmStart(o2, []Record{near2, far2}, WarmStartOptions{
+		SimilarityWeighting: true,
+		TargetWorkload:      target,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var farScore float64
+	for _, obs := range o2.History() {
+		if obs.Config.Float("x") == 0.9 {
+			farScore = obs.Value
+		}
+	}
+	// Raw value 0, mean 5: the far sample should be pulled well toward 5.
+	if farScore < 2 {
+		t.Fatalf("far score = %v, want shrunk toward mean", farScore)
+	}
+}
+
+func TestWarmStartEmpty(t *testing.T) {
+	s := space.MustNew(space.Float("x", 0, 1))
+	o := optimizer.NewRandom(s, rand.New(rand.NewSource(6)))
+	n, err := WarmStart(o, nil, WarmStartOptions{})
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestWarmStartAllCrashes(t *testing.T) {
+	s := space.MustNew(space.Float("x", 0, 1))
+	rec := mkRecord(nil, Trial{space.Config{"x": 0.5}, CrashValue})
+	o := optimizer.NewRandom(s, rand.New(rand.NewSource(7)))
+	n, err := WarmStart(o, []Record{rec}, WarmStartOptions{})
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	_, v, _ := o.Best()
+	if math.IsInf(v, 0) {
+		t.Fatal("imputed crash score should be finite")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	var st Store
+	st.Add(mkRecord(map[string]float64{"rate": 2},
+		Trial{space.Config{"x": 0.25}, 1.5},
+	))
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatalf("len = %d", loaded.Len())
+	}
+	r := loaded.Records()[0]
+	if r.Workload["rate"] != 2 || r.Trials[0].Value != 1.5 {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.Trials[0].Config.Float("x") != 0.25 {
+		t.Fatalf("config = %v", r.Trials[0].Config)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestWarmStartSpeedsUpTuning(t *testing.T) {
+	// End-to-end: warm-started BO-free random search reaches a better best
+	// with tiny budgets because the prior best is replayed.
+	s := space.MustNew(space.Float("x", 0, 1))
+	f := func(c space.Config) float64 { return math.Abs(c.Float("x") - 0.42) }
+	prior := mkRecord(map[string]float64{"w": 1},
+		Trial{space.Config{"x": 0.43}, f(space.Config{"x": 0.43})},
+	)
+	warm := optimizer.NewRandom(s, rand.New(rand.NewSource(8)))
+	if _, err := WarmStart(warm, []Record{prior}, WarmStartOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cold := optimizer.NewRandom(s, rand.New(rand.NewSource(8)))
+	_, wBest, _ := optimizer.Run(warm, f, 3)
+	_, cBest, _ := optimizer.Run(cold, f, 3)
+	if wBest > cBest {
+		t.Fatalf("warm best %v should be <= cold best %v", wBest, cBest)
+	}
+}
+
+func TestTopConfigs(t *testing.T) {
+	recs := []Record{
+		mkRecord(nil,
+			Trial{space.Config{"x": 0.1}, 3},
+			Trial{space.Config{"x": 0.2}, 1},
+			Trial{space.Config{"x": 0.9}, CrashValue}, // excluded
+		),
+		mkRecord(nil,
+			Trial{space.Config{"x": 0.3}, 2},
+			Trial{space.Config{"x": 0.2}, 1.5}, // duplicate config, worse
+		),
+	}
+	top := TopConfigs(recs, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0].Float("x") != 0.2 || top[1].Float("x") != 0.3 {
+		t.Fatalf("order = %v", top)
+	}
+	// k larger than available: all finite distinct configs.
+	all := TopConfigs(recs, 10)
+	if len(all) != 3 {
+		t.Fatalf("all = %v", all)
+	}
+	if len(TopConfigs(nil, 3)) != 0 {
+		t.Fatal("empty records should return none")
+	}
+}

@@ -1,0 +1,371 @@
+// Package trial is the offline tuning loop: it wires an optimizer to an
+// Environment (anything that can benchmark a configuration), handles
+// crashes, early aborts, fidelity, and parallel trial execution, and
+// records a persistent report — the "scheduler + system-specific scripts"
+// box from the tutorial's architecture slide.
+package trial
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"autotune/internal/optimizer"
+	"autotune/internal/simsys"
+	"autotune/internal/space"
+	"autotune/internal/workload"
+
+	"math/rand"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Value is the objective (minimized).
+	Value float64
+	// Metrics holds auxiliary measurements by name.
+	Metrics map[string]float64
+	// CostSeconds is the (simulated or real) cost of the trial.
+	CostSeconds float64
+}
+
+// Environment benchmarks configurations.
+type Environment interface {
+	// Space returns the tunable space.
+	Space() *space.Space
+	// Run benchmarks cfg at a fidelity in (0, 1]. Implementations should
+	// wrap simsys.ErrCrash (or return ErrCrash) for crashed trials.
+	Run(cfg space.Config, fidelity float64) (Result, error)
+}
+
+// Abortable is implemented by environments supporting early abort: the
+// runner passes the threshold above which the trial is pointless, and the
+// environment may stop early, returning aborted=true and the partial cost.
+type Abortable interface {
+	RunAbortable(cfg space.Config, fidelity, abortAbove float64) (res Result, aborted bool, err error)
+}
+
+// ErrCrash aliases simsys.ErrCrash so callers need not import simsys.
+var ErrCrash = simsys.ErrCrash
+
+// FuncEnv adapts a plain objective function to Environment.
+type FuncEnv struct {
+	Sp *space.Space
+	F  func(cfg space.Config) float64
+	// CostPerTrial is the simulated cost of each trial (default 1).
+	CostPerTrial float64
+}
+
+// Space implements Environment.
+func (e *FuncEnv) Space() *space.Space { return e.Sp }
+
+// Run implements Environment.
+func (e *FuncEnv) Run(cfg space.Config, fidelity float64) (Result, error) {
+	cost := e.CostPerTrial
+	if cost <= 0 {
+		cost = 1
+	}
+	return Result{Value: e.F(cfg), CostSeconds: cost * math.Max(fidelity, 0.01)}, nil
+}
+
+// SystemEnv benchmarks a simulated system (internal/simsys) under a fixed
+// workload; the objective is extracted from the metrics.
+type SystemEnv struct {
+	Sys simsys.System
+	WL  workload.Descriptor
+	// Objective extracts the score (default LatencyMS).
+	Objective func(simsys.Metrics) float64
+	// BaseDurationSec is the full-fidelity benchmark duration used as the
+	// trial cost (default 300, a 5-minute benchmark).
+	BaseDurationSec float64
+	// Rng adds measurement noise; nil runs deterministically. Access is
+	// serialized internally so the environment is safe under Parallel > 1.
+	Rng *rand.Rand
+
+	mu sync.Mutex
+}
+
+// Space implements Environment.
+func (e *SystemEnv) Space() *space.Space { return e.Sys.Space() }
+
+// Run implements Environment.
+func (e *SystemEnv) Run(cfg space.Config, fidelity float64) (Result, error) {
+	if fidelity <= 0 || fidelity > 1 {
+		fidelity = 1
+	}
+	base := e.BaseDurationSec
+	if base <= 0 {
+		base = 300
+	}
+	e.mu.Lock()
+	m, err := e.Sys.Run(cfg, e.WL, fidelity, e.Rng)
+	e.mu.Unlock()
+	if err != nil {
+		return Result{CostSeconds: base * fidelity * 0.2}, err // crashes fail fast
+	}
+	obj := e.Objective
+	if obj == nil {
+		obj = func(m simsys.Metrics) float64 { return m.LatencyMS }
+	}
+	return Result{
+		Value: obj(m),
+		Metrics: map[string]float64{
+			"throughput_ops": m.ThroughputOps,
+			"latency_ms":     m.LatencyMS,
+			"p95_ms":         m.P95MS,
+			"cost_usd_hr":    m.CostUSDPerHour,
+		},
+		CostSeconds: base * fidelity,
+	}, nil
+}
+
+// RunAbortable implements Abortable: an elapsed-time benchmark (think
+// TPC-H) can be stopped once its projected score exceeds the threshold;
+// the model charges cost proportional to the fraction actually run.
+func (e *SystemEnv) RunAbortable(cfg space.Config, fidelity, abortAbove float64) (Result, bool, error) {
+	res, err := e.Run(cfg, fidelity)
+	if err != nil {
+		return res, false, err
+	}
+	if !math.IsInf(abortAbove, 0) && res.Value > abortAbove {
+		frac := abortAbove / res.Value // the run was cut at the threshold
+		if frac < 0.05 {
+			frac = 0.05
+		}
+		res.CostSeconds *= frac
+		return res, true, nil
+	}
+	return res, false, nil
+}
+
+// Options configures a tuning run.
+type Options struct {
+	// Budget is the number of trials (required).
+	Budget int
+	// Parallel evaluates trials in synchronized batches of this size
+	// (default 1 = sequential). Batch suggestions use
+	// optimizer.BatchSuggester when available.
+	Parallel int
+	// Fidelity for all trials (default 1).
+	Fidelity float64
+	// AbortMargin, when > 0, enables early abort on Abortable
+	// environments at threshold best*(1+AbortMargin).
+	AbortMargin float64
+	// CrashPenaltyFactor scores crashed trials at factor x the worst
+	// finite value so far (default 2). The penalty keeps optimizers away
+	// from the cliff without poisoning surrogates with infinities.
+	CrashPenaltyFactor float64
+}
+
+// TrialRecord is one completed trial.
+type TrialRecord struct {
+	ID          int          `json:"id"`
+	Config      space.Config `json:"config"`
+	Value       float64      `json:"value"`
+	CostSeconds float64      `json:"cost_seconds"`
+	Crashed     bool         `json:"crashed,omitempty"`
+	Aborted     bool         `json:"aborted,omitempty"`
+}
+
+// Report is a completed tuning session.
+type Report struct {
+	Trials []TrialRecord `json:"trials"`
+	// BestConfig/BestValue track the best non-crashed trial.
+	BestConfig space.Config `json:"best_config"`
+	BestValue  float64      `json:"best_value"`
+	// TotalCostSeconds sums trial costs; WallClockSeconds accounts for
+	// parallelism (per-batch max instead of sum).
+	TotalCostSeconds float64 `json:"total_cost_seconds"`
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	Crashes          int     `json:"crashes"`
+	Aborts           int     `json:"aborts"`
+}
+
+// Run drives the optimizer against the environment for the full budget.
+func Run(o optimizer.Optimizer, env Environment, opts Options) (Report, error) {
+	if opts.Budget <= 0 {
+		return Report{}, errors.New("trial: budget must be positive")
+	}
+	if opts.Parallel < 1 {
+		opts.Parallel = 1
+	}
+	if opts.Fidelity <= 0 || opts.Fidelity > 1 {
+		opts.Fidelity = 1
+	}
+	if opts.CrashPenaltyFactor <= 0 {
+		opts.CrashPenaltyFactor = 2
+	}
+	var rep Report
+	rep.BestValue = math.Inf(1)
+	worstFinite := math.Inf(-1)
+	id := 0
+	for id < opts.Budget {
+		n := opts.Parallel
+		if rem := opts.Budget - id; n > rem {
+			n = rem
+		}
+		batch, err := suggestBatch(o, n)
+		if errors.Is(err, optimizer.ErrExhausted) {
+			break
+		}
+		if err != nil {
+			return rep, fmt.Errorf("trial %d: %w", id, err)
+		}
+		results := runBatch(env, batch, opts, rep.BestValue)
+		batchMaxCost := 0.0
+		for i, cfg := range batch {
+			r := results[i]
+			rec := TrialRecord{
+				ID:          id,
+				Config:      cfg.Clone(),
+				Value:       r.res.Value,
+				CostSeconds: r.res.CostSeconds,
+				Aborted:     r.aborted,
+			}
+			id++
+			rep.TotalCostSeconds += r.res.CostSeconds
+			if r.res.CostSeconds > batchMaxCost {
+				batchMaxCost = r.res.CostSeconds
+			}
+			obsValue := r.res.Value
+			if r.err != nil {
+				rec.Crashed = true
+				rep.Crashes++
+				// Impute the penalty score (slide 67: "make it up").
+				if math.IsInf(worstFinite, -1) {
+					obsValue = 1e6
+				} else {
+					obsValue = opts.CrashPenaltyFactor * math.Max(worstFinite, math.Abs(worstFinite))
+					if obsValue <= worstFinite {
+						obsValue = worstFinite + 1
+					}
+				}
+				rec.Value = obsValue
+			} else {
+				if obsValue > worstFinite {
+					worstFinite = obsValue
+				}
+				if obsValue < rep.BestValue {
+					rep.BestValue = obsValue
+					rep.BestConfig = cfg.Clone()
+				}
+			}
+			if r.aborted {
+				rep.Aborts++
+			}
+			if err := o.Observe(cfg, obsValue); err != nil {
+				return rep, fmt.Errorf("trial %d observe: %w", rec.ID, err)
+			}
+			rep.Trials = append(rep.Trials, rec)
+		}
+		rep.WallClockSeconds += batchMaxCost
+	}
+	if math.IsInf(rep.BestValue, 1) {
+		return rep, errors.New("trial: no successful trials")
+	}
+	return rep, nil
+}
+
+func suggestBatch(o optimizer.Optimizer, n int) ([]space.Config, error) {
+	if n == 1 {
+		cfg, err := o.Suggest()
+		if err != nil {
+			return nil, err
+		}
+		return []space.Config{cfg}, nil
+	}
+	if bs, ok := o.(optimizer.BatchSuggester); ok {
+		return bs.SuggestN(n)
+	}
+	out := make([]space.Config, 0, n)
+	for i := 0; i < n; i++ {
+		cfg, err := o.Suggest()
+		if err != nil {
+			if len(out) > 0 && errors.Is(err, optimizer.ErrExhausted) {
+				break
+			}
+			return nil, err
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+type trialOutcome struct {
+	res     Result
+	aborted bool
+	err     error
+}
+
+// runBatch evaluates configurations concurrently (one goroutine each).
+func runBatch(env Environment, batch []space.Config, opts Options, best float64) []trialOutcome {
+	out := make([]trialOutcome, len(batch))
+	abortAbove := math.Inf(1)
+	if opts.AbortMargin > 0 && !math.IsInf(best, 1) {
+		abortAbove = best * (1 + opts.AbortMargin)
+	}
+	if len(batch) == 1 {
+		out[0] = runOne(env, batch[0], opts.Fidelity, abortAbove)
+		return out
+	}
+	var wg sync.WaitGroup
+	for i := range batch {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = runOne(env, batch[i], opts.Fidelity, abortAbove)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func runOne(env Environment, cfg space.Config, fidelity, abortAbove float64) trialOutcome {
+	if ab, ok := env.(Abortable); ok && !math.IsInf(abortAbove, 1) {
+		res, aborted, err := ab.RunAbortable(cfg, fidelity, abortAbove)
+		return trialOutcome{res: res, aborted: aborted, err: err}
+	}
+	res, err := env.Run(cfg, fidelity)
+	return trialOutcome{res: res, err: err}
+}
+
+// Save writes the report as JSON.
+func (r Report) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("trial: marshal report: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("trial: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadReport reads a report written by Save.
+func LoadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("trial: read %s: %w", path, err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("trial: parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// BestOverTime returns the running-best value after each trial — the
+// convergence curve every experiment plots.
+func (r Report) BestOverTime() []float64 {
+	out := make([]float64, len(r.Trials))
+	best := math.Inf(1)
+	for i, t := range r.Trials {
+		if !t.Crashed && t.Value < best {
+			best = t.Value
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Trace is a recorded operation sequence. Replaying the same trace against
+// two configurations gives an exact A/B comparison — the same idea as duet
+// benchmarking, applied to the op stream instead of the machine.
+type Trace struct {
+	Name string
+	Ops  []Op
+}
+
+// ErrEmptyTrace is returned when replaying a trace with no operations.
+var ErrEmptyTrace = errors.New("workload: empty trace")
+
+// Record captures n operations from the generator into a trace.
+func Record(gen *Generator, n int) *Trace {
+	t := &Trace{Name: gen.desc.Name, Ops: make([]Op, n)}
+	for i := range t.Ops {
+		t.Ops[i] = gen.Next()
+	}
+	return t
+}
+
+// Replayer iterates a trace, cycling when it reaches the end.
+type Replayer struct {
+	trace *Trace
+	pos   int
+}
+
+// Replayer returns a fresh iterator over the trace.
+func (t *Trace) Replayer() (*Replayer, error) {
+	return t.ReplayerAt(0)
+}
+
+// ReplayerAt returns an iterator starting at the given offset (mod length),
+// so concurrent workers can replay disjoint regions deterministically.
+func (t *Trace) ReplayerAt(start int) (*Replayer, error) {
+	if len(t.Ops) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	if start < 0 {
+		start = 0
+	}
+	return &Replayer{trace: t, pos: start % len(t.Ops)}, nil
+}
+
+// Next returns the next operation, cycling past the end.
+func (r *Replayer) Next() Op {
+	op := r.trace.Ops[r.pos]
+	r.pos = (r.pos + 1) % len(r.trace.Ops)
+	return op
+}
+
+// Len returns the number of recorded operations.
+func (t *Trace) Len() int { return len(t.Ops) }
+
+// Mix returns the observed operation-kind fractions, for validating that a
+// recorded trace matches its descriptor.
+func (t *Trace) Mix() map[OpKind]float64 {
+	counts := map[OpKind]int{}
+	for _, op := range t.Ops {
+		counts[op.Kind]++
+	}
+	out := make(map[OpKind]float64, len(counts))
+	for k, c := range counts {
+		out[k] = float64(c) / float64(len(t.Ops))
+	}
+	return out
+}
+
+// traceMagic guards the binary trace format.
+const traceMagic = uint32(0x41545452) // "ATTR"
+
+// Save writes the trace in a compact binary format.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workload: create trace: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := binary.Write(w, binary.LittleEndian, traceMagic); err != nil {
+		return fmt.Errorf("workload: write trace: %w", err)
+	}
+	name := []byte(t.Name)
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(name))); err != nil {
+		return fmt.Errorf("workload: write trace: %w", err)
+	}
+	if _, err := w.Write(name); err != nil {
+		return fmt.Errorf("workload: write trace: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(t.Ops))); err != nil {
+		return fmt.Errorf("workload: write trace: %w", err)
+	}
+	for _, op := range t.Ops {
+		rec := [2]uint64{uint64(op.Kind)<<32 | uint64(uint32(op.Len)), op.Key}
+		if err := binary.Write(w, binary.LittleEndian, rec); err != nil {
+			return fmt.Errorf("workload: write trace: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("workload: write trace: %w", err)
+	}
+	return nil
+}
+
+// LoadTrace reads a trace written by Save.
+func LoadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: open trace: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("workload: %s is not a trace file", path)
+	}
+	var nameLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("workload: trace name length %d too large", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	var count uint64
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	if count > 1<<30 {
+		return nil, fmt.Errorf("workload: trace op count %d too large", count)
+	}
+	t := &Trace{Name: string(name), Ops: make([]Op, count)}
+	for i := range t.Ops {
+		var rec [2]uint64
+		if err := binary.Read(r, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("workload: read trace op %d: %w", i, err)
+		}
+		t.Ops[i] = Op{
+			Kind: OpKind(rec[0] >> 32),
+			Len:  int(uint32(rec[0])),
+			Key:  rec[1],
+		}
+	}
+	return t, nil
+}

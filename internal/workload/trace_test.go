@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordAndReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen, err := NewGenerator(YCSBA(), 10000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Record(gen, 500)
+	if tr.Len() != 500 || tr.Name != "ycsb-a" {
+		t.Fatalf("trace: len=%d name=%q", tr.Len(), tr.Name)
+	}
+	// Two replayers yield identical sequences.
+	r1, err := tr.Replayer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := tr.Replayer()
+	for i := 0; i < 1200; i++ { // crosses the cycle boundary
+		a, b := r1.Next(), r2.Next()
+		if a != b {
+			t.Fatalf("replayers diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	// Cycling: op 0 == op Len.
+	r3, _ := tr.Replayer()
+	first := r3.Next()
+	for i := 1; i < tr.Len(); i++ {
+		r3.Next()
+	}
+	if got := r3.Next(); got != first {
+		t.Fatalf("cycle mismatch: %v vs %v", got, first)
+	}
+}
+
+func TestEmptyTraceReplayer(t *testing.T) {
+	tr := &Trace{}
+	if _, err := tr.Replayer(); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTraceMixMatchesDescriptor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gen, err := NewGenerator(YCSBB(), 10000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Record(gen, 20000)
+	mix := tr.Mix()
+	if math.Abs(mix[OpRead]-0.95) > 0.02 {
+		t.Fatalf("read fraction = %v", mix[OpRead])
+	}
+	if math.Abs(mix[OpUpdate]-0.05) > 0.02 {
+		t.Fatalf("update fraction = %v", mix[OpUpdate])
+	}
+}
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	gen, err := NewGenerator(YCSBE(), 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Record(gen, 300)
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != tr.Name || loaded.Len() != tr.Len() {
+		t.Fatalf("metadata: %q/%d vs %q/%d", loaded.Name, loaded.Len(), tr.Name, tr.Len())
+	}
+	for i := range tr.Ops {
+		if tr.Ops[i] != loaded.Ops[i] {
+			t.Fatalf("op %d: %v vs %v", i, tr.Ops[i], loaded.Ops[i])
+		}
+	}
+}
+
+func TestLoadTraceRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk.bin")
+	if err := os.WriteFile(path, []byte("this is not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(path); err == nil {
+		t.Fatal("garbage should fail to load")
+	}
+	if _, err := LoadTrace(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+// Property: Save/Load round-trips arbitrary traces exactly.
+func TestTraceRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%200
+		tr := &Trace{Name: "prop"}
+		for i := 0; i < n; i++ {
+			tr.Ops = append(tr.Ops, Op{
+				Kind: OpKind(rng.Intn(5)),
+				Key:  rng.Uint64(),
+				Len:  rng.Intn(1 << 16),
+			})
+		}
+		path := filepath.Join(dir, "t.bin")
+		if err := tr.Save(path); err != nil {
+			return false
+		}
+		got, err := LoadTrace(path)
+		if err != nil || got.Name != tr.Name || got.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Ops {
+			if tr.Ops[i] != got.Ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

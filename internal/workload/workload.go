@@ -1,0 +1,387 @@
+// Package workload defines workload descriptors and generators for the
+// benchmark suites the tutorial tunes against: the YCSB core workloads A-F,
+// a TPC-C-like transactional mix, and a TPC-H-like analytical mix. A
+// Descriptor is the numeric summary consumed by the simulated systems
+// (internal/simsys) and by workload identification (internal/workloadid);
+// the op generator produces concrete key-value operation streams for the
+// real in-memory store (internal/kvstore).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Descriptor summarizes a workload as the features that drive system
+// performance. All ratios are in [0, 1] and sum to <= 1 (the remainder is
+// read-modify-write); sizes are in MB; rates are ops/sec offered load.
+type Descriptor struct {
+	Name string
+	// Operation mix.
+	ReadRatio   float64
+	UpdateRatio float64
+	InsertRatio float64
+	ScanRatio   float64
+	// ScanLength is the mean records per scan.
+	ScanLength float64
+	// Skew is the zipfian theta (0 = uniform, 0.99 = classic YCSB skew).
+	Skew float64
+	// WorkingSetMB is the hot data size; DataSizeMB the total.
+	WorkingSetMB float64
+	DataSizeMB   float64
+	// RecordBytes is the mean record size.
+	RecordBytes float64
+	// RequestRate is the offered load in ops/sec.
+	RequestRate float64
+	// Clients is the number of concurrent client connections.
+	Clients int
+}
+
+// Validate checks descriptor invariants.
+func (d Descriptor) Validate() error {
+	sum := d.ReadRatio + d.UpdateRatio + d.InsertRatio + d.ScanRatio
+	if sum > 1.000001 {
+		return fmt.Errorf("workload %q: mix ratios sum to %v > 1", d.Name, sum)
+	}
+	for _, v := range []float64{d.ReadRatio, d.UpdateRatio, d.InsertRatio, d.ScanRatio} {
+		if v < 0 {
+			return fmt.Errorf("workload %q: negative ratio", d.Name)
+		}
+	}
+	if d.WorkingSetMB > d.DataSizeMB {
+		return fmt.Errorf("workload %q: working set %v exceeds data size %v",
+			d.Name, d.WorkingSetMB, d.DataSizeMB)
+	}
+	if d.Skew < 0 || d.Skew >= 1 {
+		return fmt.Errorf("workload %q: skew %v outside [0, 1)", d.Name, d.Skew)
+	}
+	return nil
+}
+
+// RMWRatio returns the read-modify-write remainder of the mix.
+func (d Descriptor) RMWRatio() float64 {
+	r := 1 - d.ReadRatio - d.UpdateRatio - d.InsertRatio - d.ScanRatio
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// WriteFraction returns the fraction of operations that write.
+func (d Descriptor) WriteFraction() float64 {
+	return d.UpdateRatio + d.InsertRatio + d.RMWRatio()
+}
+
+// Features returns the descriptor as a named feature map, the form used by
+// knowledge transfer and workload identification.
+func (d Descriptor) Features() map[string]float64 {
+	return map[string]float64{
+		"read_ratio":     d.ReadRatio,
+		"update_ratio":   d.UpdateRatio,
+		"insert_ratio":   d.InsertRatio,
+		"scan_ratio":     d.ScanRatio,
+		"scan_length":    d.ScanLength,
+		"skew":           d.Skew,
+		"working_set_mb": d.WorkingSetMB,
+		"data_size_mb":   d.DataSizeMB,
+		"request_rate":   d.RequestRate,
+	}
+}
+
+// The YCSB core workloads (Cooper et al.), sized for a mid-size instance.
+
+// YCSBA is the update-heavy mix (50/50 read/update).
+func YCSBA() Descriptor {
+	return Descriptor{
+		Name: "ycsb-a", ReadRatio: 0.5, UpdateRatio: 0.5,
+		Skew: 0.99, WorkingSetMB: 1024, DataSizeMB: 10240,
+		RecordBytes: 1024, RequestRate: 20000, Clients: 64,
+	}
+}
+
+// YCSBB is the read-mostly mix (95/5).
+func YCSBB() Descriptor {
+	d := YCSBA()
+	d.Name = "ycsb-b"
+	d.ReadRatio, d.UpdateRatio = 0.95, 0.05
+	return d
+}
+
+// YCSBC is read-only.
+func YCSBC() Descriptor {
+	d := YCSBA()
+	d.Name = "ycsb-c"
+	d.ReadRatio, d.UpdateRatio = 1, 0
+	return d
+}
+
+// YCSBD is read-latest (95/0/5 insert).
+func YCSBD() Descriptor {
+	d := YCSBA()
+	d.Name = "ycsb-d"
+	d.ReadRatio, d.UpdateRatio, d.InsertRatio = 0.95, 0, 0.05
+	d.Skew = 0.8 // latest distribution approximated by strong skew
+	return d
+}
+
+// YCSBE is the scan-heavy mix (95% scans / 5% inserts).
+func YCSBE() Descriptor {
+	d := YCSBA()
+	d.Name = "ycsb-e"
+	d.ReadRatio, d.UpdateRatio, d.InsertRatio, d.ScanRatio = 0, 0, 0.05, 0.95
+	d.ScanLength = 50
+	d.RequestRate = 2000
+	return d
+}
+
+// YCSBF is the read-modify-write mix (50% read / 50% RMW).
+func YCSBF() Descriptor {
+	d := YCSBA()
+	d.Name = "ycsb-f"
+	d.ReadRatio, d.UpdateRatio = 0.5, 0
+	return d
+}
+
+// TPCC approximates the TPC-C transaction mix as a key-value descriptor:
+// write-heavy, moderate skew, working set that exceeds small buffer pools.
+func TPCC() Descriptor {
+	return Descriptor{
+		Name: "tpcc", ReadRatio: 0.35, UpdateRatio: 0.45, InsertRatio: 0.15, ScanRatio: 0.05,
+		ScanLength: 20, Skew: 0.6, WorkingSetMB: 4096, DataSizeMB: 20480,
+		RecordBytes: 512, RequestRate: 8000, Clients: 128,
+	}
+}
+
+// TPCH approximates TPC-H: pure scans over large cold data, low concurrency.
+func TPCH(scaleFactor float64) Descriptor {
+	if scaleFactor <= 0 {
+		scaleFactor = 1
+	}
+	return Descriptor{
+		Name: fmt.Sprintf("tpch-sf%g", scaleFactor), ScanRatio: 1,
+		ScanLength: 100000 * scaleFactor, Skew: 0,
+		WorkingSetMB: 800 * scaleFactor, DataSizeMB: 1000 * scaleFactor,
+		RecordBytes: 256, RequestRate: 8, Clients: 4,
+	}
+}
+
+// All returns the standard suite.
+func All() []Descriptor {
+	return []Descriptor{
+		YCSBA(), YCSBB(), YCSBC(), YCSBD(), YCSBE(), YCSBF(), TPCC(), TPCH(1),
+	}
+}
+
+// ByName returns the named standard workload.
+func ByName(name string) (Descriptor, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Descriptor{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Interpolate blends two descriptors: (1-t)*a + t*b elementwise, used by
+// workload-shift simulations and synthetic benchmark generation.
+func Interpolate(a, b Descriptor, t float64) Descriptor {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	lerp := func(x, y float64) float64 { return x*(1-t) + y*t }
+	return Descriptor{
+		Name:         fmt.Sprintf("%s~%s@%.2f", a.Name, b.Name, t),
+		ReadRatio:    lerp(a.ReadRatio, b.ReadRatio),
+		UpdateRatio:  lerp(a.UpdateRatio, b.UpdateRatio),
+		InsertRatio:  lerp(a.InsertRatio, b.InsertRatio),
+		ScanRatio:    lerp(a.ScanRatio, b.ScanRatio),
+		ScanLength:   lerp(a.ScanLength, b.ScanLength),
+		Skew:         lerp(a.Skew, b.Skew),
+		WorkingSetMB: lerp(a.WorkingSetMB, b.WorkingSetMB),
+		DataSizeMB:   lerp(a.DataSizeMB, b.DataSizeMB),
+		RecordBytes:  lerp(a.RecordBytes, b.RecordBytes),
+		RequestRate:  lerp(a.RequestRate, b.RequestRate),
+		Clients:      int(math.Round(lerp(float64(a.Clients), float64(b.Clients)))),
+	}
+}
+
+// Mix blends several descriptors with the given nonnegative weights
+// (normalized internally) — the synthetic-benchmark-generation primitive.
+func Mix(descs []Descriptor, weights []float64) (Descriptor, error) {
+	if len(descs) == 0 || len(descs) != len(weights) {
+		return Descriptor{}, fmt.Errorf("workload: mix needs matching descs/weights, got %d/%d",
+			len(descs), len(weights))
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return Descriptor{}, fmt.Errorf("workload: negative mix weight %v", w)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return Descriptor{}, fmt.Errorf("workload: all mix weights zero")
+	}
+	var out Descriptor
+	out.Name = "mix"
+	var clients float64
+	for i, d := range descs {
+		w := weights[i] / sum
+		out.ReadRatio += w * d.ReadRatio
+		out.UpdateRatio += w * d.UpdateRatio
+		out.InsertRatio += w * d.InsertRatio
+		out.ScanRatio += w * d.ScanRatio
+		out.ScanLength += w * d.ScanLength
+		out.Skew += w * d.Skew
+		out.WorkingSetMB += w * d.WorkingSetMB
+		out.DataSizeMB += w * d.DataSizeMB
+		out.RecordBytes += w * d.RecordBytes
+		out.RequestRate += w * d.RequestRate
+		clients += w * float64(d.Clients)
+	}
+	out.Clients = int(math.Round(clients))
+	return out, nil
+}
+
+// OpKind enumerates generated operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpRMW
+)
+
+// Op is one generated operation for the kvstore driver.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	// Len is the scan length for OpScan.
+	Len int
+}
+
+// Generator produces an op stream matching a descriptor.
+type Generator struct {
+	desc    Descriptor
+	zipf    *Zipfian
+	rng     *rand.Rand
+	keys    uint64
+	nextKey uint64
+}
+
+// NewGenerator builds a generator over `keys` distinct keys.
+func NewGenerator(desc Descriptor, keys uint64, rng *rand.Rand) (*Generator, error) {
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	if keys == 0 {
+		keys = 1
+	}
+	var z *Zipfian
+	if desc.Skew > 0 {
+		z = NewZipfian(keys, desc.Skew, rng)
+	}
+	return &Generator{desc: desc, zipf: z, rng: rng, keys: keys, nextKey: keys}, nil
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	u := g.rng.Float64()
+	d := g.desc
+	key := g.sampleKey()
+	switch {
+	case u < d.ReadRatio:
+		return Op{Kind: OpRead, Key: key}
+	case u < d.ReadRatio+d.UpdateRatio:
+		return Op{Kind: OpUpdate, Key: key}
+	case u < d.ReadRatio+d.UpdateRatio+d.InsertRatio:
+		g.nextKey++
+		return Op{Kind: OpInsert, Key: g.nextKey}
+	case u < d.ReadRatio+d.UpdateRatio+d.InsertRatio+d.ScanRatio:
+		l := int(d.ScanLength)
+		if l < 1 {
+			l = 1
+		}
+		return Op{Kind: OpScan, Key: key, Len: l}
+	default:
+		return Op{Kind: OpRMW, Key: key}
+	}
+}
+
+func (g *Generator) sampleKey() uint64 {
+	if g.zipf != nil {
+		return g.zipf.Next()
+	}
+	return uint64(g.rng.Int63n(int64(g.keys)))
+}
+
+// Zipfian samples keys with the classic YCSB zipfian distribution using
+// the Gray et al. rejection-free method.
+type Zipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+// NewZipfian builds a sampler over [0, n) with skew theta in (0, 1).
+func NewZipfian(n uint64, theta float64, rng *rand.Rand) *Zipfian {
+	if n == 0 {
+		n = 1
+	}
+	if theta <= 0 {
+		theta = 0.01
+	}
+	if theta >= 1 {
+		theta = 0.999
+	}
+	z := &Zipfian{n: n, theta: theta, rng: rng}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// Exact up to 10k terms, then the integral approximation; YCSB-scale
+	// key counts make the exact sum too slow.
+	limit := n
+	if limit > 10000 {
+		limit = 10000
+	}
+	sum := 0.0
+	for i := uint64(1); i <= limit; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	if n > limit {
+		// ∫ x^-theta dx from limit to n.
+		sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(limit), 1-theta)) / (1 - theta)
+	}
+	return sum
+}
+
+// Next returns the next zipfian-distributed key in [0, n).
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	return idx
+}

@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStandardWorkloadsValid(t *testing.T) {
+	for _, d := range All() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+	if len(All()) != 8 {
+		t.Fatalf("suite size = %d", len(All()))
+	}
+}
+
+func TestValidateCatchesBadDescriptors(t *testing.T) {
+	bad := []Descriptor{
+		{Name: "over", ReadRatio: 0.8, UpdateRatio: 0.5},
+		{Name: "neg", ReadRatio: -0.1},
+		{Name: "ws", WorkingSetMB: 10, DataSizeMB: 5},
+		{Name: "skew", Skew: 1.5},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: expected error", d.Name)
+		}
+	}
+}
+
+func TestMixAndWriteFraction(t *testing.T) {
+	a := YCSBA()
+	if got := a.WriteFraction(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("ycsb-a write fraction = %v", got)
+	}
+	f := YCSBF()
+	// 50% read + 50% RMW -> RMW counts as write.
+	if got := f.RMWRatio(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("ycsb-f rmw = %v", got)
+	}
+	if got := f.WriteFraction(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("ycsb-f write fraction = %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("tpcc")
+	if err != nil || d.Name != "tpcc" {
+		t.Fatalf("ByName: %v %v", d, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	f := YCSBB().Features()
+	if f["read_ratio"] != 0.95 {
+		t.Fatalf("features = %v", f)
+	}
+	if _, ok := f["working_set_mb"]; !ok {
+		t.Fatal("missing working_set_mb")
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	a, b := YCSBA(), YCSBC()
+	mid := Interpolate(a, b, 0.5)
+	if math.Abs(mid.ReadRatio-0.75) > 1e-12 {
+		t.Fatalf("mid read ratio = %v", mid.ReadRatio)
+	}
+	if err := mid.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Clamping.
+	if Interpolate(a, b, -1).ReadRatio != a.ReadRatio {
+		t.Fatal("t < 0 should clamp to a")
+	}
+	if Interpolate(a, b, 2).ReadRatio != b.ReadRatio {
+		t.Fatal("t > 1 should clamp to b")
+	}
+}
+
+func TestMix(t *testing.T) {
+	m, err := Mix([]Descriptor{YCSBA(), YCSBC()}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.ReadRatio-0.75) > 1e-12 {
+		t.Fatalf("mix read ratio = %v", m.ReadRatio)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Mix(nil, nil); err == nil {
+		t.Fatal("empty mix should error")
+	}
+	if _, err := Mix([]Descriptor{YCSBA()}, []float64{-1}); err == nil {
+		t.Fatal("negative weight should error")
+	}
+	if _, err := Mix([]Descriptor{YCSBA()}, []float64{0}); err == nil {
+		t.Fatal("zero weights should error")
+	}
+}
+
+func TestGeneratorMixMatchesDescriptor(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen, err := NewGenerator(YCSBA(), 100000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[OpKind]int{}
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[gen.Next().Kind]++
+	}
+	readFrac := float64(counts[OpRead]) / float64(n)
+	updFrac := float64(counts[OpUpdate]) / float64(n)
+	if math.Abs(readFrac-0.5) > 0.02 || math.Abs(updFrac-0.5) > 0.02 {
+		t.Fatalf("mix = %v", counts)
+	}
+}
+
+func TestGeneratorScanLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gen, err := NewGenerator(YCSBE(), 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		op := gen.Next()
+		if op.Kind == OpScan && op.Len != 50 {
+			t.Fatalf("scan len = %d", op.Len)
+		}
+	}
+}
+
+func TestGeneratorInsertsGetFreshKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := Descriptor{Name: "ins", InsertRatio: 1, DataSizeMB: 1, WorkingSetMB: 1}
+	gen, err := NewGenerator(d, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 50; i++ {
+		op := gen.Next()
+		if op.Kind != OpInsert {
+			t.Fatal("kind")
+		}
+		if op.Key < 100 {
+			t.Fatalf("insert key %d collides with initial range", op.Key)
+		}
+		if seen[op.Key] {
+			t.Fatalf("duplicate insert key %d", op.Key)
+		}
+		seen[op.Key] = true
+	}
+}
+
+func TestGeneratorRejectsInvalid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := NewGenerator(Descriptor{ReadRatio: 2}, 10, rng); err == nil {
+		t.Fatal("invalid descriptor should error")
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	z := NewZipfian(10000, 0.99, rng)
+	counts := map[uint64]int{}
+	n := 50000
+	for i := 0; i < n; i++ {
+		k := z.Next()
+		if k >= 10000 {
+			t.Fatalf("key out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// Hot key 0 should take a large share; under uniform it'd be ~5.
+	if counts[0] < n/50 {
+		t.Fatalf("key 0 count = %d, want heavy skew", counts[0])
+	}
+	// Distinct keys touched far fewer than uniform would.
+	if len(counts) > n/3 {
+		t.Fatalf("distinct keys = %d, want concentration", len(counts))
+	}
+}
+
+func TestZipfianUniformish(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	z := NewZipfian(100, 0.01, rng) // near uniform
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	// No key should dominate.
+	for k, c := range counts {
+		if c > 5000 {
+			t.Fatalf("key %d count %d too high for near-uniform", k, c)
+		}
+	}
+}
+
+func TestZipfianDegenerateParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	z := NewZipfian(0, 0, rng) // clamps to n=1, small theta
+	if z.Next() != 0 {
+		t.Fatal("single-key zipfian must return 0")
+	}
+	z2 := NewZipfian(10, 5, rng) // theta clamps below 1
+	for i := 0; i < 100; i++ {
+		if z2.Next() >= 10 {
+			t.Fatal("out of range")
+		}
+	}
+}

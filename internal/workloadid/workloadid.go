@@ -1,0 +1,471 @@
+// Package workloadid implements workload identification (tutorial slides
+// 88-93): synthesizing telemetry time series from workload descriptors,
+// embedding telemetry and query mixes into vectors, clustering and
+// nearest-neighbour lookup for config reuse, workload-shift detection, and
+// synthetic benchmark generation (find the mixture of base workloads whose
+// embedding matches production telemetry — the Stitcher idea).
+package workloadid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"autotune/internal/stats"
+	"autotune/internal/workload"
+)
+
+// Telemetry channel indices produced by Synthesize.
+const (
+	ChanCPU = iota
+	ChanReadMB
+	ChanWriteMB
+	ChanOps
+	ChanP95
+	NumChannels
+)
+
+// Synthesize generates n steps of NumChannels-channel telemetry for a
+// workload: stable levels derived from the descriptor plus a periodic
+// component and noise. It is the stand-in for production monitoring data.
+func Synthesize(d workload.Descriptor, n int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, NumChannels)
+	for c := range out {
+		out[c] = make([]float64, n)
+	}
+	cpuLevel := clamp01(d.RequestRate*(0.010+0.002*d.ScanLength/50)/8000 + 0.1)
+	readLevel := d.RequestRate * (d.ReadRatio*0.3 + d.ScanRatio*3) * d.RecordBytes / 1024 / 1024
+	writeLevel := d.RequestRate * d.WriteFraction() * d.RecordBytes / 1024 / 1024
+	p95Level := 0.5 + 5*d.ScanRatio + 2*d.WriteFraction()
+	// Period reflects burstiness: skewed point workloads jitter faster
+	// than long analytical scans.
+	period := 12.0 + 36*d.ScanRatio
+	for t := 0; t < n; t++ {
+		wave := math.Sin(2 * math.Pi * float64(t) / period)
+		jitter := func(scale float64) float64 {
+			if rng == nil {
+				return 0
+			}
+			return rng.NormFloat64() * scale
+		}
+		out[ChanCPU][t] = math.Max(0, cpuLevel*(1+0.15*wave)+jitter(0.02))
+		out[ChanReadMB][t] = math.Max(0, readLevel*(1+0.2*wave)+jitter(readLevel*0.05+0.01))
+		out[ChanWriteMB][t] = math.Max(0, writeLevel*(1+0.2*wave)+jitter(writeLevel*0.05+0.01))
+		out[ChanOps][t] = math.Max(0, d.RequestRate*(1+0.1*wave)+jitter(d.RequestRate*0.03+0.1))
+		out[ChanP95][t] = math.Max(0, p95Level*(1+0.25*wave)+jitter(p95Level*0.08))
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// EmbedTelemetry maps a multichannel time series to a fixed-length feature
+// vector: per channel mean, std, p95, lag-1 autocorrelation, and three DFT
+// band energies. Channels are scale-normalized so heterogeneous units
+// coexist.
+func EmbedTelemetry(series [][]float64) []float64 {
+	var out []float64
+	for _, ch := range series {
+		out = append(out, channelFeatures(ch)...)
+	}
+	return out
+}
+
+func channelFeatures(x []float64) []float64 {
+	if len(x) == 0 {
+		return make([]float64, 7)
+	}
+	mean := stats.Mean(x)
+	sd := stats.StdDev(x)
+	p95 := stats.Percentile(x, 95)
+	scale := math.Max(math.Abs(mean), 1e-9)
+	// Lag-1 autocorrelation of the normalized series.
+	ac := 0.0
+	if len(x) > 2 && sd > 0 {
+		var s float64
+		for i := 1; i < len(x); i++ {
+			s += (x[i] - mean) * (x[i-1] - mean)
+		}
+		ac = s / (float64(len(x)-1) * sd * sd)
+	}
+	lo, mid, hi := dftBands(x, mean)
+	total := lo + mid + hi + 1e-12
+	return []float64{
+		math.Log1p(math.Abs(mean)), // level (log for heavy-tailed units)
+		sd / scale,                 // coefficient of variation
+		p95 / scale,                // tail ratio
+		ac,
+		lo / total, mid / total, hi / total,
+	}
+}
+
+// dftBands returns spectral energy in low/mid/high frequency thirds of the
+// centered series (plain O(n^2) DFT; telemetry windows are short).
+func dftBands(x []float64, mean float64) (lo, mid, hi float64) {
+	n := len(x)
+	if n < 4 {
+		return 0, 0, 0
+	}
+	half := n / 2
+	for k := 1; k <= half; k++ {
+		var re, im float64
+		for t := 0; t < n; t++ {
+			phi := 2 * math.Pi * float64(k) * float64(t) / float64(n)
+			v := x[t] - mean
+			re += v * math.Cos(phi)
+			im -= v * math.Sin(phi)
+		}
+		e := re*re + im*im
+		switch {
+		case k <= half/3:
+			lo += e
+		case k <= 2*half/3:
+			mid += e
+		default:
+			hi += e
+		}
+	}
+	return lo, mid, hi
+}
+
+// EmbedDescriptor maps a workload descriptor directly to a feature vector
+// (the "query mix histogram" view available when query logs are
+// accessible).
+func EmbedDescriptor(d workload.Descriptor) []float64 {
+	return []float64{
+		d.ReadRatio, d.UpdateRatio, d.InsertRatio, d.ScanRatio, d.RMWRatio(),
+		d.Skew,
+		math.Log1p(d.WorkingSetMB) / 12,
+		math.Log1p(d.ScanLength) / 12,
+		math.Log1p(d.RequestRate) / 12,
+	}
+}
+
+// Euclidean returns the L2 distance between equal-length vectors.
+func Euclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns 1 - cosine similarity (0 = identical direction).
+func Cosine(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/math.Sqrt(na*nb)
+}
+
+// KMeans clusters vectors into k groups with k-means++ seeding and Lloyd
+// iterations. It returns per-point assignments and the centroids.
+func KMeans(points [][]float64, k int, iters int, rng *rand.Rand) (assign []int, centroids [][]float64, err error) {
+	if len(points) == 0 {
+		return nil, nil, errors.New("workloadid: no points")
+	}
+	if k <= 0 || k > len(points) {
+		return nil, nil, fmt.Errorf("workloadid: k=%d with %d points", k, len(points))
+	}
+	if iters <= 0 {
+		iters = 50
+	}
+	dim := len(points[0])
+	// k-means++ seeding.
+	centroids = append(centroids, append([]float64(nil), points[rng.Intn(len(points))]...))
+	for len(centroids) < k {
+		dists := make([]float64, len(points))
+		total := 0.0
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if e := Euclidean(p, c); e < d {
+					d = e
+				}
+			}
+			dists[i] = d * d
+			total += dists[i]
+		}
+		target := rng.Float64() * total
+		acc := 0.0
+		pick := len(points) - 1
+		for i, d := range dists {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+	assign = make([]int, len(points))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := Euclidean(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			counts[assign[i]]++
+			for j, v := range p {
+				sums[assign[i]][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed empty cluster at a random point.
+				centroids[c] = append([]float64(nil), points[rng.Intn(len(points))]...)
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return assign, centroids, nil
+}
+
+// KMeansRestarts runs KMeans `restarts` times and returns the clustering
+// with the lowest within-cluster sum of squared distances (inertia) —
+// k-means++ reduces but does not eliminate bad local optima.
+func KMeansRestarts(points [][]float64, k, iters, restarts int, rng *rand.Rand) (assign []int, centroids [][]float64, err error) {
+	if restarts < 1 {
+		restarts = 1
+	}
+	bestInertia := math.Inf(1)
+	for r := 0; r < restarts; r++ {
+		a, c, e := KMeans(points, k, iters, rng)
+		if e != nil {
+			return nil, nil, e
+		}
+		inertia := 0.0
+		for i, p := range points {
+			d := Euclidean(p, c[a[i]])
+			inertia += d * d
+		}
+		if inertia < bestInertia {
+			bestInertia, assign, centroids = inertia, a, c
+		}
+	}
+	return assign, centroids, nil
+}
+
+// Purity scores a clustering against ground-truth labels: the fraction of
+// points belonging to their cluster's majority label.
+func Purity(assign []int, labels []int) float64 {
+	if len(assign) != len(labels) || len(assign) == 0 {
+		return 0
+	}
+	counts := map[int]map[int]int{}
+	for i, a := range assign {
+		if counts[a] == nil {
+			counts[a] = map[int]int{}
+		}
+		counts[a][labels[i]]++
+	}
+	correct := 0
+	for _, byLabel := range counts {
+		best := 0
+		for _, n := range byLabel {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assign))
+}
+
+// Index is a labelled embedding store for nearest-workload lookup.
+type Index struct {
+	labels []string
+	vecs   [][]float64
+}
+
+// Add stores a labelled embedding.
+func (ix *Index) Add(label string, vec []float64) {
+	ix.labels = append(ix.labels, label)
+	ix.vecs = append(ix.vecs, append([]float64(nil), vec...))
+}
+
+// Len returns the number of stored embeddings.
+func (ix *Index) Len() int { return len(ix.labels) }
+
+// Nearest returns the label and distance of the closest stored embedding.
+func (ix *Index) Nearest(vec []float64) (label string, dist float64, err error) {
+	if len(ix.vecs) == 0 {
+		return "", 0, errors.New("workloadid: empty index")
+	}
+	best, bestD := 0, math.Inf(1)
+	for i, v := range ix.vecs {
+		if d := Euclidean(vec, v); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return ix.labels[best], bestD, nil
+}
+
+// ShiftDetector watches a stream of embeddings and reports when the
+// workload has drifted from the reference window: the rolling mean
+// distance to the reference centroid must exceed Threshold for Consecutive
+// steps. CUSUM-flavoured but intentionally simple and explainable.
+type ShiftDetector struct {
+	// RefWindow is how many initial embeddings form the reference
+	// (default 10).
+	RefWindow int
+	// Threshold is the distance that counts as drifted (default 1).
+	Threshold float64
+	// Consecutive is how many consecutive drifted steps trigger
+	// detection (default 3).
+	Consecutive int
+
+	ref      [][]float64
+	centroid []float64
+	streak   int
+	steps    int
+	detected bool
+}
+
+// NewShiftDetector returns a detector with the given threshold and
+// defaults elsewhere.
+func NewShiftDetector(threshold float64) *ShiftDetector {
+	return &ShiftDetector{RefWindow: 10, Threshold: threshold, Consecutive: 3}
+}
+
+// Observe feeds one embedding; it returns true exactly once, on the step
+// the shift is first detected.
+func (sd *ShiftDetector) Observe(vec []float64) bool {
+	sd.steps++
+	if len(sd.ref) < sd.RefWindow {
+		sd.ref = append(sd.ref, append([]float64(nil), vec...))
+		if len(sd.ref) == sd.RefWindow {
+			sd.centroid = meanVec(sd.ref)
+		}
+		return false
+	}
+	if sd.detected {
+		return false
+	}
+	if Euclidean(vec, sd.centroid) > sd.Threshold {
+		sd.streak++
+	} else {
+		sd.streak = 0
+	}
+	if sd.streak >= sd.Consecutive {
+		sd.detected = true
+		return true
+	}
+	return false
+}
+
+// Detected reports whether a shift has been flagged.
+func (sd *ShiftDetector) Detected() bool { return sd.detected }
+
+// Steps returns how many embeddings have been observed.
+func (sd *ShiftDetector) Steps() int { return sd.steps }
+
+func meanVec(vs [][]float64) []float64 {
+	out := make([]float64, len(vs[0]))
+	for _, v := range vs {
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(vs))
+	}
+	return out
+}
+
+// SynthesizeBenchmark searches for nonnegative mixture weights over the
+// base workloads whose descriptor embedding best matches the target
+// embedding (EmbedDescriptor space): random Dirichlet starts refined by
+// coordinate perturbation. It returns the mixed descriptor and weights.
+func SynthesizeBenchmark(target []float64, bases []workload.Descriptor, iters int, rng *rand.Rand) (workload.Descriptor, []float64, error) {
+	if len(bases) == 0 {
+		return workload.Descriptor{}, nil, errors.New("workloadid: no base workloads")
+	}
+	if iters <= 0 {
+		iters = 400
+	}
+	score := func(w []float64) float64 {
+		mixed, err := workload.Mix(bases, w)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return Euclidean(EmbedDescriptor(mixed), target)
+	}
+	best := make([]float64, len(bases))
+	for i := range best {
+		best[i] = 1
+	}
+	bestScore := score(best)
+	for it := 0; it < iters; it++ {
+		var cand []float64
+		if it%2 == 0 { // fresh Dirichlet draw
+			cand = make([]float64, len(bases))
+			for i := range cand {
+				cand[i] = rng.ExpFloat64()
+			}
+		} else { // local perturbation of the incumbent
+			cand = append([]float64(nil), best...)
+			i := rng.Intn(len(cand))
+			cand[i] = math.Max(0, cand[i]+rng.NormFloat64()*0.3)
+		}
+		if s := score(cand); s < bestScore {
+			best, bestScore = cand, s
+		}
+	}
+	mixed, err := workload.Mix(bases, best)
+	if err != nil {
+		return workload.Descriptor{}, nil, err
+	}
+	// Normalize weights for reporting.
+	sum := 0.0
+	for _, w := range best {
+		sum += w
+	}
+	for i := range best {
+		best[i] /= sum
+	}
+	return mixed, best, nil
+}

@@ -1,0 +1,299 @@
+package workloadid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"autotune/internal/workload"
+)
+
+func TestSynthesizeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	series := Synthesize(workload.YCSBA(), 64, rng)
+	if len(series) != NumChannels {
+		t.Fatalf("channels = %d", len(series))
+	}
+	for c, ch := range series {
+		if len(ch) != 64 {
+			t.Fatalf("channel %d len = %d", c, len(ch))
+		}
+		for _, v := range ch {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("channel %d has invalid value %v", c, v)
+			}
+		}
+	}
+	// Write-heavy workload writes more than read-only.
+	wr := Synthesize(workload.YCSBA(), 64, nil)
+	ro := Synthesize(workload.YCSBC(), 64, nil)
+	if !(mean(wr[ChanWriteMB]) > mean(ro[ChanWriteMB])) {
+		t.Fatal("write channel should reflect write fraction")
+	}
+}
+
+func mean(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+func TestEmbedTelemetryStable(t *testing.T) {
+	series := Synthesize(workload.TPCC(), 64, nil)
+	a := EmbedTelemetry(series)
+	b := EmbedTelemetry(series)
+	if len(a) != NumChannels*7 {
+		t.Fatalf("embedding dim = %d", len(a))
+	}
+	if Euclidean(a, b) != 0 {
+		t.Fatal("embedding should be deterministic")
+	}
+}
+
+func TestEmbeddingSeparatesWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	embed := func(d workload.Descriptor, seed int64) []float64 {
+		return EmbedTelemetry(Synthesize(d, 96, rand.New(rand.NewSource(seed))))
+	}
+	_ = rng
+	// Two noisy instances of the same workload should be closer than two
+	// different workloads.
+	a1 := embed(workload.YCSBA(), 10)
+	a2 := embed(workload.YCSBA(), 11)
+	h := embed(workload.TPCH(1), 12)
+	if !(Euclidean(a1, a2) < Euclidean(a1, h)) {
+		t.Fatalf("same-workload distance %v should beat cross-workload %v",
+			Euclidean(a1, a2), Euclidean(a1, h))
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if Euclidean(a, a) != 0 || math.Abs(Euclidean(a, b)-math.Sqrt2) > 1e-12 {
+		t.Fatal("euclidean wrong")
+	}
+	if Cosine(a, a) > 1e-12 {
+		t.Fatal("cosine self distance should be 0")
+	}
+	if math.Abs(Cosine(a, b)-1) > 1e-12 {
+		t.Fatal("orthogonal cosine distance should be 1")
+	}
+	if !math.IsInf(Euclidean(a, []float64{1}), 1) {
+		t.Fatal("length mismatch should be Inf")
+	}
+	if Cosine([]float64{0, 0}, a) != 1 {
+		t.Fatal("zero vector cosine should be 1")
+	}
+}
+
+func TestKMeansClusterRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var points [][]float64
+	var labels []int
+	centers := [][]float64{{0, 0}, {5, 5}, {0, 5}}
+	for c, ctr := range centers {
+		for i := 0; i < 30; i++ {
+			points = append(points, []float64{
+				ctr[0] + rng.NormFloat64()*0.3,
+				ctr[1] + rng.NormFloat64()*0.3,
+			})
+			labels = append(labels, c)
+		}
+	}
+	assign, centroids, err := KMeans(points, 3, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centroids) != 3 {
+		t.Fatalf("centroids = %d", len(centroids))
+	}
+	if p := Purity(assign, labels); p < 0.95 {
+		t.Fatalf("purity = %v", p)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, _, err := KMeans(nil, 2, 10, rng); err == nil {
+		t.Fatal("empty points should error")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, _, err := KMeans(pts, 3, 10, rng); err == nil {
+		t.Fatal("k > n should error")
+	}
+	if _, _, err := KMeans(pts, 0, 10, rng); err == nil {
+		t.Fatal("k = 0 should error")
+	}
+}
+
+func TestPurityEdgeCases(t *testing.T) {
+	if Purity(nil, nil) != 0 {
+		t.Fatal("empty purity should be 0")
+	}
+	if Purity([]int{0, 0}, []int{1, 1}) != 1 {
+		t.Fatal("single cluster single label should be pure")
+	}
+	if p := Purity([]int{0, 0}, []int{0, 1}); p != 0.5 {
+		t.Fatalf("mixed purity = %v", p)
+	}
+}
+
+func TestIndexNearest(t *testing.T) {
+	var ix Index
+	if _, _, err := ix.Nearest([]float64{1}); err == nil {
+		t.Fatal("empty index should error")
+	}
+	ix.Add("a", []float64{0, 0})
+	ix.Add("b", []float64{10, 10})
+	label, dist, err := ix.Nearest([]float64{1, 1})
+	if err != nil || label != "a" {
+		t.Fatalf("nearest = %v %v %v", label, dist, err)
+	}
+	if ix.Len() != 2 {
+		t.Fatal("len")
+	}
+}
+
+func TestIndexWorkloadLookup(t *testing.T) {
+	// Index standard workloads by noisy telemetry, then look up fresh
+	// noisy instances: most should resolve to their own family.
+	var ix Index
+	suite := []workload.Descriptor{
+		workload.YCSBA(), workload.YCSBC(), workload.YCSBE(), workload.TPCC(), workload.TPCH(1),
+	}
+	for i, d := range suite {
+		ix.Add(d.Name, EmbedTelemetry(Synthesize(d, 96, rand.New(rand.NewSource(int64(i))))))
+	}
+	correct := 0
+	for i, d := range suite {
+		probe := EmbedTelemetry(Synthesize(d, 96, rand.New(rand.NewSource(int64(100+i)))))
+		label, _, err := ix.Nearest(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label == d.Name {
+			correct++
+		}
+	}
+	if correct < 4 {
+		t.Fatalf("lookup correct %d/5", correct)
+	}
+}
+
+func TestShiftDetector(t *testing.T) {
+	sd := NewShiftDetector(1.0)
+	// Reference phase: stable embeddings near origin.
+	for i := 0; i < 10; i++ {
+		if sd.Observe([]float64{0.01 * float64(i), 0}) {
+			t.Fatal("detected during reference phase")
+		}
+	}
+	// Stable continues: no detection.
+	for i := 0; i < 20; i++ {
+		if sd.Observe([]float64{0.05, 0.05}) {
+			t.Fatal("false positive on stable stream")
+		}
+	}
+	// Shift: far embeddings for >= Consecutive steps.
+	fired := 0
+	firedAt := -1
+	for i := 0; i < 10; i++ {
+		if sd.Observe([]float64{5, 5}) {
+			fired++
+			firedAt = i
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly once", fired)
+	}
+	if firedAt != 2 { // third consecutive drifted step (0-indexed)
+		t.Fatalf("fired at step %d, want 2", firedAt)
+	}
+	if !sd.Detected() {
+		t.Fatal("Detected() should be true")
+	}
+}
+
+func TestShiftDetectorIgnoresBlips(t *testing.T) {
+	sd := NewShiftDetector(1.0)
+	for i := 0; i < 10; i++ {
+		sd.Observe([]float64{0, 0})
+	}
+	// Single-step blips never make Consecutive.
+	for i := 0; i < 30; i++ {
+		var v []float64
+		if i%5 == 0 {
+			v = []float64{5, 5}
+		} else {
+			v = []float64{0, 0}
+		}
+		if sd.Observe(v) {
+			t.Fatal("blips should not trigger detection")
+		}
+	}
+}
+
+func TestSynthesizeBenchmarkRecoversMixture(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bases := []workload.Descriptor{workload.YCSBA(), workload.YCSBC(), workload.TPCH(1)}
+	// Target: a known mixture.
+	trueMix, err := workload.Mix(bases, []float64{0.7, 0.3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := EmbedDescriptor(trueMix)
+	synth, weights, err := SynthesizeBenchmark(target, bases, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Euclidean(EmbedDescriptor(synth), target); d > 0.05 {
+		t.Fatalf("synthetic embedding distance = %v", d)
+	}
+	// Weights roughly recover the mixture (up to embedding degeneracy).
+	if weights[2] > 0.3 {
+		t.Fatalf("tpch weight = %v, want small", weights[2])
+	}
+	sum := weights[0] + weights[1] + weights[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights not normalized: %v", weights)
+	}
+}
+
+func TestSynthesizeBenchmarkValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, _, err := SynthesizeBenchmark([]float64{1}, nil, 10, rng); err == nil {
+		t.Fatal("no bases should error")
+	}
+}
+
+func TestKMeansRestartsAtLeastAsGood(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var points [][]float64
+	var labels []int
+	centers := [][]float64{{0, 0}, {4, 0}, {0, 4}, {4, 4}}
+	for c, ctr := range centers {
+		for i := 0; i < 20; i++ {
+			points = append(points, []float64{
+				ctr[0] + rng.NormFloat64()*0.3,
+				ctr[1] + rng.NormFloat64()*0.3,
+			})
+			labels = append(labels, c)
+		}
+	}
+	assign, cents, err := KMeansRestarts(points, 4, 100, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cents) != 4 {
+		t.Fatalf("centroids = %d", len(cents))
+	}
+	if p := Purity(assign, labels); p < 0.95 {
+		t.Fatalf("purity = %v", p)
+	}
+	if _, _, err := KMeansRestarts(nil, 2, 10, 3, rng); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
