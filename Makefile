@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench fmt
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) run ./cmd/bench -quick
+
+fmt:
+	gofmt -l -w .

@@ -30,11 +30,13 @@
 package autotune
 
 import (
+	"context"
 	"math/rand"
 
 	"autotune/internal/core"
 	"autotune/internal/experiments"
 	"autotune/internal/optimizer"
+	"autotune/internal/resilience"
 	"autotune/internal/space"
 	"autotune/internal/trial"
 )
@@ -72,6 +74,24 @@ type (
 	// Result is one benchmark measurement.
 	Result = trial.Result
 )
+
+// Resilient-execution types (internal/resilience): fault-tolerant trial
+// execution with retries, deadlines, quarantine, and fault injection.
+type (
+	// ResilienceOptions configures Harden (retries, backoff, deadlines,
+	// circuit breaking).
+	ResilienceOptions = resilience.Options
+	// Backoff computes exponential retry backoff with jitter.
+	Backoff = resilience.Backoff
+	// Breaker quarantines crashing config regions and flaky hosts.
+	Breaker = resilience.Breaker
+	// FaultInjectorOptions configures InjectFaults.
+	FaultInjectorOptions = resilience.InjectorOptions
+)
+
+// ErrTransient marks retryable trial failures; return an error wrapping
+// it from an Environment to opt into Harden's retry path.
+var ErrTransient = resilience.ErrTransient
 
 // Online-tuning types.
 type (
@@ -125,10 +145,43 @@ func Minimize(o Optimizer, f func(Config) float64, budget int) (Config, float64,
 }
 
 // Tune runs the full-featured tuning loop (crash handling, parallelism,
-// early abort, fidelity) of an optimizer against an environment.
+// early abort, fidelity, checkpointing) of an optimizer against an
+// environment.
 func Tune(o Optimizer, env Environment, opts TuneOptions) (Report, error) {
 	return trial.Run(o, env, opts)
 }
+
+// TuneContext is Tune with cancellation: the loop stops at the next batch
+// boundary once ctx is cancelled, checkpointing progress when
+// TuneOptions.Checkpoint is set.
+func TuneContext(ctx context.Context, o Optimizer, env Environment, opts TuneOptions) (Report, error) {
+	return trial.RunContext(ctx, o, env, opts)
+}
+
+// ResumeTune continues a killed tuning session from
+// TuneOptions.Checkpoint: recorded trials are replayed into the optimizer
+// without re-running them, then the loop finishes the remaining budget.
+func ResumeTune(o Optimizer, env Environment, opts TuneOptions) (Report, error) {
+	return trial.Resume(o, env, opts)
+}
+
+// Harden wraps an environment with fault-tolerant execution: retry with
+// exponential backoff + jitter for transient failures, per-trial
+// deadlines, and circuit breaking for crash regions.
+func Harden(env Environment, opts ResilienceOptions) Environment {
+	return resilience.Wrap(env, opts)
+}
+
+// InjectFaults wraps an environment with configurable fault injection
+// (transient errors, hangs, stragglers, corrupted results, flaky hosts)
+// for testing tuning setups against realistic failure modes.
+func InjectFaults(env Environment, opts FaultInjectorOptions) Environment {
+	return resilience.NewInjector(env, opts)
+}
+
+// NewBreaker returns a circuit breaker with default thresholds for use in
+// ResilienceOptions and FaultInjectorOptions.
+func NewBreaker() *Breaker { return resilience.NewBreaker() }
 
 // NewAgent builds an online tuning agent around a live system and policy.
 func NewAgent(sys OnlineSystem, policy Policy, guard Guardrails, seed int64) (*Agent, error) {

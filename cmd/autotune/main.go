@@ -6,110 +6,197 @@
 //	autotune -system simdb -workload tpcc -optimizer bo -budget 60
 //	autotune -system simredis -workload ycsb-b -metric p95 -optimizer smac
 //	autotune -system simdb -optimizer bo -parallel 4 -out report.json
+//
+// Resilient execution (fault injection, retries, deadlines, checkpoints):
+//
+//	autotune -system simdb -faults 0.25 -retries 4 -trial-timeout 2s
+//	autotune -system simdb -budget 200 -checkpoint ckpt.json
+//	autotune -system simdb -budget 200 -checkpoint ckpt.json -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"sort"
+	"time"
 
+	"autotune/internal/cloud"
 	"autotune/internal/core"
+	"autotune/internal/resilience"
 	"autotune/internal/simsys"
 	"autotune/internal/trial"
 	"autotune/internal/workload"
 )
 
+// cliOptions collects every flag so tests can drive run() directly.
+type cliOptions struct {
+	system, wlName, optName, metric, vmSize string
+	budget, parallel                        int
+	abortMargin, fidelity                   float64
+	seed                                    int64
+	noise                                   float64
+	out                                     string
+
+	// Resilience.
+	faults       float64 // transient fault injection rate (0 = off)
+	hangs        float64 // hang injection rate (0 = off)
+	retries      int
+	trialTimeout time.Duration
+	checkpoint   string
+	resume       bool
+}
+
 func main() {
-	var (
-		system  = flag.String("system", "simdb", "system to tune: simdb | simredis | simspark")
-		wlName  = flag.String("workload", "tpcc", "workload: ycsb-a..f | tpcc | tpch-sf1")
-		optName = flag.String("optimizer", "bo", fmt.Sprintf("optimizer: %v", core.OptimizerNames()))
-		metric  = flag.String("metric", "latency", "objective: latency | p95 | throughput")
-		vmSize  = flag.String("vm", "medium", "host size: small | medium | large")
-		budget  = flag.Int("budget", 60, "number of trials")
-		par     = flag.Int("parallel", 1, "batch-parallel trials")
-		abort   = flag.Float64("abort-margin", 0, "early-abort margin (0 disables)")
-		fid     = flag.Float64("fidelity", 1, "benchmark fidelity in (0, 1]")
-		seed    = flag.Int64("seed", 1, "random seed")
-		noise   = flag.Float64("noise", 0, "measurement noise sigma (0 = deterministic)")
-		out     = flag.String("out", "", "write the full trial report to this JSON file")
-	)
+	var o cliOptions
+	flag.StringVar(&o.system, "system", "simdb", "system to tune: simdb | simredis | simspark")
+	flag.StringVar(&o.wlName, "workload", "tpcc", "workload: ycsb-a..f | tpcc | tpch-sf1")
+	flag.StringVar(&o.optName, "optimizer", "bo", fmt.Sprintf("optimizer: %v", core.OptimizerNames()))
+	flag.StringVar(&o.metric, "metric", "latency", "objective: latency | p95 | throughput")
+	flag.StringVar(&o.vmSize, "vm", "medium", "host size: small | medium | large")
+	flag.IntVar(&o.budget, "budget", 60, "number of trials")
+	flag.IntVar(&o.parallel, "parallel", 1, "batch-parallel trials")
+	flag.Float64Var(&o.abortMargin, "abort-margin", 0, "early-abort margin (0 disables)")
+	flag.Float64Var(&o.fidelity, "fidelity", 1, "benchmark fidelity in (0, 1]")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.Float64Var(&o.noise, "noise", 0, "measurement noise sigma (0 = deterministic)")
+	flag.StringVar(&o.out, "out", "", "write the full trial report to this JSON file")
+	flag.Float64Var(&o.faults, "faults", 0, "inject transient trial failures at this rate (0 = off)")
+	flag.Float64Var(&o.hangs, "hangs", 0, "inject hanging trials at this rate (0 = off)")
+	flag.IntVar(&o.retries, "retries", 0, "retry transient trial failures this many times (exponential backoff)")
+	flag.DurationVar(&o.trialTimeout, "trial-timeout", 0, "per-trial deadline (0 = unbounded)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint the run to this file (enables -resume)")
+	flag.BoolVar(&o.resume, "resume", false, "resume from -checkpoint instead of starting over")
 	flag.Parse()
 
-	if err := run(*system, *wlName, *optName, *metric, *vmSize, *budget, *par, *abort, *fid, *seed, *noise, *out); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "autotune:", err)
 		os.Exit(1)
 	}
 }
 
-func run(system, wlName, optName, metric, vmSize string, budget, par int, abort, fid float64, seed int64, noise float64, out string) error {
-	spec := simsys.VMByName(vmSize)
+func run(o cliOptions) error {
+	spec := simsys.VMByName(o.vmSize)
 	var sys simsys.System
-	switch system {
+	switch o.system {
 	case "simdb":
 		d := simsys.NewDBMS(spec)
-		if noise > 0 {
-			d.NoiseSigma = noise
+		if o.noise > 0 {
+			d.NoiseSigma = o.noise
 		}
 		sys = d
 	case "simredis":
 		r := simsys.NewRedis(spec)
-		if noise > 0 {
-			r.NoiseSigma = noise
+		if o.noise > 0 {
+			r.NoiseSigma = o.noise
 		}
 		sys = r
 	case "simspark":
 		s := simsys.NewSpark(spec)
-		if noise > 0 {
-			s.NoiseSigma = noise
+		if o.noise > 0 {
+			s.NoiseSigma = o.noise
 		}
 		sys = s
 	default:
-		return fmt.Errorf("unknown system %q", system)
+		return fmt.Errorf("unknown system %q", o.system)
 	}
-	wl, err := workload.ByName(wlName)
+	wl, err := workload.ByName(o.wlName)
 	if err != nil {
 		return err
 	}
 	objective := func(m simsys.Metrics) float64 { return m.LatencyMS }
-	switch metric {
+	switch o.metric {
 	case "latency":
 	case "p95":
 		objective = func(m simsys.Metrics) float64 { return m.P95MS }
 	case "throughput":
 		objective = func(m simsys.Metrics) float64 { return -m.ThroughputOps }
 	default:
-		return fmt.Errorf("unknown metric %q", metric)
+		return fmt.Errorf("unknown metric %q", o.metric)
 	}
 
 	var rng *rand.Rand
-	if noise > 0 {
-		rng = rand.New(rand.NewSource(seed + 1))
+	if o.noise > 0 {
+		rng = rand.New(rand.NewSource(o.seed + 1))
 	}
-	env := &trial.SystemEnv{Sys: sys, WL: wl, Objective: objective, Rng: rng}
-	opt, err := core.NewOptimizer(optName, sys.Space(), rand.New(rand.NewSource(seed)))
+	var env trial.Environment = &trial.SystemEnv{Sys: sys, WL: wl, Objective: objective, Rng: rng}
+	var injector *resilience.Injector
+	var hardened *resilience.Env
+	if o.faults > 0 || o.hangs > 0 {
+		// A small fleet with TUNA-style flaky machines supplies per-host
+		// faults on top of the flat injection rates.
+		hosts := cloud.SampleHosts(8, cloud.Options{FlakyProb: 0.2}, rand.New(rand.NewSource(o.seed+2)))
+		injector = resilience.NewInjector(env, resilience.InjectorOptions{
+			TransientProb: o.faults,
+			HangProb:      o.hangs,
+			StragglerProb: o.faults / 2,
+			Hosts:         hosts,
+			Seed:          o.seed + 3,
+		})
+		env = injector
+	}
+	if o.retries > 0 || o.trialTimeout > 0 || injector != nil {
+		hardened = resilience.Wrap(env, resilience.Options{
+			Retries:      o.retries,
+			TrialTimeout: o.trialTimeout,
+			Breaker:      resilience.NewBreaker(),
+			Seed:         o.seed + 4,
+		})
+		env = hardened
+	}
+	opt, err := core.NewOptimizer(o.optName, sys.Space(), rand.New(rand.NewSource(o.seed)))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("tuning %s on %s (%s VM) with %s, %d trials...\n",
-		system, wl.Name, vmSize, optName, budget)
-	rep, err := trial.Run(opt, env, trial.Options{
-		Budget: budget, Parallel: par, AbortMargin: abort, Fidelity: fid,
-	})
+	topts := trial.Options{
+		Budget: o.budget, Parallel: o.parallel, AbortMargin: o.abortMargin, Fidelity: o.fidelity,
+		Checkpoint: o.checkpoint,
+	}
+	if o.trialTimeout > 0 {
+		topts.DegradeAfterTimeouts = 3
+	}
+	ctx := context.Background()
+	var rep trial.Report
+	if o.resume {
+		if o.checkpoint == "" {
+			return fmt.Errorf("-resume needs -checkpoint")
+		}
+		fmt.Printf("resuming %s on %s from %s...\n", o.system, wl.Name, o.checkpoint)
+		rep, err = trial.ResumeContext(ctx, opt, env, topts)
+	} else {
+		fmt.Printf("tuning %s on %s (%s VM) with %s, %d trials...\n",
+			o.system, wl.Name, o.vmSize, o.optName, o.budget)
+		rep, err = trial.RunContext(ctx, opt, env, topts)
+	}
 	if err != nil {
 		return err
 	}
 
-	defRes, defErr := env.Run(sys.Space().Default(), fid)
+	defRes, defErr := env.Run(ctx, sys.Space().Default(), o.fidelity)
 	fmt.Printf("\nbest objective: %.6g", rep.BestValue)
 	if defErr == nil {
 		fmt.Printf("   (default: %.6g, improvement %.1f%%)",
 			defRes.Value, 100*(defRes.Value-rep.BestValue)/absf(defRes.Value))
 	}
-	fmt.Printf("\ntrials: %d   crashes: %d   aborts: %d   cost: %.0fs (wall %.0fs)\n\n",
+	fmt.Printf("\ntrials: %d   crashes: %d   aborts: %d   cost: %.0fs (wall %.0fs)\n",
 		len(rep.Trials), rep.Crashes, rep.Aborts, rep.TotalCostSeconds, rep.WallClockSeconds)
+	if rep.Resumed > 0 || rep.Timeouts > 0 || rep.Degradations > 0 {
+		fmt.Printf("resumed: %d   timeouts: %d   fidelity degradations: %d\n",
+			rep.Resumed, rep.Timeouts, rep.Degradations)
+	}
+	if hardened != nil {
+		s := hardened.Stats()
+		fmt.Printf("resilience: %d attempts, %d retries, %d timeouts, %d quarantined\n",
+			s.Attempts, s.Retries, s.Timeouts, s.Quarantined)
+	}
+	if injector != nil {
+		s := injector.Stats()
+		fmt.Printf("injected: %d transients, %d hangs, %d stragglers, %d host faults\n",
+			s.Transients, s.Hangs, s.Stragglers, s.HostFaults)
+	}
+	fmt.Println()
 
 	fmt.Println("best configuration:")
 	names := make([]string, 0, len(rep.BestConfig))
@@ -120,11 +207,11 @@ func run(system, wlName, optName, metric, vmSize string, budget, par int, abort,
 	for _, k := range names {
 		fmt.Printf("  %-24s = %v\n", k, rep.BestConfig[k])
 	}
-	if out != "" {
-		if err := rep.Save(out); err != nil {
+	if o.out != "" {
+		if err := rep.Save(o.out); err != nil {
 			return err
 		}
-		fmt.Printf("\nreport written to %s\n", out)
+		fmt.Printf("\nreport written to %s\n", o.out)
 	}
 	return nil
 }

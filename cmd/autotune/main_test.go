@@ -3,7 +3,15 @@ package main
 import (
 	"path/filepath"
 	"testing"
+	"time"
 )
+
+func base() cliOptions {
+	return cliOptions{
+		system: "simdb", wlName: "tpcc", optName: "random", metric: "latency",
+		vmSize: "medium", budget: 5, parallel: 1, fidelity: 1, seed: 1,
+	}
+}
 
 func TestRunAllSystems(t *testing.T) {
 	cases := []struct {
@@ -15,30 +23,74 @@ func TestRunAllSystems(t *testing.T) {
 		{"simdb", "ycsb-a", "throughput"},
 	}
 	for _, c := range cases {
-		if err := run(c.system, c.wl, "random", c.metric, "medium", 5, 1, 0, 1, 1, 0, ""); err != nil {
+		o := base()
+		o.system, o.wlName, o.metric = c.system, c.wl, c.metric
+		if err := run(o); err != nil {
 			t.Fatalf("%+v: %v", c, err)
 		}
 	}
 }
 
 func TestRunWritesReport(t *testing.T) {
-	out := filepath.Join(t.TempDir(), "report.json")
-	if err := run("simdb", "tpcc", "random", "latency", "small", 5, 2, 0.25, 0.5, 2, 0.02, out); err != nil {
+	o := base()
+	o.vmSize = "small"
+	o.parallel = 2
+	o.abortMargin = 0.25
+	o.fidelity = 0.5
+	o.seed = 2
+	o.noise = 0.02
+	o.out = filepath.Join(t.TempDir(), "report.json")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithFaultInjectionAndRetries(t *testing.T) {
+	o := base()
+	o.budget = 10
+	o.faults = 0.3
+	o.hangs = 0.05
+	o.retries = 5
+	o.trialTimeout = 250 * time.Millisecond
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCheckpointThenResume(t *testing.T) {
+	o := base()
+	o.budget = 8
+	o.checkpoint = filepath.Join(t.TempDir(), "ckpt.json")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	// Resume from the completed checkpoint: nothing left to run, but the
+	// report must be reproduced.
+	o.resume = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("bogus", "tpcc", "random", "latency", "medium", 5, 1, 0, 1, 1, 0, ""); err == nil {
+	bad := func(mutate func(*cliOptions)) cliOptions {
+		o := base()
+		mutate(&o)
+		return o
+	}
+	if err := run(bad(func(o *cliOptions) { o.system = "bogus" })); err == nil {
 		t.Fatal("unknown system should error")
 	}
-	if err := run("simdb", "bogus", "random", "latency", "medium", 5, 1, 0, 1, 1, 0, ""); err == nil {
+	if err := run(bad(func(o *cliOptions) { o.wlName = "bogus" })); err == nil {
 		t.Fatal("unknown workload should error")
 	}
-	if err := run("simdb", "tpcc", "bogus", "latency", "medium", 5, 1, 0, 1, 1, 0, ""); err == nil {
+	if err := run(bad(func(o *cliOptions) { o.optName = "bogus" })); err == nil {
 		t.Fatal("unknown optimizer should error")
 	}
-	if err := run("simdb", "tpcc", "random", "bogus", "medium", 5, 1, 0, 1, 1, 0, ""); err == nil {
+	if err := run(bad(func(o *cliOptions) { o.metric = "bogus" })); err == nil {
 		t.Fatal("unknown metric should error")
+	}
+	if err := run(bad(func(o *cliOptions) { o.resume = true })); err == nil {
+		t.Fatal("resume without checkpoint should error")
 	}
 }

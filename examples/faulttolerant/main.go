@@ -1,0 +1,138 @@
+// Fault-tolerant tuning: the tutorial's systems-challenges half (slides
+// 65-75) says real trials crash, hang, straggle, and lie. This demo tunes
+// the simulated DBMS through a fault injector (transient failures, hangs,
+// stragglers, TUNA-style flaky machines) hardened with retries, per-trial
+// deadlines, and crash-region quarantine — then kills a checkpointed run
+// mid-flight and resumes it without re-running completed trials.
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"autotune"
+	"autotune/internal/cloud"
+	"autotune/internal/resilience"
+	"autotune/internal/simsys"
+	"autotune/internal/trial"
+	"autotune/internal/workload"
+)
+
+func main() {
+	wl := workload.TPCC()
+	newEnv := func() *trial.SystemEnv {
+		return &trial.SystemEnv{Sys: simsys.NewDBMS(simsys.MediumVM()), WL: wl}
+	}
+	opts := trial.Options{Budget: 40}
+
+	// ---- 1. Baseline: a fault-free run. -------------------------------
+	cleanOpt, _ := autotune.NewOptimizer("smac", newEnv().Space(), 1)
+	cleanRep, err := trial.Run(cleanOpt, newEnv(), opts)
+	check(err)
+	fmt.Printf("fault-free:     best %7.3f ms   %2d crashes   cost %6.0fs\n",
+		cleanRep.BestValue, cleanRep.Crashes, cleanRep.TotalCostSeconds)
+
+	// ---- 2. The same tuning under heavy fault injection. --------------
+	// A small fleet where 1 in 4 machines is flaky supplies per-VM
+	// faults; flat rates add transient errors, hangs, and stragglers.
+	hosts := cloud.SampleHosts(8, cloud.Options{FlakyProb: 0.25}, rand.New(rand.NewSource(7)))
+	breaker := resilience.NewBreaker()
+	injector := resilience.NewInjector(newEnv(), resilience.InjectorOptions{
+		TransientProb: 0.25,
+		HangProb:      0.05,
+		HangFor:       20 * time.Millisecond,
+		StragglerProb: 0.10,
+		Hosts:         hosts,
+		Breaker:       breaker,
+		Seed:          7,
+	})
+	hardened := resilience.Wrap(injector, resilience.Options{
+		Retries:      6,
+		Backoff:      resilience.Backoff{Base: time.Millisecond},
+		TrialTimeout: 100 * time.Millisecond,
+		Breaker:      breaker,
+		Seed:         7,
+	})
+	faultyOpt, _ := autotune.NewOptimizer("smac", hardened.Space(), 1)
+	faultyRep, err := trial.Run(faultyOpt, hardened, trial.Options{
+		Budget: opts.Budget, DegradeAfterTimeouts: 3,
+	})
+	check(err)
+	is, hs := injector.Stats(), hardened.Stats()
+	fmt.Printf("fault-injected: best %7.3f ms   %2d crashes   cost %6.0fs\n",
+		faultyRep.BestValue, faultyRep.Crashes, faultyRep.TotalCostSeconds)
+	fmt.Printf("  injected: %d transients, %d hangs, %d stragglers, %d host faults (%d flaky VMs)\n",
+		is.Transients, is.Hangs, is.Stragglers, is.HostFaults, flaky(hosts))
+	fmt.Printf("  absorbed: %d retries over %d attempts, %d timeouts, %d quarantined, %d breaker trips\n",
+		hs.Retries, hs.Attempts, hs.Timeouts, hs.Quarantined, breaker.Trips())
+	fmt.Printf("  quality gap vs fault-free: %+.1f%%\n\n",
+		100*(faultyRep.BestValue-cleanRep.BestValue)/cleanRep.BestValue)
+
+	// ---- 3. Kill a checkpointed run, then resume it. ------------------
+	ckpt := filepath.Join(os.TempDir(), "autotune-faulttolerant-ckpt.json")
+	defer os.Remove(ckpt)
+	ckptOpts := trial.Options{Budget: opts.Budget, Checkpoint: ckpt, CheckpointEvery: 1}
+
+	killable := newCountingEnv(newEnv())
+	ctx, cancel := context.WithCancel(context.Background())
+	killable.after(15, cancel) // "kill -9" after 15 trials
+	opt1, _ := autotune.NewOptimizer("smac", killable.Space(), 1)
+	_, err = trial.RunContext(ctx, opt1, killable, ckptOpts)
+	fmt.Printf("killed mid-run after %d trials: %v\n", killable.runs, err)
+
+	// A fresh process: new optimizer, same checkpoint.
+	ranBefore := killable.runs
+	opt2, _ := autotune.NewOptimizer("smac", killable.Space(), 2)
+	rep, err := trial.Resume(opt2, killable, ckptOpts)
+	check(err)
+	fmt.Printf("resumed: %d trials replayed from checkpoint, %d run fresh, best %7.3f ms\n",
+		rep.Resumed, killable.runs-ranBefore, rep.BestValue)
+	if killable.runs-ranBefore != opts.Budget-rep.Resumed {
+		panic("resume re-ran completed trials")
+	}
+}
+
+// countingEnv counts trials and can cancel a context after n of them.
+type countingEnv struct {
+	*trial.SystemEnv
+	runs    int
+	killAt  int
+	killFun context.CancelFunc
+}
+
+func newCountingEnv(inner *trial.SystemEnv) *countingEnv {
+	return &countingEnv{SystemEnv: inner}
+}
+
+func (e *countingEnv) after(n int, cancel context.CancelFunc) {
+	e.killAt, e.killFun = n, cancel
+}
+
+func (e *countingEnv) Run(ctx context.Context, cfg autotune.Config, fid float64) (trial.Result, error) {
+	e.runs++
+	if e.killFun != nil && e.runs >= e.killAt {
+		e.killFun()
+	}
+	return e.SystemEnv.Run(ctx, cfg, fid)
+}
+
+func flaky(hosts []cloud.HostProfile) int {
+	n := 0
+	for _, h := range hosts {
+		if h.Flaky {
+			n++
+		}
+	}
+	return n
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faulttolerant:", err)
+		os.Exit(1)
+	}
+}

@@ -28,6 +28,13 @@ type Options struct {
 	DriftPhi, DriftSigma float64
 	// MeasurementSigma is per-sample lognormal noise (default 0.03).
 	MeasurementSigma float64
+	// FlakyProb is the chance a VM is flaky — it intermittently fails
+	// measurements outright (crashed benchmark, lost agent), the TUNA
+	// "unstable machine" failure mode (default 0 = disabled).
+	FlakyProb float64
+	// FlakyFailRate is the per-sample failure probability on a flaky VM
+	// (default 0.3 when FlakyProb > 0).
+	FlakyFailRate float64
 }
 
 func (o Options) withDefaults() Options {
@@ -51,14 +58,68 @@ func (o Options) withDefaults() Options {
 	if o.MeasurementSigma <= 0 {
 		o.MeasurementSigma = 0.03
 	}
+	if o.FlakyProb < 0 {
+		o.FlakyProb = 0
+	}
+	if o.FlakyProb > 0 && o.FlakyFailRate <= 0 {
+		o.FlakyFailRate = 0.3
+	}
 	return o
 }
 
-// vm is one simulated machine.
+// HostProfile is one VM's persistent behaviour: its machine-lottery
+// multiplier, whether it is a systematic outlier, and whether it is flaky
+// (intermittently fails measurements). The resilience layer
+// (internal/resilience) seeds per-host fault injection from these
+// profiles so offline fault injection mirrors the fleet's noise model.
+type HostProfile struct {
+	// Mult is the persistent performance multiplier (machine lottery).
+	Mult float64
+	// Outlier marks a systematically slow machine.
+	Outlier bool
+	// Flaky marks an unstable machine; FailRate is its per-sample
+	// failure probability.
+	Flaky    bool
+	FailRate float64
+}
+
+// SampleHosts draws n host profiles from the fleet noise model. The draw
+// order is stable: adding flakiness (FlakyProb > 0) does not perturb the
+// multiplier/outlier stream of existing seeds.
+func SampleHosts(n int, opts Options, rng *rand.Rand) []HostProfile {
+	return sampleHosts(n, opts.withDefaults(), rng)
+}
+
+// sampleHosts assumes opts already carries defaults (withDefaults is not
+// idempotent: its 0-means-default sentinels must be applied exactly once).
+func sampleHosts(n int, opts Options, rng *rand.Rand) []HostProfile {
+	hosts := make([]HostProfile, n)
+	for i := range hosts {
+		h := HostProfile{Mult: math.Exp(rng.NormFloat64() * opts.MachineSigma)}
+		if rng.Float64() < opts.OutlierProb {
+			h.Outlier = true
+			h.Mult *= opts.OutlierFactor
+		}
+		hosts[i] = h
+	}
+	// Flakiness is drawn in a second pass so enabling it leaves the
+	// multiplier/outlier stream of an existing seed untouched.
+	if opts.FlakyProb > 0 {
+		for i := range hosts {
+			if rng.Float64() < opts.FlakyProb {
+				hosts[i].Flaky = true
+				hosts[i].FailRate = opts.FlakyFailRate
+			}
+		}
+	}
+	return hosts
+}
+
+// vm is one simulated machine: its persistent profile plus AR(1) drift
+// state.
 type vm struct {
-	mult    float64 // persistent machine factor
-	drift   float64 // AR(1) state
-	outlier bool
+	HostProfile
+	drift float64
 }
 
 // Fleet is a set of noisy VMs running one simulated system under one
@@ -93,15 +154,19 @@ func NewFleet(sys simsys.System, wl workload.Descriptor, n int, opts Options, rn
 		Fidelity:   1,
 		CrashValue: math.Inf(1),
 	}
-	for i := 0; i < n; i++ {
-		v := &vm{mult: math.Exp(rng.NormFloat64() * opts.MachineSigma)}
-		if rng.Float64() < opts.OutlierProb {
-			v.outlier = true
-			v.mult *= opts.OutlierFactor
-		}
-		f.vms = append(f.vms, v)
+	for _, h := range sampleHosts(n, opts, rng) {
+		f.vms = append(f.vms, &vm{HostProfile: h})
 	}
 	return f
+}
+
+// Hosts returns the fleet's host profiles (for seeding fault injection).
+func (f *Fleet) Hosts() []HostProfile {
+	out := make([]HostProfile, len(f.vms))
+	for i, v := range f.vms {
+		out[i] = v.HostProfile
+	}
+	return out
 }
 
 // Replicas implements noise.Sampler.
@@ -111,7 +176,18 @@ func (f *Fleet) Replicas() int { return len(f.vms) }
 func (f *Fleet) OutlierCount() int {
 	n := 0
 	for _, v := range f.vms {
-		if v.outlier {
+		if v.Outlier {
+			n++
+		}
+	}
+	return n
+}
+
+// FlakyCount returns how many VMs are flaky.
+func (f *Fleet) FlakyCount() int {
+	n := 0
+	for _, v := range f.vms {
+		if v.Flaky {
 			n++
 		}
 	}
@@ -126,12 +202,16 @@ func (f *Fleet) Sample(cfg space.Config, replica int) float64 {
 	v := f.vms[replica%len(f.vms)]
 	// Advance this VM's drift (noisy neighbours come and go).
 	v.drift = f.opts.DriftPhi*v.drift + f.rng.NormFloat64()*f.opts.DriftSigma
+	// Flaky machines lose measurements outright (TUNA's unstable hosts).
+	if v.Flaky && f.rng.Float64() < v.FailRate {
+		return f.CrashValue
+	}
 	m, err := f.sys.Run(cfg, f.wl, f.Fidelity, nil)
 	if err != nil {
 		return f.CrashValue
 	}
 	noise := math.Exp(f.rng.NormFloat64() * f.opts.MeasurementSigma)
-	return f.Objective(m) * v.mult * math.Exp(v.drift) * noise
+	return f.Objective(m) * v.Mult * math.Exp(v.drift) * noise
 }
 
 // TrueScore returns the noise-free objective for cfg, for experiment

@@ -128,3 +128,63 @@ func TestTUNAOnFleetBeatsNaive(t *testing.T) {
 		t.Fatalf("TUNA correct only %d/%d", correctTUNA, rounds)
 	}
 }
+
+func TestSampleHostsFlaky(t *testing.T) {
+	hosts := SampleHosts(100, Options{FlakyProb: 0.5}, rand.New(rand.NewSource(7)))
+	flaky := 0
+	for _, h := range hosts {
+		if h.Mult <= 0 {
+			t.Fatalf("non-positive multiplier %v", h.Mult)
+		}
+		if h.Flaky {
+			flaky++
+			if h.FailRate <= 0 {
+				t.Fatal("flaky host without a fail rate")
+			}
+		} else if h.FailRate != 0 {
+			t.Fatal("stable host with a fail rate")
+		}
+	}
+	if flaky < 25 || flaky > 75 {
+		t.Fatalf("flaky count %d implausible at p=0.5", flaky)
+	}
+	// Flakiness is opt-in: default options produce none.
+	for _, h := range SampleHosts(50, Options{}, rand.New(rand.NewSource(8))) {
+		if h.Flaky {
+			t.Fatal("flaky host with FlakyProb unset")
+		}
+	}
+}
+
+func TestSampleHostsStableStream(t *testing.T) {
+	// Enabling flakiness must not perturb the multiplier/outlier draws of
+	// an existing seed (checkpointed experiments stay reproducible).
+	a := SampleHosts(20, Options{}, rand.New(rand.NewSource(9)))
+	b := SampleHosts(20, Options{FlakyProb: 0.3}, rand.New(rand.NewSource(9)))
+	for i := range a {
+		if a[i].Mult != b[i].Mult || a[i].Outlier != b[i].Outlier {
+			t.Fatalf("host %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFleetFlakyMachines(t *testing.T) {
+	f := testFleet(20, 10, Options{FlakyProb: 0.5, FlakyFailRate: 1})
+	if f.FlakyCount() == 0 {
+		t.Fatal("expected flaky machines at p=0.5 with 20 VMs")
+	}
+	if len(f.Hosts()) != 20 {
+		t.Fatalf("hosts = %d", len(f.Hosts()))
+	}
+	cfg := simsys.NewDBMS(simsys.MediumVM()).Space().Default()
+	// With FailRate 1 every sample on a flaky VM is lost.
+	failures := 0
+	for i := 0; i < 20; i++ {
+		if math.IsInf(f.Sample(cfg, i), 1) {
+			failures++
+		}
+	}
+	if failures != f.FlakyCount() {
+		t.Fatalf("failures %d != flaky VMs %d", failures, f.FlakyCount())
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"autotune/internal/bandit"
+	"autotune/internal/resilience"
 	"autotune/internal/rl"
 	"autotune/internal/space"
 )
@@ -48,6 +50,14 @@ type Guardrails struct {
 	// in unit-cube units; 0 disables the bound (policies may still bound
 	// themselves).
 	ExploreScale float64
+	// ApplyRetries retries transient configuration-apply failures
+	// (resilience.ErrTransient) with exponential backoff before giving
+	// up — a live "SET knob" path flakes just like a benchmark does
+	// (default 0 = fail fast).
+	ApplyRetries int
+	// ApplyBackoff is the base backoff between apply retries
+	// (default 50ms).
+	ApplyBackoff time.Duration
 }
 
 func (g Guardrails) withDefaults() Guardrails {
@@ -56,6 +66,9 @@ func (g Guardrails) withDefaults() Guardrails {
 	}
 	if g.Patience <= 0 {
 		g.Patience = 2
+	}
+	if g.ApplyBackoff <= 0 {
+		g.ApplyBackoff = 50 * time.Millisecond
 	}
 	return g
 }
@@ -121,7 +134,7 @@ func (a *Agent) Step() (StepReport, error) {
 	if !a.started {
 		// Bootstrap: measure the default configuration.
 		def := a.sys.Space().Default()
-		if err := a.sys.Apply(def); err != nil {
+		if err := a.apply(def); err != nil {
 			return StepReport{}, fmt.Errorf("core: bootstrap apply: %w", err)
 		}
 		loss, ctx := a.sys.Measure()
@@ -136,7 +149,7 @@ func (a *Agent) Step() (StepReport, error) {
 	if a.guard.ExploreScale > 0 {
 		cand = a.clampToNeighbourhood(cand)
 	}
-	if err := a.sys.Apply(cand); err != nil {
+	if err := a.apply(cand); err != nil {
 		return StepReport{}, fmt.Errorf("core: apply: %w", err)
 	}
 	loss, ctx2 := a.sys.Measure()
@@ -163,7 +176,7 @@ func (a *Agent) Step() (StepReport, error) {
 		}
 		a.strikes++
 		if a.strikes >= a.guard.Patience {
-			if err := a.sys.Apply(a.incumbent); err != nil {
+			if err := a.apply(a.incumbent); err != nil {
 				return rep, fmt.Errorf("core: rollback apply: %w", err)
 			}
 			a.strikes = 0
@@ -177,6 +190,22 @@ func (a *Agent) Step() (StepReport, error) {
 		a.strikes = 0
 	}
 	return rep, nil
+}
+
+// apply installs a configuration, retrying transient failures with
+// exponential backoff + jitter (Guardrails.ApplyRetries). Hard errors and
+// exhausted retries surface to the caller; a failed rollback apply in
+// particular must not be swallowed.
+func (a *Agent) apply(cfg space.Config) error {
+	bo := resilience.Backoff{Base: a.guard.ApplyBackoff}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = a.sys.Apply(cfg)
+		if err == nil || !resilience.IsTransient(err) || attempt >= a.guard.ApplyRetries {
+			return err
+		}
+		time.Sleep(bo.Delay(attempt, a.rng))
+	}
 }
 
 // upwardEWMA raises a loss baseline toward an observation conservatively:

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -82,4 +83,17 @@ func NewTuner(optName string, env trial.Environment, opts trial.Options, rng *ra
 // Run executes the tuning session.
 func (t *Tuner) Run() (trial.Report, error) {
 	return trial.Run(t.Optimizer, t.Env, t.Options)
+}
+
+// RunContext executes the tuning session with cancellation: the loop
+// stops at the next batch boundary once ctx is cancelled, checkpointing
+// progress when Options.Checkpoint is set.
+func (t *Tuner) RunContext(ctx context.Context) (trial.Report, error) {
+	return trial.RunContext(ctx, t.Optimizer, t.Env, t.Options)
+}
+
+// Resume continues a killed session from Options.Checkpoint, replaying
+// recorded trials into the optimizer without re-running them.
+func (t *Tuner) Resume(ctx context.Context) (trial.Report, error) {
+	return trial.ResumeContext(ctx, t.Optimizer, t.Env, t.Options)
 }

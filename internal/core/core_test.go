@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
+	"autotune/internal/resilience"
 	"autotune/internal/space"
 	"autotune/internal/trial"
 )
@@ -350,5 +353,47 @@ func TestActorCriticPolicyValidation(t *testing.T) {
 	sp2 := space.MustNew(space.Float("x", 0, 1))
 	if _, err := NewActorCriticPolicy(sp2, nil, 0, 1); err == nil {
 		t.Fatal("zero state dim should error")
+	}
+}
+
+// flakyApplySys fails every other Apply transiently — a live "SET knob"
+// path that drops connections.
+type flakyApplySys struct {
+	*onlineQuad
+	calls int
+}
+
+func (f *flakyApplySys) Apply(cfg space.Config) error {
+	f.calls++
+	if f.calls%2 == 1 {
+		return fmt.Errorf("conn reset: %w", resilience.ErrTransient)
+	}
+	return f.onlineQuad.Apply(cfg)
+}
+
+func TestAgentRetriesTransientApply(t *testing.T) {
+	sys := &flakyApplySys{onlineQuad: newOnlineQuad(3)}
+	pol := NewRandomWalkPolicy(sys.Space())
+	agent, err := NewAgent(sys, pol,
+		Guardrails{ApplyRetries: 2, ApplyBackoff: time.Nanosecond},
+		rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := agent.Step(); err != nil {
+			t.Fatalf("step %d not retried: %v", i, err)
+		}
+	}
+
+	// Fail-fast without retries: the first transient apply surfaces.
+	sys2 := &flakyApplySys{onlineQuad: newOnlineQuad(5)}
+	agent2, err := NewAgent(sys2, NewRandomWalkPolicy(sys2.Space()), Guardrails{},
+		rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent2.Step(); err == nil {
+		t.Fatal("transient apply without retries should error")
 	}
 }

@@ -1,0 +1,192 @@
+package resilience
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"autotune/internal/space"
+)
+
+// Breaker is a circuit breaker over the configuration space and the host
+// fleet: config regions that repeatedly crash and hosts that repeatedly
+// flake are quarantined for a cooldown, so the tuner stops burning budget
+// on a cliff it has already mapped (the TUNA "detect and quarantine
+// unstable machines" loop, applied to both axes).
+//
+// Regions are coarse cells of the unit cube (Cells levels per numeric
+// dimension). Time is measured in Allow calls (≈ trials), not wall clock,
+// so quarantine behaves identically in simulated and real tuning. After a
+// cooldown the region reopens half-open: one more failure re-trips it
+// immediately.
+type Breaker struct {
+	// FailThreshold is how many failures (without an intervening success)
+	// trip the circuit (default 3).
+	FailThreshold int
+	// Cooldown is how many Allow ticks a tripped circuit stays open
+	// (default 20).
+	Cooldown int
+	// Cells is the per-dimension quantization of region keys (default 4).
+	Cells int
+
+	mu      sync.Mutex
+	clock   int
+	regions map[string]*cbState
+	hosts   map[int]*cbState
+	trips   int
+}
+
+type cbState struct {
+	fails     int
+	openUntil int
+}
+
+// NewBreaker returns a Breaker with default thresholds.
+func NewBreaker() *Breaker {
+	return &Breaker{FailThreshold: 3, Cooldown: 20, Cells: 4}
+}
+
+func (b *Breaker) defaults() (threshold, cooldown, cells int) {
+	threshold, cooldown, cells = b.FailThreshold, b.Cooldown, b.Cells
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 20
+	}
+	if cells <= 0 {
+		cells = 4
+	}
+	return
+}
+
+// RegionKey maps a configuration to its quarantine cell.
+func (b *Breaker) RegionKey(sp *space.Space, cfg space.Config) string {
+	_, _, cells := b.defaults()
+	x := sp.Encode(cfg)
+	var sb strings.Builder
+	for i, v := range x {
+		c := int(math.Floor(v * float64(cells)))
+		if c >= cells {
+			c = cells - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", c)
+	}
+	return sb.String()
+}
+
+// Allow reports whether cfg's region is currently runnable and advances
+// the breaker's clock by one tick.
+func (b *Breaker) Allow(sp *space.Space, cfg space.Config) bool {
+	key := b.RegionKey(sp, cfg)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.clock++
+	st := b.regions[key]
+	return st == nil || st.openUntil <= b.clock
+}
+
+// RecordFailure notes a crash in cfg's region, tripping the circuit once
+// the threshold is reached.
+func (b *Breaker) RecordFailure(sp *space.Space, cfg space.Config) {
+	key := b.RegionKey(sp, cfg)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.regions == nil {
+		b.regions = map[string]*cbState{}
+	}
+	b.record(b.regions[key], func(st *cbState) { b.regions[key] = st })
+}
+
+// RecordSuccess closes cfg's region circuit.
+func (b *Breaker) RecordSuccess(sp *space.Space, cfg space.Config) {
+	key := b.RegionKey(sp, cfg)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st := b.regions[key]; st != nil {
+		st.fails = 0
+		st.openUntil = 0
+	}
+}
+
+// AllowHost reports whether a host is currently usable (does not tick the
+// clock: host checks happen during placement, not once per trial).
+func (b *Breaker) AllowHost(host int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.hosts[host]
+	return st == nil || st.openUntil <= b.clock
+}
+
+// RecordHost notes a host-level success or failure.
+func (b *Breaker) RecordHost(host int, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.hosts == nil {
+		b.hosts = map[int]*cbState{}
+	}
+	if ok {
+		if st := b.hosts[host]; st != nil {
+			st.fails = 0
+			st.openUntil = 0
+		}
+		return
+	}
+	b.record(b.hosts[host], func(st *cbState) { b.hosts[host] = st })
+}
+
+// record applies one failure to st (allocating via put when nil).
+func (b *Breaker) record(st *cbState, put func(*cbState)) {
+	threshold, cooldown, _ := b.defaults()
+	if st == nil {
+		st = &cbState{}
+		put(st)
+	}
+	st.fails++
+	if st.fails >= threshold {
+		st.openUntil = b.clock + cooldown
+		// Half-open on reopen: one more failure re-trips immediately.
+		st.fails = threshold - 1
+		b.trips++
+	}
+}
+
+// Trips returns how many times any circuit has tripped.
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// OpenRegions returns how many config regions are quarantined right now.
+func (b *Breaker) OpenRegions() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, st := range b.regions {
+		if st.openUntil > b.clock {
+			n++
+		}
+	}
+	return n
+}
+
+// OpenHosts returns how many hosts are quarantined right now.
+func (b *Breaker) OpenHosts() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, st := range b.hosts {
+		if st.openUntil > b.clock {
+			n++
+		}
+	}
+	return n
+}

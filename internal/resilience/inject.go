@@ -1,0 +1,250 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"autotune/internal/cloud"
+	"autotune/internal/space"
+	"autotune/internal/trial"
+)
+
+// InjectorOptions shapes the faults an Injector adds to an environment.
+// Probabilities are per attempt and drawn independently; the first fault
+// drawn wins (order: host flake, hard crash, transient, hang).
+type InjectorOptions struct {
+	// TransientProb is the chance of a retryable failure (ErrTransient):
+	// benchmark harness hiccup, lost connection, OOM-killed agent.
+	TransientProb float64
+	// CrashProb is the chance of a hard, non-retryable crash (ErrCrash):
+	// the configuration itself is lethal regardless of retries.
+	CrashProb float64
+	// HangProb is the chance the trial hangs. A hanging trial blocks
+	// until its context deadline fires; with no deadline it gives up
+	// after HangFor and surfaces as a transient failure (so tests and
+	// deadline-less callers cannot wedge).
+	HangProb float64
+	// HangFor bounds a hang when the context has no deadline
+	// (default 50ms of real time).
+	HangFor time.Duration
+	// HangCostSeconds is the simulated cost charged for a hang at full
+	// fidelity (default 60 — the deadline's worth of wasted benchmark).
+	HangCostSeconds float64
+	// StragglerProb is the chance a successful trial is a straggler;
+	// StragglerFactor inflates its cost (default 4x).
+	StragglerProb, StragglerFactor float64
+	// CorruptProb is the chance a successful measurement is corrupted;
+	// CorruptFactor multiplies its value (default 3x — an outlier that
+	// lies to the optimizer rather than failing).
+	CorruptProb, CorruptFactor float64
+	// Hosts assigns each attempt to a simulated VM round-robin; flaky
+	// hosts (cloud.HostProfile.Flaky) add their FailRate as extra
+	// transient failures, and every host's multiplier skews the measured
+	// value — the machine-lottery noise model from internal/cloud.
+	Hosts []cloud.HostProfile
+	// Breaker, when set, is consulted for host placement: quarantined
+	// hosts are skipped, and host outcomes are reported back — wiring
+	// TUNA-style machine quarantine into the injector.
+	Breaker *Breaker
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+}
+
+func (o InjectorOptions) withDefaults() InjectorOptions {
+	if o.HangFor <= 0 {
+		o.HangFor = 50 * time.Millisecond
+	}
+	if o.HangCostSeconds <= 0 {
+		o.HangCostSeconds = 60
+	}
+	if o.StragglerFactor <= 1 {
+		o.StragglerFactor = 4
+	}
+	if o.CorruptFactor <= 1 {
+		o.CorruptFactor = 3
+	}
+	return o
+}
+
+// InjectorStats counts the faults actually injected.
+type InjectorStats struct {
+	Attempts, Transients, Crashes, Hangs, Stragglers, Corruptions, HostFaults int
+}
+
+// Injector wraps a trial.Environment with configurable fault injection —
+// the failure modes from the tutorial's systems-challenges half (slides
+// 65-75): transient errors, hard crashes, hangs, stragglers, corrupted
+// measurements, and per-VM flakiness. It is how the resilience layer is
+// tested against itself, and a harness for hardening any tuning setup.
+type Injector struct {
+	inner trial.Environment
+	opts  InjectorOptions
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	hostSeq int
+	stats   InjectorStats
+}
+
+// NewInjector wraps env with fault injection.
+func NewInjector(env trial.Environment, opts InjectorOptions) *Injector {
+	return &Injector{
+		inner: env,
+		opts:  opts.withDefaults(),
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Space implements trial.Environment.
+func (j *Injector) Space() *space.Space { return j.inner.Space() }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (j *Injector) Stats() InjectorStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// fault is one pre-drawn injection decision (drawn under the lock, acted
+// on outside it so parallel trials do not serialize on the injector).
+type fault struct {
+	host                   int
+	hostFault              bool
+	crash, transient, hang bool
+	straggler, corrupt     bool
+}
+
+func (j *Injector) draw() fault {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stats.Attempts++
+	var f fault
+	f.host = -1
+	if n := len(j.opts.Hosts); n > 0 {
+		// Round-robin placement, skipping quarantined hosts when a
+		// breaker is wired in (all-quarantined falls back to rotation).
+		for tries := 0; tries < n; tries++ {
+			h := j.hostSeq % n
+			j.hostSeq++
+			if j.opts.Breaker == nil || j.opts.Breaker.AllowHost(h) {
+				f.host = h
+				break
+			}
+		}
+		if f.host < 0 {
+			f.host = j.hostSeq % n
+			j.hostSeq++
+		}
+		host := j.opts.Hosts[f.host]
+		if host.Flaky && j.rng.Float64() < host.FailRate {
+			f.hostFault = true
+			j.stats.HostFaults++
+			return f
+		}
+	}
+	switch {
+	case j.rng.Float64() < j.opts.CrashProb:
+		f.crash = true
+		j.stats.Crashes++
+	case j.rng.Float64() < j.opts.TransientProb:
+		f.transient = true
+		j.stats.Transients++
+	case j.rng.Float64() < j.opts.HangProb:
+		f.hang = true
+		j.stats.Hangs++
+	default:
+		if j.rng.Float64() < j.opts.StragglerProb {
+			f.straggler = true
+			j.stats.Stragglers++
+		}
+		if j.rng.Float64() < j.opts.CorruptProb {
+			f.corrupt = true
+			j.stats.Corruptions++
+		}
+	}
+	return f
+}
+
+// Run implements trial.Environment.
+func (j *Injector) Run(ctx context.Context, cfg space.Config, fidelity float64) (trial.Result, error) {
+	res, _, err := j.run(ctx, cfg, fidelity, nil)
+	return res, err
+}
+
+// RunAbortable implements trial.Abortable, delegating early abort to the
+// inner environment when it supports it.
+func (j *Injector) RunAbortable(ctx context.Context, cfg space.Config, fidelity, abortAbove float64) (trial.Result, bool, error) {
+	return j.run(ctx, cfg, fidelity, &abortAbove)
+}
+
+func (j *Injector) run(ctx context.Context, cfg space.Config, fidelity float64, abortAbove *float64) (trial.Result, bool, error) {
+	f := j.draw()
+	reportHost := func(ok bool) {
+		if f.host >= 0 && j.opts.Breaker != nil {
+			j.opts.Breaker.RecordHost(f.host, ok)
+		}
+	}
+	partial := trial.Result{CostSeconds: j.opts.HangCostSeconds * fidelity * 0.1}
+	switch {
+	case f.hostFault:
+		reportHost(false)
+		return partial, false, fmt.Errorf("inject: host %d flaked: %w", f.host, ErrTransient)
+	case f.crash:
+		reportHost(true) // the config crashed, not the machine
+		return partial, false, fmt.Errorf("inject: %w", trial.ErrCrash)
+	case f.transient:
+		reportHost(false)
+		return partial, false, fmt.Errorf("inject: transient benchmark failure: %w", ErrTransient)
+	case f.hang:
+		reportHost(false)
+		hang := time.NewTimer(j.opts.HangFor)
+		defer hang.Stop()
+		cost := trial.Result{CostSeconds: j.opts.HangCostSeconds * fidelity}
+		if _, hasDeadline := ctx.Deadline(); hasDeadline {
+			select {
+			case <-ctx.Done():
+				return cost, false, fmt.Errorf("inject: trial hung: %w", ctx.Err())
+			case <-hang.C:
+				// Deadline generous enough to outlast the hang: the trial
+				// eventually dies as a transient failure.
+				return cost, false, fmt.Errorf("inject: hang gave up: %w", ErrTransient)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return cost, false, fmt.Errorf("inject: trial hung: %w", ctx.Err())
+		case <-hang.C:
+			return cost, false, fmt.Errorf("inject: hang gave up: %w", ErrTransient)
+		}
+	}
+	var res trial.Result
+	var aborted bool
+	var err error
+	if abortAbove != nil {
+		if ab, ok := j.inner.(trial.Abortable); ok {
+			res, aborted, err = ab.RunAbortable(ctx, cfg, fidelity, *abortAbove)
+		} else {
+			res, err = j.inner.Run(ctx, cfg, fidelity)
+		}
+	} else {
+		res, err = j.inner.Run(ctx, cfg, fidelity)
+	}
+	if err != nil {
+		reportHost(true)
+		return res, aborted, err
+	}
+	if f.straggler {
+		res.CostSeconds *= j.opts.StragglerFactor
+	}
+	if f.corrupt {
+		res.Value *= j.opts.CorruptFactor
+	}
+	if f.host >= 0 {
+		res.Value *= j.opts.Hosts[f.host].Mult
+	}
+	reportHost(true)
+	return res, aborted, nil
+}

@@ -1,0 +1,240 @@
+// Package resilience hardens trial execution against the failure modes
+// the tutorial's systems-challenges half (slides 65-75) says dominate
+// real tuning: crashed and hanging benchmarks, transient infrastructure
+// errors, stragglers, and lying measurements from flaky machines (TUNA,
+// Freischuetz & Kroth 2025). It provides
+//
+//   - Injector: a configurable fault injector wrapping any
+//     trial.Environment (transient errors, hangs, stragglers, corrupted
+//     results, per-VM flakiness seeded from internal/cloud);
+//   - Env (via Wrap): a fault-tolerant executor adding retry with
+//     exponential backoff + jitter, per-attempt deadlines, and circuit
+//     breaking;
+//   - Breaker: quarantine for repeatedly-crashing config regions and
+//     repeatedly-flaky hosts.
+//
+// The wrappers compose: Wrap(NewInjector(env, ...), ...) is the
+// self-test harness; Wrap(realEnv, ...) is the production path.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"autotune/internal/space"
+	"autotune/internal/trial"
+)
+
+// ErrTransient marks a retryable failure: the trial may succeed if simply
+// run again (network hiccup, lost benchmark agent, flaky host). Hard
+// crashes (trial.ErrCrash) are NOT transient — the configuration itself
+// is at fault and retrying wastes budget.
+var ErrTransient = errors.New("resilience: transient failure")
+
+// ErrQuarantined is returned without running the trial when the circuit
+// breaker has quarantined the configuration's region.
+var ErrQuarantined = errors.New("resilience: region quarantined")
+
+// IsTransient reports whether err is retryable.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// Backoff computes exponential backoff with jitter.
+type Backoff struct {
+	// Base is the first delay (default 100ms).
+	Base time.Duration
+	// Factor is the per-attempt multiplier (default 2).
+	Factor float64
+	// Max caps the delay (default 10s).
+	Max time.Duration
+	// Jitter is the symmetric random fraction applied to each delay
+	// (default 0.2 → ±20%); it decorrelates retry storms.
+	Jitter float64
+}
+
+// Delay returns the backoff before retry number attempt (0-based). A nil
+// rng disables jitter.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 10 * time.Second
+	}
+	jitter := b.Jitter
+	if jitter <= 0 {
+		jitter = 0.2
+	}
+	d := float64(base) * math.Pow(factor, float64(attempt))
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if rng != nil {
+		d *= 1 + jitter*(2*rng.Float64()-1)
+	}
+	return time.Duration(d)
+}
+
+// Options configures the fault-tolerant executor.
+type Options struct {
+	// Retries is how many times a transient or timed-out attempt is
+	// retried (default 0 = fail fast).
+	Retries int
+	// Backoff shapes the delay between retries.
+	Backoff Backoff
+	// TrialTimeout bounds each attempt with a context deadline
+	// (0 = unbounded). Attempts killed by it surface as
+	// context.DeadlineExceeded, which trial.Run counts as a timeout and
+	// can respond to with fidelity degradation.
+	TrialTimeout time.Duration
+	// Breaker quarantines crashing config regions (nil = no quarantine).
+	Breaker *Breaker
+	// Sleep waits between retries (default: real sleep, cancellable).
+	// Simulations override it to avoid wall-clock delays.
+	Sleep func(ctx context.Context, d time.Duration)
+	// Seed drives backoff jitter.
+	Seed int64
+}
+
+// Stats counts what the executor absorbed.
+type Stats struct {
+	Attempts, Retries, Timeouts, Quarantined int
+}
+
+// Env is a fault-tolerant trial.Environment: it wraps an inner
+// environment with per-attempt deadlines, retry with exponential backoff
+// + jitter for transient failures and timeouts, and circuit breaking for
+// crash regions. Backoff delays are charged to the trial's CostSeconds so
+// reports stay honest about where wall clock went.
+type Env struct {
+	inner trial.Environment
+	opts  Options
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+// Wrap hardens env with the given options.
+func Wrap(env trial.Environment, opts Options) *Env {
+	if opts.Sleep == nil {
+		opts.Sleep = func(ctx context.Context, d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+			case <-t.C:
+			}
+		}
+	}
+	return &Env{inner: env, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Space implements trial.Environment.
+func (e *Env) Space() *space.Space { return e.inner.Space() }
+
+// Stats returns a snapshot of the executor's counters.
+func (e *Env) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Run implements trial.Environment.
+func (e *Env) Run(ctx context.Context, cfg space.Config, fidelity float64) (trial.Result, error) {
+	res, _, err := e.run(ctx, cfg, fidelity, nil)
+	return res, err
+}
+
+// RunAbortable implements trial.Abortable (falling back to plain Run when
+// the inner environment cannot abort early).
+func (e *Env) RunAbortable(ctx context.Context, cfg space.Config, fidelity, abortAbove float64) (trial.Result, bool, error) {
+	return e.run(ctx, cfg, fidelity, &abortAbove)
+}
+
+func (e *Env) run(ctx context.Context, cfg space.Config, fidelity float64, abortAbove *float64) (trial.Result, bool, error) {
+	sp := e.inner.Space()
+	if e.opts.Breaker != nil && !e.opts.Breaker.Allow(sp, cfg) {
+		e.mu.Lock()
+		e.stats.Quarantined++
+		e.mu.Unlock()
+		// Cheap synthetic crash: the penalty imputation keeps the
+		// optimizer away without burning benchmark time.
+		return trial.Result{CostSeconds: 1}, false, ErrQuarantined
+	}
+	totalCost := 0.0
+	for attempt := 0; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if e.opts.TrialTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, e.opts.TrialTimeout)
+		}
+		res, aborted, err := e.attempt(actx, cfg, fidelity, abortAbove)
+		cancel()
+		e.mu.Lock()
+		e.stats.Attempts++
+		e.mu.Unlock()
+		totalCost += res.CostSeconds
+		res.CostSeconds = totalCost
+		if err == nil {
+			if e.opts.Breaker != nil {
+				e.opts.Breaker.RecordSuccess(sp, cfg)
+			}
+			return res, aborted, nil
+		}
+		if ctx.Err() != nil {
+			// The caller's context died (cancelled run, outer deadline):
+			// not the trial's fault, never retried, never recorded.
+			return res, false, ctx.Err()
+		}
+		timedOut := errors.Is(err, context.DeadlineExceeded)
+		if timedOut {
+			e.mu.Lock()
+			e.stats.Timeouts++
+			e.mu.Unlock()
+		}
+		if !timedOut && !IsTransient(err) {
+			// Hard crash: the configuration is at fault, retries cannot
+			// help, and the breaker learns the region.
+			if e.opts.Breaker != nil {
+				e.opts.Breaker.RecordFailure(sp, cfg)
+			}
+			return res, false, err
+		}
+		if attempt >= e.opts.Retries {
+			if e.opts.Breaker != nil {
+				e.opts.Breaker.RecordFailure(sp, cfg)
+			}
+			if timedOut {
+				return res, false, fmt.Errorf("resilience: trial timed out (%d attempts): %w",
+					attempt+1, context.DeadlineExceeded)
+			}
+			return res, false, fmt.Errorf("resilience: giving up after %d attempts: %w", attempt+1, err)
+		}
+		e.mu.Lock()
+		e.stats.Retries++
+		d := e.opts.Backoff.Delay(attempt, e.rng)
+		e.mu.Unlock()
+		e.opts.Sleep(ctx, d)
+		totalCost += d.Seconds()
+	}
+}
+
+func (e *Env) attempt(ctx context.Context, cfg space.Config, fidelity float64, abortAbove *float64) (trial.Result, bool, error) {
+	if abortAbove != nil {
+		if ab, ok := e.inner.(trial.Abortable); ok {
+			return ab.RunAbortable(ctx, cfg, fidelity, *abortAbove)
+		}
+	}
+	res, err := e.inner.Run(ctx, cfg, fidelity)
+	return res, false, err
+}

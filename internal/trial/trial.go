@@ -3,14 +3,24 @@
 // crashes, early aborts, fidelity, and parallel trial execution, and
 // records a persistent report — the "scheduler + system-specific scripts"
 // box from the tutorial's architecture slide.
+//
+// Trials are cancellable and deadline-bounded: Environment.Run takes a
+// context.Context, RunContext aborts cleanly between batches when the
+// context is cancelled, and Options.Checkpoint persists progress
+// atomically so Resume can replay a killed session into a fresh optimizer
+// without re-running completed trials. Fault-hardening wrappers (retry
+// with backoff, per-trial deadlines, quarantine) live in
+// internal/resilience.
 package trial
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"autotune/internal/optimizer"
@@ -36,15 +46,17 @@ type Environment interface {
 	// Space returns the tunable space.
 	Space() *space.Space
 	// Run benchmarks cfg at a fidelity in (0, 1]. Implementations should
-	// wrap simsys.ErrCrash (or return ErrCrash) for crashed trials.
-	Run(cfg space.Config, fidelity float64) (Result, error)
+	// wrap simsys.ErrCrash (or return ErrCrash) for crashed trials, honor
+	// ctx cancellation, and return an error wrapping
+	// context.DeadlineExceeded for trials killed by a deadline.
+	Run(ctx context.Context, cfg space.Config, fidelity float64) (Result, error)
 }
 
 // Abortable is implemented by environments supporting early abort: the
 // runner passes the threshold above which the trial is pointless, and the
 // environment may stop early, returning aborted=true and the partial cost.
 type Abortable interface {
-	RunAbortable(cfg space.Config, fidelity, abortAbove float64) (res Result, aborted bool, err error)
+	RunAbortable(ctx context.Context, cfg space.Config, fidelity, abortAbove float64) (res Result, aborted bool, err error)
 }
 
 // ErrCrash aliases simsys.ErrCrash so callers need not import simsys.
@@ -62,7 +74,10 @@ type FuncEnv struct {
 func (e *FuncEnv) Space() *space.Space { return e.Sp }
 
 // Run implements Environment.
-func (e *FuncEnv) Run(cfg space.Config, fidelity float64) (Result, error) {
+func (e *FuncEnv) Run(ctx context.Context, cfg space.Config, fidelity float64) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	cost := e.CostPerTrial
 	if cost <= 0 {
 		cost = 1
@@ -81,7 +96,8 @@ type SystemEnv struct {
 	// trial cost (default 300, a 5-minute benchmark).
 	BaseDurationSec float64
 	// Rng adds measurement noise; nil runs deterministically. Access is
-	// serialized internally so the environment is safe under Parallel > 1.
+	// serialized internally so the environment is safe under Parallel > 1;
+	// deterministic (Rng == nil) evaluations run without locking.
 	Rng *rand.Rand
 
 	mu sync.Mutex
@@ -91,7 +107,10 @@ type SystemEnv struct {
 func (e *SystemEnv) Space() *space.Space { return e.Sys.Space() }
 
 // Run implements Environment.
-func (e *SystemEnv) Run(cfg space.Config, fidelity float64) (Result, error) {
+func (e *SystemEnv) Run(ctx context.Context, cfg space.Config, fidelity float64) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if fidelity <= 0 || fidelity > 1 {
 		fidelity = 1
 	}
@@ -99,9 +118,17 @@ func (e *SystemEnv) Run(cfg space.Config, fidelity float64) (Result, error) {
 	if base <= 0 {
 		base = 300
 	}
-	e.mu.Lock()
-	m, err := e.Sys.Run(cfg, e.WL, fidelity, e.Rng)
-	e.mu.Unlock()
+	var m simsys.Metrics
+	var err error
+	if e.Rng != nil {
+		// Only the shared RNG needs serializing; deterministic runs are
+		// pure and may proceed fully in parallel.
+		e.mu.Lock()
+		m, err = e.Sys.Run(cfg, e.WL, fidelity, e.Rng)
+		e.mu.Unlock()
+	} else {
+		m, err = e.Sys.Run(cfg, e.WL, fidelity, nil)
+	}
 	if err != nil {
 		return Result{CostSeconds: base * fidelity * 0.2}, err // crashes fail fast
 	}
@@ -124,8 +151,8 @@ func (e *SystemEnv) Run(cfg space.Config, fidelity float64) (Result, error) {
 // RunAbortable implements Abortable: an elapsed-time benchmark (think
 // TPC-H) can be stopped once its projected score exceeds the threshold;
 // the model charges cost proportional to the fraction actually run.
-func (e *SystemEnv) RunAbortable(cfg space.Config, fidelity, abortAbove float64) (Result, bool, error) {
-	res, err := e.Run(cfg, fidelity)
+func (e *SystemEnv) RunAbortable(ctx context.Context, cfg space.Config, fidelity, abortAbove float64) (Result, bool, error) {
+	res, err := e.Run(ctx, cfg, fidelity)
 	if err != nil {
 		return res, false, err
 	}
@@ -157,6 +184,37 @@ type Options struct {
 	// finite value so far (default 2). The penalty keeps optimizers away
 	// from the cliff without poisoning surrogates with infinities.
 	CrashPenaltyFactor float64
+	// Checkpoint, when non-empty, persists the in-progress Report to this
+	// path (atomic write) so a killed run can continue via Resume.
+	Checkpoint string
+	// CheckpointEvery is how many completed trials between checkpoint
+	// writes (default: after every batch).
+	CheckpointEvery int
+	// DegradeAfterTimeouts, when > 0, halves the working fidelity after
+	// this many consecutive timed-out trials (graceful degradation when
+	// the environment is persistently too slow for its deadline).
+	DegradeAfterTimeouts int
+	// MinFidelity floors fidelity degradation (default 0.1).
+	MinFidelity float64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Budget <= 0 {
+		return o, errors.New("trial: budget must be positive")
+	}
+	if o.Parallel < 1 {
+		o.Parallel = 1
+	}
+	if o.Fidelity <= 0 || o.Fidelity > 1 {
+		o.Fidelity = 1
+	}
+	if o.CrashPenaltyFactor <= 0 {
+		o.CrashPenaltyFactor = 2
+	}
+	if o.MinFidelity <= 0 {
+		o.MinFidelity = 0.1
+	}
+	return o, nil
 }
 
 // TrialRecord is one completed trial.
@@ -167,6 +225,10 @@ type TrialRecord struct {
 	CostSeconds float64      `json:"cost_seconds"`
 	Crashed     bool         `json:"crashed,omitempty"`
 	Aborted     bool         `json:"aborted,omitempty"`
+	TimedOut    bool         `json:"timed_out,omitempty"`
+	// Fidelity records the fidelity the trial actually ran at (may be
+	// below Options.Fidelity after graceful degradation).
+	Fidelity float64 `json:"fidelity,omitempty"`
 }
 
 // Report is a completed tuning session.
@@ -181,27 +243,116 @@ type Report struct {
 	WallClockSeconds float64 `json:"wall_clock_seconds"`
 	Crashes          int     `json:"crashes"`
 	Aborts           int     `json:"aborts"`
+	// Timeouts counts trials killed by a deadline; Degradations counts
+	// fidelity halvings triggered by consecutive timeouts.
+	Timeouts     int `json:"timeouts,omitempty"`
+	Degradations int `json:"degradations,omitempty"`
+	// Resumed counts trials restored from a checkpoint rather than run.
+	Resumed int `json:"resumed,omitempty"`
 }
 
 // Run drives the optimizer against the environment for the full budget.
 func Run(o optimizer.Optimizer, env Environment, opts Options) (Report, error) {
-	if opts.Budget <= 0 {
-		return Report{}, errors.New("trial: budget must be positive")
-	}
-	if opts.Parallel < 1 {
-		opts.Parallel = 1
-	}
-	if opts.Fidelity <= 0 || opts.Fidelity > 1 {
-		opts.Fidelity = 1
-	}
-	if opts.CrashPenaltyFactor <= 0 {
-		opts.CrashPenaltyFactor = 2
+	return RunContext(context.Background(), o, env, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the loop
+// stops at the next batch boundary (the in-flight batch is discarded),
+// writes a final checkpoint if one is configured, and returns the partial
+// report together with the context's error.
+func RunContext(ctx context.Context, o optimizer.Optimizer, env Environment, opts Options) (Report, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return Report{}, err
 	}
 	var rep Report
 	rep.BestValue = math.Inf(1)
+	return finishRun(runLoop(ctx, o, env, opts, &rep, math.Inf(-1)))
+}
+
+// Resume continues a tuning session from the checkpoint at
+// opts.Checkpoint: the recorded trials are replayed into the optimizer
+// (Observe only — the environment is not re-run), counters and the
+// incumbent are restored, and the loop continues until the budget is
+// reached. A checkpoint that already covers the budget returns
+// immediately without touching the environment.
+func Resume(o optimizer.Optimizer, env Environment, opts Options) (Report, error) {
+	return ResumeContext(context.Background(), o, env, opts)
+}
+
+// ResumeContext is Resume with cancellation.
+func ResumeContext(ctx context.Context, o optimizer.Optimizer, env Environment, opts Options) (Report, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return Report{}, err
+	}
+	if opts.Checkpoint == "" {
+		return Report{}, errors.New("trial: resume needs Options.Checkpoint")
+	}
+	rep, err := LoadReport(opts.Checkpoint)
+	if err != nil {
+		return Report{}, fmt.Errorf("trial: resume: %w", err)
+	}
+	// Rebuild derived state from the trial log rather than trusting the
+	// stored summary: the incumbent, the worst finite value (crash
+	// penalty scale), and the optimizer's observation history.
+	rep.BestValue = math.Inf(1)
+	rep.BestConfig = nil
 	worstFinite := math.Inf(-1)
-	id := 0
+	for _, tr := range rep.Trials {
+		if !tr.Crashed {
+			if tr.Value < rep.BestValue {
+				rep.BestValue = tr.Value
+				rep.BestConfig = tr.Config.Clone()
+			}
+			if tr.Value > worstFinite {
+				worstFinite = tr.Value
+			}
+		}
+		if err := o.Observe(tr.Config, tr.Value); err != nil {
+			return rep, fmt.Errorf("trial: resume replay %d: %w", tr.ID, err)
+		}
+	}
+	rep.Resumed = len(rep.Trials)
+	if len(rep.Trials) >= opts.Budget {
+		return finishRun(&rep, nil)
+	}
+	return finishRun(runLoop(ctx, o, env, opts, &rep, worstFinite))
+}
+
+// finishRun applies the terminal invariants shared by Run and Resume.
+func finishRun(rep *Report, err error) (Report, error) {
+	if err != nil {
+		return *rep, err
+	}
+	if math.IsInf(rep.BestValue, 1) {
+		return *rep, errors.New("trial: no successful trials")
+	}
+	return *rep, nil
+}
+
+// runLoop executes trials id=len(rep.Trials)..Budget-1, mutating rep.
+func runLoop(ctx context.Context, o optimizer.Optimizer, env Environment, opts Options, rep *Report, worstFinite float64) (*Report, error) {
+	id := len(rep.Trials)
+	fid := opts.Fidelity
+	consecTimeouts := 0
+	sinceCheckpoint := 0
+	checkpointEvery := opts.CheckpointEvery
+	if checkpointEvery < 1 {
+		checkpointEvery = 1 // every batch
+	}
+	checkpoint := func() {
+		if opts.Checkpoint != "" {
+			// A checkpoint failure must not kill the run it protects;
+			// the next interval retries the write.
+			_ = saveCheckpoint(*rep, opts.Checkpoint)
+		}
+	}
 	for id < opts.Budget {
+		if err := ctx.Err(); err != nil {
+			checkpoint()
+			return rep, err
+		}
 		n := opts.Parallel
 		if rem := opts.Budget - id; n > rem {
 			n = rem
@@ -213,7 +364,14 @@ func Run(o optimizer.Optimizer, env Environment, opts Options) (Report, error) {
 		if err != nil {
 			return rep, fmt.Errorf("trial %d: %w", id, err)
 		}
-		results := runBatch(env, batch, opts, rep.BestValue)
+		results := runBatch(ctx, env, batch, opts, fid, rep.BestValue)
+		if err := ctx.Err(); err != nil {
+			// The batch raced with cancellation; its results are suspect
+			// (environments may have returned early) — drop them and let
+			// Resume re-run the batch.
+			checkpoint()
+			return rep, err
+		}
 		batchMaxCost := 0.0
 		for i, cfg := range batch {
 			r := results[i]
@@ -223,6 +381,7 @@ func Run(o optimizer.Optimizer, env Environment, opts Options) (Report, error) {
 				Value:       r.res.Value,
 				CostSeconds: r.res.CostSeconds,
 				Aborted:     r.aborted,
+				Fidelity:    fid,
 			}
 			id++
 			rep.TotalCostSeconds += r.res.CostSeconds
@@ -233,6 +392,11 @@ func Run(o optimizer.Optimizer, env Environment, opts Options) (Report, error) {
 			if r.err != nil {
 				rec.Crashed = true
 				rep.Crashes++
+				if errors.Is(r.err, context.DeadlineExceeded) {
+					rec.TimedOut = true
+					rep.Timeouts++
+					consecTimeouts++
+				}
 				// Impute the penalty score (slide 67: "make it up").
 				if math.IsInf(worstFinite, -1) {
 					obsValue = 1e6
@@ -244,6 +408,7 @@ func Run(o optimizer.Optimizer, env Environment, opts Options) (Report, error) {
 				}
 				rec.Value = obsValue
 			} else {
+				consecTimeouts = 0
 				if obsValue > worstFinite {
 					worstFinite = obsValue
 				}
@@ -261,10 +426,21 @@ func Run(o optimizer.Optimizer, env Environment, opts Options) (Report, error) {
 			rep.Trials = append(rep.Trials, rec)
 		}
 		rep.WallClockSeconds += batchMaxCost
+		// Graceful degradation: a deadline the environment persistently
+		// misses means the fidelity is too expensive for this host —
+		// halve it instead of burning the rest of the budget on timeouts.
+		if opts.DegradeAfterTimeouts > 0 && consecTimeouts >= opts.DegradeAfterTimeouts && fid > opts.MinFidelity {
+			fid = math.Max(fid/2, opts.MinFidelity)
+			rep.Degradations++
+			consecTimeouts = 0
+		}
+		sinceCheckpoint += len(batch)
+		if opts.Checkpoint != "" && sinceCheckpoint >= checkpointEvery {
+			checkpoint()
+			sinceCheckpoint = 0
+		}
 	}
-	if math.IsInf(rep.BestValue, 1) {
-		return rep, errors.New("trial: no successful trials")
-	}
+	checkpoint()
 	return rep, nil
 }
 
@@ -300,14 +476,14 @@ type trialOutcome struct {
 }
 
 // runBatch evaluates configurations concurrently (one goroutine each).
-func runBatch(env Environment, batch []space.Config, opts Options, best float64) []trialOutcome {
+func runBatch(ctx context.Context, env Environment, batch []space.Config, opts Options, fidelity, best float64) []trialOutcome {
 	out := make([]trialOutcome, len(batch))
 	abortAbove := math.Inf(1)
 	if opts.AbortMargin > 0 && !math.IsInf(best, 1) {
 		abortAbove = best * (1 + opts.AbortMargin)
 	}
 	if len(batch) == 1 {
-		out[0] = runOne(env, batch[0], opts.Fidelity, abortAbove)
+		out[0] = runOne(ctx, env, batch[0], fidelity, abortAbove)
 		return out
 	}
 	var wg sync.WaitGroup
@@ -315,30 +491,64 @@ func runBatch(env Environment, batch []space.Config, opts Options, best float64)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i] = runOne(env, batch[i], opts.Fidelity, abortAbove)
+			out[i] = runOne(ctx, env, batch[i], fidelity, abortAbove)
 		}(i)
 	}
 	wg.Wait()
 	return out
 }
 
-func runOne(env Environment, cfg space.Config, fidelity, abortAbove float64) trialOutcome {
+func runOne(ctx context.Context, env Environment, cfg space.Config, fidelity, abortAbove float64) trialOutcome {
 	if ab, ok := env.(Abortable); ok && !math.IsInf(abortAbove, 1) {
-		res, aborted, err := ab.RunAbortable(cfg, fidelity, abortAbove)
+		res, aborted, err := ab.RunAbortable(ctx, cfg, fidelity, abortAbove)
 		return trialOutcome{res: res, aborted: aborted, err: err}
 	}
-	res, err := env.Run(cfg, fidelity)
+	res, err := env.Run(ctx, cfg, fidelity)
 	return trialOutcome{res: res, err: err}
 }
 
-// Save writes the report as JSON.
+// saveCheckpoint persists an in-progress report, sanitizing the +Inf
+// incumbent a run that has not yet succeeded carries (JSON cannot encode
+// infinities; Resume recomputes the incumbent from the trial log anyway).
+func saveCheckpoint(r Report, path string) error {
+	if math.IsInf(r.BestValue, 0) || math.IsNaN(r.BestValue) {
+		r.BestValue = 0
+		r.BestConfig = nil
+	}
+	return r.Save(path)
+}
+
+// Save writes the report as JSON. The write is crash-safe: data goes to a
+// temp file in the target directory first and is renamed into place, so a
+// reader (or a resumed run) never observes a torn file.
 func (r Report) Save(path string) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return fmt.Errorf("trial: marshal report: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("trial: write %s: %w", path, err)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".report-*.tmp")
+	if err != nil {
+		return fmt.Errorf("trial: temp file in %s: %w", dir, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("trial: write %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("trial: sync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("trial: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("trial: rename to %s: %w", path, err)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package trial
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -90,7 +91,7 @@ type crashyEnv struct {
 
 func (e *crashyEnv) Space() *space.Space { return e.sp }
 
-func (e *crashyEnv) Run(cfg space.Config, fid float64) (Result, error) {
+func (e *crashyEnv) Run(_ context.Context, cfg space.Config, fid float64) (Result, error) {
 	x := cfg.Float("x")
 	if x > 0.8 {
 		return Result{CostSeconds: 0.1}, ErrCrash
@@ -158,7 +159,7 @@ func TestSystemEnvFidelityCost(t *testing.T) {
 		Sys: simsys.NewDBMS(simsys.MediumVM()),
 		WL:  workload.TPCC(),
 	}
-	r, err := env.Run(env.Space().Default(), 0.1)
+	r, err := env.Run(context.Background(), env.Space().Default(), 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
