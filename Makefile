@@ -1,11 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench fmt
+.PHONY: check vet build test race bench fmt fmt-check lint
 
-check: vet build race
+check: fmt-check vet lint build race
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/autolint ./...
 
 build:
 	$(GO) build ./...
@@ -21,3 +24,7 @@ bench:
 
 fmt:
 	gofmt -l -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi

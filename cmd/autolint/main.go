@@ -1,0 +1,132 @@
+// Command autolint runs the repo-specific static analyzers from
+// internal/lint over the module and reports violations of its
+// determinism, context-propagation, and error-handling invariants.
+//
+// Usage:
+//
+//	autolint ./...                 # whole module (the default)
+//	autolint ./internal/space      # one package
+//	autolint -checks globalrand,wallclock ./...
+//	autolint -json ./...           # machine-readable findings
+//	autolint -fix ./...            # print suggested edits with each finding
+//	autolint -list                 # describe the registered analyzers
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
+// parse errors. Findings are suppressed in place with
+// `//autolint:ignore <check> <reason>` on the offending line or the line
+// above it; unused and malformed directives are themselves findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"autotune/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		fix     = flag.Bool("fix", false, "print the suggested edit with each finding")
+		checks  = flag.String("checks", "all", "comma-separated analyzer names to run")
+		list    = flag.Bool("list", false, "list registered analyzers and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	code, err := run(os.Stdout, *jsonOut, *fix, *checks, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autolint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the requested analyzers over the packages matching the
+// patterns and writes findings to w. It returns the process exit code.
+func run(w io.Writer, jsonOut, fix bool, checks string, patterns []string) (int, error) {
+	analyzers, err := lint.ByName(checks)
+	if err != nil {
+		return 2, err
+	}
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		return 2, err
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		return 2, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags := filter(lint.Run(mod, analyzers), patterns)
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+			if fix && d.Suggestion != "" {
+				fmt.Fprintf(w, "\tsuggested: %s\n", d.Suggestion)
+			}
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(w, "autolint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// filter keeps diagnostics whose file falls under one of the package
+// patterns. Supported forms: "./..." (everything), "./dir/..." (subtree),
+// and "./dir" or "dir" (exact package directory).
+func filter(diags []lint.Diagnostic, patterns []string) []lint.Diagnostic {
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		dir := d.Pos.Filename
+		if i := strings.LastIndex(dir, "/"); i >= 0 {
+			dir = dir[:i]
+		} else {
+			dir = "."
+		}
+		for _, pat := range patterns {
+			if matchPattern(dir, pat) {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func matchPattern(dir, pat string) bool {
+	pat = strings.TrimPrefix(pat, "./")
+	if pat == "..." {
+		return true
+	}
+	if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+		return dir == sub || strings.HasPrefix(dir, sub+"/")
+	}
+	if pat == "" || pat == "." {
+		return dir == "."
+	}
+	return dir == strings.TrimSuffix(pat, "/")
+}

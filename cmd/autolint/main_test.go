@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+
+	"autotune/internal/lint"
+)
+
+// TestRepoExitsClean is the acceptance gate: autolint over the whole
+// module must find nothing.
+func TestRepoExitsClean(t *testing.T) {
+	code, err := run(io.Discard, false, false, "all", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("autolint ./... exit = %d, want 0", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(&buf, true, false, "all", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, buf.String())
+	}
+	if len(diags) != 0 {
+		t.Fatalf("want empty array on a clean repo, got %v", diags)
+	}
+}
+
+func TestSinglePackagePattern(t *testing.T) {
+	code, err := run(io.Discard, false, false, "all", []string{"./internal/space"})
+	if err != nil || code != 0 {
+		t.Fatalf("run(./internal/space) = %d, %v", code, err)
+	}
+}
+
+func TestUnknownCheckErrors(t *testing.T) {
+	code, err := run(io.Discard, false, false, "nosuchcheck", nil)
+	if err == nil || code != 2 {
+		t.Fatalf("unknown check: code = %d, err = %v; want 2 and error", code, err)
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		dir, pat string
+		want     bool
+	}{
+		{"internal/space", "./...", true},
+		{".", "./...", true},
+		{"internal/space", "./internal/...", true},
+		{"internal", "./internal/...", true},
+		{"internals", "./internal/...", false},
+		{"internal/space", "./internal/space", true},
+		{"internal/space", "internal/space", true},
+		{"internal/space", "./internal/trial", false},
+		{".", ".", true},
+		{"cmd/autotune", ".", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.dir, c.pat); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.dir, c.pat, got, c.want)
+		}
+	}
+}

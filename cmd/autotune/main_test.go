@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -69,6 +71,55 @@ func TestRunCheckpointThenResume(t *testing.T) {
 	o.resume = true
 	if err := run(o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// captureRun executes run(o) with stdout redirected and returns
+// everything it printed.
+func captureRun(t *testing.T, o cliOptions) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := run(o)
+	os.Stdout = old
+	w.Close()
+	out, readErr := io.ReadAll(r)
+	r.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(out)
+}
+
+// TestRunBitwiseDeterministic is the determinism invariant the lint
+// suite exists to protect: two runs with the same seed must produce
+// byte-identical output, across every optimizer and with measurement
+// noise and parallelism turned on. Nothing printed may depend on the
+// wall clock, global RNG state, or map iteration order.
+func TestRunBitwiseDeterministic(t *testing.T) {
+	for _, opt := range []string{"random", "anneal", "genetic"} {
+		o := base()
+		o.optName = opt
+		o.budget = 8
+		o.parallel = 2
+		o.noise = 0.05
+		o.seed = 42
+		first := captureRun(t, o)
+		second := captureRun(t, o)
+		if first != second {
+			t.Fatalf("%s: output differs between identically-seeded runs:\n--- run 1\n%s\n--- run 2\n%s",
+				opt, first, second)
+		}
+		if first == "" {
+			t.Fatalf("%s: captured no output", opt)
+		}
 	}
 }
 

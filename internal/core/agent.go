@@ -377,6 +377,10 @@ func (p *BanditPolicy) Feedback(cfg space.Config, ctx []float64, loss float64) {
 	if !p.hasLast {
 		return
 	}
+	// Update only errors on an out-of-range arm, and lastArm came from
+	// Select over the same arm set; Feedback has no error channel to
+	// propagate into anyway.
+	//autolint:ignore droppederr lastArm is Select's output and always in range
 	_ = p.hybrid.Update(ctx, p.lastArm, loss)
 }
 

@@ -172,9 +172,13 @@ func (p *SafeBOPolicy) Feedback(cfg space.Config, ctx []float64, loss float64) {
 			OneHot: true, LogY: true, FitHyperEvery: 15, RefineIters: 0,
 		})
 		for _, o := range p.hist[:len(p.hist)-1] {
+			//autolint:ignore droppederr replayed configs were accepted by Observe before
 			_ = p.surrogate.Observe(o.cfg, o.loss)
 		}
 	}
+	// The Policy.Feedback interface is void: a surrogate that rejects an
+	// observation degrades proposal quality but must not abort tuning.
+	//autolint:ignore droppederr surrogate rejection is non-fatal to the tuning loop
 	_ = p.surrogate.Observe(cfg, loss)
 	if !p.hasLoss {
 		p.incumbentLoss, p.hasLoss = loss, true

@@ -54,6 +54,7 @@ func Bench(st *Store, desc workload.Descriptor, keys uint64, totalOps, workers i
 	var wg sync.WaitGroup
 	latencies := make([][]time.Duration, workers)
 	var penaltySink atomic.Uint64
+	errs := make([]error, workers)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -62,6 +63,7 @@ func Bench(st *Store, desc workload.Descriptor, keys uint64, totalOps, workers i
 			rng := rand.New(rand.NewSource(seed + int64(w)*101))
 			gen, err := workload.NewGenerator(desc, keys, rng)
 			if err != nil {
+				errs[w] = err
 				return
 			}
 			lats := make([]time.Duration, 0, opsPerWorker/8+1)
@@ -103,6 +105,11 @@ func Bench(st *Store, desc workload.Descriptor, keys uint64, totalOps, workers i
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return BenchResult{}, err
+		}
+	}
 
 	var all []time.Duration
 	for _, l := range latencies {

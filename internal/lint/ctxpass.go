@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// CtxPass enforces context propagation: library code must not mint fresh
+// root contexts, and a function that already receives a ctx must hand it
+// on. Three rules:
+//
+//  1. context.Background()/context.TODO() are forbidden outside package
+//     main and tests — roots belong at the program edge. Public
+//     convenience wrappers that deliberately bridge a context-free API
+//     carry an annotated //autolint:ignore.
+//  2. Inside a function with a `ctx context.Context` parameter, passing
+//     context.Background()/TODO() to a callee drops the caller's
+//     cancellation for no reason; pass ctx.
+//  3. Inside such a function, calling a module function X when a
+//     ctx-taking variant XContext exists (e.g. trial.Run vs
+//     trial.RunContext) silently re-roots the context; call XContext.
+var CtxPass = &Analyzer{
+	Name: "ctxpass",
+	Doc:  "propagate context.Context; no fresh Background/TODO roots in library code",
+	Run: func(f *File) []Diagnostic {
+		if f.IsTest {
+			return nil
+		}
+		ctxName := f.ImportName("context")
+		var out []Diagnostic
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParam := contextParamName(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if ctxName != "" && isCtxRoot(call, ctxName) {
+					switch {
+					case ctxParam != "":
+						out = append(out, f.Diag("ctxpass", call.Pos(),
+							fmt.Sprintf("fresh %s root inside a function that already has %s in scope", ctxName, ctxParam),
+							fmt.Sprintf("pass %s instead", ctxParam)))
+					case f.PkgName != "main":
+						out = append(out, f.Diag("ctxpass", call.Pos(),
+							fmt.Sprintf("%s.%s() in library package %s; accept a context.Context from the caller",
+								ctxName, rootFuncName(call), f.PkgPath),
+							"add a ctx context.Context parameter (or a *Context variant) and thread it through"))
+					}
+					return true
+				}
+				if ctxParam == "" {
+					return true
+				}
+				// Rule 2: ctx root passed as an argument is caught above
+				// (Inspect descends into args). Rule 3: base call where a
+				// Context variant exists.
+				if name, qualified := calleeName(f, call); name != "" {
+					variant := name + "Context"
+					if f.Mod.CtxFuncs[variant] && !f.Mod.CtxFuncs[name] && !strings.HasSuffix(name, "Context") {
+						target := variant
+						if qualified != "" {
+							target = qualified + "." + variant
+						}
+						out = append(out, f.Diag("ctxpass", call.Pos(),
+							fmt.Sprintf("call drops %s: a context-aware variant %s exists", ctxParam, target),
+							fmt.Sprintf("call %s(%s, ...)", target, ctxParam)))
+					}
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// contextParamName returns the name of fd's context.Context parameter
+// ("" if none or blank).
+func contextParamName(fd *ast.FuncDecl) string {
+	if fd.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(field.Type) {
+			continue
+		}
+		for _, n := range field.Names {
+			if n.Name != "_" {
+				return n.Name
+			}
+		}
+	}
+	return ""
+}
+
+// isCtxRoot matches context.Background() / context.TODO() calls.
+func isCtxRoot(call *ast.CallExpr, ctxName string) bool {
+	return rootFuncName(call) != "" && calleePkg(call) == ctxName
+}
+
+func rootFuncName(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+func calleePkg(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	return x.Name
+}
+
+// calleeName resolves a call to (bare function name, package qualifier).
+// Only plain identifiers and import-qualified selectors resolve — method
+// calls return "" to keep the XContext rule from matching unrelated
+// methods that happen to share a name.
+func calleeName(f *File, call *ast.CallExpr) (name, qualifier string) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, ""
+	case *ast.SelectorExpr:
+		x, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return "", ""
+		}
+		if _, imported := f.imports[x.Name]; imported {
+			return fun.Sel.Name, x.Name
+		}
+	}
+	return "", ""
+}

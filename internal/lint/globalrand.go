@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// globalRandFuncs are the top-level math/rand functions that draw from the
+// package-global source. Constructors (New, NewSource, NewZipf) are fine:
+// they are how seeded RNGs get built.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// GlobalRand forbids the package-global math/rand functions in non-test
+// code. Every random draw in this framework must flow through an injected,
+// explicitly seeded *rand.Rand so that a run is reproducible from its seed
+// alone; the global source is shared mutable state that any import can
+// perturb.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid top-level math/rand functions; thread a seeded *rand.Rand instead",
+	Run: func(f *File) []Diagnostic {
+		if f.IsTest {
+			return nil
+		}
+		randNames := map[string]bool{}
+		for _, n := range f.ImportNames("math/rand") {
+			randNames[n] = true
+		}
+		for _, n := range f.ImportNames("math/rand/v2") {
+			randNames[n] = true
+		}
+		if len(randNames) == 0 {
+			return nil
+		}
+		var out []Diagnostic
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || !randNames[x.Name] || !globalRandFuncs[sel.Sel.Name] {
+				return true
+			}
+			out = append(out, f.Diag("globalrand", call.Pos(),
+				fmt.Sprintf("call to global %s.%s; draw from an injected seeded *rand.Rand", x.Name, sel.Sel.Name),
+				fmt.Sprintf("replace %s.%s(...) with rng.%s(...) where rng is a seeded *rand.Rand parameter", x.Name, sel.Sel.Name, sel.Sel.Name)))
+			return true
+		})
+		return out
+	},
+}

@@ -1,0 +1,241 @@
+// Package lint is a small stdlib-only static-analysis framework plus a
+// registry of repo-specific analyzers that enforce the determinism,
+// context-propagation, and error-handling invariants this codebase depends
+// on. Autotuning results must be reproducible and comparable, so the
+// framework itself must never add nondeterminism: no unseeded global RNGs,
+// no wall-clock reads in simulated paths, no map-iteration-order leaks into
+// trial results.
+//
+// The framework deliberately uses only go/ast, go/parser, and go/token —
+// the module is vendorless and offline, so golang.org/x/tools is not
+// available. Analyzers are therefore syntactic, backed by module-wide name
+// indexes (see Module) instead of full type information. That makes them
+// heuristic; false positives are silenced in place with
+//
+//	//autolint:ignore <check> <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory: a suppression without one is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding from one analyzer.
+type Diagnostic struct {
+	Check   string         `json:"check"`
+	Pos     token.Position `json:"pos"`
+	Message string         `json:"message"`
+	// Suggestion, when non-empty, is a human-applyable suggested edit
+	// (printed by `autolint -fix`).
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
+	return s
+}
+
+// Analyzer is one named check over a single file. Run receives the file
+// plus its module context and returns raw findings; the driver applies
+// suppression filtering afterwards.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(f *File) []Diagnostic
+}
+
+// IgnoreDirective is the comment prefix that suppresses a finding.
+const IgnoreDirective = "//autolint:ignore"
+
+// suppression records one //autolint:ignore directive.
+type suppression struct {
+	line   int    // the line the directive appears on
+	check  string // check name, or "*" for all
+	reason string
+	used   bool
+}
+
+// File is one parsed source file plus the context analyzers need.
+type File struct {
+	Fset     *token.FileSet
+	AST      *ast.File
+	Filename string
+	// PkgPath is the module-relative package directory with forward
+	// slashes, e.g. "internal/space" or "cmd/autotune" ("." for the root).
+	PkgPath string
+	PkgName string
+	IsTest  bool
+	Mod     *Module
+
+	imports      map[string]string // local import name -> import path
+	suppressions []suppression
+}
+
+// ImportNames returns every local name the file binds to the given import
+// path, sorted (a file may import one path under several names). Dot
+// imports are not handled — the repo style forbids them anyway.
+func (f *File) ImportNames(path string) []string {
+	var out []string
+	for name, p := range f.imports {
+		if p == path {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ImportName returns the lexically first local name for the import path
+// ("" if the file does not import it).
+func (f *File) ImportName(path string) string {
+	names := f.ImportNames(path)
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0]
+}
+
+// Position resolves a token.Pos against the file set.
+func (f *File) Position(pos token.Pos) token.Position { return f.Fset.Position(pos) }
+
+// Diag builds a Diagnostic anchored at pos.
+func (f *File) Diag(check string, pos token.Pos, msg, suggestion string) Diagnostic {
+	return Diagnostic{Check: check, Pos: f.Position(pos), Message: msg, Suggestion: suggestion}
+}
+
+// initDirectives scans the file's comments for //autolint:ignore
+// directives and records them. A directive suppresses matching findings on
+// its own line and on the line immediately below it, which covers both the
+// trailing form
+//
+//	time.Sleep(d) //autolint:ignore wallclock retry backoff is wall time
+//
+// and the leading form
+//
+//	//autolint:ignore wallclock retry backoff is wall time
+//	time.Sleep(d)
+func (f *File) initDirectives() []Diagnostic {
+	var bad []Diagnostic
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, IgnoreDirective) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, IgnoreDirective))
+			check, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			line := f.Position(c.Pos()).Line
+			if check == "" || reason == "" {
+				bad = append(bad, f.Diag("autolint", c.Pos(),
+					"malformed ignore directive: want //autolint:ignore <check> <reason>", ""))
+				continue
+			}
+			f.suppressions = append(f.suppressions, suppression{line: line, check: check, reason: reason})
+		}
+	}
+	return bad
+}
+
+// suppressed reports whether a finding of the given check at the given
+// line is covered by a directive, marking the directive used.
+func (f *File) suppressed(check string, line int) bool {
+	for i := range f.suppressions {
+		s := &f.suppressions[i]
+		if s.check != check && s.check != "*" {
+			continue
+		}
+		if s.line == line || s.line == line-1 {
+			s.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// unusedDirectives returns a diagnostic for every directive that matched
+// nothing, so stale suppressions cannot linger after the underlying code
+// is fixed.
+func (f *File) unusedDirectives() []Diagnostic {
+	var out []Diagnostic
+	for _, s := range f.suppressions {
+		if !s.used {
+			out = append(out, Diagnostic{
+				Check: "autolint",
+				Pos:   token.Position{Filename: f.Filename, Line: s.line, Column: 1},
+				Message: fmt.Sprintf("unused ignore directive for %q (nothing to suppress here)",
+					s.check),
+			})
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every file in the module, filters
+// suppressed findings, and returns the rest sorted by position.
+func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			f.suppressions = nil
+			out = append(out, f.initDirectives()...)
+			for _, a := range analyzers {
+				for _, d := range a.Run(f) {
+					if !f.suppressed(a.Name, d.Pos.Line) {
+						out = append(out, d)
+					}
+				}
+			}
+			out = append(out, f.unusedDirectives()...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// All returns the full analyzer registry in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		GlobalRand,
+		WallClock,
+		MapOrder,
+		CtxPass,
+		DroppedErr,
+	}
+}
+
+// ByName resolves a comma-separated list of analyzer names ("" or "all"
+// selects the whole registry).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" || names == "all" {
+		return All(), nil
+	}
+	index := map[string]*Analyzer{}
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := index[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

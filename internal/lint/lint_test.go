@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// want is one expected diagnostic, declared in a fixture as a trailing
+// `// want <check>` comment on the offending line.
+type want struct {
+	file  string
+	line  int
+	check string
+}
+
+func (w want) String() string { return fmt.Sprintf("%s:%d [%s]", w.file, w.line, w.check) }
+
+// collectWants scans every fixture file for `// want <check>` comments.
+func collectWants(t *testing.T, mod *Module) []want {
+	t.Helper()
+	var out []want
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					check := strings.TrimSpace(rest)
+					if check == "" {
+						t.Fatalf("%s: malformed want comment %q", f.Filename, c.Text)
+					}
+					out = append(out, want{file: f.Filename, line: f.Position(c.Pos()).Line, check: check})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runFixture loads testdata/<name> as its own module, runs the analyzer,
+// and requires findings to match the want comments exactly. Suppressed
+// and clean fixtures simply carry no want comments.
+func runFixture(t *testing.T, name string, a *Analyzer) {
+	t.Helper()
+	mod, err := LoadModule(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []want
+	for _, d := range Run(mod, []*Analyzer{a}) {
+		got = append(got, want{file: d.Pos.Filename, line: d.Pos.Line, check: d.Check})
+	}
+	wants := collectWants(t, mod)
+	sortWants(got)
+	sortWants(wants)
+	if len(got) != len(wants) {
+		t.Fatalf("diagnostics mismatch:\n got: %v\nwant: %v", got, wants)
+	}
+	for i := range got {
+		if got[i] != wants[i] {
+			t.Errorf("diagnostic %d: got %v, want %v", i, got[i], wants[i])
+		}
+	}
+}
+
+func sortWants(ws []want) {
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].file != ws[j].file {
+			return ws[i].file < ws[j].file
+		}
+		if ws[i].line != ws[j].line {
+			return ws[i].line < ws[j].line
+		}
+		return ws[i].check < ws[j].check
+	})
+}
+
+func TestGlobalRandFixtures(t *testing.T) { runFixture(t, "globalrand", GlobalRand) }
+func TestWallClockFixtures(t *testing.T)  { runFixture(t, "wallclock", WallClock) }
+func TestMapOrderFixtures(t *testing.T)   { runFixture(t, "maporder", MapOrder) }
+func TestCtxPassFixtures(t *testing.T)    { runFixture(t, "ctxpass", CtxPass) }
+func TestDroppedErrFixtures(t *testing.T) { runFixture(t, "droppederr", DroppedErr) }
+
+// TestRepoIsClean runs the full registry over the real module: the tree
+// must stay violation-free, with every deliberate exception annotated.
+func TestRepoIsClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(mod, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("repo has %d lint finding(s); fix them or add an annotated //autolint:ignore", len(diags))
+	}
+}
+
+// writeFixture drops source into a temp module dir and loads it.
+func writeFixture(t *testing.T, src string) *Module {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestMalformedDirective(t *testing.T) {
+	mod := writeFixture(t, `package p
+
+func f() {
+	//autolint:ignore droppederr
+	_ = 1
+}
+`)
+	diags := Run(mod, nil)
+	if len(diags) != 1 || diags[0].Check != "autolint" ||
+		!strings.Contains(diags[0].Message, "malformed") {
+		t.Fatalf("want one malformed-directive finding, got %v", diags)
+	}
+}
+
+func TestUnusedDirective(t *testing.T) {
+	mod := writeFixture(t, `package p
+
+func f() int {
+	//autolint:ignore globalrand nothing here actually violates it
+	return 1
+}
+`)
+	diags := Run(mod, All())
+	if len(diags) != 1 || diags[0].Check != "autolint" ||
+		!strings.Contains(diags[0].Message, "unused ignore directive") {
+		t.Fatalf("want one unused-directive finding, got %v", diags)
+	}
+}
+
+// TestSuppressionIsPerCheck: a directive for one check must not silence a
+// different check on the same line.
+func TestSuppressionIsPerCheck(t *testing.T) {
+	mod := writeFixture(t, `package p
+
+import "math/rand"
+
+func f() int {
+	//autolint:ignore wallclock wrong check name on purpose
+	return rand.Intn(3)
+}
+`)
+	diags := Run(mod, All())
+	var checks []string
+	for _, d := range diags {
+		checks = append(checks, d.Check)
+	}
+	sort.Strings(checks)
+	// The globalrand finding survives, and the wallclock directive is
+	// reported unused.
+	if len(diags) != 2 || checks[0] != "autolint" || checks[1] != "globalrand" {
+		t.Fatalf("want [autolint globalrand], got %v: %v", checks, diags)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("all")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(all) = %v, %v", all, err)
+	}
+	two, err := ByName("globalrand, wallclock")
+	if err != nil || len(two) != 2 || two[0].Name != "globalrand" || two[1].Name != "wallclock" {
+		t.Fatalf("ByName subset = %v, %v", two, err)
+	}
+	if _, err := ByName("nosuchcheck"); err == nil {
+		t.Fatal("ByName should reject unknown analyzers")
+	}
+}
+
+func TestFindModuleRootFails(t *testing.T) {
+	if _, err := FindModuleRoot("/"); err == nil {
+		t.Fatal("FindModuleRoot(/) should fail")
+	}
+}

@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// rngMethods are *rand.Rand methods: consuming draws while ranging a map
+// makes the RNG stream depend on iteration order.
+var rngMethods = map[string]bool{
+	"Intn": true, "Int63": true, "Int63n": true, "Int31": true, "Int31n": true,
+	"Float64": true, "Float32": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Uint32": true, "Uint64": true,
+}
+
+// outputFuncs are fmt functions that emit in call order.
+var outputFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// MapOrder flags `for range` over a map whose body leaks iteration order:
+// appending to a slice that is not sorted afterwards, printing, or drawing
+// from an RNG. Go randomizes map iteration order per run, so any of these
+// makes output differ between identically-seeded runs. The sanctioned
+// pattern is collect-keys-then-sort:
+//
+//	names := make([]string, 0, len(m))
+//	for k := range m {
+//	    names = append(names, k)
+//	}
+//	sort.Strings(names)
+//	for _, k := range names { ... }
+//
+// Appends whose target is passed to a sort.*/slices.Sort* call later in
+// the same block are recognized as this pattern and not flagged.
+//
+// Map detection is name-based (declared map types, map-typed struct
+// fields, local make/literal/var declarations) because the linter runs
+// without type information; see Module.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive bodies ranging over maps without sorting keys first",
+	Run: func(f *File) []Diagnostic {
+		if f.IsTest {
+			return nil
+		}
+		var out []Diagnostic
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			mapIdents := collectMapIdents(f, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var list []ast.Stmt
+				switch s := n.(type) {
+				case *ast.BlockStmt:
+					list = s.List
+				case *ast.CaseClause:
+					list = s.Body
+				case *ast.CommClause:
+					list = s.Body
+				default:
+					return true
+				}
+				for i, stmt := range list {
+					rs, ok := stmt.(*ast.RangeStmt)
+					if !ok || !f.isMapRange(rs.X, mapIdents) {
+						continue
+					}
+					out = append(out, f.checkRangeBody(rs, list[i+1:])...)
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// collectMapIdents gathers names of identifiers in fd that are map-typed:
+// parameters, explicit var declarations, and assignments from map
+// literals or make(map...). Package-level map vars are included too.
+func collectMapIdents(f *File, fd *ast.FuncDecl) map[string]bool {
+	idents := map[string]bool{}
+	for _, decl := range f.AST.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if ok && vs.Type != nil && f.Mod.isMapExpr(vs.Type) {
+				for _, n := range vs.Names {
+					idents[n.Name] = true
+				}
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if f.Mod.isMapExpr(field.Type) {
+				for _, n := range field.Names {
+					idents[n.Name] = true
+				}
+			}
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			if f.Mod.isMapExpr(field.Type) {
+				for _, n := range field.Names {
+					idents[n.Name] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if ok && vs.Type != nil && f.Mod.isMapExpr(vs.Type) {
+					for _, name := range vs.Names {
+						idents[name.Name] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) {
+					break
+				}
+				lhs, ok := s.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if exprMakesMap(f, rhs) {
+					idents[lhs.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return idents
+}
+
+// exprMakesMap matches map literals and make(map...) calls, including
+// named map types.
+func exprMakesMap(f *File, expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.CompositeLit:
+		return e.Type != nil && f.Mod.isMapExpr(e.Type)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			return f.Mod.isMapExpr(e.Args[0])
+		}
+	}
+	return false
+}
+
+// isMapRange decides whether a range expression is map-typed: a known
+// local/package map ident, a known map-typed struct field, an inline
+// literal/make, or a named map type conversion.
+func (f *File) isMapRange(x ast.Expr, mapIdents map[string]bool) bool {
+	switch e := x.(type) {
+	case *ast.Ident:
+		return mapIdents[e.Name]
+	case *ast.SelectorExpr:
+		// Field names count only when unambiguously map-typed module-wide
+		// (cmaes's pending slice vs optimizer's pending Config otherwise
+		// collide).
+		return f.Mod.MapFields[e.Sel.Name] && !f.Mod.NonMapFields[e.Sel.Name]
+	case *ast.CompositeLit, *ast.CallExpr:
+		return exprMakesMap(f, x)
+	case *ast.ParenExpr:
+		return f.isMapRange(e.X, mapIdents)
+	}
+	return false
+}
+
+// checkRangeBody scans a map-range body for order-sensitive sinks. rest is
+// the statement list following the range in the same block, consulted for
+// the sort-after-append escape.
+func (f *File) checkRangeBody(rs *ast.RangeStmt, rest []ast.Stmt) []Diagnostic {
+	var out []Diagnostic
+	randName := f.ImportName("math/rand")
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name != "append" || len(call.Args) == 0 {
+				return true
+			}
+			target, ok := call.Args[0].(*ast.Ident)
+			if ok && sortedLater(target.Name, rest) {
+				return true
+			}
+			name := "slice"
+			if ok {
+				name = target.Name
+			}
+			out = append(out, f.Diag("maporder", call.Pos(),
+				fmt.Sprintf("append to %s inside map iteration leaks map order; collect keys, sort, then iterate", name),
+				"range over sorted keys: collect them, sort.Strings(keys), then index the map"))
+		case *ast.SelectorExpr:
+			x, ok := fun.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if x.Name == f.ImportName("fmt") && outputFuncs[fun.Sel.Name] {
+				out = append(out, f.Diag("maporder", call.Pos(),
+					fmt.Sprintf("fmt.%s inside map iteration prints in random order; iterate sorted keys", fun.Sel.Name),
+					"range over sorted keys: collect them, sort.Strings(keys), then index the map"))
+				return true
+			}
+			if rngMethods[fun.Sel.Name] && x.Name != randName {
+				out = append(out, f.Diag("maporder", call.Pos(),
+					fmt.Sprintf("RNG draw %s.%s inside map iteration consumes the stream in random order; iterate sorted keys", x.Name, fun.Sel.Name),
+					"range over sorted keys so RNG draws happen in a stable order"))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedLater reports whether a following statement sorts the named slice
+// (sort.Strings/Ints/Float64s/Slice/SliceStable or slices.Sort*).
+func sortedLater(name string, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok && id.Name == name {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

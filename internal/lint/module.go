@@ -1,0 +1,329 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one directory of parsed source files.
+type Package struct {
+	Path  string // module-relative, forward slashes ("." for the root)
+	Name  string
+	Files []*File
+}
+
+// Module is every package under one module root, parsed with comments,
+// plus the cross-package name indexes the analyzers consult in place of
+// full type information. The indexes are name-based on purpose: they are
+// cheap, offline, and good enough for a repo-specific linter whose false
+// positives are silenced with an annotated //autolint:ignore.
+type Module struct {
+	Root     string
+	Fset     *token.FileSet
+	Packages []*Package
+
+	// ErrFuncs holds names of functions, methods, and interface methods
+	// declared in this module whose final result is `error`. NoErrFuncs
+	// holds names declared with a different (or no) result; a name in
+	// both sets is ambiguous, and analyzers that would otherwise produce
+	// false positives (droppederr's bare-statement rule) skip it.
+	ErrFuncs   map[string]bool
+	NoErrFuncs map[string]bool
+	// CtxFuncs holds names of module functions whose first parameter is a
+	// context.Context.
+	CtxFuncs map[string]bool
+	// MapTypes holds names of declared map types, both bare ("Config")
+	// and package-qualified ("space.Config").
+	MapTypes map[string]bool
+	// MapFields holds names of struct fields declared in this module
+	// whose type is a map (directly or via a named map type);
+	// NonMapFields the rest. Only names that are unambiguously map-typed
+	// module-wide count as maps during range analysis.
+	MapFields    map[string]bool
+	NonMapFields map[string]bool
+}
+
+// skipDir reports whether a directory should not be walked: VCS metadata,
+// vendored code, golden-file fixtures, and hidden directories.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule parses every package under root (recursively, skipping
+// testdata/vendor/hidden directories) and builds the cross-package
+// indexes.
+func LoadModule(root string) (*Module, error) {
+	mod := &Module{
+		Root:         root,
+		Fset:         token.NewFileSet(),
+		ErrFuncs:     map[string]bool{},
+		NoErrFuncs:   map[string]bool{},
+		CtxFuncs:     map[string]bool{},
+		MapTypes:     map[string]bool{},
+		MapFields:    map[string]bool{},
+		NonMapFields: map[string]bool{},
+	}
+	// Collect package directories first so load order is deterministic.
+	var dirs []string
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		if err := mod.loadDir(dir); err != nil {
+			return nil, err
+		}
+	}
+	mod.buildIndexes()
+	return mod, nil
+}
+
+// loadDir parses one directory's .go files into one or more Packages
+// (a dir can hold both "foo" and "main" in odd layouts; keep them apart).
+func (m *Module) loadDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return err
+	}
+	rel = filepath.ToSlash(rel)
+	byName := map[string]*Package{}
+	var order []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// Parse under the module-relative name so diagnostic positions,
+		// pattern filtering, and File.Filename all agree.
+		relName := filepath.ToSlash(filepath.Join(rel, e.Name()))
+		af, err := parser.ParseFile(m.Fset, relName, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		pkgName := af.Name.Name
+		pkg, ok := byName[pkgName]
+		if !ok {
+			pkg = &Package{Path: rel, Name: pkgName}
+			byName[pkgName] = pkg
+			order = append(order, pkgName)
+		}
+		pkg.Files = append(pkg.Files, &File{
+			Fset:     m.Fset,
+			AST:      af,
+			Filename: relName,
+			PkgPath:  rel,
+			PkgName:  pkgName,
+			IsTest:   strings.HasSuffix(e.Name(), "_test.go"),
+			Mod:      m,
+			imports:  importMap(af),
+		})
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		m.Packages = append(m.Packages, byName[name])
+	}
+	return nil
+}
+
+// importMap extracts local-name -> path for a file's imports.
+func importMap(af *ast.File) map[string]string {
+	out := map[string]string{}
+	for _, imp := range af.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		} else {
+			name = path[strings.LastIndex(path, "/")+1:]
+		}
+		if name == "_" || name == "." {
+			continue
+		}
+		out[name] = path
+	}
+	return out
+}
+
+// buildIndexes fills ErrFuncs, CtxFuncs, MapTypes, and MapFields from
+// every non-test file in the module. Two passes: named map types must be
+// known before struct fields typed with them can be indexed.
+func (m *Module) buildIndexes() {
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			if f.IsTest {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if _, isMap := ts.Type.(*ast.MapType); isMap {
+						m.MapTypes[ts.Name.Name] = true
+						m.MapTypes[pkg.Name+"."+ts.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			if f.IsTest {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					m.indexResults(d.Name.Name, d.Type)
+					// CtxFuncs backs the ctxpass XContext-variant rule and
+					// must stay functions-only: a method named Run on some
+					// type would otherwise mask the trial.Run/RunContext
+					// pair.
+					if params := d.Type.Params; d.Recv == nil && params != nil && len(params.List) > 0 {
+						if isContextType(params.List[0].Type) {
+							m.CtxFuncs[d.Name.Name] = true
+						}
+					}
+				case *ast.GenDecl:
+					if d.Tok != token.TYPE {
+						continue
+					}
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						switch t := ts.Type.(type) {
+						case *ast.StructType:
+							for _, field := range t.Fields.List {
+								isMap := m.isMapExpr(field.Type)
+								for _, name := range field.Names {
+									if isMap {
+										m.MapFields[name.Name] = true
+									} else {
+										m.NonMapFields[name.Name] = true
+									}
+								}
+							}
+						case *ast.InterfaceType:
+							// Interface method signatures count as
+							// declarations: a void Update on an interface
+							// makes the name ambiguous even if a concrete
+							// Update elsewhere returns error.
+							for _, meth := range t.Methods.List {
+								ft, ok := meth.Type.(*ast.FuncType)
+								if !ok {
+									continue
+								}
+								for _, name := range meth.Names {
+									m.indexResults(name.Name, ft)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// indexResults files a function/method name under ErrFuncs or NoErrFuncs
+// according to whether its final result is `error`.
+func (m *Module) indexResults(name string, ft *ast.FuncType) {
+	if ft.Results != nil && len(ft.Results.List) > 0 {
+		last := ft.Results.List[len(ft.Results.List)-1]
+		if id, ok := last.Type.(*ast.Ident); ok && id.Name == "error" {
+			m.ErrFuncs[name] = true
+			return
+		}
+	}
+	m.NoErrFuncs[name] = true
+}
+
+// isMapExpr reports whether a type expression is a map type, directly or
+// through a named map type the module declares.
+func (m *Module) isMapExpr(expr ast.Expr) bool {
+	switch t := expr.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.Ident:
+		return m.MapTypes[t.Name]
+	case *ast.SelectorExpr:
+		if x, ok := t.X.(*ast.Ident); ok {
+			return m.MapTypes[x.Name+"."+t.Sel.Name]
+		}
+	}
+	return false
+}
+
+// isContextType matches the type expression context.Context.
+func isContextType(expr ast.Expr) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == "context"
+}

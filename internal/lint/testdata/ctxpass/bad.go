@@ -1,0 +1,40 @@
+// Package fixture is a library package (not main), so fresh context
+// roots are forbidden everywhere in it.
+package fixture
+
+import "context"
+
+// RunContext is the ctx-aware variant the XContext rule resolves against.
+func RunContext(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+// Run is the context-free variant.
+func Run(n int) error {
+	//autolint:ignore ctxpass fixture models the trial.Run convenience wrapper
+	return RunContext(context.Background(), n)
+}
+
+// badRoot mints a root in library code with no ctx anywhere in sight.
+func badRoot() error {
+	ctx := context.Background() // want ctxpass
+	return ctx.Err()
+}
+
+// badTODO is the same violation via TODO.
+func badTODO() error {
+	return doWork(context.TODO()) // want ctxpass
+}
+
+// badReroot has a perfectly good ctx and drops it.
+func badReroot(ctx context.Context) error {
+	return doWork(context.Background()) // want ctxpass
+}
+
+// badVariant calls the context-free wrapper from a function that already
+// holds a ctx, silently re-rooting the chain.
+func badVariant(ctx context.Context) error {
+	return Run(3) // want ctxpass
+}
+
+func doWork(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,19 @@
+package fixture
+
+import "context"
+
+// cleanPass threads the caller's ctx through both a helper and the
+// Context variant.
+func cleanPass(ctx context.Context) error {
+	if err := doWork(ctx); err != nil {
+		return err
+	}
+	return RunContext(ctx, 3)
+}
+
+// cleanDerive derives from the caller's ctx instead of re-rooting.
+func cleanDerive(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return doWork(sub)
+}

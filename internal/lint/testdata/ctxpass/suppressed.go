@@ -1,0 +1,10 @@
+package fixture
+
+import "context"
+
+// suppressedBridge bridges a context-free public API, the one sanctioned
+// use of a library root — and says so.
+func suppressedBridge() error {
+	//autolint:ignore ctxpass public context-free convenience wrapper
+	return RunContext(context.Background(), 3)
+}

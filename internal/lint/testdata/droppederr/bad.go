@@ -1,0 +1,34 @@
+package fixture
+
+import "os"
+
+// saveState returns an error; every declaration of this name in the
+// fixture module does, so bare calls are unambiguous.
+func saveState(path string) error {
+	return os.WriteFile(path, nil, 0o644)
+}
+
+type store struct{}
+
+func (s *store) Observe(v float64) error { return nil }
+
+// badBare drops the error by calling saveState as a statement.
+func badBare() {
+	saveState("x.json") // want droppederr
+}
+
+// badMethod drops a method's error the same way.
+func badMethod(s *store) {
+	s.Observe(1.5) // want droppederr
+}
+
+// badBlank discards explicitly but silently — without a reason it is
+// still a finding.
+func badBlank() {
+	_ = saveState("x.json") // want droppederr
+}
+
+// badStdlib blanks a well-known stdlib error.
+func badStdlib(f *os.File) {
+	_ = f.Close() // want droppederr
+}

@@ -1,0 +1,8 @@
+package fixture
+
+// suppressedDiscard keeps a deliberate best-effort discard, annotated
+// with why it is safe.
+func suppressedDiscard() {
+	//autolint:ignore droppederr checkpoint write is best-effort; next interval retries
+	_ = saveState("ckpt.json")
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import (
+	"math/rand"
+
+	mrand "math/rand"
+)
+
+// badDraw draws from the shared global source: not reproducible from a
+// seed, and any other import can perturb the stream.
+func badDraw() int {
+	return rand.Intn(10) // want globalrand
+}
+
+func badFloat() float64 {
+	return mrand.Float64() // want globalrand
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want globalrand
+}

@@ -1,0 +1,13 @@
+package fixture
+
+import "math/rand"
+
+// cleanDraw threads an explicitly seeded *rand.Rand: the sanctioned
+// pattern. Constructors (New, NewSource) are not draws and stay legal.
+func cleanDraw(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+func cleanSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,15 @@
+package fixture
+
+import "math/rand"
+
+// suppressedDraw keeps a global draw alive with an annotated directive —
+// the escape hatch for code where reproducibility genuinely does not
+// matter.
+func suppressedDraw() int {
+	//autolint:ignore globalrand jitter for a log message, not a tuned result
+	return rand.Intn(10)
+}
+
+func suppressedTrailing() float64 {
+	return rand.Float64() //autolint:ignore globalrand demo of the trailing directive form
+}

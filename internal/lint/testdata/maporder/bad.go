@@ -1,0 +1,59 @@
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config mirrors the real space.Config: a named map type.
+type Config map[string]any
+
+type report struct {
+	Best Config
+}
+
+// badAppend leaks map order into the returned slice.
+func badAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want maporder
+	}
+	return out
+}
+
+// badPrint emits lines in a random order per run.
+func badPrint(cfg Config) {
+	for k, v := range cfg {
+		fmt.Printf("%s=%v\n", k, v) // want maporder
+	}
+}
+
+// badRNG consumes the stream in map order, so every later draw differs
+// between identically-seeded runs.
+func badRNG(weights map[string]float64, rng *rand.Rand) float64 {
+	total := 0.0
+	for range weights {
+		total += rng.Float64() // want maporder
+	}
+	return total
+}
+
+// badField ranges a map-typed struct field.
+func badField(r report) []string {
+	var keys []string
+	for k := range r.Best {
+		keys = append(keys, k) // want maporder
+	}
+	return keys
+}
+
+// badLocal builds the map locally; detection follows the := make form.
+func badLocal() []string {
+	idx := make(map[string]bool)
+	idx["a"] = true
+	var out []string
+	for k := range idx {
+		out = append(out, k) // want maporder
+	}
+	return out
+}

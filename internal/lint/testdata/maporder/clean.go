@@ -1,0 +1,47 @@
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// cleanSorted is the sanctioned pattern: collect keys, sort, iterate.
+// The append inside the range is recognized because the target feeds
+// sort.Strings later in the same block.
+func cleanSorted(cfg Config) {
+	names := make([]string, 0, len(cfg))
+	for k := range cfg {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("%s=%v\n", k, cfg[k])
+	}
+}
+
+// cleanMapToMap copies between maps: no ordering is observable.
+func cleanMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// cleanSlice ranges a slice; nothing to flag.
+func cleanSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// cleanReduce accumulates a commutative reduction; tolerated.
+func cleanReduce(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

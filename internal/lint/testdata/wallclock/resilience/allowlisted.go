@@ -1,0 +1,14 @@
+// Package resilience (fixture) is outside the deterministic set: retry
+// backoff and deadlines are legitimately wall-time concerns, so the
+// check stays silent here without any directive.
+package resilience
+
+import "time"
+
+func backoff(attempt int) {
+	time.Sleep(time.Duration(attempt) * time.Millisecond)
+}
+
+func stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,21 @@
+// Package simsys (fixture) sits in the deterministic set: simulated
+// systems must be pure functions of (config, workload, seed).
+package simsys
+
+import "time"
+
+func badNow() time.Time {
+	return time.Now() // want wallclock
+}
+
+func badElapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want wallclock
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want wallclock
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want wallclock
+}

@@ -1,0 +1,13 @@
+package simsys
+
+import "time"
+
+// cleanCost models elapsed time as simulated cost: pure duration
+// arithmetic and constructors never read the clock.
+func cleanCost(ops int, perOp time.Duration) time.Duration {
+	return time.Duration(ops) * perOp
+}
+
+func cleanParse(s string) (time.Duration, error) {
+	return time.ParseDuration(s)
+}

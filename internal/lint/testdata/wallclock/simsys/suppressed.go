@@ -1,0 +1,8 @@
+package simsys
+
+import "time"
+
+func suppressedNow() time.Time {
+	//autolint:ignore wallclock coarse startup stamp, never enters trial results
+	return time.Now()
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// deterministicPkgs names the packages whose non-test code must never read
+// the wall clock: the simulated systems, every optimizer, the space
+// encoder, and the trial loop (including replay). A trial run in these
+// packages is a pure function of (space, seed, budget); a time.Now() or
+// time.Sleep() there silently couples results to the host. Wall time stays
+// legitimate in resilience (retry backoff), cloud (host simulation scaled
+// from real profiles), kvstore (a real benchmark), and cmd/examples
+// (reporting) — none of which appear here.
+//
+// Matching is by path segment so that e.g. both "internal/simsys" and a
+// fixture dir ending in "simsys" qualify.
+var deterministicPkgs = map[string]bool{
+	"simsys": true, "space": true, "trial": true, "optimizer": true,
+	"bo": true, "gp": true, "cmaes": true, "genetic": true, "pso": true,
+	"smac": true,
+}
+
+// wallClockFuncs are the time functions that read or depend on the wall
+// clock. Pure constructors/arithmetic (time.Duration, time.Unix, t.Add)
+// are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// isDeterministicPkg reports whether a module-relative package path is in
+// the deterministic set.
+func isDeterministicPkg(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if deterministicPkgs[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+// WallClock forbids wall-clock reads in deterministic packages.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Since/Sleep in deterministic (simulated/optimizer) packages",
+	Run: func(f *File) []Diagnostic {
+		if f.IsTest || !isDeterministicPkg(f.PkgPath) {
+			return nil
+		}
+		timeName := f.ImportName("time")
+		if timeName == "" {
+			return nil
+		}
+		var out []Diagnostic
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || x.Name != timeName || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			out = append(out, f.Diag("wallclock", sel.Pos(),
+				fmt.Sprintf("wall-clock call %s.%s in deterministic package %s; model time as simulated cost instead",
+					timeName, sel.Sel.Name, f.PkgPath),
+				"accumulate simulated seconds (see trial.Report.WallClockSeconds) or move the call behind an injected clock"))
+			return true
+		})
+		return out
+	},
+}

@@ -95,12 +95,46 @@ type SystemEnv struct {
 	// BaseDurationSec is the full-fidelity benchmark duration used as the
 	// trial cost (default 300, a 5-minute benchmark).
 	BaseDurationSec float64
-	// Rng adds measurement noise; nil runs deterministically. Access is
-	// serialized internally so the environment is safe under Parallel > 1;
-	// deterministic (Rng == nil) evaluations run without locking.
+	// Rng seeds measurement noise; nil runs deterministically. The shared
+	// stream is sampled exactly once to derive a base seed; each
+	// evaluation then gets its own RNG keyed on (base seed, config,
+	// fidelity) — common random numbers — so noise is independent of
+	// goroutine scheduling under Parallel > 1 and identically-seeded runs
+	// are bitwise-reproducible. Re-measuring the same config at the same
+	// fidelity repeats the same measurement.
 	Rng *rand.Rand
 
-	mu sync.Mutex
+	mu        sync.Mutex
+	seeded    bool
+	noiseSeed int64
+}
+
+// noiseRng derives the per-evaluation noise source. Drawing from the
+// shared e.Rng directly would hand out noise values in goroutine
+// lock-acquisition order, making identically-seeded parallel runs
+// diverge; hashing the config instead makes each trial's noise a pure
+// function of the run seed and what is being measured.
+func (e *SystemEnv) noiseRng(cfg space.Config, fidelity float64) *rand.Rand {
+	e.mu.Lock()
+	if !e.seeded {
+		e.noiseSeed = e.Rng.Int63()
+		e.seeded = true
+	}
+	seed := e.noiseSeed
+	e.mu.Unlock()
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	key := cfg.Key()
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	bits := math.Float64bits(fidelity)
+	for i := 0; i < 8; i++ {
+		h ^= bits >> (8 * i) & 0xff
+		h *= prime64
+	}
+	return rand.New(rand.NewSource(seed ^ int64(h)))
 }
 
 // Space implements Environment.
@@ -121,11 +155,7 @@ func (e *SystemEnv) Run(ctx context.Context, cfg space.Config, fidelity float64)
 	var m simsys.Metrics
 	var err error
 	if e.Rng != nil {
-		// Only the shared RNG needs serializing; deterministic runs are
-		// pure and may proceed fully in parallel.
-		e.mu.Lock()
-		m, err = e.Sys.Run(cfg, e.WL, fidelity, e.Rng)
-		e.mu.Unlock()
+		m, err = e.Sys.Run(cfg, e.WL, fidelity, e.noiseRng(cfg, fidelity))
 	} else {
 		m, err = e.Sys.Run(cfg, e.WL, fidelity, nil)
 	}
@@ -253,6 +283,7 @@ type Report struct {
 
 // Run drives the optimizer against the environment for the full budget.
 func Run(o optimizer.Optimizer, env Environment, opts Options) (Report, error) {
+	//autolint:ignore ctxpass public context-free convenience wrapper over RunContext
 	return RunContext(context.Background(), o, env, opts)
 }
 
@@ -277,6 +308,7 @@ func RunContext(ctx context.Context, o optimizer.Optimizer, env Environment, opt
 // reached. A checkpoint that already covers the budget returns
 // immediately without touching the environment.
 func Resume(o optimizer.Optimizer, env Environment, opts Options) (Report, error) {
+	//autolint:ignore ctxpass public context-free convenience wrapper over ResumeContext
 	return ResumeContext(context.Background(), o, env, opts)
 }
 
@@ -345,6 +377,7 @@ func runLoop(ctx context.Context, o optimizer.Optimizer, env Environment, opts O
 		if opts.Checkpoint != "" {
 			// A checkpoint failure must not kill the run it protects;
 			// the next interval retries the write.
+			//autolint:ignore droppederr checkpointing is best-effort by design
 			_ = saveCheckpoint(*rep, opts.Checkpoint)
 		}
 	}
