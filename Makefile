@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench fmt fmt-check lint
+.PHONY: check vet build test race bench soak fmt fmt-check lint
 
 check: fmt-check vet lint build race
 
@@ -21,6 +21,9 @@ race:
 
 bench:
 	$(GO) run ./cmd/bench -quick
+
+soak:
+	$(GO) test -race -run Soak -count=1 ./internal/sched ./internal/trial
 
 fmt:
 	gofmt -l -w .

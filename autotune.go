@@ -12,7 +12,9 @@
 //     descent, GP-based Bayesian optimization, SMAC, CMA-ES, PSO, and a
 //     genetic algorithm, all behind one Suggest/Observe interface;
 //   - the offline tuning loop with crash handling, early abort, fidelity
-//     and parallel trials (internal/trial);
+//     and parallel trials (internal/trial), backed by an asynchronous
+//     scheduler with straggler hedging, panic isolation, and a crash-safe
+//     write-ahead trial journal (internal/sched);
 //   - an online tuning agent with guardrails and pluggable policies
 //     (Q-learning knob deltas, contextual hybrid bandits);
 //   - simulated tunable systems — an analytic DBMS, a Redis/kernel model,
@@ -33,10 +35,12 @@ import (
 	"context"
 	"math/rand"
 
+	"autotune/internal/cloud"
 	"autotune/internal/core"
 	"autotune/internal/experiments"
 	"autotune/internal/optimizer"
 	"autotune/internal/resilience"
+	"autotune/internal/sched"
 	"autotune/internal/space"
 	"autotune/internal/trial"
 )
@@ -73,7 +77,33 @@ type (
 	Report = trial.Report
 	// Result is one benchmark measurement.
 	Result = trial.Result
+	// TrialRecord is one completed trial inside a Report or journal.
+	TrialRecord = trial.TrialRecord
 )
+
+// Scheduler types (internal/sched): the asynchronous trial pool behind
+// TuneOptions.Scheduler — bounded workers mapped onto host slots, panic
+// isolation, straggler hedging, quarantine-aware placement, and graceful
+// drain, on a deterministic virtual clock by default.
+type (
+	// SchedulerOptions configures the asynchronous trial pool
+	// (TuneOptions.Scheduler).
+	SchedulerOptions = sched.Options
+	// HostProfile describes one host slot's speed multiplier and
+	// flakiness (SchedulerOptions.Hosts).
+	HostProfile = cloud.HostProfile
+)
+
+// ErrPanic marks trials (or online-agent steps) whose user code panicked;
+// the panic is recovered at the trial boundary, scored as a crash, and
+// its value and stack ride on the error.
+var ErrPanic = trial.ErrPanic
+
+// ReadTrialJournal loads the intact records from a write-ahead trial
+// journal (TuneOptions.Journal), sorted by trial ID with duplicates
+// dropped. A missing file is an empty journal; a torn final line — the
+// mark of a crash mid-append — is skipped.
+var ReadTrialJournal = trial.ReadJournal
 
 // Resilient-execution types (internal/resilience): fault-tolerant trial
 // execution with retries, deadlines, quarantine, and fault injection.
@@ -159,8 +189,11 @@ func TuneContext(ctx context.Context, o Optimizer, env Environment, opts TuneOpt
 }
 
 // ResumeTune continues a killed tuning session from
-// TuneOptions.Checkpoint: recorded trials are replayed into the optimizer
+// TuneOptions.Checkpoint and/or the write-ahead journal at
+// TuneOptions.Journal: recorded trials are replayed into the optimizer
 // without re-running them, then the loop finishes the remaining budget.
+// The journal is the finer-grained source — it keeps trials finished
+// after the last checkpoint, so a kill mid-batch loses nothing.
 func ResumeTune(o Optimizer, env Environment, opts TuneOptions) (Report, error) {
 	return trial.Resume(o, env, opts)
 }
@@ -214,7 +247,7 @@ func NewActorCriticPolicy(s *Space, names []string, stateDim int, seed int64) (P
 func NewSafeBOPolicy(s *Space, seed int64) Policy { return core.NewSafeBOPolicy(s, seed) }
 
 // Experiments lists the reproduction experiment ids: the tutorial's
-// figures/claims (F1..F22) and the framework's own ablations (A1..A4).
+// figures/claims (F1..F22) and the framework's own ablations (A1..A5).
 func Experiments() []string { return experiments.IDs() }
 
 // RunExperiment regenerates one of the tutorial's figures/tables. Quick

@@ -12,6 +12,12 @@
 //	autotune -system simdb -faults 0.25 -retries 4 -trial-timeout 2s
 //	autotune -system simdb -budget 200 -checkpoint ckpt.json
 //	autotune -system simdb -budget 200 -checkpoint ckpt.json -resume
+//
+// Asynchronous scheduling (hedged stragglers, write-ahead trial journal):
+//
+//	autotune -system simdb -parallel 8 -sched -hedge 0.9 -faults 0.2
+//	autotune -system simdb -budget 200 -journal trials.wal
+//	autotune -system simdb -budget 200 -journal trials.wal -resume
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"autotune/internal/cloud"
 	"autotune/internal/core"
 	"autotune/internal/resilience"
+	"autotune/internal/sched"
 	"autotune/internal/simsys"
 	"autotune/internal/trial"
 	"autotune/internal/workload"
@@ -47,6 +54,12 @@ type cliOptions struct {
 	trialTimeout time.Duration
 	checkpoint   string
 	resume       bool
+
+	// Asynchronous scheduling.
+	sched   bool    // enable the async scheduler even without hedging
+	workers int     // worker slots (0 = one per parallel trial)
+	hedge   float64 // straggler hedge quantile in (0,1) (0 = off)
+	journal string  // write-ahead trial journal path
 }
 
 func main() {
@@ -68,7 +81,11 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 0, "retry transient trial failures this many times (exponential backoff)")
 	flag.DurationVar(&o.trialTimeout, "trial-timeout", 0, "per-trial deadline (0 = unbounded)")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint the run to this file (enables -resume)")
-	flag.BoolVar(&o.resume, "resume", false, "resume from -checkpoint instead of starting over")
+	flag.BoolVar(&o.resume, "resume", false, "resume from -checkpoint/-journal instead of starting over")
+	flag.BoolVar(&o.sched, "sched", false, "run trials on the asynchronous scheduler instead of the batch barrier")
+	flag.IntVar(&o.workers, "workers", 0, "scheduler worker slots (0 = one per parallel trial)")
+	flag.Float64Var(&o.hedge, "hedge", 0, "hedge stragglers past this quantile of recent durations (0 = off, implies -sched)")
+	flag.StringVar(&o.journal, "journal", "", "append every completed trial to this fsync'd write-ahead journal")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -124,10 +141,11 @@ func run(o cliOptions) error {
 	var env trial.Environment = &trial.SystemEnv{Sys: sys, WL: wl, Objective: objective, Rng: rng}
 	var injector *resilience.Injector
 	var hardened *resilience.Env
+	var hosts []cloud.HostProfile
 	if o.faults > 0 || o.hangs > 0 {
 		// A small fleet with TUNA-style flaky machines supplies per-host
 		// faults on top of the flat injection rates.
-		hosts := cloud.SampleHosts(8, cloud.Options{FlakyProb: 0.2}, rand.New(rand.NewSource(o.seed+2)))
+		hosts = cloud.SampleHosts(8, cloud.Options{FlakyProb: 0.2}, rand.New(rand.NewSource(o.seed+2)))
 		injector = resilience.NewInjector(env, resilience.InjectorOptions{
 			TransientProb: o.faults,
 			HangProb:      o.hangs,
@@ -152,18 +170,28 @@ func run(o cliOptions) error {
 	}
 	topts := trial.Options{
 		Budget: o.budget, Parallel: o.parallel, AbortMargin: o.abortMargin, Fidelity: o.fidelity,
-		Checkpoint: o.checkpoint,
+		Checkpoint: o.checkpoint, Journal: o.journal,
 	}
 	if o.trialTimeout > 0 {
 		topts.DegradeAfterTimeouts = 3
 	}
+	if o.sched || o.hedge > 0 || o.workers > 0 {
+		// The scheduler places trials on the same fleet the injector
+		// samples from (when faults are on), so hedging sees the real
+		// host speed multipliers.
+		topts.Scheduler = &sched.Options{Hosts: hosts, Workers: o.workers, HedgeQuantile: o.hedge}
+	}
 	ctx := context.Background()
 	var rep trial.Report
 	if o.resume {
-		if o.checkpoint == "" {
-			return fmt.Errorf("-resume needs -checkpoint")
+		if o.checkpoint == "" && o.journal == "" {
+			return fmt.Errorf("-resume needs -checkpoint or -journal")
 		}
-		fmt.Printf("resuming %s on %s from %s...\n", o.system, wl.Name, o.checkpoint)
+		from := o.checkpoint
+		if from == "" {
+			from = o.journal
+		}
+		fmt.Printf("resuming %s on %s from %s...\n", o.system, wl.Name, from)
 		rep, err = trial.ResumeContext(ctx, opt, env, topts)
 	} else {
 		fmt.Printf("tuning %s on %s (%s VM) with %s, %d trials...\n",
@@ -185,6 +213,10 @@ func run(o cliOptions) error {
 	if rep.Resumed > 0 || rep.Timeouts > 0 || rep.Degradations > 0 {
 		fmt.Printf("resumed: %d   timeouts: %d   fidelity degradations: %d\n",
 			rep.Resumed, rep.Timeouts, rep.Degradations)
+	}
+	if topts.Scheduler != nil {
+		fmt.Printf("scheduler: %d hedges (%d wins)   panics: %d\n",
+			rep.Hedges, rep.HedgeWins, rep.Panics)
 	}
 	if hardened != nil {
 		s := hardened.Stats()

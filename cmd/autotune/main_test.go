@@ -4,6 +4,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -143,5 +144,48 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run(bad(func(o *cliOptions) { o.resume = true })); err == nil {
 		t.Fatal("resume without checkpoint should error")
+	}
+}
+
+// TestRunHedgedBitwiseDeterministic extends the determinism invariant to
+// the asynchronous scheduler: hedging, fault injection, parallelism, and
+// measurement noise together must still produce byte-identical output
+// for identical seeds — the virtual clock evaluates trials in a fixed
+// order, so hedge decisions and injector draws are reproducible.
+func TestRunHedgedBitwiseDeterministic(t *testing.T) {
+	o := base()
+	o.optName = "random"
+	o.budget = 12
+	o.parallel = 4
+	o.noise = 0.05
+	o.seed = 42
+	o.sched = true
+	o.hedge = 0.8
+	o.faults = 0.2
+	first := captureRun(t, o)
+	second := captureRun(t, o)
+	if first != second {
+		t.Fatalf("hedged output differs between identically-seeded runs:\n--- run 1\n%s\n--- run 2\n%s",
+			first, second)
+	}
+	if !strings.Contains(first, "scheduler:") {
+		t.Fatalf("scheduler stats line missing from output:\n%s", first)
+	}
+}
+
+// TestRunJournalThenResume drives the WAL path end to end from the CLI:
+// a run journals every trial, and a -resume run replays the journal
+// (re-running nothing) even though no checkpoint was ever written.
+func TestRunJournalThenResume(t *testing.T) {
+	o := base()
+	o.budget = 8
+	o.journal = filepath.Join(t.TempDir(), "trials.wal")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	o.resume = true
+	out := captureRun(t, o)
+	if !strings.Contains(out, "resumed: 8") {
+		t.Fatalf("resume did not replay the journal:\n%s", out)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"autotune/internal/bandit"
 	"autotune/internal/resilience"
 	"autotune/internal/rl"
+	"autotune/internal/sched"
 	"autotune/internal/space"
 )
 
@@ -74,7 +75,9 @@ func (g Guardrails) withDefaults() Guardrails {
 }
 
 // Agent is the online tuning loop: each Step proposes, applies, measures,
-// learns, and enforces guardrails.
+// learns, and enforces guardrails. The system calls (Apply, Measure) run
+// under sched.Guard: a panic in live-system plumbing surfaces as a step
+// error wrapping sched.ErrPanic instead of killing the control loop.
 type Agent struct {
 	sys    OnlineSystem
 	policy Policy
@@ -137,14 +140,20 @@ func (a *Agent) Step() (StepReport, error) {
 		if err := a.apply(def); err != nil {
 			return StepReport{}, fmt.Errorf("core: bootstrap apply: %w", err)
 		}
-		loss, ctx := a.sys.Measure()
+		loss, ctx, err := a.measure()
+		if err != nil {
+			return StepReport{}, fmt.Errorf("core: bootstrap measure: %w", err)
+		}
 		a.incumbent = def
 		a.incumbentLoss = loss
 		a.started = true
 		a.policy.Feedback(def, ctx, loss)
 		return StepReport{Config: def.Clone(), Loss: loss, Accepted: true}, nil
 	}
-	_, ctx := a.peekContext()
+	ctx, err := a.peekContext()
+	if err != nil {
+		return StepReport{}, fmt.Errorf("core: measure: %w", err)
+	}
 	cand := a.policy.Propose(a.incumbent, ctx, a.rng)
 	if a.guard.ExploreScale > 0 {
 		cand = a.clampToNeighbourhood(cand)
@@ -152,7 +161,10 @@ func (a *Agent) Step() (StepReport, error) {
 	if err := a.apply(cand); err != nil {
 		return StepReport{}, fmt.Errorf("core: apply: %w", err)
 	}
-	loss, ctx2 := a.sys.Measure()
+	loss, ctx2, err := a.measure()
+	if err != nil {
+		return StepReport{}, fmt.Errorf("core: measure: %w", err)
+	}
 	a.policy.Feedback(cand, ctx2, loss)
 
 	rep := StepReport{Config: cand.Clone(), Loss: loss}
@@ -195,17 +207,30 @@ func (a *Agent) Step() (StepReport, error) {
 // apply installs a configuration, retrying transient failures with
 // exponential backoff + jitter (Guardrails.ApplyRetries). Hard errors and
 // exhausted retries surface to the caller; a failed rollback apply in
-// particular must not be swallowed.
+// particular must not be swallowed. A panicking Apply — a bug in the
+// live-system plumbing, the one place a crash would take the whole
+// control loop down with it — is recovered into an error wrapping
+// sched.ErrPanic and is not retried.
 func (a *Agent) apply(cfg space.Config) error {
 	bo := resilience.Backoff{Base: a.guard.ApplyBackoff}
 	var err error
 	for attempt := 0; ; attempt++ {
-		err = a.sys.Apply(cfg)
+		err = sched.Guard(func() error { return a.sys.Apply(cfg) })
 		if err == nil || !resilience.IsTransient(err) || attempt >= a.guard.ApplyRetries {
 			return err
 		}
 		time.Sleep(bo.Delay(attempt, a.rng))
 	}
+}
+
+// measure reads the system under sched.Guard so a panicking Measure
+// surfaces as a step error instead of unwinding the agent.
+func (a *Agent) measure() (loss float64, ctx []float64, err error) {
+	err = sched.Guard(func() error {
+		loss, ctx = a.sys.Measure()
+		return nil
+	})
+	return loss, ctx, err
 }
 
 // upwardEWMA raises a loss baseline toward an observation conservatively:
@@ -218,8 +243,9 @@ func upwardEWMA(baseline, loss float64) float64 {
 }
 
 // peekContext measures without feedback to obtain the pre-action context.
-func (a *Agent) peekContext() (float64, []float64) {
-	return a.sys.Measure()
+func (a *Agent) peekContext() ([]float64, error) {
+	_, ctx, err := a.measure()
+	return ctx, err
 }
 
 // clampToNeighbourhood pulls a candidate back into the guardrail's

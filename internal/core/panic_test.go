@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"autotune/internal/sched"
+	"autotune/internal/space"
+)
+
+// flakySystem is an OnlineSystem whose Apply/Measure can be made to panic
+// on demand — modeling a bug in live-system plumbing.
+type flakySystem struct {
+	sp           *space.Space
+	panicApply   bool
+	panicMeasure bool
+	loss         float64
+}
+
+func (s *flakySystem) Space() *space.Space { return s.sp }
+
+func (s *flakySystem) Apply(cfg space.Config) error {
+	if s.panicApply {
+		panic("apply plumbing bug")
+	}
+	return nil
+}
+
+func (s *flakySystem) Measure() (float64, []float64) {
+	if s.panicMeasure {
+		panic("metrics pipeline bug")
+	}
+	return s.loss, []float64{0.5}
+}
+
+func TestAgentSurvivesSystemPanics(t *testing.T) {
+	sys := &flakySystem{sp: space.MustNew(space.Float("x", 0, 1)), loss: 1}
+	agent, err := NewAgent(sys, NewRandomWalkPolicy(sys.sp), Guardrails{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Step(); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+
+	sys.panicMeasure = true
+	if _, err := agent.Step(); !errors.Is(err, sched.ErrPanic) {
+		t.Fatalf("measure panic surfaced as %v, want sched.ErrPanic", err)
+	}
+	sys.panicMeasure = false
+
+	sys.panicApply = true
+	// The walk policy sometimes proposes the incumbent itself; either way
+	// Apply runs and must panic into an error, never unwind the loop.
+	if _, err := agent.Step(); !errors.Is(err, sched.ErrPanic) {
+		t.Fatalf("apply panic surfaced as %v, want sched.ErrPanic", err)
+	}
+	sys.panicApply = false
+
+	// The loop keeps working after both failures.
+	rep, err := agent.Step()
+	if err != nil {
+		t.Fatalf("step after recovered panics: %v", err)
+	}
+	if rep.Config == nil {
+		t.Fatal("step produced no config")
+	}
+}

@@ -38,10 +38,10 @@ func cell(t *testing.T, tab Table, row, col int) float64 {
 
 func TestIDsCompleteAndSorted(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 26 {
-		t.Fatalf("experiments = %d, want 26 (F1-F22 + A1-A4): %v", len(ids), ids)
+	if len(ids) != 27 {
+		t.Fatalf("experiments = %d, want 27 (F1-F22 + A1-A5): %v", len(ids), ids)
 	}
-	if ids[0] != "F1" || ids[21] != "F22" || ids[22] != "A1" || ids[25] != "A4" {
+	if ids[0] != "F1" || ids[21] != "F22" || ids[22] != "A1" || ids[26] != "A5" {
 		t.Fatalf("order: %v", ids)
 	}
 	if _, err := Run("F99", true, 1); err == nil {
@@ -330,6 +330,17 @@ func TestA4OutlierRejectionHelps(t *testing.T) {
 	shipped, ablated := cell(t, tab, 0, 1), cell(t, tab, 1, 1)
 	if shipped > ablated*1.1 {
 		t.Fatalf("MAD rejection error (%v) should not exceed unguarded error (%v)", shipped, ablated)
+	}
+}
+
+func TestA5HedgingBeatsBarrier(t *testing.T) {
+	tab := runQuick(t, "A5")
+	barrier, hedged := cell(t, tab, 0, 1), cell(t, tab, 1, 1)
+	if hedged > 0.5*barrier {
+		t.Fatalf("hedged wall-clock (%v) should be well under the barrier's (%v)", hedged, barrier)
+	}
+	if wins := cell(t, tab, 1, 4); wins == 0 {
+		t.Fatal("hedging never won a race")
 	}
 }
 

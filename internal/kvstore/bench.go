@@ -60,6 +60,12 @@ func Bench(st *Store, desc workload.Descriptor, keys uint64, totalOps, workers i
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// A panicking worker must fail its own shard, not the process.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("kvstore: bench worker %d panicked: %v", w, r)
+				}
+			}()
 			rng := rand.New(rand.NewSource(seed + int64(w)*101))
 			gen, err := workload.NewGenerator(desc, keys, rng)
 			if err != nil {
@@ -179,6 +185,12 @@ func BenchTrace(st *Store, tr *workload.Trace, recBytes, totalOps, workers int) 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// A panicking worker must fail its own shard, not the process.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("kvstore: replay worker %d panicked: %v", w, r)
+				}
+			}()
 			rep, err := tr.ReplayerAt(w * tr.Len() / workers)
 			if err != nil {
 				errs[w] = err

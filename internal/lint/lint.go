@@ -215,6 +215,7 @@ func All() []*Analyzer {
 		MapOrder,
 		CtxPass,
 		DroppedErr,
+		NakedGo,
 	}
 }
 

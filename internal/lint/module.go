@@ -48,6 +48,14 @@ type Module struct {
 	// module-wide count as maps during range analysis.
 	MapFields    map[string]bool
 	NonMapFields map[string]bool
+	// RecoverFuncs holds names of functions and methods whose body
+	// installs a top-level deferred recover (sched.Guard and friends);
+	// nakedgo treats goroutines running them as panic-safe.
+	// RecoverHelpers holds names of functions that call recover()
+	// anywhere in their body — safe as `defer helper()` targets, but NOT
+	// as go targets (a recover outside a defer does nothing).
+	RecoverFuncs   map[string]bool
+	RecoverHelpers map[string]bool
 }
 
 // skipDir reports whether a directory should not be walked: VCS metadata,
@@ -80,14 +88,16 @@ func FindModuleRoot(dir string) (string, error) {
 // indexes.
 func LoadModule(root string) (*Module, error) {
 	mod := &Module{
-		Root:         root,
-		Fset:         token.NewFileSet(),
-		ErrFuncs:     map[string]bool{},
-		NoErrFuncs:   map[string]bool{},
-		CtxFuncs:     map[string]bool{},
-		MapTypes:     map[string]bool{},
-		MapFields:    map[string]bool{},
-		NonMapFields: map[string]bool{},
+		Root:           root,
+		Fset:           token.NewFileSet(),
+		ErrFuncs:       map[string]bool{},
+		NoErrFuncs:     map[string]bool{},
+		CtxFuncs:       map[string]bool{},
+		MapTypes:       map[string]bool{},
+		MapFields:      map[string]bool{},
+		NonMapFields:   map[string]bool{},
+		RecoverFuncs:   map[string]bool{},
+		RecoverHelpers: map[string]bool{},
 	}
 	// Collect package directories first so load order is deterministic.
 	var dirs []string
@@ -237,6 +247,14 @@ func (m *Module) buildIndexes() {
 				switch d := decl.(type) {
 				case *ast.FuncDecl:
 					m.indexResults(d.Name.Name, d.Type)
+					if d.Body != nil {
+						if declRecovers(d.Body) {
+							m.RecoverFuncs[d.Name.Name] = true
+						}
+						if containsRecover(d.Body) {
+							m.RecoverHelpers[d.Name.Name] = true
+						}
+					}
 					// CtxFuncs backs the ctxpass XContext-variant rule and
 					// must stay functions-only: a method named Run on some
 					// type would otherwise mask the trial.Run/RunContext

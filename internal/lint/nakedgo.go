@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// NakedGo forbids naked goroutines in library packages. A panic on a
+// goroutine with no deferred recover kills the whole process — recovery
+// installed by the spawner does not help — which in a tuning run means
+// losing every in-flight trial. Library goroutines must therefore either
+// route work through the sched pool (whose workers run tasks under
+// sched.Guard) or install their own recover:
+//
+//   - `go func() { defer func() { ...recover()... }(); ... }()` is fine,
+//     as is deferring a module function that itself recovers;
+//   - `go f(...)` where f is a module function whose body installs a
+//     top-level deferred recover is fine;
+//   - anything else in a non-main, non-test package is a finding,
+//     silenced where deliberate with an annotated //autolint:ignore.
+var NakedGo = &Analyzer{
+	Name: "nakedgo",
+	Doc:  "goroutines in library code must defer a recover or go through the sched pool",
+	Run: func(f *File) []Diagnostic {
+		if f.IsTest || f.PkgName == "main" {
+			return nil
+		}
+		var out []Diagnostic
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goRecovers(f, g) {
+				return true
+			}
+			out = append(out, f.Diag("nakedgo", g.Pos(),
+				fmt.Sprintf("naked goroutine in library package %s: a panic here kills the process", f.PkgPath),
+				"defer a recover at the top of the goroutine (see sched.Guard) or run the work on the sched pool"))
+			return true
+		})
+		return out
+	},
+}
+
+// goRecovers reports whether the spawned function is panic-safe: a
+// literal with a top-level deferred recover, or a module function indexed
+// in RecoverFuncs.
+func goRecovers(f *File, g *ast.GoStmt) bool {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return litRecovers(f, fun)
+	case *ast.Ident:
+		return f.Mod.RecoverFuncs[fun.Name]
+	case *ast.SelectorExpr:
+		return f.Mod.RecoverFuncs[fun.Sel.Name]
+	}
+	return false
+}
+
+// litRecovers reports whether a function literal's top-level statements
+// include a defer that recovers.
+func litRecovers(f *File, lit *ast.FuncLit) bool {
+	for _, stmt := range lit.Body.List {
+		ds, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		switch fun := ds.Call.Fun.(type) {
+		case *ast.FuncLit:
+			if containsRecover(fun.Body) {
+				return true
+			}
+		case *ast.Ident:
+			if f.Mod.RecoverHelpers[fun.Name] {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if f.Mod.RecoverHelpers[fun.Sel.Name] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsRecover reports whether a block contains a call to recover().
+func containsRecover(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// declRecovers is the RecoverFuncs index predicate: the function body
+// installs a top-level `defer func() { ...recover()... }()`. Only direct
+// literals count — the index is built before cross-function resolution
+// is possible.
+func declRecovers(body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		ds, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok && containsRecover(lit.Body) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+// Package fixture is a library package (not main), so every goroutine
+// must be panic-safe.
+package fixture
+
+import "sync"
+
+// badNaked spawns a bare literal with no recover anywhere.
+func badNaked() {
+	go func() { // want nakedgo
+		work()
+	}()
+}
+
+// badWaitGroup is the classic fan-out: the deferred Done is not a
+// recover, so a panicking worker still kills the process.
+func badWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want nakedgo
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// badNamed spawns a module function that does not recover.
+func badNamed() {
+	go work() // want nakedgo
+}
+
+// badNestedRecover recovers one level too deep: the inner goroutine's
+// literal has the defer, the outer one is still naked.
+func badNestedRecover() {
+	go func() { // want nakedgo
+		go safeWorker()
+		work()
+	}()
+}
+
+// safeWorker recovers at its own top level (indexed in RecoverFuncs).
+func safeWorker() {
+	defer func() {
+		_ = recover()
+	}()
+	work()
+}
+
+func work() {}

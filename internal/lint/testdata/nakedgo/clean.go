@@ -1,0 +1,50 @@
+package fixture
+
+import "sync"
+
+// cleanLiteralRecover installs the recover at the goroutine's top level.
+func cleanLiteralRecover() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				work()
+			}
+		}()
+		work()
+	}()
+}
+
+// cleanNamedTarget spawns a module function that recovers itself.
+func cleanNamedTarget() {
+	go safeWorker()
+}
+
+// cleanDeferredRecoverFunc defers a module function that recovers —
+// equivalent to inlining the recover literal.
+func cleanDeferredRecoverFunc() {
+	go func() {
+		defer drain()
+		work()
+	}()
+}
+
+// drain is a top-level-recover helper (indexed in RecoverFuncs).
+func drain() {
+	if r := recover(); r != nil {
+		work()
+	}
+}
+
+// cleanFanOut combines the WaitGroup idiom with a recover.
+func cleanFanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { _ = recover() }()
+			work()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,83 @@
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"autotune/internal/space"
+)
+
+// TestBreakerConcurrentHammer pounds every Breaker method from many
+// goroutines at once — the access pattern the asynchronous scheduler
+// creates, where placement checks (AllowHost) race host verdicts
+// (RecordHost) and region bookkeeping from concurrently finishing
+// trials. Run under -race; the assertions only sanity-check that the
+// counters stay coherent.
+func TestBreakerConcurrentHammer(t *testing.T) {
+	b := NewBreaker()
+	sp := space.MustNew(space.Float("x", 0, 1), space.Float("y", 0, 1))
+	const workers, iters, hostFleet = 12, 2000, 8
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 997))
+			for i := 0; i < iters; i++ {
+				host := rng.Intn(hostFleet)
+				cfg := space.Config{"x": rng.Float64(), "y": rng.Float64()}
+				switch i % 6 {
+				case 0:
+					b.AllowHost(host)
+				case 1:
+					b.RecordHost(host, rng.Intn(3) > 0)
+				case 2:
+					b.Allow(sp, cfg)
+				case 3:
+					b.RecordFailure(sp, cfg)
+				case 4:
+					b.RecordSuccess(sp, cfg)
+				case 5:
+					b.Trips()
+					b.OpenHosts()
+					b.OpenRegions()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if b.Trips() < 0 {
+		t.Fatal("negative trip count")
+	}
+	if open := b.OpenHosts(); open < 0 || open > hostFleet {
+		t.Fatalf("open hosts = %d with a fleet of %d", open, hostFleet)
+	}
+	// The breaker still behaves after the hammering: a fresh host trips
+	// after FailThreshold consecutive failures and reopens after the
+	// cooldown's worth of Allow ticks.
+	const probe = hostFleet + 1
+	for i := 0; i < b.FailThreshold; i++ {
+		if !b.AllowHost(probe) {
+			t.Fatalf("host %d quarantined after %d failures (threshold %d)", probe, i, b.FailThreshold)
+		}
+		b.RecordHost(probe, false)
+	}
+	if b.AllowHost(probe) {
+		t.Fatalf("host %d open after %d failures", probe, b.FailThreshold)
+	}
+	cfg := space.Config{"x": 0.5, "y": 0.5}
+	for i := 0; i < b.Cooldown+1; i++ {
+		b.Allow(sp, cfg) // advance the trial clock past the cooldown
+	}
+	if !b.AllowHost(probe) {
+		t.Fatalf("host %d still quarantined after cooldown", probe)
+	}
+	// Half-open: one more failure re-trips immediately.
+	b.RecordHost(probe, false)
+	if b.AllowHost(probe) {
+		t.Fatalf("half-open host %d did not re-trip on the next failure", probe)
+	}
+}

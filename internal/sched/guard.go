@@ -1,0 +1,29 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrPanic marks a task that panicked and was recovered at the scheduler
+// boundary. The wrapped error carries the panic value and the goroutine
+// stack at the point of the panic. Callers distinguish "the environment
+// crashed the benchmark" (its own error types) from "the environment has
+// a bug" (errors.Is(err, ErrPanic)); both are survivable.
+var ErrPanic = errors.New("sched: task panicked")
+
+// Guard runs fn and converts a panic into an error wrapping ErrPanic,
+// annotated with the panic value and stack. It is the single recovery
+// point used at every boundary where third-party code runs on a
+// scheduler-owned goroutine: trial environments, agent Apply/Measure
+// hooks, and pool workers. A worker that hits a panicking task keeps its
+// slot; only the task fails.
+func Guard(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v\n%s", ErrPanic, r, debug.Stack())
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,297 @@
+// Package sched is a supervised asynchronous trial scheduler: a bounded
+// worker pool mapped onto cloud host slots that isolates panics at the
+// task boundary, hedges stragglers (when a task runs past a quantile of
+// recent durations, a duplicate is launched on another worker and the
+// first result wins), drains quarantined hosts via a pluggable gate
+// (satisfied by resilience.Breaker), and finishes in-flight work on
+// context cancellation instead of silently dropping it.
+//
+// The pool has two clocks. The default virtual clock is a deterministic
+// discrete-event simulation: tasks are evaluated inline in a fixed order
+// and their reported costs, scaled by per-host speed multipliers, drive a
+// simulated timeline — identically-seeded runs are bitwise identical, so
+// the deterministic packages (trial, simsys) can use hedging and host
+// placement without breaking the seed-sufficiency invariant. WallClock
+// mode runs real worker goroutines with real hedge timers for
+// environments that do real work (kvstore, cloud deployments).
+package sched
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+
+	"autotune/internal/cloud"
+)
+
+// HostGate decides whether a host may receive new work and records
+// per-host outcomes. *resilience.Breaker satisfies it; the indirection
+// exists because resilience depends on trial which depends on sched.
+type HostGate interface {
+	AllowHost(host int) bool
+	RecordHost(host int, ok bool)
+}
+
+// Attempt is the outcome of one execution attempt of a task.
+type Attempt struct {
+	// Cost is the cost reported by the task itself, in seconds (simulated
+	// for model environments, measured for real ones).
+	Cost float64
+	// Err is the attempt's failure, if any. A recovered panic wraps
+	// ErrPanic.
+	Err error
+	// Payload carries the caller's result through the pool untouched.
+	Payload any
+}
+
+// Exec evaluates task (an index into the current batch) and returns its
+// outcome. attempt is 0 for the primary execution and 1 for a hedge. The
+// context is cancelled when the sibling attempt wins or the pool drains.
+// Exec runs under Guard: a panic becomes an Attempt with Err wrapping
+// ErrPanic.
+type Exec func(ctx context.Context, task, attempt int) Attempt
+
+// Completion reports the winning attempt of one task. Exactly one
+// Completion is delivered per started task, in timeline order (virtual
+// end time with deterministic tie-breaks, or real arrival order).
+type Completion struct {
+	// Task is the batch index the completion belongs to.
+	Task int
+	// Attempt is the winning attempt number (0 primary, 1 hedge).
+	Attempt int
+	// Host is the host slot that produced the winning result.
+	Host int
+	// Hedged reports whether a duplicate attempt was launched.
+	Hedged bool
+	// Cost is the time the winning attempt occupied its worker: the
+	// task-reported cost scaled by the host's speed multiplier on the
+	// virtual clock, or the attempt's reported cost on the wall clock.
+	Cost float64
+	// Waste is the time the losing attempt burned before cancellation
+	// (0 when no hedge was launched or the hedge never started).
+	Waste float64
+	// Start and End position the winning attempt on the pool's timeline,
+	// in seconds from the start of the Run call.
+	Start, End float64
+	// Result is the winning attempt's outcome.
+	Result Attempt
+}
+
+// Options configures a Pool.
+type Options struct {
+	// Workers bounds concurrent attempts (default: len(Hosts), else 4).
+	Workers int
+	// Hosts optionally maps worker slots onto host profiles: worker w
+	// runs on Hosts[w%len(Hosts)], and on the virtual clock an attempt's
+	// duration is its reported cost times the host's Mult. Empty means
+	// uniform hosts with multiplier 1.
+	Hosts []cloud.HostProfile
+	// Gate, when non-nil, is consulted before placing work on a host and
+	// told the outcome of every winning attempt. Quarantined hosts drain:
+	// running work finishes, new work goes elsewhere. If every host is
+	// quarantined the pool falls back to ignoring the gate rather than
+	// stalling.
+	Gate HostGate
+	// HedgeQuantile in (0,1) enables straggler hedging: an attempt
+	// running longer than this quantile of recent winning durations gets
+	// a duplicate on another worker, first result wins. 0 disables.
+	HedgeQuantile float64
+	// HedgeMinSamples is how many completed durations must be observed
+	// before hedging activates (default 8).
+	HedgeMinSamples int
+	// HedgeWindow is the size of the rolling duration window the quantile
+	// is computed over (default 64).
+	HedgeWindow int
+	// WallClock switches from the deterministic virtual clock to real
+	// goroutines, real timers, and real cancellation.
+	WallClock bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		if len(o.Hosts) > 0 {
+			o.Workers = len(o.Hosts)
+		} else {
+			o.Workers = 4
+		}
+	}
+	if o.HedgeMinSamples <= 0 {
+		o.HedgeMinSamples = 8
+	}
+	if o.HedgeWindow <= 0 {
+		o.HedgeWindow = 64
+	}
+	if o.HedgeQuantile < 0 || o.HedgeQuantile >= 1 {
+		o.HedgeQuantile = 0
+	}
+	return o
+}
+
+// Stats are cumulative pool counters across Run calls.
+type Stats struct {
+	// Tasks counts delivered completions.
+	Tasks int
+	// Hedges counts duplicate attempts launched; HedgeWins counts tasks
+	// where the hedge beat the primary.
+	Hedges    int
+	HedgeWins int
+	// Panics counts winning attempts whose error wraps ErrPanic.
+	Panics int
+	// Cancelled counts losing attempts cancelled after their sibling won.
+	Cancelled int
+	// WasteSeconds sums the time losing attempts burned.
+	WasteSeconds float64
+}
+
+// Pool schedules task batches over a bounded set of worker slots.
+// A Pool is reusable across batches; the hedge-duration window and the
+// stats persist between Run calls. Methods on Pool are safe for
+// concurrent use, but a single Run call owns the pool's timeline — run
+// batches sequentially.
+type Pool struct {
+	opts Options
+
+	mu     sync.Mutex
+	recent []float64 // ring buffer of recent winning durations
+	next   int       // ring write position
+	filled bool      // ring has wrapped at least once
+	stats  Stats
+}
+
+// New builds a pool. The zero Options value gives 4 uniform workers with
+// hedging disabled on the virtual clock.
+func New(opts Options) *Pool {
+	return &Pool{opts: opts.withDefaults()}
+}
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.opts.Workers }
+
+// Stats returns a snapshot of the cumulative counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Run executes tasks 0..n-1 via exec and delivers exactly one Completion
+// per finished task to deliver (which may be nil). It returns the batch
+// elapsed time — virtual seconds on the virtual clock, real seconds on
+// the wall clock — and the context error if the run was cut short. On
+// cancellation the pool drains gracefully: started attempts are delivered
+// (their results may carry the context error), unstarted tasks are
+// dropped and reported by the returned error, and nothing is delivered
+// twice.
+func (p *Pool) Run(ctx context.Context, n int, exec Exec, deliver func(Completion)) (float64, error) {
+	if n <= 0 {
+		return 0, ctx.Err()
+	}
+	if p.opts.WallClock {
+		return p.runWall(ctx, n, exec, deliver)
+	}
+	return p.runVirtual(ctx, n, exec, deliver)
+}
+
+// host maps a worker slot to its host index.
+func (p *Pool) host(worker int) int {
+	if len(p.opts.Hosts) == 0 {
+		return worker
+	}
+	return worker % len(p.opts.Hosts)
+}
+
+// hostMult is the speed multiplier of a worker's host (≥ 1 means slower).
+func (p *Pool) hostMult(worker int) float64 {
+	if len(p.opts.Hosts) == 0 {
+		return 1
+	}
+	m := p.opts.Hosts[p.host(worker)].Mult
+	if m <= 0 {
+		return 1
+	}
+	return m
+}
+
+// allowHost consults the gate (nil gate allows everything).
+func (p *Pool) allowHost(worker int) bool {
+	if p.opts.Gate == nil {
+		return true
+	}
+	return p.opts.Gate.AllowHost(p.host(worker))
+}
+
+// recordHost reports a winning attempt's outcome to the gate.
+func (p *Pool) recordHost(worker int, ok bool) {
+	if p.opts.Gate != nil {
+		p.opts.Gate.RecordHost(p.host(worker), ok)
+	}
+}
+
+// observeDuration feeds a winning duration into the hedge window.
+func (p *Pool) observeDuration(d float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.recent) < p.opts.HedgeWindow {
+		p.recent = append(p.recent, d)
+		return
+	}
+	p.recent[p.next] = d
+	p.next = (p.next + 1) % len(p.recent)
+	p.filled = true
+}
+
+// threshold returns the hedge trigger duration, or ok=false while hedging
+// is disabled or the window has too few samples.
+func (p *Pool) threshold() (float64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q := p.opts.HedgeQuantile
+	if q <= 0 || len(p.recent) < p.opts.HedgeMinSamples {
+		return 0, false
+	}
+	sorted := append([]float64(nil), p.recent...)
+	sort.Float64s(sorted)
+	// Linear-interpolated quantile over the sorted window.
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1], true
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo]), true
+}
+
+// runAttempt invokes exec under Guard so a panicking task surfaces as an
+// Attempt error instead of unwinding the scheduler.
+func runAttempt(ctx context.Context, exec Exec, task, attempt int) Attempt {
+	var at Attempt
+	if err := Guard(func() error {
+		at = exec(ctx, task, attempt)
+		return nil
+	}); err != nil {
+		at = Attempt{Err: err}
+	}
+	return at
+}
+
+// countWin updates the cumulative stats for a delivered completion.
+func (p *Pool) countWin(c Completion, cancelled int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Tasks++
+	if c.Attempt > 0 {
+		p.stats.HedgeWins++
+	}
+	if errors.Is(c.Result.Err, ErrPanic) {
+		p.stats.Panics++
+	}
+	p.stats.Cancelled += cancelled
+	p.stats.WasteSeconds += c.Waste
+}
+
+func (p *Pool) countHedge() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Hedges++
+}

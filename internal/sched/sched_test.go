@@ -1,0 +1,377 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autotune/internal/cloud"
+)
+
+// costExec returns an Exec whose task costs come from a fixed table.
+func costExec(costs []float64) Exec {
+	return func(ctx context.Context, task, attempt int) Attempt {
+		return Attempt{Cost: costs[task], Payload: task}
+	}
+}
+
+func collect(t *testing.T, p *Pool, ctx context.Context, n int, exec Exec) ([]Completion, float64, error) {
+	t.Helper()
+	var out []Completion
+	elapsed, err := p.Run(ctx, n, exec, func(c Completion) { out = append(out, c) })
+	return out, elapsed, err
+}
+
+func TestVirtualUniformBatch(t *testing.T) {
+	p := New(Options{Workers: 2})
+	costs := []float64{1, 1, 1, 1}
+	got, elapsed, err := collect(t, p, context.Background(), 4, costExec(costs))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d completions, want 4", len(got))
+	}
+	// 4 unit tasks over 2 workers: two rounds of parallel pairs.
+	if elapsed != 2 {
+		t.Fatalf("elapsed = %v, want 2", elapsed)
+	}
+	seen := map[int]bool{}
+	for _, c := range got {
+		if seen[c.Task] {
+			t.Fatalf("task %d delivered twice", c.Task)
+		}
+		seen[c.Task] = true
+	}
+}
+
+func TestVirtualHedgeBeatsSlowHost(t *testing.T) {
+	hosts := []cloud.HostProfile{{Mult: 1}, {Mult: 1}, {Mult: 10, Outlier: true}}
+	p := New(Options{Workers: 3, Hosts: hosts, HedgeQuantile: 0.8, HedgeMinSamples: 2, HedgeWindow: 16})
+	uniform := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	// Prime the duration window (no hedging yet possible on the very
+	// first placements, and the threshold settles near the unit cost).
+	if _, _, err := collect(t, p, context.Background(), 6, costExec(uniform(6))); err != nil {
+		t.Fatalf("prime: %v", err)
+	}
+	got, elapsed, err := collect(t, p, context.Background(), 3, costExec(uniform(3)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d completions, want 3", len(got))
+	}
+	st := p.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("stats = %+v, want exactly one hedge and one hedge win", st)
+	}
+	// Without hedging the slow host pins the batch at 10 virtual
+	// seconds; the duplicate launched at the threshold finishes at 2.
+	if elapsed >= 10 {
+		t.Fatalf("elapsed = %v, hedging should beat the 10s straggler", elapsed)
+	}
+	var hedged *Completion
+	for i := range got {
+		if got[i].Hedged {
+			hedged = &got[i]
+		}
+	}
+	if hedged == nil {
+		t.Fatalf("no hedged completion in %+v", got)
+	}
+	if hedged.Attempt != 1 {
+		t.Fatalf("hedged completion won attempt %d, want the hedge (1)", hedged.Attempt)
+	}
+	if hedged.Waste <= 0 {
+		t.Fatalf("hedged completion waste = %v, want > 0 (cancelled primary)", hedged.Waste)
+	}
+}
+
+func TestVirtualDeterministic(t *testing.T) {
+	hosts := []cloud.HostProfile{{Mult: 1}, {Mult: 1.2}, {Mult: 8, Outlier: true}, {Mult: 1}}
+	run := func() ([]Completion, float64) {
+		p := New(Options{Workers: 4, Hosts: hosts, HedgeQuantile: 0.7, HedgeMinSamples: 4, HedgeWindow: 32})
+		var all []Completion
+		var total float64
+		for batch := 0; batch < 5; batch++ {
+			costs := make([]float64, 8)
+			for i := range costs {
+				costs[i] = 1 + float64((batch*8+i)%3)*0.25
+			}
+			got, elapsed, err := collect(t, p, context.Background(), 8, costExec(costs))
+			if err != nil {
+				t.Fatalf("batch %d: %v", batch, err)
+			}
+			all = append(all, got...)
+			total += elapsed
+		}
+		return all, total
+	}
+	a, ea := run()
+	b, eb := run()
+	if ea != eb {
+		t.Fatalf("elapsed diverged: %v vs %v", ea, eb)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("completion counts diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		x.Result.Payload, y.Result.Payload = nil, nil
+		if x != y {
+			t.Fatalf("completion %d diverged:\n%+v\n%+v", i, x, y)
+		}
+	}
+}
+
+func TestVirtualPanicIsolated(t *testing.T) {
+	p := New(Options{Workers: 2})
+	exec := func(ctx context.Context, task, attempt int) Attempt {
+		if task == 1 {
+			panic("environment bug")
+		}
+		return Attempt{Cost: 1}
+	}
+	got, _, err := collect(t, p, context.Background(), 3, exec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d completions, want 3 (panic must not lose the task)", len(got))
+	}
+	var panicked int
+	for _, c := range got {
+		if c.Result.Err != nil {
+			if !errors.Is(c.Result.Err, ErrPanic) {
+				t.Fatalf("task %d error %v, want ErrPanic", c.Task, c.Result.Err)
+			}
+			panicked++
+		}
+	}
+	if panicked != 1 {
+		t.Fatalf("%d panicked completions, want 1", panicked)
+	}
+	if st := p.Stats(); st.Panics != 1 {
+		t.Fatalf("stats.Panics = %d, want 1", st.Panics)
+	}
+	// The pool survives for the next batch.
+	if _, _, err := collect(t, p, context.Background(), 2, costExec([]float64{1, 1})); err != nil {
+		t.Fatalf("pool unusable after panic: %v", err)
+	}
+}
+
+type fakeGate struct {
+	blocked map[int]bool
+	records []string
+}
+
+func (g *fakeGate) AllowHost(host int) bool { return !g.blocked[host] }
+func (g *fakeGate) RecordHost(host int, ok bool) {
+	g.records = append(g.records, fmt.Sprintf("%d:%v", host, ok))
+}
+
+func TestVirtualGateDrainsQuarantinedHost(t *testing.T) {
+	gate := &fakeGate{blocked: map[int]bool{1: true}}
+	p := New(Options{Workers: 2, Hosts: []cloud.HostProfile{{Mult: 1}, {Mult: 1}}, Gate: gate})
+	got, _, err := collect(t, p, context.Background(), 4, costExec([]float64{1, 1, 1, 1}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, c := range got {
+		if c.Host != 0 {
+			t.Fatalf("task %d placed on quarantined host %d", c.Task, c.Host)
+		}
+	}
+}
+
+func TestVirtualGateFullQuarantineFallsBack(t *testing.T) {
+	gate := &fakeGate{blocked: map[int]bool{0: true, 1: true}}
+	p := New(Options{Workers: 2, Gate: gate})
+	got, _, err := collect(t, p, context.Background(), 3, costExec([]float64{1, 1, 1}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d completions, want 3 (full quarantine must degrade, not stall)", len(got))
+	}
+}
+
+func TestVirtualDrainOnCancel(t *testing.T) {
+	var delivered []int
+	p := New(Options{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	exec := func(c context.Context, task, attempt int) Attempt {
+		if task == 2 {
+			cancel() // the kill arrives while task 2 is being evaluated
+		}
+		return Attempt{Cost: 1}
+	}
+	_, err := p.Run(ctx, 6, exec, func(c Completion) { delivered = append(delivered, c.Task) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Tasks 0..2 were evaluated before the cancellation was observed and
+	// must be delivered; 3..5 were never started and must not be.
+	want := map[int]bool{0: true, 1: true, 2: true}
+	if len(delivered) != 3 {
+		t.Fatalf("delivered %v, want exactly tasks 0..2", delivered)
+	}
+	for _, id := range delivered {
+		if !want[id] {
+			t.Fatalf("delivered unstarted task %d", id)
+		}
+	}
+}
+
+func TestWallClockBasic(t *testing.T) {
+	p := New(Options{Workers: 4, WallClock: true})
+	var ran atomic.Int64
+	exec := func(ctx context.Context, task, attempt int) Attempt {
+		ran.Add(1)
+		time.Sleep(time.Millisecond)
+		return Attempt{Cost: 0.001, Payload: task}
+	}
+	got, elapsed, err := collect(t, p, context.Background(), 32, exec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 32 {
+		t.Fatalf("got %d completions, want 32", len(got))
+	}
+	seen := map[int]bool{}
+	for _, c := range got {
+		if seen[c.Task] {
+			t.Fatalf("task %d delivered twice", c.Task)
+		}
+		seen[c.Task] = true
+	}
+	if elapsed <= 0 {
+		t.Fatalf("elapsed = %v, want > 0 on the wall clock", elapsed)
+	}
+}
+
+func TestWallClockPanicWorkerSurvives(t *testing.T) {
+	p := New(Options{Workers: 2, WallClock: true})
+	exec := func(ctx context.Context, task, attempt int) Attempt {
+		if task%2 == 0 {
+			panic(fmt.Sprintf("task %d exploded", task))
+		}
+		return Attempt{Cost: 0.001}
+	}
+	got, _, err := collect(t, p, context.Background(), 8, exec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("got %d completions, want 8 — panics must not eat worker slots", len(got))
+	}
+	panics := 0
+	for _, c := range got {
+		if errors.Is(c.Result.Err, ErrPanic) {
+			panics++
+		}
+	}
+	if panics != 4 {
+		t.Fatalf("%d panic completions, want 4", panics)
+	}
+}
+
+func TestWallClockHedgeWins(t *testing.T) {
+	p := New(Options{Workers: 2, WallClock: true, HedgeQuantile: 0.5, HedgeMinSamples: 4, HedgeWindow: 16})
+	quick := func(ctx context.Context, task, attempt int) Attempt {
+		time.Sleep(2 * time.Millisecond)
+		return Attempt{Cost: 0.002}
+	}
+	if _, _, err := collect(t, p, context.Background(), 8, quick); err != nil {
+		t.Fatalf("prime: %v", err)
+	}
+	// One task whose primary hangs until cancelled; the hedge returns
+	// promptly, so the batch must finish far sooner than the hang.
+	exec := func(ctx context.Context, task, attempt int) Attempt {
+		if attempt == 0 {
+			select {
+			case <-ctx.Done():
+				return Attempt{Err: ctx.Err()}
+			case <-time.After(5 * time.Second):
+				return Attempt{Cost: 5}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		return Attempt{Cost: 0.002}
+	}
+	got, elapsed, err := collect(t, p, context.Background(), 1, exec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 1 || got[0].Attempt != 1 || !got[0].Hedged {
+		t.Fatalf("completion %+v, want the hedge (attempt 1) to win", got)
+	}
+	if elapsed > 2 {
+		t.Fatalf("elapsed = %vs, hedge should finish long before the 5s hang", elapsed)
+	}
+	if st := p.Stats(); st.HedgeWins != 1 {
+		t.Fatalf("stats = %+v, want one hedge win", st)
+	}
+}
+
+func TestWallClockDrainOnCancel(t *testing.T) {
+	p := New(Options{Workers: 2, WallClock: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	exec := func(c context.Context, task, attempt int) Attempt {
+		started.Add(1)
+		select {
+		case <-c.Done():
+			return Attempt{Err: c.Err()}
+		case <-time.After(20 * time.Millisecond):
+			return Attempt{Cost: 0.02}
+		}
+	}
+	var delivered []int
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := p.Run(ctx, 16, exec, func(c Completion) { delivered = append(delivered, c.Task) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	seen := map[int]bool{}
+	for _, id := range delivered {
+		if seen[id] {
+			t.Fatalf("task %d delivered twice during drain", id)
+		}
+		seen[id] = true
+	}
+	// Everything that started must be delivered; with 2 workers and a
+	// 5ms kill, far fewer than 16 start.
+	if int64(len(delivered)) != started.Load() {
+		t.Fatalf("delivered %d of %d started attempts — drain dropped in-flight work",
+			len(delivered), started.Load())
+	}
+}
+
+func TestGuardPassesThrough(t *testing.T) {
+	want := errors.New("boom")
+	if err := Guard(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+	if err := Guard(func() error { return nil }); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	err := Guard(func() error { panic("kaboom") })
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+}

@@ -1,0 +1,149 @@
+package sched_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"autotune/internal/cloud"
+	"autotune/internal/resilience"
+	"autotune/internal/sched"
+	"autotune/internal/space"
+	"autotune/internal/trial"
+)
+
+// TestSoakWallClockFaultInjection drives the real (wall-clock) pool
+// through resilience.Injector's fault battery — transients, hangs,
+// stragglers, flaky hosts — with a live Breaker as the placement gate,
+// and asserts the exactly-once delivery contract: every task completes
+// exactly once, in nondecreasing timeline order, with the stats
+// consistent. Run under -race this doubles as the concurrency soak for
+// the worker pool and the breaker.
+func TestSoakWallClockFaultInjection(t *testing.T) {
+	sp := space.MustNew(space.Float("x", 0, 1))
+	inner := &trial.FuncEnv{Sp: sp, F: func(c space.Config) float64 { return c.Float("x") }}
+	hosts := []cloud.HostProfile{
+		{Mult: 1}, {Mult: 1},
+		{Mult: 1, Flaky: true, FailRate: 0.3},
+		{Mult: 4, Outlier: true},
+		{Mult: 1}, {Mult: 1},
+	}
+	br := resilience.NewBreaker()
+	inj := resilience.NewInjector(inner, resilience.InjectorOptions{
+		TransientProb: 0.15,
+		HangProb:      0.05,
+		HangFor:       2 * time.Millisecond,
+		StragglerProb: 0.1,
+		Hosts:         hosts,
+		Breaker:       br,
+		Seed:          42,
+	})
+	pool := sched.New(sched.Options{
+		Workers:         8,
+		Hosts:           hosts,
+		Gate:            br,
+		HedgeQuantile:   0.9,
+		HedgeMinSamples: 8,
+		WallClock:       true,
+	})
+
+	const n = 200
+	rng := rand.New(rand.NewSource(1))
+	cfgs := make([]space.Config, n)
+	for i := range cfgs {
+		cfgs[i] = sp.Sample(rng)
+	}
+	exec := func(ctx context.Context, task, attempt int) sched.Attempt {
+		res, err := inj.Run(ctx, cfgs[task], 1)
+		return sched.Attempt{Cost: res.CostSeconds, Err: err, Payload: task}
+	}
+
+	counts := make([]int, n)
+	var order []float64
+	elapsed, err := pool.Run(context.Background(), n, exec, func(c sched.Completion) {
+		counts[c.Task]++
+		order = append(order, c.End)
+		if got, ok := c.Result.Payload.(int); ok && got != c.Task {
+			t.Errorf("task %d delivered payload of task %d", c.Task, got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatalf("elapsed = %v", elapsed)
+	}
+	for task, got := range counts {
+		if got != 1 {
+			t.Fatalf("task %d delivered %d times, want exactly once", task, got)
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("completion %d delivered out of timeline order: %v after %v", i, order[i], order[i-1])
+		}
+	}
+	stats := pool.Stats()
+	if stats.Tasks != n {
+		t.Fatalf("stats.Tasks = %d, want %d", stats.Tasks, n)
+	}
+	if stats.HedgeWins > stats.Hedges {
+		t.Fatalf("hedge wins %d exceed hedges launched %d", stats.HedgeWins, stats.Hedges)
+	}
+	if istats := inj.Stats(); istats.Attempts < n {
+		t.Fatalf("injector saw %d attempts, want >= %d", istats.Attempts, n)
+	}
+}
+
+// TestSoakWallClockDrainUnderFaults cancels mid-flight and checks the
+// drain contract under fault injection: whatever started is delivered
+// exactly once, nothing is delivered twice, and the pool reports the
+// cancellation.
+func TestSoakWallClockDrainUnderFaults(t *testing.T) {
+	sp := space.MustNew(space.Float("x", 0, 1))
+	inner := &trial.FuncEnv{Sp: sp, F: func(c space.Config) float64 { return c.Float("x") }}
+	inj := resilience.NewInjector(inner, resilience.InjectorOptions{
+		TransientProb: 0.2,
+		HangProb:      0.1,
+		HangFor:       2 * time.Millisecond,
+		Seed:          7,
+	})
+	pool := sched.New(sched.Options{Workers: 4, WallClock: true})
+
+	const n = 64
+	rng := rand.New(rand.NewSource(2))
+	cfgs := make([]space.Config, n)
+	for i := range cfgs {
+		cfgs[i] = sp.Sample(rng)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	exec := func(actx context.Context, task, attempt int) sched.Attempt {
+		if task == 20 {
+			cancel()
+		}
+		res, err := inj.Run(actx, cfgs[task], 1)
+		return sched.Attempt{Cost: res.CostSeconds, Err: err}
+	}
+	counts := make([]int, n)
+	_, err := pool.Run(ctx, n, exec, func(c sched.Completion) {
+		counts[c.Task]++
+	})
+	if err == nil {
+		t.Fatal("expected the context error after drain")
+	}
+	delivered := 0
+	for task, got := range counts {
+		if got > 1 {
+			t.Fatalf("task %d delivered %d times", task, got)
+		}
+		delivered += got
+	}
+	if delivered == 0 || delivered > n {
+		t.Fatalf("delivered = %d of %d", delivered, n)
+	}
+	if stats := pool.Stats(); stats.Tasks != delivered {
+		t.Fatalf("stats.Tasks = %d, deliveries = %d", stats.Tasks, delivered)
+	}
+}

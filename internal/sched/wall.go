@@ -1,0 +1,229 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// The wall clock runs real worker goroutines: one unbuffered channel per
+// worker, a single dispatcher goroutine (the Run caller) that owns all
+// scheduling state, and a shared completion channel. Hedge timers are
+// real timers, cancellation is real context cancellation, and elapsed
+// time is measured. Used by environments that do real work, where the
+// virtual clock's inline evaluation would serialize it.
+
+type wallAttempt struct {
+	task, attempt, worker int
+	ctx                   context.Context
+	cancel                context.CancelFunc
+	started               time.Time
+}
+
+type wallResult struct {
+	at      *wallAttempt
+	res     Attempt
+	elapsed float64 // measured seconds the attempt held its worker
+}
+
+type wallTask struct {
+	done     bool
+	hedged   bool
+	started  bool
+	attempts []*wallAttempt
+	timer    *time.Timer
+}
+
+type workItem struct{ task, attempt int }
+
+func (p *Pool) runWall(ctx context.Context, n int, exec Exec, deliver func(Completion)) (float64, error) {
+	began := time.Now()
+	workers := p.opts.Workers
+	workc := make([]chan *wallAttempt, workers)
+	resc := make(chan wallResult)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workc[w] = make(chan *wallAttempt)
+		wg.Add(1)
+		in := workc[w]
+		//autolint:ignore nakedgo pool worker: runAttempt recovers task panics, so the loop body cannot panic
+		go func() {
+			defer wg.Done()
+			for at := range in {
+				t0 := time.Now()
+				res := runAttempt(at.ctx, exec, at.task, at.attempt)
+				resc <- wallResult{at: at, res: res, elapsed: time.Since(t0).Seconds()}
+			}
+		}()
+	}
+
+	tasks := make([]*wallTask, n)
+	pending := make([]workItem, 0, n)
+	for i := range tasks {
+		tasks[i] = &wallTask{}
+		pending = append(pending, workItem{task: i})
+	}
+	idle := make([]bool, workers)
+	for w := range idle {
+		idle[w] = true
+	}
+	hedgec := make(chan int, n)
+	inflight := 0
+	remaining := n
+	donec := ctx.Done()
+	draining := false
+	elapsed := 0.0
+
+	// pickWorker returns the lowest-index idle, gate-allowed worker other
+	// than exclude. When quarantine blocks every idle worker and nothing
+	// is in flight, waiting cannot help — fall back to any idle worker so
+	// the batch cannot stall.
+	pickWorker := func(exclude int) (int, bool) {
+		fallback := -1
+		for w := 0; w < workers; w++ {
+			if !idle[w] || w == exclude {
+				continue
+			}
+			if p.allowHost(w) {
+				return w, true
+			}
+			if fallback == -1 {
+				fallback = w
+			}
+		}
+		if fallback != -1 && inflight == 0 {
+			return fallback, true
+		}
+		if exclude >= 0 && exclude < workers && idle[exclude] && inflight == 0 {
+			return exclude, true
+		}
+		return -1, false
+	}
+
+	dispatch := func() {
+		for len(pending) > 0 {
+			item := pending[0]
+			t := tasks[item.task]
+			if t.done {
+				pending = pending[1:]
+				continue
+			}
+			exclude := -1
+			if item.attempt > 0 && workers > 1 && len(t.attempts) > 0 {
+				exclude = t.attempts[0].worker
+			}
+			w, ok := pickWorker(exclude)
+			if !ok {
+				return
+			}
+			pending = pending[1:]
+			actx, cancel := context.WithCancel(ctx)
+			at := &wallAttempt{task: item.task, attempt: item.attempt, worker: w,
+				ctx: actx, cancel: cancel, started: time.Now()}
+			t.attempts = append(t.attempts, at)
+			t.started = true
+			idle[w] = false
+			inflight++
+			if item.attempt == 0 && !draining {
+				if thr, ok := p.threshold(); ok {
+					task := item.task
+					t.timer = time.AfterFunc(time.Duration(thr*float64(time.Second)), func() {
+						select {
+						case hedgec <- task:
+						default:
+						}
+					})
+				}
+			}
+			workc[w] <- at
+		}
+	}
+
+	dispatch()
+	for remaining > 0 || inflight > 0 {
+		select {
+		case r := <-resc:
+			inflight--
+			idle[r.at.worker] = true
+			r.at.cancel()
+			t := tasks[r.at.task]
+			if t.done {
+				// Losing attempt straggling home after cancellation; its
+				// waste was charged when the winner was delivered.
+				dispatch()
+				continue
+			}
+			t.done = true
+			if t.timer != nil {
+				t.timer.Stop()
+			}
+			var waste float64
+			cancelled := 0
+			for _, other := range t.attempts {
+				if other == r.at {
+					continue
+				}
+				// Still in flight (had it finished, t.done would be set);
+				// cancel it and charge the time it has burned so far.
+				other.cancel()
+				cancelled++
+				waste += time.Since(other.started).Seconds()
+			}
+			p.recordHost(r.at.worker, r.res.Err == nil)
+			if r.res.Err == nil {
+				p.observeDuration(r.elapsed)
+			}
+			end := time.Since(began).Seconds()
+			if end > elapsed {
+				elapsed = end
+			}
+			remaining--
+			c := Completion{
+				Task:    r.at.task,
+				Attempt: r.at.attempt,
+				Host:    p.host(r.at.worker),
+				Hedged:  t.hedged,
+				Cost:    r.res.Cost,
+				Waste:   waste,
+				Start:   end - r.elapsed,
+				End:     end,
+				Result:  r.res,
+			}
+			p.countWin(c, cancelled)
+			if deliver != nil {
+				deliver(c)
+			}
+			dispatch()
+		case taskID := <-hedgec:
+			t := tasks[taskID]
+			if t.done || t.hedged || draining {
+				continue
+			}
+			t.hedged = true
+			p.countHedge()
+			pending = append(pending, workItem{task: taskID, attempt: 1})
+			dispatch()
+		case <-donec:
+			donec = nil
+			draining = true
+			// Drop unstarted tasks (the returned error reports the cut);
+			// started attempts keep draining and are delivered above.
+			for _, item := range pending {
+				if item.attempt == 0 && !tasks[item.task].started {
+					remaining--
+				}
+			}
+			pending = nil
+		}
+	}
+	for _, c := range workc {
+		close(c)
+	}
+	wg.Wait()
+	for _, t := range tasks {
+		if t.timer != nil {
+			t.timer.Stop()
+		}
+	}
+	return elapsed, ctx.Err()
+}

@@ -1,0 +1,133 @@
+package trial
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Journal is a crash-safe write-ahead log of completed trials: one JSON
+// line per TrialRecord, fsync'd before Append returns. The tuning loop
+// appends every outcome to the journal *before* reporting it to the
+// optimizer, so a process killed mid-batch loses no finished trial —
+// Resume replays the journal, including records from a batch whose
+// checkpoint was never written.
+//
+// The file is append-only across runs: a resumed session keeps appending
+// to the same journal, and records are deduplicated by trial ID on read.
+// A torn final line (the classic crash-during-append artifact) is
+// ignored.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (creating if needed) the journal at path for
+// appending and fsyncs the parent directory so the file itself survives
+// a crash immediately after creation.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trial: open journal %s: %w", path, err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		//autolint:ignore droppederr already failing; the close error is secondary
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Append writes one record as a JSON line and fsyncs it. An append
+// failure means the durability guarantee is gone, so callers must treat
+// it as fatal for the run (the record has NOT been made durable).
+func (j *Journal) Append(rec TrialRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("trial: marshal journal record %d: %w", rec.ID, err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("trial: append journal %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("trial: sync journal %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// ReadJournal loads every intact record from a journal file, sorted by
+// trial ID with duplicates dropped (first occurrence wins). A missing
+// file is an empty journal, not an error; a torn final line is skipped.
+func ReadJournal(path string) ([]TrialRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("trial: open journal %s: %w", path, err)
+	}
+	defer f.Close()
+	var out []TrialRecord
+	seen := map[int]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec TrialRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn tail is expected after a crash mid-append; any
+			// record that did not finish its fsync'd write never reached
+			// the optimizer either, so dropping it is lossless.
+			continue
+		}
+		if seen[rec.ID] {
+			continue
+		}
+		seen[rec.ID] = true
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trial: scan journal %s: %w", path, err)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out, nil
+}
+
+// syncDir fsyncs a directory so a rename or create inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("trial: open dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trial: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

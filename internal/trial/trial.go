@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"autotune/internal/optimizer"
+	"autotune/internal/sched"
 	"autotune/internal/simsys"
 	"autotune/internal/space"
 	"autotune/internal/workload"
@@ -61,6 +62,11 @@ type Abortable interface {
 
 // ErrCrash aliases simsys.ErrCrash so callers need not import simsys.
 var ErrCrash = simsys.ErrCrash
+
+// ErrPanic aliases sched.ErrPanic: a trial whose Environment panicked is
+// recovered at the trial boundary and scored as a crash; the record's
+// error wraps this sentinel together with the panic value and stack.
+var ErrPanic = sched.ErrPanic
 
 // FuncEnv adapts a plain objective function to Environment.
 type FuncEnv struct {
@@ -226,6 +232,23 @@ type Options struct {
 	DegradeAfterTimeouts int
 	// MinFidelity floors fidelity degradation (default 0.1).
 	MinFidelity float64
+	// Scheduler, when non-nil, replaces the synchronized batch barrier
+	// with the supervised asynchronous pool from internal/sched: bounded
+	// workers mapped onto host slots, panic isolation, straggler hedging,
+	// quarantine-aware placement, and graceful drain. Parallel still sets
+	// the batch size; Scheduler.Workers defaults to Parallel. The default
+	// virtual clock keeps identically-seeded runs bitwise identical.
+	Scheduler *sched.Options
+	// HedgeQuantile in (0,1) is a convenience knob: it enables the
+	// scheduler (with defaults) and hedges trials that run past this
+	// quantile of recent trial durations. Ignored when Scheduler already
+	// sets its own quantile.
+	HedgeQuantile float64
+	// Journal, when non-empty, appends every completed trial as one
+	// fsync'd JSON line to this write-ahead log *before* the optimizer
+	// observes it. A run killed mid-batch resumes from the journal with
+	// every finished trial intact; see Resume.
+	Journal string
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -244,6 +267,26 @@ func (o Options) withDefaults() (Options, error) {
 	if o.MinFidelity <= 0 {
 		o.MinFidelity = 0.1
 	}
+	if o.HedgeQuantile < 0 || o.HedgeQuantile >= 1 {
+		o.HedgeQuantile = 0
+	}
+	if o.Scheduler == nil && o.HedgeQuantile > 0 {
+		o.Scheduler = &sched.Options{}
+	}
+	if o.Scheduler != nil {
+		sc := *o.Scheduler // default a copy; the caller's struct stays untouched
+		if sc.HedgeQuantile == 0 {
+			sc.HedgeQuantile = o.HedgeQuantile
+		}
+		if sc.Workers <= 0 {
+			if len(sc.Hosts) > 0 {
+				sc.Workers = len(sc.Hosts)
+			} else {
+				sc.Workers = o.Parallel
+			}
+		}
+		o.Scheduler = &sc
+	}
 	return o, nil
 }
 
@@ -259,6 +302,9 @@ type TrialRecord struct {
 	// Fidelity records the fidelity the trial actually ran at (may be
 	// below Options.Fidelity after graceful degradation).
 	Fidelity float64 `json:"fidelity,omitempty"`
+	// Hedged marks trials where the scheduler launched a duplicate
+	// attempt; the recorded result is the winner's.
+	Hedged bool `json:"hedged,omitempty"`
 }
 
 // Report is a completed tuning session.
@@ -279,6 +325,13 @@ type Report struct {
 	Degradations int `json:"degradations,omitempty"`
 	// Resumed counts trials restored from a checkpoint rather than run.
 	Resumed int `json:"resumed,omitempty"`
+	// Hedges counts duplicate attempts launched by the scheduler;
+	// HedgeWins counts trials where the duplicate finished first.
+	Hedges    int `json:"hedges,omitempty"`
+	HedgeWins int `json:"hedge_wins,omitempty"`
+	// Panics counts trials whose environment panicked (recovered at the
+	// trial boundary and scored as crashes).
+	Panics int `json:"panics,omitempty"`
 }
 
 // Run drives the optimizer against the environment for the full budget.
@@ -302,11 +355,15 @@ func RunContext(ctx context.Context, o optimizer.Optimizer, env Environment, opt
 }
 
 // Resume continues a tuning session from the checkpoint at
-// opts.Checkpoint: the recorded trials are replayed into the optimizer
-// (Observe only — the environment is not re-run), counters and the
-// incumbent are restored, and the loop continues until the budget is
-// reached. A checkpoint that already covers the budget returns
-// immediately without touching the environment.
+// opts.Checkpoint and/or the write-ahead journal at opts.Journal: the
+// recorded trials are replayed into the optimizer (Observe only — the
+// environment is not re-run), counters and the incumbent are restored,
+// and the loop continues until the budget is reached. The journal is the
+// finer-grained source: it holds trials from a batch that was killed
+// before its checkpoint was written, so a mid-batch kill loses zero
+// finished trials and re-runs none of them. A history that already
+// covers the budget returns immediately without touching the
+// environment.
 func Resume(o optimizer.Optimizer, env Environment, opts Options) (Report, error) {
 	//autolint:ignore ctxpass public context-free convenience wrapper over ResumeContext
 	return ResumeContext(context.Background(), o, env, opts)
@@ -318,12 +375,22 @@ func ResumeContext(ctx context.Context, o optimizer.Optimizer, env Environment, 
 	if err != nil {
 		return Report{}, err
 	}
-	if opts.Checkpoint == "" {
-		return Report{}, errors.New("trial: resume needs Options.Checkpoint")
+	if opts.Checkpoint == "" && opts.Journal == "" {
+		return Report{}, errors.New("trial: resume needs Options.Checkpoint or Options.Journal")
 	}
-	rep, err := LoadReport(opts.Checkpoint)
-	if err != nil {
-		return Report{}, fmt.Errorf("trial: resume: %w", err)
+	var rep Report
+	if opts.Checkpoint != "" {
+		rep, err = LoadReport(opts.Checkpoint)
+		if err != nil {
+			return Report{}, fmt.Errorf("trial: resume: %w", err)
+		}
+	}
+	if opts.Journal != "" {
+		recs, err := ReadJournal(opts.Journal)
+		if err != nil {
+			return Report{}, fmt.Errorf("trial: resume: %w", err)
+		}
+		mergeJournal(&rep, recs)
 	}
 	// Rebuild derived state from the trial log rather than trusting the
 	// stored summary: the incumbent, the worst finite value (crash
@@ -352,6 +419,34 @@ func ResumeContext(ctx context.Context, o optimizer.Optimizer, env Environment, 
 	return finishRun(runLoop(ctx, o, env, opts, &rep, worstFinite))
 }
 
+// mergeJournal folds journal records the checkpoint does not cover into
+// the report. Records are already ID-deduplicated by ReadJournal;
+// duplicates against the checkpoint are dropped here, so the merged
+// trial set contains each completed trial exactly once.
+func mergeJournal(rep *Report, recs []TrialRecord) {
+	seen := make(map[int]bool, len(rep.Trials))
+	for _, tr := range rep.Trials {
+		seen[tr.ID] = true
+	}
+	for _, rec := range recs {
+		if seen[rec.ID] {
+			continue
+		}
+		seen[rec.ID] = true
+		rep.Trials = append(rep.Trials, rec)
+		rep.TotalCostSeconds += rec.CostSeconds
+		if rec.Crashed {
+			rep.Crashes++
+			if rec.TimedOut {
+				rep.Timeouts++
+			}
+		}
+		if rec.Aborted {
+			rep.Aborts++
+		}
+	}
+}
+
 // finishRun applies the terminal invariants shared by Run and Resume.
 func finishRun(rep *Report, err error) (Report, error) {
 	if err != nil {
@@ -363,11 +458,185 @@ func finishRun(rep *Report, err error) (Report, error) {
 	return *rep, nil
 }
 
-// runLoop executes trials id=len(rep.Trials)..Budget-1, mutating rep.
+// runState carries the mutable loop state shared by the barrier and
+// scheduler execution paths.
+type runState struct {
+	opts           Options
+	o              optimizer.Optimizer
+	rep            *Report
+	journal        *Journal
+	worstFinite    float64
+	consecTimeouts int
+	// nextID is the next trial ID to assign. It starts past the largest
+	// recorded ID (not at len(Trials)): a resumed journal may have gaps
+	// where a drained batch pre-assigned IDs that never completed, and
+	// those must not be reused for different configs.
+	nextID int
+}
+
+// nextTrialID returns one past the largest recorded trial ID.
+func nextTrialID(trials []TrialRecord) int {
+	next := 0
+	for _, t := range trials {
+		if t.ID >= next {
+			next = t.ID + 1
+		}
+	}
+	return next
+}
+
+// absorb finalizes one completed trial: impute the crash penalty, update
+// the incumbent and timeout counters, make the record durable, report it
+// to the optimizer, and append it to the report. Order is the WAL
+// contract: the journal append happens *before* Observe, so any trial
+// the optimizer has seen is recoverable after a kill.
+func (s *runState) absorb(cfg space.Config, r trialOutcome, id int, fid float64, hedged bool) error {
+	rec := TrialRecord{
+		ID:          id,
+		Config:      cfg.Clone(),
+		Value:       r.res.Value,
+		CostSeconds: r.res.CostSeconds,
+		Aborted:     r.aborted,
+		Fidelity:    fid,
+		Hedged:      hedged,
+	}
+	s.rep.TotalCostSeconds += r.res.CostSeconds
+	obsValue := r.res.Value
+	if r.err != nil {
+		rec.Crashed = true
+		s.rep.Crashes++
+		if errors.Is(r.err, ErrPanic) {
+			s.rep.Panics++
+		}
+		if errors.Is(r.err, context.DeadlineExceeded) {
+			rec.TimedOut = true
+			s.rep.Timeouts++
+			s.consecTimeouts++
+		}
+		// Impute the penalty score (slide 67: "make it up").
+		if math.IsInf(s.worstFinite, -1) {
+			obsValue = 1e6
+		} else {
+			obsValue = s.opts.CrashPenaltyFactor * math.Max(s.worstFinite, math.Abs(s.worstFinite))
+			if obsValue <= s.worstFinite {
+				obsValue = s.worstFinite + 1
+			}
+		}
+		rec.Value = obsValue
+	} else {
+		s.consecTimeouts = 0
+		if obsValue > s.worstFinite {
+			s.worstFinite = obsValue
+		}
+		if obsValue < s.rep.BestValue {
+			s.rep.BestValue = obsValue
+			s.rep.BestConfig = cfg.Clone()
+		}
+	}
+	if r.aborted {
+		s.rep.Aborts++
+	}
+	if s.journal != nil {
+		if err := s.journal.Append(rec); err != nil {
+			return err
+		}
+	}
+	if err := s.o.Observe(cfg, obsValue); err != nil {
+		return fmt.Errorf("trial %d observe: %w", rec.ID, err)
+	}
+	s.rep.Trials = append(s.rep.Trials, rec)
+	return nil
+}
+
+// runBarrierBatch is the legacy synchronized path: evaluate the whole
+// batch, wait for every trial, absorb results in batch order.
+func (s *runState) runBarrierBatch(ctx context.Context, env Environment, batch []space.Config, fid float64) error {
+	results := runBatch(ctx, env, batch, s.opts, fid, s.rep.BestValue)
+	if err := ctx.Err(); err != nil {
+		// The batch raced with cancellation; its results are suspect
+		// (environments may have returned early) — drop them and let
+		// Resume re-run the batch.
+		return err
+	}
+	batchMaxCost := 0.0
+	for i, cfg := range batch {
+		if results[i].res.CostSeconds > batchMaxCost {
+			batchMaxCost = results[i].res.CostSeconds
+		}
+		if err := s.absorb(cfg, results[i], s.nextID, fid, false); err != nil {
+			return err
+		}
+		s.nextID++
+	}
+	s.rep.WallClockSeconds += batchMaxCost
+	return nil
+}
+
+// runSchedBatch routes the batch through the asynchronous pool:
+// completions are absorbed (journaled, observed) as they finish rather
+// than at a barrier, so a kill mid-batch keeps every finished trial. On
+// drain, attempts that observed the cancellation are dropped — their
+// results are context errors, not measurements — and their pre-assigned
+// IDs are retired unused.
+func (s *runState) runSchedBatch(ctx context.Context, pool *sched.Pool, env Environment, batch []space.Config, fid float64) error {
+	abortAbove := math.Inf(1)
+	if s.opts.AbortMargin > 0 && !math.IsInf(s.rep.BestValue, 1) {
+		abortAbove = s.rep.BestValue * (1 + s.opts.AbortMargin)
+	}
+	exec := func(actx context.Context, task, attempt int) sched.Attempt {
+		out := runOne(actx, env, batch[task], fid, abortAbove)
+		return sched.Attempt{Cost: out.res.CostSeconds, Err: out.err, Payload: out}
+	}
+	baseID := s.nextID
+	s.nextID += len(batch)
+	before := pool.Stats()
+	var absorbErr error
+	elapsed, runErr := pool.Run(ctx, len(batch), exec, func(c sched.Completion) {
+		if absorbErr != nil {
+			return
+		}
+		out, ok := c.Result.Payload.(trialOutcome)
+		if !ok {
+			// The pool's own guard caught a panic below runOne's recovery
+			// (scheduler bug territory); keep the error, lose no trial.
+			out = trialOutcome{err: c.Result.Err}
+		}
+		if ctx.Err() != nil && out.err != nil && errors.Is(out.err, ctx.Err()) {
+			return
+		}
+		// Charge the time the trial actually burned on its host slot
+		// (the reported cost scaled by the host's speed multiplier),
+		// plus whatever a cancelled duplicate wasted.
+		out.res.CostSeconds = c.Cost
+		s.rep.TotalCostSeconds += c.Waste
+		absorbErr = s.absorb(batch[c.Task], out, baseID+c.Task, fid, c.Hedged)
+	})
+	s.rep.WallClockSeconds += elapsed
+	after := pool.Stats()
+	s.rep.Hedges += after.Hedges - before.Hedges
+	s.rep.HedgeWins += after.HedgeWins - before.HedgeWins
+	if absorbErr != nil {
+		return absorbErr
+	}
+	return runErr
+}
+
+// runLoop executes trials until the budget is reached, mutating rep.
 func runLoop(ctx context.Context, o optimizer.Optimizer, env Environment, opts Options, rep *Report, worstFinite float64) (*Report, error) {
-	id := len(rep.Trials)
+	s := &runState{opts: opts, o: o, rep: rep, worstFinite: worstFinite, nextID: nextTrialID(rep.Trials)}
+	if opts.Journal != "" {
+		j, err := OpenJournal(opts.Journal)
+		if err != nil {
+			return rep, err
+		}
+		defer j.Close()
+		s.journal = j
+	}
+	var pool *sched.Pool
+	if opts.Scheduler != nil {
+		pool = sched.New(*opts.Scheduler)
+	}
 	fid := opts.Fidelity
-	consecTimeouts := 0
 	sinceCheckpoint := 0
 	checkpointEvery := opts.CheckpointEvery
 	if checkpointEvery < 1 {
@@ -381,13 +650,13 @@ func runLoop(ctx context.Context, o optimizer.Optimizer, env Environment, opts O
 			_ = saveCheckpoint(*rep, opts.Checkpoint)
 		}
 	}
-	for id < opts.Budget {
+	for len(rep.Trials) < opts.Budget {
 		if err := ctx.Err(); err != nil {
 			checkpoint()
 			return rep, err
 		}
 		n := opts.Parallel
-		if rem := opts.Budget - id; n > rem {
+		if rem := opts.Budget - len(rep.Trials); n > rem {
 			n = rem
 		}
 		batch, err := suggestBatch(o, n)
@@ -395,77 +664,27 @@ func runLoop(ctx context.Context, o optimizer.Optimizer, env Environment, opts O
 			break
 		}
 		if err != nil {
-			return rep, fmt.Errorf("trial %d: %w", id, err)
+			return rep, fmt.Errorf("trial %d: %w", s.nextID, err)
 		}
-		results := runBatch(ctx, env, batch, opts, fid, rep.BestValue)
-		if err := ctx.Err(); err != nil {
-			// The batch raced with cancellation; its results are suspect
-			// (environments may have returned early) — drop them and let
-			// Resume re-run the batch.
-			checkpoint()
+		if pool != nil {
+			err = s.runSchedBatch(ctx, pool, env, batch, fid)
+		} else {
+			err = s.runBarrierBatch(ctx, env, batch, fid)
+		}
+		if err != nil {
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				// Cancellation: persist what was absorbed before leaving.
+				checkpoint()
+			}
 			return rep, err
 		}
-		batchMaxCost := 0.0
-		for i, cfg := range batch {
-			r := results[i]
-			rec := TrialRecord{
-				ID:          id,
-				Config:      cfg.Clone(),
-				Value:       r.res.Value,
-				CostSeconds: r.res.CostSeconds,
-				Aborted:     r.aborted,
-				Fidelity:    fid,
-			}
-			id++
-			rep.TotalCostSeconds += r.res.CostSeconds
-			if r.res.CostSeconds > batchMaxCost {
-				batchMaxCost = r.res.CostSeconds
-			}
-			obsValue := r.res.Value
-			if r.err != nil {
-				rec.Crashed = true
-				rep.Crashes++
-				if errors.Is(r.err, context.DeadlineExceeded) {
-					rec.TimedOut = true
-					rep.Timeouts++
-					consecTimeouts++
-				}
-				// Impute the penalty score (slide 67: "make it up").
-				if math.IsInf(worstFinite, -1) {
-					obsValue = 1e6
-				} else {
-					obsValue = opts.CrashPenaltyFactor * math.Max(worstFinite, math.Abs(worstFinite))
-					if obsValue <= worstFinite {
-						obsValue = worstFinite + 1
-					}
-				}
-				rec.Value = obsValue
-			} else {
-				consecTimeouts = 0
-				if obsValue > worstFinite {
-					worstFinite = obsValue
-				}
-				if obsValue < rep.BestValue {
-					rep.BestValue = obsValue
-					rep.BestConfig = cfg.Clone()
-				}
-			}
-			if r.aborted {
-				rep.Aborts++
-			}
-			if err := o.Observe(cfg, obsValue); err != nil {
-				return rep, fmt.Errorf("trial %d observe: %w", rec.ID, err)
-			}
-			rep.Trials = append(rep.Trials, rec)
-		}
-		rep.WallClockSeconds += batchMaxCost
 		// Graceful degradation: a deadline the environment persistently
 		// misses means the fidelity is too expensive for this host —
 		// halve it instead of burning the rest of the budget on timeouts.
-		if opts.DegradeAfterTimeouts > 0 && consecTimeouts >= opts.DegradeAfterTimeouts && fid > opts.MinFidelity {
+		if opts.DegradeAfterTimeouts > 0 && s.consecTimeouts >= opts.DegradeAfterTimeouts && fid > opts.MinFidelity {
 			fid = math.Max(fid/2, opts.MinFidelity)
 			rep.Degradations++
-			consecTimeouts = 0
+			s.consecTimeouts = 0
 		}
 		sinceCheckpoint += len(batch)
 		if opts.Checkpoint != "" && sinceCheckpoint >= checkpointEvery {
@@ -522,6 +741,7 @@ func runBatch(ctx context.Context, env Environment, batch []space.Config, opts O
 	var wg sync.WaitGroup
 	for i := range batch {
 		wg.Add(1)
+		//autolint:ignore nakedgo runOne recovers environment panics at the trial boundary
 		go func(i int) {
 			defer wg.Done()
 			out[i] = runOne(ctx, env, batch[i], fidelity, abortAbove)
@@ -531,13 +751,26 @@ func runBatch(ctx context.Context, env Environment, batch []space.Config, opts O
 	return out
 }
 
-func runOne(ctx context.Context, env Environment, cfg space.Config, fidelity, abortAbove float64) trialOutcome {
-	if ab, ok := env.(Abortable); ok && !math.IsInf(abortAbove, 1) {
-		res, aborted, err := ab.RunAbortable(ctx, cfg, fidelity, abortAbove)
-		return trialOutcome{res: res, aborted: aborted, err: err}
+// runOne evaluates a single configuration. A panic inside the
+// Environment — a bug, not a benchmark result — must not unwind the
+// tuning loop (or, under Parallel > 1, kill the whole process), so the
+// evaluation runs under sched.Guard and a panic surfaces as a trial
+// error wrapping ErrPanic with the panic value and stack.
+func runOne(ctx context.Context, env Environment, cfg space.Config, fidelity, abortAbove float64) (out trialOutcome) {
+	err := sched.Guard(func() error {
+		if ab, ok := env.(Abortable); ok && !math.IsInf(abortAbove, 1) {
+			res, aborted, err := ab.RunAbortable(ctx, cfg, fidelity, abortAbove)
+			out = trialOutcome{res: res, aborted: aborted, err: err}
+			return nil
+		}
+		res, err := env.Run(ctx, cfg, fidelity)
+		out = trialOutcome{res: res, err: err}
+		return nil
+	})
+	if err != nil {
+		out = trialOutcome{err: err}
 	}
-	res, err := env.Run(ctx, cfg, fidelity)
-	return trialOutcome{res: res, err: err}
+	return out
 }
 
 // saveCheckpoint persists an in-progress report, sanitizing the +Inf
@@ -551,9 +784,11 @@ func saveCheckpoint(r Report, path string) error {
 	return r.Save(path)
 }
 
-// Save writes the report as JSON. The write is crash-safe: data goes to a
-// temp file in the target directory first and is renamed into place, so a
-// reader (or a resumed run) never observes a torn file.
+// Save writes the report as JSON. The write is crash-safe against both
+// process kills and power failure: data goes to a temp file in the
+// target directory, is fsync'd, renamed into place, and the directory is
+// fsync'd too — a reader (or a resumed run) never observes a torn file,
+// and the rename itself survives a crash.
 func (r Report) Save(path string) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -566,11 +801,13 @@ func (r Report) Save(path string) error {
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
+		//autolint:ignore droppederr already failing; the close error is secondary
 		tmp.Close()
 		os.Remove(tmpName)
 		return fmt.Errorf("trial: write %s: %w", tmpName, err)
 	}
 	if err := tmp.Sync(); err != nil {
+		//autolint:ignore droppederr already failing; the close error is secondary
 		tmp.Close()
 		os.Remove(tmpName)
 		return fmt.Errorf("trial: sync %s: %w", tmpName, err)
@@ -583,7 +820,10 @@ func (r Report) Save(path string) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("trial: rename to %s: %w", path, err)
 	}
-	return nil
+	// Without a directory fsync the rename may not be durable: a power
+	// failure can roll the directory back to the old entry — or, for a
+	// first write, to no entry at all.
+	return syncDir(dir)
 }
 
 // LoadReport reads a report written by Save.
