@@ -1,8 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race bench soak fmt fmt-check lint
+.PHONY: check vet build test race bench soak fmt fmt-check lint incremental-default
 
-check: fmt-check vet lint build race
+check: fmt-check vet lint build race incremental-default
+
+# Assert the incremental surrogate path is enabled by default and agrees
+# with full refits (PR 4 invariant).
+incremental-default:
+	$(GO) test ./internal/bo -run 'TestIncremental(EnabledByDefault|MatchesFullRefit)' -count=1
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +26,7 @@ race:
 
 bench:
 	$(GO) run ./cmd/bench -quick
+	$(GO) run ./cmd/bench -suggestbench -minspeedup 10 -out BENCH_4.json
 
 soak:
 	$(GO) test -race -run Soak -count=1 ./internal/sched ./internal/trial

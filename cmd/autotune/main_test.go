@@ -105,7 +105,7 @@ func captureRun(t *testing.T, o cliOptions) string {
 // noise and parallelism turned on. Nothing printed may depend on the
 // wall clock, global RNG state, or map iteration order.
 func TestRunBitwiseDeterministic(t *testing.T) {
-	for _, opt := range []string{"random", "anneal", "genetic"} {
+	for _, opt := range []string{"random", "anneal", "genetic", "bo"} {
 		o := base()
 		o.optName = opt
 		o.budget = 8

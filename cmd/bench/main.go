@@ -6,9 +6,12 @@
 //	bench                      # run everything in full mode
 //	bench -experiment F3       # one experiment
 //	bench -quick               # CI-scale budgets
+//	bench -suggestbench -out BENCH_4.json -minspeedup 10
+//	                           # suggest-path scaling benchmark (PR 4)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +23,22 @@ import (
 
 func main() {
 	var (
-		id    = flag.String("experiment", "all", "experiment id (F1..F20) or 'all'")
-		quick = flag.Bool("quick", false, "shrink budgets and seed counts")
-		seed  = flag.Int64("seed", 20250706, "random seed")
+		id       = flag.String("experiment", "all", "experiment id (F1..F20) or 'all'")
+		quick    = flag.Bool("quick", false, "shrink budgets and seed counts")
+		seed     = flag.Int64("seed", 20250706, "random seed")
+		suggest  = flag.Bool("suggestbench", false, "run the suggest-path scaling benchmark instead of the experiment suite")
+		out      = flag.String("out", "", "write suggest-path benchmark results to this JSON file")
+		minSpeed = flag.Float64("minspeedup", 0, "fail unless the largest-n surrogate speedup reaches this factor (0 disables)")
 	)
 	flag.Parse()
+
+	if *suggest {
+		if err := runSuggestBench(*quick, *seed, *out, *minSpeed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ids := experiments.IDs()
 	if *id != "all" {
@@ -84,4 +98,56 @@ func pad(s string, w int) string {
 		return s
 	}
 	return s + strings.Repeat(" ", w-len(s))
+}
+
+// runSuggestBench runs the suggest-path scaling benchmark (incremental
+// surrogate vs full refit), prints it, optionally writes JSON, and
+// optionally enforces a minimum surrogate speedup at the largest history.
+func runSuggestBench(quick bool, seed int64, outPath string, minSpeedup float64) error {
+	start := time.Now()
+	points, err := experiments.SuggestScaling(quick, seed)
+	if err != nil {
+		return fmt.Errorf("suggestbench: %w", err)
+	}
+	tab := experiments.Table{
+		ID:    "B4",
+		Title: "Suggest-path scaling: incremental surrogate vs full refit",
+		Claim: "rank-1 Cholesky updates make absorbing an observation O(n²) instead of O(n³)",
+		Headers: []string{"n", "surrogate full (ms)", "surrogate incr (ms)", "speedup",
+			"suggest full (ms)", "suggest incr (ms)", "speedup"},
+		Notes: "surrogate columns isolate maintenance; suggest columns share acquisition-search cost",
+	}
+	ms := func(ns float64) string { return fmt.Sprintf("%.3f", ns/1e6) }
+	for _, p := range points {
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", p.N),
+			ms(p.SurrogateFullNs), ms(p.SurrogateIncNs), fmt.Sprintf("%.1fx", p.SurrogateRatio),
+			ms(p.SuggestFullNs), ms(p.SuggestIncNs), fmt.Sprintf("%.1fx", p.SuggestRatio),
+		})
+	}
+	printTable(tab, time.Since(start))
+	if outPath != "" {
+		doc := struct {
+			Benchmark string                            `json:"benchmark"`
+			Quick     bool                              `json:"quick"`
+			Seed      int64                             `json:"seed"`
+			Points    []experiments.SuggestScalingPoint `json:"points"`
+		}{"suggest-path-scaling", quick, seed, points}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if minSpeedup > 0 {
+		last := points[len(points)-1]
+		if last.SurrogateRatio < minSpeedup {
+			return fmt.Errorf("suggestbench: surrogate speedup at n=%d is %.1fx, want >= %.0fx",
+				last.N, last.SurrogateRatio, minSpeedup)
+		}
+	}
+	return nil
 }

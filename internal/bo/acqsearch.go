@@ -1,0 +1,139 @@
+package bo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"autotune/internal/gp"
+	"autotune/internal/space"
+)
+
+// cand pairs a configuration with its acquisition score.
+type cand struct {
+	cfg   space.Config
+	score float64
+}
+
+// restartOutcome is one multi-start restart's result: the best candidate
+// not yet evaluated, the best candidate overall (fallback for tiny discrete
+// spaces where everything has been seen), and any error.
+type restartOutcome struct {
+	top    cand
+	topAny cand
+	err    error
+}
+
+// searchSeed derives the RNG seed for one restart from the search's base
+// seed via a SplitMix64-style mix, so restart streams are decorrelated yet
+// fully determined by (base seed, restart index) — never by which worker
+// ran the restart or when.
+func searchSeed(base int64, restart int) int64 {
+	z := uint64(base) + uint64(restart+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & 0x7fffffffffffffff)
+}
+
+// runRestart samples and scores nCand candidates with a restart-local RNG.
+// It only reads shared state (space, model, seen), so restarts may run
+// concurrently; panics are converted to errors so one bad kernel input
+// cannot kill the worker pool.
+func (b *BO) runRestart(model *gp.GP, best float64, seen map[string]bool, seed int64, nCand int) (out restartOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out.err = fmt.Errorf("bo: acquisition restart panic: %v", r)
+		}
+	}()
+	rng := rand.New(rand.NewSource(seed))
+	out.top.score = math.Inf(-1)
+	out.topAny.score = math.Inf(-1)
+	for i := 0; i < nCand; i++ {
+		cfg := b.space.Sample(rng)
+		mu, v, err := model.Predict(b.encode(cfg))
+		if err != nil {
+			out.err = err
+			return out
+		}
+		sc := b.opts.Acq.Score(mu, math.Sqrt(v), best)
+		if sc > out.topAny.score {
+			out.topAny = cand{cfg, sc}
+		}
+		if sc > out.top.score && !seen[cfg.Key()] {
+			out.top = cand{cfg, sc}
+		}
+	}
+	return out
+}
+
+// searchAcq is the deterministic parallel multi-start acquisition search.
+// Candidates are split across AcqRestarts restarts; each restart draws from
+// its own RNG seeded by (one draw from b.rng, restart index) and restarts
+// are reduced strictly in index order with a strict > comparison, so the
+// result is bitwise-identical for any AcqWorkers value and any goroutine
+// schedule. Exactly one value is consumed from b.rng per search.
+func (b *BO) searchAcq(model *gp.GP, best float64, seen map[string]bool) (top, topAny cand, err error) {
+	restarts := b.opts.AcqRestarts
+	per := (b.opts.Candidates + restarts - 1) / restarts
+	baseSeed := b.rng.Int63()
+	results := make([]restartOutcome, restarts)
+	workers := b.opts.AcqWorkers
+	if workers > restarts {
+		workers = restarts
+	}
+	if workers <= 1 {
+		for i := 0; i < restarts; i++ {
+			results[i] = b.runRestart(model, best, seen, searchSeed(baseSeed, i), per)
+		}
+	} else {
+		// Pre-filled buffered channel: workers drain it and exit when it is
+		// empty, so no sender can block even if a worker dies.
+		jobs := make(chan int, restarts)
+		for i := 0; i < restarts; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		var mu sync.Mutex
+		var poolErr error
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer func() {
+					// runRestart recovers its own panics; this guards the
+					// loop plumbing so the pool always unblocks wg.Wait.
+					if r := recover(); r != nil {
+						mu.Lock()
+						if poolErr == nil {
+							poolErr = fmt.Errorf("bo: acquisition worker panic: %v", r)
+						}
+						mu.Unlock()
+					}
+					wg.Done()
+				}()
+				for i := range jobs {
+					results[i] = b.runRestart(model, best, seen, searchSeed(baseSeed, i), per)
+				}
+			}()
+		}
+		wg.Wait()
+		if poolErr != nil {
+			return cand{}, cand{}, poolErr
+		}
+	}
+	top.score, topAny.score = math.Inf(-1), math.Inf(-1)
+	for _, r := range results {
+		if r.err != nil {
+			return cand{}, cand{}, r.err
+		}
+		if r.top.score > top.score {
+			top = r.top
+		}
+		if r.topAny.score > topAny.score {
+			topAny = r.topAny
+		}
+	}
+	return top, topAny, nil
+}

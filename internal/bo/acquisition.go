@@ -1,9 +1,10 @@
 // Package bo implements Bayesian optimization over configuration spaces: a
-// Gaussian-process surrogate (internal/gp), the standard acquisition
-// functions (probability of improvement, expected improvement, lower
-// confidence bound, posterior-sample / Thompson), acquisition maximization
-// by random candidates plus Nelder-Mead refinement, batch suggestion via the
-// constant-liar heuristic, and periodic hyperparameter refitting.
+// Gaussian-process surrogate (internal/gp) maintained incrementally via
+// rank-1 Cholesky updates with periodic full hyperparameter refits, the
+// standard acquisition functions (probability of improvement, expected
+// improvement, lower confidence bound, posterior-sample / Thompson), a
+// deterministic parallel multi-start acquisition search plus Nelder-Mead
+// refinement, and batch suggestion via the constant-liar heuristic.
 //
 // Everything minimizes. Configurations are encoded to the unit cube (or
 // one-hot) via internal/space before reaching the GP.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"autotune/internal/gp"
 	"autotune/internal/numopt"
@@ -48,6 +49,22 @@ type Options struct {
 	// observations to be positive; non-positive values fall back to a
 	// shifted log.
 	LogY bool
+	// AcqRestarts is the number of independent restarts the multi-start
+	// acquisition search runs (default 8). Candidates are split evenly
+	// across restarts, each drawing from its own RNG derived from (search
+	// seed, restart index).
+	AcqRestarts int
+	// AcqWorkers bounds the goroutines scoring restarts concurrently
+	// (default min(GOMAXPROCS, AcqRestarts)). Every value produces
+	// bitwise-identical suggestions: restart RNGs are index-derived and
+	// results are reduced in index order.
+	AcqWorkers int
+	// FullRefit disables the incremental surrogate path: every batch of
+	// new observations triggers an O(n³) from-scratch refit as earlier
+	// versions did. Off by default; the incremental O(n²) path is used
+	// whenever it is exactly equivalent. Kept as a benchmark arm and
+	// escape hatch.
+	FullRefit bool
 }
 
 func (o Options) withDefaults() Options {
@@ -72,7 +89,30 @@ func (o Options) withDefaults() Options {
 	if o.FitHyperEvery < 0 {
 		o.FitHyperEvery = 0
 	}
+	if o.AcqRestarts <= 0 {
+		o.AcqRestarts = 8
+	}
+	if o.AcqWorkers <= 0 {
+		o.AcqWorkers = runtime.GOMAXPROCS(0)
+		if o.AcqWorkers > o.AcqRestarts {
+			o.AcqWorkers = o.AcqRestarts
+		}
+	}
 	return o
+}
+
+// SurrogateStats counts how the surrogate has been maintained, for tests
+// and diagnostics.
+type SurrogateStats struct {
+	// IncrementalUpdates is the number of observations absorbed via O(n²)
+	// rank-1 Cholesky row updates.
+	IncrementalUpdates int
+	// FullRefits is the number of O(n³) from-scratch refactorizations,
+	// including hyperparameter refits.
+	FullRefits int
+	// HyperRefits is the subset of full refits that also re-optimized
+	// kernel hyperparameters.
+	HyperRefits int
 }
 
 // BO is a sequential model-based optimizer with a GP surrogate. It
@@ -87,7 +127,19 @@ type BO struct {
 	modelDirty bool
 	lastHyper  int
 	logShift   float64 // shift used by the LogY warp in the current fit
+
+	// absorbed is how many history observations the surrogate currently
+	// reflects; haveInvalid whether any of them were non-finite before
+	// clamping (which pins the clamp penalty to global history stats and
+	// forces full refits).
+	absorbed    int
+	haveInvalid bool
+	stats       SurrogateStats
 }
+
+// Stats returns counters describing how the surrogate has been maintained
+// (incremental updates vs full refits) since construction.
+func (b *BO) Stats() SurrogateStats { return b.stats }
 
 // New returns a BO optimizer with default options.
 func New(s *space.Space, rng *rand.Rand) *BO {
@@ -140,9 +192,13 @@ func (b *BO) refit() error {
 	hist := b.History()
 	xs := make([][]float64, len(hist))
 	ys := make([]float64, len(hist))
+	haveInvalid := false
 	for i, obs := range hist {
 		xs[i] = b.encode(obs.Config)
 		ys[i] = obs.Value
+		if math.IsInf(obs.Value, 0) || math.IsNaN(obs.Value) {
+			haveInvalid = true
+		}
 	}
 	ys = clampInvalid(ys)
 	if b.opts.LogY {
@@ -154,11 +210,61 @@ func (b *BO) refit() error {
 	every := b.opts.FitHyperEvery
 	if every > 0 && len(hist)-b.lastHyper >= every {
 		b.lastHyper = len(hist)
+		b.stats.HyperRefits++
 		if err := b.model.FitHyper(xs, ys, 2, b.rng); err != nil {
 			return fmt.Errorf("bo: hyper fit: %w", err)
 		}
 	} else if err := b.model.Fit(xs, ys); err != nil {
 		return fmt.Errorf("bo: fit: %w", err)
+	}
+	b.stats.FullRefits++
+	b.absorbed = len(hist)
+	b.haveInvalid = haveInvalid
+	b.modelDirty = false
+	return nil
+}
+
+// ensureModel brings the surrogate up to date with history. New
+// observations are absorbed incrementally via O(n²) rank-1 Cholesky
+// updates whenever that is exactly equivalent to refitting — otherwise
+// (hyperparameter refit due, non-finite values in play, a LogY shift
+// change, or Options.FullRefit) it rebuilds from scratch.
+func (b *BO) ensureModel() error {
+	if b.model == nil {
+		return b.refit()
+	}
+	if !b.modelDirty {
+		return nil
+	}
+	hist := b.History()
+	if b.opts.FullRefit || b.haveInvalid || b.absorbed > len(hist) {
+		return b.refit()
+	}
+	if every := b.opts.FitHyperEvery; every > 0 && len(hist)-b.lastHyper >= every {
+		return b.refit()
+	}
+	pending := hist[b.absorbed:]
+	for _, obs := range pending {
+		if math.IsInf(obs.Value, 0) || math.IsNaN(obs.Value) {
+			// clampInvalid's penalty is derived from the whole history;
+			// only a full refit applies it consistently.
+			return b.refit()
+		}
+		if b.opts.LogY && obs.Value-1e-12 < -b.logShift {
+			// The warp shift would grow, rewriting every past target.
+			return b.refit()
+		}
+	}
+	for _, obs := range pending {
+		y := obs.Value
+		if b.opts.LogY {
+			y = math.Log(y + b.logShift + 1e-12)
+		}
+		if err := b.model.Observe(b.encode(obs.Config), y); err != nil {
+			return fmt.Errorf("bo: incremental observe: %w", err)
+		}
+		b.absorbed++
+		b.stats.IncrementalUpdates++
 	}
 	b.modelDirty = false
 	return nil
@@ -174,11 +280,9 @@ func (b *BO) Suggest() (space.Config, error) {
 	if n < b.opts.InitSamples {
 		return b.stratifiedSample(n - 1), nil
 	}
-	if b.modelDirty || b.model == nil {
-		if err := b.refit(); err != nil {
-			// Surrogate failure must not stall tuning: fall back to random.
-			return b.space.Sample(b.rng), nil
-		}
+	if err := b.ensureModel(); err != nil {
+		// Surrogate failure must not stall tuning: fall back to random.
+		return b.space.Sample(b.rng), nil
 	}
 	cfg, err := b.maximizeAcq(b.model)
 	if err != nil {
@@ -204,41 +308,19 @@ func (b *BO) stratifiedSample(i int) space.Config {
 	return b.space.Clip(cfg)
 }
 
-// maximizeAcq scores a random candidate pool, optionally refines the best
-// numeric point locally, and dedups against already-evaluated configs.
+// maximizeAcq runs the multi-start acquisition search (see searchAcq),
+// optionally refines the best numeric point locally, and dedups against
+// already-evaluated configs. The incumbent comes from the model itself
+// (MinY), so fantasized observations on a cloned surrogate participate.
 func (b *BO) maximizeAcq(model *gp.GP) (space.Config, error) {
-	_, best, ok := b.Best()
-	if !ok {
-		best = 0
-	}
-	if b.opts.LogY {
-		best = math.Log(best + b.logShift)
-	}
+	best := model.MinY()
 	seen := make(map[string]bool, b.N())
 	for _, obs := range b.History() {
 		seen[obs.Config.Key()] = true
 	}
-	type cand struct {
-		cfg   space.Config
-		score float64
-	}
-	var top cand
-	top.score = math.Inf(-1)
-	var topAny cand
-	topAny.score = math.Inf(-1)
-	for i := 0; i < b.opts.Candidates; i++ {
-		cfg := b.space.Sample(b.rng)
-		mu, v, err := model.Predict(b.encode(cfg))
-		if err != nil {
-			return nil, err
-		}
-		sc := b.opts.Acq.Score(mu, math.Sqrt(v), best)
-		if sc > topAny.score {
-			topAny = cand{cfg, sc}
-		}
-		if sc > top.score && !seen[cfg.Key()] {
-			top = cand{cfg, sc}
-		}
+	top, topAny, err := b.searchAcq(model, best, seen)
+	if err != nil {
+		return nil, err
 	}
 	if top.cfg == nil {
 		top = topAny // everything seen (tiny discrete space): repeat is fine
@@ -282,8 +364,9 @@ func (b *BO) refine(model *gp.GP, cfg space.Config, best float64) space.Config {
 }
 
 // SuggestN implements optimizer.BatchSuggester via the constant-liar
-// heuristic: after each pick the surrogate is refitted as if the pick had
-// been observed at the current incumbent value, pushing later picks away.
+// heuristic: the fitted surrogate is cloned once, and after each pick the
+// clone absorbs the pick at the incumbent value with an O(n²) rank-1
+// update — no per-pick O(n³) refit — pushing later picks away.
 func (b *BO) SuggestN(n int) ([]space.Config, error) {
 	if n <= 1 || b.N() < b.opts.InitSamples {
 		out := make([]space.Config, 0, n)
@@ -296,39 +379,26 @@ func (b *BO) SuggestN(n int) ([]space.Config, error) {
 		}
 		return out, nil
 	}
-	if b.modelDirty || b.model == nil {
-		if err := b.refit(); err != nil {
-			return b.space.SampleN(b.rng, n), nil
-		}
+	if err := b.ensureModel(); err != nil {
+		return b.space.SampleN(b.rng, n), nil
 	}
-	_, lie, _ := b.Best()
-	hist := b.History()
-	xs := make([][]float64, len(hist))
-	ys := make([]float64, len(hist))
-	for i, obs := range hist {
-		xs[i] = b.encode(obs.Config)
-		ys[i] = obs.Value
-	}
-	ys = clampInvalid(ys)
-	if b.opts.LogY {
-		var shift float64
-		ys, shift = logWarp(ys)
-		lie = math.Log(lie + shift)
-	}
-	model := gp.New(b.opts.Kernel.Clone(), b.opts.Noise)
+	model := b.model.Clone()
+	lie := model.MinY() // incumbent in model units (post clamp and warp)
 	out := make([]space.Config, 0, n)
 	for i := 0; i < n; i++ {
-		if err := model.Fit(xs, ys); err != nil {
-			out = append(out, b.space.Sample(b.rng))
-			continue
-		}
 		cfg, err := b.maximizeAcq(model)
 		if err != nil || cfg == nil {
 			cfg = b.space.Sample(b.rng)
 		}
 		out = append(out, cfg)
-		xs = append(xs, b.encode(cfg))
-		ys = append(ys, lie)
+		if i == n-1 {
+			break // the last pick has no later picks to push away
+		}
+		if err := model.Observe(b.encode(cfg), lie); err != nil {
+			// Fantasy absorption failed (degenerate clone); later picks
+			// simply are not pushed away from this one.
+			continue
+		}
 	}
 	return out, nil
 }
@@ -354,13 +424,11 @@ func logWarp(ys []float64) ([]float64, float64) {
 // safe-exploration guardrails and diagnostics. Before the model exists it
 // returns ok=false.
 func (b *BO) Predict(cfg space.Config) (mean, std float64, ok bool) {
-	if b.modelDirty || b.model == nil {
-		if b.N() == 0 {
-			return 0, 0, false
-		}
-		if err := b.refit(); err != nil {
-			return 0, 0, false
-		}
+	if b.N() == 0 {
+		return 0, 0, false
+	}
+	if err := b.ensureModel(); err != nil {
+		return 0, 0, false
 	}
 	mu, v, err := b.model.Predict(b.encode(cfg))
 	if err != nil {

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"autotune/internal/bo"
+	"autotune/internal/gp"
+	"autotune/internal/space"
+)
+
+// SuggestScalingPoint is one row of the suggest-path scaling benchmark:
+// at history size n, the cost of absorbing one new observation into the
+// surrogate (full O(n³) refit vs O(n²) rank-1 update) and the cost of a
+// full Observe+Suggest cycle at the BO level under each policy.
+type SuggestScalingPoint struct {
+	N int `json:"n"`
+	// Surrogate maintenance alone, at the GP level.
+	SurrogateFullNs float64 `json:"surrogate_full_refit_ns"`
+	SurrogateIncNs  float64 `json:"surrogate_incremental_ns"`
+	SurrogateRatio  float64 `json:"surrogate_speedup"`
+	// End-to-end Suggest (maintenance + acquisition search + refinement).
+	SuggestFullNs float64 `json:"suggest_full_ns"`
+	SuggestIncNs  float64 `json:"suggest_incremental_ns"`
+	SuggestRatio  float64 `json:"suggest_speedup"`
+}
+
+// scalingSpace is a realistic mixed tuning space: 8 numeric knobs plus a
+// categorical, one-hot encoded to 11 dimensions.
+func scalingSpace() *space.Space {
+	params := []space.Param{space.Categorical("policy", "lru", "lfu", "arc")}
+	for i := 0; i < 8; i++ {
+		params = append(params, space.Float(fmt.Sprintf("k%d", i), 0, 1))
+	}
+	return space.MustNew(params...)
+}
+
+// scalingObjective is a smooth deterministic surface over scalingSpace.
+func scalingObjective(c space.Config) float64 {
+	base := map[string]float64{"lru": 0.4, "lfu": 0.1, "arc": 0.0}[c.Str("policy")]
+	s := base
+	for i := 0; i < 8; i++ {
+		d := c.Float(fmt.Sprintf("k%d", i)) - 0.5 + float64(i)*0.03
+		s += d * d * (1 + 0.2*float64(i))
+	}
+	return s
+}
+
+func medianDur(ds []time.Duration) float64 {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return float64(ds[len(ds)/2].Nanoseconds())
+}
+
+// SuggestScaling measures the BO suggest path at several history sizes,
+// comparing the incremental surrogate (rank-1 Cholesky updates over a
+// cached gram matrix) against from-scratch refits. The surrogate columns
+// isolate maintenance cost — the O(n³) vs O(n²) tentpole — while the
+// suggest columns are end-to-end cycles, which both arms share acquisition
+// search cost on, so their ratio is smaller by construction. Timings are
+// medians over repetitions; everything else is a pure function of seed.
+func SuggestScaling(quick bool, seed int64) ([]SuggestScalingPoint, error) {
+	sizes := []int{50, 100, 200, 500}
+	reps := pick(quick, 3, 7)
+	s := scalingSpace()
+	kernel := gp.Scale(1, gp.NewMatern(2.5, 0.2))
+
+	var out []SuggestScalingPoint
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(seed + int64(n)))
+		pts := make([]space.Config, n+reps)
+		xs := make([][]float64, n+reps)
+		ys := make([]float64, n+reps)
+		for i := range pts {
+			pts[i] = s.Sample(rng)
+			xs[i] = s.EncodeOneHot(pts[i])
+			ys[i] = scalingObjective(pts[i])
+		}
+
+		// Surrogate level: absorb observation n into a model holding n
+		// points, by full refit vs rank-1 update.
+		fullTimes := make([]time.Duration, 0, reps)
+		for r := 0; r < reps; r++ {
+			g := gp.New(kernel.Clone(), 1e-6)
+			start := time.Now()
+			if err := g.Fit(xs[:n+1], ys[:n+1]); err != nil {
+				return nil, fmt.Errorf("full fit n=%d: %w", n, err)
+			}
+			fullTimes = append(fullTimes, time.Since(start))
+		}
+		base := gp.New(kernel.Clone(), 1e-6)
+		if err := base.Fit(xs[:n], ys[:n]); err != nil {
+			return nil, fmt.Errorf("base fit n=%d: %w", n, err)
+		}
+		incTimes := make([]time.Duration, 0, reps)
+		for r := 0; r < reps; r++ {
+			g := base.Clone() // clone outside the timer: Observe is the unit
+			start := time.Now()
+			if err := g.Observe(xs[n], ys[n]); err != nil {
+				return nil, fmt.Errorf("observe n=%d: %w", n, err)
+			}
+			incTimes = append(incTimes, time.Since(start))
+		}
+
+		// BO level: a warmed optimizer absorbs one observation and suggests.
+		cycle := func(fullRefit bool) ([]time.Duration, error) {
+			b := bo.NewWith(s, rand.New(rand.NewSource(seed)), bo.Options{
+				OneHot:      true,
+				RefineIters: 40,
+				InitSamples: 2,
+				FullRefit:   fullRefit,
+			})
+			for i := 0; i < n; i++ {
+				if err := b.Observe(pts[i], ys[i]); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := b.Suggest(); err != nil { // warm: initial full fit
+				return nil, err
+			}
+			times := make([]time.Duration, 0, reps)
+			for r := 0; r < reps; r++ {
+				if err := b.Observe(pts[n+r], ys[n+r]); err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				if _, err := b.Suggest(); err != nil {
+					return nil, err
+				}
+				times = append(times, time.Since(start))
+			}
+			return times, nil
+		}
+		sugFull, err := cycle(true)
+		if err != nil {
+			return nil, fmt.Errorf("bo full arm n=%d: %w", n, err)
+		}
+		sugInc, err := cycle(false)
+		if err != nil {
+			return nil, fmt.Errorf("bo incremental arm n=%d: %w", n, err)
+		}
+
+		p := SuggestScalingPoint{
+			N:               n,
+			SurrogateFullNs: medianDur(fullTimes),
+			SurrogateIncNs:  medianDur(incTimes),
+			SuggestFullNs:   medianDur(sugFull),
+			SuggestIncNs:    medianDur(sugInc),
+		}
+		if p.SurrogateIncNs > 0 {
+			p.SurrogateRatio = p.SurrogateFullNs / p.SurrogateIncNs
+		} else {
+			p.SurrogateRatio = math.Inf(1)
+		}
+		if p.SuggestIncNs > 0 {
+			p.SuggestRatio = p.SuggestFullNs / p.SuggestIncNs
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

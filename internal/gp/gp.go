@@ -19,6 +19,8 @@ var ErrNoData = errors.New("gp: empty training set")
 
 // GP is an exact Gaussian-process regressor. Construct with New, then Fit
 // with training data; Predict then returns posterior mean and variance.
+// Observe absorbs a single new observation incrementally in O(n²) via a
+// rank-1 Cholesky row update, against Fit's O(n³) refactorization.
 // A GP is not safe for concurrent mutation; concurrent Predict after Fit
 // is safe.
 type GP struct {
@@ -29,12 +31,24 @@ type GP struct {
 
 	// Fitted state.
 	x      [][]float64
+	yRaw   []float64 // targets in caller units, as handed to Fit/Observe
 	yNorm  []float64 // centered/scaled targets
 	yMean  float64
 	yScale float64
 	chol   *linalg.Matrix
 	alpha  []float64
 	fitted bool
+
+	// Incremental-path caches. gram is K + noise·I for gramX under
+	// hyperSig (kernel hyperparameters plus noise); it lets a growing
+	// training set re-evaluate only the rows of configurations it has
+	// never seen (Fit prefix reuse) and lets Observe append a single row.
+	// jitter is the diagonal jitter the last factorization needed; the
+	// bordered row's diagonal must include it to stay consistent with chol.
+	gram     *linalg.Matrix
+	gramX    [][]float64
+	jitter   float64
+	hyperSig []float64
 }
 
 // New returns a GP with the given kernel and observation-noise variance.
@@ -63,6 +77,9 @@ func (g *GP) SetNoise(v float64) {
 // Fit conditions the GP on inputs x and targets y. Targets are internally
 // centered and scaled to unit variance; predictions are returned in the
 // original units. x rows are copied by reference and must not be mutated.
+// When x extends the previous training set under unchanged hyperparameters,
+// the cached gram matrix is reused and only the new configurations' kernel
+// rows are evaluated.
 func (g *GP) Fit(x [][]float64, y []float64) error {
 	if len(x) == 0 || len(x) != len(y) {
 		return fmt.Errorf("%w: %d inputs, %d targets", ErrNoData, len(x), len(y))
@@ -76,10 +93,14 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 	for i, v := range y {
 		g.yNorm[i] = (v - g.yMean) / g.yScale
 	}
-	g.x = x
+	g.yRaw = append([]float64(nil), y...)
+	// Cap capacity so a later Observe append cannot scribble on the
+	// caller's backing array.
+	g.x = x[:len(x):len(x)]
 
-	k := g.gram(x)
-	l, _, err := linalg.CholeskyJitter(k, 1e-3)
+	sig := append(g.kernel.Hyper(), g.noise)
+	k := g.gramFor(x, sig)
+	l, jit, err := linalg.CholeskyJitter(k, 1e-3)
 	if err != nil {
 		g.fitted = false
 		return fmt.Errorf("gp: fit: %w", err)
@@ -89,17 +110,36 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 		g.fitted = false
 		return fmt.Errorf("gp: fit: %w", err)
 	}
+	g.gram, g.gramX, g.jitter, g.hyperSig = k, g.x, jit, sig
 	g.chol = l
 	g.alpha = alpha
 	g.fitted = true
 	return nil
 }
 
-func (g *GP) gram(x [][]float64) *linalg.Matrix {
+// gramFor builds K + noise·I for x. If the cached gram was built under the
+// same hyperparameter signature and its points are a prefix of x, the
+// cached block is copied and only rows for new configurations are
+// evaluated — the per-config kernel-row reuse that makes refitting a grown
+// history O(m·n·d) in the m new points instead of O(n²·d).
+func (g *GP) gramFor(x [][]float64, sig []float64) *linalg.Matrix {
 	n := len(x)
+	reuse := 0
+	if g.gram != nil && sameVec(g.hyperSig, sig) && g.gram.Rows <= n {
+		reuse = g.gram.Rows
+		for i := 0; i < reuse; i++ {
+			if !sameVec(g.gramX[i], x[i]) {
+				reuse = 0
+				break
+			}
+		}
+	}
 	k := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
+	for i := 0; i < reuse; i++ {
+		copy(k.Row(i)[:reuse], g.gram.Row(i))
+	}
+	for i := reuse; i < n; i++ {
+		for j := 0; j <= i; j++ {
 			v := g.kernel.Eval(x[i], x[j])
 			k.Set(i, j, v)
 			k.Set(j, i, v)
@@ -107,6 +147,123 @@ func (g *GP) gram(x [][]float64) *linalg.Matrix {
 		k.Add(i, i, g.noise)
 	}
 	return k
+}
+
+// sameVec reports exact element equality; encodings are deterministic, so
+// re-encoded configurations hit this bitwise.
+func sameVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Observe conditions the fitted GP on one additional observation
+// incrementally: the cached gram matrix gains one kernel row (n kernel
+// evaluations) and the Cholesky factor is extended with a rank-1 row
+// update, so the whole absorption costs O(n²) instead of Fit's O(n³)
+// refactorization. Target normalization and alpha are recomputed exactly
+// as Fit would, so after any number of Observes the model matches a full
+// Fit on the same data up to floating-point roundoff. If the model is not
+// fitted, hyperparameters changed since the last fit, or the bordered
+// matrix is not numerically SPD, it falls back to a full Fit transparently.
+func (g *GP) Observe(x []float64, y float64) error {
+	if !g.fitted || g.gram == nil ||
+		!sameVec(g.hyperSig, append(g.kernel.Hyper(), g.noise)) {
+		return g.Fit(append(g.x, x), append(g.yRaw, y))
+	}
+	n := len(g.x)
+	krow := make([]float64, n)
+	for i, xi := range g.x {
+		krow[i] = g.kernel.Eval(xi, x)
+	}
+	knn := g.kernel.Eval(x, x) + g.noise
+	l, err := linalg.CholUpdateRow(g.chol, krow, knn+g.jitter)
+	if err != nil {
+		// The bordered system lost positive definiteness under the cached
+		// jitter (near-duplicate point, drifting conditioning): refit from
+		// scratch, letting CholeskyJitter pick a fresh jitter.
+		return g.Fit(append(g.x, x), append(g.yRaw, y))
+	}
+	grown := linalg.NewMatrix(n+1, n+1)
+	for i := 0; i < n; i++ {
+		copy(grown.Row(i)[:n], g.gram.Row(i))
+		grown.Row(i)[n] = krow[i]
+	}
+	copy(grown.Row(n)[:n], krow)
+	grown.Row(n)[n] = knn
+	g.gram = grown
+	g.chol = l
+	g.x = append(g.x, x)
+	g.gramX = g.x
+	g.yRaw = append(g.yRaw, y)
+	// Renormalize and recompute alpha — O(n²), the same arithmetic Fit
+	// performs, keeping incremental and full paths numerically aligned.
+	g.yMean = stats.Mean(g.yRaw)
+	g.yScale = stats.StdDev(g.yRaw)
+	if g.yScale == 0 || math.IsNaN(g.yScale) {
+		g.yScale = 1
+	}
+	g.yNorm = make([]float64, len(g.yRaw))
+	for i, v := range g.yRaw {
+		g.yNorm[i] = (v - g.yMean) / g.yScale
+	}
+	alpha, err := linalg.CholeskySolve(g.chol, g.yNorm)
+	if err != nil {
+		// The grown factor is singular after all: rebuild everything.
+		return g.Fit(g.x, g.yRaw)
+	}
+	g.alpha = alpha
+	return nil
+}
+
+// Clone returns an independent deep copy of the model — kernel, caches,
+// and fitted state — so callers can fantasize observations (constant-liar
+// batching) with Observe without touching the original. Training input
+// rows are shared read-only.
+func (g *GP) Clone() *GP {
+	c := &GP{
+		kernel: g.kernel.Clone(),
+		noise:  g.noise,
+		yMean:  g.yMean,
+		yScale: g.yScale,
+		jitter: g.jitter,
+		fitted: g.fitted,
+	}
+	c.x = append([][]float64(nil), g.x...)
+	c.gramX = append([][]float64(nil), g.gramX...)
+	c.yRaw = append([]float64(nil), g.yRaw...)
+	c.yNorm = append([]float64(nil), g.yNorm...)
+	c.alpha = append([]float64(nil), g.alpha...)
+	c.hyperSig = append([]float64(nil), g.hyperSig...)
+	if g.chol != nil {
+		c.chol = g.chol.Clone()
+	}
+	if g.gram != nil {
+		c.gram = g.gram.Clone()
+	}
+	return c
+}
+
+// MinY returns the smallest raw (caller-unit) target the model is
+// conditioned on, or 0 before a successful Fit. For a minimizing surrogate
+// this is the incumbent in model units.
+func (g *GP) MinY() float64 {
+	if len(g.yRaw) == 0 {
+		return 0
+	}
+	m := g.yRaw[0]
+	for _, v := range g.yRaw[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
 }
 
 // Predict returns the posterior mean and variance at x. Variance is the

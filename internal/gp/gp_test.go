@@ -278,6 +278,234 @@ func TestSampleAtRespectsPosterior(t *testing.T) {
 	}
 }
 
+// randPoints draws n points in the unit cube of dimension d.
+func randPoints(n, d int, rng *rand.Rand) [][]float64 {
+	xs := make([][]float64, n)
+	for i := range xs {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		xs[i] = p
+	}
+	return xs
+}
+
+// TestObserveMatchesFit is the numerical-equivalence property the
+// incremental path must satisfy: k rank-1 Observes produce the same model
+// as one full Fit on the combined data, to 1e-8 on predictions and log
+// marginal likelihood.
+func TestObserveMatchesFit(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		const d, n0, k = 3, 6, 40
+		xs := randPoints(n0+k, d, rng)
+		f := func(p []float64) float64 {
+			return math.Sin(3*p[0]) + p[1]*p[1] - 0.5*p[2]
+		}
+		ys := make([]float64, len(xs))
+		for i, p := range xs {
+			ys[i] = f(p)
+		}
+
+		full := New(Scale(1, NewMatern(2.5, 0.3)), 1e-6)
+		if err := full.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		incr := New(Scale(1, NewMatern(2.5, 0.3)), 1e-6)
+		if err := incr.Fit(xs[:n0], ys[:n0]); err != nil {
+			t.Fatal(err)
+		}
+		for i := n0; i < n0+k; i++ {
+			if err := incr.Observe(xs[i], ys[i]); err != nil {
+				t.Fatalf("seed %d: observe %d: %v", seed, i, err)
+			}
+		}
+		if incr.N() != full.N() {
+			t.Fatalf("N = %d vs %d", incr.N(), full.N())
+		}
+
+		probes := randPoints(25, d, rng)
+		for _, p := range probes {
+			mf, vf, err := full.Predict(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mi, vi, err := incr.Predict(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(mf-mi) > 1e-8 || math.Abs(vf-vi) > 1e-8 {
+				t.Fatalf("seed %d: prediction diverged at %v: mean %v vs %v, var %v vs %v",
+					seed, p, mf, mi, vf, vi)
+			}
+		}
+		lf, err := full.LogMarginalLikelihood()
+		if err != nil {
+			t.Fatal(err)
+		}
+		li, err := incr.LogMarginalLikelihood()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lf-li) > 1e-8 {
+			t.Fatalf("seed %d: LML diverged: %v vs %v", seed, lf, li)
+		}
+	}
+}
+
+// TestObserveOnUnfittedModel: Observe before any Fit must behave like a
+// one-point Fit, and keep working as points accumulate.
+func TestObserveOnUnfittedModel(t *testing.T) {
+	g := New(NewRBF(0.5), 1e-6)
+	for i := 0; i < 5; i++ {
+		x := float64(i) / 4
+		if err := g.Observe([]float64{x}, x*x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu, _, err := g.Predict([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mu-0.25) > 0.05 {
+		t.Fatalf("mu = %v, want ~0.25", mu)
+	}
+}
+
+// TestObserveAfterHyperChange: changing kernel hyperparameters invalidates
+// the cached factorization; Observe must detect the signature mismatch and
+// refit rather than mixing factors from different kernels.
+func TestObserveAfterHyperChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := randPoints(10, 2, rng)
+	ys := make([]float64, len(xs))
+	for i, p := range xs {
+		ys[i] = p[0] + p[1]
+	}
+	g := New(Scale(1, NewRBF(0.3)), 1e-6)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	g.Kernel().SetHyper([]float64{math.Log(2), math.Log(0.6)})
+	xNew := []float64{0.5, 0.5}
+	if err := g.Observe(xNew, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: a fresh GP with the new hyperparameters fitted on all 11.
+	ref := New(Scale(2, NewRBF(0.6)), 1e-6)
+	if err := ref.Fit(append(append([][]float64{}, xs...), xNew), append(append([]float64{}, ys...), 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range randPoints(10, 2, rng) {
+		mg, vg, _ := g.Predict(p)
+		mr, vr, _ := ref.Predict(p)
+		if math.Abs(mg-mr) > 1e-8 || math.Abs(vg-vr) > 1e-8 {
+			t.Fatalf("post-hyper-change observe diverged: %v/%v vs %v/%v", mg, vg, mr, vr)
+		}
+	}
+}
+
+// TestObserveNearDuplicateFallsBack: absorbing an exact duplicate of a
+// training point with tiny noise pushes the bordered system to the edge of
+// positive definiteness; Observe must survive (rank-1 or fallback refit).
+func TestObserveNearDuplicateFallsBack(t *testing.T) {
+	xs := [][]float64{{0}, {0.5}, {1}}
+	ys := []float64{0, 1, 0}
+	g := New(NewRBF(0.5), 1e-10)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // repeated duplicates compound the conditioning
+		if err := g.Observe([]float64{0.5}, 1); err != nil {
+			t.Fatalf("dup %d: %v", i, err)
+		}
+	}
+	mu, _, err := g.Predict([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mu-1) > 1e-3 {
+		t.Fatalf("mu = %v, want ~1", mu)
+	}
+}
+
+// TestFitPrefixReuseMatchesFresh: refitting a grown history with unchanged
+// hyperparameters reuses the cached gram block; the result must be
+// identical to a cache-cold fit.
+func TestFitPrefixReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	xs := randPoints(30, 3, rng)
+	ys := make([]float64, len(xs))
+	for i, p := range xs {
+		ys[i] = math.Cos(2 * p[0] * p[1] * p[2])
+	}
+	warm := New(Scale(1, NewMatern(2.5, 0.4)), 1e-6)
+	if err := warm.Fit(xs[:20], ys[:20]); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Fit(xs, ys); err != nil { // prefix-extension refit
+		t.Fatal(err)
+	}
+	cold := New(Scale(1, NewMatern(2.5, 0.4)), 1e-6)
+	if err := cold.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range randPoints(10, 3, rng) {
+		mw, vw, _ := warm.Predict(p)
+		mc, vc, _ := cold.Predict(p)
+		if mw != mc || vw != vc {
+			t.Fatalf("prefix-reuse fit differs from cold fit: %v/%v vs %v/%v", mw, vw, mc, vc)
+		}
+	}
+}
+
+// TestCloneIndependence: observations absorbed by a clone must not leak
+// into the original — the contract constant-liar batching relies on.
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := randPoints(12, 2, rng)
+	ys := make([]float64, len(xs))
+	for i, p := range xs {
+		ys[i] = p[0] - p[1]
+	}
+	g := New(Scale(1, NewRBF(0.4)), 1e-6)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, 0.7}
+	m0, v0, _ := g.Predict(probe)
+	c := g.Clone()
+	for i := 0; i < 5; i++ {
+		if err := c.Observe([]float64{rng.Float64(), rng.Float64()}, -5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m1, v1, _ := g.Predict(probe)
+	if m0 != m1 || v0 != v1 {
+		t.Fatal("observing on a clone mutated the original")
+	}
+	if c.N() != g.N()+5 {
+		t.Fatalf("clone N = %d, want %d", c.N(), g.N()+5)
+	}
+	if c.MinY() != -5 {
+		t.Fatalf("clone MinY = %v", c.MinY())
+	}
+}
+
+func TestMinY(t *testing.T) {
+	g := New(NewRBF(1), 1e-6)
+	if g.MinY() != 0 {
+		t.Fatal("MinY before fit should be 0")
+	}
+	if err := g.Fit([][]float64{{0}, {0.5}, {1}}, []float64{3, -2, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if g.MinY() != -2 {
+		t.Fatalf("MinY = %v", g.MinY())
+	}
+}
+
 func TestSetNoiseFloor(t *testing.T) {
 	g := New(NewRBF(1), 0)
 	if g.Noise() < 1e-10 {

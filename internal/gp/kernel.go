@@ -1,7 +1,9 @@
 // Package gp implements exact Gaussian-process regression: a kernel algebra
 // (RBF, Matérn, constant, linear, periodic, sums, products, scaling), fitting
-// via Cholesky factorization, predictive mean/variance, log marginal
-// likelihood, and multi-start hyperparameter optimization.
+// via Cholesky factorization, O(n²) incremental conditioning on new
+// observations (Observe: rank-1 Cholesky row updates over a cached gram
+// matrix), predictive mean/variance, log marginal likelihood, and
+// multi-start hyperparameter optimization.
 //
 // Inputs are expected to be reasonably scaled — the rest of the framework
 // feeds unit-cube encodings from internal/space — and targets are internally

@@ -1,9 +1,12 @@
 // Package linalg implements the small dense linear-algebra kernel the
-// autotuning framework needs: row-major matrices, Cholesky factorization,
-// triangular solves, symmetric eigendecomposition (cyclic Jacobi), and
-// least-squares via normal equations. It is deliberately minimal — matrices
-// here are tens to a few hundreds of rows (GP training sets, CMA-ES
-// covariances), so clarity beats blocking and SIMD tricks.
+// autotuning framework needs: row-major matrices, Cholesky factorization
+// (with an O(n²) rank-1 row update for growing SPD systems), triangular
+// solves, symmetric eigendecomposition (cyclic Jacobi), and least-squares
+// via normal equations. Matrices here are tens to a few hundreds of rows
+// (GP training sets, CMA-ES covariances); the hot loops — Mul, Cholesky,
+// the triangular solves, Dot — hoist row slices and block for cache
+// locality because they sit on the per-suggestion path of the Bayesian
+// optimizer, but there is no SIMD or cgo.
 package linalg
 
 import (
@@ -88,22 +91,37 @@ func (m *Matrix) T() *Matrix {
 	return out
 }
 
-// Mul returns the matrix product a*b.
+// mulBlock is the tile edge for the blocked ikj product: a 64×64 float64
+// tile is 32 KiB, so the b-tile and out-tile being streamed stay resident
+// in L1/L2 while a full k-panel is applied.
+const mulBlock = 64
+
+// Mul returns the matrix product a*b. The loop nest is ikj-ordered (the
+// innermost loop streams a row of b and a row of out sequentially) and
+// tiled over k and j so large products reuse cache lines instead of
+// striding; zero entries of a are skipped, which one-hot encodings hit
+// often.
 func Mul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: mul dims %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
+	for kk := 0; kk < a.Cols; kk += mulBlock {
+		kend := min(kk+mulBlock, a.Cols)
+		for jj := 0; jj < b.Cols; jj += mulBlock {
+			jend := min(jj+mulBlock, b.Cols)
+			for i := 0; i < a.Rows; i++ {
+				arow := a.Row(i)[kk:kend]
+				orow := out.Row(i)[jj:jend]
+				for k, av := range arow {
+					if av == 0 {
+						continue
+					}
+					brow := b.Row(kk + k)[jj:jend]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
 			}
 		}
 	}
@@ -117,12 +135,7 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 	}
 	out := make([]float64, m.Rows)
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		s := 0.0
-		for j, v := range row {
-			s += v * x[j]
-		}
-		out[i] = s
+		out[i] = Dot(m.Row(i), x)
 	}
 	return out
 }
@@ -147,13 +160,24 @@ func AddMat(a, b *Matrix) *Matrix {
 	return out
 }
 
-// Dot returns the inner product of two equal-length vectors.
+// Dot returns the inner product of two equal-length vectors. Four partial
+// sums let the multiplies pipeline; the b reslice makes the bounds of both
+// operands known to the compiler so the inner loop carries no checks.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("linalg: dot length mismatch")
 	}
-	s := 0.0
-	for i := range a {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(a); i++ {
 		s += a[i] * b[i]
 	}
 	return s
@@ -182,24 +206,58 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 	n := a.Rows
 	l := NewMatrix(n, n)
 	for j := 0; j < n; j++ {
-		d := a.At(j, j)
-		for k := 0; k < j; k++ {
-			d -= l.At(j, k) * l.At(j, k)
-		}
+		ljrow := l.Row(j)[:j]
+		d := a.At(j, j) - Dot(ljrow, ljrow)
 		if d <= 0 || math.IsNaN(d) {
 			return nil, ErrNotPositiveDefinite
 		}
 		ljj := math.Sqrt(d)
 		l.Set(j, j, ljj)
+		inv := 1 / ljj
 		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
-			}
-			l.Set(i, j, s/ljj)
+			lirow := l.Row(i)
+			lirow[j] = (a.At(i, j) - Dot(lirow[:j], ljrow)) * inv
 		}
 	}
 	return l, nil
+}
+
+// CholUpdateRow extends the lower-triangular Cholesky factor L of an n×n
+// SPD matrix A to the factor of the bordered (n+1)×(n+1) matrix
+//
+//	[ A   k ]
+//	[ kᵀ  d ]
+//
+// in O(n²): it solves L c = k by forward substitution, appends the row
+// [cᵀ, √(d − c·c)], and copies L into a freshly allocated factor. This is
+// how a Gaussian process absorbs one new observation without the O(n³)
+// refactorization. Returns ErrNotPositiveDefinite when the bordered matrix
+// is not numerically SPD (d − c·c ≤ 0); callers should then fall back to a
+// full factorization with jitter.
+func CholUpdateRow(l *Matrix, k []float64, d float64) (*Matrix, error) {
+	n := l.Rows
+	if l.Cols != n {
+		return nil, fmt.Errorf("linalg: cholupdate of %dx%d: not square", l.Rows, l.Cols)
+	}
+	if len(k) != n {
+		return nil, fmt.Errorf("linalg: cholupdate row length %d vs %d", len(k), n)
+	}
+	c, err := SolveLower(l, k)
+	if err != nil {
+		return nil, err
+	}
+	s := d - Dot(c, c)
+	if s <= 0 || math.IsNaN(s) {
+		return nil, ErrNotPositiveDefinite
+	}
+	out := NewMatrix(n+1, n+1)
+	for i := 0; i < n; i++ {
+		copy(out.Row(i)[:n], l.Row(i))
+	}
+	last := out.Row(n)
+	copy(last[:n], c)
+	last[n] = math.Sqrt(s)
+	return out, nil
 }
 
 // CholeskyJitter is Cholesky with progressive diagonal jitter: it retries
@@ -229,11 +287,8 @@ func SolveLower(l *Matrix, b []float64) ([]float64, error) {
 	}
 	y := make([]float64, n)
 	for i := 0; i < n; i++ {
-		s := b[i]
 		row := l.Row(i)
-		for j := 0; j < i; j++ {
-			s -= row[j] * y[j]
-		}
+		s := b[i] - Dot(row[:i], y[:i])
 		if row[i] == 0 {
 			return nil, ErrSingular
 		}

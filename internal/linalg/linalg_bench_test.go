@@ -1,0 +1,96 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the kernels on the BO suggest path. Run with:
+//
+//	go test -bench 'BenchmarkCholesky|BenchmarkMul|BenchmarkCholUpdateRow' ./internal/linalg
+//
+// The sizes bracket realistic GP training-set sizes (64) through the
+// large-history regime (512) the incremental path exists for.
+
+var benchSizes = []int{64, 256, 512}
+
+func BenchmarkCholesky(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a := randSPD(n, rand.New(rand.NewSource(1)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Cholesky(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCholUpdateRow(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			a := randSPD(n+1, rng)
+			sub := NewMatrix(n, n)
+			for i := 0; i < n; i++ {
+				copy(sub.Row(i), a.Row(i)[:n])
+			}
+			l, err := Cholesky(sub)
+			if err != nil {
+				b.Fatal(err)
+			}
+			k := make([]float64, n)
+			for i := 0; i < n; i++ {
+				k[i] = a.At(n, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := CholUpdateRow(l, k, a.At(n, n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			x, y := NewMatrix(n, n), NewMatrix(n, n)
+			for i := range x.Data {
+				x.Data[i] = rng.NormFloat64()
+				y.Data[i] = rng.NormFloat64()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Mul(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkSolveLower(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(4))
+			l, err := Cholesky(randSPD(n, rng))
+			if err != nil {
+				b.Fatal(err)
+			}
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveLower(l, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

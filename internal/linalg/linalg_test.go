@@ -266,6 +266,144 @@ func TestDotNormAXPY(t *testing.T) {
 	}
 }
 
+// naiveMul is the reference product the blocked Mul must match.
+func naiveMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// TestMulBlockedMatchesNaive crosses the tile boundaries on purpose:
+// non-square shapes, dims straddling mulBlock, and a one-hot-style sparse
+// left operand exercising the zero skip.
+func TestMulBlockedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 7, 5}, {63, 64, 65}, {65, 130, 67}, {128, 64, 128},
+	}
+	for _, s := range shapes {
+		a, b := NewMatrix(s[0], s[1]), NewMatrix(s[1], s[2])
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+			if rng.Float64() < 0.3 {
+				a.Data[i] = 0
+			}
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		if got, want := Mul(a, b), naiveMul(a, b); !matEq(got, want, 1e-10) {
+			t.Fatalf("%dx%d * %dx%d: blocked Mul diverges from naive", s[0], s[1], s[1], s[2])
+		}
+	}
+}
+
+func TestDotOddLengths(t *testing.T) {
+	// The 4-way unrolled Dot must agree with the plain sum on every tail
+	// length around the unroll width.
+	for n := 0; n <= 9; n++ {
+		a, b := make([]float64, n), make([]float64, n)
+		want := 0.0
+		for i := 0; i < n; i++ {
+			a[i] = float64(i + 1)
+			b[i] = float64(2*i - 3)
+			want += a[i] * b[i]
+		}
+		if got := Dot(a, b); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("n=%d: Dot = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestCholUpdateRowMatchesFull grows a factor one row at a time and checks
+// it against factoring the full matrix from scratch — the equivalence the
+// GP's incremental Observe path rests on.
+func TestCholUpdateRowMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{2, 5, 30} {
+		a := randSPD(n, rng)
+		l, err := Cholesky(&Matrix{Rows: 1, Cols: 1, Data: []float64{a.At(0, 0)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := 1; m < n; m++ {
+			k := make([]float64, m)
+			for i := 0; i < m; i++ {
+				k[i] = a.At(m, i)
+			}
+			l, err = CholUpdateRow(l, k, a.At(m, m))
+			if err != nil {
+				t.Fatalf("n=%d m=%d: %v", n, m, err)
+			}
+		}
+		full, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matEq(l, full, 1e-9) {
+			t.Fatalf("n=%d: incremental factor diverges from full Cholesky", n)
+		}
+	}
+}
+
+func TestCholUpdateRowFromEmpty(t *testing.T) {
+	l, err := CholUpdateRow(NewMatrix(0, 0), nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rows != 1 || l.At(0, 0) != 2 {
+		t.Fatalf("factor = %+v", l)
+	}
+}
+
+func TestCholUpdateRowRejectsNonPD(t *testing.T) {
+	a := FromRows([][]float64{{1}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Border [1, 2; 2, 1] has determinant -3: not PD.
+	if _, err := CholUpdateRow(l, []float64{2}, 1); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+	if _, err := CholUpdateRow(l, []float64{1, 2}, 1); err == nil {
+		t.Fatal("row length mismatch should error")
+	}
+	if _, err := CholUpdateRow(NewMatrix(2, 3), []float64{1, 1}, 1); err == nil {
+		t.Fatal("non-square factor should error")
+	}
+}
+
+// TestCholUpdateRowDoesNotAliasInput: the returned factor must own its
+// storage, so later updates cannot corrupt a caller's retained matrix.
+func TestCholUpdateRowDoesNotAliasInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	a := randSPD(4, rng)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), l.Data...)
+	grown, err := CholUpdateRow(l, []float64{0.1, 0.2, 0.3, 0.4}, a.At(0, 0)+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown.Set(0, 0, -99)
+	for i := range before {
+		if l.Data[i] != before[i] {
+			t.Fatal("CholUpdateRow mutated its input factor")
+		}
+	}
+}
+
 // Property: CholeskySolve inverts MulVec for random SPD systems.
 func TestCholeskySolveProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
