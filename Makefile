@@ -1,8 +1,28 @@
 GO ?= go
 
-.PHONY: check vet build test race bench soak fmt fmt-check lint incremental-default
+.PHONY: help check vet build test race bench profile soak fmt fmt-check lint incremental-default zero-alloc
 
-check: fmt-check vet lint build race incremental-default
+help:
+	@echo "Targets:"
+	@echo "  check               fmt-check + vet + lint + build + race + invariants"
+	@echo "  test                go test ./..."
+	@echo "  race                go test -race ./..."
+	@echo "  bench               quick experiment suite + perf gates (BENCH_4.json, BENCH_5.json)"
+	@echo "  profile             CPU/heap pprof of the multi-session benchmark (cpu.pprof, mem.pprof)"
+	@echo "  soak                long-running race soak of sched + trial"
+	@echo "  zero-alloc          allocs/op gates: gp.Predict, warm bo.Suggest, space encoders"
+	@echo "  lint                repo-specific static analysis (cmd/autolint)"
+	@echo "  fmt / fmt-check     gofmt the tree / fail if gofmt is needed"
+
+check: fmt-check vet lint build race incremental-default zero-alloc
+
+# Pin the zero-allocation hot paths (PR 5 invariant): gp.Predict and the
+# space encoders at exactly zero allocs/op warm, bo.Suggest under its
+# documented ceiling.
+zero-alloc:
+	$(GO) test ./internal/gp -run TestPredictZeroAllocs -count=1
+	$(GO) test ./internal/space -run 'Test(EncodeInto|SampleInto)ZeroAllocs' -count=1
+	$(GO) test ./internal/bo -run TestSuggestWarmAllocs -count=1
 
 # Assert the incremental surrogate path is enabled by default and agrees
 # with full refits (PR 4 invariant).
@@ -27,6 +47,12 @@ race:
 bench:
 	$(GO) run ./cmd/bench -quick
 	$(GO) run ./cmd/bench -suggestbench -minspeedup 10 -out BENCH_4.json
+	$(GO) run ./cmd/bench -sessions -minspeedup 2 -minallocratio 10 -out BENCH_5.json
+	$(GO) test -bench 'Benchmark(GPPredict|BOSuggest|SpaceEncode)' -benchmem -run xxx .
+
+profile:
+	$(GO) run ./cmd/bench -sessions -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "inspect with: go tool pprof -top cpu.pprof   (or mem.pprof)"
 
 soak:
 	$(GO) test -race -run Soak -count=1 ./internal/sched ./internal/trial

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"time"
 
+	"autotune/internal/bo"
 	"autotune/internal/cloud"
 	"autotune/internal/core"
 	"autotune/internal/resilience"
@@ -60,6 +61,10 @@ type cliOptions struct {
 	workers int     // worker slots (0 = one per parallel trial)
 	hedge   float64 // straggler hedge quantile in (0,1) (0 = off)
 	journal string  // write-ahead trial journal path
+
+	// Performance.
+	dedup     bool // deduplicate identical (config, fidelity) evaluations
+	gpWorkers int  // surrogate gram/predict goroutines (0 = GOMAXPROCS)
 }
 
 func main() {
@@ -86,6 +91,8 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "scheduler worker slots (0 = one per parallel trial)")
 	flag.Float64Var(&o.hedge, "hedge", 0, "hedge stragglers past this quantile of recent durations (0 = off, implies -sched)")
 	flag.StringVar(&o.journal, "journal", "", "append every completed trial to this fsync'd write-ahead journal")
+	flag.BoolVar(&o.dedup, "dedup", false, "reuse cached results for repeated (config, fidelity) evaluations")
+	flag.IntVar(&o.gpWorkers, "gp-workers", 0, "GP surrogate gram/predict goroutines (0 = GOMAXPROCS; results are identical for any value)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -168,9 +175,12 @@ func run(o cliOptions) error {
 	if err != nil {
 		return err
 	}
+	if b, ok := opt.(*bo.BO); ok && o.gpWorkers > 0 {
+		b.SetGPWorkers(o.gpWorkers)
+	}
 	topts := trial.Options{
 		Budget: o.budget, Parallel: o.parallel, AbortMargin: o.abortMargin, Fidelity: o.fidelity,
-		Checkpoint: o.checkpoint, Journal: o.journal,
+		Checkpoint: o.checkpoint, Journal: o.journal, DedupEvals: o.dedup,
 	}
 	if o.trialTimeout > 0 {
 		topts.DegradeAfterTimeouts = 3
@@ -217,6 +227,9 @@ func run(o cliOptions) error {
 	if topts.Scheduler != nil {
 		fmt.Printf("scheduler: %d hedges (%d wins)   panics: %d\n",
 			rep.Hedges, rep.HedgeWins, rep.Panics)
+	}
+	if o.dedup {
+		fmt.Printf("eval cache: %d hits\n", rep.CacheHits)
 	}
 	if hardened != nil {
 		s := hardened.Stats()

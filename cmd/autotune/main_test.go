@@ -124,6 +124,52 @@ func TestRunBitwiseDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunParallelGramBitwiseDeterministic pins the parallel-surrogate
+// contract: the GP partitions gram rows by index so every matrix element
+// has exactly one writer, meaning the worker count must never change a
+// single output byte — not merely run-to-run stability, but equality
+// across -gp-workers settings.
+func TestRunParallelGramBitwiseDeterministic(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	for _, workers := range []int{1, 2, 4} {
+		o := base()
+		o.optName = "bo"
+		o.budget = 8
+		o.parallel = 2
+		o.noise = 0.05
+		o.seed = 42
+		o.gpWorkers = workers
+		outputs = append(outputs, captureRun(t, o))
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("output with gp-workers=%d differs from gp-workers=1:\n--- 1 worker\n%s\n--- %d workers\n%s",
+				[]int{1, 2, 4}[i], outputs[0], []int{1, 2, 4}[i], outputs[i])
+		}
+	}
+	if outputs[0] == "" {
+		t.Fatal("captured no output")
+	}
+}
+
+// TestRunDedupEvals drives the evaluation cache from the CLI and checks
+// the stats line appears and the run stays deterministic.
+func TestRunDedupEvals(t *testing.T) {
+	o := base()
+	o.optName = "random"
+	o.budget = 8
+	o.dedup = true
+	first := captureRun(t, o)
+	second := captureRun(t, o)
+	if first != second {
+		t.Fatalf("dedup output differs between identically-seeded runs:\n--- run 1\n%s\n--- run 2\n%s",
+			first, second)
+	}
+	if !strings.Contains(first, "eval cache:") {
+		t.Fatalf("eval cache stats line missing from output:\n%s", first)
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	bad := func(mutate func(*cliOptions)) cliOptions {
 		o := base()

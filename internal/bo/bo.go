@@ -65,6 +65,18 @@ type Options struct {
 	// whenever it is exactly equivalent. Kept as a benchmark arm and
 	// escape hatch.
 	FullRefit bool
+	// LegacyLoop disables the flat-buffer acquisition search and the
+	// surrogate's reused-workspace paths, restoring the allocating
+	// per-candidate loop. Off by default; kept as a benchmark arm and
+	// escape hatch. The two loops make identical seeded random draws but
+	// deduplicate differently (typed config keys vs encoded vectors), so
+	// their suggestions are not required to coincide.
+	LegacyLoop bool
+	// GPWorkers bounds the goroutines the surrogate uses for gram
+	// construction and batched prediction (default GOMAXPROCS). Every
+	// value produces bitwise-identical models: rows are partitioned by
+	// index and every matrix element has exactly one writer.
+	GPWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -135,11 +147,34 @@ type BO struct {
 	absorbed    int
 	haveInvalid bool
 	stats       SurrogateStats
+
+	// Flat-buffer acquisition search state (acqfast.go). sampler draws
+	// candidates straight into reused scalar/encoding vectors; seenEnc
+	// dedups on encoded keys and is maintained incrementally over the
+	// first seenN history entries; acqWS holds one workspace per search
+	// worker and fastRes one outcome slot per restart.
+	sampler *space.EncodedSampler
+	seenEnc map[string]bool
+	seenN   int
+	encBuf  []float64
+	keyBuf  []byte
+	acqWS   []*acqWorkspace
+	fastRes []fastOutcome
 }
 
 // Stats returns counters describing how the surrogate has been maintained
 // (incremental updates vs full refits) since construction.
 func (b *BO) Stats() SurrogateStats { return b.stats }
+
+// SetGPWorkers overrides Options.GPWorkers after construction, propagating
+// to an existing surrogate. Every value produces bitwise-identical models,
+// so it is safe to change at any point in a run.
+func (b *BO) SetGPWorkers(n int) {
+	b.opts.GPWorkers = n
+	if b.model != nil {
+		b.model.SetWorkers(n)
+	}
+}
 
 // New returns a BO optimizer with default options.
 func New(s *space.Space, rng *rand.Rand) *BO {
@@ -206,6 +241,8 @@ func (b *BO) refit() error {
 	}
 	if b.model == nil {
 		b.model = gp.New(b.opts.Kernel.Clone(), b.opts.Noise)
+		b.model.SetLegacyAlloc(b.opts.LegacyLoop)
+		b.model.SetWorkers(b.opts.GPWorkers)
 	}
 	every := b.opts.FitHyperEvery
 	if every > 0 && len(hist)-b.lastHyper >= every {
@@ -308,11 +345,21 @@ func (b *BO) stratifiedSample(i int) space.Config {
 	return b.space.Clip(cfg)
 }
 
-// maximizeAcq runs the multi-start acquisition search (see searchAcq),
+// maximizeAcq dispatches between the flat-buffer acquisition search
+// (acqfast.go, the default) and the allocating legacy loop kept as a
+// benchmark arm.
+func (b *BO) maximizeAcq(model *gp.GP) (space.Config, error) {
+	if b.opts.LegacyLoop {
+		return b.maximizeAcqLegacy(model)
+	}
+	return b.maximizeAcqFast(model)
+}
+
+// maximizeAcqLegacy runs the multi-start acquisition search (see searchAcq),
 // optionally refines the best numeric point locally, and dedups against
 // already-evaluated configs. The incumbent comes from the model itself
 // (MinY), so fantasized observations on a cloned surrogate participate.
-func (b *BO) maximizeAcq(model *gp.GP) (space.Config, error) {
+func (b *BO) maximizeAcqLegacy(model *gp.GP) (space.Config, error) {
 	best := model.MinY()
 	seen := make(map[string]bool, b.N())
 	for _, obs := range b.History() {

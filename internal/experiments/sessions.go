@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"autotune/internal/bo"
+	"autotune/internal/space"
+	"autotune/internal/trial"
+)
+
+// SessionsArm is one loop configuration's aggregate over N complete tuning
+// sessions run concurrently.
+type SessionsArm struct {
+	Name             string  `json:"name"`
+	Sessions         int     `json:"sessions"`
+	TrialsPerSession int     `json:"trials_per_session"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	SessionsPerSec   float64 `json:"sessions_per_sec"`
+	AllocsPerSession float64 `json:"allocs_per_session"`
+	MBPerSession     float64 `json:"mb_per_session"`
+	SuggestP50Ms     float64 `json:"suggest_p50_ms"`
+	SuggestP99Ms     float64 `json:"suggest_p99_ms"`
+	MeanBest         float64 `json:"mean_best"`
+}
+
+// SessionsResult compares the pre-optimization suggest–evaluate–observe
+// loop (LegacyLoop: per-candidate Config/encoding allocation, allocating
+// surrogate paths) against the current flat-buffer loop with the
+// deduplicating evaluation cache enabled.
+type SessionsResult struct {
+	Legacy     SessionsArm `json:"legacy"`
+	Optimized  SessionsArm `json:"optimized"`
+	Speedup    float64     `json:"speedup"`
+	AllocRatio float64     `json:"alloc_ratio"`
+}
+
+// timedOptimizer records every Suggest latency. It deliberately exposes
+// only the sequential Optimizer interface, so both arms take the same
+// suggest path in the trial loop.
+type timedOptimizer struct {
+	inner *bo.BO
+	durs  []time.Duration
+}
+
+func (o *timedOptimizer) Name() string { return o.inner.Name() }
+
+func (o *timedOptimizer) Suggest() (space.Config, error) {
+	start := time.Now()
+	cfg, err := o.inner.Suggest()
+	o.durs = append(o.durs, time.Since(start))
+	return cfg, err
+}
+
+func (o *timedOptimizer) Observe(cfg space.Config, v float64) error {
+	return o.inner.Observe(cfg, v)
+}
+
+func (o *timedOptimizer) Best() (space.Config, float64, bool) { return o.inner.Best() }
+
+func percentileDur(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds())
+}
+
+// runSessionsArm executes n complete BO tuning sessions concurrently over
+// scalingSpace/scalingObjective and aggregates throughput, allocation, and
+// Suggest-latency statistics. Allocation counts are process-wide malloc
+// deltas divided by the session count — concurrent sessions are the
+// workload being measured, so attribution is aggregate by construction.
+func runSessionsArm(name string, n, trials int, seed int64, legacy bool) (SessionsArm, error) {
+	opts := make([]*timedOptimizer, n)
+	envs := make([]*trial.FuncEnv, n)
+	for i := range opts {
+		// RefineIters is 0 in BOTH arms: the Nelder-Mead polish re-decodes a
+		// Config per objective eval at identical cost either way, so leaving
+		// it on only dilutes the comparison of the candidate loops.
+		b := bo.NewWith(scalingSpace(), rand.New(rand.NewSource(seed+int64(i))), bo.Options{
+			OneHot:        true,
+			RefineIters:   0,
+			FitHyperEvery: 10,
+			InitSamples:   2,
+			LegacyLoop:    legacy,
+		})
+		opts[i] = &timedOptimizer{inner: b}
+		envs[i] = &trial.FuncEnv{Sp: scalingSpace(), F: scalingObjective}
+	}
+	topts := trial.Options{Budget: trials, Parallel: 1, DedupEvals: !legacy}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	bests := make([]float64, n)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("session %d panicked: %v", i, r)
+				}
+				wg.Done()
+			}()
+			rep, err := trial.Run(opts[i], envs[i], topts)
+			if err != nil {
+				errs[i] = fmt.Errorf("session %d: %w", i, err)
+				return
+			}
+			bests[i] = rep.BestValue
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	for _, err := range errs {
+		if err != nil {
+			return SessionsArm{}, err
+		}
+	}
+
+	var durs []time.Duration
+	meanBest := 0.0
+	for i := range opts {
+		durs = append(durs, opts[i].durs...)
+		meanBest += bests[i] / float64(n)
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	arm := SessionsArm{
+		Name:             name,
+		Sessions:         n,
+		TrialsPerSession: trials,
+		WallSeconds:      wall.Seconds(),
+		AllocsPerSession: float64(after.Mallocs-before.Mallocs) / float64(n),
+		MBPerSession:     float64(after.TotalAlloc-before.TotalAlloc) / float64(n) / (1 << 20),
+		SuggestP50Ms:     percentileDur(durs, 0.50) / 1e6,
+		SuggestP99Ms:     percentileDur(durs, 0.99) / 1e6,
+		MeanBest:         meanBest,
+	}
+	if arm.WallSeconds > 0 {
+		arm.SessionsPerSec = float64(n) / arm.WallSeconds
+	}
+	return arm, nil
+}
+
+// SessionsThroughput is the PR-5 end-to-end benchmark: N seeded concurrent
+// tuning sessions per arm, legacy loop first, then the optimized loop. The
+// legacy arm runs identical budgets and seeds; only the loop implementation
+// (and the evaluation cache) differs.
+func SessionsThroughput(quick bool, seed int64) (SessionsResult, error) {
+	n := pick(quick, 4, 8)
+	trials := pick(quick, 12, 20)
+	legacy, err := runSessionsArm("legacy", n, trials, seed, true)
+	if err != nil {
+		return SessionsResult{}, fmt.Errorf("legacy arm: %w", err)
+	}
+	opt, err := runSessionsArm("optimized", n, trials, seed, false)
+	if err != nil {
+		return SessionsResult{}, fmt.Errorf("optimized arm: %w", err)
+	}
+	res := SessionsResult{Legacy: legacy, Optimized: opt}
+	if opt.SessionsPerSec > 0 {
+		res.Speedup = opt.SessionsPerSec / legacy.SessionsPerSec
+	}
+	if opt.AllocsPerSession > 0 {
+		res.AllocRatio = legacy.AllocsPerSession / opt.AllocsPerSession
+	}
+	return res, nil
+}

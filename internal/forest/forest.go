@@ -60,27 +60,53 @@ func (o TreeOptions) withDefaults() TreeOptions {
 	return o
 }
 
+// treeScratch holds buffers reused across every node of a tree build (and,
+// via Fit, across all trees of a forest): the root index permutation and
+// bestSplit's feature list and sort order. Induction is sequential, so one
+// scratch serves a whole forest without affecting any split decision.
+type treeScratch struct {
+	idx   []int
+	feats []int
+	order []int
+}
+
+func (sc *treeScratch) ensure(n, dim int) {
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, n)
+		sc.order = make([]int, n)
+	}
+	sc.idx, sc.order = sc.idx[:n], sc.order[:n]
+	if cap(sc.feats) < dim {
+		sc.feats = make([]int, dim)
+	}
+	sc.feats = sc.feats[:dim]
+}
+
 // FitTree builds a regression tree on (x, y).
 func FitTree(x [][]float64, y []float64, opts TreeOptions) (*Tree, error) {
+	return fitTree(x, y, opts, &treeScratch{})
+}
+
+func fitTree(x [][]float64, y []float64, opts TreeOptions, sc *treeScratch) (*Tree, error) {
 	if len(x) == 0 || len(x) != len(y) {
 		return nil, fmt.Errorf("%w: %d inputs, %d targets", ErrNoData, len(x), len(y))
 	}
 	opts = opts.withDefaults()
-	idx := make([]int, len(x))
-	for i := range idx {
-		idx[i] = i
+	sc.ensure(len(x), len(x[0]))
+	for i := range sc.idx {
+		sc.idx[i] = i
 	}
 	t := &Tree{dim: len(x[0])}
-	t.root = build(x, y, idx, 0, opts)
+	t.root = build(x, y, sc.idx, 0, opts, sc)
 	return t, nil
 }
 
-func build(x [][]float64, y []float64, idx []int, depth int, opts TreeOptions) *node {
+func build(x [][]float64, y []float64, idx []int, depth int, opts TreeOptions, sc *treeScratch) *node {
 	mean, sse := meanSSE(y, idx)
 	if depth >= opts.MaxDepth || len(idx) < 2*opts.MinLeaf || sse < 1e-12 {
 		return &node{leaf: true, value: mean}
 	}
-	feat, thresh, gain := bestSplit(x, y, idx, opts)
+	feat, thresh, gain := bestSplit(x, y, idx, opts, sc)
 	if gain <= 1e-12 {
 		return &node{leaf: true, value: mean}
 	}
@@ -98,8 +124,8 @@ func build(x [][]float64, y []float64, idx []int, depth int, opts TreeOptions) *
 	return &node{
 		feature: feat,
 		thresh:  thresh,
-		left:    build(x, y, li, depth+1, opts),
-		right:   build(x, y, ri, depth+1, opts),
+		left:    build(x, y, li, depth+1, opts, sc),
+		right:   build(x, y, ri, depth+1, opts, sc),
 	}
 }
 
@@ -115,10 +141,13 @@ func meanSSE(y []float64, idx []int) (mean, sse float64) {
 	return mean, sse
 }
 
-// bestSplit scans candidate features for the variance-reducing split.
-func bestSplit(x [][]float64, y []float64, idx []int, opts TreeOptions) (feat int, thresh, gain float64) {
+// bestSplit scans candidate features for the variance-reducing split. The
+// feature list and sort order live in the shared scratch: every node needs
+// at most the root's counts, so slicing the preallocated buffers replaces
+// two allocations per node.
+func bestSplit(x [][]float64, y []float64, idx []int, opts TreeOptions, sc *treeScratch) (feat int, thresh, gain float64) {
 	dim := len(x[idx[0]])
-	feats := make([]int, dim)
+	feats := sc.feats[:dim]
 	for i := range feats {
 		feats[i] = i
 	}
@@ -129,7 +158,7 @@ func bestSplit(x [][]float64, y []float64, idx []int, opts TreeOptions) (feat in
 	_, parentSSE := meanSSE(y, idx)
 	feat, gain = -1, 0
 
-	order := make([]int, len(idx))
+	order := sc.order[:len(idx)]
 	for _, f := range feats {
 		copy(order, idx)
 		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
@@ -239,20 +268,24 @@ func Fit(x [][]float64, y []float64, opts Options, rng *rand.Rand) (*Forest, err
 	opts = opts.withDefaults(dim)
 	f := &Forest{dim: dim}
 	n := len(x)
+	// One bootstrap buffer and one induction scratch serve every tree:
+	// trees retain only node values and thresholds, never the training
+	// rows, so the next iteration may overwrite them freely.
+	bx := make([][]float64, n)
+	by := make([]float64, n)
+	var sc treeScratch
 	for t := 0; t < opts.Trees; t++ {
-		bx := make([][]float64, n)
-		by := make([]float64, n)
 		for i := 0; i < n; i++ {
 			j := rng.Intn(n)
 			bx[i] = x[j]
 			by[i] = y[j]
 		}
-		tree, err := FitTree(bx, by, TreeOptions{
+		tree, err := fitTree(bx, by, TreeOptions{
 			MaxDepth:    opts.MaxDepth,
 			MinLeaf:     opts.MinLeaf,
 			MaxFeatures: opts.MaxFeatures,
 			Rng:         rng,
-		})
+		}, &sc)
 		if err != nil {
 			return nil, err
 		}

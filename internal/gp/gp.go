@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"autotune/internal/linalg"
 	"autotune/internal/numopt"
@@ -22,12 +24,19 @@ var ErrNoData = errors.New("gp: empty training set")
 // Observe absorbs a single new observation incrementally in O(n²) via a
 // rank-1 Cholesky row update, against Fit's O(n³) refactorization.
 // A GP is not safe for concurrent mutation; concurrent Predict after Fit
-// is safe.
+// is safe (prediction scratch comes from a pool, never the model).
 type GP struct {
 	kernel Kernel
 	// noise is the observation noise variance added to the kernel
 	// diagonal (in normalized-target units).
 	noise float64
+
+	// workers bounds goroutines for row-parallel gram construction and
+	// PredictN (0 = GOMAXPROCS). legacy routes everything through the
+	// PR-4-era allocating paths — the baseline arm of the sessions
+	// throughput benchmark.
+	workers int
+	legacy  bool
 
 	// Fitted state.
 	x      [][]float64
@@ -49,6 +58,19 @@ type GP struct {
 	gramX    [][]float64
 	jitter   float64
 	hyperSig []float64
+
+	// d2 caches squared pairwise distances for d2X. Distances depend only
+	// on the points, not the hyperparameters, so stationary kernels (see
+	// stationaryFunc) can re-derive the gram for every hyperparameter
+	// candidate FitHyper tries without touching the inputs again.
+	d2  *linalg.Matrix
+	d2X [][]float64
+
+	// Reusable scratch for Fit/Observe (safe: mutation is single-threaded
+	// by contract; Predict never touches these).
+	krow         []float64
+	d2row        []float64
+	solveScratch []float64
 }
 
 // New returns a GP with the given kernel and observation-noise variance.
@@ -74,13 +96,146 @@ func (g *GP) SetNoise(v float64) {
 	g.noise = v
 }
 
+// SetWorkers bounds the goroutines used for row-parallel gram construction
+// and batched prediction. 0 (the default) resolves to runtime.GOMAXPROCS(0);
+// 1 disables parallelism. Every matrix element and output index is written
+// by exactly one worker, so results are bitwise identical for any setting.
+func (g *GP) SetWorkers(n int) { g.workers = n }
+
+// SetLegacyAlloc routes Fit, Observe, Predict, and FitHyper through the
+// PR-4-era allocating implementations: fresh matrices and vectors per call,
+// no squared-distance cache, serial gram construction. It exists as the
+// baseline arm of the sessions throughput benchmark and for differential
+// tests of the workspace paths; results are numerically identical.
+func (g *GP) SetLegacyAlloc(on bool) { g.legacy = on }
+
+func (g *GP) effWorkers() int {
+	if g.legacy {
+		return 1
+	}
+	if g.workers > 0 {
+		return g.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelRows invokes fill(i) for every i in [lo, hi), spreading rows
+// across a bounded worker pool in strided order. Each call owns row i
+// exclusively — including its mirror writes into column i — so every
+// element has exactly one writer and the result is bitwise identical for
+// any worker count. Worker panics are captured per worker and re-raised in
+// the caller (lowest worker index first), preserving serial panic semantics.
+func (g *GP) parallelRows(lo, hi int, fill func(i int)) {
+	w := g.effWorkers()
+	if w > hi-lo {
+		w = hi - lo
+	}
+	if w <= 1 || hi-lo < 8 {
+		for i := lo; i < hi; i++ {
+			fill(i)
+		}
+		return
+	}
+	panics := make([]any, w)
+	var wg sync.WaitGroup
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer func() {
+				if r := recover(); r != nil {
+					panics[wk] = r
+				}
+				wg.Done()
+			}()
+			for i := lo + wk; i < hi; i += w {
+				fill(i)
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// growFloats resizes *buf to length n, reallocating with headroom only when
+// capacity is exhausted. Contents are unspecified.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n, n+n/2+8)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// reshapeSquare returns an n×n matrix backed by m's storage when it has
+// capacity, else a fresh one. Contents are unspecified.
+func reshapeSquare(m *linalg.Matrix, n int) *linalg.Matrix {
+	if m == nil || cap(m.Data) < n*n {
+		return linalg.NewMatrix(n, n)
+	}
+	m.Rows, m.Cols = n, n
+	m.Data = m.Data[:n*n]
+	return m
+}
+
 // Fit conditions the GP on inputs x and targets y. Targets are internally
 // centered and scaled to unit variance; predictions are returned in the
 // original units. x rows are copied by reference and must not be mutated.
 // When x extends the previous training set under unchanged hyperparameters,
 // the cached gram matrix is reused and only the new configurations' kernel
-// rows are evaluated.
+// rows are evaluated. Target, factor, and gram storage are reused across
+// calls, so refitting a model in a loop (FitHyper's objective) allocates
+// only on growth.
 func (g *GP) Fit(x [][]float64, y []float64) error {
+	if g.legacy {
+		return g.fitLegacy(x, y)
+	}
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("%w: %d inputs, %d targets", ErrNoData, len(x), len(y))
+	}
+	n := len(y)
+	g.yMean = stats.Mean(y)
+	g.yScale = stats.StdDev(y)
+	if g.yScale == 0 || math.IsNaN(g.yScale) {
+		g.yScale = 1
+	}
+	yNorm := growFloats(&g.yNorm, n)
+	for i, v := range y {
+		yNorm[i] = (v - g.yMean) / g.yScale
+	}
+	// Copy y into reused storage. When y aliases g.yRaw (Observe's
+	// fallback appends to it in place) both slices share a backing start,
+	// making the copy a no-op rather than a corruption.
+	yRaw := growFloats(&g.yRaw, n)
+	copy(yRaw, y)
+	// Cap capacity so a later Observe append cannot scribble on the
+	// caller's backing array.
+	g.x = x[:len(x):len(x)]
+
+	sig := append(g.kernel.Hyper(), g.noise)
+	k := g.gramFor(x, sig)
+	g.chol = reshapeSquare(g.chol, n)
+	jit, err := linalg.CholeskyJitterInto(k, g.chol, 1e-3)
+	if err != nil {
+		g.fitted = false
+		return fmt.Errorf("gp: fit: %w", err)
+	}
+	alpha := growFloats(&g.alpha, n)
+	if err := linalg.CholeskySolveInto(g.chol, yNorm, alpha); err != nil {
+		g.fitted = false
+		return fmt.Errorf("gp: fit: %w", err)
+	}
+	g.gram, g.gramX, g.jitter, g.hyperSig = k, g.x, jit, sig
+	g.fitted = true
+	return nil
+}
+
+// fitLegacy is the PR-4 Fit: fresh target, gram, factor, and alpha
+// allocations on every call. Kept verbatim as the benchmark baseline.
+func (g *GP) fitLegacy(x [][]float64, y []float64) error {
 	if len(x) == 0 || len(x) != len(y) {
 		return fmt.Errorf("%w: %d inputs, %d targets", ErrNoData, len(x), len(y))
 	}
@@ -94,12 +249,10 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 		g.yNorm[i] = (v - g.yMean) / g.yScale
 	}
 	g.yRaw = append([]float64(nil), y...)
-	// Cap capacity so a later Observe append cannot scribble on the
-	// caller's backing array.
 	g.x = x[:len(x):len(x)]
 
 	sig := append(g.kernel.Hyper(), g.noise)
-	k := g.gramFor(x, sig)
+	k := g.gramForLegacy(x, sig)
 	l, jit, err := linalg.CholeskyJitter(k, 1e-3)
 	if err != nil {
 		g.fitted = false
@@ -117,12 +270,73 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 	return nil
 }
 
-// gramFor builds K + noise·I for x. If the cached gram was built under the
-// same hyperparameter signature and its points are a prefix of x, the
-// cached block is copied and only rows for new configurations are
-// evaluated — the per-config kernel-row reuse that makes refitting a grown
-// history O(m·n·d) in the m new points instead of O(n²·d).
+// gramFor builds K + noise·I for x. Three reuse tiers keep the hot loops
+// cheap: (1) same points and hyperparameters — the cached matrix is
+// returned as is; (2) changed hyperparameters over the same-size training
+// set — the cached storage is refilled in place (FitHyper's per-candidate
+// path); (3) a grown point set under unchanged hyperparameters — the cached
+// block is copied and only new rows are evaluated. Stationary kernels read
+// squared distances from the d² cache instead of re-touching the inputs,
+// and row filling is spread across the worker pool (see parallelRows for
+// why that stays bitwise-deterministic).
 func (g *GP) gramFor(x [][]float64, sig []float64) *linalg.Matrix {
+	n := len(x)
+	reuse := 0
+	if g.gram != nil && sameVec(g.hyperSig, sig) && g.gram.Rows <= n {
+		reuse = g.gram.Rows
+		for i := 0; i < reuse; i++ {
+			if !sameRow(g.gramX[i], x[i]) {
+				reuse = 0
+				break
+			}
+		}
+	}
+	if reuse == n && g.gram.Rows == n {
+		return g.gram
+	}
+	var k *linalg.Matrix
+	if reuse > 0 {
+		k = linalg.NewMatrix(n, n)
+		for i := 0; i < reuse; i++ {
+			copy(k.Row(i)[:reuse], g.gram.Row(i))
+		}
+	} else {
+		// Overwriting the cached storage invalidates it until the caller
+		// re-registers it on success; clear the signature so a failed
+		// factorization cannot leave a stale cache behind.
+		k = reshapeSquare(g.gram, n)
+		g.gram, g.gramX, g.hyperSig = nil, nil, nil
+	}
+	f, stationary := stationaryFunc(g.kernel)
+	if stationary {
+		d2 := g.d2For(x)
+		g.parallelRows(reuse, n, func(i int) {
+			row := k.Row(i)
+			d2row := d2.Row(i)
+			for j := 0; j <= i; j++ {
+				v := f(d2row[j])
+				row[j] = v
+				k.Set(j, i, v)
+			}
+			row[i] += g.noise
+		})
+	} else {
+		g.parallelRows(reuse, n, func(i int) {
+			row := k.Row(i)
+			for j := 0; j <= i; j++ {
+				v := g.kernel.Eval(x[i], x[j])
+				row[j] = v
+				k.Set(j, i, v)
+			}
+			row[i] += g.noise
+		})
+	}
+	return k
+}
+
+// gramForLegacy is the PR-4 gram builder: a fresh matrix per call, serial
+// row evaluation, prefix reuse only.
+func (g *GP) gramForLegacy(x [][]float64, sig []float64) *linalg.Matrix {
 	n := len(x)
 	reuse := 0
 	if g.gram != nil && sameVec(g.hyperSig, sig) && g.gram.Rows <= n {
@@ -149,6 +363,46 @@ func (g *GP) gramFor(x [][]float64, sig []float64) *linalg.Matrix {
 	return k
 }
 
+// d2For returns the squared-distance matrix for x, maintained with the same
+// prefix-reuse discipline as the gram cache but keyed on points alone —
+// hyperparameter changes never invalidate it, which is what makes FitHyper's
+// per-candidate gram rebuilds O(n²) kernel evaluations with no distance work.
+func (g *GP) d2For(x [][]float64) *linalg.Matrix {
+	n := len(x)
+	reuse := 0
+	if g.d2 != nil && g.d2.Rows <= n {
+		reuse = g.d2.Rows
+		for i := 0; i < reuse; i++ {
+			if !sameRow(g.d2X[i], x[i]) {
+				reuse = 0
+				break
+			}
+		}
+	}
+	if reuse == n && g.d2.Rows == n {
+		return g.d2
+	}
+	var d2 *linalg.Matrix
+	if reuse > 0 {
+		d2 = linalg.NewMatrix(n, n)
+		for i := 0; i < reuse; i++ {
+			copy(d2.Row(i)[:reuse], g.d2.Row(i))
+		}
+	} else {
+		d2 = reshapeSquare(g.d2, n)
+	}
+	g.parallelRows(reuse, n, func(i int) {
+		row := d2.Row(i)
+		for j := 0; j <= i; j++ {
+			v := sqDist(x[i], x[j])
+			row[j] = v
+			d2.Set(j, i, v)
+		}
+	})
+	g.d2, g.d2X = d2, x
+	return d2
+}
+
 // sameVec reports exact element equality; encodings are deterministic, so
 // re-encoded configurations hit this bitwise.
 func sameVec(a, b []float64) bool {
@@ -157,6 +411,32 @@ func sameVec(a, b []float64) bool {
 	}
 	for i := range a {
 		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameRow is sameVec with a pointer-identity fast path: cached training
+// rows are usually the very same slices, so prefix checks cost O(1) per row
+// instead of O(d).
+func sameRow(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true
+	}
+	return sameVec(a, b)
+}
+
+// rowsMatch reports whether two point sets are the same rows (sameRow-wise).
+func rowsMatch(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sameRow(a[i], b[i]) {
 			return false
 		}
 	}
@@ -172,7 +452,88 @@ func sameVec(a, b []float64) bool {
 // Fit on the same data up to floating-point roundoff. If the model is not
 // fitted, hyperparameters changed since the last fit, or the bordered
 // matrix is not numerically SPD, it falls back to a full Fit transparently.
+// The gram, factor, and d² matrices grow in place, so an Observe at history
+// n costs amortized O(1) allocations.
 func (g *GP) Observe(x []float64, y float64) error {
+	if g.legacy {
+		return g.observeLegacy(x, y)
+	}
+	if !g.fitted || g.gram == nil ||
+		!sameVec(g.hyperSig, append(g.kernel.Hyper(), g.noise)) {
+		return g.Fit(append(g.x, x), append(g.yRaw, y))
+	}
+	n := len(g.x)
+	krow := growFloats(&g.krow, n)
+	f, stationary := stationaryFunc(g.kernel)
+	var d2row []float64
+	if stationary {
+		d2row = growFloats(&g.d2row, n)
+		for i, xi := range g.x {
+			d := sqDist(xi, x)
+			d2row[i] = d
+			krow[i] = f(d)
+		}
+	} else {
+		for i, xi := range g.x {
+			krow[i] = g.kernel.Eval(xi, x)
+		}
+	}
+	knn := g.kernel.Eval(x, x) + g.noise
+	scratch := growFloats(&g.solveScratch, n)
+	if err := linalg.CholUpdateRowInPlace(g.chol, krow, knn+g.jitter, scratch); err != nil {
+		// The bordered system lost positive definiteness under the cached
+		// jitter (near-duplicate point, drifting conditioning): refit from
+		// scratch, letting the jittered factorization pick a fresh jitter.
+		return g.Fit(append(g.x, x), append(g.yRaw, y))
+	}
+	g.gram.GrowSquare()
+	for i := 0; i < n; i++ {
+		g.gram.Row(i)[n] = krow[i]
+	}
+	last := g.gram.Row(n)
+	copy(last[:n], krow)
+	last[n] = knn
+	// Extend the d² cache only when it exactly covers the previous
+	// training set; otherwise leave it to rebuild lazily.
+	d2Extended := false
+	if stationary && g.d2 != nil && g.d2.Rows == n && rowsMatch(g.d2X, g.x) {
+		g.d2.GrowSquare()
+		for i := 0; i < n; i++ {
+			g.d2.Row(i)[n] = d2row[i]
+		}
+		dlast := g.d2.Row(n)
+		copy(dlast[:n], d2row)
+		dlast[n] = 0
+		d2Extended = true
+	}
+	g.x = append(g.x, x)
+	g.gramX = g.x
+	if d2Extended {
+		g.d2X = g.x
+	}
+	g.yRaw = append(g.yRaw, y)
+	// Renormalize and recompute alpha — O(n²), the same arithmetic Fit
+	// performs, keeping incremental and full paths numerically aligned.
+	g.yMean = stats.Mean(g.yRaw)
+	g.yScale = stats.StdDev(g.yRaw)
+	if g.yScale == 0 || math.IsNaN(g.yScale) {
+		g.yScale = 1
+	}
+	yNorm := growFloats(&g.yNorm, n+1)
+	for i, v := range g.yRaw {
+		yNorm[i] = (v - g.yMean) / g.yScale
+	}
+	alpha := growFloats(&g.alpha, n+1)
+	if err := linalg.CholeskySolveInto(g.chol, yNorm, alpha); err != nil {
+		// The grown factor is singular after all: rebuild everything.
+		return g.Fit(g.x, g.yRaw)
+	}
+	return nil
+}
+
+// observeLegacy is the PR-4 Observe: fresh krow, grown gram matrix, and
+// bordered factor allocated on every call.
+func (g *GP) observeLegacy(x []float64, y float64) error {
 	if !g.fitted || g.gram == nil ||
 		!sameVec(g.hyperSig, append(g.kernel.Hyper(), g.noise)) {
 		return g.Fit(append(g.x, x), append(g.yRaw, y))
@@ -185,9 +546,6 @@ func (g *GP) Observe(x []float64, y float64) error {
 	knn := g.kernel.Eval(x, x) + g.noise
 	l, err := linalg.CholUpdateRow(g.chol, krow, knn+g.jitter)
 	if err != nil {
-		// The bordered system lost positive definiteness under the cached
-		// jitter (near-duplicate point, drifting conditioning): refit from
-		// scratch, letting CholeskyJitter pick a fresh jitter.
 		return g.Fit(append(g.x, x), append(g.yRaw, y))
 	}
 	grown := linalg.NewMatrix(n+1, n+1)
@@ -202,8 +560,6 @@ func (g *GP) Observe(x []float64, y float64) error {
 	g.x = append(g.x, x)
 	g.gramX = g.x
 	g.yRaw = append(g.yRaw, y)
-	// Renormalize and recompute alpha — O(n²), the same arithmetic Fit
-	// performs, keeping incremental and full paths numerically aligned.
 	g.yMean = stats.Mean(g.yRaw)
 	g.yScale = stats.StdDev(g.yRaw)
 	if g.yScale == 0 || math.IsNaN(g.yScale) {
@@ -215,7 +571,6 @@ func (g *GP) Observe(x []float64, y float64) error {
 	}
 	alpha, err := linalg.CholeskySolve(g.chol, g.yNorm)
 	if err != nil {
-		// The grown factor is singular after all: rebuild everything.
 		return g.Fit(g.x, g.yRaw)
 	}
 	g.alpha = alpha
@@ -225,15 +580,18 @@ func (g *GP) Observe(x []float64, y float64) error {
 // Clone returns an independent deep copy of the model — kernel, caches,
 // and fitted state — so callers can fantasize observations (constant-liar
 // batching) with Observe without touching the original. Training input
-// rows are shared read-only.
+// rows are shared read-only; the d² cache and scratch buffers are not
+// cloned (they rebuild lazily).
 func (g *GP) Clone() *GP {
 	c := &GP{
-		kernel: g.kernel.Clone(),
-		noise:  g.noise,
-		yMean:  g.yMean,
-		yScale: g.yScale,
-		jitter: g.jitter,
-		fitted: g.fitted,
+		kernel:  g.kernel.Clone(),
+		noise:   g.noise,
+		workers: g.workers,
+		legacy:  g.legacy,
+		yMean:   g.yMean,
+		yScale:  g.yScale,
+		jitter:  g.jitter,
+		fitted:  g.fitted,
 	}
 	c.x = append([][]float64(nil), g.x...)
 	c.gramX = append([][]float64(nil), g.gramX...)
@@ -268,7 +626,21 @@ func (g *GP) MinY() float64 {
 
 // Predict returns the posterior mean and variance at x. Variance is the
 // latent-function variance (without observation noise), floored at zero.
+// Scratch comes from a pooled workspace, so a warm Predict performs zero
+// heap allocations; see PredictWS to manage the workspace explicitly.
 func (g *GP) Predict(x []float64) (mean, variance float64, err error) {
+	if g.legacy {
+		return g.predictLegacy(x)
+	}
+	ws := wsPool.Get().(*Workspace)
+	mean, variance, err = g.PredictWS(ws, x)
+	wsPool.Put(ws)
+	return mean, variance, err
+}
+
+// predictLegacy is the PR-4 Predict: kstar and the triangular-solve result
+// are allocated on every call.
+func (g *GP) predictLegacy(x []float64) (mean, variance float64, err error) {
 	if !g.fitted {
 		return 0, 0, ErrNotFitted
 	}
@@ -289,33 +661,144 @@ func (g *GP) Predict(x []float64) (mean, variance float64, err error) {
 	return muNorm*g.yScale + g.yMean, varNorm * g.yScale * g.yScale, nil
 }
 
+// PredictWS is Predict with a caller-owned workspace, for hot loops that
+// want to keep scratch out of the pool entirely. Safe to call concurrently
+// after Fit as long as each goroutine uses its own workspace.
+//
+//autolint:hotpath
+func (g *GP) PredictWS(ws *Workspace, x []float64) (mean, variance float64, err error) {
+	if !g.fitted {
+		return 0, 0, ErrNotFitted
+	}
+	n := len(g.x)
+	ws.ensure(n)
+	kstar := ws.kstar[:n]
+	for i := 0; i < n; i++ {
+		kstar[i] = g.kernel.Eval(g.x[i], x)
+	}
+	muNorm := linalg.Dot(kstar, g.alpha)
+	v := ws.v[:n]
+	if err := linalg.SolveLowerInto(g.chol, kstar, v); err != nil {
+		return 0, 0, fmt.Errorf("gp: predict: %w", err)
+	}
+	varNorm := g.kernel.Eval(x, x) - linalg.Dot(v, v)
+	if varNorm < 0 {
+		varNorm = 0
+	}
+	return muNorm*g.yScale + g.yMean, varNorm * g.yScale * g.yScale, nil
+}
+
+// PredictN computes posterior means and variances for a batch of query
+// points, writing into mean and variance (each at least len(xs) long).
+// Points are spread across the worker pool; every output index is written
+// by exactly one worker, so results are bitwise identical to calling
+// Predict per point, for any worker count. On error the lowest-index
+// failure is returned.
+func (g *GP) PredictN(xs [][]float64, mean, variance []float64) error {
+	if len(mean) < len(xs) || len(variance) < len(xs) {
+		return fmt.Errorf("gp: predictn: %d points but %d/%d outputs", len(xs), len(mean), len(variance))
+	}
+	if !g.fitted {
+		return ErrNotFitted
+	}
+	w := g.effWorkers()
+	if w > len(xs) {
+		w = len(xs)
+	}
+	if w <= 1 || len(xs) < 8 {
+		ws := wsPool.Get().(*Workspace)
+		for i, x := range xs {
+			m, v, err := g.PredictWS(ws, x)
+			if err != nil {
+				wsPool.Put(ws)
+				return err
+			}
+			mean[i], variance[i] = m, v
+		}
+		wsPool.Put(ws)
+		return nil
+	}
+	type wkErr struct {
+		idx int
+		err error
+	}
+	errs := make([]wkErr, w)
+	panics := make([]any, w)
+	var wg sync.WaitGroup
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer func() {
+				if r := recover(); r != nil {
+					panics[wk] = r
+				}
+				wg.Done()
+			}()
+			ws := wsPool.Get().(*Workspace)
+			errs[wk] = wkErr{idx: -1}
+			// Strided indices ascend, so a worker's first failure is its
+			// lowest; the reduction below picks the global lowest.
+			for i := wk; i < len(xs); i += w {
+				m, v, err := g.PredictWS(ws, xs[i])
+				if err != nil {
+					errs[wk] = wkErr{idx: i, err: err}
+					break
+				}
+				mean[i], variance[i] = m, v
+			}
+			wsPool.Put(ws)
+		}(wk)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	var first *wkErr
+	for wk := range errs {
+		e := &errs[wk]
+		if e.err != nil && (first == nil || e.idx < first.idx) {
+			first = e
+		}
+	}
+	if first != nil {
+		return first.err
+	}
+	return nil
+}
+
 // SampleAt draws one sample of the posterior at a finite set of points,
-// using rng. Used for Thompson-style acquisition.
+// using rng. Used for Thompson-style acquisition. The per-point solves run
+// through a pooled workspace and one flat matrix instead of a slice
+// allocation per point.
 func (g *GP) SampleAt(points [][]float64, rng *rand.Rand) ([]float64, error) {
 	if !g.fitted {
 		return nil, ErrNotFitted
 	}
 	m := len(points)
+	n := len(g.x)
 	mu := make([]float64, m)
 	// Posterior covariance between the points.
 	cov := linalg.NewMatrix(m, m)
-	vs := make([][]float64, m)
+	vs := linalg.NewMatrix(m, n)
+	ws := wsPool.Get().(*Workspace)
+	ws.ensure(n)
 	for i, p := range points {
-		n := len(g.x)
-		kstar := make([]float64, n)
+		kstar := ws.kstar[:n]
 		for j := 0; j < n; j++ {
 			kstar[j] = g.kernel.Eval(g.x[j], p)
 		}
 		mu[i] = linalg.Dot(kstar, g.alpha)
-		v, err := linalg.SolveLower(g.chol, kstar)
-		if err != nil {
+		if err := linalg.SolveLowerInto(g.chol, kstar, vs.Row(i)); err != nil {
+			wsPool.Put(ws)
 			return nil, err
 		}
-		vs[i] = v
 	}
+	wsPool.Put(ws)
 	for i := 0; i < m; i++ {
 		for j := i; j < m; j++ {
-			c := g.kernel.Eval(points[i], points[j]) - linalg.Dot(vs[i], vs[j])
+			c := g.kernel.Eval(points[i], points[j]) - linalg.Dot(vs.Row(i), vs.Row(j))
 			cov.Set(i, j, c)
 			cov.Set(j, i, c)
 		}
@@ -353,21 +836,27 @@ func (g *GP) LogMarginalLikelihood() (float64, error) {
 // noise variance) by maximizing log marginal likelihood with restarts
 // Nelder-Mead searches in log space: the current hyperparameters plus
 // `restarts` random perturbations. The best parameters are installed and
-// the GP refitted.
+// the GP refitted. All candidate evaluations share one trial model whose
+// gram, factor, and d² storage persist across the search, so each
+// Nelder-Mead step costs an in-place gram refill plus a factorization and
+// no fresh distance work or allocation.
 func (g *GP) FitHyper(x [][]float64, y []float64, restarts int, rng *rand.Rand) error {
+	if g.legacy {
+		return g.fitHyperLegacy(x, y, restarts, rng)
+	}
 	if err := g.Fit(x, y); err != nil {
 		return err
 	}
 	base := append(g.kernel.Hyper(), math.Log(g.noise))
+	trial := &GP{kernel: g.kernel.Clone(), noise: g.noise, workers: g.workers}
 	obj := func(lp []float64) float64 {
 		for _, v := range lp {
 			if v < -12 || v > 8 { // keep hyperparameters in a sane range
 				return math.Inf(1)
 			}
 		}
-		k := g.kernel.Clone()
-		k.SetHyper(lp[:len(lp)-1])
-		trial := &GP{kernel: k, noise: math.Exp(lp[len(lp)-1])}
+		trial.kernel.SetHyper(lp[:len(lp)-1])
+		trial.noise = math.Exp(lp[len(lp)-1])
 		if trial.noise < 1e-10 {
 			trial.noise = 1e-10
 		}
@@ -380,6 +869,44 @@ func (g *GP) FitHyper(x [][]float64, y []float64, restarts int, rng *rand.Rand) 
 		}
 		return -lml
 	}
+	return g.fitHyperSearch(x, y, base, obj, restarts, rng)
+}
+
+// fitHyperLegacy is the PR-4 FitHyper: a fresh trial GP (and with it fresh
+// gram/factor storage) for every objective evaluation.
+func (g *GP) fitHyperLegacy(x [][]float64, y []float64, restarts int, rng *rand.Rand) error {
+	if err := g.Fit(x, y); err != nil {
+		return err
+	}
+	base := append(g.kernel.Hyper(), math.Log(g.noise))
+	obj := func(lp []float64) float64 {
+		for _, v := range lp {
+			if v < -12 || v > 8 {
+				return math.Inf(1)
+			}
+		}
+		k := g.kernel.Clone()
+		k.SetHyper(lp[:len(lp)-1])
+		trial := &GP{kernel: k, noise: math.Exp(lp[len(lp)-1]), legacy: true}
+		if trial.noise < 1e-10 {
+			trial.noise = 1e-10
+		}
+		if err := trial.Fit(x, y); err != nil {
+			return math.Inf(1)
+		}
+		lml, err := trial.LogMarginalLikelihood()
+		if err != nil || math.IsNaN(lml) {
+			return math.Inf(1)
+		}
+		return -lml
+	}
+	return g.fitHyperSearch(x, y, base, obj, restarts, rng)
+}
+
+// fitHyperSearch runs the restarted Nelder-Mead search shared by both
+// FitHyper arms, installs the best hyperparameters, and refits.
+func (g *GP) fitHyperSearch(x [][]float64, y []float64, base []float64,
+	obj func([]float64) float64, restarts int, rng *rand.Rand) error {
 	bestLP := append([]float64(nil), base...)
 	bestVal := obj(base)
 	starts := [][]float64{base}

@@ -270,6 +270,77 @@ func (k *Product) Clone() Kernel { return &Product{A: k.A.Clone(), B: k.B.Clone(
 // String implements Kernel.
 func (k *Product) String() string { return fmt.Sprintf("(%s * %s)", k.A, k.B) }
 
+// stationaryFunc returns the kernel as a function of squared distance when
+// its value depends on the inputs only through d² — true for RBF, Matérn,
+// Periodic, Constant, and any Scaled/Sum/Product combination of those. The
+// returned closure replicates Eval's arithmetic expression-for-expression
+// (2·ℓ·ℓ, not a precomputed 1/ℓ²), so gram matrices built from cached
+// distances are bitwise identical to ones built from raw points. Linear and
+// the multitask Task kernel read coordinates directly and report ok=false;
+// callers then fall back to Eval.
+func stationaryFunc(k Kernel) (func(d2 float64) float64, bool) {
+	switch k := k.(type) {
+	case *RBF:
+		l := k.Lengthscale
+		return func(d2 float64) float64 {
+			return math.Exp(-d2 / (2 * l * l))
+		}, true
+	case *Matern:
+		l := k.Lengthscale
+		switch k.Nu {
+		case 0.5:
+			return func(d2 float64) float64 {
+				d := math.Sqrt(d2) / l
+				return math.Exp(-d)
+			}, true
+		case 1.5:
+			return func(d2 float64) float64 {
+				d := math.Sqrt(d2) / l
+				s := math.Sqrt(3) * d
+				return (1 + s) * math.Exp(-s)
+			}, true
+		default: // 2.5
+			return func(d2 float64) float64 {
+				d := math.Sqrt(d2) / l
+				s := math.Sqrt(5) * d
+				return (1 + s + s*s/3) * math.Exp(-s)
+			}, true
+		}
+	case *Periodic:
+		l, p := k.Lengthscale, k.Period
+		return func(d2 float64) float64 {
+			d := math.Sqrt(d2)
+			s := math.Sin(math.Pi * d / p)
+			return math.Exp(-2 * s * s / (l * l))
+		}, true
+	case *Constant:
+		v := k.Value
+		return func(float64) float64 { return v }, true
+	case *Scaled:
+		inner, ok := stationaryFunc(k.Inner)
+		if !ok {
+			return nil, false
+		}
+		v := k.Variance
+		return func(d2 float64) float64 { return v * inner(d2) }, true
+	case *Sum:
+		a, okA := stationaryFunc(k.A)
+		b, okB := stationaryFunc(k.B)
+		if !okA || !okB {
+			return nil, false
+		}
+		return func(d2 float64) float64 { return a(d2) + b(d2) }, true
+	case *Product:
+		a, okA := stationaryFunc(k.A)
+		b, okB := stationaryFunc(k.B)
+		if !okA || !okB {
+			return nil, false
+		}
+		return func(d2 float64) float64 { return a(d2) * b(d2) }, true
+	}
+	return nil, false
+}
+
 func sqDist(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("gp: dim mismatch %d vs %d", len(x), len(y)))

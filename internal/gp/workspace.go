@@ -1,0 +1,29 @@
+package gp
+
+import "sync"
+
+// Workspace holds prediction scratch (the k* vector and the triangular
+// solve result) so hot loops can call PredictWS without per-call heap
+// allocation. A Workspace belongs to one goroutine at a time; Predict and
+// PredictN draw from an internal pool, while tight callers (the acquisition
+// search) keep one per worker via NewWorkspace.
+type Workspace struct {
+	kstar []float64
+	v     []float64
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use and
+// are then reused.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// ensure grows the buffers to capacity n. Lengths are managed by callers.
+func (w *Workspace) ensure(n int) {
+	if cap(w.kstar) < n {
+		w.kstar = make([]float64, n, n+n/2+8)
+	}
+	if cap(w.v) < n {
+		w.v = make([]float64, n, n+n/2+8)
+	}
+}
+
+var wsPool = sync.Pool{New: func() any { return &Workspace{} }}

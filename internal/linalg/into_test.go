@@ -1,0 +1,191 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 3, 8, 17} {
+		a := randSPD(n, rng)
+		b := randVec(rng, n)
+
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d cholesky: %v", n, err)
+		}
+		// Into a dirty buffer: must come out bitwise identical, upper
+		// triangle included.
+		l2 := NewMatrix(n, n)
+		for i := range l2.Data {
+			l2.Data[i] = 99
+		}
+		if err := CholeskyInto(a, l2, 0); err != nil {
+			t.Fatalf("n=%d choleskyinto: %v", n, err)
+		}
+		for i, v := range l.Data {
+			if l2.Data[i] != v {
+				t.Fatalf("n=%d choleskyinto differs at %d: %v vs %v", n, i, l2.Data[i], v)
+			}
+		}
+
+		y, err := SolveLower(l, b)
+		if err != nil {
+			t.Fatalf("n=%d solvelower: %v", n, err)
+		}
+		x, err := SolveUpperFromLowerT(l, y)
+		if err != nil {
+			t.Fatalf("n=%d solveupper: %v", n, err)
+		}
+		got := make([]float64, n)
+		if err := CholeskySolveInto(l, b, got); err != nil {
+			t.Fatalf("n=%d choleskysolveinto: %v", n, err)
+		}
+		for i := range x {
+			if got[i] != x[i] {
+				t.Fatalf("n=%d choleskysolveinto differs at %d", n, i)
+			}
+		}
+		// In-place aliasing: out == b.
+		alias := append([]float64(nil), b...)
+		if err := CholeskySolveInto(l, alias, alias); err != nil {
+			t.Fatalf("n=%d aliased solve: %v", n, err)
+		}
+		for i := range x {
+			if alias[i] != x[i] {
+				t.Fatalf("n=%d aliased solve differs at %d", n, i)
+			}
+		}
+
+		mv := a.MulVec(b)
+		mv2 := make([]float64, n)
+		a.MulVecInto(b, mv2)
+		for i := range mv {
+			if mv2[i] != mv[i] {
+				t.Fatalf("n=%d mulvecinto differs at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestCholeskyJitterIntoMatchesCholeskyJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// A rank-deficient gram (duplicated rows) forces the jitter path.
+	n := 6
+	b := NewMatrix(n, 2)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := Mul(b, b.T())
+	l1, jit1, err := CholeskyJitter(a, 1e-3)
+	if err != nil {
+		t.Fatalf("choleskyjitter: %v", err)
+	}
+	if jit1 == 0 {
+		t.Fatalf("expected jitter path, got 0")
+	}
+	l2 := NewMatrix(n, n)
+	jit2, err := CholeskyJitterInto(a, l2, 1e-3)
+	if err != nil {
+		t.Fatalf("choleskyjitterinto: %v", err)
+	}
+	if jit2 != jit1 {
+		t.Fatalf("jitter %v vs %v", jit2, jit1)
+	}
+	for i, v := range l1.Data {
+		if l2.Data[i] != v {
+			t.Fatalf("jitter factor differs at %d", i)
+		}
+	}
+}
+
+func TestGrowSquare(t *testing.T) {
+	m := NewMatrix(0, 0)
+	want := NewMatrix(0, 0)
+	rng := rand.New(rand.NewSource(11))
+	for n := 0; n < 20; n++ {
+		m.GrowSquare()
+		grown := NewMatrix(n+1, n+1)
+		for i := 0; i < n; i++ {
+			copy(grown.Row(i)[:n], want.Row(i))
+		}
+		want = grown
+		for i, v := range want.Data {
+			if m.Data[i] != v {
+				t.Fatalf("n=%d grow mismatch at %d: %v vs %v", n, i, m.Data[i], v)
+			}
+		}
+		// Dirty the new border so the next grow must preserve it.
+		for j := 0; j <= n; j++ {
+			v := rng.NormFloat64()
+			m.Set(n, j, v)
+			want.Set(n, j, v)
+			m.Set(j, n, v)
+			want.Set(j, n, v)
+		}
+	}
+}
+
+func TestCholUpdateRowInPlaceMatchesCholUpdateRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 9
+	a := randSPD(n+1, rng)
+	sub := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		copy(sub.Row(i), a.Row(i)[:n])
+	}
+	l, err := Cholesky(sub)
+	if err != nil {
+		t.Fatalf("cholesky: %v", err)
+	}
+	k := a.Row(n)[:n]
+	d := a.At(n, n)
+	want, err := CholUpdateRow(l, k, d)
+	if err != nil {
+		t.Fatalf("cholupdaterow: %v", err)
+	}
+	scratch := make([]float64, n)
+	if err := CholUpdateRowInPlace(l, k, d, scratch); err != nil {
+		t.Fatalf("inplace: %v", err)
+	}
+	if l.Rows != n+1 || l.Cols != n+1 {
+		t.Fatalf("inplace dims %dx%d", l.Rows, l.Cols)
+	}
+	for i, v := range want.Data {
+		if l.Data[i] != v {
+			t.Fatalf("inplace differs at %d: %v vs %v", i, l.Data[i], v)
+		}
+	}
+}
+
+func TestCholUpdateRowInPlaceErrorLeavesFactorIntact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 5
+	a := randSPD(n, rng)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatalf("cholesky: %v", err)
+	}
+	before := append([]float64(nil), l.Data...)
+	k := make([]float64, n) // zero border with d=0 is not SPD
+	if err := CholUpdateRowInPlace(l, k, 0, nil); err != ErrNotPositiveDefinite {
+		t.Fatalf("want ErrNotPositiveDefinite, got %v", err)
+	}
+	if l.Rows != n || l.Cols != n {
+		t.Fatalf("factor grew on error: %dx%d", l.Rows, l.Cols)
+	}
+	for i, v := range before {
+		if l.Data[i] != v {
+			t.Fatalf("factor mutated on error at %d", i)
+		}
+	}
+}

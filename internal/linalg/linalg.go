@@ -134,9 +134,7 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 		panic(fmt.Sprintf("linalg: mulvec dims %dx%d * %d", m.Rows, m.Cols, len(x)))
 	}
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = Dot(m.Row(i), x)
-	}
+	m.MulVecInto(x, out)
 	return out
 }
 
@@ -203,21 +201,9 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("linalg: cholesky of %dx%d: not square", a.Rows, a.Cols)
 	}
-	n := a.Rows
-	l := NewMatrix(n, n)
-	for j := 0; j < n; j++ {
-		ljrow := l.Row(j)[:j]
-		d := a.At(j, j) - Dot(ljrow, ljrow)
-		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotPositiveDefinite
-		}
-		ljj := math.Sqrt(d)
-		l.Set(j, j, ljj)
-		inv := 1 / ljj
-		for i := j + 1; i < n; i++ {
-			lirow := l.Row(i)
-			lirow[j] = (a.At(i, j) - Dot(lirow[:j], ljrow)) * inv
-		}
+	l := NewMatrix(a.Rows, a.Rows)
+	if err := CholeskyInto(a, l, 0); err != nil {
+		return nil, err
 	}
 	return l, nil
 }
@@ -235,28 +221,10 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 // is not numerically SPD (d − c·c ≤ 0); callers should then fall back to a
 // full factorization with jitter.
 func CholUpdateRow(l *Matrix, k []float64, d float64) (*Matrix, error) {
-	n := l.Rows
-	if l.Cols != n {
-		return nil, fmt.Errorf("linalg: cholupdate of %dx%d: not square", l.Rows, l.Cols)
-	}
-	if len(k) != n {
-		return nil, fmt.Errorf("linalg: cholupdate row length %d vs %d", len(k), n)
-	}
-	c, err := SolveLower(l, k)
-	if err != nil {
+	out := l.Clone()
+	if err := CholUpdateRowInPlace(out, k, d, nil); err != nil {
 		return nil, err
 	}
-	s := d - Dot(c, c)
-	if s <= 0 || math.IsNaN(s) {
-		return nil, ErrNotPositiveDefinite
-	}
-	out := NewMatrix(n+1, n+1)
-	for i := 0; i < n; i++ {
-		copy(out.Row(i)[:n], l.Row(i))
-	}
-	last := out.Row(n)
-	copy(last[:n], c)
-	last[n] = math.Sqrt(s)
 	return out, nil
 }
 
@@ -264,35 +232,22 @@ func CholUpdateRow(l *Matrix, k []float64, d float64) (*Matrix, error) {
 // with jitter 1e-10, 1e-9, ... up to maxJitter added to the diagonal until
 // the factorization succeeds. It returns the factor and the jitter used.
 func CholeskyJitter(a *Matrix, maxJitter float64) (*Matrix, float64, error) {
-	if l, err := Cholesky(a); err == nil {
-		return l, 0, nil
+	if a.Rows != a.Cols {
+		return nil, 0, fmt.Errorf("linalg: cholesky of %dx%d: not square", a.Rows, a.Cols)
 	}
-	for jit := 1e-10; jit <= maxJitter; jit *= 10 {
-		aj := a.Clone()
-		for i := 0; i < aj.Rows; i++ {
-			aj.Add(i, i, jit)
-		}
-		if l, err := Cholesky(aj); err == nil {
-			return l, jit, nil
-		}
+	l := NewMatrix(a.Rows, a.Rows)
+	jit, err := CholeskyJitterInto(a, l, maxJitter)
+	if err != nil {
+		return nil, 0, err
 	}
-	return nil, 0, ErrNotPositiveDefinite
+	return l, jit, nil
 }
 
 // SolveLower solves L y = b for lower-triangular L by forward substitution.
 func SolveLower(l *Matrix, b []float64) ([]float64, error) {
-	n := l.Rows
-	if len(b) != n {
-		return nil, fmt.Errorf("linalg: solve dims %d vs %d", n, len(b))
-	}
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		row := l.Row(i)
-		s := b[i] - Dot(row[:i], y[:i])
-		if row[i] == 0 {
-			return nil, ErrSingular
-		}
-		y[i] = s / row[i]
+	y := make([]float64, l.Rows)
+	if err := SolveLowerInto(l, b, y); err != nil {
+		return nil, err
 	}
 	return y, nil
 }
@@ -300,32 +255,20 @@ func SolveLower(l *Matrix, b []float64) ([]float64, error) {
 // SolveUpperFromLowerT solves Lᵀ x = y where L is lower triangular, by
 // backward substitution without materializing the transpose.
 func SolveUpperFromLowerT(l *Matrix, y []float64) ([]float64, error) {
-	n := l.Rows
-	if len(y) != n {
-		return nil, fmt.Errorf("linalg: solve dims %d vs %d", n, len(y))
-	}
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for j := i + 1; j < n; j++ {
-			s -= l.At(j, i) * x[j]
-		}
-		d := l.At(i, i)
-		if d == 0 {
-			return nil, ErrSingular
-		}
-		x[i] = s / d
+	x := make([]float64, l.Rows)
+	if err := SolveUpperFromLowerTInto(l, y, x); err != nil {
+		return nil, err
 	}
 	return x, nil
 }
 
 // CholeskySolve solves A x = b given the Cholesky factor L of A.
 func CholeskySolve(l *Matrix, b []float64) ([]float64, error) {
-	y, err := SolveLower(l, b)
-	if err != nil {
+	x := make([]float64, l.Rows)
+	if err := CholeskySolveInto(l, b, x); err != nil {
 		return nil, err
 	}
-	return SolveUpperFromLowerT(l, y)
+	return x, nil
 }
 
 // LogDetFromChol returns log(det(A)) given the Cholesky factor L of A.

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// HotPathDirective marks a function whose warm-call allocation count is
+// pinned by tests: the Into kernels in linalg, gp.PredictWS, the space
+// encoders, and the acquisition restart loop. The annotation is a doc
+// comment line:
+//
+//	//autolint:hotpath
+//	func (s *Space) EncodeInto(cfg Config, x []float64) { ... }
+const HotPathDirective = "//autolint:hotpath"
+
+// HotAlloc forbids direct `make` and `append` calls inside functions
+// annotated //autolint:hotpath. Those functions back the zero-allocation
+// suggest–evaluate–observe loop; a stray allocation there regresses every
+// Suggest call. The check is syntactic and applies only to the annotated
+// function's own body (nested literals included) — callees that allocate,
+// such as one-time workspace `ensure` growth, are flagged where they are
+// defined or not at all. Deliberate cold-start allocations are silenced
+// with an annotated //autolint:ignore.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions annotated //autolint:hotpath must not make or append",
+	Run: func(f *File) []Diagnostic {
+		var out []Diagnostic
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if id.Name == "make" || id.Name == "append" {
+					out = append(out, f.Diag("hotalloc", call.Pos(),
+						fmt.Sprintf("%s in hot-path function %s allocates on every call", id.Name, fn.Name.Name),
+						"reuse a caller-owned or workspace buffer, or drop the //autolint:hotpath annotation"))
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// isHotPath reports whether the function's doc comment carries the
+// hotpath directive.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == HotPathDirective {
+			return true
+		}
+	}
+	return false
+}

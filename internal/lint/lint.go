@@ -216,6 +216,7 @@ func All() []*Analyzer {
 		CtxPass,
 		DroppedErr,
 		NakedGo,
+		HotAlloc,
 	}
 }
 

@@ -87,6 +87,7 @@ func TestMapOrderFixtures(t *testing.T)   { runFixture(t, "maporder", MapOrder) 
 func TestCtxPassFixtures(t *testing.T)    { runFixture(t, "ctxpass", CtxPass) }
 func TestDroppedErrFixtures(t *testing.T) { runFixture(t, "droppederr", DroppedErr) }
 func TestNakedGoFixtures(t *testing.T)    { runFixture(t, "nakedgo", NakedGo) }
+func TestHotAllocFixtures(t *testing.T)   { runFixture(t, "hotalloc", HotAlloc) }
 
 // TestRepoIsClean runs the full registry over the real module: the tree
 // must stay violation-free, with every deliberate exception annotated.

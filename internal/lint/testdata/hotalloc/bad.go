@@ -1,0 +1,26 @@
+// Package fixture exercises the hotalloc analyzer: annotated hot-path
+// functions must not make or append.
+package fixture
+
+// sumInto is annotated hot but allocates a scratch vector on every call
+// and grows its output.
+//
+//autolint:hotpath
+func sumInto(xs, out []float64) []float64 {
+	tmp := make([]float64, len(xs)) // want hotalloc
+	copy(tmp, xs)
+	for _, v := range tmp {
+		out = append(out, v) // want hotalloc
+	}
+	return out
+}
+
+// hotClosure allocates inside a nested literal — still the annotated
+// function's body, still flagged.
+//
+//autolint:hotpath
+func hotClosure(n int) func() []int {
+	return func() []int {
+		return make([]int, n) // want hotalloc
+	}
+}

@@ -1,0 +1,29 @@
+package fixture
+
+// notHot allocates freely: without the annotation the analyzer has
+// nothing to say.
+func notHot(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// scaleInto reuses caller storage — the shape every hot-path function
+// should have.
+//
+//autolint:hotpath
+func scaleInto(xs, out []float64, k float64) {
+	for i := range xs {
+		out[i] = xs[i] * k
+	}
+}
+
+// hotDelegates calls an allocating helper; the analyzer is syntactic and
+// per-body, so the callee is judged where it is defined, not here.
+//
+//autolint:hotpath
+func hotDelegates(n int) []int {
+	return notHot(n)
+}

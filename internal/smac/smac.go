@@ -81,6 +81,9 @@ type SMAC struct {
 
 	model *forest.Forest
 	dirty bool
+	// encBuf is the reused encoding buffer for candidate scoring; the
+	// forest reads it during Predict and retains nothing.
+	encBuf []float64
 }
 
 // New returns a SMAC optimizer with default options.
@@ -143,6 +146,17 @@ func (s *SMAC) Suggest() (space.Config, error) {
 	return s.pick(), nil
 }
 
+// predictCfg scores cfg through the reused encoding buffer, avoiding one
+// vector allocation per candidate.
+func (s *SMAC) predictCfg(cfg space.Config) (mean, variance float64) {
+	if cap(s.encBuf) < s.space.Dim() {
+		s.encBuf = make([]float64, s.space.Dim())
+	}
+	s.encBuf = s.encBuf[:s.space.Dim()]
+	s.space.EncodeInto(cfg, s.encBuf)
+	return s.model.Predict(s.encBuf)
+}
+
 // pick maximizes the acquisition over random + incumbent-local candidates.
 func (s *SMAC) pick() space.Config {
 	incumbent, best, _ := s.Best()
@@ -155,7 +169,7 @@ func (s *SMAC) pick() space.Config {
 	var topAny space.Config
 	topAnyScore := math.Inf(-1)
 	consider := func(cfg space.Config) {
-		mu, v := s.model.Predict(s.space.Encode(cfg))
+		mu, v := s.predictCfg(cfg)
 		if v < s.opts.MinVariance {
 			v = s.opts.MinVariance
 		}
@@ -211,7 +225,7 @@ func (s *SMAC) SuggestN(n int) ([]space.Config, error) {
 	cands := make([]scored, 0, s.opts.Candidates)
 	for i := 0; i < s.opts.Candidates; i++ {
 		cfg := s.space.Sample(s.rng)
-		mu, v := s.model.Predict(s.space.Encode(cfg))
+		mu, v := s.predictCfg(cfg)
 		if v < s.opts.MinVariance {
 			v = s.opts.MinVariance
 		}

@@ -1,0 +1,300 @@
+package space
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+)
+
+// scalarCond is one link of a conditional-parameter chain, precompiled to a
+// membership test over the parent's scalar representation so activity can
+// be decided without materializing a Config or formatting values.
+type scalarCond struct {
+	parent int
+	kind   Kind
+	catOK  []bool         // KindCategorical: accepted level indices
+	boolOK [2]bool        // KindBool: accepted at index 0=false, 1=true
+	intOK  map[int64]bool // KindInt: accepted values
+}
+
+func (c *scalarCond) accept(scalars []float64) bool {
+	v := scalars[c.parent]
+	switch c.kind {
+	case KindCategorical:
+		idx := int(v)
+		return idx >= 0 && idx < len(c.catOK) && c.catOK[idx]
+	case KindBool:
+		if v == 1 {
+			return c.boolOK[1]
+		}
+		return c.boolOK[0]
+	default: // KindInt
+		return c.intOK[int64(v)]
+	}
+}
+
+// EncodedSampler draws configurations directly in two flat representations —
+// a "scalars" vector (one float64 per parameter: the float value, the int as
+// float64, the categorical level index, bool as 0/1) and the surrogate
+// encoding — without allocating a Config per candidate. RNG consumption
+// mirrors Space.Sample draw for draw, and the produced encoding is bitwise
+// what Encode/EncodeOneHot would return for the same sample, so switching an
+// acquisition search to the sampler changes no seeded result. Only the
+// winning candidate is materialized into a Config.
+//
+// The allocation-free fast path requires a constraint-free space whose
+// conditional-parameter parents are categorical, bool, or int (float parents
+// would need formatted comparison); otherwise SampleInto transparently falls
+// back to Space.Sample plus EncodeInto.
+type EncodedSampler struct {
+	s        *Space
+	oneHot   bool
+	dim      int
+	fast     bool
+	conds    [][]scalarCond // per parameter; nil = unconditional
+	defUnit  []float64      // clamp01(toUnit(default)) per parameter
+	defLevel []int          // categorical default level index
+}
+
+// NewEncodedSampler compiles a sampler for s under the chosen encoding.
+func NewEncodedSampler(s *Space, oneHot bool) *EncodedSampler {
+	es := &EncodedSampler{
+		s:        s,
+		oneHot:   oneHot,
+		fast:     len(s.constraints) == 0,
+		conds:    make([][]scalarCond, len(s.params)),
+		defUnit:  make([]float64, len(s.params)),
+		defLevel: make([]int, len(s.params)),
+	}
+	if oneHot {
+		es.dim = s.OneHotDim()
+	} else {
+		es.dim = s.Dim()
+	}
+	for i := range s.params {
+		p := &s.params[i]
+		dv := p.defaultValue()
+		es.defUnit[i] = clamp01(p.toUnit(dv))
+		if p.Kind == KindCategorical {
+			sv, _ := dv.(string)
+			es.defLevel[i] = p.levelIndex(sv)
+		}
+		for cur := p; cur.Parent != ""; {
+			pi, ok := s.index[cur.Parent]
+			if !ok {
+				es.fast = false
+				break
+			}
+			pp := &s.params[pi]
+			cond := scalarCond{parent: pi, kind: pp.Kind}
+			switch pp.Kind {
+			case KindCategorical:
+				cond.catOK = make([]bool, len(pp.Values))
+				for l, lv := range pp.Values {
+					for _, want := range cur.ParentValues {
+						if lv == want {
+							cond.catOK[l] = true
+							break
+						}
+					}
+				}
+			case KindBool:
+				for _, want := range cur.ParentValues {
+					switch want {
+					case "true":
+						cond.boolOK[1] = true
+					case "false":
+						cond.boolOK[0] = true
+					}
+				}
+			case KindInt:
+				cond.intOK = make(map[int64]bool, len(cur.ParentValues))
+				for _, want := range cur.ParentValues {
+					// Active compares formatted strings, so only values that
+					// round-trip ("7", not "007") can ever match.
+					if n, err := strconv.ParseInt(want, 10, 64); err == nil && strconv.FormatInt(n, 10) == want {
+						cond.intOK[n] = true
+					}
+				}
+			default:
+				// Float parents compare via formatted strings; keep the
+				// exact semantics by falling back to Space.Sample.
+				es.fast = false
+			}
+			if !es.fast {
+				break
+			}
+			es.conds[i] = append(es.conds[i], cond)
+			cur = pp
+		}
+	}
+	return es
+}
+
+// Dim returns the encoding dimensionality.
+func (es *EncodedSampler) Dim() int { return es.dim }
+
+// Fast reports whether the allocation-free path is in use.
+func (es *EncodedSampler) Fast() bool { return es.fast }
+
+// SampleInto draws one configuration into scalars (length Space.Dim) and
+// its encoding into enc (length Dim). On the fast path this performs zero
+// heap allocations.
+//
+//autolint:hotpath
+func (es *EncodedSampler) SampleInto(rng *rand.Rand, scalars, enc []float64) {
+	if !es.fast {
+		cfg := es.s.Sample(rng)
+		es.scalarsOf(cfg, scalars)
+		if es.oneHot {
+			es.s.EncodeOneHotInto(cfg, enc)
+		} else {
+			es.s.EncodeInto(cfg, enc)
+		}
+		return
+	}
+	// One draw per parameter, mirroring Param.sampleValue exactly; with no
+	// constraints, Space.sample accepts its first try, so the streams match.
+	for i := range es.s.params {
+		p := &es.s.params[i]
+		switch p.Kind {
+		case KindFloat:
+			scalars[i] = p.quantize(p.fromUnitNumeric(rng.Float64()))
+		case KindInt:
+			scalars[i] = float64(int64(math.Round(p.fromUnitNumeric(rng.Float64()))))
+		case KindCategorical:
+			scalars[i] = float64(rng.Intn(len(p.Values)))
+		default:
+			if rng.Intn(2) == 1 {
+				scalars[i] = 1
+			} else {
+				scalars[i] = 0
+			}
+		}
+	}
+	es.encodeScalars(scalars, enc)
+}
+
+// encodeScalars writes the encoding of a scalars vector into enc,
+// reproducing Encode/EncodeOneHot bitwise (same toUnit arithmetic, same
+// inactive-default substitution).
+func (es *EncodedSampler) encodeScalars(scalars, enc []float64) {
+	off := 0
+	for i := range es.s.params {
+		p := &es.s.params[i]
+		active := true
+		for c := range es.conds[i] {
+			if !es.conds[i][c].accept(scalars) {
+				active = false
+				break
+			}
+		}
+		if p.Kind == KindCategorical {
+			idx := es.defLevel[i]
+			if active {
+				idx = int(scalars[i])
+			}
+			if es.oneHot {
+				for j := range p.Values {
+					if j == idx {
+						enc[off+j] = 1
+					} else {
+						enc[off+j] = 0
+					}
+				}
+				off += len(p.Values)
+				continue
+			}
+			u := 0.0
+			if len(p.Values) > 1 {
+				if idx < 0 {
+					idx = 0
+				}
+				u = float64(idx) / float64(len(p.Values)-1)
+			}
+			enc[off] = clamp01(u)
+			off++
+			continue
+		}
+		u := es.defUnit[i]
+		if active {
+			switch p.Kind {
+			case KindFloat, KindInt:
+				u = clamp01(p.unitOf(scalars[i]))
+			default: // KindBool: scalars already hold toUnit's 0/1
+				u = scalars[i]
+			}
+		}
+		enc[off] = u
+		off++
+	}
+}
+
+// unitOf is toUnit's numeric branch without the interface boxing.
+func (p *Param) unitOf(f float64) float64 {
+	if p.Max == p.Min {
+		return 0
+	}
+	if p.Log {
+		if f < p.Min {
+			f = p.Min
+		}
+		return (math.Log(f) - math.Log(p.Min)) / (math.Log(p.Max) - math.Log(p.Min))
+	}
+	return (f - p.Min) / (p.Max - p.Min)
+}
+
+// scalarsOf converts a sampled Config to its scalar representation.
+func (es *EncodedSampler) scalarsOf(cfg Config, scalars []float64) {
+	for i := range es.s.params {
+		p := &es.s.params[i]
+		switch v := cfg[p.Name].(type) {
+		case float64:
+			scalars[i] = v
+		case int64:
+			scalars[i] = float64(v)
+		case string:
+			idx := p.levelIndex(v)
+			if idx < 0 {
+				idx = 0
+			}
+			scalars[i] = float64(idx)
+		case bool:
+			if v {
+				scalars[i] = 1
+			} else {
+				scalars[i] = 0
+			}
+		default:
+			scalars[i] = 0
+		}
+	}
+}
+
+// Config materializes a scalars vector into the typed configuration the
+// corresponding Sample call would have produced. Only winners pay this
+// allocation.
+func (es *EncodedSampler) Config(scalars []float64) Config {
+	cfg := make(Config, len(es.s.params))
+	for i := range es.s.params {
+		p := &es.s.params[i]
+		switch p.Kind {
+		case KindFloat:
+			cfg[p.Name] = scalars[i]
+		case KindInt:
+			cfg[p.Name] = int64(scalars[i])
+		case KindCategorical:
+			idx := int(scalars[i])
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(p.Values) {
+				idx = len(p.Values) - 1
+			}
+			cfg[p.Name] = p.Values[idx]
+		default:
+			cfg[p.Name] = scalars[i] == 1
+		}
+	}
+	return cfg
+}

@@ -1,0 +1,154 @@
+package space
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// samplerSpaces covers the sampler's dispatch surface: unconditional mixed
+// kinds, conditional chains with cat/bool/int parents (fast), and float
+// parents plus constraints (slow fallback).
+func samplerSpaces(t *testing.T) map[string]*Space {
+	t.Helper()
+	plain := MustNew(
+		Float("lr", 1e-4, 1).WithLog(),
+		Float("momentum", 0, 0.99).WithStep(0.01),
+		Int("batch", 8, 512),
+		Categorical("opt", "sgd", "adam", "lbfgs"),
+		Bool("nesterov"),
+	)
+	cond := MustNew(
+		Categorical("opt", "sgd", "adam"),
+		Bool("schedule"),
+		Int("layers", 1, 4),
+		Float("beta2", 0.9, 0.999).WithParent("opt", "adam"),
+		Float("warmup", 0, 1).WithParent("schedule", "true"),
+		Float("dropout3", 0, 0.5).WithParent("layers", "3", "4"),
+		// A chain: gamma depends on warmup's parent via its own parent.
+		Categorical("decay", "cos", "step").WithParent("schedule", "true"),
+		Float("step_size", 0.1, 0.9).WithParent("decay", "step"),
+	)
+	floatParent := MustNew(
+		Float("x", 0, 1),
+		Float("y", 0, 1).WithParent("x", "0.5"),
+	)
+	constrained := MustNew(
+		Float("a", 0, 1),
+		Float("b", 0, 1),
+	).WithConstraints(Constraint{"a<b", func(c Config) bool { return c.Float("a") < c.Float("b") }})
+	return map[string]*Space{
+		"plain":       plain,
+		"conditional": cond,
+		"floatParent": floatParent,
+		"constrained": constrained,
+	}
+}
+
+// TestEncodedSamplerMatchesSample is the RNG-lockstep property: drawing via
+// the flat sampler must consume the random stream exactly as Space.Sample
+// does and produce bitwise the encoding (and, on the fast path, exactly the
+// Config) that Sample + Encode would.
+func TestEncodedSamplerMatchesSample(t *testing.T) {
+	for name, s := range samplerSpaces(t) {
+		for _, oneHot := range []bool{false, true} {
+			es := NewEncodedSampler(s, oneHot)
+			wantFast := name == "plain" || name == "conditional"
+			if es.Fast() != wantFast {
+				t.Fatalf("%s oneHot=%v: Fast() = %v, want %v", name, oneHot, es.Fast(), wantFast)
+			}
+			r1 := rand.New(rand.NewSource(99))
+			r2 := rand.New(rand.NewSource(99))
+			scalars := make([]float64, s.Dim())
+			enc := make([]float64, es.Dim())
+			for it := 0; it < 200; it++ {
+				es.SampleInto(r1, scalars, enc)
+				cfg := s.Sample(r2)
+				var want []float64
+				if oneHot {
+					want = s.EncodeOneHot(cfg)
+				} else {
+					want = s.Encode(cfg)
+				}
+				if len(want) != len(enc) {
+					t.Fatalf("%s oneHot=%v: dim %d vs %d", name, oneHot, len(enc), len(want))
+				}
+				for j := range want {
+					if enc[j] != want[j] {
+						t.Fatalf("%s oneHot=%v iter %d dim %d: sampler %v vs encode %v",
+							name, oneHot, it, j, enc[j], want[j])
+					}
+				}
+				if es.Fast() {
+					if got := es.Config(scalars); !reflect.DeepEqual(got, cfg) {
+						t.Fatalf("%s iter %d: Config(scalars) = %v, want %v", name, it, got, cfg)
+					}
+				}
+			}
+			// The streams must stay in lockstep after every draw.
+			if a, b := r1.Float64(), r2.Float64(); a != b {
+				t.Fatalf("%s oneHot=%v: RNG streams diverged: %v vs %v", name, oneHot, a, b)
+			}
+		}
+	}
+}
+
+// TestEncodeIntoMatchesEncode pins the Into variants to the allocating forms
+// over random configs, including inactive-conditional substitution.
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	for name, s := range samplerSpaces(t) {
+		rng := rand.New(rand.NewSource(3))
+		buf := make([]float64, s.Dim())
+		oh := make([]float64, s.OneHotDim())
+		for it := 0; it < 100; it++ {
+			cfg := s.Sample(rng)
+			want := s.Encode(cfg)
+			s.EncodeInto(cfg, buf)
+			for j := range want {
+				if buf[j] != want[j] {
+					t.Fatalf("%s: EncodeInto dim %d: %v vs %v", name, j, buf[j], want[j])
+				}
+			}
+			wantOH := s.EncodeOneHot(cfg)
+			s.EncodeOneHotInto(cfg, oh)
+			for j := range wantOH {
+				if oh[j] != wantOH[j] {
+					t.Fatalf("%s: EncodeOneHotInto dim %d: %v vs %v", name, j, oh[j], wantOH[j])
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeIntoZeroAllocs pins the unconditional hot path at zero heap
+// allocations per encode.
+func TestEncodeIntoZeroAllocs(t *testing.T) {
+	s := samplerSpaces(t)["plain"]
+	cfg := s.Sample(rand.New(rand.NewSource(1)))
+	buf := make([]float64, s.Dim())
+	oh := make([]float64, s.OneHotDim())
+	if allocs := testing.AllocsPerRun(200, func() { s.EncodeInto(cfg, buf) }); allocs != 0 {
+		t.Fatalf("EncodeInto allocates %v per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { s.EncodeOneHotInto(cfg, oh) }); allocs != 0 {
+		t.Fatalf("EncodeOneHotInto allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestSampleIntoZeroAllocs pins the fast sampling path at zero heap
+// allocations per draw — the property the acquisition search relies on.
+func TestSampleIntoZeroAllocs(t *testing.T) {
+	for _, name := range []string{"plain", "conditional"} {
+		s := samplerSpaces(t)[name]
+		es := NewEncodedSampler(s, true)
+		if !es.Fast() {
+			t.Fatalf("%s: expected fast path", name)
+		}
+		rng := rand.New(rand.NewSource(7))
+		scalars := make([]float64, s.Dim())
+		enc := make([]float64, es.Dim())
+		if allocs := testing.AllocsPerRun(200, func() { es.SampleInto(rng, scalars, enc) }); allocs != 0 {
+			t.Fatalf("%s: SampleInto allocates %v per draw, want 0", name, allocs)
+		}
+	}
+}

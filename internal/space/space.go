@@ -663,14 +663,28 @@ func (p Param) quantize(f float64) float64 {
 // default so that surrogates see a consistent representation.
 func (s *Space) Encode(cfg Config) []float64 {
 	x := make([]float64, len(s.params))
-	for i, p := range s.params {
+	s.EncodeInto(cfg, x)
+	return x
+}
+
+// EncodeInto is Encode writing into x, which must have length Dim. For
+// spaces without conditional parameters a warm call performs zero heap
+// allocations (conditionals box their default value when inactive), letting
+// the acquisition search re-encode thousands of candidates into one buffer.
+//
+//autolint:hotpath
+func (s *Space) EncodeInto(cfg Config, x []float64) {
+	if len(x) != len(s.params) {
+		panic(fmt.Sprintf("space: encode into %d dims, want %d", len(x), len(s.params)))
+	}
+	for i := range s.params {
+		p := &s.params[i]
 		v := cfg[p.Name]
 		if p.Parent != "" && !s.Active(cfg, p.Name) {
 			v = p.defaultValue()
 		}
 		x[i] = clamp01(p.toUnit(v))
 	}
-	return x
 }
 
 // Decode maps a unit-cube point back to a typed configuration, clipping and
@@ -714,8 +728,22 @@ func (s *Space) OneHotDim() int {
 // EncodeOneHot maps cfg to a vector where numeric and bool parameters take
 // one [0,1] dimension and categoricals expand to indicator dimensions.
 func (s *Space) EncodeOneHot(cfg Config) []float64 {
-	x := make([]float64, 0, s.OneHotDim())
-	for _, p := range s.params {
+	x := make([]float64, s.OneHotDim())
+	s.EncodeOneHotInto(cfg, x)
+	return x
+}
+
+// EncodeOneHotInto is EncodeOneHot writing into x, which must have length
+// OneHotDim. Allocation behavior matches EncodeInto.
+//
+//autolint:hotpath
+func (s *Space) EncodeOneHotInto(cfg Config, x []float64) {
+	if len(x) != s.OneHotDim() {
+		panic(fmt.Sprintf("space: one-hot encode into %d dims, want %d", len(x), s.OneHotDim()))
+	}
+	off := 0
+	for i := range s.params {
+		p := &s.params[i]
 		v := cfg[p.Name]
 		if p.Parent != "" && !s.Active(cfg, p.Name) {
 			v = p.defaultValue()
@@ -723,18 +751,19 @@ func (s *Space) EncodeOneHot(cfg Config) []float64 {
 		if p.Kind == KindCategorical {
 			sv, _ := v.(string)
 			idx := p.levelIndex(sv)
-			for i := range p.Values {
-				if i == idx {
-					x = append(x, 1)
+			for j := range p.Values {
+				if j == idx {
+					x[off+j] = 1
 				} else {
-					x = append(x, 0)
+					x[off+j] = 0
 				}
 			}
+			off += len(p.Values)
 		} else {
-			x = append(x, clamp01(p.toUnit(v)))
+			x[off] = clamp01(p.toUnit(v))
+			off++
 		}
 	}
-	return x
 }
 
 // Grid returns the cartesian-product grid with `levels` points per numeric

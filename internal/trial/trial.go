@@ -249,6 +249,16 @@ type Options struct {
 	// observes it. A run killed mid-batch resumes from the journal with
 	// every finished trial intact; see Resume.
 	Journal string
+	// DedupEvals enables the single-flight evaluation cache: when the
+	// optimizer re-suggests a (config, fidelity) pair that already
+	// completed successfully, the cached measurement is reused at zero
+	// cost instead of re-running the environment, and concurrent
+	// duplicates within a batch wait for the first rather than racing.
+	// Each reuse still produces its own journaled trial record (marked
+	// CacheHit), so replay and live accounting agree. Off by default:
+	// noisy real environments may want fresh measurements of repeated
+	// configs.
+	DedupEvals bool
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -305,6 +315,9 @@ type TrialRecord struct {
 	// Hedged marks trials where the scheduler launched a duplicate
 	// attempt; the recorded result is the winner's.
 	Hedged bool `json:"hedged,omitempty"`
+	// CacheHit marks trials satisfied by the evaluation cache: the value
+	// comes from an earlier identical trial and CostSeconds is zero.
+	CacheHit bool `json:"cache_hit,omitempty"`
 }
 
 // Report is a completed tuning session.
@@ -332,6 +345,9 @@ type Report struct {
 	// Panics counts trials whose environment panicked (recovered at the
 	// trial boundary and scored as crashes).
 	Panics int `json:"panics,omitempty"`
+	// CacheHits counts trials satisfied by the evaluation cache
+	// (Options.DedupEvals) without running the environment.
+	CacheHits int `json:"cache_hits,omitempty"`
 }
 
 // Run drives the optimizer against the environment for the full budget.
@@ -444,6 +460,9 @@ func mergeJournal(rep *Report, recs []TrialRecord) {
 		if rec.Aborted {
 			rep.Aborts++
 		}
+		if rec.CacheHit {
+			rep.CacheHits++
+		}
 	}
 }
 
@@ -465,6 +484,7 @@ type runState struct {
 	o              optimizer.Optimizer
 	rep            *Report
 	journal        *Journal
+	cache          *evalCache // nil unless Options.DedupEvals
 	worstFinite    float64
 	consecTimeouts int
 	// nextID is the next trial ID to assign. It starts past the largest
@@ -499,8 +519,12 @@ func (s *runState) absorb(cfg space.Config, r trialOutcome, id int, fid float64,
 		Aborted:     r.aborted,
 		Fidelity:    fid,
 		Hedged:      hedged,
+		CacheHit:    r.cacheHit,
 	}
 	s.rep.TotalCostSeconds += r.res.CostSeconds
+	if r.cacheHit {
+		s.rep.CacheHits++
+	}
 	obsValue := r.res.Value
 	if r.err != nil {
 		rec.Crashed = true
@@ -551,7 +575,7 @@ func (s *runState) absorb(cfg space.Config, r trialOutcome, id int, fid float64,
 // runBarrierBatch is the legacy synchronized path: evaluate the whole
 // batch, wait for every trial, absorb results in batch order.
 func (s *runState) runBarrierBatch(ctx context.Context, env Environment, batch []space.Config, fid float64) error {
-	results := runBatch(ctx, env, batch, s.opts, fid, s.rep.BestValue)
+	results := runBatch(ctx, env, s.cache, batch, s.opts, fid, s.rep.BestValue)
 	if err := ctx.Err(); err != nil {
 		// The batch raced with cancellation; its results are suspect
 		// (environments may have returned early) — drop them and let
@@ -584,7 +608,15 @@ func (s *runState) runSchedBatch(ctx context.Context, pool *sched.Pool, env Envi
 		abortAbove = s.rep.BestValue * (1 + s.opts.AbortMargin)
 	}
 	exec := func(actx context.Context, task, attempt int) sched.Attempt {
-		out := runOne(actx, env, batch[task], fid, abortAbove)
+		var out trialOutcome
+		if attempt == 0 {
+			out = runOneCached(actx, env, s.cache, batch[task], fid, abortAbove)
+		} else {
+			// Hedge duplicates exist to race a straggling primary; routing
+			// them through the cache would make them wait on that same
+			// primary instead of independently re-running it.
+			out = runOne(actx, env, batch[task], fid, abortAbove)
+		}
 		return sched.Attempt{Cost: out.res.CostSeconds, Err: out.err, Payload: out}
 	}
 	baseID := s.nextID
@@ -624,6 +656,24 @@ func (s *runState) runSchedBatch(ctx context.Context, pool *sched.Pool, env Envi
 // runLoop executes trials until the budget is reached, mutating rep.
 func runLoop(ctx context.Context, o optimizer.Optimizer, env Environment, opts Options, rep *Report, worstFinite float64) (*Report, error) {
 	s := &runState{opts: opts, o: o, rep: rep, worstFinite: worstFinite, nextID: nextTrialID(rep.Trials)}
+	if opts.DedupEvals {
+		s.cache = newEvalCache()
+		// On resume, completed measurements re-warm the cache so a config
+		// already paid for before the kill is never re-run. Failed trials
+		// stay uncached: crashes and timeouts may be transient, and an
+		// aborted value is a truncated measurement.
+		for _, tr := range rep.Trials {
+			if tr.Crashed || tr.Aborted || tr.TimedOut || tr.CacheHit {
+				continue
+			}
+			fid := tr.Fidelity
+			if fid == 0 {
+				fid = opts.Fidelity
+			}
+			s.cache.prime(evalKey{cfg: tr.Config.Key(), fidelity: fid},
+				Result{Value: tr.Value, CostSeconds: tr.CostSeconds})
+		}
+	}
 	if opts.Journal != "" {
 		j, err := OpenJournal(opts.Journal)
 		if err != nil {
@@ -722,20 +772,21 @@ func suggestBatch(o optimizer.Optimizer, n int) ([]space.Config, error) {
 }
 
 type trialOutcome struct {
-	res     Result
-	aborted bool
-	err     error
+	res      Result
+	aborted  bool
+	err      error
+	cacheHit bool
 }
 
 // runBatch evaluates configurations concurrently (one goroutine each).
-func runBatch(ctx context.Context, env Environment, batch []space.Config, opts Options, fidelity, best float64) []trialOutcome {
+func runBatch(ctx context.Context, env Environment, cache *evalCache, batch []space.Config, opts Options, fidelity, best float64) []trialOutcome {
 	out := make([]trialOutcome, len(batch))
 	abortAbove := math.Inf(1)
 	if opts.AbortMargin > 0 && !math.IsInf(best, 1) {
 		abortAbove = best * (1 + opts.AbortMargin)
 	}
 	if len(batch) == 1 {
-		out[0] = runOne(ctx, env, batch[0], fidelity, abortAbove)
+		out[0] = runOneCached(ctx, env, cache, batch[0], fidelity, abortAbove)
 		return out
 	}
 	var wg sync.WaitGroup
@@ -744,7 +795,7 @@ func runBatch(ctx context.Context, env Environment, batch []space.Config, opts O
 		//autolint:ignore nakedgo runOne recovers environment panics at the trial boundary
 		go func(i int) {
 			defer wg.Done()
-			out[i] = runOne(ctx, env, batch[i], fidelity, abortAbove)
+			out[i] = runOneCached(ctx, env, cache, batch[i], fidelity, abortAbove)
 		}(i)
 	}
 	wg.Wait()
