@@ -1,20 +1,32 @@
 GO ?= go
 
-.PHONY: help check vet build test race bench profile soak fmt fmt-check lint incremental-default zero-alloc
+.PHONY: help check vet build test race bench profile soak crash crash-quick fmt fmt-check lint incremental-default zero-alloc
 
 help:
 	@echo "Targets:"
 	@echo "  check               fmt-check + vet + lint + build + race + invariants"
 	@echo "  test                go test ./..."
 	@echo "  race                go test -race ./..."
-	@echo "  bench               quick experiment suite + perf gates (BENCH_4.json, BENCH_5.json)"
+	@echo "  bench               quick experiment suite + perf gates (BENCH_4.json, BENCH_5.json, BENCH_6.json)"
 	@echo "  profile             CPU/heap pprof of the multi-session benchmark (cpu.pprof, mem.pprof)"
 	@echo "  soak                long-running race soak of sched + trial"
+	@echo "  crash               full fault-injection torture of the study store (every fault point, every byte prefix)"
+	@echo "  crash-quick         sampled torture sweep (the slice of crash that rides in check)"
 	@echo "  zero-alloc          allocs/op gates: gp.Predict, warm bo.Suggest, space encoders"
 	@echo "  lint                repo-specific static analysis (cmd/autolint)"
 	@echo "  fmt / fmt-check     gofmt the tree / fail if gofmt is needed"
 
-check: fmt-check vet lint build race incremental-default zero-alloc
+check: fmt-check vet lint build race incremental-default zero-alloc crash-quick
+
+# Crash-torture the segmented study store (PR 6 invariant): kill the
+# store at every injected fault point and every byte prefix of the log,
+# reopen, and assert exactly-once recovery. `crash` sweeps everything;
+# `crash-quick` strides through a sample for CI.
+crash:
+	$(GO) test -race -count=1 -run 'TestTorture' ./internal/studystore
+
+crash-quick:
+	$(GO) test -race -short -count=1 -run 'TestTorture' ./internal/studystore
 
 # Pin the zero-allocation hot paths (PR 5 invariant): gp.Predict and the
 # space encoders at exactly zero allocs/op warm, bo.Suggest under its
@@ -48,6 +60,7 @@ bench:
 	$(GO) run ./cmd/bench -quick
 	$(GO) run ./cmd/bench -suggestbench -minspeedup 10 -out BENCH_4.json
 	$(GO) run ./cmd/bench -sessions -minspeedup 2 -minallocratio 10 -out BENCH_5.json
+	$(GO) run ./cmd/bench -replay -minreplay 100000 -out BENCH_6.json
 	$(GO) test -bench 'Benchmark(GPPredict|BOSuggest|SpaceEncode)' -benchmem -run xxx .
 
 profile:

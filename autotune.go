@@ -79,6 +79,12 @@ type (
 	Result = trial.Result
 	// TrialRecord is one completed trial inside a Report or journal.
 	TrialRecord = trial.TrialRecord
+	// JournalSink receives every completed trial before the optimizer
+	// observes it (TuneOptions.Sink) — the write-ahead contract.
+	JournalSink = trial.JournalSink
+	// StudyJournal is a JournalSink backed by one study inside the
+	// crash-safe segmented study store (TuneOptions.Store).
+	StudyJournal = trial.StudyJournal
 )
 
 // Scheduler types (internal/sched): the asynchronous trial pool behind
@@ -102,8 +108,26 @@ var ErrPanic = trial.ErrPanic
 // ReadTrialJournal loads the intact records from a write-ahead trial
 // journal (TuneOptions.Journal), sorted by trial ID with duplicates
 // dropped. A missing file is an empty journal; a torn final line — the
-// mark of a crash mid-append — is skipped.
+// mark of a crash mid-append — is skipped, while a corrupt *interior*
+// record errors. A directory path is read transparently as a segmented
+// study store, merged across studies.
 var ReadTrialJournal = trial.ReadJournal
+
+// OpenStudyJournal opens (creating if needed) the crash-safe segmented
+// study store at dir and returns a sink journaling trials into the named
+// study — the programmatic form of TuneOptions.Store/Study.
+var OpenStudyJournal = trial.OpenStudyJournal
+
+// ReadStudyTrials loads one study's trial records from the segmented
+// store at dir, sorted by ID with duplicates dropped. A missing
+// directory is an empty study.
+var ReadStudyTrials = trial.ReadStudyJournal
+
+// MigrateTrialJournal moves a v0 single-file journal into the segmented
+// study store at dir under the named study, removing the v0 file once
+// every record is durable in the store. Re-running a partial migration
+// is safe.
+var MigrateTrialJournal = trial.MigrateJournal
 
 // Resilient-execution types (internal/resilience): fault-tolerant trial
 // execution with retries, deadlines, quarantine, and fault injection.

@@ -18,6 +18,12 @@
 //	autotune -system simdb -parallel 8 -sched -hedge 0.9 -faults 0.2
 //	autotune -system simdb -budget 200 -journal trials.wal
 //	autotune -system simdb -budget 200 -journal trials.wal -resume
+//
+// Persistent study store (segmented, crash-safe, multi-study):
+//
+//	autotune -system simdb -budget 200 -store studies/
+//	autotune -system simdb -budget 200 -store studies/ -resume
+//	autotune -system simdb -journal trials.wal -store studies/   # migrate v0 journal
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"autotune/internal/resilience"
 	"autotune/internal/sched"
 	"autotune/internal/simsys"
+	"autotune/internal/studystore"
 	"autotune/internal/trial"
 	"autotune/internal/workload"
 )
@@ -61,6 +68,10 @@ type cliOptions struct {
 	workers int     // worker slots (0 = one per parallel trial)
 	hedge   float64 // straggler hedge quantile in (0,1) (0 = off)
 	journal string  // write-ahead trial journal path
+
+	// Persistent study store.
+	store string // segmented study store directory (supersedes -journal)
+	study string // study name inside -store ("" = derived from system/workload)
 
 	// Performance.
 	dedup     bool // deduplicate identical (config, fidelity) evaluations
@@ -91,6 +102,8 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "scheduler worker slots (0 = one per parallel trial)")
 	flag.Float64Var(&o.hedge, "hedge", 0, "hedge stragglers past this quantile of recent durations (0 = off, implies -sched)")
 	flag.StringVar(&o.journal, "journal", "", "append every completed trial to this fsync'd write-ahead journal")
+	flag.StringVar(&o.store, "store", "", "journal trials into the crash-safe segmented study store at this directory (with -journal: migrate the journal in first)")
+	flag.StringVar(&o.study, "study", "", "study name inside -store (default: <system>-<workload>)")
 	flag.BoolVar(&o.dedup, "dedup", false, "reuse cached results for repeated (config, fidelity) evaluations")
 	flag.IntVar(&o.gpWorkers, "gp-workers", 0, "GP surrogate gram/predict goroutines (0 = GOMAXPROCS; results are identical for any value)")
 	flag.Parse()
@@ -182,6 +195,25 @@ func run(o cliOptions) error {
 		Budget: o.budget, Parallel: o.parallel, AbortMargin: o.abortMargin, Fidelity: o.fidelity,
 		Checkpoint: o.checkpoint, Journal: o.journal, DedupEvals: o.dedup,
 	}
+	if o.store != "" {
+		topts.Store = o.store
+		topts.Study = o.study
+		if topts.Study == "" {
+			topts.Study = o.system + "-" + o.wlName
+		}
+		if o.journal != "" {
+			// Fold the v0 journal into the store so the run (and any
+			// resume) sees one durable history, then journal there only.
+			n, err := trial.MigrateJournal(o.journal, o.store, topts.Study)
+			if err != nil {
+				return err
+			}
+			if n > 0 {
+				fmt.Printf("migrated %d journal records from %s into %s\n", n, o.journal, o.store)
+			}
+			topts.Journal = ""
+		}
+	}
 	if o.trialTimeout > 0 {
 		topts.DegradeAfterTimeouts = 3
 	}
@@ -194,12 +226,15 @@ func run(o cliOptions) error {
 	ctx := context.Background()
 	var rep trial.Report
 	if o.resume {
-		if o.checkpoint == "" && o.journal == "" {
-			return fmt.Errorf("-resume needs -checkpoint or -journal")
+		if o.checkpoint == "" && o.journal == "" && o.store == "" {
+			return fmt.Errorf("-resume needs -checkpoint, -journal, or -store")
 		}
 		from := o.checkpoint
 		if from == "" {
 			from = o.journal
+		}
+		if from == "" {
+			from = o.store
 		}
 		fmt.Printf("resuming %s on %s from %s...\n", o.system, wl.Name, from)
 		rep, err = trial.ResumeContext(ctx, opt, env, topts)
@@ -230,6 +265,15 @@ func run(o cliOptions) error {
 	}
 	if o.dedup {
 		fmt.Printf("eval cache: %d hits\n", rep.CacheHits)
+	}
+	if o.store != "" {
+		if st, serr := studystore.Open(o.store, studystore.Options{ReadOnly: true}); serr == nil {
+			stats := st.Stats()
+			fmt.Printf("store: %d records in %d studies (%d segments, snapshot seq %d, %d quarantined)\n",
+				stats.Records, stats.Studies, stats.Segments, stats.SnapshotSeq, stats.Quarantined)
+			//autolint:ignore droppederr read-only handle; close failures carry no durability
+			st.Close()
+		}
 	}
 	if hardened != nil {
 		s := hardened.Stats()

@@ -11,6 +11,8 @@
 //	bench -sessions -out BENCH_5.json -minspeedup 2 -minallocratio 10
 //	                           # multi-session throughput benchmark (PR 5)
 //	bench -sessions -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+//	bench -replay -out BENCH_6.json -minreplay 100000
+//	                           # study-store write/replay benchmark (PR 6)
 package main
 
 import (
@@ -28,16 +30,18 @@ import (
 
 func main() {
 	var (
-		id       = flag.String("experiment", "all", "experiment id (F1..F20) or 'all'")
-		quick    = flag.Bool("quick", false, "shrink budgets and seed counts")
-		seed     = flag.Int64("seed", 20250706, "random seed")
-		suggest  = flag.Bool("suggestbench", false, "run the suggest-path scaling benchmark instead of the experiment suite")
-		sessions = flag.Bool("sessions", false, "run the multi-session throughput benchmark instead of the experiment suite")
-		out      = flag.String("out", "", "write benchmark results to this JSON file")
-		minSpeed = flag.Float64("minspeedup", 0, "fail unless the benchmark speedup reaches this factor (0 disables)")
-		minAlloc = flag.Float64("minallocratio", 0, "with -sessions: relax -minspeedup to 2x when allocs/session shrink by this factor (0 disables)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		id        = flag.String("experiment", "all", "experiment id (F1..F20) or 'all'")
+		quick     = flag.Bool("quick", false, "shrink budgets and seed counts")
+		seed      = flag.Int64("seed", 20250706, "random seed")
+		suggest   = flag.Bool("suggestbench", false, "run the suggest-path scaling benchmark instead of the experiment suite")
+		sessions  = flag.Bool("sessions", false, "run the multi-session throughput benchmark instead of the experiment suite")
+		replay    = flag.Bool("replay", false, "run the study-store write/replay benchmark instead of the experiment suite")
+		out       = flag.String("out", "", "write benchmark results to this JSON file")
+		minSpeed  = flag.Float64("minspeedup", 0, "fail unless the benchmark speedup reaches this factor (0 disables)")
+		minAlloc  = flag.Float64("minallocratio", 0, "with -sessions: relax -minspeedup to 2x when allocs/session shrink by this factor (0 disables)")
+		minReplay = flag.Float64("minreplay", 0, "with -replay: fail unless replay sustains this many records/sec (0 disables)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -69,6 +73,13 @@ func main() {
 		}
 	}()
 
+	if *replay {
+		if err := runReplayBench(*quick, *out, *minReplay); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *sessions {
 		if err := runSessionsBench(*quick, *seed, *out, *minSpeed, *minAlloc); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"autotune/internal/experiments"
+	"autotune/internal/space"
+	"autotune/internal/studystore"
+	"autotune/internal/trial"
+)
+
+// ReplayArm is one measured phase of the study-store benchmark.
+type ReplayArm struct {
+	Name       string  `json:"name"`
+	Records    int     `json:"records"`
+	WallSecs   float64 `json:"wall_secs"`
+	RecsPerSec float64 `json:"recs_per_sec"`
+	Segments   int     `json:"segments"`
+}
+
+// ReplayResult is the full study-store write/replay benchmark.
+type ReplayResult struct {
+	Write      ReplayArm `json:"write"`
+	LogReplay  ReplayArm `json:"log_replay"`
+	SnapReplay ReplayArm `json:"snapshot_replay"`
+}
+
+// runReplayBench measures the segmented study store end to end: batched
+// fsync'd writes, recovery replay from raw segments (CRC validation +
+// JSON decode into TrialRecords), then compaction and replay from the
+// snapshot. With minReplay > 0 the run fails unless both replay arms
+// sustain that many records per second — the PR-6 gate.
+func runReplayBench(quick bool, outPath string, minReplay float64) error {
+	start := time.Now()
+	n := 200_000
+	batch := 1000
+	if quick {
+		n = 20_000
+	}
+	dir, err := os.MkdirTemp("", "replaybench-*")
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	var res ReplayResult
+
+	// Write arm: records stream in through AppendBatch, one fsync barrier
+	// per batch — the durability discipline a live tuning loop pays.
+	st, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	recs := make([]studystore.Record, 0, batch)
+	t0 := time.Now()
+	for id := 0; id < n; id++ {
+		payload, err := json.Marshal(trial.TrialRecord{
+			ID:          id,
+			Config:      space.Config{"cache_mb": float64(id % 4096), "workers": float64(id % 64)},
+			Value:       float64(id%997) / 997,
+			CostSeconds: 1.5,
+			Fidelity:    1,
+		})
+		if err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+		recs = append(recs, studystore.Record{Study: "bench", ID: int64(id), Payload: payload})
+		if len(recs) == batch {
+			if err := st.AppendBatch(recs); err != nil {
+				return fmt.Errorf("replay: %w", err)
+			}
+			recs = recs[:0]
+		}
+	}
+	if err := st.AppendBatch(recs); err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	writeSecs := time.Since(t0).Seconds()
+	segs := st.Stats().Segments
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	res.Write = arm("write (batched fsync)", n, writeSecs, segs)
+
+	// Log-replay arm: cold recovery from raw segments — CRC-validate every
+	// frame, rebuild the index, decode payloads back into TrialRecords.
+	t0 = time.Now()
+	got, err := trial.ReadStudyJournal(dir, "bench")
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	logSecs := time.Since(t0).Seconds()
+	if len(got) != n {
+		return fmt.Errorf("replay: log replay recovered %d records, want %d", len(got), n)
+	}
+	res.LogReplay = arm("log replay (segments)", n, logSecs, segs)
+
+	// Snapshot-replay arm: compact, then recover from the checkpoint.
+	st, err = studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	if err := st.Compact(); err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	segsAfter := st.Stats().Segments
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	t0 = time.Now()
+	got, err = trial.ReadStudyJournal(dir, "bench")
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	snapSecs := time.Since(t0).Seconds()
+	if len(got) != n {
+		return fmt.Errorf("replay: snapshot replay recovered %d records, want %d", len(got), n)
+	}
+	res.SnapReplay = arm("snapshot replay (compacted)", n, snapSecs, segsAfter)
+
+	tab := experiments.Table{
+		ID:      "B6",
+		Title:   "Study-store write and replay throughput",
+		Claim:   "segmented CRC-framed storage replays a crash-safe trial history fast enough to make resume free",
+		Headers: []string{"arm", "records", "wall (s)", "records/s", "segments"},
+		Notes: fmt.Sprintf("log replay %.0f recs/s, snapshot replay %.0f recs/s",
+			res.LogReplay.RecsPerSec, res.SnapReplay.RecsPerSec),
+	}
+	for _, a := range []ReplayArm{res.Write, res.LogReplay, res.SnapReplay} {
+		tab.Rows = append(tab.Rows, []string{
+			a.Name,
+			fmt.Sprintf("%d", a.Records),
+			fmt.Sprintf("%.3f", a.WallSecs),
+			fmt.Sprintf("%.0f", a.RecsPerSec),
+			fmt.Sprintf("%d", a.Segments),
+		})
+	}
+	printTable(tab, time.Since(start))
+
+	if outPath != "" {
+		doc := struct {
+			Benchmark string       `json:"benchmark"`
+			Quick     bool         `json:"quick"`
+			Result    ReplayResult `json:"result"`
+		}{"study-store-replay", quick, res}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if minReplay > 0 {
+		if res.LogReplay.RecsPerSec < minReplay {
+			return fmt.Errorf("replay: log replay %.0f records/s, want >= %.0f",
+				res.LogReplay.RecsPerSec, minReplay)
+		}
+		if res.SnapReplay.RecsPerSec < minReplay {
+			return fmt.Errorf("replay: snapshot replay %.0f records/s, want >= %.0f",
+				res.SnapReplay.RecsPerSec, minReplay)
+		}
+	}
+	return nil
+}
+
+func arm(name string, n int, secs float64, segs int) ReplayArm {
+	rate := 0.0
+	if secs > 0 {
+		rate = float64(n) / secs
+	}
+	return ReplayArm{Name: name, Records: n, WallSecs: secs, RecsPerSec: rate, Segments: segs}
+}

@@ -1,0 +1,353 @@
+// Package errfs is an in-memory, fault-injecting filesystem for
+// crash-torture testing the study store. It models POSIX durability
+// semantics precisely enough to simulate power cuts:
+//
+//   - file data written but not fsync'd is volatile;
+//   - directory entries (creates, renames, removes) are volatile until
+//     the directory is fsync'd, even when the file's own data is durable;
+//   - Crash discards every volatile effect, rolling the filesystem back
+//     to exactly what the fsync barriers guaranteed.
+//
+// Fault injection arms a single failure at the Nth mutating operation:
+// writes fail short (half the bytes land, volatile), fsyncs fail without
+// making anything durable, and metadata operations fail without applying.
+// Sweeping N across a workload's full operation count visits every
+// fault point the store can die at; following each fault with Crash and
+// a reopen is the recovery torture test.
+package errfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"autotune/internal/studystore"
+)
+
+// ErrInjected is the error returned by an armed fault.
+var ErrInjected = errors.New("errfs: injected fault")
+
+// inode is one file's contents: current bytes plus the durable prefix
+// guaranteed by its last successful Sync.
+type inode struct {
+	data    []byte
+	durable []byte
+}
+
+func (ino *inode) clone() *inode {
+	return &inode{data: cloneBytes(ino.data), durable: cloneBytes(ino.durable)}
+}
+
+func cloneBytes(b []byte) []byte { return append([]byte(nil), b...) }
+
+// FS is the fault-injecting in-memory filesystem. The zero value is not
+// usable; construct with New. It implements studystore.FS.
+type FS struct {
+	mu      sync.Mutex
+	dirs    map[string]bool
+	entries map[string]*inode // current namespace, full path -> inode
+	durable map[string]*inode // namespace as of each directory's last SyncDir
+	ops     int
+	failAt  int
+	faults  int
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{
+		dirs:    map[string]bool{},
+		entries: map[string]*inode{},
+		durable: map[string]*inode{},
+	}
+}
+
+// FailAt arms a single fault at the n-th mutating operation from now
+// (1-based). Zero disarms.
+func (f *FS) FailAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops = 0
+	f.failAt = n
+}
+
+// Ops reports mutating operations performed since construction or the
+// last FailAt.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Faults reports how many injected faults have fired.
+func (f *FS) Faults() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.faults
+}
+
+// step counts one mutating operation and reports whether the armed fault
+// fires on it. Callers hold f.mu.
+func (f *FS) step() bool {
+	f.ops++
+	if f.failAt != 0 && f.ops == f.failAt {
+		f.faults++
+		return true
+	}
+	return false
+}
+
+// Crash simulates a power cut: every effect not covered by an fsync
+// barrier is discarded. The filesystem remains usable (recovery runs on
+// it) and any armed fault is cleared.
+func (f *FS) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt = 0
+	cur := make(map[string]*inode, len(f.durable))
+	for name, ino := range f.durable {
+		restored := &inode{data: cloneBytes(ino.durable), durable: cloneBytes(ino.durable)}
+		cur[name] = restored
+		f.durable[name] = restored
+	}
+	f.entries = cur
+}
+
+// Clone deep-copies the filesystem, faults disarmed.
+func (f *FS) Clone() *FS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := New()
+	for d := range f.dirs {
+		out.dirs[d] = true
+	}
+	seen := map[*inode]*inode{}
+	dup := func(ino *inode) *inode {
+		if c, ok := seen[ino]; ok {
+			return c
+		}
+		c := ino.clone()
+		seen[ino] = c
+		return c
+	}
+	for name, ino := range f.entries {
+		out.entries[name] = dup(ino)
+	}
+	for name, ino := range f.durable {
+		out.durable[name] = dup(ino)
+	}
+	return out
+}
+
+// Files returns the current (volatile-inclusive) contents of every file.
+func (f *FS) Files() map[string][]byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string][]byte, len(f.entries))
+	for name, ino := range f.entries {
+		out[name] = cloneBytes(ino.data)
+	}
+	return out
+}
+
+// Put installs a file with fully durable contents — a test seeding hook.
+func (f *FS) Put(name string, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dirs[filepath.Dir(name)] = true
+	ino := &inode{data: cloneBytes(data), durable: cloneBytes(data)}
+	f.entries[name] = ino
+	f.durable[name] = ino
+}
+
+// MkdirAll implements studystore.FS. Directory creation is durable
+// immediately (the store's crash windows of interest are inside one
+// directory, not its creation).
+func (f *FS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.step() {
+		return fmt.Errorf("mkdir %s: %w", dir, ErrInjected)
+	}
+	f.dirs[dir] = true
+	return nil
+}
+
+// ReadDir implements studystore.FS.
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var names []string
+	for name := range f.entries {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	if names == nil && !f.dirs[dir] {
+		return nil, &os.PathError{Op: "open", Path: dir, Err: os.ErrNotExist}
+	}
+	return names, nil
+}
+
+// ReadFile implements studystore.FS.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino, ok := f.entries[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return cloneBytes(ino.data), nil
+}
+
+// Create implements studystore.FS: a fresh inode replaces any existing
+// entry; both the entry and its bytes are volatile until fsync'd.
+func (f *FS) Create(name string) (studystore.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.step() {
+		return nil, fmt.Errorf("create %s: %w", name, ErrInjected)
+	}
+	ino := &inode{}
+	f.entries[name] = ino
+	return &file{fs: f, ino: ino, name: name}, nil
+}
+
+// OpenAppend implements studystore.FS.
+func (f *FS) OpenAppend(name string) (studystore.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.step() {
+		return nil, fmt.Errorf("open %s: %w", name, ErrInjected)
+	}
+	ino, ok := f.entries[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return &file{fs: f, ino: ino, name: name}, nil
+}
+
+// Truncate implements studystore.FS; the cut is volatile until the file
+// is fsync'd.
+func (f *FS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.step() {
+		return fmt.Errorf("truncate %s: %w", name, ErrInjected)
+	}
+	ino, ok := f.entries[name]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(ino.data)) {
+		return fmt.Errorf("truncate %s: size %d out of range", name, size)
+	}
+	ino.data = ino.data[:size]
+	return nil
+}
+
+// Rename implements studystore.FS; durable only after SyncDir.
+func (f *FS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.step() {
+		return fmt.Errorf("rename %s: %w", oldname, ErrInjected)
+	}
+	ino, ok := f.entries[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	f.entries[newname] = ino
+	delete(f.entries, oldname)
+	return nil
+}
+
+// RemoveFile implements studystore.FS; durable only after SyncDir.
+func (f *FS) RemoveFile(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.step() {
+		return fmt.Errorf("remove %s: %w", name, ErrInjected)
+	}
+	if _, ok := f.entries[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(f.entries, name)
+	return nil
+}
+
+// SyncDir implements studystore.FS: the directory's current entry set
+// (creates, renames, removes) becomes durable. File contents stay
+// governed by their own Sync barriers.
+func (f *FS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.step() {
+		return fmt.Errorf("syncdir %s: %w", dir, ErrInjected)
+	}
+	for name := range f.durable {
+		if filepath.Dir(name) == dir {
+			if _, ok := f.entries[name]; !ok {
+				delete(f.durable, name)
+			}
+		}
+	}
+	for name, ino := range f.entries {
+		if filepath.Dir(name) == dir {
+			f.durable[name] = ino
+		}
+	}
+	return nil
+}
+
+// file is one write handle.
+type file struct {
+	fs     *FS
+	ino    *inode
+	name   string
+	closed bool
+}
+
+// Write appends to the inode; an injected fault lands half the bytes
+// (volatile) and reports failure — the short-write crash artifact.
+func (h *file) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fmt.Errorf("write %s: file closed", h.name)
+	}
+	if h.fs.step() {
+		n := len(p) / 2
+		h.ino.data = append(h.ino.data, p[:n]...)
+		return n, fmt.Errorf("write %s: %w", h.name, ErrInjected)
+	}
+	h.ino.data = append(h.ino.data, p...)
+	return len(p), nil
+}
+
+// Sync makes the inode's current bytes durable; an injected fault fails
+// without promoting anything (the adversarial reading of a failed fsync).
+func (h *file) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fmt.Errorf("sync %s: file closed", h.name)
+	}
+	if h.fs.step() {
+		return fmt.Errorf("sync %s: %w", h.name, ErrInjected)
+	}
+	h.ino.durable = cloneBytes(h.ino.data)
+	return nil
+}
+
+// Close marks the handle unusable. It is never a fault point: the store
+// treats Close as non-durability-bearing.
+func (h *file) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,146 @@
+package studystore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk format.
+//
+// Every store file starts with a 16-byte header: an 8-byte magic string
+// followed by a little-endian uint64 sequence number that must match the
+// number encoded in the filename. Segment files (`seg-<seq>.log`) hold
+// the append-only record log; snapshot files (`snap-<seq>.snap`) hold a
+// compacted copy of every live record covering all segments with
+// sequence <= seq.
+//
+// After the header, both file kinds are a run of frames:
+//
+//	+----------------+----------------+------+------------------+
+//	| length  uint32 | crc32c  uint32 | kind | body (length-1)  |
+//	+----------------+----------------+------+------------------+
+//
+// length counts the kind byte plus the body; the CRC (Castagnoli) covers
+// the same range. Frame kinds:
+//
+//	kindRecord  one study record: uint64 ID, uint16 study-name length,
+//	            the study name, then the opaque payload (JSON upstream).
+//	kindSeal    empty body; marks a segment cleanly sealed at rotation.
+//	kindFooter  snapshot trailer: uint64 record count. A snapshot
+//	            without a matching footer is incomplete and ignored.
+//
+// A frame that runs past end-of-file is a torn tail; a frame whose CRC
+// or structure is wrong mid-file is corruption and quarantines the rest
+// of that file (lengths past the damage cannot be trusted).
+const (
+	segMagic  = "ATSSEG01"
+	snapMagic = "ATSNAP01"
+
+	headerSize      = 16
+	frameHeaderSize = 8
+	maxFrameSize    = 16 << 20
+
+	kindRecord = 1
+	kindSeal   = 2
+	kindFooter = 3
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// fileHeader renders the 16-byte header for a segment or snapshot.
+func fileHeader(magic string, seq uint64) []byte {
+	buf := make([]byte, headerSize)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint64(buf[8:], seq)
+	return buf
+}
+
+// appendFrame appends one framed body (kind byte included) to buf.
+func appendFrame(buf []byte, kind byte, body []byte) []byte {
+	n := 1 + len(body)
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(n))
+	crc := crc32.Update(0, crcTable, []byte{kind})
+	crc = crc32.Update(crc, crcTable, body)
+	binary.LittleEndian.PutUint32(hdr[4:], crc)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, kind)
+	buf = append(buf, body...)
+	return buf
+}
+
+// appendRecordFrame frames one record.
+func appendRecordFrame(buf []byte, rec Record) ([]byte, error) {
+	if len(rec.Study) > 0xFFFF {
+		return buf, fmt.Errorf("studystore: study name %d bytes, max %d", len(rec.Study), 0xFFFF)
+	}
+	body := make([]byte, 0, 10+len(rec.Study)+len(rec.Payload))
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(rec.ID))
+	body = append(body, n[:]...)
+	var sl [2]byte
+	binary.LittleEndian.PutUint16(sl[:], uint16(len(rec.Study)))
+	body = append(body, sl[:]...)
+	body = append(body, rec.Study...)
+	body = append(body, rec.Payload...)
+	out := appendFrame(buf, kindRecord, body)
+	if len(out)-len(buf) > maxFrameSize {
+		return buf, fmt.Errorf("studystore: record %d payload exceeds max frame size", rec.ID)
+	}
+	return out, nil
+}
+
+// decodeRecordBody parses a kindRecord frame body (kind byte stripped).
+func decodeRecordBody(body []byte) (Record, error) {
+	if len(body) < 10 {
+		return Record{}, fmt.Errorf("studystore: record frame %d bytes, need >= 10", len(body))
+	}
+	id := int64(binary.LittleEndian.Uint64(body[0:]))
+	sl := int(binary.LittleEndian.Uint16(body[8:]))
+	if len(body) < 10+sl {
+		return Record{}, fmt.Errorf("studystore: record frame truncated study name")
+	}
+	study := string(body[10 : 10+sl])
+	payload := append([]byte(nil), body[10+sl:]...)
+	return Record{Study: study, ID: id, Payload: payload}, nil
+}
+
+// frameStatus classifies one parse step.
+type frameStatus int
+
+const (
+	frameOK      frameStatus = iota // valid frame decoded
+	frameEOF                        // clean end of data
+	frameTorn                       // frame runs past end-of-file
+	frameCorrupt                    // CRC mismatch or impossible structure
+)
+
+// nextFrame parses the frame at data[off:]. On frameOK it returns the
+// kind, the body (kind byte stripped), and the offset after the frame.
+func nextFrame(data []byte, off int64) (kind byte, body []byte, next int64, st frameStatus) {
+	rem := data[off:]
+	if len(rem) == 0 {
+		return 0, nil, off, frameEOF
+	}
+	if len(rem) < frameHeaderSize {
+		return 0, nil, off, frameTorn
+	}
+	n := binary.LittleEndian.Uint32(rem[0:])
+	want := binary.LittleEndian.Uint32(rem[4:])
+	if n < 1 || n > maxFrameSize {
+		return 0, nil, off, frameCorrupt
+	}
+	if int64(len(rem)) < frameHeaderSize+int64(n) {
+		return 0, nil, off, frameTorn
+	}
+	framed := rem[frameHeaderSize : frameHeaderSize+int64(n)]
+	if crc32.Checksum(framed, crcTable) != want {
+		return 0, nil, off, frameCorrupt
+	}
+	return framed[0], framed[1:], off + frameHeaderSize + int64(n), frameOK
+}
+
+// segName / snapName render store filenames; parseSeq inverts them.
+func segName(seq uint64) string  { return fmt.Sprintf("seg-%016x.log", seq) }
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%016x.snap", seq) }

@@ -1,0 +1,100 @@
+package studystore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the narrow filesystem surface the store writes through. The
+// production implementation is the real OS filesystem; tests substitute
+// the fault-injecting in-memory filesystem from studystore/errfs to
+// simulate short writes, fsync failures, and power cuts at every
+// operation boundary.
+type FS interface {
+	// MkdirAll creates the directory (and parents) if missing.
+	MkdirAll(dir string) error
+	// ReadDir lists the names (not paths) of entries in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the full contents of the named file.
+	ReadFile(name string) ([]byte, error)
+	// Create opens the named file for writing, truncating it.
+	Create(name string) (File, error)
+	// OpenAppend opens an existing file for appending.
+	OpenAppend(name string) (File, error)
+	// Truncate cuts the named file to size bytes.
+	Truncate(name string, size int64) error
+	// Rename atomically replaces newname with oldname's entry. Durable
+	// only after SyncDir.
+	Rename(oldname, newname string) error
+	// RemoveFile deletes the named file. Durable only after SyncDir.
+	RemoveFile(name string) error
+	// SyncDir fsyncs the directory, making creates, renames, and removes
+	// inside it durable.
+	SyncDir(dir string) error
+}
+
+// File is one writable file handle.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync fsyncs the file: every byte written before Sync returns is
+	// durable across a power cut.
+	Sync() error
+	Close() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OSFS returns the production FS backed by the operating system.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) RemoveFile(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("studystore: open dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("studystore: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// join builds a path inside the store directory.
+func join(dir, name string) string { return filepath.Join(dir, name) }

@@ -1,0 +1,401 @@
+package studystore_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autotune/internal/studystore"
+	"autotune/internal/studystore/errfs"
+)
+
+func rec(study string, id int64) studystore.Record {
+	return studystore.Record{
+		Study:   study,
+		ID:      id,
+		Payload: []byte(fmt.Sprintf(`{"study":%q,"id":%d}`, study, id)),
+	}
+}
+
+// ids extracts the ID sequence of a record slice.
+func ids(recs []studystore.Record) []int64 {
+	out := make([]int64, len(recs))
+	for i, r := range recs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if err := st.Append(rec("alpha", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Append(rec("beta", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got := st2.Records("alpha")
+	if len(got) != 10 {
+		t.Fatalf("alpha records = %d, want 10", len(got))
+	}
+	for i, r := range got {
+		if r.ID != int64(i) {
+			t.Fatalf("record %d has ID %d, want sorted IDs", i, r.ID)
+		}
+		if string(r.Payload) != string(rec("alpha", r.ID).Payload) {
+			t.Fatalf("record %d payload = %q", i, r.Payload)
+		}
+	}
+	if studies := st2.Studies(); len(studies) != 2 || studies[0] != "alpha" || studies[1] != "beta" {
+		t.Fatalf("studies = %v", studies)
+	}
+	if q := st2.Quarantine(); len(q) != 0 {
+		t.Fatalf("quarantine = %v, want none", q)
+	}
+}
+
+func TestStoreRotationSpansSegments(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := studystore.Open(dir, studystore.Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 40; i++ {
+		if err := st.Append(rec("s", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	if stats.Rotations == 0 || stats.Segments < 2 {
+		t.Fatalf("rotations=%d segments=%d, want a multi-segment store", stats.Rotations, stats.Segments)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := studystore.Open(dir, studystore.Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Records("s"); len(got) != 40 {
+		t.Fatalf("recovered %d records across segments, want 40", len(got))
+	}
+	if q := st2.Quarantine(); len(q) != 0 {
+		t.Fatalf("quarantine = %v, want none", q)
+	}
+}
+
+func TestStoreCompactionDropsSegmentsKeepsRecords(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := studystore.Open(dir, studystore.Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 30; i++ {
+		if err := st.Append(rec("s", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if stats := st.Stats(); stats.Segments != 1 || stats.SnapshotSeq == 0 {
+		t.Fatalf("after compact: segments=%d snapshotSeq=%d, want 1 segment + snapshot",
+			stats.Segments, stats.SnapshotSeq)
+	}
+	// Append past the snapshot, compact again: the old snapshot is replaced.
+	for i := int64(30); i < 45; i++ {
+		if err := st.Append(rec("s", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var snaps, segs int
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".snap"):
+			snaps++
+		case strings.HasSuffix(e.Name(), ".log"):
+			segs++
+		case strings.HasSuffix(e.Name(), ".tmp"):
+			t.Fatalf("stale temp file %s after compaction", e.Name())
+		}
+	}
+	if snaps != 1 || segs != 1 {
+		t.Fatalf("on disk: %d snapshots, %d segments; want 1 and 1", snaps, segs)
+	}
+
+	st2, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Records("s"); len(got) != 45 {
+		t.Fatalf("recovered %d records after compaction, want 45", len(got))
+	}
+}
+
+func TestStoreDedupFirstWins(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	first := studystore.Record{Study: "s", ID: 7, Payload: []byte("first")}
+	second := studystore.Record{Study: "s", ID: 7, Payload: []byte("second")}
+	if err := st.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(second); err != nil {
+		t.Fatal(err)
+	}
+	got := st.Records("s")
+	if len(got) != 1 || string(got[0].Payload) != "first" {
+		t.Fatalf("records = %v, want single record with first payload", got)
+	}
+}
+
+func TestStoreInteriorCorruptionQuarantined(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		if err := st.Append(rec("s", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the middle of the segment: disk damage, not a torn
+	// tail. Recovery must report it, not silently skip it.
+	seg := filepath.Join(dir, "seg-0000000000000001.log")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	q := st2.Quarantine()
+	if len(q) != 1 || q[0].Bytes == 0 {
+		t.Fatalf("quarantine = %v, want one damaged range", q)
+	}
+	if got := st2.Records("s"); len(got) == 8 || len(got) == 0 {
+		t.Fatalf("recovered %d records, want the prefix before the damage", len(got))
+	}
+	if err := st2.Compact(); !errors.Is(err, studystore.ErrQuarantined) {
+		t.Fatalf("Compact with quarantine = %v, want ErrQuarantined", err)
+	}
+	// The store stays appendable: new records land in a fresh segment.
+	if err := st2.Append(rec("s", 100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreTornTailTruncated(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		if err := st.Append(rec("s", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg := filepath.Join(dir, "seg-0000000000000001.log")
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame header promising more bytes than the file holds: the classic
+	// crash-mid-append artifact.
+	if _, err := f.Write([]byte{0xF0, 0x00, 0x00, 0x00, 0x12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Records("s"); len(got) != 5 {
+		t.Fatalf("recovered %d records, want 5", len(got))
+	}
+	if q := st2.Quarantine(); len(q) != 0 {
+		t.Fatalf("quarantine = %v; a torn tail is not corruption", q)
+	}
+	if stats := st2.Stats(); stats.TornTailBytes != 5 {
+		t.Fatalf("torn tail bytes = %d, want 5", stats.TornTailBytes)
+	}
+	// The truncated segment accepts appends again.
+	if err := st2.Append(rec("s", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if got := ids(st3.Records("s")); len(got) != 6 || got[5] != 5 {
+		t.Fatalf("records after repair+append = %v", got)
+	}
+}
+
+func TestStorePoisonedAfterSyncFailure(t *testing.T) {
+	fs := errfs.New()
+	st, err := studystore.Open("db", studystore.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(rec("s", 0)); err != nil {
+		t.Fatal(err)
+	}
+	// The next mutating op is the record write; the one after is its fsync.
+	fs.FailAt(2)
+	if err := st.Append(rec("s", 1)); !errors.Is(err, errfs.ErrInjected) {
+		t.Fatalf("append with failing fsync = %v, want injected error", err)
+	}
+	if err := st.Append(rec("s", 2)); !errors.Is(err, studystore.ErrPoisoned) {
+		t.Fatalf("append after poison = %v, want ErrPoisoned", err)
+	}
+	if err := st.Compact(); !errors.Is(err, studystore.ErrPoisoned) {
+		t.Fatalf("compact after poison = %v, want ErrPoisoned", err)
+	}
+
+	// Crash and reopen: only the acknowledged record survives.
+	fs.Crash()
+	st2, err := studystore.Open("db", studystore.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := ids(st2.Records("s")); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("recovered IDs = %v, want [0]", got)
+	}
+	if q := st2.Quarantine(); len(q) != 0 {
+		t.Fatalf("quarantine = %v, want none", q)
+	}
+}
+
+func TestStoreReadOnly(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(rec("s", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := studystore.Open(dir, studystore.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if got := ro.Records("s"); len(got) != 1 {
+		t.Fatalf("read-only records = %d, want 1", len(got))
+	}
+	if err := ro.Append(rec("s", 1)); !errors.Is(err, studystore.ErrReadOnly) {
+		t.Fatalf("read-only append = %v, want ErrReadOnly", err)
+	}
+	if err := ro.Compact(); !errors.Is(err, studystore.ErrReadOnly) {
+		t.Fatalf("read-only compact = %v, want ErrReadOnly", err)
+	}
+	if err := ro.Rotate(); !errors.Is(err, studystore.ErrReadOnly) {
+		t.Fatalf("read-only rotate = %v, want ErrReadOnly", err)
+	}
+}
+
+func TestStoreStaleTempAndBadSnapshotIgnored(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		if err := st.Append(rec("s", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed compaction's leftovers: a temp file and a snapshot whose
+	// footer never made it.
+	if err := os.WriteFile(filepath.Join(dir, "snap-0000000000000009.tmp"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snap-0000000000000002.snap"), []byte("ATSNAP01truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Records("s"); len(got) != 4 {
+		t.Fatalf("recovered %d records, want 4 from segments", len(got))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snap-0000000000000009.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived open: %v", err)
+	}
+	q := st2.Quarantine()
+	if len(q) != 1 || q[0].File != "snap-0000000000000002.snap" {
+		t.Fatalf("quarantine = %v, want the damaged snapshot reported", q)
+	}
+}

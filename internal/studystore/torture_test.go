@@ -1,0 +1,236 @@
+package studystore_test
+
+// Crash-torture tests: the store is killed at every injectable fault
+// point (TestTortureFaultSweep) and at every byte prefix of its segment
+// files (TestTortureBytePrefixRecovery), then reopened. Recovery must be
+// exactly-once — no acknowledged record lost, none duplicated, nothing
+// quarantined — because every one of these states is reachable by a real
+// power cut under the store's fsync-barrier discipline.
+
+import (
+	"fmt"
+	"testing"
+
+	"autotune/internal/studystore"
+	"autotune/internal/studystore/errfs"
+)
+
+const tortureSegBytes = 512
+
+type recKey struct {
+	study string
+	id    int64
+}
+
+// runTortureWorkload drives a deterministic mixed workload — batched
+// appends across two studies, rotations via the small segment size, one
+// mid-stream compaction — and returns the keys of every acknowledged
+// record. It stops at the first error: the store is poisoned and the
+// simulated process dies.
+func runTortureWorkload(fs *errfs.FS, compact bool) (acked []recKey) {
+	st, err := studystore.Open("db", studystore.Options{FS: fs, SegmentBytes: tortureSegBytes})
+	if err != nil {
+		return nil
+	}
+	defer st.Close()
+	studies := []string{"alpha", "beta"}
+	next := map[string]int64{}
+	for i := 0; i < 16; i++ {
+		study := studies[i%len(studies)]
+		batch := make([]studystore.Record, 1+i%3)
+		for j := range batch {
+			batch[j] = rec(study, next[study])
+			next[study]++
+		}
+		if err := st.AppendBatch(batch); err != nil {
+			return acked
+		}
+		for _, r := range batch {
+			acked = append(acked, recKey{r.Study, r.ID})
+		}
+		if compact && i == 8 {
+			if err := st.Compact(); err != nil {
+				return acked
+			}
+		}
+	}
+	return acked
+}
+
+// recovered reopens the store and returns every live record keyed by
+// (study, ID), with payload integrity checked.
+func recovered(t *testing.T, fs *errfs.FS, label string) map[recKey]bool {
+	t.Helper()
+	st, err := studystore.Open("db", studystore.Options{FS: fs, SegmentBytes: tortureSegBytes})
+	if err != nil {
+		t.Fatalf("%s: recovery open failed: %v", label, err)
+	}
+	defer st.Close()
+	if q := st.Quarantine(); len(q) != 0 {
+		t.Fatalf("%s: recovery quarantined %v; power-cut states must replay clean", label, q)
+	}
+	got := map[recKey]bool{}
+	for _, study := range st.Studies() {
+		for _, r := range st.Records(study) {
+			k := recKey{study, r.ID}
+			if got[k] {
+				t.Fatalf("%s: record %v recovered twice", label, k)
+			}
+			got[k] = true
+			if want := string(rec(study, r.ID).Payload); string(r.Payload) != want {
+				t.Fatalf("%s: record %v payload %q, want %q", label, k, r.Payload, want)
+			}
+		}
+	}
+	return got
+}
+
+// TestTortureFaultSweep kills the store at every mutating filesystem
+// operation of the workload — short writes, failed fsyncs, failed
+// creates/renames/removes — follows each with a power cut, reopens, and
+// asserts exactly-once recovery of the acknowledged set.
+func TestTortureFaultSweep(t *testing.T) {
+	probe := errfs.New()
+	full := runTortureWorkload(probe, true)
+	total := probe.Ops()
+	if len(full) == 0 || total < 50 {
+		t.Fatalf("workload too small to torture: %d records, %d ops", len(full), total)
+	}
+	stride := 1
+	if testing.Short() {
+		stride = 7
+	}
+	for fault := 1; fault <= total; fault += stride {
+		label := fmt.Sprintf("fault@%d/%d", fault, total)
+		fs := errfs.New()
+		fs.FailAt(fault)
+		acked := runTortureWorkload(fs, true)
+		if fs.Faults() != 1 {
+			t.Fatalf("%s: fired %d faults, want exactly 1", label, fs.Faults())
+		}
+		fs.Crash()
+		got := recovered(t, fs, label)
+		for _, k := range acked {
+			if !got[k] {
+				t.Fatalf("%s: acknowledged record %v lost (recovered %d of %d)",
+					label, k, len(got), len(acked))
+			}
+		}
+		if len(got) != len(acked) {
+			t.Fatalf("%s: recovered %d records but only %d were acknowledged — phantom ack",
+				label, len(got), len(acked))
+		}
+		// The recovered store must accept new work: append one more record
+		// and reopen once again.
+		if fault%5 == 0 {
+			st, err := studystore.Open("db", studystore.Options{FS: fs, SegmentBytes: tortureSegBytes})
+			if err != nil {
+				t.Fatalf("%s: post-recovery open: %v", label, err)
+			}
+			extra := rec("gamma", 1)
+			if err := st.Append(extra); err != nil {
+				t.Fatalf("%s: post-recovery append: %v", label, err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatalf("%s: post-recovery close: %v", label, err)
+			}
+			got2 := recovered(t, fs, label+"+append")
+			if len(got2) != len(acked)+1 || !got2[recKey{"gamma", 1}] {
+				t.Fatalf("%s: post-recovery append not durable (%d records)", label, len(got2))
+			}
+		}
+	}
+}
+
+// TestTortureBytePrefixRecovery cuts the on-disk state at every byte
+// prefix — modeling a power cut that left any prefix of the log durable —
+// and asserts recovery is prefix-closed in append order: the recovered
+// set is always the first m appends, m never decreases as the prefix
+// grows, and nothing is quarantined.
+func TestTortureBytePrefixRecovery(t *testing.T) {
+	// A single-study, sequential-ID workload with no compaction: append
+	// order equals ID order, so prefix-closedness is checkable as
+	// contiguity.
+	fs := errfs.New()
+	st, err := studystore.Open("db", studystore.Options{FS: fs, SegmentBytes: tortureSegBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 40
+	for i := int64(0); i < total; i++ {
+		if err := st.Append(rec("s", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := fs.Files()
+	var segs []string
+	for seq := uint64(1); ; seq++ {
+		name := fmt.Sprintf("db/seg-%016x.log", seq)
+		if _, ok := files[name]; !ok {
+			break
+		}
+		segs = append(segs, name)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("workload produced %d segments, want >= 3 for a meaningful sweep", len(segs))
+	}
+
+	stride := 1
+	if testing.Short() {
+		stride = 17
+	}
+	prev := -1
+	step := 0
+	for i, seg := range segs {
+		for cut := 0; cut <= len(files[seg]); cut += stride {
+			label := fmt.Sprintf("seg[%d]cut@%d", i, cut)
+			sim := errfs.New()
+			for _, done := range segs[:i] {
+				sim.Put(done, files[done])
+			}
+			sim.Put(seg, files[seg][:cut])
+			got := recovered(t, sim, label)
+			// Prefix-closed: exactly the IDs 0..m-1 for some m.
+			m := len(got)
+			for id := int64(0); id < int64(m); id++ {
+				if !got[recKey{"s", id}] {
+					t.Fatalf("%s: recovered %d records but ID %d missing — not prefix-closed", label, m, id)
+				}
+			}
+			// Monotone: a longer durable prefix never recovers less.
+			if m < prev {
+				t.Fatalf("%s: recovery shrank from %d to %d records as the prefix grew", label, prev, m)
+			}
+			prev = m
+			// Spot-check appendability after repair.
+			step++
+			if step%13 == 0 {
+				st, err := studystore.Open("db", studystore.Options{FS: sim, SegmentBytes: tortureSegBytes})
+				if err != nil {
+					t.Fatalf("%s: post-repair open: %v", label, err)
+				}
+				if err := st.Append(rec("s", int64(m))); err != nil {
+					t.Fatalf("%s: post-repair append: %v", label, err)
+				}
+				if err := st.Close(); err != nil {
+					t.Fatal(err)
+				}
+				got2 := recovered(t, sim, label+"+append")
+				if len(got2) != m+1 || !got2[recKey{"s", int64(m)}] {
+					t.Fatalf("%s: post-repair append not durable (%d records, want %d)", label, len(got2), m+1)
+				}
+			}
+		}
+	}
+	// The full final segment recovers the whole workload.
+	sim := errfs.New()
+	for _, seg := range segs {
+		sim.Put(seg, files[seg])
+	}
+	if got := recovered(t, sim, "full"); len(got) != total {
+		t.Fatalf("full state recovered %d records, want %d", len(got), total)
+	}
+}

@@ -1,0 +1,243 @@
+package trial
+
+import (
+	"strconv"
+)
+
+// decodeTrialRecord is the replay hot path: a specialized parser for the
+// exact JSON shape json.Marshal(TrialRecord) produces, avoiding
+// encoding/json's reflection cost (several microseconds per record, which
+// dominates store replay on small machines). It is strictly conservative:
+// on anything outside the expected shape — unknown keys, escaped strings,
+// nulls, nested structures — it reports !ok and the caller falls back to
+// encoding/json, so behavior (including error text for malformed input)
+// is unchanged. When it does report ok, the result is identical to what
+// encoding/json would have produced.
+func decodeTrialRecord(data []byte, rec *TrialRecord) (ok bool) {
+	p := recParser{buf: data}
+	p.ws()
+	if !p.eat('{') {
+		return false
+	}
+	p.ws()
+	if p.eat('}') {
+		p.ws()
+		return p.pos == len(p.buf)
+	}
+	for {
+		key, ok := p.str()
+		if !ok {
+			return false
+		}
+		p.ws()
+		if !p.eat(':') {
+			return false
+		}
+		p.ws()
+		switch key {
+		case "id":
+			f, ok := p.num()
+			if !ok || f != float64(int(f)) {
+				return false
+			}
+			rec.ID = int(f)
+		case "config":
+			if p.null() {
+				rec.Config = nil // json.Marshal of a nil Config
+				break
+			}
+			cfg, ok := p.config()
+			if !ok {
+				return false
+			}
+			rec.Config = cfg
+		case "value":
+			if rec.Value, ok = p.num(); !ok {
+				return false
+			}
+		case "cost_seconds":
+			if rec.CostSeconds, ok = p.num(); !ok {
+				return false
+			}
+		case "fidelity":
+			if rec.Fidelity, ok = p.num(); !ok {
+				return false
+			}
+		case "crashed":
+			if rec.Crashed, ok = p.boolean(); !ok {
+				return false
+			}
+		case "aborted":
+			if rec.Aborted, ok = p.boolean(); !ok {
+				return false
+			}
+		case "timed_out":
+			if rec.TimedOut, ok = p.boolean(); !ok {
+				return false
+			}
+		case "hedged":
+			if rec.Hedged, ok = p.boolean(); !ok {
+				return false
+			}
+		case "cache_hit":
+			if rec.CacheHit, ok = p.boolean(); !ok {
+				return false
+			}
+		default:
+			return false
+		}
+		p.ws()
+		if p.eat(',') {
+			p.ws()
+			continue
+		}
+		if !p.eat('}') {
+			return false
+		}
+		p.ws()
+		return p.pos == len(p.buf)
+	}
+}
+
+// recParser is a minimal cursor over one JSON-encoded record.
+type recParser struct {
+	buf []byte
+	pos int
+}
+
+func (p *recParser) ws() {
+	for p.pos < len(p.buf) {
+		switch p.buf[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *recParser) eat(c byte) bool {
+	if p.pos < len(p.buf) && p.buf[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// str parses a string literal with no escapes; a backslash anywhere
+// triggers the encoding/json fallback rather than escape handling here.
+func (p *recParser) str() (string, bool) {
+	if !p.eat('"') {
+		return "", false
+	}
+	start := p.pos
+	for p.pos < len(p.buf) {
+		switch p.buf[p.pos] {
+		case '"':
+			s := string(p.buf[start:p.pos])
+			p.pos++
+			return s, true
+		case '\\':
+			return "", false
+		default:
+			if p.buf[p.pos] < 0x20 {
+				// Raw control characters are invalid JSON; let
+				// encoding/json reject them so corruption still errors.
+				return "", false
+			}
+			p.pos++
+		}
+	}
+	return "", false
+}
+
+func (p *recParser) num() (float64, bool) {
+	start := p.pos
+	for p.pos < len(p.buf) {
+		switch c := p.buf[p.pos]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			p.pos++
+		default:
+			goto done
+		}
+	}
+done:
+	if p.pos == start {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(string(p.buf[start:p.pos]), 64)
+	return f, err == nil
+}
+
+func (p *recParser) null() bool {
+	if len(p.buf)-p.pos >= 4 && string(p.buf[p.pos:p.pos+4]) == "null" {
+		p.pos += 4
+		return true
+	}
+	return false
+}
+
+func (p *recParser) boolean() (bool, bool) {
+	if len(p.buf)-p.pos >= 4 && string(p.buf[p.pos:p.pos+4]) == "true" {
+		p.pos += 4
+		return true, true
+	}
+	if len(p.buf)-p.pos >= 5 && string(p.buf[p.pos:p.pos+5]) == "false" {
+		p.pos += 5
+		return false, true
+	}
+	return false, false
+}
+
+// config parses the {"knob": value, ...} object; values may be numbers,
+// escape-free strings, or booleans — the scalar types space.Config holds.
+func (p *recParser) config() (map[string]any, bool) {
+	if !p.eat('{') {
+		return nil, false
+	}
+	cfg := map[string]any{}
+	p.ws()
+	if p.eat('}') {
+		return cfg, true
+	}
+	for {
+		key, ok := p.str()
+		if !ok {
+			return nil, false
+		}
+		p.ws()
+		if !p.eat(':') {
+			return nil, false
+		}
+		p.ws()
+		if p.pos >= len(p.buf) {
+			return nil, false
+		}
+		switch c := p.buf[p.pos]; {
+		case c == '"':
+			s, ok := p.str()
+			if !ok {
+				return nil, false
+			}
+			cfg[key] = s
+		case c == 't', c == 'f':
+			b, ok := p.boolean()
+			if !ok {
+				return nil, false
+			}
+			cfg[key] = b
+		default:
+			f, ok := p.num()
+			if !ok {
+				return nil, false
+			}
+			cfg[key] = f
+		}
+		p.ws()
+		if p.eat(',') {
+			p.ws()
+			continue
+		}
+		return cfg, p.eat('}')
+	}
+}

@@ -1,0 +1,109 @@
+package trial
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"autotune/internal/space"
+)
+
+// TestDecodeTrialRecordMatchesEncodingJSON is the fast decoder's
+// contract: for every payload it accepts, the result must be identical
+// to encoding/json's; for every payload encoding/json accepts but the
+// fast path declines, the fallback must still produce the right record.
+func TestDecodeTrialRecordMatchesEncodingJSON(t *testing.T) {
+	records := []TrialRecord{
+		{},
+		{ID: 0, Value: 0.25, CostSeconds: 1.5},
+		{ID: 7, Config: space.Config{"cache_mb": 512.0, "workers": 8.0},
+			Value: 0.123456789, CostSeconds: 2.25, Fidelity: 0.5},
+		{ID: 12, Config: space.Config{"engine": "lsm", "compress": true, "x": -3.5e-7},
+			Value: -1, CostSeconds: 0, Crashed: true, Aborted: true,
+			TimedOut: true, Hedged: true, CacheHit: true},
+		{ID: 3, Config: space.Config{}, Value: math.MaxFloat64, Fidelity: 1},
+		{ID: 99, Config: space.Config{"note": "utf8 ✓ köttbullar"}, Value: 1e-300},
+	}
+	for _, want := range records {
+		data, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fast TrialRecord
+		if !decodeTrialRecord(data, &fast) {
+			t.Fatalf("fast decoder declined marshaled record %s", data)
+		}
+		var slow TrialRecord
+		if err := json.Unmarshal(data, &slow); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("fast != slow for %s:\nfast %+v\nslow %+v", data, fast, slow)
+		}
+	}
+}
+
+// TestDecodeTrialRecordDeclinesOddShapes: inputs outside the marshaled
+// shape must be declined (fallback handles them), never mis-parsed.
+func TestDecodeTrialRecordDeclinesOddShapes(t *testing.T) {
+	declined := []string{
+		``,
+		`{`,
+		`[]`,
+		`{"id":1,"unknown":2}`,
+		`{"id":null}`,
+		`{"id":1.5}`,
+		`{"config":{"a":[1]}}`,
+		`{"config":{"a":{"b":1}}}`,
+		`{"config":{"a":null}}`,
+		`{"value":"oops"}`,
+		`{"crashed":1}`,
+		`{"id":1} trailing`,
+		`{"config":{"s":"esc\"aped"}}`,
+		"{\"config\":{\"s\":\"ctrl\x01char\"}}",
+		`{"id":1,}`,
+		`{"id":--3}`,
+	}
+	for _, in := range declined {
+		var rec TrialRecord
+		if decodeTrialRecord([]byte(in), &rec) {
+			t.Fatalf("fast decoder accepted %q as %+v", in, rec)
+		}
+	}
+
+	// The escaped-string case must still round-trip through the fallback:
+	// decodeStoreRecords on such a payload yields encoding/json's answer.
+	want := TrialRecord{ID: 4, Config: space.Config{"s": `a"b`}, Value: 1}
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec TrialRecord
+	if decodeTrialRecord(data, &rec) {
+		t.Fatalf("escaped string should decline fast path: %s", data)
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, want) {
+		t.Fatalf("fallback mismatch: %+v != %+v", rec, want)
+	}
+}
+
+// TestDecodeTrialRecordWhitespace: the decoder tolerates the whitespace
+// encoding/json tolerates at the positions Marshal can never emit it,
+// since journal files may be touched by hand.
+func TestDecodeTrialRecordWhitespace(t *testing.T) {
+	in := " { \"id\" : 5 , \"config\" : { \"a\" : 1 } , \"value\" : 2 } "
+	var fast, slow TrialRecord
+	if !decodeTrialRecord([]byte(in), &fast) {
+		t.Fatalf("declined %q", in)
+	}
+	if err := json.Unmarshal([]byte(in), &slow); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fast, slow) {
+		t.Fatalf("fast %+v != slow %+v", fast, slow)
+	}
+}

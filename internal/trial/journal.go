@@ -3,12 +3,35 @@ package trial
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 )
+
+// ErrJournalPoisoned marks a journal unusable after a failed write or
+// fsync: the file may hold a record that was never made durable, so
+// appending past that hole would break the WAL's prefix guarantee.
+// Reopen (and replay) to re-establish the on-disk truth.
+var ErrJournalPoisoned = errors.New("trial: journal poisoned by earlier write failure")
+
+// ErrJournalCorrupt marks a journal with a damaged interior record: a
+// record before the final line failed to parse, which a crash mid-append
+// cannot produce (only the tail can tear). The journal's prefix
+// semantics are broken and the damage must be inspected, not skipped.
+var ErrJournalCorrupt = errors.New("trial: corrupt interior journal record")
+
+// JournalSink receives every completed trial before the optimizer
+// observes it — the write-ahead contract. Implementations must make the
+// record durable before returning nil. The v0 single-file Journal and
+// the segmented StudyJournal both satisfy it; tests may substitute
+// their own.
+type JournalSink interface {
+	Append(rec TrialRecord) error
+	Close() error
+}
 
 // Journal is a crash-safe write-ahead log of completed trials: one JSON
 // line per TrialRecord, fsync'd before Append returns. The tuning loop
@@ -25,7 +48,13 @@ type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
+	// err poisons the journal after a failed write or fsync: the durable
+	// state of the last record is unknown, so further appends must fail
+	// fast instead of writing past the hole.
+	err error
 }
+
+var _ JournalSink = (*Journal)(nil)
 
 // OpenJournal opens (creating if needed) the journal at path for
 // appending and fsyncs the parent directory so the file itself survives
@@ -45,7 +74,9 @@ func OpenJournal(path string) (*Journal, error) {
 
 // Append writes one record as a JSON line and fsyncs it. An append
 // failure means the durability guarantee is gone, so callers must treat
-// it as fatal for the run (the record has NOT been made durable).
+// it as fatal for the run (the record has NOT been made durable), and
+// the journal poisons itself: every subsequent Append fails with
+// ErrJournalPoisoned until the journal is reopened.
 func (j *Journal) Append(rec TrialRecord) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
@@ -54,10 +85,18 @@ func (j *Journal) Append(rec TrialRecord) error {
 	data = append(data, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.err != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrJournalPoisoned, j.err)
+	}
 	if _, err := j.f.Write(data); err != nil {
+		j.err = err
 		return fmt.Errorf("trial: append journal %s: %w", j.path, err)
 	}
 	if err := j.f.Sync(); err != nil {
+		// The write reached the file but never hit a durability barrier:
+		// the record is in an ambiguous durable state and anything
+		// appended after it could survive a crash that it does not.
+		j.err = err
 		return fmt.Errorf("trial: sync journal %s: %w", j.path, err)
 	}
 	return nil
@@ -75,10 +114,21 @@ func (j *Journal) Close() error {
 	return err
 }
 
-// ReadJournal loads every intact record from a journal file, sorted by
-// trial ID with duplicates dropped (first occurrence wins). A missing
-// file is an empty journal, not an error; a torn final line is skipped.
+// ReadJournal loads every intact record from a journal, sorted by trial
+// ID with duplicates dropped (first occurrence wins). A missing path is
+// an empty journal, not an error. Two journal layouts are read
+// transparently: a v0 single JSON-lines file, and a directory holding a
+// segmented study store (records merged across its studies).
+//
+// Corruption semantics follow the WAL prefix contract: a torn *final*
+// line is the expected crash-mid-append artifact and is skipped, but an
+// unparseable *interior* record surfaces as an error wrapping
+// ErrJournalCorrupt — records after it were acknowledged after it, so
+// dropping it silently would desynchronize replay from the live run.
 func ReadJournal(path string) ([]TrialRecord, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return readStoreDir(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -91,17 +141,26 @@ func ReadJournal(path string) ([]TrialRecord, error) {
 	seen := map[int]bool{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	lineNo := 0
+	badLine := 0 // line number of a parse failure awaiting classification
 	for sc.Scan() {
 		line := sc.Bytes()
+		lineNo++
 		if len(line) == 0 {
 			continue
 		}
+		if badLine != 0 {
+			// A record follows the damaged line, so the damage is
+			// interior — a crash can only tear the tail.
+			return nil, fmt.Errorf("%w: %s line %d", ErrJournalCorrupt, path, badLine)
+		}
 		var rec TrialRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn tail is expected after a crash mid-append; any
-			// record that did not finish its fsync'd write never reached
-			// the optimizer either, so dropping it is lossless.
-			continue
+		if !decodeTrialRecord(line, &rec) {
+			rec = TrialRecord{}
+			if err := json.Unmarshal(line, &rec); err != nil {
+				badLine = lineNo
+				continue
+			}
 		}
 		if seen[rec.ID] {
 			continue
@@ -112,6 +171,9 @@ func ReadJournal(path string) ([]TrialRecord, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trial: scan journal %s: %w", path, err)
 	}
+	// A trailing badLine here is a torn tail: the record never finished
+	// its fsync'd write, so it never reached the optimizer either, and
+	// dropping it is lossless.
 	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	return out, nil
 }

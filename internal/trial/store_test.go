@@ -1,0 +1,353 @@
+package trial
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autotune/internal/optimizer"
+	"autotune/internal/space"
+)
+
+// TestReadJournalInteriorCorruptionErrors pins the WAL prefix contract:
+// a damaged record *followed by more records* is disk corruption and must
+// surface as an error, while the same damage on the final line is a torn
+// tail and is skipped.
+func TestReadJournalInteriorCorruptionErrors(t *testing.T) {
+	good := func(id int) string {
+		return fmt.Sprintf(`{"id":%d,"config":{"x":0.5},"value":%d}`, id, id) + "\n"
+	}
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	if err := os.WriteFile(path, []byte(good(0)+`{"id":1,"value":0.`+"\n"+good(2)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(path); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("interior corruption read = %v, want ErrJournalCorrupt", err)
+	}
+
+	// The same damaged line at the tail is the crash-mid-append artifact:
+	// skipped, no error.
+	if err := os.WriteFile(path, []byte(good(0)+good(2)+`{"id":1,"value":0.`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail read = %v, want nil", err)
+	}
+	if len(recs) != 2 || recs[0].ID != 0 || recs[1].ID != 2 {
+		t.Fatalf("torn tail records = %v, want IDs [0 2]", recs)
+	}
+}
+
+// TestJournalPoisonedAfterFailure: once an Append fails, the journal must
+// fail every subsequent Append fast — writing past a hole would break the
+// prefix guarantee.
+func TestJournalPoisonedAfterFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(TrialRecord{ID: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Force the next write to fail by closing the descriptor underneath.
+	if err := j.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(TrialRecord{ID: 1}); err == nil {
+		t.Fatal("append on a closed file should fail")
+	} else if errors.Is(err, ErrJournalPoisoned) {
+		t.Fatalf("first failure reported as poisoned: %v", err)
+	}
+	if err := j.Append(TrialRecord{ID: 2}); !errors.Is(err, ErrJournalPoisoned) {
+		t.Fatalf("append after failure = %v, want ErrJournalPoisoned", err)
+	}
+	j.f = nil // already closed
+
+	// The durable prefix is intact: reopening reads the acknowledged record.
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != 0 {
+		t.Fatalf("journal holds %v, want the one acknowledged record", recs)
+	}
+}
+
+func TestRunWithStoreThenResume(t *testing.T) {
+	env := newCountingEnv()
+	dir := filepath.Join(t.TempDir(), "studies")
+	opts := Options{Budget: 8, Store: dir, Study: "exp"}
+	o1 := optimizer.NewRandom(env.sp, rand.New(rand.NewSource(1)))
+	rep, err := Run(o1, env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trials) != 8 || env.runs.Load() != 8 {
+		t.Fatalf("first run: %d trials, %d env runs", len(rep.Trials), env.runs.Load())
+	}
+
+	// Resume with a doubled budget: the 8 stored trials replay without
+	// touching the environment, then 8 more run.
+	opts.Budget = 16
+	o2 := optimizer.NewRandom(env.sp, rand.New(rand.NewSource(9)))
+	rep2, err := Resume(o2, env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Resumed != 8 {
+		t.Fatalf("resumed = %d, want 8", rep2.Resumed)
+	}
+	if len(rep2.Trials) != 16 || env.runs.Load() != 16 {
+		t.Fatalf("after resume: %d trials, %d env runs, want 16 and 16", len(rep2.Trials), env.runs.Load())
+	}
+	if o2.N() != 16 {
+		t.Fatalf("optimizer observed %d, want 16", o2.N())
+	}
+}
+
+func TestRunStoreKillMidRunResumesExactly(t *testing.T) {
+	env := newCountingEnv()
+	dir := filepath.Join(t.TempDir(), "studies")
+	opts := Options{Budget: 30, Store: dir, Study: "kill", Parallel: 3}
+	ctx, cancel := context.WithCancel(context.Background())
+	env.onRun = func(n int64) error {
+		if n >= 12 {
+			cancel()
+		}
+		return nil
+	}
+	o1 := optimizer.NewRandom(env.sp, rand.New(rand.NewSource(2)))
+	if _, err := RunContext(ctx, o1, env, opts); err == nil {
+		t.Fatal("cancelled run should report the context error")
+	}
+	recorded, err := ReadStudyJournal(dir, "kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recorded) == 0 || len(recorded) >= 30 {
+		t.Fatalf("store recorded %d trials mid-kill, want a strict partial", len(recorded))
+	}
+	ranBefore := env.runs.Load()
+
+	env.onRun = nil
+	o2 := optimizer.NewRandom(env.sp, rand.New(rand.NewSource(3)))
+	rep, err := Resume(o2, env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != len(recorded) {
+		t.Fatalf("resumed %d, want the %d stored trials", rep.Resumed, len(recorded))
+	}
+	if len(rep.Trials) != 30 {
+		t.Fatalf("final trials = %d, want 30", len(rep.Trials))
+	}
+	if got, want := env.runs.Load()-ranBefore, int64(30-len(recorded)); got != want {
+		t.Fatalf("resume ran the environment %d times, want exactly %d (no re-runs)", got, want)
+	}
+}
+
+// TestReadJournalOnStoreDirectory: the v0 reader transparently reads a
+// segmented store directory, merging every study.
+func TestReadJournalOnStoreDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "studies")
+	sj, err := OpenStudyJournal(dir, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 3; id++ {
+		if err := sj.Append(TrialRecord{ID: id, Config: space.Config{"x": 0.1}, Value: float64(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sj2, err := OpenStudyJournal(dir, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sj2.Append(TrialRecord{ID: 7, Value: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sj2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[0].ID != 0 || recs[3].ID != 7 {
+		t.Fatalf("merged store read = %v, want IDs [0 1 2 7]", recs)
+	}
+	if recs[1].Value != 1 {
+		t.Fatalf("record 1 value = %v, want payload round-trip", recs[1].Value)
+	}
+}
+
+func TestMigrateJournal(t *testing.T) {
+	tmp := t.TempDir()
+	v0 := filepath.Join(tmp, "wal.jsonl")
+	j, err := OpenJournal(v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 5; id++ {
+		if err := j.Append(TrialRecord{ID: id, Config: space.Config{"x": 0.2}, Value: float64(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(tmp, "studies")
+	n, err := MigrateJournal(v0, dir, "legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("migrated %d records, want 5", n)
+	}
+	if _, err := os.Stat(v0); !os.IsNotExist(err) {
+		t.Fatalf("v0 journal still present after migration: %v", err)
+	}
+	recs, err := ReadStudyJournal(dir, "legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || recs[4].Value != 4 {
+		t.Fatalf("store holds %v, want the 5 migrated records", recs)
+	}
+
+	// Re-running on the now-missing file is a no-op, not an error.
+	n, err = MigrateJournal(v0, dir, "legacy")
+	if err != nil || n != 0 {
+		t.Fatalf("second migration = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+// collectSink records appends in memory — a custom JournalSink.
+type collectSink struct{ recs []TrialRecord }
+
+func (c *collectSink) Append(rec TrialRecord) error {
+	c.recs = append(c.recs, rec)
+	return nil
+}
+func (c *collectSink) Close() error { return nil }
+
+// TestOptionsSinkOverridesJournal: an explicit Sink wins over both the
+// Journal path and the Store directory.
+func TestOptionsSinkOverridesJournal(t *testing.T) {
+	env := newCountingEnv()
+	sink := &collectSink{}
+	jpath := filepath.Join(t.TempDir(), "unused.jsonl")
+	opts := Options{Budget: 6, Sink: sink, Journal: jpath}
+	o := optimizer.NewRandom(env.sp, rand.New(rand.NewSource(4)))
+	if _, err := Run(o, env, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.recs) != 6 {
+		t.Fatalf("sink received %d records, want 6", len(sink.recs))
+	}
+	if _, err := os.Stat(jpath); !os.IsNotExist(err) {
+		t.Fatalf("journal file created despite Sink override: %v", err)
+	}
+}
+
+// TestSaveCrashWindowsReaderNeverTorn walks every crash window of the
+// atomic-rename Save protocol and asserts a reader sees either a complete
+// old report, a complete new report, or a clean not-exist error — never a
+// torn file.
+func TestSaveCrashWindowsReaderNeverTorn(t *testing.T) {
+	old := Report{BestValue: 1, Trials: []TrialRecord{{ID: 0, Value: 1}}}
+	next := Report{BestValue: 0.5, Trials: []TrialRecord{{ID: 0, Value: 1}, {ID: 1, Value: 0.5}}}
+	nextJSON, err := json.MarshalIndent(next, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		setup      func(t *testing.T, dir, path string)
+		wantTrials int // -1 means LoadReport must fail with not-exist
+	}{
+		{
+			name:       "kill before temp write",
+			setup:      func(t *testing.T, dir, path string) { mustSave(t, old, path) },
+			wantTrials: 1,
+		},
+		{
+			name: "kill mid temp write: torn temp beside old report",
+			setup: func(t *testing.T, dir, path string) {
+				mustSave(t, old, path)
+				writeRaw(t, filepath.Join(dir, ".report-123.tmp"), nextJSON[:len(nextJSON)/2])
+			},
+			wantTrials: 1,
+		},
+		{
+			name: "kill after temp fsync, before rename",
+			setup: func(t *testing.T, dir, path string) {
+				mustSave(t, old, path)
+				writeRaw(t, filepath.Join(dir, ".report-456.tmp"), nextJSON)
+			},
+			wantTrials: 1,
+		},
+		{
+			name: "kill after rename, before dir fsync",
+			setup: func(t *testing.T, dir, path string) {
+				mustSave(t, old, path)
+				mustSave(t, next, path)
+			},
+			wantTrials: 2,
+		},
+		{
+			name: "first save killed mid write: torn temp, no report",
+			setup: func(t *testing.T, dir, path string) {
+				writeRaw(t, filepath.Join(dir, ".report-789.tmp"), nextJSON[:3])
+			},
+			wantTrials: -1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "report.json")
+			tc.setup(t, dir, path)
+			rep, err := LoadReport(path)
+			if tc.wantTrials < 0 {
+				if !errors.Is(err, os.ErrNotExist) {
+					t.Fatalf("LoadReport = %v, want a clean not-exist error (never a torn parse)", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("LoadReport failed in a recoverable crash state: %v", err)
+			}
+			if len(rep.Trials) != tc.wantTrials {
+				t.Fatalf("loaded %d trials, want %d (a complete old or new report)", len(rep.Trials), tc.wantTrials)
+			}
+		})
+	}
+}
+
+func mustSave(t *testing.T, r Report, path string) {
+	t.Helper()
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeRaw(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

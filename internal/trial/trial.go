@@ -249,6 +249,19 @@ type Options struct {
 	// observes it. A run killed mid-batch resumes from the journal with
 	// every finished trial intact; see Resume.
 	Journal string
+	// Store, when non-empty, journals every completed trial into the
+	// crash-safe segmented study store at this directory instead of a v0
+	// single-file journal (internal/studystore: CRC-framed records,
+	// fsync barriers, snapshot compaction, quarantined corruption).
+	// Takes precedence over Journal when both are set.
+	Store string
+	// Study names the study within Store that this run's trials belong
+	// to; empty means "default". Ignored unless Store is set.
+	Study string
+	// Sink, when non-nil, overrides Journal and Store with a custom
+	// write-ahead sink. The caller owns its lifecycle — the run does not
+	// Close it.
+	Sink JournalSink
 	// DedupEvals enables the single-flight evaluation cache: when the
 	// optimizer re-suggests a (config, fidelity) pair that already
 	// completed successfully, the cached measurement is reused at zero
@@ -371,7 +384,8 @@ func RunContext(ctx context.Context, o optimizer.Optimizer, env Environment, opt
 }
 
 // Resume continues a tuning session from the checkpoint at
-// opts.Checkpoint and/or the write-ahead journal at opts.Journal: the
+// opts.Checkpoint and/or the write-ahead journal at opts.Journal (or the
+// segmented study store at opts.Store): the
 // recorded trials are replayed into the optimizer (Observe only — the
 // environment is not re-run), counters and the incumbent are restored,
 // and the loop continues until the budget is reached. The journal is the
@@ -391,8 +405,8 @@ func ResumeContext(ctx context.Context, o optimizer.Optimizer, env Environment, 
 	if err != nil {
 		return Report{}, err
 	}
-	if opts.Checkpoint == "" && opts.Journal == "" {
-		return Report{}, errors.New("trial: resume needs Options.Checkpoint or Options.Journal")
+	if opts.Checkpoint == "" && opts.Journal == "" && opts.Store == "" {
+		return Report{}, errors.New("trial: resume needs Options.Checkpoint, Options.Journal, or Options.Store")
 	}
 	var rep Report
 	if opts.Checkpoint != "" {
@@ -403,6 +417,13 @@ func ResumeContext(ctx context.Context, o optimizer.Optimizer, env Environment, 
 	}
 	if opts.Journal != "" {
 		recs, err := ReadJournal(opts.Journal)
+		if err != nil {
+			return Report{}, fmt.Errorf("trial: resume: %w", err)
+		}
+		mergeJournal(&rep, recs)
+	}
+	if opts.Store != "" {
+		recs, err := ReadStudyJournal(opts.Store, opts.Study)
 		if err != nil {
 			return Report{}, fmt.Errorf("trial: resume: %w", err)
 		}
@@ -483,7 +504,7 @@ type runState struct {
 	opts           Options
 	o              optimizer.Optimizer
 	rep            *Report
-	journal        *Journal
+	journal        JournalSink
 	cache          *evalCache // nil unless Options.DedupEvals
 	worstFinite    float64
 	consecTimeouts int
@@ -674,7 +695,17 @@ func runLoop(ctx context.Context, o optimizer.Optimizer, env Environment, opts O
 				Result{Value: tr.Value, CostSeconds: tr.CostSeconds})
 		}
 	}
-	if opts.Journal != "" {
+	switch {
+	case opts.Sink != nil:
+		s.journal = opts.Sink
+	case opts.Store != "":
+		sj, err := OpenStudyJournal(opts.Store, opts.Study)
+		if err != nil {
+			return rep, err
+		}
+		defer sj.Close()
+		s.journal = sj
+	case opts.Journal != "":
 		j, err := OpenJournal(opts.Journal)
 		if err != nil {
 			return rep, err
