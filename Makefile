@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: help check vet build test race bench profile soak crash crash-quick fmt fmt-check lint incremental-default zero-alloc
+.PHONY: help check vet build test race race-core bench profile soak crash crash-quick fmt fmt-check lint lint-fixtures incremental-default zero-alloc
 
 help:
 	@echo "Targets:"
-	@echo "  check               fmt-check + vet + lint + build + race + invariants"
+	@echo "  check               fmt-check + vet + lint + build + race-core + race + invariants"
 	@echo "  test                go test ./..."
 	@echo "  race                go test -race ./..."
 	@echo "  bench               quick experiment suite + perf gates (BENCH_4.json, BENCH_5.json, BENCH_6.json)"
@@ -13,10 +13,12 @@ help:
 	@echo "  crash               full fault-injection torture of the study store (every fault point, every byte prefix)"
 	@echo "  crash-quick         sampled torture sweep (the slice of crash that rides in check)"
 	@echo "  zero-alloc          allocs/op gates: gp.Predict, warm bo.Suggest, space encoders"
-	@echo "  lint                repo-specific static analysis (cmd/autolint)"
+	@echo "  race-core           focused -race pass over the lock-discipline-critical packages"
+	@echo "  lint                repo-specific static analysis, both tiers (cmd/autolint -typed)"
+	@echo "  lint-fixtures       re-goldenize lint fixture outputs (requires UPDATE=1)"
 	@echo "  fmt / fmt-check     gofmt the tree / fail if gofmt is needed"
 
-check: fmt-check vet lint build race incremental-default zero-alloc crash-quick
+check: fmt-check vet lint build race-core race incremental-default zero-alloc crash-quick
 
 # Crash-torture the segmented study store (PR 6 invariant): kill the
 # store at every injected fault point and every byte prefix of the log,
@@ -44,8 +46,20 @@ incremental-default:
 vet:
 	$(GO) vet ./...
 
+# Both analysis tiers: syntactic (name-index heuristics) and typed
+# (go/types + per-function CFG dataflow). -typed is the default; spelled
+# out here so check provably exercises the typed tier.
 lint:
-	$(GO) run ./cmd/autolint ./...
+	$(GO) run ./cmd/autolint -typed ./...
+
+# Re-goldenize testdata/*/golden.json from current analyzer output. The
+# UPDATE=1 guard makes regeneration a deliberate act — a behavior change
+# must never re-goldenize itself in passing.
+lint-fixtures:
+	@if [ "$(UPDATE)" != "1" ]; then \
+		echo "lint-fixtures rewrites internal/lint/testdata/*/golden.json."; \
+		echo "Run 'make lint-fixtures UPDATE=1' to confirm."; exit 1; fi
+	UPDATE=1 $(GO) test ./internal/lint -run TestGoldenFixtures -count=1
 
 build:
 	$(GO) build ./...
@@ -55,6 +69,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The packages whose lock discipline the lockheld analyzer polices get a
+# focused, always-fresh -race pass (the full `race` target may cache).
+race-core:
+	$(GO) test -race -count=1 ./internal/sched/... ./internal/studystore/...
 
 bench:
 	$(GO) run ./cmd/bench -quick

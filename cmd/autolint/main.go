@@ -1,18 +1,26 @@
 // Command autolint runs the repo-specific static analyzers from
 // internal/lint over the module and reports violations of its
-// determinism, context-propagation, and error-handling invariants.
+// determinism, context-propagation, error-handling, and concurrency
+// invariants.
+//
+// Two analyzer tiers run by default: the syntactic tier (go/ast +
+// name indexes) and the typed tier (go/types + per-function control
+// flow: lockheld, goleak, fsyncbarrier, poolreturn). `-typed=false`
+// drops the typed tier; naming a typed analyzer in -checks always
+// runs it.
 //
 // Usage:
 //
 //	autolint ./...                 # whole module (the default)
 //	autolint ./internal/space      # one package
-//	autolint -checks globalrand,wallclock ./...
+//	autolint -checks globalrand,lockheld ./...
+//	autolint -typed=false ./...    # syntactic tier only
 //	autolint -json ./...           # machine-readable findings
 //	autolint -fix ./...            # print suggested edits with each finding
 //	autolint -list                 # describe the registered analyzers
 //
-// Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
-// parse errors. Findings are suppressed in place with
+// Exit status: 0 when clean, 1 when findings were reported, 2 on usage,
+// parse, or type-check errors. Findings are suppressed in place with
 // `//autolint:ignore <check> <reason>` on the offending line or the line
 // above it; unused and malformed directives are themselves findings.
 package main
@@ -28,21 +36,31 @@ import (
 	"autotune/internal/lint"
 )
 
+// options bundles the CLI knobs; run takes them explicitly so tests can
+// drive temp modules (dir) without chdir.
+type options struct {
+	jsonOut bool
+	fix     bool
+	checks  string
+	typed   bool
+	dir     string // starting directory for module-root discovery
+}
+
 func main() {
 	var (
 		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
 		fix     = flag.Bool("fix", false, "print the suggested edit with each finding")
 		checks  = flag.String("checks", "all", "comma-separated analyzer names to run")
+		typed   = flag.Bool("typed", true, "run the typed tier (go/types + CFG analyzers)")
 		list    = flag.Bool("list", false, "list registered analyzers and exit")
 	)
 	flag.Parse()
 	if *list {
-		for _, a := range lint.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
-		}
+		printList(os.Stdout)
 		return
 	}
-	code, err := run(os.Stdout, *jsonOut, *fix, *checks, flag.Args())
+	opts := options{jsonOut: *jsonOut, fix: *fix, checks: *checks, typed: *typed, dir: "."}
+	code, err := run(os.Stdout, opts, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "autolint:", err)
 		os.Exit(2)
@@ -50,14 +68,28 @@ func main() {
 	os.Exit(code)
 }
 
+// printList describes both analyzer registries.
+func printList(w io.Writer) {
+	fmt.Fprintln(w, "syntactic tier:")
+	for _, a := range lint.All() {
+		fmt.Fprintf(w, "  %-13s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintln(w, "typed tier (go/types + CFG):")
+	for _, a := range lint.AllTyped() {
+		fmt.Fprintf(w, "  %-13s %s\n", a.Name, a.Doc)
+	}
+}
+
 // run executes the requested analyzers over the packages matching the
-// patterns and writes findings to w. It returns the process exit code.
-func run(w io.Writer, jsonOut, fix bool, checks string, patterns []string) (int, error) {
-	analyzers, err := lint.ByName(checks)
+// patterns and writes findings to w. It returns the process exit code:
+// 0 clean, 1 findings, 2 load/usage errors (the error return is always
+// non-nil for code 2).
+func run(w io.Writer, opts options, patterns []string) (int, error) {
+	analyzers, typed, err := lint.SelectAnalyzers(opts.checks, opts.typed)
 	if err != nil {
 		return 2, err
 	}
-	root, err := lint.FindModuleRoot(".")
+	root, err := lint.FindModuleRoot(opts.dir)
 	if err != nil {
 		return 2, err
 	}
@@ -68,8 +100,9 @@ func run(w io.Writer, jsonOut, fix bool, checks string, patterns []string) (int,
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags := filter(lint.Run(mod, analyzers), patterns)
-	if jsonOut {
+	diags, typeErr := lint.RunAll(mod, analyzers, typed)
+	diags = filter(diags, patterns)
+	if opts.jsonOut {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -81,13 +114,18 @@ func run(w io.Writer, jsonOut, fix bool, checks string, patterns []string) (int,
 	} else {
 		for _, d := range diags {
 			fmt.Fprintln(w, d)
-			if fix && d.Suggestion != "" {
+			if opts.fix && d.Suggestion != "" {
 				fmt.Fprintf(w, "\tsuggested: %s\n", d.Suggestion)
 			}
 		}
 		if len(diags) > 0 {
 			fmt.Fprintf(w, "autolint: %d finding(s)\n", len(diags))
 		}
+	}
+	if typeErr != nil {
+		// A module that does not type-check is a load failure, like a
+		// parse error: findings above may be incomplete.
+		return 2, typeErr
 	}
 	if len(diags) > 0 {
 		return 1, nil

@@ -4,15 +4,24 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"autotune/internal/lint"
 )
 
+func runHere(t *testing.T, w io.Writer, opts options, patterns []string) (int, error) {
+	t.Helper()
+	opts.dir = "."
+	return run(w, opts, patterns)
+}
+
 // TestRepoExitsClean is the acceptance gate: autolint over the whole
-// module must find nothing.
+// module — both tiers — must find nothing.
 func TestRepoExitsClean(t *testing.T) {
-	code, err := run(io.Discard, false, false, "all", []string{"./..."})
+	code, err := runHere(t, io.Discard, options{checks: "all", typed: true}, []string{"./..."})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +32,7 @@ func TestRepoExitsClean(t *testing.T) {
 
 func TestJSONOutput(t *testing.T) {
 	var buf bytes.Buffer
-	code, err := run(&buf, true, false, "all", nil)
+	code, err := runHere(t, &buf, options{jsonOut: true, checks: "all", typed: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,16 +49,114 @@ func TestJSONOutput(t *testing.T) {
 }
 
 func TestSinglePackagePattern(t *testing.T) {
-	code, err := run(io.Discard, false, false, "all", []string{"./internal/space"})
+	code, err := runHere(t, io.Discard, options{checks: "all", typed: true}, []string{"./internal/space"})
 	if err != nil || code != 0 {
 		t.Fatalf("run(./internal/space) = %d, %v", code, err)
 	}
 }
 
 func TestUnknownCheckErrors(t *testing.T) {
-	code, err := run(io.Discard, false, false, "nosuchcheck", nil)
+	code, err := runHere(t, io.Discard, options{checks: "nosuchcheck"}, nil)
 	if err == nil || code != 2 {
 		t.Fatalf("unknown check: code = %d, err = %v; want 2 and error", code, err)
+	}
+}
+
+// TestListCoversTypedTier: -list must describe both registries, so the
+// typed analyzers are discoverable.
+func TestListCoversTypedTier(t *testing.T) {
+	var buf bytes.Buffer
+	printList(&buf)
+	out := buf.String()
+	for _, name := range []string{"globalrand", "lockheld", "goleak", "fsyncbarrier", "poolreturn", "typed tier"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+// writeModule materializes a temp module from file name -> contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module fixture.example\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestExitCodeMatrix pins the 0/1/2 contract across tier combinations:
+// clean trees exit 0, findings from either tier (or both) exit 1, and
+// parse or type-check failures exit 2 regardless of findings.
+func TestExitCodeMatrix(t *testing.T) {
+	const cleanSrc = `package p
+
+func Add(a, b int) int { return a + b }
+`
+	// globalrand: package-level math/rand use (syntactic tier).
+	const synBadSrc = `package p
+
+import "math/rand"
+
+var r = rand.Intn(10)
+`
+	// lockheld: mutex held across a channel receive (typed tier).
+	const typBadSrc = `package q
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (t *T) Wait() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return <-t.ch
+}
+`
+	const parseBadSrc = "package p\n\nfunc broken( {\n"
+	const typeBadSrc = `package p
+
+func f() int { return undefinedSymbol }
+`
+	cases := []struct {
+		name     string
+		files    map[string]string
+		checks   string
+		typed    bool
+		wantCode int
+		wantErr  bool
+	}{
+		{"clean", map[string]string{"a.go": cleanSrc}, "all", true, 0, false},
+		{"syntactic finding", map[string]string{"a.go": synBadSrc}, "all", true, 1, false},
+		{"typed finding", map[string]string{"q/a.go": typBadSrc}, "all", true, 1, false},
+		{"both tiers find", map[string]string{"a.go": synBadSrc, "q/b.go": typBadSrc}, "all", true, 1, false},
+		{"typed finding invisible without typed tier", map[string]string{"q/a.go": typBadSrc}, "all", false, 0, false},
+		{"typed analyzer by name overrides -typed=false", map[string]string{"q/a.go": typBadSrc}, "lockheld", false, 1, false},
+		{"parse error", map[string]string{"a.go": parseBadSrc}, "all", true, 2, true},
+		{"type error", map[string]string{"a.go": typeBadSrc}, "all", true, 2, true},
+		{"type error ignored without typed tier", map[string]string{"a.go": typeBadSrc}, "all", false, 0, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := writeModule(t, c.files)
+			code, err := run(io.Discard, options{checks: c.checks, typed: c.typed, dir: dir}, []string{"./..."})
+			if code != c.wantCode {
+				t.Fatalf("exit = %d (err %v), want %d", code, err, c.wantCode)
+			}
+			if c.wantErr != (err != nil) {
+				t.Fatalf("err = %v, wantErr %v", err, c.wantErr)
+			}
+		})
 	}
 }
 

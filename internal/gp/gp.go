@@ -632,10 +632,11 @@ func (g *GP) Predict(x []float64) (mean, variance float64, err error) {
 	if g.legacy {
 		return g.predictLegacy(x)
 	}
+	// Deferred so a panicking kernel (dimension mismatch) cannot leak the
+	// workspace; an open-coded defer costs zero allocations.
 	ws := wsPool.Get().(*Workspace)
-	mean, variance, err = g.PredictWS(ws, x)
-	wsPool.Put(ws)
-	return mean, variance, err
+	defer wsPool.Put(ws)
+	return g.PredictWS(ws, x)
 }
 
 // predictLegacy is the PR-4 Predict: kstar and the triangular-solve result
@@ -707,15 +708,14 @@ func (g *GP) PredictN(xs [][]float64, mean, variance []float64) error {
 	}
 	if w <= 1 || len(xs) < 8 {
 		ws := wsPool.Get().(*Workspace)
+		defer wsPool.Put(ws)
 		for i, x := range xs {
 			m, v, err := g.PredictWS(ws, x)
 			if err != nil {
-				wsPool.Put(ws)
 				return err
 			}
 			mean[i], variance[i] = m, v
 		}
-		wsPool.Put(ws)
 		return nil
 	}
 	type wkErr struct {
@@ -734,7 +734,11 @@ func (g *GP) PredictN(xs [][]float64, mean, variance []float64) error {
 				}
 				wg.Done()
 			}()
+			// Deferred Put: the worker's recover above re-raises panics on
+			// the caller, and the workspace must return to the pool on that
+			// unwind too.
 			ws := wsPool.Get().(*Workspace)
+			defer wsPool.Put(ws)
 			errs[wk] = wkErr{idx: -1}
 			// Strided indices ascend, so a worker's first failure is its
 			// lowest; the reduction below picks the global lowest.
@@ -746,7 +750,6 @@ func (g *GP) PredictN(xs [][]float64, mean, variance []float64) error {
 				}
 				mean[i], variance[i] = m, v
 			}
-			wsPool.Put(ws)
 		}(wk)
 	}
 	wg.Wait()
@@ -783,6 +786,7 @@ func (g *GP) SampleAt(points [][]float64, rng *rand.Rand) ([]float64, error) {
 	cov := linalg.NewMatrix(m, m)
 	vs := linalg.NewMatrix(m, n)
 	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
 	ws.ensure(n)
 	for i, p := range points {
 		kstar := ws.kstar[:n]
@@ -791,11 +795,9 @@ func (g *GP) SampleAt(points [][]float64, rng *rand.Rand) ([]float64, error) {
 		}
 		mu[i] = linalg.Dot(kstar, g.alpha)
 		if err := linalg.SolveLowerInto(g.chol, kstar, vs.Row(i)); err != nil {
-			wsPool.Put(ws)
 			return nil, err
 		}
 	}
-	wsPool.Put(ws)
 	for i := 0; i < m; i++ {
 		for j := i; j < m; j++ {
 			c := g.kernel.Eval(points[i], points[j]) - linalg.Dot(vs.Row(i), vs.Row(j))

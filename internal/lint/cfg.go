@@ -1,0 +1,693 @@
+package lint
+
+// A lightweight per-function control-flow graph over go/ast, built for
+// the typed dataflow analyzers. Blocks hold only *simple* statements
+// and header expressions (an If's Cond, a Switch's Tag); compound
+// bodies become successor blocks. That granularity is enough for the
+// properties checked here — dominance of one call by another,
+// reachability between a resource acquisition and its release — without
+// reimplementing golang.org/x/tools/go/cfg.
+//
+// Panic-like terminators (panic, os.Exit, log.Fatal*, runtime.Goexit)
+// end their block with the Panics flag set, so analyses can distinguish
+// "every normal return passes X" from "every exit including crashes
+// passes X".
+
+import (
+	"go/ast"
+)
+
+// Block is one straight-line run of simple statements.
+type Block struct {
+	Index int
+	// Nodes are simple statements and header expressions in execution
+	// order. Compound statements never appear whole, with two deliberate
+	// exceptions: a SelectStmt (the select itself is the interesting
+	// event; its clause bodies are successor blocks) and a RangeStmt
+	// (for its X and key/value). Use inspectShallow to scan a node
+	// without leaking into nested bodies or function literals.
+	Nodes []ast.Node
+	Succs []*Block
+	// Returns marks a block that ends the function normally (return, or
+	// falling off the end). Panics marks a block ending in a non-returning
+	// call (panic, os.Exit, ...).
+	Returns bool
+	Panics  bool
+}
+
+// CFG is the graph for one function body.
+type CFG struct {
+	Blocks []*Block // Blocks[0] is the entry
+	// commNodes marks select CommClause statements (`case <-ch:`): the
+	// channel operation inside belongs to the select, not to the
+	// statement, so analyzers looking for bare channel ops skip them.
+	commNodes map[ast.Node]bool
+}
+
+// Entry returns the entry block.
+func (c *CFG) Entry() *Block { return c.Blocks[0] }
+
+// IsCommClause reports whether a block node is a select communication
+// clause rather than a standalone channel operation.
+func (c *CFG) IsCommClause(n ast.Node) bool { return c.commNodes[n] }
+
+type loopFrame struct {
+	label         string
+	breakTarget   *Block
+	continueTgt   *Block
+	isSwitchOrSel bool
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	frames []loopFrame
+	labels map[string]*Block // goto targets
+	gotos  []pendingGoto
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the graph for a function body (nil-safe: an
+// empty graph for bodyless declarations).
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{commNodes: map[ast.Node]bool{}},
+		labels: map[string]*Block{},
+	}
+	b.cur = b.newBlock()
+	if body != nil {
+		b.stmts(body.List)
+	}
+	if b.cur != nil {
+		b.cur.Returns = true
+	}
+	for _, g := range b.gotos {
+		if tgt, ok := b.labels[g.label]; ok {
+			g.from.Succs = append(g.from.Succs, tgt)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// emit appends a node to the current block (no-op in dead code).
+func (b *cfgBuilder) emit(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// seal ends the current block with an edge to next (if alive) and makes
+// next current.
+func (b *cfgBuilder) seal(next *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, next)
+	}
+	b.cur = next
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	if b.cur == nil {
+		// Dead code after return/branch: park it in an unreachable block
+		// so its nodes still exist (analyzers may anchor positions there)
+		// without predecessor edges.
+		b.cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.cur.Returns = true
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.LabeledStmt:
+		tgt := b.newBlock()
+		b.labels[s.Label.Name] = tgt
+		b.seal(tgt)
+		b.labeledStmt(s.Label.Name, s.Stmt)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt("", s)
+	case *ast.RangeStmt:
+		b.rangeStmt("", s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.switchStmt("", s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Assign)
+		b.switchStmt("", s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	default:
+		// Simple statements: expressions, assignments, sends, go, defer,
+		// declarations, incdec, empty.
+		b.emit(s)
+		if terminatesBlock(s) {
+			b.cur.Panics = true
+			b.cur = nil
+		}
+	}
+}
+
+// labeledStmt builds a statement that carries a label usable by
+// break/continue.
+func (b *cfgBuilder) labeledStmt(label string, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		b.forStmt(label, s)
+	case *ast.RangeStmt:
+		b.rangeStmt(label, s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.switchStmt(label, s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Assign)
+		b.switchStmt(label, s.Body)
+	default:
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	b.emit(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			fr := b.frames[i]
+			if label == "" || fr.label == label {
+				b.cur.Succs = append(b.cur.Succs, fr.breakTarget)
+				break
+			}
+		}
+		b.cur = nil
+	case "continue":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			fr := b.frames[i]
+			if fr.isSwitchOrSel {
+				continue
+			}
+			if label == "" || fr.label == label {
+				b.cur.Succs = append(b.cur.Succs, fr.continueTgt)
+				break
+			}
+		}
+		b.cur = nil
+	case "goto":
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+		b.cur = nil
+	case "fallthrough":
+		// Handled structurally in switchStmt (edge to the next clause
+		// body); here just end the block — switchStmt adds the edge.
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.emit(s.Init)
+	}
+	b.emit(s.Cond)
+	head := b.cur
+	join := b.newBlock()
+
+	thenB := b.newBlock()
+	head.Succs = append(head.Succs, thenB)
+	b.cur = thenB
+	b.stmts(s.Body.List)
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, join)
+	}
+
+	if s.Else != nil {
+		elseB := b.newBlock()
+		head.Succs = append(head.Succs, elseB)
+		b.cur = elseB
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.cur.Succs = append(b.cur.Succs, join)
+		}
+	} else {
+		head.Succs = append(head.Succs, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(label string, s *ast.ForStmt) {
+	if s.Init != nil {
+		b.emit(s.Init)
+	}
+	head := b.newBlock()
+	b.seal(head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	after := b.newBlock()
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, s.Post)
+		post.Succs = append(post.Succs, head)
+	}
+	if s.Cond != nil {
+		head.Succs = append(head.Succs, after)
+	}
+	body := b.newBlock()
+	head.Succs = append(head.Succs, body)
+	b.cur = body
+	b.frames = append(b.frames, loopFrame{label: label, breakTarget: after, continueTgt: post})
+	b.stmts(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, post)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(label string, s *ast.RangeStmt) {
+	head := b.newBlock()
+	b.seal(head)
+	head.Nodes = append(head.Nodes, s)
+	after := b.newBlock()
+	head.Succs = append(head.Succs, after)
+	body := b.newBlock()
+	head.Succs = append(head.Succs, body)
+	b.cur = body
+	b.frames = append(b.frames, loopFrame{label: label, breakTarget: after, continueTgt: head})
+	b.stmts(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, head)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(label string, body *ast.BlockStmt) {
+	head := b.cur
+	join := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTarget: join, isSwitchOrSel: true})
+	hasDefault := false
+	var caseBodies []*Block
+	var caseFalls []bool
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cb := b.newBlock()
+		head.Succs = append(head.Succs, cb)
+		for _, e := range cc.List {
+			cb.Nodes = append(cb.Nodes, e)
+		}
+		b.cur = cb
+		falls := false
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				falls = true
+			}
+		}
+		b.stmts(cc.Body)
+		caseBodies = append(caseBodies, cb)
+		caseFalls = append(caseFalls, falls)
+		if b.cur != nil {
+			b.cur.Succs = append(b.cur.Succs, join)
+		}
+		// Record the block a fallthrough would leave from (the last live
+		// block of this clause) by stashing it in caseBodies' slot; the
+		// next iteration wires the edge.
+		caseBodies[len(caseBodies)-1] = b.cur
+	}
+	// Wire fallthrough edges: clause i falls into clause i+1's body head.
+	// The body head is the block created for the clause, which is the
+	// first successor added to head after the previous clauses.
+	idx := 0
+	for _, cs := range body.List {
+		if _, ok := cs.(*ast.CaseClause); !ok {
+			continue
+		}
+		if caseFalls[idx] && idx+1 < len(head.Succs) && caseBodies[idx] != nil {
+			caseBodies[idx].Succs = append(caseBodies[idx].Succs, head.Succs[idx+1])
+		}
+		idx++
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		head.Succs = append(head.Succs, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	b.emit(s)
+	head := b.cur
+	join := b.newBlock()
+	b.frames = append(b.frames, loopFrame{breakTarget: join, isSwitchOrSel: true})
+	hasCase := false
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		hasCase = true
+		cb := b.newBlock()
+		head.Succs = append(head.Succs, cb)
+		if cc.Comm != nil {
+			cb.Nodes = append(cb.Nodes, cc.Comm)
+			b.cfg.commNodes[cc.Comm] = true
+		}
+		b.cur = cb
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.cur.Succs = append(b.cur.Succs, join)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasCase {
+		// `select {}` blocks forever.
+		head.Panics = true
+		b.cur = nil
+		b.cur = join
+		return
+	}
+	b.cur = join
+}
+
+// terminatesBlock reports whether a simple statement never falls
+// through: a call to panic, os.Exit, log.Fatal*, runtime.Goexit, or
+// (testing.T).Fatal*. Purely syntactic — good enough, and the typed
+// analyzers only use it to separate panic edges from normal returns.
+func terminatesBlock(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if x, ok := fun.X.(*ast.Ident); ok {
+			if x.Name == "os" && name == "Exit" {
+				return true
+			}
+			if x.Name == "runtime" && name == "Goexit" {
+				return true
+			}
+			if x.Name == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inspectShallow walks a block node's expression structure without
+// descending into function literals (their bodies have their own CFGs)
+// or into the bodies of the two compound nodes that appear whole in
+// blocks (SelectStmt, RangeStmt — their bodies are successor blocks).
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			fn(v)
+			return false
+		case *ast.RangeStmt:
+			if v != n {
+				return false
+			}
+			fn(v)
+			if v.Key != nil {
+				inspectShallow(v.Key, fn)
+			}
+			if v.Value != nil {
+				inspectShallow(v.Value, fn)
+			}
+			inspectShallow(v.X, fn)
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// position locates a node within the graph: its block and index.
+func (c *CFG) position(target ast.Node) (*Block, int) {
+	for _, blk := range c.Blocks {
+		for i, n := range blk.Nodes {
+			if n == target {
+				return blk, i
+			}
+			found := false
+			inspectShallow(n, func(m ast.Node) bool {
+				if m == target {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				return blk, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// DominatedBy reports whether every path from entry to target passes a
+// node satisfying pred strictly before target's node. A forward
+// must-analysis: meet is AND over predecessors.
+func (c *CFG) DominatedBy(target ast.Node, pred func(ast.Node) bool) bool {
+	tblk, tidx := c.position(target)
+	if tblk == nil {
+		return false
+	}
+	// If a satisfying node precedes target inside its own block, done.
+	for i := 0; i < tidx; i++ {
+		if nodeMatches(tblk.Nodes[i], pred) {
+			return true
+		}
+	}
+	// gen[b]: block b contains a satisfying node. out[b]: every path
+	// entry..end-of-b passes one. in[b] = AND over preds' out.
+	n := len(c.Blocks)
+	gen := make([]bool, n)
+	for i, blk := range c.Blocks {
+		for _, nd := range blk.Nodes {
+			if nodeMatches(nd, pred) {
+				gen[i] = true
+				break
+			}
+		}
+	}
+	preds := c.predecessors()
+	in := make([]bool, n)
+	out := make([]bool, n)
+	for i := range in {
+		in[i], out[i] = true, true
+	}
+	in[0] = false
+	out[0] = gen[0]
+	for changed := true; changed; {
+		changed = false
+		for i, blk := range c.Blocks {
+			if i == 0 {
+				continue
+			}
+			newIn := len(preds[i]) > 0
+			for _, p := range preds[i] {
+				newIn = newIn && out[p.Index]
+			}
+			newOut := newIn || gen[i]
+			if newIn != in[i] || newOut != out[i] {
+				in[i], out[i] = newIn, newOut
+				changed = true
+			}
+			_ = blk
+		}
+	}
+	return in[tblk.Index]
+}
+
+// ReachesForward reports whether some path from strictly after start
+// reaches a node satisfying pred.
+func (c *CFG) ReachesForward(start ast.Node, pred func(ast.Node) bool) bool {
+	sblk, sidx := c.position(start)
+	if sblk == nil {
+		return false
+	}
+	for i := sidx + 1; i < len(sblk.Nodes); i++ {
+		if nodeMatches(sblk.Nodes[i], pred) {
+			return true
+		}
+	}
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, nd := range b.Nodes {
+			if nodeMatches(nd, pred) {
+				return true
+			}
+		}
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range sblk.Succs {
+		if walk(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllReturnsPass reports whether every path from strictly after start
+// to a normal function return passes a node satisfying pred. Paths
+// ending in a panic-like terminator are exempt. A backward
+// must-analysis computed as a greatest fixpoint: ok[b] means "every
+// normal-return path from the start of b passes pred".
+func (c *CFG) AllReturnsPass(start ast.Node, pred func(ast.Node) bool) bool {
+	sblk, sidx := c.position(start)
+	if sblk == nil {
+		return false
+	}
+	n := len(c.Blocks)
+	gen := make([]bool, n)
+	for i, blk := range c.Blocks {
+		for _, nd := range blk.Nodes {
+			if nodeMatches(nd, pred) {
+				gen[i] = true
+				break
+			}
+		}
+	}
+	ok := make([]bool, n)
+	for i := range ok {
+		ok[i] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, blk := range c.Blocks {
+			v := true
+			if gen[i] {
+				v = true
+			} else if blk.Returns {
+				v = false
+			} else if blk.Panics {
+				v = true
+			} else if len(blk.Succs) == 0 {
+				// A block with no successors and no terminator flag is a
+				// dead-end artifact (e.g. after break wiring); treat as
+				// exempt.
+				v = true
+			} else {
+				for _, s := range blk.Succs {
+					v = v && ok[s.Index]
+				}
+			}
+			// A returning block that also has successors (cannot happen
+			// structurally) would be handled above; Returns wins.
+			if blk.Returns && !gen[i] {
+				v = false
+			}
+			if v != ok[i] {
+				ok[i] = v
+				changed = true
+			}
+		}
+	}
+	// From start's own block: a satisfying node after start in the same
+	// block covers the paths through it.
+	for i := sidx + 1; i < len(sblk.Nodes); i++ {
+		if nodeMatches(sblk.Nodes[i], pred) {
+			return true
+		}
+	}
+	if sblk.Panics {
+		return true
+	}
+	if sblk.Returns {
+		return false
+	}
+	if len(sblk.Succs) == 0 {
+		return true
+	}
+	for _, s := range sblk.Succs {
+		if !ok[s.Index] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *CFG) predecessors() [][]*Block {
+	preds := make([][]*Block, len(c.Blocks))
+	for _, blk := range c.Blocks {
+		for _, s := range blk.Succs {
+			preds[s.Index] = append(preds[s.Index], blk)
+		}
+	}
+	return preds
+}
+
+func nodeMatches(n ast.Node, pred func(ast.Node) bool) bool {
+	found := false
+	inspectShallow(n, func(m ast.Node) bool {
+		if pred(m) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

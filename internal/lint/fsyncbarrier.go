@@ -1,0 +1,104 @@
+package lint
+
+// fsyncbarrier: PR 6's durability contract as a checkable dominance
+// property. In the persistence packages (studystore, trial), a Rename
+// is a commit point — the moment a reader may observe the new file — so
+// two orderings are mandatory:
+//
+//	(a) every path reaching the Rename must first Sync the written
+//	    file (otherwise the commit can expose unsynced bytes after a
+//	    crash), and
+//	(b) some path after the Rename must fsync the parent directory
+//	    (otherwise the rename itself may not survive a crash). Error
+//	    returns between the Rename and the directory sync are fine —
+//	    rule (b) is reachability, not dominance, because a failing
+//	    path aborts the ack.
+//
+// Single-statement delegation wrappers (osFS.Rename calling os.Rename)
+// are exempt: the contract binds call sites that commit data, not the
+// plumbing that forwards the syscall.
+
+import (
+	"go/ast"
+)
+
+// FsyncBarrier is the typed analyzer instance.
+var FsyncBarrier = &TypedAnalyzer{
+	Name: "fsyncbarrier",
+	Doc:  "in persistence packages, Rename must be preceded by File.Sync (dominance) and followed by a directory fsync (reachability)",
+	Run:  runFsyncBarrier,
+}
+
+// fsyncPackages names the packages under the durability contract, by
+// package name so fixtures can opt in.
+var fsyncPackages = map[string]bool{
+	"studystore": true,
+	"trial":      true,
+}
+
+func runFsyncBarrier(p *TypedPass) []Diagnostic {
+	if !fsyncPackages[p.File.PkgName] {
+		return nil
+	}
+	var out []Diagnostic
+	p.funcs(func(name string, fn ast.Node, body *ast.BlockStmt) {
+		if isDelegationWrapper(body) {
+			return
+		}
+		cfg := p.FuncCFG(fn)
+		for _, blk := range cfg.Blocks {
+			for _, nd := range blk.Nodes {
+				inspectShallow(nd, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if !p.isCalleeNamed(call, "Rename") {
+						return true
+					}
+					if !cfg.DominatedBy(call, func(m ast.Node) bool {
+						c, ok := m.(*ast.CallExpr)
+						return ok && p.isCalleeNamed(c, "Sync")
+					}) {
+						out = append(out, p.Diag("fsyncbarrier", call.Pos(),
+							"Rename commit point not dominated by a File.Sync: a crash after the rename can expose unsynced data",
+							"sync the written file on every path before renaming it into place"))
+					}
+					if !cfg.ReachesForward(call, func(m ast.Node) bool {
+						c, ok := m.(*ast.CallExpr)
+						return ok && (p.isCalleeNamed(c, "SyncDir") || p.isCalleeNamed(c, "syncDir"))
+					}) {
+						out = append(out, p.Diag("fsyncbarrier", call.Pos(),
+							"Rename is never followed by a directory fsync: the rename itself may not survive a crash",
+							"fsync the parent directory after the rename, before acknowledging"))
+					}
+					return true
+				})
+			}
+		}
+	})
+	return out
+}
+
+// isCalleeNamed reports whether a call resolves to a function or method
+// with the given bare name (os.Rename, FS.Rename, File.Sync, ...).
+func (p *TypedPass) isCalleeNamed(call *ast.CallExpr, name string) bool {
+	fn := p.Callee(call)
+	return fn != nil && fn.Name() == name
+}
+
+// isDelegationWrapper matches bodies that are a single statement
+// forwarding to another call (`return os.Rename(a, b)`).
+func isDelegationWrapper(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) != 1 {
+		return false
+	}
+	switch s := body.List[0].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		_, ok := s.X.(*ast.CallExpr)
+		return ok
+	}
+	return false
+}

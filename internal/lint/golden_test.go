@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenName is the pinned-diagnostics file inside each fixture dir.
+const goldenName = "golden.json"
+
+// goldenFixtures maps each fixture dir to its analyzer, exactly one tier
+// populated. The golden files pin the complete rendered diagnostics —
+// position, message, and suggestion — where the want-comment runners
+// check only (file, line, check). A message reword therefore shows up as
+// a reviewable diff instead of slipping through.
+var goldenFixtures = []struct {
+	name string
+	syn  *Analyzer
+	typ  *TypedAnalyzer
+}{
+	{name: "globalrand", syn: GlobalRand},
+	{name: "wallclock", syn: WallClock},
+	{name: "maporder", syn: MapOrder},
+	{name: "ctxpass", syn: CtxPass},
+	{name: "droppederr", syn: DroppedErr},
+	{name: "nakedgo", syn: NakedGo},
+	{name: "hotalloc", syn: HotAlloc},
+	{name: "lockheld", typ: LockHeld},
+	{name: "goleak", typ: GoLeak},
+	{name: "fsyncbarrier", typ: FsyncBarrier},
+	{name: "poolreturn", typ: PoolReturn},
+}
+
+// TestGoldenFixtures compares each fixture dir's full diagnostic output
+// against its checked-in golden.json. Regenerate deliberately with
+// `make lint-fixtures UPDATE=1` (never by hand): the guard keeps a
+// behavior change from silently re-goldenizing itself.
+func TestGoldenFixtures(t *testing.T) {
+	update := os.Getenv("UPDATE") == "1"
+	for _, g := range goldenFixtures {
+		t.Run(g.name, func(t *testing.T) {
+			mod, err := LoadModule(filepath.Join("testdata", g.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var diags []Diagnostic
+			if g.typ != nil {
+				diags, err = RunAll(mod, nil, []*TypedAnalyzer{g.typ})
+				if err != nil {
+					t.Fatalf("fixture must type-check: %v", err)
+				}
+			} else {
+				diags = Run(mod, []*Analyzer{g.syn})
+			}
+			for i := range diags {
+				diags[i].Pos.Filename = filepath.ToSlash(diags[i].Pos.Filename)
+			}
+			got, err := json.MarshalIndent(diags, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", g.name, goldenName)
+			if update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with `make lint-fixtures UPDATE=1`): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("diagnostics diverge from %s:\n got:\n%s\nwant:\n%s\nif the change is intended, run `make lint-fixtures UPDATE=1`",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenCoversEveryFixtureDir: adding a fixture dir without wiring
+// it into the golden table (and an analyzer) must fail loudly.
+func TestGoldenCoversEveryFixtureDir(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, g := range goldenFixtures {
+		covered[g.name] = true
+	}
+	for _, e := range entries {
+		if e.IsDir() && !covered[e.Name()] {
+			t.Errorf("fixture dir testdata/%s has no golden table entry", e.Name())
+		}
+	}
+	if want := len(All()) + len(AllTyped()); len(goldenFixtures) != want {
+		t.Errorf("golden table has %d entries; registry has %d analyzers", len(goldenFixtures), want)
+	}
+}

@@ -1,0 +1,134 @@
+package lint
+
+// goleak: a goroutine launched in library code must have a visible
+// termination contract. The type-resolved successor to nakedgo's
+// panic-safety rule: nakedgo asks "what happens if it panics", goleak
+// asks "how does it ever stop". Accepted contracts, checked over the
+// goroutine body (function literal or resolved module function):
+//
+//   - context cancellation: a receive from (context.Context).Done(),
+//     directly or in a select case
+//   - WaitGroup ownership: the body calls (*sync.WaitGroup).Done
+//     (typically deferred), tying its lifetime to a Wait elsewhere
+//   - a work-channel loop: the body ranges over a channel, so closing
+//     the channel terminates it
+//   - straight-line bodies: no loops at all means the goroutine runs to
+//     completion on its own (it may still block on a channel — that is
+//     a send/receive pairing the caller owns, not an unbounded loop)
+//
+// Everything else — unbounded `for {}` loops with no cancellation,
+// goroutines running unresolvable or external functions — is a leak
+// waiting for the daemon to restart.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoLeak is the typed analyzer instance.
+var GoLeak = &TypedAnalyzer{
+	Name: "goleak",
+	Doc:  "library goroutine with no cancellation path (ctx.Done, WaitGroup, or closable work channel)",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(p *TypedPass) []Diagnostic {
+	// Library packages only: a main package's goroutines live exactly as
+	// long as the process.
+	if p.File.PkgName == "main" {
+		return nil
+	}
+	var out []Diagnostic
+	ast.Inspect(p.File.AST, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if d, leak := p.goLeakCheck(gs); leak {
+			out = append(out, d)
+		}
+		return true
+	})
+	return out
+}
+
+func (p *TypedPass) goLeakCheck(gs *ast.GoStmt) (Diagnostic, bool) {
+	body := p.goBody(gs)
+	if body == nil {
+		return p.Diag("goleak", gs.Go,
+			"goroutine target is not a module function; cannot verify a cancellation path (ctx.Done select, WaitGroup ownership, or closable work channel)",
+			""), true
+	}
+	if p.bodyHasCancellation(body) {
+		return Diagnostic{}, false
+	}
+	return p.Diag("goleak", gs.Go,
+		"goroutine has no cancellation path: add a ctx.Done() select, WaitGroup ownership, or loop over a closable work channel",
+		""), true
+}
+
+// goBody resolves the goroutine's body: a function literal directly, or
+// the declaration of a module function/method.
+func (p *TypedPass) goBody(gs *ast.GoStmt) *ast.BlockStmt {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	default:
+		if fn := p.Callee(gs.Call); fn != nil && p.typed != nil {
+			if decl := p.typed.FuncDecl(fn); decl != nil {
+				return decl.Body
+			}
+		}
+	}
+	return nil
+}
+
+// bodyHasCancellation applies the termination-contract rules to a
+// goroutine body.
+func (p *TypedPass) bodyHasCancellation(body *ast.BlockStmt) bool {
+	hasLoop := false
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			hasLoop = true
+		case *ast.RangeStmt:
+			hasLoop = true
+			if t := p.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					ok = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-ctx.Done(), bare or inside a select case.
+			if n.Op.String() == "<-" && p.isDoneCall(n.X) {
+				ok = true
+				return false
+			}
+		case *ast.CallExpr:
+			if p.CalleeName(n) == "(*sync.WaitGroup).Done" {
+				ok = true
+				return false
+			}
+		}
+		return true
+	})
+	if ok {
+		return true
+	}
+	// Straight-line bodies terminate on their own.
+	return !hasLoop
+}
+
+// isDoneCall matches a call to (context.Context).Done.
+func (p *TypedPass) isDoneCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return p.CalleeName(call) == "(context.Context).Done"
+}

@@ -160,11 +160,14 @@ func (f *File) suppressed(check string, line int) bool {
 
 // unusedDirectives returns a diagnostic for every directive that matched
 // nothing, so stale suppressions cannot linger after the underlying code
-// is fixed.
-func (f *File) unusedDirectives() []Diagnostic {
+// is fixed. Only directives for checks that actually ran are judged —
+// `autolint -checks globalrand` must not condemn every wallclock
+// suppression in the tree (ran[name] set; "*" directives are judged
+// whenever anything ran).
+func (f *File) unusedDirectives(ran map[string]bool) []Diagnostic {
 	var out []Diagnostic
 	for _, s := range f.suppressions {
-		if !s.used {
+		if !s.used && (s.check == "*" || ran[s.check]) {
 			out = append(out, Diagnostic{
 				Check: "autolint",
 				Pos:   token.Position{Filename: f.Filename, Line: s.line, Column: 1},
@@ -176,34 +179,11 @@ func (f *File) unusedDirectives() []Diagnostic {
 	return out
 }
 
-// Run applies every analyzer to every file in the module, filters
-// suppressed findings, and returns the rest sorted by position.
+// Run applies every syntactic analyzer to every file in the module,
+// filters suppressed findings, and returns the rest sorted by position.
+// It is RunAll without the typed tier.
 func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, pkg := range mod.Packages {
-		for _, f := range pkg.Files {
-			f.suppressions = nil
-			out = append(out, f.initDirectives()...)
-			for _, a := range analyzers {
-				for _, d := range a.Run(f) {
-					if !f.suppressed(a.Name, d.Pos.Line) {
-						out = append(out, d)
-					}
-				}
-			}
-			out = append(out, f.unusedDirectives()...)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		return a.Check < b.Check
-	})
+	out, _ := RunAll(mod, analyzers, nil)
 	return out
 }
 

@@ -89,8 +89,9 @@ func TestDroppedErrFixtures(t *testing.T) { runFixture(t, "droppederr", DroppedE
 func TestNakedGoFixtures(t *testing.T)    { runFixture(t, "nakedgo", NakedGo) }
 func TestHotAllocFixtures(t *testing.T)   { runFixture(t, "hotalloc", HotAlloc) }
 
-// TestRepoIsClean runs the full registry over the real module: the tree
-// must stay violation-free, with every deliberate exception annotated.
+// TestRepoIsClean runs the full registry — both tiers — over the real
+// module: the tree must stay violation-free, with every deliberate
+// exception annotated.
 func TestRepoIsClean(t *testing.T) {
 	root, err := FindModuleRoot(".")
 	if err != nil {
@@ -100,7 +101,10 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := Run(mod, All())
+	diags, err := RunAll(mod, All(), AllTyped())
+	if err != nil {
+		t.Fatalf("module must type-check: %v", err)
+	}
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}

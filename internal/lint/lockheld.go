@@ -1,0 +1,285 @@
+package lint
+
+// lockheld: a sync.Mutex / sync.RWMutex must not be held across a
+// blocking operation. Holding a lock across a channel op, a select, a
+// WaitGroup.Wait, an fsync, or an annotated-blocking call serializes
+// every other acquirer behind an unbounded wait — precisely the failure
+// mode that turns a shared study-store or scheduler lock into a
+// latency cliff under the concurrent daemon.
+//
+// The analysis is a forward may-held dataflow over the per-function
+// CFG: Lock/RLock adds the receiver (identified by its expression
+// text) to the held set, Unlock/RUnlock removes it, and any blocking
+// node reached with a non-empty held set is a finding. Deferred
+// unlocks intentionally do NOT clear the set — the lock stays held for
+// the rest of the body, which is the point.
+//
+// The blocking-call summary table is:
+//   - channel send / receive / select-without-default
+//   - time.Sleep, (*sync.WaitGroup).Wait, (*sync.Cond).Wait
+//   - any niladic method named Sync or SyncDir (fsync barriers), unless
+//     the enclosing function is itself named Sync or SyncDir (an
+//     implementation of the barrier is the barrier)
+//   - module functions annotated //autolint:blocking (see Module.BlockingFuncs)
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHeld is the typed analyzer instance.
+var LockHeld = &TypedAnalyzer{
+	Name: "lockheld",
+	Doc:  "mutex held across a blocking operation (channel op, select, Wait, fsync, //autolint:blocking call)",
+	Run:  runLockHeld,
+}
+
+// lockEvent is one ordered occurrence inside a CFG node.
+type lockEvent struct {
+	kind lockEventKind
+	recv string // lock receiver text for acquire/release
+	pos  token.Pos
+	desc string // human description for blocking events
+}
+
+type lockEventKind int
+
+const (
+	evAcquire lockEventKind = iota
+	evRelease
+	evBlocking
+)
+
+func runLockHeld(p *TypedPass) []Diagnostic {
+	var out []Diagnostic
+	p.funcs(func(name string, fn ast.Node, body *ast.BlockStmt) {
+		out = append(out, lockHeldFunc(p, name, fn)...)
+	})
+	return out
+}
+
+func lockHeldFunc(p *TypedPass, funcName string, fn ast.Node) []Diagnostic {
+	cfg := p.FuncCFG(fn)
+	// Per-block entry states: set of held receivers; meet is union.
+	entry := make([]map[string]bool, len(cfg.Blocks))
+	entry[0] = map[string]bool{}
+	work := []*Block{cfg.Entry()}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		state := copySet(entry[blk.Index])
+		for _, nd := range blk.Nodes {
+			for _, ev := range p.lockEvents(cfg, funcName, nd) {
+				switch ev.kind {
+				case evAcquire:
+					state[ev.recv] = true
+				case evRelease:
+					delete(state, ev.recv)
+				}
+			}
+		}
+		for _, s := range blk.Succs {
+			if mergeInto(&entry[s.Index], state) {
+				work = append(work, s)
+			}
+		}
+	}
+	// Reporting pass: replay each reachable block, flagging blocking
+	// events while held.
+	var out []Diagnostic
+	seen := map[string]bool{}
+	for _, blk := range cfg.Blocks {
+		if entry[blk.Index] == nil {
+			continue
+		}
+		state := copySet(entry[blk.Index])
+		for _, nd := range blk.Nodes {
+			for _, ev := range p.lockEvents(cfg, funcName, nd) {
+				switch ev.kind {
+				case evAcquire:
+					state[ev.recv] = true
+				case evRelease:
+					delete(state, ev.recv)
+				case evBlocking:
+					if len(state) == 0 {
+						continue
+					}
+					held := heldNames(state)
+					key := fmt.Sprintf("%d-%s", ev.pos, held)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					out = append(out, p.Diag("lockheld", ev.pos,
+						fmt.Sprintf("%s held across blocking %s; shrink the critical section or release before blocking", held, ev.desc),
+						""))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lockEvents extracts the ordered lock/blocking events from one CFG
+// node. Defer statements contribute no events: a deferred Unlock keeps
+// the lock held for the rest of the body, and a deferred call runs
+// outside the region being analyzed.
+func (p *TypedPass) lockEvents(cfg *CFG, funcName string, nd ast.Node) []lockEvent {
+	var evs []lockEvent
+	inspectShallow(nd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			return false
+		case *ast.GoStmt:
+			// The spawned body is a separate function; the spawn itself
+			// does not block. Arguments are still evaluated.
+			for _, arg := range n.Call.Args {
+				for _, e := range p.lockEvents(cfg, funcName, arg) {
+					evs = append(evs, e)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			if !cfg.IsCommClause(n) {
+				evs = append(evs, lockEvent{kind: evBlocking, pos: n.Arrow, desc: "channel send"})
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !p.insideCommClause(cfg, nd, n) {
+				evs = append(evs, lockEvent{kind: evBlocking, pos: n.OpPos, desc: "channel receive"})
+			}
+			return true
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				evs = append(evs, lockEvent{kind: evBlocking, pos: n.Select, desc: "select"})
+			}
+			return false
+		case *ast.RangeStmt:
+			if t := p.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					evs = append(evs, lockEvent{kind: evBlocking, pos: n.For, desc: "range over channel"})
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if ev, ok := p.callLockEvent(funcName, n); ok {
+				evs = append(evs, ev)
+			}
+			return true
+		}
+		return true
+	})
+	return evs
+}
+
+// insideCommClause reports whether a receive expression is the
+// communication of a select clause (the node itself is the comm stmt,
+// or the comm stmt wraps it directly).
+func (p *TypedPass) insideCommClause(cfg *CFG, blockNode ast.Node, recv *ast.UnaryExpr) bool {
+	if !cfg.IsCommClause(blockNode) {
+		return false
+	}
+	// The comm stmt is `<-ch`, `x := <-ch`, or `x = <-ch`; in each the
+	// receive is the clause's own operation.
+	return true
+}
+
+func (p *TypedPass) callLockEvent(funcName string, call *ast.CallExpr) (lockEvent, bool) {
+	fn := p.Callee(call)
+	if fn == nil {
+		return lockEvent{}, false
+	}
+	full := fn.FullName()
+	switch full {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		return lockEvent{kind: evAcquire, recv: recvText(call), pos: call.Pos()}, true
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		return lockEvent{kind: evRelease, recv: recvText(call), pos: call.Pos()}, true
+	case "time.Sleep":
+		return lockEvent{kind: evBlocking, pos: call.Pos(), desc: "call time.Sleep"}, true
+	case "(*sync.WaitGroup).Wait":
+		return lockEvent{kind: evBlocking, pos: call.Pos(), desc: "call WaitGroup.Wait"}, true
+	case "(*sync.Cond).Wait":
+		return lockEvent{kind: evBlocking, pos: call.Pos(), desc: "call Cond.Wait"}, true
+	}
+	name := fn.Name()
+	// fsync barriers: any niladic Sync/SyncDir method — except inside an
+	// implementation of one (errfs implements the FS contract in memory
+	// under its own lock; the implementation IS the barrier).
+	if (name == "Sync" || name == "SyncDir") && fn.Type().(*types.Signature).Recv() != nil {
+		if funcName != "Sync" && funcName != "SyncDir" {
+			return lockEvent{kind: evBlocking, pos: call.Pos(), desc: "call " + full + " (fsync barrier)"}, true
+		}
+		return lockEvent{}, false
+	}
+	// Module functions annotated //autolint:blocking.
+	if pkg := fn.Pkg(); pkg != nil && p.inModule(pkg.Path()) && p.File.Mod.BlockingFuncs[name] {
+		return lockEvent{kind: evBlocking, pos: call.Pos(), desc: "call " + full + " (//autolint:blocking)"}, true
+	}
+	return lockEvent{}, false
+}
+
+// inModule reports whether a package path belongs to the module under
+// analysis.
+func (p *TypedPass) inModule(path string) bool {
+	mp := p.File.Mod.Path
+	return path == mp || strings.HasPrefix(path, mp+"/")
+}
+
+// recvText renders the lock receiver (`s.mu` in `s.mu.Lock()`) for
+// identity comparison and messages.
+func recvText(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "lock"
+	}
+	return types.ExprString(sel.X)
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cs := range s.Body.List {
+		if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// mergeInto unions src into *dst, reporting whether *dst changed (nil
+// *dst means "not yet visited").
+func mergeInto(dst *map[string]bool, src map[string]bool) bool {
+	if *dst == nil {
+		*dst = copySet(src)
+		return true
+	}
+	changed := false
+	for k := range src {
+		if !(*dst)[k] {
+			(*dst)[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// heldNames renders a held set deterministically.
+func heldNames(s map[string]bool) string {
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}

@@ -25,7 +25,11 @@ type Package struct {
 // cheap, offline, and good enough for a repo-specific linter whose false
 // positives are silenced with an annotated //autolint:ignore.
 type Module struct {
-	Root     string
+	Root string
+	// Path is the module path from go.mod ("fixture.local" when the root
+	// has no go.mod, as analyzer fixtures do not). The typed tier resolves
+	// module-internal imports by matching this prefix.
+	Path     string
 	Fset     *token.FileSet
 	Packages []*Package
 
@@ -56,7 +60,21 @@ type Module struct {
 	// as go targets (a recover outside a defer does nothing).
 	RecoverFuncs   map[string]bool
 	RecoverHelpers map[string]bool
+	// BlockingFuncs holds names of module functions and methods annotated
+	// //autolint:blocking — part of the blocking-call summary table the
+	// lockheld analyzer consults: calling one while a mutex is held is a
+	// finding, exactly like a channel operation.
+	BlockingFuncs map[string]bool
 }
+
+// BlockingDirective marks a module function that can block indefinitely
+// (waits on a channel, a condition, or I/O with no deadline). The lockheld
+// analyzer treats calls to annotated functions as blocking operations. The
+// annotation is a doc comment line:
+//
+//	//autolint:blocking
+//	func (q *Queue) Drain() { ... }
+const BlockingDirective = "//autolint:blocking"
 
 // skipDir reports whether a directory should not be walked: VCS metadata,
 // vendored code, golden-file fixtures, and hidden directories.
@@ -89,6 +107,7 @@ func FindModuleRoot(dir string) (string, error) {
 func LoadModule(root string) (*Module, error) {
 	mod := &Module{
 		Root:           root,
+		Path:           modulePath(root),
 		Fset:           token.NewFileSet(),
 		ErrFuncs:       map[string]bool{},
 		NoErrFuncs:     map[string]bool{},
@@ -98,6 +117,7 @@ func LoadModule(root string) (*Module, error) {
 		NonMapFields:   map[string]bool{},
 		RecoverFuncs:   map[string]bool{},
 		RecoverHelpers: map[string]bool{},
+		BlockingFuncs:  map[string]bool{},
 	}
 	// Collect package directories first so load order is deterministic.
 	var dirs []string
@@ -132,6 +152,23 @@ func LoadModule(root string) (*Module, error) {
 	}
 	mod.buildIndexes()
 	return mod, nil
+}
+
+// modulePath reads the module path from root's go.mod. Fixture trees
+// written by tests have no go.mod; they get a stable placeholder path so
+// the typed tier can still classify imports as internal vs. stdlib.
+func modulePath(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "fixture.local"
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return "fixture.local"
 }
 
 // loadDir parses one directory's .go files into one or more Packages
@@ -255,6 +292,9 @@ func (m *Module) buildIndexes() {
 							m.RecoverHelpers[d.Name.Name] = true
 						}
 					}
+					if hasBlockingDirective(d.Doc) {
+						m.BlockingFuncs[d.Name.Name] = true
+					}
 					// CtxFuncs backs the ctxpass XContext-variant rule and
 					// must stay functions-only: a method named Run on some
 					// type would otherwise mask the trial.Run/RunContext
@@ -318,6 +358,20 @@ func (m *Module) indexResults(name string, ft *ast.FuncType) {
 		}
 	}
 	m.NoErrFuncs[name] = true
+}
+
+// hasBlockingDirective reports whether a function's doc comment carries
+// the //autolint:blocking annotation.
+func hasBlockingDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == BlockingDirective {
+			return true
+		}
+	}
+	return false
 }
 
 // isMapExpr reports whether a type expression is a map type, directly or

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestModulePath: go.mod supplies the module path; fixture trees without
+// one get the stable placeholder the typed tier keys internal-import
+// classification on.
+func TestModulePath(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"),
+		[]byte("// a comment\nmodule example.com/tuned\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "example.com/tuned" {
+		t.Errorf("Path = %q, want example.com/tuned", mod.Path)
+	}
+	if got := writeFixture(t, "package p\n").Path; got != "fixture.local" {
+		t.Errorf("no-go.mod Path = %q, want fixture.local", got)
+	}
+}
+
+// TestErrFuncAmbiguitySets: a name declared both with and without a
+// final error result lands in BOTH sets — that is the ambiguity signal
+// droppederr's bare-statement rule keys on. Interface method signatures
+// count as declarations.
+func TestErrFuncAmbiguitySets(t *testing.T) {
+	mod := writeFixture(t, `package p
+
+func Flush() error { return nil }
+
+type Sink struct{}
+
+// The method shares the name but drops the error: ambiguous.
+func (Sink) Flush() {}
+
+type Store interface {
+	// Interface signatures index too: Update is error-returning here
+	// and void nowhere, so it stays unambiguous.
+	Update(v int) error
+}
+
+func Reset() {}
+`)
+	for name, want := range map[string][2]bool{
+		"Flush":  {true, true},  // ambiguous: in both
+		"Update": {true, false}, // error-only
+		"Reset":  {false, true}, // void-only
+	} {
+		if got := [2]bool{mod.ErrFuncs[name], mod.NoErrFuncs[name]}; got != want {
+			t.Errorf("%s: (ErrFuncs, NoErrFuncs) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestMapFieldAmbiguitySets mirrors the same discipline for struct
+// fields: only names that are map-typed in every declaring struct count
+// as maps, including through a named map type.
+func TestMapFieldAmbiguitySets(t *testing.T) {
+	mod := writeFixture(t, `package p
+
+type Params map[string]float64
+
+type A struct {
+	Weights map[string]int
+	Tags    Params
+	Count   int
+}
+
+type B struct {
+	// Weights here is a slice: the name becomes ambiguous module-wide.
+	Weights []int
+}
+`)
+	if !mod.MapTypes["Params"] || !mod.MapTypes["p.Params"] {
+		t.Error("named map type Params must index bare and package-qualified")
+	}
+	for name, want := range map[string][2]bool{
+		"Weights": {true, true},  // ambiguous
+		"Tags":    {true, false}, // map via named type
+		"Count":   {false, true}, // never a map
+	} {
+		if got := [2]bool{mod.MapFields[name], mod.NonMapFields[name]}; got != want {
+			t.Errorf("%s: (MapFields, NonMapFields) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestBlockingFuncsIndex: only the exact //autolint:blocking doc-comment
+// line marks a function blocking; body comments and lookalikes do not.
+func TestBlockingFuncsIndex(t *testing.T) {
+	mod := writeFixture(t, `package p
+
+//autolint:blocking
+func Drain() {}
+
+// Waits is documented prose mentioning //autolint:blocking but the
+// directive must be its own comment line.
+func Prose() {}
+
+func Inline() {
+	//autolint:blocking
+}
+`)
+	var got []string
+	for name := range mod.BlockingFuncs {
+		got = append(got, name)
+	}
+	sort.Strings(got)
+	if len(got) != 1 || got[0] != "Drain" {
+		t.Errorf("BlockingFuncs = %v, want [Drain]", got)
+	}
+}
+
+// TestMalformedDirectiveEdgeCases: every under-specified ignore form is
+// itself a diagnostic — a suppression must always carry a check and a
+// reason.
+func TestMalformedDirectiveEdgeCases(t *testing.T) {
+	cases := []struct {
+		name, directive string
+		wantMalformed   bool
+	}{
+		{"bare", "//autolint:ignore", true},
+		{"check only", "//autolint:ignore wallclock", true},
+		{"check and spaces", "//autolint:ignore wallclock   ", true},
+		{"wildcard without reason", "//autolint:ignore *", true},
+		{"well formed", "//autolint:ignore wallclock backoff is wall time", false},
+		{"wildcard with reason", "//autolint:ignore * generated file", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mod := writeFixture(t, "package p\n\nfunc f() {\n\t"+tc.directive+"\n\t_ = 1\n}\n")
+			diags := Run(mod, nil)
+			malformed := false
+			for _, d := range diags {
+				if strings.Contains(d.Message, "malformed") {
+					malformed = true
+				}
+			}
+			if malformed != tc.wantMalformed {
+				t.Errorf("%q: malformed = %v, want %v (diags %v)", tc.directive, malformed, tc.wantMalformed, diags)
+			}
+		})
+	}
+}
+
+// TestWildcardDirectiveSuppressesAnyCheck: `*` silences every analyzer
+// on the covered lines, and counts as used by any finding.
+func TestWildcardDirectiveSuppressesAnyCheck(t *testing.T) {
+	mod := writeFixture(t, `package p
+
+import "math/rand"
+
+func f() int {
+	//autolint:ignore * seeded fixture data, determinism does not apply
+	return rand.Intn(3)
+}
+`)
+	if diags := Run(mod, All()); len(diags) != 0 {
+		t.Fatalf("wildcard suppression leaked: %v", diags)
+	}
+}
+
+// TestLoadModuleSkipsNestedTestdata: fixture trees under testdata must
+// not leak into the enclosing module's packages or indexes.
+func TestLoadModuleSkipsNestedTestdata(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "testdata"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "testdata", "g.go"),
+		[]byte("package fixture\n\nfunc Hidden() error { return nil }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Packages) != 1 || mod.Packages[0].Name != "p" {
+		t.Fatalf("Packages = %v, want just p", mod.Packages)
+	}
+	if mod.ErrFuncs["Hidden"] {
+		t.Error("testdata declarations leaked into the module index")
+	}
+}

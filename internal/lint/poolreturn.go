@@ -1,0 +1,156 @@
+package lint
+
+// poolreturn: every sync.Pool.Get must be matched by a Put — the
+// zero-alloc discipline from PR 5 only holds while checked-out
+// workspaces actually return to the pool. Two rules per Get:
+//
+//	(1) every path from the Get to a normal return passes a Put
+//	    (paths ending in panic/os.Exit are exempt from this rule), and
+//	(2) if the Put is not deferred, no function call may sit between
+//	    the Get and the Put: a panic inside that call unwinds past the
+//	    Put and leaks the object. `defer pool.Put(x)` (directly or in
+//	    a deferred closure) is the fix — in Go 1.24 an open-coded
+//	    defer costs zero allocations, so the hot paths stay hot.
+
+import (
+	"go/ast"
+)
+
+// PoolReturn is the typed analyzer instance.
+var PoolReturn = &TypedAnalyzer{
+	Name: "poolreturn",
+	Doc:  "sync.Pool.Get must reach Put on all non-panicking paths, and panic-unsafe (non-deferred) Put placement is flagged",
+	Run:  runPoolReturn,
+}
+
+func runPoolReturn(p *TypedPass) []Diagnostic {
+	var out []Diagnostic
+	p.funcs(func(name string, fn ast.Node, body *ast.BlockStmt) {
+		cfg := p.FuncCFG(fn)
+		for _, blk := range cfg.Blocks {
+			for _, nd := range blk.Nodes {
+				inspectShallow(nd, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if p.CalleeName(call) != "(*sync.Pool).Get" {
+						return true
+					}
+					out = append(out, p.poolGetCheck(cfg, call, nd)...)
+					return true
+				})
+			}
+		}
+	})
+	return out
+}
+
+// isPutNode matches a node containing a (*sync.Pool).Put call; defer
+// statements are searched in full depth, so both `defer pool.Put(x)`
+// and `defer func() { pool.Put(x) }()` count.
+func (p *TypedPass) isPutNode(n ast.Node) bool {
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		return p.containsPut(ds)
+	}
+	c, ok := n.(*ast.CallExpr)
+	return ok && p.CalleeName(c) == "(*sync.Pool).Put"
+}
+
+// containsPut deep-searches a subtree (crossing function literals) for
+// a Put call.
+func (p *TypedPass) containsPut(root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && p.CalleeName(c) == "(*sync.Pool).Put" {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func (p *TypedPass) poolGetCheck(cfg *CFG, get *ast.CallExpr, getNode ast.Node) []Diagnostic {
+	var out []Diagnostic
+	// Rule 1: Put on every normal-return path.
+	if !cfg.AllReturnsPass(get, p.isPutNode) {
+		out = append(out, p.Diag("poolreturn", get.Pos(),
+			"sync.Pool.Get is not matched by a Put on every return path: the object leaks and the pool refills from the heap",
+			"defer pool.Put(x) immediately after the Get"))
+		return out
+	}
+	// Rule 2: panic safety. A deferred Put reachable from the Get covers
+	// every unwind; without one, any call between Get and Put leaks on
+	// panic.
+	deferredPut := func(m ast.Node) bool {
+		ds, ok := m.(*ast.DeferStmt)
+		return ok && p.containsPut(ds)
+	}
+	if nodeMatches(getNode, deferredPut) || cfg.ReachesForward(get, deferredPut) {
+		return out
+	}
+	if witness := p.callBetweenGetAndPut(cfg, get); witness != nil {
+		out = append(out, p.Diag("poolreturn", get.Pos(),
+			"Put is not deferred and a function call sits between Get and Put: a panic in between leaks the pooled object",
+			"defer pool.Put(x) immediately after the Get (an open-coded defer allocates nothing)"))
+	}
+	return out
+}
+
+// callBetweenGetAndPut walks forward from the Get, stopping each path
+// at its first Put, and returns a call expression encountered strictly
+// in between (nil if none).
+func (p *TypedPass) callBetweenGetAndPut(cfg *CFG, get *ast.CallExpr) *ast.CallExpr {
+	gblk, gidx := cfg.position(get)
+	if gblk == nil {
+		return nil
+	}
+	var witness *ast.CallExpr
+	scanNode := func(nd ast.Node) (stop bool) {
+		if p.isPutNode(nd) {
+			return true
+		}
+		inspectShallow(nd, func(n ast.Node) bool {
+			if witness != nil {
+				return false
+			}
+			if c, ok := n.(*ast.CallExpr); ok && c != get {
+				name := p.CalleeName(c)
+				if name == "(*sync.Pool).Put" {
+					return true
+				}
+				if p.BuiltinName(c) != "" {
+					return true
+				}
+				witness = c
+				return false
+			}
+			return true
+		})
+		return false
+	}
+	seen := map[*Block]bool{}
+	var walk func(b *Block, from int)
+	walk = func(b *Block, from int) {
+		if witness != nil {
+			return
+		}
+		for i := from; i < len(b.Nodes); i++ {
+			if scanNode(b.Nodes[i]) {
+				return
+			}
+			if witness != nil {
+				return
+			}
+		}
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				walk(s, 0)
+			}
+		}
+	}
+	walk(gblk, gidx+1)
+	return witness
+}

@@ -1,0 +1,31 @@
+package p
+
+import "fmt"
+
+func SpinForever() {
+	go func() { // want goleak
+		for {
+		}
+	}()
+}
+
+func PollForever(stop *bool) {
+	go func() { // want goleak
+		for !*stop {
+		}
+	}()
+}
+
+func ExternalTarget() {
+	go fmt.Println("fire and forget") // want goleak
+}
+
+func pump(in, out chan int) {
+	for {
+		out <- <-in
+	}
+}
+
+func NamedLeak(in, out chan int) {
+	go pump(in, out) // want goleak
+}

@@ -1,0 +1,52 @@
+package p
+
+import (
+	"context"
+	"sync"
+)
+
+func WaitGroupOwned(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+func CtxCancelled(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+func RangeWorker(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+func OneShotSend(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+func namedWorker(jobs chan int) {
+	for range jobs {
+	}
+}
+
+func NamedModuleTarget(jobs chan int) {
+	go namedWorker(jobs)
+}

@@ -1,0 +1,9 @@
+package p
+
+func Sanctioned() {
+	//autolint:ignore goleak metrics flusher runs for the process lifetime by design
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,77 @@
+package p
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type Q struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	f  *os.File
+	wg sync.WaitGroup
+}
+
+func (q *Q) SendLocked(v int) {
+	q.mu.Lock()
+	q.ch <- v // want lockheld
+	q.mu.Unlock()
+}
+
+func (q *Q) RecvDeferred() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want lockheld
+}
+
+func (q *Q) SleepUnderRLock() {
+	q.rw.RLock()
+	time.Sleep(time.Millisecond) // want lockheld
+	q.rw.RUnlock()
+}
+
+func (q *Q) FsyncLocked() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.f.Sync() // want lockheld
+}
+
+func (q *Q) SelectLocked() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want lockheld
+	case v := <-q.ch:
+		_ = v
+	case q.ch <- 1:
+	}
+}
+
+func (q *Q) WaitLocked() {
+	q.mu.Lock()
+	q.wg.Wait() // want lockheld
+	q.mu.Unlock()
+}
+
+// drainAll is a module function that blocks until its channel closes.
+//
+//autolint:blocking
+func drainAll(ch chan int) {
+	for range ch {
+	}
+}
+
+func (q *Q) DrainLocked() {
+	q.mu.Lock()
+	drainAll(q.ch) // want lockheld
+	q.mu.Unlock()
+}
+
+func (q *Q) RangeLocked() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for v := range q.ch { // want lockheld
+		_ = v
+	}
+}

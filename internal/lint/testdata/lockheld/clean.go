@@ -1,0 +1,50 @@
+package p
+
+func (q *Q) UnlockBeforeSend(v int) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+func (q *Q) NonBlockingSelect() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case v := <-q.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func (q *Q) ShortCriticalSection() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return 1
+}
+
+func (q *Q) ReleaseOnBranch(b bool) {
+	q.mu.Lock()
+	if b {
+		q.mu.Unlock()
+		q.ch <- 1
+		return
+	}
+	q.mu.Unlock()
+}
+
+// Sync implements a durability barrier; calling the inner barrier under
+// the lock is the implementation, not a violation.
+func (q *Q) Sync() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.f.Sync()
+}
+
+func (q *Q) SpawnIsNotBlocking() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		<-q.ch
+	}()
+}

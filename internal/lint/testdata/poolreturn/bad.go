@@ -1,0 +1,31 @@
+package p
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+type buf struct{ b []byte }
+
+func touch(b *buf) {}
+
+func fill(b *buf) error { return nil }
+
+func LeakOnErrorPath() error {
+	b := pool.Get().(*buf) // want poolreturn
+	if err := fill(b); err != nil {
+		return err
+	}
+	pool.Put(b)
+	return nil
+}
+
+func NeverReturned() *buf {
+	b := pool.Get().(*buf) // want poolreturn
+	return b
+}
+
+func PanicUnsafePut() {
+	b := pool.Get().(*buf) // want poolreturn
+	touch(b)
+	pool.Put(b)
+}

@@ -1,0 +1,32 @@
+package p
+
+func DeferredPut() {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	touch(b)
+}
+
+func DeferredClosurePut() {
+	b := pool.Get().(*buf)
+	defer func() {
+		b.b = b.b[:0]
+		pool.Put(b)
+	}()
+	touch(b)
+}
+
+func StraightLineNoCalls() {
+	b := pool.Get().(*buf)
+	b.b = b.b[:0]
+	pool.Put(b)
+}
+
+func PutOnEveryBranch(n int) {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	if n > 0 {
+		touch(b)
+		return
+	}
+	touch(b)
+}

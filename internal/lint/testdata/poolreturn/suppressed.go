@@ -1,0 +1,7 @@
+package p
+
+func OwnershipTransfer() *buf {
+	//autolint:ignore poolreturn ownership transfers to the caller, which Puts after use
+	b := pool.Get().(*buf)
+	return b
+}

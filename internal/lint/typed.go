@@ -1,0 +1,479 @@
+package lint
+
+// The typed tier. The syntactic analyzers (lint.go) work from name
+// indexes because the module is vendorless and offline — but "offline"
+// does not rule out go/types: the compiler's type checker and the
+// "source" importer both live in the standard library, and GOROOT/src is
+// in the image. This file runs go/types over every package in the
+// module, resolving module-internal imports from the already-parsed
+// Module ASTs and stdlib imports through a shared source importer, and
+// exposes the result to dataflow analyzers (lockheld, goleak,
+// fsyncbarrier, poolreturn) through TypedPass.
+//
+// Test files are excluded from type checking: external _test packages
+// would split a directory into two type-checking units, and none of the
+// typed invariants (lock discipline, fsync barriers, pool hygiene)
+// apply to test-only code paths.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TypedAnalyzer is one named check that needs type information and
+// control flow. Run receives one file's pass and returns raw findings;
+// the driver applies suppression filtering afterwards, exactly as for
+// syntactic analyzers.
+type TypedAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *TypedPass) []Diagnostic
+}
+
+// TypedPass is the per-file view handed to a TypedAnalyzer: the parsed
+// file, the type-checked package it belongs to, the shared type info,
+// and a cache of per-function control-flow graphs.
+type TypedPass struct {
+	File *File
+	Pkg  *types.Package
+	Info *types.Info
+
+	typed *TypedModule
+	cfgs  map[ast.Node]*CFG
+}
+
+// TypedModule is the result of type-checking every package in a Module:
+// one shared Info (its maps are keyed by AST node, so packages cannot
+// collide), the types.Package per loaded Package, and the first type
+// error per failing package.
+type TypedModule struct {
+	Mod  *Module
+	Info *types.Info
+	// Pkgs maps each loaded Package to its type-checked form. Packages
+	// that failed to type-check still appear (go/types returns a partial
+	// package) alongside an entry in Errs.
+	Pkgs map[*Package]*types.Package
+	Errs []error
+
+	funcDeclOnce sync.Once
+	funcDecls    map[*types.Func]*ast.FuncDecl
+}
+
+// typeCheckState drives one TypeCheck run; it implements types.Importer
+// so module-internal imports recurse into sibling packages while stdlib
+// imports delegate to the shared source importer.
+type typeCheckState struct {
+	mod        *Module
+	tm         *TypedModule
+	byImport   map[string]*Package // import path -> importable package
+	done       map[*Package]*types.Package
+	inProgress map[*Package]bool
+}
+
+// stdImporter is the process-global stdlib importer. Type-checking the
+// standard library from source costs a few hundred milliseconds per
+// package tree, so the cache must survive across LoadModule calls (the
+// test suite type-checks dozens of fixture modules that all import sync
+// and os). srcimporter is not safe for concurrent use; the mutex
+// serializes it.
+var stdImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func stdImport(path string) (*types.Package, error) {
+	stdImporter.mu.Lock()
+	defer stdImporter.mu.Unlock()
+	if stdImporter.imp == nil {
+		// The fset is private to the importer: stdlib positions are never
+		// reported, only module positions are.
+		stdImporter.imp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	}
+	return stdImporter.imp.Import(path)
+}
+
+// TypeCheck runs go/types over every package in the module. It always
+// returns a usable TypedModule; per-package failures are collected in
+// Errs and the failing packages carry whatever partial information the
+// checker produced.
+func (m *Module) TypeCheck() *TypedModule {
+	tm := &TypedModule{
+		Mod: m,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		},
+		Pkgs: map[*Package]*types.Package{},
+	}
+	st := &typeCheckState{
+		mod:        m,
+		tm:         tm,
+		byImport:   map[string]*Package{},
+		done:       map[*Package]*types.Package{},
+		inProgress: map[*Package]bool{},
+	}
+	for _, pkg := range m.Packages {
+		if pkg.Name == "main" || strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		path := m.Path
+		if pkg.Path != "." {
+			path = m.Path + "/" + pkg.Path
+		}
+		// First importable package in a directory wins; loadDir emits
+		// deterministic order, and real layouts have exactly one.
+		if _, ok := st.byImport[path]; !ok {
+			st.byImport[path] = pkg
+		}
+	}
+	for _, pkg := range m.Packages {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		st.check(pkg)
+	}
+	return tm
+}
+
+// Import implements types.Importer: module-internal paths resolve
+// against the Module's parsed packages, "unsafe" is the magic package,
+// and everything else is assumed to be stdlib.
+func (st *typeCheckState) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if rel, ok := st.moduleRel(path); ok {
+		pkg, found := st.byImport[path]
+		if !found {
+			return nil, fmt.Errorf("lint: import %q: no package at %s in module", path, rel)
+		}
+		if st.inProgress[pkg] {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+		tpkg := st.check(pkg)
+		if tpkg == nil {
+			return nil, fmt.Errorf("lint: import %q: package failed to type-check", path)
+		}
+		return tpkg, nil
+	}
+	return stdImport(path)
+}
+
+// moduleRel splits a module-internal import path into its
+// module-relative directory, reporting whether the path is internal.
+func (st *typeCheckState) moduleRel(path string) (string, bool) {
+	if path == st.mod.Path {
+		return ".", true
+	}
+	if rel, ok := strings.CutPrefix(path, st.mod.Path+"/"); ok {
+		return rel, true
+	}
+	return "", false
+}
+
+// check type-checks one package (memoized), recording results and the
+// first error into the TypedModule.
+func (st *typeCheckState) check(pkg *Package) *types.Package {
+	if tpkg, ok := st.done[pkg]; ok {
+		return tpkg
+	}
+	st.inProgress[pkg] = true
+	defer delete(st.inProgress, pkg)
+
+	var files []*ast.File
+	for _, f := range pkg.Files {
+		if !f.IsTest {
+			files = append(files, f.AST)
+		}
+	}
+	path := st.mod.Path
+	if pkg.Path != "." {
+		path = st.mod.Path + "/" + pkg.Path
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: st,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+		FakeImportC: true,
+	}
+	tpkg, err := conf.Check(path, st.mod.Fset, files, st.tm.Info)
+	if firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		st.tm.Errs = append(st.tm.Errs, fmt.Errorf("lint: type-check %s: %w", pkg.Path, firstErr))
+		tpkg = nil
+	}
+	st.done[pkg] = tpkg
+	if tpkg != nil {
+		st.tm.Pkgs[pkg] = tpkg
+	}
+	return tpkg
+}
+
+// Err returns the combined type-check failure, or nil if every package
+// checked cleanly.
+func (tm *TypedModule) Err() error {
+	if len(tm.Errs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(tm.Errs))
+	for i, e := range tm.Errs {
+		msgs[i] = e.Error()
+	}
+	return fmt.Errorf("%s", strings.Join(msgs, "\n"))
+}
+
+// FuncDecl resolves a module function object back to its declaration
+// (nil for stdlib functions, methods of external types, and funcs whose
+// package failed to check). goleak uses this to analyze `go helper()`
+// bodies.
+func (tm *TypedModule) FuncDecl(fn *types.Func) *ast.FuncDecl {
+	tm.funcDeclOnce.Do(func() {
+		tm.funcDecls = map[*types.Func]*ast.FuncDecl{}
+		for _, pkg := range tm.Mod.Packages {
+			for _, f := range pkg.Files {
+				if f.IsTest {
+					continue
+				}
+				for _, decl := range f.AST.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if obj, ok := tm.Info.Defs[fd.Name].(*types.Func); ok {
+						tm.funcDecls[obj] = fd
+					}
+				}
+			}
+		}
+	})
+	return tm.funcDecls[fn]
+}
+
+// FuncCFG builds (and caches) the control-flow graph for a function
+// declaration or literal.
+func (p *TypedPass) FuncCFG(fn ast.Node) *CFG {
+	if p.cfgs == nil {
+		p.cfgs = map[ast.Node]*CFG{}
+	}
+	if c, ok := p.cfgs[fn]; ok {
+		return c
+	}
+	var body *ast.BlockStmt
+	switch n := fn.(type) {
+	case *ast.FuncDecl:
+		body = n.Body
+	case *ast.FuncLit:
+		body = n.Body
+	}
+	c := BuildCFG(body)
+	p.cfgs[fn] = c
+	return c
+}
+
+// Diag builds a Diagnostic anchored at pos.
+func (p *TypedPass) Diag(check string, pos token.Pos, msg, suggestion string) Diagnostic {
+	return p.File.Diag(check, pos, msg, suggestion)
+}
+
+// Callee resolves a call expression to its function object, if any
+// (nil for builtins, conversions, and calls of function-typed values).
+func (p *TypedPass) Callee(call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[f]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := p.Info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// CalleeName returns the fully qualified callee name of a call —
+// "time.Sleep", "(*sync.Mutex).Lock", "(io.Closer).Close" — or "" when
+// the callee is not a named function or method.
+func (p *TypedPass) CalleeName(call *ast.CallExpr) string {
+	if fn := p.Callee(call); fn != nil {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// BuiltinName returns the name of the builtin a call invokes ("panic",
+// "close", ...), or "".
+func (p *TypedPass) BuiltinName(call *ast.CallExpr) string {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			return b.Name()
+		}
+	}
+	return ""
+}
+
+// TypeOf returns the type of an expression (nil if unknown).
+func (p *TypedPass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// IsContext reports whether an expression has type context.Context.
+func (p *TypedPass) IsContext(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// funcDecls yields every function declaration and literal in the file
+// with a body, pairing literals with their enclosing declaration name.
+func (p *TypedPass) funcs(visit func(name string, fn ast.Node, body *ast.BlockStmt)) {
+	for _, decl := range p.File.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Name.Name, fd, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				visit(fd.Name.Name, lit, lit.Body)
+			}
+			return true
+		})
+	}
+}
+
+// AllTyped returns the typed-tier analyzer registry in a stable order.
+func AllTyped() []*TypedAnalyzer {
+	return []*TypedAnalyzer{
+		LockHeld,
+		GoLeak,
+		FsyncBarrier,
+		PoolReturn,
+	}
+}
+
+// SelectAnalyzers resolves a comma-separated list of analyzer names
+// across both tiers. "" and "all" select every syntactic analyzer plus,
+// when withTyped is set, every typed analyzer. Explicit names always
+// resolve against both registries regardless of withTyped — asking for
+// a typed analyzer by name is an unambiguous opt-in.
+func SelectAnalyzers(names string, withTyped bool) ([]*Analyzer, []*TypedAnalyzer, error) {
+	if names == "" || names == "all" {
+		if withTyped {
+			return All(), AllTyped(), nil
+		}
+		return All(), nil, nil
+	}
+	syn := map[string]*Analyzer{}
+	for _, a := range All() {
+		syn[a.Name] = a
+	}
+	typ := map[string]*TypedAnalyzer{}
+	for _, a := range AllTyped() {
+		typ[a.Name] = a
+	}
+	var outS []*Analyzer
+	var outT []*TypedAnalyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if a, ok := syn[n]; ok {
+			outS = append(outS, a)
+			continue
+		}
+		if a, ok := typ[n]; ok {
+			outT = append(outT, a)
+			continue
+		}
+		return nil, nil, fmt.Errorf("lint: unknown analyzer %q", n)
+	}
+	return outS, outT, nil
+}
+
+// RunAll applies both analyzer tiers to the module with one shared
+// directive pass, so a //autolint:ignore for a typed check is honored
+// (and counted used) even though the tiers run separately. The typed
+// tier type-checks the module once; a type-check failure is returned as
+// err with the syntactic findings still reported — the caller decides
+// whether that is fatal (cmd/autolint exits 2, like a parse failure).
+func RunAll(mod *Module, analyzers []*Analyzer, typed []*TypedAnalyzer) ([]Diagnostic, error) {
+	var tm *TypedModule
+	if len(typed) > 0 {
+		tm = mod.TypeCheck()
+	}
+	ran := map[string]bool{"autolint": true}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, a := range typed {
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			f.suppressions = nil
+			out = append(out, f.initDirectives()...)
+			for _, a := range analyzers {
+				for _, d := range a.Run(f) {
+					if !f.suppressed(a.Name, d.Pos.Line) {
+						out = append(out, d)
+					}
+				}
+			}
+			if tm != nil && !f.IsTest {
+				if tpkg, ok := tm.Pkgs[pkg]; ok {
+					pass := &TypedPass{File: f, Pkg: tpkg, Info: tm.Info, typed: tm}
+					for _, a := range typed {
+						for _, d := range a.Run(pass) {
+							if !f.suppressed(a.Name, d.Pos.Line) {
+								out = append(out, d)
+							}
+						}
+					}
+				}
+			}
+			out = append(out, f.unusedDirectives(ran)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+	var err error
+	if tm != nil {
+		err = tm.Err()
+	}
+	return out, err
+}

@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// runTypedFixture loads testdata/<name> as its own module, runs the
+// typed analyzer (type-checking the fixture), and requires findings to
+// match the want comments exactly.
+func runTypedFixture(t *testing.T, name string, a *TypedAnalyzer) {
+	t.Helper()
+	mod, err := LoadModule(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAll(mod, nil, []*TypedAnalyzer{a})
+	if err != nil {
+		t.Fatalf("fixture must type-check: %v", err)
+	}
+	var got []want
+	for _, d := range diags {
+		got = append(got, want{file: d.Pos.Filename, line: d.Pos.Line, check: d.Check})
+	}
+	wants := collectWants(t, mod)
+	sortWants(got)
+	sortWants(wants)
+	if len(got) != len(wants) {
+		t.Fatalf("diagnostics mismatch:\n got: %v\nwant: %v", got, wants)
+	}
+	for i := range got {
+		if got[i] != wants[i] {
+			t.Errorf("diagnostic %d: got %v, want %v", i, got[i], wants[i])
+		}
+	}
+}
+
+func TestLockHeldFixtures(t *testing.T)     { runTypedFixture(t, "lockheld", LockHeld) }
+func TestGoLeakFixtures(t *testing.T)       { runTypedFixture(t, "goleak", GoLeak) }
+func TestFsyncBarrierFixtures(t *testing.T) { runTypedFixture(t, "fsyncbarrier", FsyncBarrier) }
+func TestPoolReturnFixtures(t *testing.T)   { runTypedFixture(t, "poolreturn", PoolReturn) }
+
+// TestRepoTypeChecks: the whole module must type-check through the
+// in-module loader + source importer, and fast enough to ride in make
+// check (the acceptance bound is 10s; allow slack for cold stdlib
+// type-checking under -race).
+func TestRepoTypeChecks(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	tm := mod.TypeCheck()
+	elapsed := time.Since(start)
+	if err := tm.Err(); err != nil {
+		t.Fatalf("module does not type-check: %v", err)
+	}
+	if len(tm.Pkgs) == 0 {
+		t.Fatal("no packages type-checked")
+	}
+	t.Logf("type-checked %d packages in %v", len(tm.Pkgs), elapsed)
+	if elapsed > 30*time.Second {
+		t.Fatalf("typed tier took %v; the acceptance bound is 10s warm", elapsed)
+	}
+}
+
+// TestSelectAnalyzers pins the cross-tier name resolution contract.
+func TestSelectAnalyzers(t *testing.T) {
+	syn, typ, err := SelectAnalyzers("all", true)
+	if err != nil || len(syn) != len(All()) || len(typ) != len(AllTyped()) {
+		t.Fatalf("all+typed: %d/%d analyzers, err %v", len(syn), len(typ), err)
+	}
+	syn, typ, err = SelectAnalyzers("", false)
+	if err != nil || len(syn) != len(All()) || len(typ) != 0 {
+		t.Fatalf("all-typed: %d/%d analyzers, err %v", len(syn), len(typ), err)
+	}
+	// Naming a typed analyzer is an opt-in regardless of withTyped.
+	syn, typ, err = SelectAnalyzers("globalrand,lockheld", false)
+	if err != nil || len(syn) != 1 || len(typ) != 1 || typ[0].Name != "lockheld" {
+		t.Fatalf("mixed names: %v/%v, err %v", syn, typ, err)
+	}
+	if _, _, err := SelectAnalyzers("nosuchcheck", true); err == nil {
+		t.Fatal("unknown analyzer must error")
+	}
+}
+
+// TestTypedSuppressionShared: a directive for a typed check must be
+// honored (and counted used) by the shared directive pass, even when
+// syntactic analyzers run in the same invocation.
+func TestTypedSuppressionShared(t *testing.T) {
+	mod := writeFixture(t, `package p
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (t *T) Recv() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//autolint:ignore lockheld handoff protocol requires holding the lock here
+	return <-t.ch
+}
+`)
+	diags, err := RunAll(mod, All(), AllTyped())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("suppressed typed finding leaked (or directive reported unused): %v", diags)
+	}
+}
+
+// TestTypeErrorSurfaced: a module that does not type-check reports the
+// failure through RunAll's error (cmd/autolint exits 2 on it).
+func TestTypeErrorSurfaced(t *testing.T) {
+	mod := writeFixture(t, `package p
+
+func f() int { return undefinedSymbol }
+`)
+	_, err := RunAll(mod, nil, AllTyped())
+	if err == nil {
+		t.Fatal("want a type-check error, got nil")
+	}
+}
+
+// cfgOf builds the CFG of the first function declaration in src.
+func cfgOf(t *testing.T, src string) (*CFG, *ast.FuncDecl) {
+	t.Helper()
+	mod := writeFixture(t, src)
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.AST.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					return BuildCFG(fd.Body), fd
+				}
+			}
+		}
+	}
+	t.Fatal("no function in fixture")
+	return nil, nil
+}
+
+// findCall locates the first call expression whose callee text ends in
+// name.
+func findCall(fd *ast.FuncDecl, name string) *ast.CallExpr {
+	var out *ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == name {
+				out = c
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isCallNamed(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := c.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+// TestCFGDominance exercises the dataflow helpers directly on branchy
+// shapes, independent of any analyzer.
+func TestCFGDominance(t *testing.T) {
+	const src = `package p
+
+func a()
+func b()
+func c()
+
+func f(x bool) {
+	a()
+	if x {
+		b()
+		return
+	}
+	c()
+}
+`
+	cfg, fd := cfgOf(t, src)
+	callB := findCall(fd, "b")
+	callC := findCall(fd, "c")
+	if !cfg.DominatedBy(callB, isCallNamed("a")) {
+		t.Error("a() should dominate b()")
+	}
+	if cfg.DominatedBy(callC, isCallNamed("b")) {
+		t.Error("b() must not dominate c(): the else path skips it")
+	}
+	if cfg.ReachesForward(callB, isCallNamed("b")) {
+		t.Error("a node must not reach itself strictly forward")
+	}
+	if cfg.ReachesForward(callB, isCallNamed("c")) {
+		t.Error("b() returns; it must not reach c()")
+	}
+}
+
+// TestCFGLoops: a call inside a loop does not dominate the loop exit;
+// a call before the loop does.
+func TestCFGLoops(t *testing.T) {
+	const src = `package p
+
+func a()
+func b()
+func c()
+
+func f(n int) {
+	a()
+	for i := 0; i < n; i++ {
+		b()
+	}
+	c()
+}
+`
+	cfg, fd := cfgOf(t, src)
+	callC := findCall(fd, "c")
+	if !cfg.DominatedBy(callC, isCallNamed("a")) {
+		t.Error("a() should dominate c()")
+	}
+	if cfg.DominatedBy(callC, isCallNamed("b")) {
+		t.Error("b() runs zero times when n==0; it must not dominate c()")
+	}
+	callA := findCall(fd, "a")
+	if !cfg.ReachesForward(callA, isCallNamed("b")) {
+		t.Error("a() should reach b() inside the loop")
+	}
+	if !cfg.AllReturnsPass(callA, isCallNamed("c")) {
+		t.Error("every return path after a() passes c()")
+	}
+}
+
+// TestCFGPanicPathsExempt: AllReturnsPass ignores paths that end in
+// panic.
+func TestCFGPanicPathsExempt(t *testing.T) {
+	const src = `package p
+
+func a()
+func release()
+
+func f(x bool) {
+	a()
+	if x {
+		panic("boom")
+	}
+	release()
+}
+`
+	cfg, fd := cfgOf(t, src)
+	callA := findCall(fd, "a")
+	if !cfg.AllReturnsPass(callA, isCallNamed("release")) {
+		t.Error("the panic path must be exempt; every normal return passes release()")
+	}
+}

@@ -1,0 +1,106 @@
+package studystore_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"autotune/internal/studystore"
+)
+
+// TestStoreConcurrentReadersWritersCompact hammers the two-lock
+// discipline: writers append (each fsync holds the write-ordering lock),
+// readers pound the index (which must never wait behind an fsync), and a
+// maintenance goroutine rotates and compacts throughout. Run under
+// -race this is the regression test for the wmu/mu split; afterwards a
+// reopen must replay the exact record set.
+func TestStoreConcurrentReadersWritersCompact(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := studystore.Open(dir, studystore.Options{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const perWriter = 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			study := fmt.Sprintf("study-%d", w)
+			for i := int64(0); i < perWriter; i++ {
+				if err := st.Append(rec(study, i)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			study := fmt.Sprintf("study-%d", r)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				recs := st.Records(study)
+				for i := 1; i < len(recs); i++ {
+					if recs[i-1].ID >= recs[i].ID {
+						t.Errorf("reader %d: unsorted snapshot", r)
+						return
+					}
+				}
+				st.Studies()
+				st.Stats()
+				st.Quarantine()
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			if err := st.Rotate(); err != nil {
+				t.Errorf("rotate: %v", err)
+				return
+			}
+			if err := st.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	stats := st.Stats()
+	if want := writers * perWriter; stats.Records != want {
+		t.Fatalf("Records = %d, want %d", stats.Records, want)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for w := 0; w < writers; w++ {
+		got := ids(st2.Records(fmt.Sprintf("study-%d", w)))
+		if len(got) != perWriter {
+			t.Fatalf("study-%d replayed %d records, want %d", w, len(got), perWriter)
+		}
+		for i, id := range got {
+			if id != int64(i) {
+				t.Fatalf("study-%d record %d has ID %d", w, i, id)
+			}
+		}
+	}
+}

@@ -95,7 +95,19 @@ type Stats struct {
 
 // Store is the embedded study store. All methods are safe for
 // concurrent use.
+//
+// Locking: two locks split the write barrier from the read path.
+// wmu orders the write path — it owns the active segment handle and is
+// held across Write/Sync/rotate/compact so the on-disk log is a serial
+// history; holding it across fsync IS the WAL barrier and is deliberate
+// (annotated where the lockheld analyzer fires). mu guards the
+// in-memory index and handle metadata and is never held across I/O, so
+// Records/Studies/Stats/Quarantine do not wait behind an fsync in
+// progress. Acquire wmu before mu, never the reverse. Fields guarded by
+// mu are written only while wmu is also held, so the write path may
+// read them under wmu alone.
 type Store struct {
+	wmu sync.Mutex
 	mu  sync.Mutex
 	fs  FS
 	dir string
@@ -103,17 +115,20 @@ type Store struct {
 	segBytes int64
 	readOnly bool
 
+	// Owned by wmu: the active segment and write-path state.
 	active     File
-	activeSeq  uint64
 	activeSize int64
-	liveSegs   map[uint64]bool
-	snapSeq    uint64
+	poison     error
+
+	// Guarded by mu (written under wmu+mu): index and metadata.
+	activeSeq uint64
+	liveSegs  map[uint64]bool
+	snapSeq   uint64
 
 	studies     map[string][]Record
 	seen        map[string]map[int64]bool
 	nrecords    int
 	quarantined []Quarantined
-	poison      error
 
 	appended, rotations, compactions int
 	tornTailBytes                    int64
@@ -490,8 +505,11 @@ func (s *Store) createSegment(seq uint64) error {
 		f.Close()
 		return fmt.Errorf("studystore: sync %s: %w", name, err)
 	}
-	s.active, s.activeSeq, s.activeSize = f, seq, headerSize
+	s.active, s.activeSize = f, headerSize
+	s.mu.Lock()
+	s.activeSeq = seq
 	s.liveSegs[seq] = true
+	s.mu.Unlock()
 	return nil
 }
 
@@ -518,11 +536,11 @@ func (s *Store) AppendBatch(recs []Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.readOnly {
 		return ErrReadOnly
 	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	if s.poison != nil {
 		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, s.poison)
 	}
@@ -543,19 +561,23 @@ func (s *Store) AppendBatch(recs []Record) error {
 		return s.poisonWith(fmt.Errorf("studystore: append %s: %w",
 			segName(s.activeSeq), writeErr(n, len(buf), werr)))
 	}
+	//autolint:ignore lockheld wmu is the WAL barrier: holding the write-ordering lock across fsync is the durability contract; index readers use mu and do not wait here
 	if serr := s.active.Sync(); serr != nil {
 		return s.poisonWith(fmt.Errorf("studystore: sync %s: %w", segName(s.activeSeq), serr))
 	}
 	s.activeSize += int64(len(buf))
+	s.mu.Lock()
 	for _, rec := range recs {
 		rec.Payload = append([]byte(nil), rec.Payload...)
 		s.addRecord(rec)
 	}
 	s.appended += len(recs)
+	s.mu.Unlock()
 	return nil
 }
 
-// poisonWith records the first failure and returns it.
+// poisonWith records the first failure and returns it. Caller holds
+// wmu (poison is write-path state).
 func (s *Store) poisonWith(err error) error {
 	if s.poison == nil {
 		s.poison = err
@@ -567,6 +589,7 @@ func (s *Store) poisonWith(err error) error {
 // seal frame + file fsync, close, create the successor (header fsync'd),
 // directory fsync. Each barrier completes before the next step, so a
 // crash at any point recovers to either the sealed or the fresh segment.
+// Caller holds wmu (and not mu).
 func (s *Store) rotateLocked() error {
 	seal := appendFrame(nil, kindSeal, nil)
 	if n, err := s.active.Write(seal); err != nil || n < len(seal) {
@@ -584,17 +607,19 @@ func (s *Store) rotateLocked() error {
 	if err := s.fs.SyncDir(s.dir); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.rotations++
+	s.mu.Unlock()
 	return nil
 }
 
 // Rotate seals the active segment and starts a fresh one.
 func (s *Store) Rotate() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.readOnly {
 		return ErrReadOnly
 	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	if s.poison != nil {
 		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, s.poison)
 	}
@@ -619,14 +644,15 @@ func (s *Store) Rotate() error {
 // run while quarantined bytes exist — destroying segments would silently
 // drop the damaged ranges.
 func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.readOnly {
 		return ErrReadOnly
 	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	if s.poison != nil {
 		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, s.poison)
 	}
+	// quarantined is fixed at Open; reading it without mu is safe.
 	if len(s.quarantined) > 0 {
 		return ErrQuarantined
 	}
@@ -646,23 +672,30 @@ func (s *Store) Compact() error {
 		if err := s.fs.RemoveFile(join(s.dir, segName(seq))); err != nil {
 			return s.poisonWith(fmt.Errorf("studystore: remove %s: %w", segName(seq), err))
 		}
+		s.mu.Lock()
 		delete(s.liveSegs, seq)
+		s.mu.Unlock()
 	}
 	if oldSnap > 0 && oldSnap < covered {
 		if err := s.fs.RemoveFile(join(s.dir, snapName(oldSnap))); err != nil {
 			return s.poisonWith(fmt.Errorf("studystore: remove %s: %w", snapName(oldSnap), err))
 		}
 	}
+	//autolint:ignore lockheld compaction is write-path work: wmu is held across the directory barrier by design; index readers use mu and do not wait here
 	if err := s.fs.SyncDir(s.dir); err != nil {
 		return s.poisonWith(err)
 	}
+	s.mu.Lock()
 	s.snapSeq = covered
 	s.compactions++
+	s.mu.Unlock()
 	return nil
 }
 
 // writeSnapshot writes, fsyncs, and atomically publishes the snapshot
-// covering all segments with seq <= covered.
+// covering all segments with seq <= covered. Caller holds wmu, which
+// excludes every index writer, so the record set is read without mu —
+// concurrent Records/Studies calls proceed while the snapshot syncs.
 func (s *Store) writeSnapshot(covered uint64) error {
 	tmpName := join(s.dir, fmt.Sprintf("snap-%016x.tmp", covered))
 	f, err := s.fs.Create(tmpName)
@@ -724,6 +757,8 @@ func (s *Store) Studies() []string {
 	return s.studiesLocked()
 }
 
+// studiesLocked lists the studies; the caller holds mu, or wmu (which
+// excludes every index writer).
 func (s *Store) studiesLocked() []string {
 	out := make([]string, 0, len(s.studies))
 	for study := range s.studies {
@@ -761,8 +796,8 @@ func (s *Store) Stats() Stats {
 // Close closes the active segment handle. Every acknowledged append is
 // already durable, so Close performs no flushing of its own.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	if s.active == nil {
 		return nil
 	}

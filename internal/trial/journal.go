@@ -92,6 +92,7 @@ func (j *Journal) Append(rec TrialRecord) error {
 		j.err = err
 		return fmt.Errorf("trial: append journal %s: %w", j.path, err)
 	}
+	//autolint:ignore lockheld single-file WAL: the journal lock IS the write-ordering barrier, so it is held across fsync by design (the journal has no separate read index to shield)
 	if err := j.f.Sync(); err != nil {
 		// The write reached the file but never hit a durability barrier:
 		// the record is in an ambiguous durable state and anything
