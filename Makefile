@@ -1,13 +1,16 @@
 GO ?= go
 
-.PHONY: help check vet build test race race-core bench profile soak crash crash-quick fmt fmt-check lint lint-fixtures incremental-default zero-alloc
+.PHONY: help check vet build test race race-core bench profile soak crash crash-quick fmt fmt-check lint lint-fixtures incremental-default zero-alloc serve loadtest serve-contract
 
 help:
 	@echo "Targets:"
 	@echo "  check               fmt-check + vet + lint + build + race-core + race + invariants"
 	@echo "  test                go test ./..."
 	@echo "  race                go test -race ./..."
-	@echo "  bench               quick experiment suite + perf gates (BENCH_4.json, BENCH_5.json, BENCH_6.json)"
+	@echo "  bench               quick experiment suite + perf gates (BENCH_4..7.json)"
+	@echo "  serve               run the tuning daemon locally (store: ./.autotuned; SIGTERM drains)"
+	@echo "  loadtest            full tuning-as-a-service load run against a fresh daemon (BENCH_7 shape)"
+	@echo "  serve-contract      service robustness tests: overload shedding, graceful drain, kill -9 recovery"
 	@echo "  profile             CPU/heap pprof of the multi-session benchmark (cpu.pprof, mem.pprof)"
 	@echo "  soak                long-running race soak of sched + trial"
 	@echo "  crash               full fault-injection torture of the study store (every fault point, every byte prefix)"
@@ -18,7 +21,25 @@ help:
 	@echo "  lint-fixtures       re-goldenize lint fixture outputs (requires UPDATE=1)"
 	@echo "  fmt / fmt-check     gofmt the tree / fail if gofmt is needed"
 
-check: fmt-check vet lint build race-core race incremental-default zero-alloc crash-quick
+check: fmt-check vet lint build race-core race incremental-default zero-alloc crash-quick serve-contract
+
+# Pin the service contract (PR 7 invariant): overload sheds with 429 +
+# Retry-After while /readyz flips, drain finishes in-flight work and
+# seals the log, and a kill -9'd daemon recovers every ack exactly once.
+serve-contract:
+	$(GO) test -race -count=1 -run 'Test(Overload|Drain|EndToEnd|CrashRecovery)' ./internal/server
+	$(GO) test -count=1 -run 'Test(KillDashNine|Sigterm)' ./cmd/autotuned
+
+# Run the daemon locally with a persistent store in ./.autotuned.
+# Ctrl-C / SIGTERM drains gracefully: in-flight requests finish and the
+# log is sealed, so the next start needs zero repair.
+serve:
+	$(GO) run ./cmd/autotuned -store .autotuned
+
+# Full-scale service load run (the BENCH_7 shape) without the gate, for
+# interactive tuning on this machine.
+loadtest:
+	$(GO) run ./cmd/bench -serve
 
 # Crash-torture the segmented study store (PR 6 invariant): kill the
 # store at every injected fault point and every byte prefix of the log,
@@ -80,6 +101,7 @@ bench:
 	$(GO) run ./cmd/bench -suggestbench -minspeedup 10 -out BENCH_4.json
 	$(GO) run ./cmd/bench -sessions -minspeedup 2 -minallocratio 10 -out BENCH_5.json
 	$(GO) run ./cmd/bench -replay -minreplay 100000 -out BENCH_6.json
+	$(GO) run ./cmd/bench -serve -minstudies 1000 -minsuggest 50000 -out BENCH_7.json
 	$(GO) test -bench 'Benchmark(GPPredict|BOSuggest|SpaceEncode)' -benchmem -run xxx .
 
 profile:

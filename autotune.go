@@ -41,6 +41,7 @@ import (
 	"autotune/internal/optimizer"
 	"autotune/internal/resilience"
 	"autotune/internal/sched"
+	"autotune/internal/server"
 	"autotune/internal/space"
 	"autotune/internal/trial"
 )
@@ -269,6 +270,53 @@ func NewActorCriticPolicy(s *Space, names []string, stateDim int, seed int64) (P
 // GP surrogate gates proposals to a region whose pessimistic predicted
 // loss stays within a margin of the incumbent.
 func NewSafeBOPolicy(s *Space, seed int64) Policy { return core.NewSafeBOPolicy(s, seed) }
+
+// Tuning-as-a-service types (internal/server): the autotuned daemon
+// multiplexes thousands of concurrent studies over HTTP+JSON with
+// exactly-once observes (fsynced before the ack, deduped by trial ID),
+// deterministic resume after kill -9, admission control with 429 +
+// Retry-After, and graceful drain on SIGTERM.
+type (
+	// Server is the tuning daemon: an http.Handler hosting the JSON API,
+	// created by NewServer and typically run via Serve.
+	Server = server.Server
+	// ServerOptions configures NewServer/Serve (store directory,
+	// admission limits, timeouts, default optimizer).
+	ServerOptions = server.Options
+	// Client is the typed HTTP client for the daemon's JSON API.
+	Client = server.Client
+	// StudySpec declares a study over the wire: optimizer name, seed, and
+	// the configuration space as ParamSpecs.
+	StudySpec = server.StudySpec
+	// ParamSpec is one parameter of a wire-declared space.
+	ParamSpec = server.ParamSpec
+	// SuggestedTrial is one (trial ID, config) pair from Client.Suggest.
+	SuggestedTrial = server.SuggestedTrial
+	// ServiceObservation reports one evaluated trial to the daemon; acked
+	// observations are durable and replay-safe.
+	ServiceObservation = server.Observation
+)
+
+// NewServer opens (or creates) the study store under
+// ServerOptions.StoreDir, recovers every persisted study, and returns the
+// daemon ready to mount as an http.Handler. Close (or Drain) seals the
+// store on the way out.
+var NewServer = server.New
+
+// NewServerClient returns a Client for an autotuned daemon's base URL.
+var NewServerClient = server.NewClient
+
+// Serve runs the tuning daemon on addr until ctx is cancelled — wire
+// SIGTERM to that — then drains gracefully: stop admitting, finish
+// in-flight requests, seal the study log, return nil. It is the
+// programmatic equivalent of the autotuned command.
+func Serve(ctx context.Context, addr string, opts ServerOptions) error {
+	s, err := server.New(opts)
+	if err != nil {
+		return err
+	}
+	return s.ListenAndServe(ctx, addr, nil)
+}
 
 // Experiments lists the reproduction experiment ids: the tutorial's
 // figures/claims (F1..F22) and the framework's own ablations (A1..A5).

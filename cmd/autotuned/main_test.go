@@ -1,0 +1,341 @@
+package main
+
+// Subprocess torture tests: these build the real binary, drive it over
+// loopback HTTP, and then do to it what production does — kill -9 in the
+// middle of a loaded batch, SIGTERM under load — asserting the service
+// contract: every acknowledged observation survives exactly once,
+// restarted studies suggest deterministically, and a drain exits 0 with
+// a sealed log.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"autotune/internal/server"
+	"autotune/internal/studystore"
+	"autotune/internal/trial"
+)
+
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "autotuned-bin")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binPath = filepath.Join(dir, "autotuned")
+	if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "build autotuned: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// startDaemon launches the binary on a free port and returns once the
+// readiness line has been printed.
+func startDaemon(t *testing.T, store string, extra ...string) (*exec.Cmd, *server.Client) {
+	t.Helper()
+	args := append([]string{"-store", store, "-addr", "127.0.0.1:0", "-quiet"}, extra...)
+	cmd := exec.Command(binPath, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if addr, ok := strings.CutPrefix(line, "autotuned listening on "); ok {
+			return cmd, server.NewClient("http://" + addr)
+		}
+	}
+	t.Fatalf("daemon exited before readiness line: %v", sc.Err())
+	return nil, nil
+}
+
+func waitDead(t *testing.T, cmd *exec.Cmd) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit within 60s")
+		return nil
+	}
+}
+
+// ackValue is the deterministic objective used by the load workers, so
+// recovered records can be checked value-for-value.
+func ackValue(study string, id int64) float64 {
+	return float64(len(study)) + float64(id)*0.25
+}
+
+type ackKey struct {
+	study string
+	trial int64
+}
+
+// hammer runs one worker per study doing suggest/observe batches until
+// the daemon stops answering, recording every successful ack.
+func hammer(c *server.Client, studies []string, acked *sync.Map, total *atomic.Int64, stopOnErr func(error) bool) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for _, study := range studies {
+		study := study
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for {
+				sugg, err := c.Suggest(ctx, study, 4)
+				if err != nil {
+					if stopOnErr(err) {
+						return
+					}
+					continue
+				}
+				obs := make([]server.Observation, len(sugg))
+				for i, s := range sugg {
+					obs[i] = server.Observation{
+						Trial: s.Trial, Config: s.Config, Value: ackValue(study, s.Trial),
+						Metrics: map[string]float64{"iter": float64(s.Trial)},
+					}
+				}
+				res, err := c.Observe(ctx, study, obs...)
+				if err != nil {
+					if stopOnErr(err) {
+						return
+					}
+					continue
+				}
+				// Only what the daemon acked counts as durable.
+				if res.Acked > 0 {
+					for _, o := range obs {
+						acked.Store(ackKey{study, o.Trial}, o.Value)
+					}
+					total.Add(int64(res.Acked))
+				}
+			}
+		}()
+	}
+	return &wg
+}
+
+// checkExactlyOnce asserts every recorded ack is present in the trials
+// exactly once with the right value, and that no trial ID repeats.
+func checkExactlyOnce(t *testing.T, study string, trials []trial.TrialRecord, acked *sync.Map) {
+	t.Helper()
+	byID := map[int64]trial.TrialRecord{}
+	for _, tr := range trials {
+		if _, dup := byID[int64(tr.ID)]; dup {
+			t.Fatalf("%s: trial %d appears twice in recovered history", study, tr.ID)
+		}
+		byID[int64(tr.ID)] = tr
+	}
+	missing := 0
+	acked.Range(func(k, v any) bool {
+		key := k.(ackKey)
+		if key.study != study {
+			return true
+		}
+		tr, ok := byID[key.trial]
+		if !ok {
+			missing++
+			t.Errorf("%s: acked trial %d lost", study, key.trial)
+			return missing < 5
+		}
+		if tr.Value != v.(float64) {
+			t.Fatalf("%s: trial %d value %v, want %v", study, key.trial, tr.Value, v)
+		}
+		return true
+	})
+	if missing > 0 {
+		t.Fatalf("%s: %d acked observations lost", study, missing)
+	}
+}
+
+func studySpecFor(i int) server.StudySpec {
+	opts := []string{"random", "random", "anneal"}
+	return server.StudySpec{
+		Optimizer: opts[i%len(opts)],
+		Seed:      int64(1000 + i),
+		Space: []server.ParamSpec{
+			{Name: "workers", Kind: "int", Min: 1, Max: 64},
+			{Name: "rate", Kind: "float", Min: 0.5, Max: 100, Log: true},
+			{Name: "mode", Kind: "categorical", Values: []string{"sync", "async"}},
+		},
+	}
+}
+
+// suggestStreams captures each study's next few suggestions as canonical
+// JSON — the determinism fingerprint.
+func suggestStreams(t *testing.T, c *server.Client, studies []string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, study := range studies {
+		sugg, err := c.Suggest(context.Background(), study, 3)
+		if err != nil {
+			t.Fatalf("suggest %s: %v", study, err)
+		}
+		var cfgs []map[string]any
+		for _, s := range sugg {
+			cfgs = append(cfgs, s.Config)
+		}
+		b, err := json.Marshal(cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[study] = string(b)
+	}
+	return out
+}
+
+func TestKillDashNineRecoversExactlyOnce(t *testing.T) {
+	store := t.TempDir()
+	cmd, c := startDaemon(t, store)
+	ctx := context.Background()
+
+	studies := make([]string, 6)
+	for i := range studies {
+		studies[i] = fmt.Sprintf("torture-%d", i)
+		if _, err := c.CreateStudy(ctx, studies[i], studySpecFor(i)); err != nil {
+			t.Fatalf("create %s: %v", studies[i], err)
+		}
+	}
+
+	var acked sync.Map
+	var total atomic.Int64
+	wg := hammer(c, studies, &acked, &total, func(error) bool { return true })
+	for total.Load() < 120 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Mid-batch murder: observes are in flight right now.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	_ = waitDead(t, cmd)
+
+	// Restart 1: every ack recovered exactly once, studies writable again.
+	cmd2, c2 := startDaemon(t, store)
+	for _, study := range studies {
+		trials, err := c2.Trials(ctx, study)
+		if err != nil {
+			t.Fatalf("trials %s: %v", study, err)
+		}
+		checkExactlyOnce(t, study, trials, &acked)
+	}
+	if _, err := c2.CreateStudy(ctx, studies[0], studySpecFor(0)); err != nil {
+		t.Fatalf("idempotent re-create after recovery: %v", err)
+	}
+	stream1 := suggestStreams(t, c2, studies)
+	if err := cmd2.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = waitDead(t, cmd2)
+
+	// Restart 2: the durable state is unchanged (suggests are not acks),
+	// so the resumed suggest streams must match bit for bit.
+	cmd3, c3 := startDaemon(t, store)
+	stream2 := suggestStreams(t, c3, studies)
+	for _, study := range studies {
+		if stream1[study] != stream2[study] {
+			t.Fatalf("%s: suggest stream diverged across restarts\n one %s\n two %s",
+				study, stream1[study], stream2[study])
+		}
+	}
+	// And the recovered daemon still acks new work durably.
+	sugg, err := c3.Suggest(ctx, studies[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c3.Observe(ctx, studies[0], server.Observation{
+		Trial: sugg[0].Trial, Config: sugg[0].Config, Value: 1,
+	}); err != nil {
+		t.Fatalf("observe after recovery: %v", err)
+	}
+	if err := cmd3.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = waitDead(t, cmd3)
+}
+
+func TestSigtermDrainsAndExitsZero(t *testing.T) {
+	store := t.TempDir()
+	cmd, c := startDaemon(t, store, "-drain-timeout", "45s")
+	ctx := context.Background()
+
+	studies := make([]string, 3)
+	for i := range studies {
+		studies[i] = fmt.Sprintf("drain-%d", i)
+		if _, err := c.CreateStudy(ctx, studies[i], studySpecFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var acked sync.Map
+	var total atomic.Int64
+	wg := hammer(c, studies, &acked, &total, func(error) bool { return true })
+	for total.Load() < 60 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := waitDead(t, cmd); err != nil {
+		t.Fatalf("drain under load must exit 0, got %v", err)
+	}
+
+	// The log was sealed on the way out: reopening needs zero repair and
+	// rolls to a fresh segment, and every acked observation is there.
+	st, err := studystore.Open(store, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	stats := st.Stats()
+	if stats.TornTailBytes != 0 || stats.Quarantined != 0 {
+		t.Fatalf("reopen after drain: torn=%d quarantined=%d, want sealed clean", stats.TornTailBytes, stats.Quarantined)
+	}
+	if stats.ActiveSeq < 2 {
+		t.Fatalf("reopen after drain: active segment %d, want a successor to the sealed one", stats.ActiveSeq)
+	}
+	for _, study := range studies {
+		var trials []trial.TrialRecord
+		for _, rec := range st.Records(study) {
+			if rec.ID < 0 {
+				continue // study meta
+			}
+			var tr trial.TrialRecord
+			if err := json.Unmarshal(rec.Payload, &tr); err != nil {
+				t.Fatalf("%s record %d: %v", study, rec.ID, err)
+			}
+			trials = append(trials, tr)
+		}
+		checkExactlyOnce(t, study, trials, &acked)
+	}
+}

@@ -36,10 +36,13 @@ func main() {
 		suggest   = flag.Bool("suggestbench", false, "run the suggest-path scaling benchmark instead of the experiment suite")
 		sessions  = flag.Bool("sessions", false, "run the multi-session throughput benchmark instead of the experiment suite")
 		replay    = flag.Bool("replay", false, "run the study-store write/replay benchmark instead of the experiment suite")
+		serve     = flag.Bool("serve", false, "run the tuning-as-a-service load benchmark instead of the experiment suite")
 		out       = flag.String("out", "", "write benchmark results to this JSON file")
 		minSpeed  = flag.Float64("minspeedup", 0, "fail unless the benchmark speedup reaches this factor (0 disables)")
 		minAlloc  = flag.Float64("minallocratio", 0, "with -sessions: relax -minspeedup to 2x when allocs/session shrink by this factor (0 disables)")
 		minReplay = flag.Float64("minreplay", 0, "with -replay: fail unless replay sustains this many records/sec (0 disables)")
+		minStudy  = flag.Int("minstudies", 0, "with -serve: fail unless this many concurrent studies are sustained (0 disables)")
+		minSugg   = flag.Float64("minsuggest", 0, "with -serve: fail unless this many suggests/sec are sustained (0 disables)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -73,6 +76,13 @@ func main() {
 		}
 	}()
 
+	if *serve {
+		if err := runServeBench(*quick, *seed, *out, *minStudy, *minSugg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *replay {
 		if err := runReplayBench(*quick, *out, *minReplay); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"autotune/internal/experiments"
+)
+
+// runServeBench runs the tuning-as-a-service load benchmark (BENCH_7):
+// the real daemon on loopback HTTP, a fleet of concurrent studies, every
+// observation crossing the fsync barrier. It prints the table, optionally
+// writes JSON, and optionally enforces the PR-7 gate: at least minStudies
+// concurrent studies sustained and a suggest/sec floor.
+func runServeBench(quick bool, seed int64, outPath string, minStudies int, minSuggest float64) error {
+	start := time.Now()
+	res, err := experiments.ServiceThroughput(quick, seed)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	tab := experiments.Table{
+		ID:    "B7",
+		Title: "Tuning as a service: concurrent studies over loopback HTTP",
+		Claim: "one daemon multiplexes a four-figure study fleet at a six-figure suggest rate with every ack fsynced",
+		Headers: []string{"arm", "studies", "workers", "batch", "wall (s)", "suggest/s",
+			"observe/s", "shed", "p50 (ms)", "p99 (ms)", "create (s)"},
+		Notes: fmt.Sprintf("%d observations durable in the store; creates pay one fsync each", res.StoreRecords),
+	}
+	tab.Rows = append(tab.Rows, []string{
+		res.Arm.Name,
+		fmt.Sprintf("%d", res.Arm.Studies),
+		fmt.Sprintf("%d", res.Arm.Workers),
+		fmt.Sprintf("%d", res.Arm.Batch),
+		fmt.Sprintf("%.2f", res.WallSeconds),
+		fmt.Sprintf("%.0f", res.SuggestPerSec),
+		fmt.Sprintf("%.0f", res.ObservePerSec),
+		fmt.Sprintf("%d", res.Shed),
+		fmt.Sprintf("%.2f", res.SuggestP50Ms),
+		fmt.Sprintf("%.2f", res.SuggestP99Ms),
+		fmt.Sprintf("%.2f", res.CreateSeconds),
+	})
+	printTable(tab, time.Since(start))
+	if outPath != "" {
+		doc := struct {
+			Benchmark string                    `json:"benchmark"`
+			Quick     bool                      `json:"quick"`
+			Seed      int64                     `json:"seed"`
+			Result    experiments.ServiceResult `json:"result"`
+		}{"tuning-as-a-service", quick, seed, res}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if minStudies > 0 && res.Arm.Studies < minStudies {
+		return fmt.Errorf("serve: %d concurrent studies, want >= %d", res.Arm.Studies, minStudies)
+	}
+	if minSuggest > 0 && res.SuggestPerSec < minSuggest {
+		return fmt.Errorf("serve: %.0f suggest/s, want >= %.0f", res.SuggestPerSec, minSuggest)
+	}
+	return nil
+}

@@ -1,8 +1,11 @@
 package autotune_test
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"net/http/httptest"
+	"os"
 
 	"autotune"
 )
@@ -29,6 +32,59 @@ func ExampleMinimize() {
 	fmt.Println("found a near-optimal config:", val < 0.05)
 	// Output:
 	// found a near-optimal config: true
+}
+
+// ExampleNewServer runs the tuning service in-process: the daemon is a
+// plain http.Handler, so the example mounts it on an httptest server and
+// drives it through the typed client exactly as a remote tuner would.
+// Every acked observation is fsynced into the study store before the
+// response, so a kill -9 here would lose nothing.
+func ExampleNewServer() {
+	dir, err := os.MkdirTemp("", "autotune-service")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	srv, err := autotune.NewServer(autotune.ServerOptions{StoreDir: dir})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close() // drains in-flight work and seals the study log
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ctx := context.Background()
+	c := autotune.NewServerClient(ts.URL)
+	if _, err := c.CreateStudy(ctx, "cache-latency", autotune.StudySpec{
+		Optimizer: "random",
+		Seed:      7,
+		Space: []autotune.ParamSpec{
+			{Name: "cache_mb", Kind: "int", Min: 64, Max: 4096, Log: true},
+			{Name: "policy", Kind: "categorical", Values: []string{"lru", "arc", "clock"}},
+		},
+	}); err != nil {
+		panic(err)
+	}
+	trials, err := c.Suggest(ctx, "cache-latency", 3)
+	if err != nil {
+		panic(err)
+	}
+	obs := make([]autotune.ServiceObservation, len(trials))
+	for i, tr := range trials {
+		// A real tuner benchmarks tr.Config here; this stand-in objective
+		// just prefers later trials.
+		obs[i] = autotune.ServiceObservation{Trial: tr.Trial, Config: tr.Config, Value: float64(3 - i)}
+	}
+	if _, err := c.Observe(ctx, "cache-latency", obs...); err != nil {
+		panic(err)
+	}
+	best, err := c.Best(ctx, "cache-latency")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best trial %d of %d observed, value %.0f\n", best.Trial, best.Observed, best.Value)
+	// Output:
+	// best trial 2 of 3 observed, value 1
 }
 
 // ExampleNewOptimizer shows the optimizer registry.

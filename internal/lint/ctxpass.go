@@ -20,14 +20,20 @@ import (
 //  3. Inside such a function, calling a module function X when a
 //     ctx-taking variant XContext exists (e.g. trial.Run vs
 //     trial.RunContext) silently re-roots the context; call XContext.
+//  4. HTTP handlers — functions with an *http.Request parameter and no
+//     ctx of their own — already hold a context at r.Context(), carrying
+//     the server's per-request deadline and the client's disconnect.
+//     Minting Background/TODO there (or calling X when XContext exists)
+//     detaches the work from the request; derive from r.Context().
 var CtxPass = &Analyzer{
 	Name: "ctxpass",
-	Doc:  "propagate context.Context; no fresh Background/TODO roots in library code",
+	Doc:  "propagate context.Context; no fresh Background/TODO roots in library code or HTTP handlers",
 	Run: func(f *File) []Diagnostic {
 		if f.IsTest {
 			return nil
 		}
 		ctxName := f.ImportName("context")
+		httpName := f.ImportName("net/http")
 		var out []Diagnostic
 		for _, decl := range f.AST.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -35,6 +41,13 @@ var CtxPass = &Analyzer{
 				continue
 			}
 			ctxParam := contextParamName(fd)
+			reqParam := requestParamName(fd, httpName)
+			// ctxExpr is what the function should be threading through:
+			// its own ctx parameter, or the request context in a handler.
+			ctxExpr := ctxParam
+			if ctxExpr == "" && reqParam != "" {
+				ctxExpr = reqParam + ".Context()"
+			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
@@ -46,6 +59,10 @@ var CtxPass = &Analyzer{
 						out = append(out, f.Diag("ctxpass", call.Pos(),
 							fmt.Sprintf("fresh %s root inside a function that already has %s in scope", ctxName, ctxParam),
 							fmt.Sprintf("pass %s instead", ctxParam)))
+					case reqParam != "":
+						out = append(out, f.Diag("ctxpass", call.Pos(),
+							fmt.Sprintf("fresh %s root inside an HTTP handler detaches work from the request's deadline and disconnect", ctxName),
+							fmt.Sprintf("derive from %s instead", ctxExpr)))
 					case f.PkgName != "main":
 						out = append(out, f.Diag("ctxpass", call.Pos(),
 							fmt.Sprintf("%s.%s() in library package %s; accept a context.Context from the caller",
@@ -54,12 +71,12 @@ var CtxPass = &Analyzer{
 					}
 					return true
 				}
-				if ctxParam == "" {
+				if ctxExpr == "" {
 					return true
 				}
 				// Rule 2: ctx root passed as an argument is caught above
-				// (Inspect descends into args). Rule 3: base call where a
-				// Context variant exists.
+				// (Inspect descends into args). Rules 3/4: base call where
+				// a Context variant exists.
 				if name, qualified := calleeName(f, call); name != "" {
 					variant := name + "Context"
 					if f.Mod.CtxFuncs[variant] && !f.Mod.CtxFuncs[name] && !strings.HasSuffix(name, "Context") {
@@ -67,9 +84,13 @@ var CtxPass = &Analyzer{
 						if qualified != "" {
 							target = qualified + "." + variant
 						}
+						dropped := ctxParam
+						if dropped == "" {
+							dropped = "the request context"
+						}
 						out = append(out, f.Diag("ctxpass", call.Pos(),
-							fmt.Sprintf("call drops %s: a context-aware variant %s exists", ctxParam, target),
-							fmt.Sprintf("call %s(%s, ...)", target, ctxParam)))
+							fmt.Sprintf("call drops %s: a context-aware variant %s exists", dropped, target),
+							fmt.Sprintf("call %s(%s, ...)", target, ctxExpr)))
 					}
 				}
 				return true
@@ -87,6 +108,34 @@ func contextParamName(fd *ast.FuncDecl) string {
 	}
 	for _, field := range fd.Type.Params.List {
 		if !isContextType(field.Type) {
+			continue
+		}
+		for _, n := range field.Names {
+			if n.Name != "_" {
+				return n.Name
+			}
+		}
+	}
+	return ""
+}
+
+// requestParamName returns the name of fd's *http.Request parameter
+// ("" if none, blank, or the file does not import net/http). It marks
+// the function as an HTTP handler for rule 4.
+func requestParamName(fd *ast.FuncDecl, httpName string) string {
+	if httpName == "" || fd.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fd.Type.Params.List {
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := star.X.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Request" {
+			continue
+		}
+		if x, ok := sel.X.(*ast.Ident); !ok || x.Name != httpName {
 			continue
 		}
 		for _, n := range field.Names {

@@ -1,0 +1,42 @@
+package fixture
+
+import (
+	"context"
+	"net/http"
+)
+
+// badHandlerRoot is the handler-shaped violation: no ctx parameter, but
+// the request already carries one — minting a root detaches the work
+// from the server's deadline and the client's disconnect.
+func badHandlerRoot(w http.ResponseWriter, r *http.Request) {
+	doWork(context.Background()) // want ctxpass
+}
+
+// badHandlerTODO is the same violation via TODO, on a method-shaped
+// handler like the real server uses.
+type handlerHost struct{}
+
+func (handlerHost) badHandlerTODO(w http.ResponseWriter, r *http.Request) {
+	doWork(context.TODO()) // want ctxpass
+}
+
+// badHandlerVariant drops the request context by calling the
+// context-free wrapper when a Context variant exists.
+func badHandlerVariant(w http.ResponseWriter, r *http.Request) {
+	_ = Run(3) // want ctxpass
+}
+
+// cleanHandler derives everything from r.Context().
+func cleanHandler(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	if err := RunContext(ctx, 3); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// cleanMiddleware threads an explicit ctx parameter alongside the
+// request; the ctx parameter wins as the thing to propagate.
+func cleanMiddleware(ctx context.Context, r *http.Request) error {
+	return RunContext(ctx, 3)
+}

@@ -1,0 +1,19 @@
+// Package server (fixture) joined the deterministic set in PR 7: the
+// daemon's resume contract — replaying durable history into a fresh
+// strategy reproduces the suggest stream — only holds if request
+// handling never samples the clock.
+package server
+
+import "time"
+
+func badStamp() time.Time {
+	return time.Now() // want wallclock
+}
+
+func badLatency(t0 time.Time) time.Duration {
+	return time.Since(t0) // want wallclock
+}
+
+func badThrottle() {
+	time.Sleep(10 * time.Millisecond) // want wallclock
+}

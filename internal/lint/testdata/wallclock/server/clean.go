@@ -1,0 +1,16 @@
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// cleanDeadline shows the sanctioned uses: duration constants and
+// context deadlines are pure — only sampling the clock is forbidden.
+func cleanDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, 30*time.Second)
+}
+
+func cleanBudget(requests int, perRequest time.Duration) time.Duration {
+	return time.Duration(requests) * perRequest
+}

@@ -8,19 +8,23 @@ import (
 
 // deterministicPkgs names the packages whose non-test code must never read
 // the wall clock: the simulated systems, every optimizer, the space
-// encoder, and the trial loop (including replay). A trial run in these
-// packages is a pure function of (space, seed, budget); a time.Now() or
-// time.Sleep() there silently couples results to the host. Wall time stays
-// legitimate in resilience (retry backoff), cloud (host simulation scaled
-// from real profiles), kvstore (a real benchmark), and cmd/examples
-// (reporting) — none of which appear here.
+// encoder, the trial loop (including replay), and the serving layer. A
+// trial run in these packages is a pure function of (space, seed, budget);
+// a time.Now() or time.Sleep() there silently couples results to the host.
+// The server belongs in the set because its resume contract is exactly
+// that purity: a restarted study replays durable history into a fresh
+// strategy and must suggest the same stream, so request handling may use
+// duration constants and context deadlines but never sample the clock.
+// Wall time stays legitimate in resilience (retry backoff), cloud (host
+// simulation scaled from real profiles), kvstore (a real benchmark), and
+// cmd/examples (reporting) — none of which appear here.
 //
 // Matching is by path segment so that e.g. both "internal/simsys" and a
 // fixture dir ending in "simsys" qualify.
 var deterministicPkgs = map[string]bool{
 	"simsys": true, "space": true, "trial": true, "optimizer": true,
 	"bo": true, "gp": true, "cmaes": true, "genetic": true, "pso": true,
-	"smac": true,
+	"smac": true, "server": true,
 }
 
 // wallClockFuncs are the time functions that read or depend on the wall

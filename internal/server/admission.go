@@ -1,0 +1,45 @@
+package server
+
+// admission.go bounds the number of suggest requests in flight. Suggests
+// are the compute-heavy path (a BO suggest is a GP fit plus an acquisition
+// search), so past a fixed concurrency the right move is to shed load
+// fast — 429 with Retry-After — rather than queue until every client
+// times out. Readiness flips at a high-water mark below the hard limit,
+// so an orchestrator stops routing new traffic here before requests
+// actually start bouncing.
+
+// admission is a non-blocking counting semaphore.
+type admission struct {
+	slots     chan struct{}
+	highWater int
+}
+
+func newAdmission(limit, highWater int) *admission {
+	if limit < 1 {
+		limit = 1
+	}
+	if highWater < 1 || highWater > limit {
+		highWater = limit
+	}
+	return &admission{slots: make(chan struct{}, limit), highWater: highWater}
+}
+
+// tryAcquire claims a slot without blocking; callers that fail shed the
+// request instead of queueing behind work they can't see.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inflight is the current occupancy (approximate under concurrency, which
+// is fine for metrics and readiness).
+func (a *admission) inflight() int { return len(a.slots) }
+
+// ready reports whether occupancy is still below the high-water mark.
+func (a *admission) ready() bool { return len(a.slots) < a.highWater }

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// metrics.go is the observability surface: monotonic counters updated on
+// the request path and a plain-text exposition endpoint in the usual
+// `name value` format, cheap enough to scrape every second.
+
+// counters are the server's monotonic event counts.
+type counters struct {
+	requests   atomic.Int64 // API requests admitted past the drain gate
+	creates    atomic.Int64 // studies created
+	suggests   atomic.Int64 // trials suggested
+	observes   atomic.Int64 // observations acked durable
+	duplicates atomic.Int64 // observations deduped as retries
+	shed       atomic.Int64 // suggests bounced by admission control
+	panics     atomic.Int64 // panics recovered into 500s
+	deadlines  atomic.Int64 // requests that hit their deadline
+	writeErrs  atomic.Int64 // response bodies the client never read
+}
+
+// handleMetrics writes the exposition page.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Stats()
+	s.mu.RLock()
+	studies := len(s.sessions)
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b []byte
+	line := func(name string, v int64) {
+		b = fmt.Appendf(b, "%s %d\n", name, v)
+	}
+	line("autotuned_requests_total", s.m.requests.Load())
+	line("autotuned_studies", int64(studies))
+	line("autotuned_creates_total", s.m.creates.Load())
+	line("autotuned_suggests_total", s.m.suggests.Load())
+	line("autotuned_observes_total", s.m.observes.Load())
+	line("autotuned_duplicates_total", s.m.duplicates.Load())
+	line("autotuned_shed_total", s.m.shed.Load())
+	line("autotuned_panics_total", s.m.panics.Load())
+	line("autotuned_deadlines_total", s.m.deadlines.Load())
+	line("autotuned_response_write_errors_total", s.m.writeErrs.Load())
+	line("autotuned_admission_inflight", int64(s.adm.inflight()))
+	line("autotuned_admission_limit", int64(cap(s.adm.slots)))
+	line("autotuned_draining", boolGauge(s.draining.Load()))
+	line("autotuned_poisoned", boolGauge(s.poisoned.Load()))
+	line("autotuned_store_records", int64(st.Records))
+	line("autotuned_store_segments", int64(st.Segments))
+	line("autotuned_store_torn_tail_bytes", st.TornTailBytes)
+	line("autotuned_store_quarantined", int64(st.Quarantined))
+	if _, err := w.Write(b); err != nil {
+		s.m.writeErrs.Add(1)
+	}
+}
+
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

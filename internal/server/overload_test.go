@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+
+	"autotune/internal/studystore"
+)
+
+// TestOverloadShedsWithRetryAfter saturates the admission queue with a
+// deterministic gate and pins the overload contract: excess suggests get
+// 429 + Retry-After, /readyz fails while /healthz stays OK, and every
+// admitted request completes once the backlog clears — accepted work is
+// never dropped.
+func TestOverloadShedsWithRetryAfter(t *testing.T) {
+	s, c := newTestServer(t, Options{AdmissionLimit: 2, ReadyHighWater: 1})
+	gate := make(chan struct{})
+	s.testGate = gate
+	ctx := context.Background()
+	mustCreate(t, c, "load", testSpec("random", 21))
+
+	const total = 10
+	results := make(chan error, total)
+	var started sync.WaitGroup
+	for i := 0; i < total; i++ {
+		started.Add(1)
+		go func() {
+			defer started.Done()
+			_, err := c.Suggest(ctx, "load", 1)
+			results <- err
+		}()
+	}
+	// Wait until both admission slots are occupied (the two admitted
+	// requests park on the gate), so the remaining requests shed
+	// deterministically.
+	for s.adm.inflight() < 2 {
+		runtime.Gosched()
+	}
+
+	// While saturated: readiness fails, liveness holds.
+	if err := c.Ready(ctx); err == nil {
+		t.Fatal("readyz under saturation: want failure")
+	} else {
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+			t.Fatalf("readyz under saturation: %v, want 503", err)
+		}
+	}
+	if err := c.Healthy(ctx); err != nil {
+		t.Fatalf("healthz under saturation: %v", err)
+	}
+
+	// Shed requests drain out as 429s with Retry-After; the two admitted
+	// ones are still parked.
+	var shed int
+	for shed < total-2 {
+		err := <-results
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("shed request: %v, want APIError", err)
+		}
+		if apiErr.Status != http.StatusTooManyRequests {
+			t.Fatalf("shed request: status %d, want 429", apiErr.Status)
+		}
+		if apiErr.RetryAfter < 1 {
+			t.Fatalf("shed request: Retry-After %d, want >= 1", apiErr.RetryAfter)
+		}
+		if !apiErr.IsRetryable() {
+			t.Fatal("shed request: want IsRetryable")
+		}
+		shed++
+	}
+
+	// Release the gate: both accepted requests must complete successfully.
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("accepted request dropped: %v", err)
+		}
+	}
+	started.Wait()
+	if got := s.m.shed.Load(); got != int64(total-2) {
+		t.Fatalf("shed counter %d, want %d", got, total-2)
+	}
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("readyz after backlog cleared: %v", err)
+	}
+}
+
+// TestDrainFinishesInFlightAndSeals pins the drain contract: once a drain
+// starts, new API requests bounce with 503 while the in-flight one
+// finishes, probes keep serving, and the store ends sealed — a reopen
+// finds zero torn bytes and a fresh segment.
+func TestDrainFinishesInFlightAndSeals(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+	c := NewClientHTTP(hs.URL, hs.Client())
+	ctx := context.Background()
+	mustCreate(t, c, "drain", testSpec("random", 31))
+	observeSuggested(t, c, "drain", 3)
+
+	gate := make(chan struct{})
+	s.testGate = gate
+	inflightDone := make(chan error, 1)
+	go func() {
+		_, err := c.Suggest(ctx, "drain", 1)
+		inflightDone <- err
+	}()
+	for s.adm.inflight() == 0 {
+		runtime.Gosched()
+	}
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- s.Drain(ctx) }()
+	// The drain barrier is waiting on the parked request; once the gate
+	// shuts, new API calls bounce with "draining" while probes stay up.
+	for !s.draining.Load() {
+		runtime.Gosched()
+	}
+	var apiErr *APIError
+	if _, err := c.Suggest(ctx, "drain", 1); !errors.As(err, &apiErr) || apiErr.Code != "draining" {
+		t.Fatalf("suggest during drain: %v, want 503 draining", err)
+	}
+	if err := c.Healthy(ctx); err != nil {
+		t.Fatalf("healthz during drain: %v", err)
+	}
+	if err := c.Ready(ctx); err == nil {
+		t.Fatal("readyz during drain: want failure")
+	}
+	select {
+	case err := <-drainDone:
+		t.Fatalf("drain finished with a request in flight: %v", err)
+	default:
+	}
+
+	close(gate)
+	if err := <-inflightDone; err != nil {
+		t.Fatalf("in-flight request during drain: %v", err)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := s.Close(); err != nil { // idempotent after Drain
+		t.Fatalf("close after drain: %v", err)
+	}
+
+	// The log was sealed: reopening repairs nothing and starts fresh.
+	st, err := studystore.Open(dir, studystore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	stats := st.Stats()
+	if stats.TornTailBytes != 0 || stats.Quarantined != 0 {
+		t.Fatalf("reopen after drain: torn=%d quarantined=%d, want clean", stats.TornTailBytes, stats.Quarantined)
+	}
+	if got := len(st.Records("drain")); got != 4 { // meta + 3 observations
+		t.Fatalf("records after drain: %d, want 4", got)
+	}
+}

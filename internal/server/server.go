@@ -1,0 +1,299 @@
+// Package server is the tuning-as-a-service front door: a stdlib net/http
+// daemon that multiplexes thousands of concurrent studies over the
+// framework's optimizers and persists every acknowledged observation
+// through the crash-safe study store before responding. The contract is
+// the one the paper's service framing demands:
+//
+//   - Exactly-once observe: an acked observation is durable (fsynced
+//     before the ack) and idempotent (deduped by study and trial ID), so
+//     kill -9 plus restart loses nothing and client retries are safe.
+//   - Deterministic resume: a study's suggest stream is a pure function
+//     of its seed and its durable history, so restarts are reproducible.
+//   - Fault isolation: a panicking strategy degrades its own study to
+//     read-only behind a 500; a poisoned store degrades the server to
+//     read-only behind 503s; sibling studies keep serving.
+//   - Bounded overload: suggests past the admission limit shed with 429 +
+//     Retry-After, and /readyz flips at a high-water mark below the limit
+//     while /healthz keeps reporting the process alive.
+//   - Graceful drain: SIGTERM (via ListenAndServe's context) stops
+//     admissions, finishes in-flight requests, seals the study log with a
+//     durable terminator, and exits clean.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autotune/internal/sched"
+	"autotune/internal/studystore"
+)
+
+// Options configures a Server. The zero value serves from StoreDir with
+// sensible defaults for everything else.
+type Options struct {
+	// StoreDir is the study-store directory (required; created if absent).
+	StoreDir string
+	// SegmentBytes overrides the store's segment rotation threshold.
+	SegmentBytes int64
+	// AdmissionLimit bounds concurrent suggest requests (default 64);
+	// excess load is shed with 429 + Retry-After.
+	AdmissionLimit int
+	// ReadyHighWater is the suggest occupancy at which /readyz starts
+	// failing, before the hard limit starts bouncing requests
+	// (default 3/4 of AdmissionLimit).
+	ReadyHighWater int
+	// RequestTimeout is the per-request deadline derived from each
+	// request's context (default 30s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful drain in ListenAndServe
+	// (default: wait indefinitely).
+	DrainTimeout time.Duration
+	// MaxSuggestBatch caps `count` in one suggest call (default 512).
+	MaxSuggestBatch int
+	// MaxObserveBatch caps observations in one observe call (default 4096).
+	MaxObserveBatch int
+	// MaxStudies caps live studies (default 65536).
+	MaxStudies int
+	// DefaultOptimizer names the strategy used when a create omits one
+	// (default "bo").
+	DefaultOptimizer string
+	// Log receives operational messages; nil means silent.
+	Log *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.AdmissionLimit <= 0 {
+		o.AdmissionLimit = 64
+	}
+	if o.ReadyHighWater <= 0 {
+		o.ReadyHighWater = o.AdmissionLimit * 3 / 4
+		if o.ReadyHighWater < 1 {
+			o.ReadyHighWater = 1
+		}
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxSuggestBatch <= 0 {
+		o.MaxSuggestBatch = 512
+	}
+	if o.MaxObserveBatch <= 0 {
+		o.MaxObserveBatch = 4096
+	}
+	if o.MaxStudies <= 0 {
+		o.MaxStudies = 65536
+	}
+	if o.DefaultOptimizer == "" {
+		o.DefaultOptimizer = "bo"
+	}
+	return o
+}
+
+// Server is the daemon. Create with New, serve with ListenAndServe (or
+// mount it as an http.Handler), stop with Drain or Close.
+type Server struct {
+	opts  Options
+	store *studystore.Store
+
+	// drainMu tracks in-flight API requests: each holds the read side for
+	// its duration; Drain takes the write side as a barrier that waits
+	// for all of them. TryRLock keeps new requests from queueing behind
+	// a waiting drain.
+	drainMu  sync.RWMutex
+	draining atomic.Bool
+	poisoned atomic.Bool
+
+	mu       sync.RWMutex // guards sessions
+	sessions map[string]*session
+
+	createMu sync.Mutex // serializes study creation against the store
+
+	adm *admission
+	m   counters
+	mux *http.ServeMux
+
+	sealOnce sync.Once
+	sealErr  error
+
+	// testGate, when set before serving, makes suggest handlers block
+	// after admission until the channel closes — the hook the overload
+	// test uses to saturate the queue deterministically.
+	testGate chan struct{}
+}
+
+// New opens (or creates) the study store under opts.StoreDir and recovers
+// every persisted study into a live session. Recovery is read-only on the
+// optimizer side: each study's observations are replayed in trial-ID
+// order into a freshly seeded strategy, so the daemon resumes exactly
+// where the durable history says it was.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.StoreDir == "" {
+		return nil, errors.New("server: Options.StoreDir is required")
+	}
+	st, err := studystore.Open(opts.StoreDir, studystore.Options{SegmentBytes: opts.SegmentBytes})
+	if err != nil {
+		return nil, fmt.Errorf("server: open store: %w", err)
+	}
+	s := &Server{
+		opts:     opts,
+		store:    st,
+		sessions: make(map[string]*session),
+		adm:      newAdmission(opts.AdmissionLimit, opts.ReadyHighWater),
+	}
+	for _, study := range st.Studies() {
+		ss := recoverSession(study, st.Records(study))
+		if ss.degraded != "" {
+			s.logf("study %q recovered read-only: %s", study, ss.degraded)
+		}
+		s.sessions[study] = ss
+	}
+	if stats := st.Stats(); stats.TornTailBytes > 0 || stats.Quarantined > 0 {
+		s.logf("store repair: %d torn-tail bytes truncated, %d ranges quarantined", stats.TornTailBytes, stats.Quarantined)
+	}
+	s.mux = s.routes()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler: probes bypass the drain gate, API
+// requests register in-flight, get a deadline derived from the request
+// context, and run under a panic guard so one bad request cannot take
+// down the process.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/healthz":
+		s.handleHealthz(w, r)
+		return
+	case "/readyz":
+		s.handleReadyz(w, r)
+		return
+	case "/metrics":
+		s.handleMetrics(w, r)
+		return
+	}
+	if s.draining.Load() || !s.drainMu.TryRLock() {
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	defer s.drainMu.RUnlock()
+	s.m.requests.Add(1)
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	if err := sched.Guard(func() error {
+		s.mux.ServeHTTP(w, r.WithContext(ctx))
+		return nil
+	}); err != nil {
+		s.m.panics.Add(1)
+		s.logf("request %s %s: %v", r.Method, r.URL.Path, err)
+		s.writeError(w, http.StatusInternalServerError, "panic", "internal panic recovered")
+	}
+}
+
+// session returns the live session for a study, or nil.
+func (s *Server) session(study string) *session {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sessions[study]
+}
+
+// Drain stops admitting API requests, waits for in-flight ones to finish,
+// then seals the study store so the log ends on a durable terminator.
+// It is idempotent; the seal happens once and later calls return the same
+// result. If ctx expires the drain gate stays shut but the store is left
+// unsealed (every acked observation is already durable regardless).
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	//autolint:ignore nakedgo drain barrier: Lock/Unlock on a held-out RWMutex cannot panic, and the goroutine exits once in-flight requests finish
+	go func() {
+		// The critical section is empty on purpose: Lock is purely a
+		// barrier that returns once every in-flight reader is gone.
+		s.drainMu.Lock()
+		s.drainMu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+	s.sealOnce.Do(func() { s.sealErr = s.store.Seal() })
+	return s.sealErr
+}
+
+// Close drains with no deadline and releases the store: the teardown for
+// tests and defers. Servers that need a bounded drain call Drain.
+func (s *Server) Close() error {
+	//autolint:ignore ctxpass Close is the one legitimate server-lifetime root: final teardown has no request context to inherit, and Drain is the ctx-aware form
+	return s.Drain(context.Background())
+}
+
+// ListenAndServe serves on addr until ctx is cancelled (the caller wires
+// SIGTERM to that), then drains gracefully: stop admitting, let in-flight
+// requests and connections finish (bounded by Options.DrainTimeout), seal
+// the store, and return nil on a clean exit. If ready is non-nil it is
+// called once with the bound address, after the listener exists.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	hs := &http.Server{Handler: s, ErrorLog: s.opts.Log}
+	errc := make(chan error, 1)
+	//autolint:ignore nakedgo http.Server recovers per-connection panics itself; this goroutine only forwards Serve's exit error into the buffered channel
+	go func() { errc <- hs.Serve(ln) }()
+
+	var serveErr error
+	select {
+	case serveErr = <-errc:
+		// The listener died under us; drain anyway so state is sealed.
+	case <-ctx.Done():
+	}
+
+	dctx := context.WithoutCancel(ctx)
+	cancel := context.CancelFunc(func() {})
+	if s.opts.DrainTimeout > 0 {
+		dctx, cancel = context.WithTimeout(dctx, s.opts.DrainTimeout)
+	}
+	defer cancel()
+	s.draining.Store(true) // shut the gate before Shutdown waits on conns
+	if err := hs.Shutdown(dctx); err != nil && serveErr == nil {
+		serveErr = fmt.Errorf("server: shutdown: %w", err)
+	}
+	if err := s.Drain(dctx); err != nil && serveErr == nil {
+		serveErr = err
+	}
+	if errors.Is(serveErr, http.ErrServerClosed) {
+		serveErr = nil
+	}
+	return serveErr
+}
+
+// StoreStats exposes the underlying store's counters for operational
+// tooling (the /metrics page and the load harness).
+func (s *Server) StoreStats() studystore.Stats { return s.store.Stats() }
+
+// failStore records that the durable layer failed: the server degrades to
+// read-only (suggest/best/pareto keep working, writes get 503s) instead
+// of crashing, because every previously acked observation is still safe.
+func (s *Server) failStore(err error) {
+	if s.poisoned.CompareAndSwap(false, true) {
+		s.logf("store failed, degrading to read-only: %v", err)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		s.opts.Log.Printf(format, args...)
+	}
+}

@@ -613,6 +613,43 @@ func (s *Store) rotateLocked() error {
 	return nil
 }
 
+// Seal writes a durable seal frame to the active segment and closes the
+// store: the log ends on a cleanly terminated history instead of an open
+// tail, so the next Open starts a fresh segment with zero repair work.
+// It is the graceful-shutdown counterpart to Close (which leaves the tail
+// open, as a crash would). A poisoned store cannot be trusted to write
+// the seal; Seal then just releases the handle — every acknowledged
+// append is already durable.
+func (s *Store) Seal() error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.active == nil {
+		return nil
+	}
+	if s.poison != nil {
+		err := s.active.Close()
+		s.active = nil
+		return err
+	}
+	seal := appendFrame(nil, kindSeal, nil)
+	if n, err := s.active.Write(seal); err != nil || n < len(seal) {
+		return s.poisonWith(fmt.Errorf("studystore: seal %s: %w", segName(s.activeSeq), writeErr(n, len(seal), err)))
+	}
+	//autolint:ignore lockheld wmu is the WAL barrier: the final seal must be durable before the handle is released
+	if err := s.active.Sync(); err != nil {
+		return s.poisonWith(fmt.Errorf("studystore: seal sync %s: %w", segName(s.activeSeq), err))
+	}
+	err := s.active.Close()
+	s.active = nil
+	if err != nil {
+		return fmt.Errorf("studystore: close %s: %w", segName(s.activeSeq), err)
+	}
+	return nil
+}
+
 // Rotate seals the active segment and starts a fresh one.
 func (s *Store) Rotate() error {
 	if s.readOnly {

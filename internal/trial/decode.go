@@ -83,6 +83,16 @@ func decodeTrialRecord(data []byte, rec *TrialRecord) (ok bool) {
 			if rec.CacheHit, ok = p.boolean(); !ok {
 				return false
 			}
+		case "metrics":
+			if p.null() {
+				rec.Metrics = nil
+				break
+			}
+			m, ok := p.metrics()
+			if !ok {
+				return false
+			}
+			rec.Metrics = m
 		default:
 			return false
 		}
@@ -187,6 +197,41 @@ func (p *recParser) boolean() (bool, bool) {
 		return false, true
 	}
 	return false, false
+}
+
+// metrics parses the {"name": number, ...} object; any non-numeric value
+// triggers the encoding/json fallback.
+func (p *recParser) metrics() (map[string]float64, bool) {
+	if !p.eat('{') {
+		return nil, false
+	}
+	m := map[string]float64{}
+	p.ws()
+	if p.eat('}') {
+		return m, true
+	}
+	for {
+		key, ok := p.str()
+		if !ok {
+			return nil, false
+		}
+		p.ws()
+		if !p.eat(':') {
+			return nil, false
+		}
+		p.ws()
+		f, ok := p.num()
+		if !ok {
+			return nil, false
+		}
+		m[key] = f
+		p.ws()
+		if p.eat(',') {
+			p.ws()
+			continue
+		}
+		return m, p.eat('}')
+	}
 }
 
 // config parses the {"knob": value, ...} object; values may be numbers,

@@ -331,6 +331,10 @@ type TrialRecord struct {
 	// CacheHit marks trials satisfied by the evaluation cache: the value
 	// comes from an earlier identical trial and CostSeconds is zero.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// Metrics carries auxiliary measurements by name (Result.Metrics for
+	// environment-run trials, client-reported metrics for service-side
+	// observes). Secondary objectives for Pareto queries ride here.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is a completed tuning session.
@@ -541,6 +545,7 @@ func (s *runState) absorb(cfg space.Config, r trialOutcome, id int, fid float64,
 		Fidelity:    fid,
 		Hedged:      hedged,
 		CacheHit:    r.cacheHit,
+		Metrics:     r.res.Metrics,
 	}
 	s.rep.TotalCostSeconds += r.res.CostSeconds
 	if r.cacheHit {
