@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: help check vet build test race race-core bench profile soak crash crash-quick fmt fmt-check lint lint-fixtures incremental-default zero-alloc serve loadtest serve-contract
+.PHONY: help check vet build test race race-core bench profile soak crash crash-quick fmt fmt-check lint lint-fixtures incremental-default zero-alloc deep-history serve loadtest serve-contract
 
 help:
 	@echo "Targets:"
 	@echo "  check               fmt-check + vet + lint + build + race-core + race + invariants"
 	@echo "  test                go test ./..."
 	@echo "  race                go test -race ./..."
-	@echo "  bench               quick experiment suite + perf gates (BENCH_4..7.json)"
+	@echo "  bench               quick experiment suite + perf gates (BENCH_4..8.json)"
+	@echo "  deep-history        surrogate tier determinism tests + quick scaling gate (rides in check)"
 	@echo "  serve               run the tuning daemon locally (store: ./.autotuned; SIGTERM drains)"
 	@echo "  loadtest            full tuning-as-a-service load run against a fresh daemon (BENCH_7 shape)"
 	@echo "  serve-contract      service robustness tests: overload shedding, graceful drain, kill -9 recovery"
@@ -21,7 +22,17 @@ help:
 	@echo "  lint-fixtures       re-goldenize lint fixture outputs (requires UPDATE=1)"
 	@echo "  fmt / fmt-check     gofmt the tree / fail if gofmt is needed"
 
-check: fmt-check vet lint build race-core race incremental-default zero-alloc crash-quick serve-contract
+check: fmt-check vet lint build race-core race incremental-default zero-alloc deep-history crash-quick serve-contract
+
+# Quick deep-history arm (PR 9 invariant): the surrogate tier ladder is
+# bitwise-deterministic (sparse == dense below the budget, switch points
+# reproduce across runs and resume, local suggestions worker-count-free)
+# and the quick-mode scaling benchmark still clears a relaxed speedup and
+# matched-regret gate.
+deep-history:
+	$(GO) test ./internal/bo -run 'Test(SparseTier|AutoSwitch|ForestTier|TierSwitch|Local)' -count=1
+	$(GO) test ./internal/smac -run TestSMACDeepHistory -count=1
+	$(GO) run ./cmd/bench -scalebench -quick -minspeedup 2 -maxregret 2
 
 # Pin the service contract (PR 7 invariant): overload sheds with 429 +
 # Retry-After while /readyz flips, drain finishes in-flight work and
@@ -102,6 +113,7 @@ bench:
 	$(GO) run ./cmd/bench -sessions -minspeedup 2 -minallocratio 10 -out BENCH_5.json
 	$(GO) run ./cmd/bench -replay -minreplay 100000 -out BENCH_6.json
 	$(GO) run ./cmd/bench -serve -minstudies 1000 -minsuggest 50000 -out BENCH_7.json
+	$(GO) run ./cmd/bench -scalebench -minspeedup 10 -maxregret 1.5 -out BENCH_8.json
 	$(GO) test -bench 'Benchmark(GPPredict|BOSuggest|SpaceEncode)' -benchmem -run xxx .
 
 profile:

@@ -35,6 +35,7 @@ import (
 	"context"
 	"math/rand"
 
+	"autotune/internal/bo"
 	"autotune/internal/cloud"
 	"autotune/internal/core"
 	"autotune/internal/experiments"
@@ -64,7 +65,43 @@ type (
 	Optimizer = optimizer.Optimizer
 	// Observation is one evaluated configuration.
 	Observation = optimizer.Observation
+	// BO is the Gaussian-process Bayesian optimizer, exposed concretely so
+	// callers can pin a surrogate tier or read maintenance stats.
+	BO = bo.BO
+	// BOOptions configures NewBO (kernel, acquisition, surrogate tier
+	// policy and switch thresholds, worker counts).
+	BOOptions = bo.Options
+	// SurrogatePolicy selects BO's surrogate tier: SurrogateAuto switches
+	// dense → sparse → forest as history deepens; the other values pin one
+	// tier.
+	SurrogatePolicy = bo.SurrogatePolicy
+	// SurrogateStats reports BO's active tier, every tier switch, and
+	// per-tier maintenance counters.
+	SurrogateStats = bo.SurrogateStats
 )
+
+// Surrogate tier policies for BOOptions.Surrogate / (*BO).SetSurrogate.
+const (
+	SurrogateAuto   = bo.SurrogateAuto
+	SurrogateDense  = bo.SurrogateDense
+	SurrogateSparse = bo.SurrogateSparse
+	SurrogateLocal  = bo.SurrogateLocal
+	SurrogateForest = bo.SurrogateForest
+)
+
+// NewBO constructs the GP Bayesian optimizer with explicit options and a
+// deterministic seed — the typed alternative to NewOptimizer("bo", ...)
+// when the surrogate tier, switch thresholds, or parallelism need tuning.
+func NewBO(s *Space, seed int64, opts BOOptions) *BO {
+	return bo.NewWith(s, rand.New(rand.NewSource(seed)), opts)
+}
+
+// ParseSurrogate maps a tier name ("auto", "dense", "sparse", "local",
+// "forest") onto its SurrogatePolicy; unknown names return
+// (SurrogateAuto, false).
+func ParseSurrogate(name string) (SurrogatePolicy, bool) {
+	return bo.ParseSurrogate(name)
+}
 
 // Tuning-loop types.
 type (

@@ -30,6 +30,31 @@ func TestFacadeMinimize(t *testing.T) {
 	}
 }
 
+func TestFacadeBOSurrogateTiers(t *testing.T) {
+	sp := autotune.MustSpace(
+		autotune.Float("x", -5, 5),
+		autotune.Float("y", -5, 5),
+	)
+	f := func(c autotune.Config) float64 {
+		dx := c.Float("x") - 1
+		dy := c.Float("y") + 2
+		return dx*dx + dy*dy
+	}
+	pol, ok := autotune.ParseSurrogate("sparse")
+	if !ok || pol != autotune.SurrogateSparse {
+		t.Fatalf("ParseSurrogate(sparse) = %v, %v", pol, ok)
+	}
+	o := autotune.NewBO(sp, 1, autotune.BOOptions{
+		OneHot: true, Surrogate: autotune.SurrogateSparse, SparseBudget: 16,
+	})
+	if _, _, err := autotune.Minimize(o, f, 25); err != nil {
+		t.Fatal(err)
+	}
+	if st := o.Stats(); st.Tier != "sparse" {
+		t.Fatalf("tier = %q, want sparse", st.Tier)
+	}
+}
+
 func TestFacadeAllOptimizerNames(t *testing.T) {
 	sp := autotune.MustSpace(autotune.Float("x", 0, 1))
 	for _, name := range autotune.OptimizerNames() {

@@ -74,8 +74,10 @@ type cliOptions struct {
 	study string // study name inside -store ("" = derived from system/workload)
 
 	// Performance.
-	dedup     bool // deduplicate identical (config, fidelity) evaluations
-	gpWorkers int  // surrogate gram/predict goroutines (0 = GOMAXPROCS)
+	dedup     bool   // deduplicate identical (config, fidelity) evaluations
+	gpWorkers int    // surrogate gram/predict goroutines (0 = GOMAXPROCS)
+	surrogate string // BO surrogate tier policy ("" = auto)
+	denseMax  int    // auto policy's dense-GP history ceiling (0 = default)
 }
 
 func main() {
@@ -106,6 +108,8 @@ func main() {
 	flag.StringVar(&o.study, "study", "", "study name inside -store (default: <system>-<workload>)")
 	flag.BoolVar(&o.dedup, "dedup", false, "reuse cached results for repeated (config, fidelity) evaluations")
 	flag.IntVar(&o.gpWorkers, "gp-workers", 0, "GP surrogate gram/predict goroutines (0 = GOMAXPROCS; results are identical for any value)")
+	flag.StringVar(&o.surrogate, "surrogate", "auto", "BO surrogate tier: auto | dense | sparse | local | forest")
+	flag.IntVar(&o.denseMax, "dense-max", 0, "history size past which the auto policy leaves the dense GP (0 = default 512)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -188,8 +192,21 @@ func run(o cliOptions) error {
 	if err != nil {
 		return err
 	}
-	if b, ok := opt.(*bo.BO); ok && o.gpWorkers > 0 {
-		b.SetGPWorkers(o.gpWorkers)
+	boOpt, isBO := opt.(*bo.BO)
+	if isBO {
+		if o.gpWorkers > 0 {
+			boOpt.SetGPWorkers(o.gpWorkers)
+		}
+		pol, ok := bo.ParseSurrogate(o.surrogate)
+		if !ok {
+			return fmt.Errorf("unknown -surrogate %q (want auto | dense | sparse | local | forest)", o.surrogate)
+		}
+		boOpt.SetSurrogate(pol)
+		if o.denseMax > 0 {
+			boOpt.SetDenseMax(o.denseMax)
+		}
+	} else if o.surrogate != "auto" && o.surrogate != "" {
+		return fmt.Errorf("-surrogate applies to the bo optimizer, not %q", o.optName)
 	}
 	topts := trial.Options{
 		Budget: o.budget, Parallel: o.parallel, AbortMargin: o.abortMargin, Fidelity: o.fidelity,
@@ -265,6 +282,12 @@ func run(o cliOptions) error {
 	}
 	if o.dedup {
 		fmt.Printf("eval cache: %d hits\n", rep.CacheHits)
+	}
+	if isBO {
+		if s := boOpt.Stats(); s.Tier != "" {
+			fmt.Printf("surrogate: tier=%s switches=%d incremental=%d refits=%d\n",
+				s.Tier, s.TierSwitches, s.IncrementalUpdates, s.FullRefits)
+		}
 	}
 	if o.store != "" {
 		if st, serr := studystore.Open(o.store, studystore.Options{ReadOnly: true}); serr == nil {

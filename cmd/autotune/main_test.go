@@ -278,3 +278,58 @@ func TestRunJournalMigratesIntoStore(t *testing.T) {
 		t.Fatalf("v0 journal still present after migration: %v", err)
 	}
 }
+
+// TestRunSurrogateTiersBitwiseDeterministic extends the determinism
+// invariant to the surrogate tier ladder: every pinned tier, and an auto
+// run whose lowered threshold forces a live dense→sparse switch, must
+// print byte-identical output across identically-seeded runs, and the
+// stats must name the tier that served the run.
+func TestRunSurrogateTiersBitwiseDeterministic(t *testing.T) {
+	cases := []struct {
+		name     string
+		surr     string
+		denseMax int
+		tier     string
+	}{
+		{"sparse", "sparse", 0, "tier=sparse"},
+		{"local", "local", 0, "tier=local"},
+		{"forest", "forest", 0, "tier=forest"},
+		{"auto-switch", "auto", 6, "tier=sparse"},
+	}
+	for _, c := range cases {
+		o := base()
+		o.optName = "bo"
+		o.budget = 12
+		o.parallel = 2
+		o.noise = 0.05
+		o.seed = 42
+		o.surrogate = c.surr
+		o.denseMax = c.denseMax
+		first := captureRun(t, o)
+		second := captureRun(t, o)
+		if first != second {
+			t.Fatalf("%s: output differs between identically-seeded runs:\n--- run 1\n%s\n--- run 2\n%s",
+				c.name, first, second)
+		}
+		if !strings.Contains(first, c.tier) {
+			t.Fatalf("%s: output does not report %q:\n%s", c.name, c.tier, first)
+		}
+	}
+}
+
+// TestRunSurrogateValidation: unknown tier names and non-BO optimizers
+// must fail fast instead of silently tuning with the wrong model.
+func TestRunSurrogateValidation(t *testing.T) {
+	o := base()
+	o.optName = "bo"
+	o.surrogate = "kriging"
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "surrogate") {
+		t.Fatalf("expected unknown-surrogate error, got %v", err)
+	}
+	o = base()
+	o.optName = "random"
+	o.surrogate = "forest"
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "surrogate") {
+		t.Fatalf("expected surrogate/optimizer mismatch error, got %v", err)
+	}
+}

@@ -13,6 +13,8 @@
 //	bench -sessions -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 //	bench -replay -out BENCH_6.json -minreplay 100000
 //	                           # study-store write/replay benchmark (PR 6)
+//	bench -scalebench -out BENCH_8.json -minspeedup 10 -maxregret 1.5
+//	                           # surrogate tier scaling benchmark (PR 9)
 package main
 
 import (
@@ -37,12 +39,15 @@ func main() {
 		sessions  = flag.Bool("sessions", false, "run the multi-session throughput benchmark instead of the experiment suite")
 		replay    = flag.Bool("replay", false, "run the study-store write/replay benchmark instead of the experiment suite")
 		serve     = flag.Bool("serve", false, "run the tuning-as-a-service load benchmark instead of the experiment suite")
+		scale     = flag.Bool("scalebench", false, "run the surrogate tier scaling benchmark (BENCH_8) instead of the experiment suite")
 		out       = flag.String("out", "", "write benchmark results to this JSON file")
 		minSpeed  = flag.Float64("minspeedup", 0, "fail unless the benchmark speedup reaches this factor (0 disables)")
 		minAlloc  = flag.Float64("minallocratio", 0, "with -sessions: relax -minspeedup to 2x when allocs/session shrink by this factor (0 disables)")
 		minReplay = flag.Float64("minreplay", 0, "with -replay: fail unless replay sustains this many records/sec (0 disables)")
 		minStudy  = flag.Int("minstudies", 0, "with -serve: fail unless this many concurrent studies are sustained (0 disables)")
 		minSugg   = flag.Float64("minsuggest", 0, "with -serve: fail unless this many suggests/sec are sustained (0 disables)")
+		maxRegret = flag.Float64("maxregret", 0, "with -scalebench: fail if the tiered/dense regret ratio exceeds this (0 disables)")
+		boHistCap = flag.Int("bo-history-cap", 0, "with -serve: observation feed cap per model-guided study; with -scalebench: deep-history study size (0 = default)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -76,8 +81,15 @@ func main() {
 		}
 	}()
 
+	if *scale {
+		if err := runScaleBench(*quick, *seed, *out, *minSpeed, *maxRegret, *boHistCap); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serve {
-		if err := runServeBench(*quick, *seed, *out, *minStudy, *minSugg); err != nil {
+		if err := runServeBench(*quick, *seed, *out, *minStudy, *minSugg, *boHistCap); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"autotune/internal/experiments"
+)
+
+// runScaleBench runs the surrogate tier scaling benchmark (BENCH_8): the
+// observe+suggest cycle at deep history sizes under the dense policy vs the
+// auto tier ladder, the regret guard on the synthetic suite, and the live
+// daemon serving one deep-history BO study. It prints the tables,
+// optionally writes JSON, and optionally enforces the PR-9 gates: cycle
+// speedup at the gate size and the tiered/dense regret ratio ceiling.
+func runScaleBench(quick bool, seed int64, outPath string, minSpeedup, maxRegret float64, historyCap int) error {
+	start := time.Now()
+	res, err := experiments.SurrogateScale(quick, seed, historyCap)
+	if err != nil {
+		return fmt.Errorf("scalebench: %w", err)
+	}
+
+	ms := func(ns float64) string { return fmt.Sprintf("%.2f", ns/1e6) }
+	tab := experiments.Table{
+		ID:      "B8",
+		Title:   "Surrogate tier scaling: dense GP vs automatic dense/sparse/forest ladder",
+		Claim:   "tier switching keeps the observe+suggest cycle flat as histories grow into the thousands",
+		Headers: []string{"n", "tier", "dense cycle (ms)", "tiered cycle (ms)", "speedup"},
+		Notes: fmt.Sprintf("gate: %.1fx at n=%d; max regret ratio %.2f; deep service suggest p50 %.1f ms at history %d",
+			res.SpeedupAtGate, res.GateN, res.MaxRegretRatio, res.Deep.SuggestP50Ms, res.Deep.HistoryCap),
+	}
+	for _, p := range res.Points {
+		dense, speed := ms(p.DenseCycleNs), fmt.Sprintf("%.1fx", p.Speedup)
+		if p.DenseSkipped {
+			dense, speed = "skipped (O(n³) fit)", "-"
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", p.N), p.Tier, dense, ms(p.TieredCycleNs), speed,
+		})
+	}
+	printTable(tab, time.Since(start))
+
+	reg := experiments.Table{
+		ID:      "B8r",
+		Title:   "Regret guard: best value found, dense policy vs auto tier ladder",
+		Claim:   "the tier ladder trades no material regret for its speed",
+		Headers: []string{"func", "optimum", "dense best", "tiered best", "regret ratio"},
+		Notes:   "ratios floored at 5% of objective scale so near-optimal denominators cannot explode",
+	}
+	for _, p := range res.Regret {
+		reg.Rows = append(reg.Rows, []string{
+			p.Func,
+			fmt.Sprintf("%.4f", p.Optimum),
+			fmt.Sprintf("%.4f", p.DenseBest),
+			fmt.Sprintf("%.4f", p.TieredBest),
+			fmt.Sprintf("%.2f", p.RegretRatio),
+		})
+	}
+	printTable(reg, time.Since(start))
+
+	if outPath != "" {
+		doc := struct {
+			Benchmark string                           `json:"benchmark"`
+			Quick     bool                             `json:"quick"`
+			Seed      int64                            `json:"seed"`
+			Result    experiments.SurrogateScaleResult `json:"result"`
+		}{"surrogate-tier-scaling", quick, seed, res}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if minSpeedup > 0 && res.SpeedupAtGate < minSpeedup {
+		return fmt.Errorf("scalebench: cycle speedup at n=%d is %.1fx, want >= %.0fx",
+			res.GateN, res.SpeedupAtGate, minSpeedup)
+	}
+	if maxRegret > 0 && res.MaxRegretRatio > maxRegret {
+		return fmt.Errorf("scalebench: regret ratio %.2f exceeds %.2f", res.MaxRegretRatio, maxRegret)
+	}
+	return nil
+}

@@ -7,7 +7,6 @@ import (
 	"math/rand"
 	"sync"
 
-	"autotune/internal/gp"
 	"autotune/internal/space"
 )
 
@@ -137,7 +136,7 @@ func (b *BO) encodeInto(cfg space.Config, buf []float64) {
 // become errors as in the legacy path.
 //
 //autolint:hotpath
-func (b *BO) runRestartFast(model *gp.GP, best float64, seed int64, nCand int, ws *acqWorkspace, out *fastOutcome) {
+func (b *BO) runRestartFast(model surModel, best float64, seed int64, nCand int, ws *acqWorkspace, out *fastOutcome) {
 	defer func() {
 		if r := recover(); r != nil {
 			out.err = fmt.Errorf("bo: acquisition restart panic: %v", r)
@@ -176,7 +175,7 @@ func (b *BO) runRestartFast(model *gp.GP, best float64, seed int64, nCand int, w
 // restart seeding, worker-pool shape, and index-order strict-> reduction, so
 // suggestions are bitwise-identical for any AcqWorkers value. Exactly one
 // value is consumed from b.rng per search.
-func (b *BO) searchAcqFast(model *gp.GP, best float64) (top, topAny cand, err error) {
+func (b *BO) searchAcqFast(model surModel, best float64) (top, topAny cand, err error) {
 	restarts := b.opts.AcqRestarts
 	per := (b.opts.Candidates + restarts - 1) / restarts
 	baseSeed := b.rng.Int63()
@@ -270,7 +269,7 @@ func (b *BO) searchAcqFast(model *gp.GP, best float64) (top, topAny cand, err er
 
 // maximizeAcqFast mirrors maximizeAcqLegacy over the flat search: encoded
 // dedup, optional local refinement, random fallback.
-func (b *BO) maximizeAcqFast(model *gp.GP) (space.Config, error) {
+func (b *BO) maximizeAcqFast(model surModel) (space.Config, error) {
 	best := model.MinY()
 	b.ensureSampler()
 	b.syncSeen()

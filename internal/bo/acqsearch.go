@@ -6,7 +6,6 @@ import (
 	"math/rand"
 	"sync"
 
-	"autotune/internal/gp"
 	"autotune/internal/space"
 )
 
@@ -41,7 +40,7 @@ func searchSeed(base int64, restart int) int64 {
 // It only reads shared state (space, model, seen), so restarts may run
 // concurrently; panics are converted to errors so one bad kernel input
 // cannot kill the worker pool.
-func (b *BO) runRestart(model *gp.GP, best float64, seen map[string]bool, seed int64, nCand int) (out restartOutcome) {
+func (b *BO) runRestart(model surModel, best float64, seen map[string]bool, seed int64, nCand int) (out restartOutcome) {
 	defer func() {
 		if r := recover(); r != nil {
 			out.err = fmt.Errorf("bo: acquisition restart panic: %v", r)
@@ -74,7 +73,7 @@ func (b *BO) runRestart(model *gp.GP, best float64, seen map[string]bool, seed i
 // are reduced strictly in index order with a strict > comparison, so the
 // result is bitwise-identical for any AcqWorkers value and any goroutine
 // schedule. Exactly one value is consumed from b.rng per search.
-func (b *BO) searchAcq(model *gp.GP, best float64, seen map[string]bool) (top, topAny cand, err error) {
+func (b *BO) searchAcq(model surModel, best float64, seen map[string]bool) (top, topAny cand, err error) {
 	restarts := b.opts.AcqRestarts
 	per := (b.opts.Candidates + restarts - 1) / restarts
 	baseSeed := b.rng.Int63()

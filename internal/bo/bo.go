@@ -77,6 +77,27 @@ type Options struct {
 	// value produces bitwise-identical models: rows are partitioned by
 	// index and every matrix element has exactly one writer.
 	GPWorkers int
+	// Surrogate selects the surrogate tier policy (surrogate.go). The
+	// default SurrogateAuto switches dense → sparse → forest as history
+	// grows past DenseMax and SparseMax; the other values pin one tier.
+	Surrogate SurrogatePolicy
+	// DenseMax is the largest history the auto policy serves with the
+	// exact incremental GP (default 512). Above it, per-observation
+	// maintenance would cost O(n²) and keep growing.
+	DenseMax int
+	// SparseMax is the largest history the auto policy serves with the
+	// subset-of-data sparse GP before switching to the random forest
+	// (default 4096).
+	SparseMax int
+	// SparseBudget is the sparse tier's inducing-set size (default 256):
+	// observe cost is O(budget²) regardless of history depth.
+	SparseBudget int
+	// TrustRegions is the number of local models the SurrogateLocal tier
+	// maintains (default 4).
+	TrustRegions int
+	// LocalCap caps the observations each local model conditions on
+	// (default 256), keeping every local fit O(cap²).
+	LocalCap int
 }
 
 func (o Options) withDefaults() Options {
@@ -110,6 +131,24 @@ func (o Options) withDefaults() Options {
 			o.AcqWorkers = o.AcqRestarts
 		}
 	}
+	if o.DenseMax <= 0 {
+		o.DenseMax = 512
+	}
+	if o.SparseMax <= 0 {
+		o.SparseMax = 4096
+	}
+	if o.SparseMax < o.DenseMax {
+		o.SparseMax = o.DenseMax
+	}
+	if o.SparseBudget <= 0 {
+		o.SparseBudget = 256
+	}
+	if o.TrustRegions <= 0 {
+		o.TrustRegions = 4
+	}
+	if o.LocalCap <= 0 {
+		o.LocalCap = 256
+	}
 	return o
 }
 
@@ -119,12 +158,29 @@ type SurrogateStats struct {
 	// IncrementalUpdates is the number of observations absorbed via O(n²)
 	// rank-1 Cholesky row updates.
 	IncrementalUpdates int
-	// FullRefits is the number of O(n³) from-scratch refactorizations,
-	// including hyperparameter refits.
+	// FullRefits is the number of from-scratch surrogate rebuilds,
+	// including hyperparameter refits (and, under the forest and local
+	// tiers, forest fits and region-model rebuilds).
 	FullRefits int
 	// HyperRefits is the subset of full refits that also re-optimized
 	// kernel hyperparameters.
 	HyperRefits int
+	// Tier is the currently active surrogate tier ("dense", "sparse",
+	// "local", or "forest"); empty before the first model build.
+	Tier string
+	// TierSwitches counts automatic tier changes; Switches records each
+	// one with the history size at which it fired. Both are pure
+	// functions of (history length, Options) — identical across runs,
+	// worker counts, and resume.
+	TierSwitches int
+	Switches     []TierSwitch
+	// Sparse mirrors the sparse tier's absorb/skip/rebuild counters while
+	// that tier is active.
+	Sparse gp.SparseStats
+	// ForestRefits counts forest rebuilds under the forest tier.
+	ForestRefits int
+	// LocalRestarts counts trust-region restarts under the local tier.
+	LocalRestarts int
 }
 
 // BO is a sequential model-based optimizer with a GP surrogate. It
@@ -135,7 +191,14 @@ type BO struct {
 	rng   *rand.Rand
 	opts  Options
 
-	model      *gp.GP
+	// model is the active global surrogate: *gp.GP (dense tier),
+	// *gp.SparseGP (sparse), or *forestSur (forest). Under the local tier
+	// it is nil and local holds the trust regions instead.
+	model      surModel
+	local      *localModels
+	tier       SurrogatePolicy // resolved tier; SurrogateAuto until first build
+	surSeed    int64           // lazily drawn seed for sparse/forest/local tiers
+	surSeeded  bool
 	modelDirty bool
 	lastHyper  int
 	logShift   float64 // shift used by the LogY warp in the current fit
@@ -163,16 +226,45 @@ type BO struct {
 }
 
 // Stats returns counters describing how the surrogate has been maintained
-// (incremental updates vs full refits) since construction.
-func (b *BO) Stats() SurrogateStats { return b.stats }
+// (incremental updates, full refits, tier switches) since construction.
+func (b *BO) Stats() SurrogateStats {
+	st := b.stats
+	if b.tier != SurrogateAuto {
+		st.Tier = b.tier.String()
+	}
+	if sp, ok := b.model.(*gp.SparseGP); ok {
+		st.Sparse = sp.Stats()
+	}
+	if b.local != nil {
+		st.LocalRestarts = b.local.Restarts()
+	}
+	st.Switches = append([]TierSwitch(nil), b.stats.Switches...)
+	return st
+}
 
 // SetGPWorkers overrides Options.GPWorkers after construction, propagating
 // to an existing surrogate. Every value produces bitwise-identical models,
 // so it is safe to change at any point in a run.
 func (b *BO) SetGPWorkers(n int) {
 	b.opts.GPWorkers = n
-	if b.model != nil {
-		b.model.SetWorkers(n)
+	if gm, ok := b.model.(gpModel); ok {
+		gm.SetWorkers(n)
+	}
+}
+
+// SetSurrogate overrides Options.Surrogate after construction but before
+// the first model build, for callers (like the CLI) that construct
+// optimizers through a generic factory.
+func (b *BO) SetSurrogate(p SurrogatePolicy) { b.opts.Surrogate = p }
+
+// SetDenseMax overrides the auto policy's dense→sparse switch threshold;
+// values <= 0 are ignored.
+func (b *BO) SetDenseMax(n int) {
+	if n > 0 {
+		b.opts.DenseMax = n
+		if b.opts.SparseMax < n {
+			b.opts.SparseMax = n
+		}
 	}
 }
 
@@ -196,7 +288,12 @@ func NewWith(s *space.Space, rng *rand.Rand, opts Options) *BO {
 			opts.InitSamples = maxLevels + 1
 		}
 	}
-	return &BO{space: s, rng: rng, opts: opts}
+	// The surrogate seed is drawn eagerly so every tier consumes the same
+	// rng prefix: a pinned sparse run and a pinned dense run then share
+	// their entire draw sequence, which is what makes "sparse == dense
+	// below the inducing budget" hold for whole suggestion streams, not
+	// just individual model predictions.
+	return &BO{space: s, rng: rng, opts: opts, surSeed: rng.Int63(), surSeeded: true}
 }
 
 // Name implements optimizer.Optimizer.
@@ -221,8 +318,8 @@ func (b *BO) Observe(cfg space.Config, value float64) error {
 	return nil
 }
 
-// refit rebuilds the GP from history; hyperparameters are refitted every
-// FitHyperEvery observations.
+// refit rebuilds the active tier's surrogate from history; under the GP
+// tiers, hyperparameters are refitted every FitHyperEvery observations.
 func (b *BO) refit() error {
 	hist := b.History()
 	xs := make([][]float64, len(hist))
@@ -239,20 +336,36 @@ func (b *BO) refit() error {
 	if b.opts.LogY {
 		ys, b.logShift = logWarp(ys)
 	}
-	if b.model == nil {
-		b.model = gp.New(b.opts.Kernel.Clone(), b.opts.Noise)
-		b.model.SetLegacyAlloc(b.opts.LegacyLoop)
-		b.model.SetWorkers(b.opts.GPWorkers)
-	}
-	every := b.opts.FitHyperEvery
-	if every > 0 && len(hist)-b.lastHyper >= every {
-		b.lastHyper = len(hist)
-		b.stats.HyperRefits++
-		if err := b.model.FitHyper(xs, ys, 2, b.rng); err != nil {
-			return fmt.Errorf("bo: hyper fit: %w", err)
+	switch b.tier {
+	case SurrogateLocal:
+		if b.local == nil {
+			b.local = newLocalModels(b)
 		}
-	} else if err := b.model.Fit(xs, ys); err != nil {
-		return fmt.Errorf("bo: fit: %w", err)
+		b.model = nil
+		if err := b.local.rebuild(b, hist, xs, ys); err != nil {
+			return fmt.Errorf("bo: local rebuild: %w", err)
+		}
+	case SurrogateForest:
+		f, ok := b.model.(*forestSur)
+		if !ok {
+			f = newForestSur(0, b.surrogateSeed(), &b.stats.ForestRefits)
+			b.model = f
+		}
+		if err := f.Fit(xs, ys); err != nil {
+			return err
+		}
+	default: // dense and sparse share the exact-GP maintenance path
+		gm := b.gpModelForTier()
+		every := b.opts.FitHyperEvery
+		if every > 0 && len(hist)-b.lastHyper >= every {
+			b.lastHyper = len(hist)
+			b.stats.HyperRefits++
+			if err := gm.FitHyper(xs, ys, 2, b.rng); err != nil {
+				return fmt.Errorf("bo: hyper fit: %w", err)
+			}
+		} else if err := gm.Fit(xs, ys); err != nil {
+			return fmt.Errorf("bo: fit: %w", err)
+		}
 	}
 	b.stats.FullRefits++
 	b.absorbed = len(hist)
@@ -261,13 +374,49 @@ func (b *BO) refit() error {
 	return nil
 }
 
-// ensureModel brings the surrogate up to date with history. New
-// observations are absorbed incrementally via O(n²) rank-1 Cholesky
-// updates whenever that is exactly equivalent to refitting — otherwise
-// (hyperparameter refit due, non-finite values in play, a LogY shift
-// change, or Options.FullRefit) it rebuilds from scratch.
+// gpModelForTier returns the current GP-backed surrogate, constructing
+// (or replacing, after a tier switch) it as needed. The dense tier keeps
+// the exact incremental GP; the sparse tier wraps the same GP behind a
+// deterministic inducing-point subset.
+func (b *BO) gpModelForTier() gpModel {
+	if b.tier == SurrogateSparse {
+		if sp, ok := b.model.(*gp.SparseGP); ok {
+			return sp
+		}
+		sp := gp.NewSparse(b.opts.Kernel.Clone(), b.opts.Noise, b.opts.SparseBudget, b.surrogateSeed())
+		sp.SetWorkers(b.opts.GPWorkers)
+		b.model = sp
+		return sp
+	}
+	if g, ok := b.model.(*gp.GP); ok {
+		return g
+	}
+	g := gp.New(b.opts.Kernel.Clone(), b.opts.Noise)
+	g.SetLegacyAlloc(b.opts.LegacyLoop)
+	g.SetWorkers(b.opts.GPWorkers)
+	b.model = g
+	return g
+}
+
+// ensureModel brings the surrogate up to date with history: first the
+// tier decision (a pure function of history size), then incremental
+// absorption wherever it is exactly equivalent to refitting — otherwise
+// (tier switch, hyperparameter refit due, non-finite values in play, a
+// LogY shift change, or Options.FullRefit) a rebuild from scratch.
 func (b *BO) ensureModel() error {
-	if b.model == nil {
+	n := len(b.History())
+	tier := b.resolveTier(n)
+	if tier != b.tier {
+		if b.tier != SurrogateAuto { // initial placement is not a switch
+			b.stats.TierSwitches++
+			b.stats.Switches = append(b.stats.Switches, TierSwitch{
+				N: n, From: b.tier.String(), To: tier.String(),
+			})
+		}
+		b.tier = tier
+		return b.refit()
+	}
+	if b.model == nil && b.local == nil {
 		return b.refit()
 	}
 	if !b.modelDirty {
@@ -277,8 +426,10 @@ func (b *BO) ensureModel() error {
 	if b.opts.FullRefit || b.haveInvalid || b.absorbed > len(hist) {
 		return b.refit()
 	}
-	if every := b.opts.FitHyperEvery; every > 0 && len(hist)-b.lastHyper >= every {
-		return b.refit()
+	if b.tier != SurrogateForest {
+		if every := b.opts.FitHyperEvery; every > 0 && len(hist)-b.lastHyper >= every {
+			return b.refit()
+		}
 	}
 	pending := hist[b.absorbed:]
 	for _, obs := range pending {
@@ -292,16 +443,20 @@ func (b *BO) ensureModel() error {
 			return b.refit()
 		}
 	}
+	if b.tier == SurrogateLocal {
+		b.local.sync(b, hist)
+		b.absorbed = len(hist)
+		b.modelDirty = false
+		return nil
+	}
 	for _, obs := range pending {
-		y := obs.Value
-		if b.opts.LogY {
-			y = math.Log(y + b.logShift + 1e-12)
-		}
-		if err := b.model.Observe(b.encode(obs.Config), y); err != nil {
+		if err := b.model.Observe(b.encode(obs.Config), b.modelUnitY(obs.Value)); err != nil {
 			return fmt.Errorf("bo: incremental observe: %w", err)
 		}
 		b.absorbed++
-		b.stats.IncrementalUpdates++
+		if b.tier != SurrogateForest {
+			b.stats.IncrementalUpdates++
+		}
 	}
 	b.modelDirty = false
 	return nil
@@ -320,6 +475,13 @@ func (b *BO) Suggest() (space.Config, error) {
 	if err := b.ensureModel(); err != nil {
 		// Surrogate failure must not stall tuning: fall back to random.
 		return b.space.Sample(b.rng), nil
+	}
+	if b.tier == SurrogateLocal {
+		cfgs, err := b.local.suggestN(b, 1)
+		if err != nil || len(cfgs) == 0 {
+			return b.space.Sample(b.rng), nil
+		}
+		return cfgs[0], nil
 	}
 	cfg, err := b.maximizeAcq(b.model)
 	if err != nil {
@@ -348,7 +510,7 @@ func (b *BO) stratifiedSample(i int) space.Config {
 // maximizeAcq dispatches between the flat-buffer acquisition search
 // (acqfast.go, the default) and the allocating legacy loop kept as a
 // benchmark arm.
-func (b *BO) maximizeAcq(model *gp.GP) (space.Config, error) {
+func (b *BO) maximizeAcq(model surModel) (space.Config, error) {
 	if b.opts.LegacyLoop {
 		return b.maximizeAcqLegacy(model)
 	}
@@ -359,7 +521,7 @@ func (b *BO) maximizeAcq(model *gp.GP) (space.Config, error) {
 // optionally refines the best numeric point locally, and dedups against
 // already-evaluated configs. The incumbent comes from the model itself
 // (MinY), so fantasized observations on a cloned surrogate participate.
-func (b *BO) maximizeAcqLegacy(model *gp.GP) (space.Config, error) {
+func (b *BO) maximizeAcqLegacy(model surModel) (space.Config, error) {
 	best := model.MinY()
 	seen := make(map[string]bool, b.N())
 	for _, obs := range b.History() {
@@ -396,7 +558,7 @@ func (b *BO) maximizeAcqLegacy(model *gp.GP) (space.Config, error) {
 
 // refine runs Nelder-Mead on the unit-cube encoding around cfg, maximizing
 // the acquisition; categorical assignments ride along via Decode snapping.
-func (b *BO) refine(model *gp.GP, cfg space.Config, best float64) space.Config {
+func (b *BO) refine(model surModel, cfg space.Config, best float64) space.Config {
 	x0 := b.space.Encode(cfg)
 	obj := func(x []float64) float64 {
 		c := b.space.Decode(x)
@@ -429,7 +591,14 @@ func (b *BO) SuggestN(n int) ([]space.Config, error) {
 	if err := b.ensureModel(); err != nil {
 		return b.space.SampleN(b.rng, n), nil
 	}
-	model := b.model.Clone()
+	if b.tier == SurrogateLocal {
+		cfgs, err := b.local.suggestN(b, n)
+		if err != nil {
+			return b.space.SampleN(b.rng, n), nil
+		}
+		return cfgs, nil
+	}
+	model := cloneSur(b.model)
 	lie := model.MinY() // incumbent in model units (post clamp and warp)
 	out := make([]space.Config, 0, n)
 	for i := 0; i < n; i++ {
@@ -477,7 +646,13 @@ func (b *BO) Predict(cfg space.Config) (mean, std float64, ok bool) {
 	if err := b.ensureModel(); err != nil {
 		return 0, 0, false
 	}
-	mu, v, err := b.model.Predict(b.encode(cfg))
+	var mu, v float64
+	var err error
+	if b.tier == SurrogateLocal {
+		mu, v, err = b.local.predict(b, cfg)
+	} else {
+		mu, v, err = b.model.Predict(b.encode(cfg))
+	}
 	if err != nil {
 		return 0, 0, false
 	}

@@ -1,0 +1,174 @@
+package bo
+
+import (
+	"math/rand"
+	"testing"
+
+	"autotune/internal/space"
+	"autotune/internal/testfunc"
+)
+
+// TestSparseTierMatchesDenseBelowThreshold pins the tier contract at the
+// BO level: with an inducing budget the history never reaches, the pinned
+// sparse tier and the pinned dense tier must produce bitwise-identical
+// suggestion streams — the sparse path delegates to the very same code.
+func TestSparseTierMatchesDenseBelowThreshold(t *testing.T) {
+	f := testfunc.Branin()
+	budget := 30
+	opts := func(p SurrogatePolicy) Options {
+		return Options{
+			OneHot: true, RefineIters: 40, FitHyperEvery: 10,
+			Surrogate: p, SparseBudget: 4096,
+		}
+	}
+	dense := driveBO(t, NewWith(f.Space, rand.New(rand.NewSource(7)), opts(SurrogateDense)), f.Eval, budget)
+	sparse := driveBO(t, NewWith(f.Space, rand.New(rand.NewSource(7)), opts(SurrogateSparse)), f.Eval, budget)
+	for i := range dense {
+		if dense[i] != sparse[i] {
+			t.Fatalf("sparse tier diverged from dense at step %d:\n  dense:  %s\n  sparse: %s",
+				i, dense[i], sparse[i])
+		}
+	}
+}
+
+// TestAutoSwitchPointsDeterministic drives the auto policy across both
+// thresholds twice with identical seeds and requires the switch points to
+// match exactly; a third optimizer fed the full history in one replay
+// (the server's resume pattern) must land on the same tier.
+func TestAutoSwitchPointsDeterministic(t *testing.T) {
+	f := testfunc.Branin()
+	budget := 48
+	opts := Options{
+		OneHot: true, RefineIters: 4, FitHyperEvery: 0,
+		DenseMax: 12, SparseMax: 24, SparseBudget: 16,
+		Candidates: 64, AcqRestarts: 4,
+	}
+	run := func() (*BO, []string) {
+		b := NewWith(f.Space, rand.New(rand.NewSource(11)), opts)
+		keys := driveBO(t, b, f.Eval, budget)
+		return b, keys
+	}
+	b1, k1 := run()
+	b2, k2 := run()
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("runs diverged at step %d: %s != %s", i, k1[i], k2[i])
+		}
+	}
+	st1, st2 := b1.Stats(), b2.Stats()
+	if st1.TierSwitches != 2 {
+		t.Fatalf("expected 2 tier switches (dense→sparse→forest), got %d: %+v", st1.TierSwitches, st1.Switches)
+	}
+	if len(st1.Switches) != len(st2.Switches) {
+		t.Fatalf("switch histories differ: %+v vs %+v", st1.Switches, st2.Switches)
+	}
+	for i := range st1.Switches {
+		if st1.Switches[i] != st2.Switches[i] {
+			t.Fatalf("switch %d differs: %+v vs %+v", i, st1.Switches[i], st2.Switches[i])
+		}
+	}
+	if st1.Tier != "forest" {
+		t.Fatalf("final tier %q, want forest", st1.Tier)
+	}
+
+	// Resume: replay the whole history into a fresh optimizer, then one
+	// Suggest. The tier decision depends only on history size, so the
+	// replayed optimizer must resolve the same tier.
+	replay := NewWith(f.Space, rand.New(rand.NewSource(11)), opts)
+	for _, obs := range b1.History() {
+		if err := replay.Observe(obs.Config, obs.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := replay.Suggest(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replay.Stats().Tier; got != st1.Tier {
+		t.Fatalf("replayed tier %q != live tier %q", got, st1.Tier)
+	}
+}
+
+// TestForestTierSuggests pins the deep-history tier end to end: forced
+// forest surrogate, suggestions stay valid, the forest refits on cadence,
+// and SuggestN's constant-liar clone leaves the real counter alone.
+func TestForestTierSuggests(t *testing.T) {
+	f := testfunc.Branin()
+	b := NewWith(f.Space, rand.New(rand.NewSource(3)), Options{
+		OneHot: true, Surrogate: SurrogateForest, Candidates: 64, AcqRestarts: 4,
+	})
+	driveBO(t, b, f.Eval, 40)
+	st := b.Stats()
+	if st.Tier != "forest" {
+		t.Fatalf("tier %q, want forest", st.Tier)
+	}
+	if st.ForestRefits == 0 {
+		t.Fatal("forest never refit")
+	}
+	before := b.Stats().ForestRefits
+	cfgs, err := b.SuggestN(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 4 {
+		t.Fatalf("SuggestN returned %d configs, want 4", len(cfgs))
+	}
+	for _, cfg := range cfgs {
+		if err := f.Space.Validate(cfg); err != nil {
+			t.Fatalf("invalid suggestion %v: %v", cfg, err)
+		}
+	}
+	if after := b.Stats().ForestRefits; after != before {
+		t.Fatalf("constant-liar clone bumped ForestRefits: %d -> %d", before, after)
+	}
+}
+
+// TestSparseTierDeepHistory exercises the sparse tier well past the dense
+// threshold: maintenance must go through skips and rebuilds while
+// suggestions stay valid and the incumbent stays exact.
+func TestSparseTierDeepHistory(t *testing.T) {
+	f := testfunc.Branin()
+	b := NewWith(f.Space, rand.New(rand.NewSource(5)), Options{
+		OneHot: true, Surrogate: SurrogateSparse, SparseBudget: 16,
+		Candidates: 64, AcqRestarts: 4, FitHyperEvery: 0,
+	})
+	// Bulk history first (absorbed by one refit), then a live loop so the
+	// saturated rank-1 observe path runs past the budget.
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 40; i++ {
+		cfg := f.Space.Sample(rng)
+		if err := b.Observe(cfg, f.Eval(cfg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	driveBO(t, b, f.Eval, 60)
+	st := b.Stats()
+	if st.Tier != "sparse" {
+		t.Fatalf("tier %q, want sparse", st.Tier)
+	}
+	if st.Sparse.Skipped == 0 || st.Sparse.Rebuilds == 0 {
+		t.Fatalf("deep history should skip and rebuild: %+v", st.Sparse)
+	}
+}
+
+// TestTierSwitchKeepsPredict: Predict must stay serviceable across a
+// dense→sparse switch (the guardrail consumers never see the tiers).
+func TestTierSwitchKeepsPredict(t *testing.T) {
+	s := space.MustNew(space.Float("x", 0, 1), space.Float("y", 0, 1))
+	b := NewWith(s, rand.New(rand.NewSource(9)), Options{
+		OneHot: true, DenseMax: 10, SparseBudget: 8, FitHyperEvery: 0,
+		Candidates: 32, AcqRestarts: 2,
+	})
+	obj := func(cfg space.Config) float64 {
+		x := cfg["x"].(float64)
+		y := cfg["y"].(float64)
+		return (x-0.4)*(x-0.4) + (y-0.6)*(y-0.6)
+	}
+	driveBO(t, b, obj, 30)
+	probe := space.Config{"x": 0.4, "y": 0.6}
+	if _, _, ok := b.Predict(probe); !ok {
+		t.Fatal("Predict unavailable after tier switch")
+	}
+	if got := b.Stats().Tier; got != "sparse" {
+		t.Fatalf("tier %q, want sparse", got)
+	}
+}

@@ -1,0 +1,138 @@
+package bo
+
+import (
+	"math/rand"
+	"testing"
+
+	"autotune/internal/space"
+	"autotune/internal/testfunc"
+)
+
+func localOpts(acqWorkers, gpWorkers int) Options {
+	return Options{
+		OneHot: true, Surrogate: SurrogateLocal,
+		TrustRegions: 3, LocalCap: 64,
+		Candidates: 64, AcqRestarts: 4, RefineIters: 0,
+		FitHyperEvery: 0, AcqWorkers: acqWorkers, GPWorkers: gpWorkers,
+	}
+}
+
+// TestLocalSuggestDeterministicAcrossWorkers pins the trust-region tier's
+// determinism contract: box-search RNGs derive from (seed, job index) and
+// results reduce in index order, so the suggestion stream is bitwise
+// identical for any AcqWorkers/GPWorkers combination.
+func TestLocalSuggestDeterministicAcrossWorkers(t *testing.T) {
+	f := testfunc.Branin()
+	budget := 35
+	serial := driveBO(t, NewWith(f.Space, rand.New(rand.NewSource(21)), localOpts(1, 1)), f.Eval, budget)
+	for _, w := range []struct{ acq, gp int }{{2, 1}, {8, 1}, {1, 4}, {4, 4}} {
+		par := driveBO(t, NewWith(f.Space, rand.New(rand.NewSource(21)), localOpts(w.acq, w.gp)), f.Eval, budget)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("acq=%d gp=%d diverged at step %d:\n  serial:   %s\n  parallel: %s",
+					w.acq, w.gp, i, serial[i], par[i])
+			}
+		}
+	}
+}
+
+// TestLocalRebuildMatchesIncrementalSync drives one optimizer step by step
+// (incremental region folds) and replays the identical history into a
+// fresh optimizer (full rebuild fold). Because region maintenance is a
+// pure left-fold over history, both must land in identical region states.
+func TestLocalRebuildMatchesIncrementalSync(t *testing.T) {
+	f := testfunc.Branin()
+	live := NewWith(f.Space, rand.New(rand.NewSource(33)), localOpts(1, 1))
+	driveBO(t, live, f.Eval, 30)
+
+	replay := NewWith(f.Space, rand.New(rand.NewSource(33)), localOpts(1, 1))
+	for _, obs := range live.History() {
+		if err := replay.Observe(obs.Config, obs.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := live.ensureModel(); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay.ensureModel(); err != nil {
+		t.Fatal(err)
+	}
+	lr, rr := live.local.regions, replay.local.regions
+	if len(lr) != len(rr) {
+		t.Fatalf("region counts differ: %d vs %d", len(lr), len(rr))
+	}
+	for i := range lr {
+		a, b := lr[i], rr[i]
+		if a.length != b.length || a.bestY != b.bestY || a.bestIdx != b.bestIdx ||
+			a.succ != b.succ || a.fail != b.fail || a.restarts != b.restarts {
+			t.Fatalf("region %d state diverged:\n  live:   %+v\n  replay: %+v", i, a, b)
+		}
+		for k := range a.center {
+			if a.center[k] != b.center[k] {
+				t.Fatalf("region %d center[%d] %v != %v", i, k, a.center[k], b.center[k])
+			}
+		}
+		if len(a.members) != len(b.members) {
+			t.Fatalf("region %d member counts differ: %d vs %d", i, len(a.members), len(b.members))
+		}
+		for k := range a.members {
+			if a.members[k] != b.members[k] {
+				t.Fatalf("region %d member %d: %d != %d", i, k, a.members[k], b.members[k])
+			}
+		}
+	}
+}
+
+// TestLocalSuggestN exercises the batch path under the local tier: the
+// returned configs must be valid, distinct, and deterministic across runs.
+func TestLocalSuggestN(t *testing.T) {
+	f := testfunc.Branin()
+	run := func() []string {
+		b := NewWith(f.Space, rand.New(rand.NewSource(14)), localOpts(2, 1))
+		driveBO(t, b, f.Eval, 20)
+		cfgs, err := b.SuggestN(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cfgs) != 4 {
+			t.Fatalf("SuggestN returned %d configs, want 4", len(cfgs))
+		}
+		keys := make([]string, len(cfgs))
+		for i, cfg := range cfgs {
+			if err := f.Space.Validate(cfg); err != nil {
+				t.Fatalf("invalid batch suggestion %v: %v", cfg, err)
+			}
+			keys[i] = cfg.Key()
+		}
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				if keys[i] == keys[j] {
+					t.Fatalf("duplicate batch suggestions: %s", keys[i])
+				}
+			}
+		}
+		return keys
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("batch run diverged at slot %d: %s != %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLocalRestartsOnCollapse drives a trust region into repeated failures
+// with a deceptive objective and requires at least one restart to fire,
+// with the restart counter surfaced through Stats.
+func TestLocalRestartsOnCollapse(t *testing.T) {
+	f := testfunc.Branin()
+	opts := localOpts(1, 1)
+	opts.TrustRegions = 2
+	b := NewWith(f.Space, rand.New(rand.NewSource(8)), opts)
+	// A constant objective means every post-init observation is a failure,
+	// so lengths halve until the restart threshold trips.
+	driveBO(t, b, func(cfg space.Config) float64 { return 1 }, 60)
+	if b.Stats().LocalRestarts == 0 {
+		t.Fatal("expected at least one trust-region restart under constant objective")
+	}
+}

@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"autotune/internal/bo"
+	"autotune/internal/server"
+	"autotune/internal/space"
+	"autotune/internal/testfunc"
+)
+
+// scale.go is the BENCH_8 harness: does the surrogate tier ladder (dense →
+// sparse → forest) keep the observe+suggest cycle flat as histories grow
+// into the thousands, and does it pay for that speed with regret? Three
+// measurements: (1) warmed observe+suggest cycle time at deep history
+// sizes, dense vs auto-tiered; (2) full optimization runs on the synthetic
+// suite comparing best values (the regret guard); (3) the live daemon
+// serving a single deep-history BO study over HTTP.
+
+// SurrogateScalePoint is one row of the cycle-time comparison at history
+// size N: the cost of absorbing one observation and producing the next
+// suggestion, on a warmed optimizer.
+type SurrogateScalePoint struct {
+	N    int    `json:"n"`
+	Tier string `json:"tier"` // tier the auto policy serves at this size
+	// Dense arm: the exact incremental GP (rank-1 updates, full history).
+	// Skipped at sizes where the O(n³) warm-up fit is impractical.
+	DenseCycleNs float64 `json:"dense_cycle_ns"`
+	DenseSkipped bool    `json:"dense_skipped,omitempty"`
+	// Tiered arm: the auto policy at its default thresholds.
+	TieredCycleNs float64 `json:"tiered_cycle_ns"`
+	Speedup       float64 `json:"speedup,omitempty"`
+}
+
+// SurrogateRegretPoint compares the best value found by the dense policy
+// and the auto policy (thresholds lowered so the tier ladder engages within
+// the budget) on one synthetic objective.
+type SurrogateRegretPoint struct {
+	Func        string  `json:"func"`
+	Optimum     float64 `json:"optimum"`
+	DenseBest   float64 `json:"dense_best"`
+	TieredBest  float64 `json:"tiered_best"`
+	RegretRatio float64 `json:"regret_ratio"`
+}
+
+// DeepServiceResult measures the daemon serving one BO study whose history
+// is far past the dense tier: how fast client-reported observations land,
+// and what a batch suggest costs once the deep history is in place.
+type DeepServiceResult struct {
+	HistoryCap    int     `json:"history_cap"`
+	FeedSeconds   float64 `json:"feed_seconds"`
+	ObservePerSec float64 `json:"observe_per_sec"`
+	SuggestP50Ms  float64 `json:"suggest_p50_ms"`
+	SuggestMaxMs  float64 `json:"suggest_max_ms"`
+	Suggests      int     `json:"suggests"`
+}
+
+// SurrogateScaleResult is the full BENCH_8 document.
+type SurrogateScaleResult struct {
+	Points []SurrogateScalePoint  `json:"points"`
+	Regret []SurrogateRegretPoint `json:"regret"`
+	Deep   DeepServiceResult      `json:"deep_service"`
+	// SpeedupAtGate is the cycle speedup at the gate size (n=5000 full,
+	// the largest dense-measured size in quick mode).
+	GateN          int     `json:"gate_n"`
+	SpeedupAtGate  float64 `json:"speedup_at_gate"`
+	MaxRegretRatio float64 `json:"max_regret_ratio"`
+}
+
+// scaleCycle warms a BO with n observations, then times reps observe+suggest
+// cycles and returns the median in nanoseconds.
+func scaleCycle(opts bo.Options, seed int64, pts []space.Config, ys []float64, n, reps int) (float64, string, error) {
+	s := scalingSpace()
+	b := bo.NewWith(s, rand.New(rand.NewSource(seed)), opts)
+	for i := 0; i < n; i++ {
+		if err := b.Observe(pts[i], ys[i]); err != nil {
+			return 0, "", err
+		}
+	}
+	if _, err := b.Suggest(); err != nil { // warm: the initial full fit
+		return 0, "", err
+	}
+	times := make([]time.Duration, 0, reps)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := b.Observe(pts[n+r], ys[n+r]); err != nil {
+			return 0, "", err
+		}
+		if _, err := b.Suggest(); err != nil {
+			return 0, "", err
+		}
+		times = append(times, time.Since(start))
+	}
+	return medianDur(times), b.Stats().Tier, nil
+}
+
+// SurrogateScaling measures the observe+suggest cycle at deep history
+// sizes. Both arms share identical acquisition-search budgets, so the ratio
+// isolates surrogate maintenance plus prediction cost. The dense arm is
+// skipped at the largest size: its warm-up alone is an O(n³) fit that would
+// dominate the benchmark's runtime without informing the comparison.
+func SurrogateScaling(quick bool, seed int64) ([]SurrogateScalePoint, int, float64, error) {
+	sizes := []int{1000, 5000, 10000}
+	denseSkip := map[int]bool{10000: true}
+	reps := pick(quick, 2, 5)
+	opts := func(p bo.SurrogatePolicy) bo.Options {
+		o := bo.Options{
+			OneHot: true, InitSamples: 2, RefineIters: 0,
+			Candidates: 256, AcqRestarts: 4, Surrogate: p,
+		}
+		if quick {
+			// Quick mode shrinks sizes below; lower the thresholds so the
+			// ladder still engages.
+			o.DenseMax, o.SparseMax, o.SparseBudget = 64, 400, 64
+		}
+		return o
+	}
+	if quick {
+		sizes = []int{300, 600}
+		denseSkip = map[int]bool{600: true}
+	}
+	gateN := sizes[len(sizes)-2] // largest size with a dense arm
+
+	s := scalingSpace()
+	max := sizes[len(sizes)-1] + reps
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]space.Config, max)
+	ys := make([]float64, max)
+	for i := range pts {
+		pts[i] = s.Sample(rng)
+		ys[i] = scalingObjective(pts[i])
+	}
+
+	var out []SurrogateScalePoint
+	gateSpeedup := 0.0
+	for _, n := range sizes {
+		p := SurrogateScalePoint{N: n}
+		tiered, tier, err := scaleCycle(opts(bo.SurrogateAuto), seed, pts, ys, n, reps)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("tiered arm n=%d: %w", n, err)
+		}
+		p.TieredCycleNs, p.Tier = tiered, tier
+		if denseSkip[n] {
+			p.DenseSkipped = true
+		} else {
+			dense, _, err := scaleCycle(opts(bo.SurrogateDense), seed, pts, ys, n, reps)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("dense arm n=%d: %w", n, err)
+			}
+			p.DenseCycleNs = dense
+			if tiered > 0 {
+				p.Speedup = dense / tiered
+			}
+			if n == gateN {
+				gateSpeedup = p.Speedup
+			}
+		}
+		out = append(out, p)
+	}
+	return out, gateN, gateSpeedup, nil
+}
+
+// SurrogateRegret runs full optimization loops on the synthetic suite,
+// dense policy vs auto policy with thresholds lowered so the run crosses
+// dense → sparse within the budget. The ratio compares simple regrets with
+// a floor so near-optimal denominators cannot explode it.
+func SurrogateRegret(quick bool, seed int64) ([]SurrogateRegretPoint, float64, error) {
+	funcs := []testfunc.Func{testfunc.Branin(), testfunc.Sphere(3), testfunc.Hartmann6()}
+	budget := pick(quick, 40, 150)
+	seeds := pick(quick, 2, 3)
+
+	arm := func(f testfunc.Func, p bo.SurrogatePolicy, s int64) (float64, error) {
+		o := bo.Options{OneHot: true, RefineIters: 40, FitHyperEvery: 10, Surrogate: p}
+		if p == bo.SurrogateAuto {
+			o.DenseMax, o.SparseMax, o.SparseBudget = budget/4, 10*budget, 48
+		}
+		b := bo.NewWith(f.Space, rand.New(rand.NewSource(s)), o)
+		best := 0.0
+		for i := 0; i < budget; i++ {
+			cfg, err := b.Suggest()
+			if err != nil {
+				return 0, err
+			}
+			v := f.Eval(cfg)
+			if i == 0 || v < best {
+				best = v
+			}
+			if err := b.Observe(cfg, v); err != nil {
+				return 0, err
+			}
+		}
+		return best, nil
+	}
+
+	var out []SurrogateRegretPoint
+	maxRatio := 0.0
+	for _, f := range funcs {
+		dSum, tSum := 0.0, 0.0
+		for s := 0; s < seeds; s++ {
+			d, err := arm(f, bo.SurrogateDense, seed+int64(101*s))
+			if err != nil {
+				return nil, 0, fmt.Errorf("%s dense: %w", f.Name, err)
+			}
+			ti, err := arm(f, bo.SurrogateAuto, seed+int64(101*s))
+			if err != nil {
+				return nil, 0, fmt.Errorf("%s tiered: %w", f.Name, err)
+			}
+			dSum += d
+			tSum += ti
+		}
+		p := SurrogateRegretPoint{
+			Func: f.Name, Optimum: f.Optimum,
+			DenseBest:  dSum / float64(seeds),
+			TieredBest: tSum / float64(seeds),
+		}
+		// Floor the regrets at 5% of the objective scale: a dense arm that
+		// lands within noise of the optimum should not turn an equally
+		// close tiered arm into a huge ratio.
+		floor := 0.05 * (1 + abs(f.Optimum))
+		dr := p.DenseBest - f.Optimum
+		tr := p.TieredBest - f.Optimum
+		if dr < floor {
+			dr = floor
+		}
+		if tr < floor {
+			tr = floor
+		}
+		p.RegretRatio = tr / dr
+		if p.RegretRatio > maxRatio {
+			maxRatio = p.RegretRatio
+		}
+		out = append(out, p)
+	}
+	return out, maxRatio, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// DeepHistoryService boots the real daemon, creates one BO study, feeds it
+// historyCap client-evaluated observations (clients may report trials the
+// daemon never suggested — the session dedups by trial ID only), and then
+// measures batch suggests against the deep history. Before the tier ladder
+// this was the service's pathological case: every suggest paid the dense
+// GP's O(n³)/O(n²) maintenance over the whole history.
+func DeepHistoryService(quick bool, seed int64, historyCap int) (DeepServiceResult, error) {
+	if historyCap <= 0 {
+		historyCap = pick(quick, 600, 2048)
+	}
+	suggests := pick(quick, 3, 8)
+
+	env, err := startService(server.Options{AdmissionLimit: 4})
+	if err != nil {
+		return DeepServiceResult{}, err
+	}
+	defer env.Close()
+	//autolint:ignore ctxpass the load harness is a program edge: cmd/bench owns the process lifetime
+	ctx := context.Background()
+
+	const study = "deep-bo"
+	if _, err := env.client.CreateStudy(ctx, study, serviceSpec("bo", seed)); err != nil {
+		return DeepServiceResult{}, fmt.Errorf("create: %w", err)
+	}
+
+	// Feed phase: invented trial IDs, synthetic values — the client did the
+	// evaluating, the daemon just absorbs. Batched to amortize the fsync.
+	rng := rand.New(rand.NewSource(seed))
+	policies := []string{"lru", "fifo", "arc", "clock"}
+	feedStart := time.Now()
+	const feedBatch = 64
+	fed := 0
+	for fed < historyCap {
+		n := feedBatch
+		if historyCap-fed < n {
+			n = historyCap - fed
+		}
+		obs := make([]server.Observation, n)
+		for j := range obs {
+			id := int64(1_000_000 + fed + j)
+			obs[j] = server.Observation{
+				Trial: id,
+				Config: map[string]any{
+					"cache_mb":       64 + rng.Intn(8129),
+					"flush_interval": 0.01 + 29.0*rng.Float64(),
+					"policy":         policies[rng.Intn(len(policies))],
+					"direct_io":      rng.Intn(2) == 1,
+				},
+				Value:       rng.Float64(),
+				CostSeconds: 0.1,
+			}
+		}
+		res, err := env.client.Observe(ctx, study, obs...)
+		if err != nil {
+			return DeepServiceResult{}, fmt.Errorf("feed observe: %w", err)
+		}
+		fed += res.Acked
+	}
+	feedSeconds := time.Since(feedStart).Seconds()
+
+	// Measure phase: batch suggests against the deep history.
+	lats := make([]time.Duration, 0, suggests)
+	for i := 0; i < suggests; i++ {
+		t0 := time.Now()
+		if _, err := env.client.Suggest(ctx, study, 8); err != nil {
+			return DeepServiceResult{}, fmt.Errorf("suggest %d: %w", i, err)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	maxMs := 0.0
+	for _, l := range lats {
+		if ms := float64(l) / 1e6; ms > maxMs {
+			maxMs = ms
+		}
+	}
+	return DeepServiceResult{
+		HistoryCap:    historyCap,
+		FeedSeconds:   feedSeconds,
+		ObservePerSec: float64(historyCap) / feedSeconds,
+		SuggestP50Ms:  medianDur(lats) / 1e6,
+		SuggestMaxMs:  maxMs,
+		Suggests:      suggests,
+	}, nil
+}
+
+// SurrogateScale runs all three BENCH_8 measurements.
+func SurrogateScale(quick bool, seed int64, historyCap int) (SurrogateScaleResult, error) {
+	points, gateN, gateSpeedup, err := SurrogateScaling(quick, seed)
+	if err != nil {
+		return SurrogateScaleResult{}, fmt.Errorf("scaling: %w", err)
+	}
+	regret, maxRatio, err := SurrogateRegret(quick, seed)
+	if err != nil {
+		return SurrogateScaleResult{}, fmt.Errorf("regret: %w", err)
+	}
+	deep, err := DeepHistoryService(quick, seed, historyCap)
+	if err != nil {
+		return SurrogateScaleResult{}, fmt.Errorf("deep service: %w", err)
+	}
+	return SurrogateScaleResult{
+		Points: points, Regret: regret, Deep: deep,
+		GateN: gateN, SpeedupAtGate: gateSpeedup, MaxRegretRatio: maxRatio,
+	}, nil
+}

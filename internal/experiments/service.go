@@ -75,9 +75,63 @@ func serviceSpec(opt string, seed int64) server.StudySpec {
 	}
 }
 
+// serviceEnv is a booted daemon on a loopback listener plus a client
+// pointed at it. Close tears all of it down, store directory included.
+type serviceEnv struct {
+	srv    *server.Server
+	hs     *http.Server
+	dir    string
+	client *server.Client
+}
+
+// startService boots the real daemon (real store, real fsync barriers) in a
+// temp directory on an ephemeral loopback port.
+func startService(opts server.Options) (*serviceEnv, error) {
+	dir, err := os.MkdirTemp("", "autotuned-bench")
+	if err != nil {
+		return nil, err
+	}
+	if opts.StoreDir == "" {
+		opts.StoreDir = dir
+	}
+	srv, err := server.New(opts)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		//autolint:ignore droppederr best-effort cleanup; the listen error is what the caller needs
+		srv.Close()
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	//autolint:ignore goleak Serve exits when serviceEnv.Close releases the listener
+	go hs.Serve(ln) //autolint:ignore nakedgo http.Server guards each connection itself; Serve only returns on Close
+	return &serviceEnv{
+		srv: srv, hs: hs, dir: dir,
+		client: server.NewClient("http://" + ln.Addr().String()),
+	}, nil
+}
+
+func (e *serviceEnv) Close() error {
+	err := e.hs.Close()
+	if cerr := e.srv.Close(); err == nil {
+		err = cerr
+	}
+	if rerr := os.RemoveAll(e.dir); err == nil {
+		err = rerr
+	}
+	return err
+}
+
 // ServiceThroughput runs the tuning-as-a-service load benchmark. Quick
-// mode shrinks the fleet and the measurement window for CI.
-func ServiceThroughput(quick bool, seed int64) (ServiceResult, error) {
+// mode shrinks the fleet and the measurement window for CI. boHistoryCap
+// overrides the per-study feed cap for the model-guided share; 0 keeps the
+// default, 1024 — deep enough that those studies climb the surrogate tier
+// ladder during the run instead of being frozen at dense-GP depth.
+func ServiceThroughput(quick bool, seed int64, boHistoryCap int) (ServiceResult, error) {
 	arm := ServiceArm{
 		Name:            "serve-full",
 		Studies:         1024,
@@ -86,39 +140,29 @@ func ServiceThroughput(quick bool, seed int64) (ServiceResult, error) {
 		BOBatch:         8,
 		BOShare:         8,
 		ObservePerBatch: 8,
-		BOHistoryCap:    64,
+		BOHistoryCap:    1024,
 		Duration:        "5s",
 	}
 	if quick {
 		arm = ServiceArm{
 			Name: "serve-quick", Studies: 128, Workers: 4,
-			Batch: 256, BOBatch: 8, BOShare: 2, ObservePerBatch: 16, BOHistoryCap: 64, Duration: "1s",
+			Batch: 256, BOBatch: 8, BOShare: 2, ObservePerBatch: 16, BOHistoryCap: 1024, Duration: "1s",
 		}
+	}
+	if boHistoryCap > 0 {
+		arm.BOHistoryCap = boHistoryCap
 	}
 	measure, err := time.ParseDuration(arm.Duration)
 	if err != nil {
 		return ServiceResult{}, err
 	}
 
-	dir, err := os.MkdirTemp("", "autotuned-bench")
+	env, err := startService(server.Options{AdmissionLimit: 2 * arm.Workers})
 	if err != nil {
 		return ServiceResult{}, err
 	}
-	defer os.RemoveAll(dir)
-	srv, err := server.New(server.Options{StoreDir: dir, AdmissionLimit: 2 * arm.Workers})
-	if err != nil {
-		return ServiceResult{}, err
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return ServiceResult{}, err
-	}
-	hs := &http.Server{Handler: srv}
-	//autolint:ignore goleak Serve exits when the deferred hs.Close below releases the listener
-	go hs.Serve(ln) //autolint:ignore nakedgo http.Server guards each connection itself; Serve only returns on Close
-	defer srv.Close()
-	defer hs.Close()
-	c := server.NewClient("http://" + ln.Addr().String())
+	defer env.Close()
+	srv, c := env.srv, env.client
 	//autolint:ignore ctxpass the load harness is a program edge: cmd/bench owns the process lifetime
 	ctx := context.Background()
 

@@ -1,6 +1,7 @@
 package gp
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -245,5 +246,53 @@ func TestObserveMatchesFitAfterManySteps(t *testing.T) {
 		if diff := v1 - v2; diff > 1e-7 || diff < -1e-7 {
 			t.Fatalf("variance drift %v", diff)
 		}
+	}
+}
+
+// Deep-history benchmarks: the dense rank-1 observe (O(n²)) and batched
+// prediction (O(n) per point after the O(n²) solve cache) at the sizes the
+// sparse tier exists for. Compare against BenchmarkSparseObserve to see the
+// budget-bounded O(m²) path these costs motivate.
+func BenchmarkDenseObserve(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		xs, ys := perfTrainingData(n+b.N+1, 6, 6)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := New(NewRBF(0.4), 1e-6)
+			if err := g.Fit(xs[:n], ys[:n]); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.Observe(xs[n+i%(len(xs)-n)], ys[n+i%(len(xs)-n)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDensePredictN(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		xs, ys := perfTrainingData(n, 6, 6)
+		probes, _ := perfTrainingData(256, 6, 7)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := New(NewRBF(0.4), 1e-6)
+			if err := g.Fit(xs, ys); err != nil {
+				b.Fatal(err)
+			}
+			mean := make([]float64, len(probes))
+			vari := make([]float64, len(probes))
+			if err := g.PredictN(probes, mean, vari); err != nil { // warm solve cache
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.PredictN(probes, mean, vari); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,237 @@
+package gp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSparseMatchesDenseBelowBudget pins the tier contract bitwise: while
+// the history fits the inducing budget, the sparse model IS the dense
+// model — same Fit, same rank-1 Observe, same bits out of Predict.
+func TestSparseMatchesDenseBelowBudget(t *testing.T) {
+	xs, ys := perfTrainingData(60, 5, 11)
+	probes, _ := perfTrainingData(25, 5, 12)
+	for name, k := range perfKernels() {
+		dense := New(k.Clone(), 1e-6)
+		sparse := NewSparse(k.Clone(), 1e-6, 128, 42)
+		if err := dense.Fit(xs[:20], ys[:20]); err != nil {
+			t.Fatalf("%s: dense fit: %v", name, err)
+		}
+		if err := sparse.Fit(xs[:20], ys[:20]); err != nil {
+			t.Fatalf("%s: sparse fit: %v", name, err)
+		}
+		for i := 20; i < len(xs); i++ {
+			if err := dense.Observe(xs[i], ys[i]); err != nil {
+				t.Fatalf("%s: dense observe %d: %v", name, i, err)
+			}
+			if err := sparse.Observe(xs[i], ys[i]); err != nil {
+				t.Fatalf("%s: sparse observe %d: %v", name, i, err)
+			}
+		}
+		if got, want := sparse.ActiveN(), dense.N(); got != want {
+			t.Fatalf("%s: active %d != dense n %d", name, got, want)
+		}
+		if sparse.MinY() != dense.MinY() {
+			t.Fatalf("%s: MinY %v != %v", name, sparse.MinY(), dense.MinY())
+		}
+		for _, p := range probes {
+			dm, dv, err := dense.Predict(p)
+			if err != nil {
+				t.Fatalf("%s: dense predict: %v", name, err)
+			}
+			sm, sv, err := sparse.Predict(p)
+			if err != nil {
+				t.Fatalf("%s: sparse predict: %v", name, err)
+			}
+			if dm != sm || dv != sv {
+				t.Fatalf("%s: below-budget sparse diverged: (%v,%v) != (%v,%v)", name, sm, sv, dm, dv)
+			}
+		}
+	}
+}
+
+// TestSparseSelectionDeterministic feeds two instances the same deep
+// history and requires identical inducing sets and bitwise-identical
+// predictions: selection must be a pure function of (history, seed).
+func TestSparseSelectionDeterministic(t *testing.T) {
+	xs, ys := perfTrainingData(400, 6, 7)
+	probes, _ := perfTrainingData(10, 6, 8)
+	build := func() *SparseGP {
+		s := NewSparse(NewRBF(0.4), 1e-6, 64, 99)
+		if err := s.Fit(xs[:50], ys[:50]); err != nil {
+			t.Fatalf("fit: %v", err)
+		}
+		for i := 50; i < len(xs); i++ {
+			if err := s.Observe(xs[i], ys[i]); err != nil {
+				t.Fatalf("observe %d: %v", i, err)
+			}
+		}
+		return s
+	}
+	a, b := build(), build()
+	if !intsEqual(a.active, b.active) {
+		t.Fatalf("inducing sets diverged:\n%v\n%v", a.active, b.active)
+	}
+	for _, p := range probes {
+		am, av, _ := a.Predict(p)
+		bm, bv, _ := b.Predict(p)
+		if am != bm || av != bv {
+			t.Fatalf("predictions diverged: (%v,%v) != (%v,%v)", am, av, bm, bv)
+		}
+	}
+	st := a.Stats()
+	if st.Skipped == 0 || st.Rebuilds == 0 {
+		t.Fatalf("deep history should exercise skip and rebuild paths: %+v", st)
+	}
+}
+
+// TestSparseBudgetBounded pins the memory contract: the inducing set
+// never outgrows budget + rebuildEvery (incumbent absorbs between
+// reselections), no matter how deep the history gets.
+func TestSparseBudgetBounded(t *testing.T) {
+	xs, ys := perfTrainingData(800, 4, 21)
+	s := NewSparse(NewMatern(2.5, 0.3), 1e-6, 48, 5)
+	for i := range xs {
+		// Drive the incumbent down repeatedly so the absorb-on-improvement
+		// path fires past saturation.
+		y := ys[i] - 0.01*float64(i)
+		if err := s.Observe(xs[i], y); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+		if got, max := s.ActiveN(), 48+24; got > max {
+			t.Fatalf("inducing set grew to %d > %d at n=%d", got, max, i+1)
+		}
+	}
+	if s.N() != len(xs) {
+		t.Fatalf("history lost: N=%d want %d", s.N(), len(xs))
+	}
+	if st := s.Stats(); st.Absorbed == 0 || st.Rebuilds == 0 {
+		t.Fatalf("expected absorbs and rebuilds: %+v", st)
+	}
+}
+
+// TestSparseIncumbentAbsorbed: an improving observation past saturation
+// must enter the model immediately (rank-1), not wait for a rebuild.
+func TestSparseIncumbentAbsorbed(t *testing.T) {
+	xs, ys := perfTrainingData(300, 3, 33)
+	s := NewSparse(NewRBF(0.5), 1e-6, 32, 1)
+	for i := range xs {
+		if err := s.Observe(xs[i], ys[i]); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	before := s.ActiveN()
+	probe := []float64{0.5, 0.5, 0.5}
+	deep := s.MinY() - 10
+	if err := s.Observe(probe, deep); err != nil {
+		t.Fatalf("incumbent observe: %v", err)
+	}
+	if s.MinY() != deep {
+		t.Fatalf("MinY %v, want %v", s.MinY(), deep)
+	}
+	if s.ActiveN() != before+1 {
+		t.Fatalf("incumbent not absorbed: active %d -> %d", before, s.ActiveN())
+	}
+	m, _, err := s.Predict(probe)
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if math.Abs(m-deep) > 2 {
+		t.Fatalf("model ignores absorbed incumbent: mean %v at value %v", m, deep)
+	}
+}
+
+// TestSparseCloneIndependent pins the constant-liar contract: observing
+// into a clone never perturbs the original.
+func TestSparseCloneIndependent(t *testing.T) {
+	xs, ys := perfTrainingData(200, 4, 17)
+	s := NewSparse(NewRBF(0.4), 1e-6, 32, 3)
+	for i := range xs {
+		if err := s.Observe(xs[i], ys[i]); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	probe := xs[7]
+	m0, v0, _ := s.Predict(probe)
+	c := s.Clone()
+	for i := 0; i < 40; i++ {
+		if err := c.Observe(xs[i], s.MinY()-1); err != nil {
+			t.Fatalf("clone observe: %v", err)
+		}
+	}
+	m1, v1, _ := s.Predict(probe)
+	if m0 != m1 || v0 != v1 {
+		t.Fatalf("clone observe leaked into original: (%v,%v) -> (%v,%v)", m0, v0, m1, v1)
+	}
+	if c.N() != s.N()+40 {
+		t.Fatalf("clone history %d, want %d", c.N(), s.N()+40)
+	}
+}
+
+// TestSparseTracksFunction sanity-checks approximation quality: with a
+// quarter of the history as inducing points the subset-of-data posterior
+// must still rank a low region below a high region of a smooth function.
+func TestSparseTracksFunction(t *testing.T) {
+	xs, _ := perfTrainingData(600, 2, 9)
+	ys := make([]float64, len(xs))
+	f := func(p []float64) float64 {
+		return (p[0]-0.3)*(p[0]-0.3) + (p[1]-0.7)*(p[1]-0.7)
+	}
+	for i, p := range xs {
+		ys[i] = f(p)
+	}
+	s := NewSparse(NewMatern(2.5, 0.3), 1e-6, 128, 77)
+	for i := range xs {
+		if err := s.Observe(xs[i], ys[i]); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	lo, _, err := s.Predict([]float64{0.3, 0.7})
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	hi, _, err := s.Predict([]float64{0.95, 0.05})
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if lo >= hi {
+		t.Fatalf("sparse posterior lost the landscape: f(min)=%v >= f(far)=%v", lo, hi)
+	}
+}
+
+// BenchmarkSparseObserve measures the saturated O(m²) observe against the
+// dense O(n²) path at deep history sizes.
+func BenchmarkSparseObserve(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		xs, ys := perfTrainingData(n+b.N+1, 6, 4)
+		b.Run("sparse-"+itoa(n), func(b *testing.B) {
+			s := NewSparse(NewRBF(0.4), 1e-6, 256, 11)
+			for i := 0; i < n; i++ {
+				if err := s.Observe(xs[i], ys[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Observe(xs[n+i%(len(xs)-n)], ys[n+i%(len(xs)-n)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

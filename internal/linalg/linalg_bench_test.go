@@ -11,9 +11,11 @@ import (
 //	go test -bench 'BenchmarkCholesky|BenchmarkMul|BenchmarkCholUpdateRow' ./internal/linalg
 //
 // The sizes bracket realistic GP training-set sizes (64) through the
-// large-history regime (512) the incremental path exists for.
+// large-history regime (512) the incremental path exists for, plus the
+// deep-history sizes (1024, 4096) the sparse tier hands to the dense
+// kernels as inducing-set problems.
 
-var benchSizes = []int{64, 256, 512}
+var benchSizes = []int{64, 256, 512, 1024, 4096}
 
 func BenchmarkCholesky(b *testing.B) {
 	for _, n := range benchSizes {

@@ -1,0 +1,14 @@
+// Package forest (fixture) joined the deterministic set with the surrogate
+// tier ladder: forest fits back BO's deep-history tier, so a clock read
+// here would couple suggestion streams to the host.
+package forest
+
+import "time"
+
+func badSeedFromClock() int64 {
+	return time.Now().UnixNano() // want wallclock
+}
+
+func badFitDeadline(t0 time.Time) time.Duration {
+	return time.Since(t0) // want wallclock
+}

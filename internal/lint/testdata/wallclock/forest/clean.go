@@ -1,0 +1,9 @@
+package forest
+
+import "time"
+
+// cleanBudget models a fit budget as pure duration arithmetic; constants
+// and constructors never read the clock.
+func cleanBudget(trees int, perTree time.Duration) time.Duration {
+	return time.Duration(trees) * perTree
+}

@@ -24,7 +24,7 @@ import (
 var deterministicPkgs = map[string]bool{
 	"simsys": true, "space": true, "trial": true, "optimizer": true,
 	"bo": true, "gp": true, "cmaes": true, "genetic": true, "pso": true,
-	"smac": true, "server": true,
+	"smac": true, "server": true, "forest": true,
 }
 
 // wallClockFuncs are the time functions that read or depend on the wall

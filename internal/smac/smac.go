@@ -41,6 +41,12 @@ type Options struct {
 	// alternates model-based and random configurations for the same
 	// reason.
 	RandomInterleave float64
+	// DeepHistory is the history size past which refits amortize: below
+	// it every dirty Suggest refits (the original behavior); past it the
+	// forest refits only once per max(8, n/16) new observations, serving
+	// the slightly stale model in between. Per-suggest maintenance then
+	// stays O(trees · log n) instead of O(trees · n log n). Default 512.
+	DeepHistory int
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +74,9 @@ func (o Options) withDefaults() Options {
 	if o.RandomInterleave < 0 {
 		o.RandomInterleave = 0
 	}
+	if o.DeepHistory <= 0 {
+		o.DeepHistory = 512
+	}
 	return o
 }
 
@@ -79,12 +88,25 @@ type SMAC struct {
 	rng   *rand.Rand
 	opts  Options
 
-	model *forest.Forest
-	dirty bool
+	model  *forest.Forest
+	dirty  bool
+	fitted int // history size the forest currently reflects
+	refits int
 	// encBuf is the reused encoding buffer for candidate scoring; the
 	// forest reads it during Predict and retains nothing.
 	encBuf []float64
 }
+
+// Stats reports surrogate maintenance counters: how many forest rebuilds
+// have run and how much history the current forest reflects (past
+// DeepHistory, Fitted lags N by up to the refit cadence).
+type Stats struct {
+	Refits int
+	Fitted int
+}
+
+// Stats returns the current maintenance counters.
+func (s *SMAC) Stats() Stats { return Stats{Refits: s.refits, Fitted: s.fitted} }
 
 // New returns a SMAC optimizer with default options.
 func New(s *space.Space, rng *rand.Rand) *SMAC {
@@ -123,6 +145,33 @@ func (s *SMAC) refit() error {
 	}
 	s.model = m
 	s.dirty = false
+	s.fitted = len(hist)
+	s.refits++
+	return nil
+}
+
+// ensureModel refits if the model is missing or stale beyond the cadence.
+// Below DeepHistory every dirty call refits (the exact original behavior);
+// past it refits amortize to once per max(8, n/16) observations, and the
+// stale-but-recent forest serves suggestions in between.
+func (s *SMAC) ensureModel() error {
+	if s.model == nil {
+		return s.refit()
+	}
+	if !s.dirty {
+		return nil
+	}
+	n := s.N()
+	if n <= s.opts.DeepHistory {
+		return s.refit()
+	}
+	every := n / 16
+	if every < 8 {
+		every = 8
+	}
+	if n-s.fitted >= every {
+		return s.refit()
+	}
 	return nil
 }
 
@@ -138,10 +187,8 @@ func (s *SMAC) Suggest() (space.Config, error) {
 	if s.rng.Float64() < s.opts.RandomInterleave {
 		return s.space.Sample(s.rng), nil
 	}
-	if s.dirty || s.model == nil {
-		if err := s.refit(); err != nil {
-			return s.space.Sample(s.rng), nil
-		}
+	if err := s.ensureModel(); err != nil {
+		return s.space.Sample(s.rng), nil
 	}
 	return s.pick(), nil
 }
@@ -212,10 +259,8 @@ func (s *SMAC) SuggestN(n int) ([]space.Config, error) {
 		}
 		return out, nil
 	}
-	if s.dirty || s.model == nil {
-		if err := s.refit(); err != nil {
-			return s.space.SampleN(s.rng, n), nil
-		}
+	if err := s.ensureModel(); err != nil {
+		return s.space.SampleN(s.rng, n), nil
 	}
 	_, best, _ := s.Best()
 	type scored struct {

@@ -159,3 +159,57 @@ func TestSMACFirstSuggestionDefault(t *testing.T) {
 		t.Fatal("first suggestion should be the default config")
 	}
 }
+
+// TestSMACDeepHistoryAmortizesRefits drives SMAC past the DeepHistory
+// threshold and requires the refit count to stay well below the suggest
+// count: maintenance amortizes to once per max(8, n/16) observations while
+// suggestions keep flowing from the recent forest.
+func TestSMACDeepHistoryAmortizesRefits(t *testing.T) {
+	f := testfunc.Branin()
+	s := NewWith(f.Space, rand.New(rand.NewSource(4)), Options{
+		DeepHistory: 32, Candidates: 64, RandomInterleave: -1,
+	})
+	steps := 200
+	for i := 0; i < steps; i++ {
+		cfg, err := s.Suggest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Observe(cfg, f.Eval(cfg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Refits == 0 {
+		t.Fatal("forest never fit")
+	}
+	// 200 observations with cadence >= 8 past n=32: ~32 refits up front
+	// plus ~21 amortized, far below one per step.
+	if st.Refits > steps/2 {
+		t.Fatalf("refits not amortized: %d refits for %d suggests", st.Refits, steps)
+	}
+	if st.Fitted < s.N()-s.N()/8 {
+		t.Fatalf("served forest too stale: fitted %d of %d", st.Fitted, s.N())
+	}
+	// Below the threshold the original refit-per-dirty-suggest behavior
+	// must be preserved exactly.
+	dense := NewWith(f.Space, rand.New(rand.NewSource(4)), Options{
+		DeepHistory: 10000, Candidates: 64, RandomInterleave: -1, InitSamples: 5,
+	})
+	for i := 0; i < 30; i++ {
+		cfg, err := dense.Suggest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dense.Observe(cfg, f.Eval(cfg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One more Suggest absorbs the final pending observation.
+	if _, err := dense.Suggest(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dense.Stats(); got.Fitted != dense.N() {
+		t.Fatalf("below threshold the forest must track history exactly: fitted %d of %d", got.Fitted, dense.N())
+	}
+}
