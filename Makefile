@@ -7,7 +7,7 @@ help:
 	@echo "  check               fmt-check + vet + lint + build + race-core + race + invariants"
 	@echo "  test                go test ./..."
 	@echo "  race                go test -race ./..."
-	@echo "  bench               quick experiment suite + perf gates (BENCH_4..8.json)"
+	@echo "  bench               quick experiment suite + perf gates (BENCH_4..9.json)"
 	@echo "  deep-history        surrogate tier determinism tests + quick scaling gate (rides in check)"
 	@echo "  serve               run the tuning daemon locally (store: ./.autotuned; SIGTERM drains)"
 	@echo "  loadtest            full tuning-as-a-service load run against a fresh daemon (BENCH_7 shape)"
@@ -37,8 +37,10 @@ deep-history:
 # Pin the service contract (PR 7 invariant): overload sheds with 429 +
 # Retry-After while /readyz flips, drain finishes in-flight work and
 # seals the log, and a kill -9'd daemon recovers every ack exactly once.
+# The Shard pattern adds the PR 10 surface: hash routing, per-shard
+# stores, histories surviving shard-count changes, cross-shard drain.
 serve-contract:
-	$(GO) test -race -count=1 -run 'Test(Overload|Drain|EndToEnd|CrashRecovery)' ./internal/server
+	$(GO) test -race -count=1 -run 'Test(Overload|Drain|EndToEnd|CrashRecovery|Shard|ConcurrentCreates)' ./internal/server
 	$(GO) test -count=1 -run 'Test(KillDashNine|Sigterm)' ./cmd/autotuned
 
 # Run the daemon locally with a persistent store in ./.autotuned.
@@ -54,8 +56,11 @@ loadtest:
 
 # Crash-torture the segmented study store (PR 6 invariant): kill the
 # store at every injected fault point and every byte prefix of the log,
-# reopen, and assert exactly-once recovery. `crash` sweeps everything;
-# `crash-quick` strides through a sample for CI.
+# reopen, and assert exactly-once recovery. The TestTorture pattern also
+# picks up the group-commit fault sweep (PR 10): concurrent appenders
+# killed at every commit point of the shared-fsync path, including
+# between the leader's fsync and the followers' acks. `crash` sweeps
+# everything; `crash-quick` strides through a sample for CI.
 crash:
 	$(GO) test -race -count=1 -run 'TestTorture' ./internal/studystore
 
@@ -114,6 +119,7 @@ bench:
 	$(GO) run ./cmd/bench -replay -minreplay 100000 -out BENCH_6.json
 	$(GO) run ./cmd/bench -serve -minstudies 1000 -minsuggest 50000 -out BENCH_7.json
 	$(GO) run ./cmd/bench -scalebench -minspeedup 10 -maxregret 1.5 -out BENCH_8.json
+	$(GO) run ./cmd/bench -observebench -minobserveratio 10 -minobserve 1000 -out BENCH_9.json
 	$(GO) test -bench 'Benchmark(GPPredict|BOSuggest|SpaceEncode)' -benchmem -run xxx .
 
 profile:

@@ -318,7 +318,8 @@ type (
 	// created by NewServer and typically run via Serve.
 	Server = server.Server
 	// ServerOptions configures NewServer/Serve (store directory,
-	// admission limits, timeouts, default optimizer).
+	// admission limits, timeouts, default optimizer, session sharding,
+	// group-commit mode).
 	ServerOptions = server.Options
 	// Client is the typed HTTP client for the daemon's JSON API.
 	Client = server.Client

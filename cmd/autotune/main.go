@@ -41,7 +41,6 @@ import (
 	"autotune/internal/resilience"
 	"autotune/internal/sched"
 	"autotune/internal/simsys"
-	"autotune/internal/studystore"
 	"autotune/internal/trial"
 	"autotune/internal/workload"
 )
@@ -212,6 +211,7 @@ func run(o cliOptions) error {
 		Budget: o.budget, Parallel: o.parallel, AbortMargin: o.abortMargin, Fidelity: o.fidelity,
 		Checkpoint: o.checkpoint, Journal: o.journal, DedupEvals: o.dedup,
 	}
+	var storeSink *trial.StudyJournal
 	if o.store != "" {
 		topts.Store = o.store
 		topts.Study = o.study
@@ -230,6 +230,18 @@ func run(o cliOptions) error {
 			}
 			topts.Journal = ""
 		}
+		// Own the store handle instead of letting the run open its own:
+		// the end-of-run stats line then reports the write path this run
+		// actually took (fsyncs, group amortization), which a fresh
+		// read-only handle could not see. topts.Store stays set so resume
+		// still knows where the durable history lives.
+		sj, err := trial.OpenStudyJournal(o.store, topts.Study)
+		if err != nil {
+			return err
+		}
+		defer sj.Close()
+		topts.Sink = sj
+		storeSink = sj
 	}
 	if o.trialTimeout > 0 {
 		topts.DegradeAfterTimeouts = 3
@@ -289,14 +301,13 @@ func run(o cliOptions) error {
 				s.Tier, s.TierSwitches, s.IncrementalUpdates, s.FullRefits)
 		}
 	}
-	if o.store != "" {
-		if st, serr := studystore.Open(o.store, studystore.Options{ReadOnly: true}); serr == nil {
-			stats := st.Stats()
-			fmt.Printf("store: %d records in %d studies (%d segments, snapshot seq %d, %d quarantined)\n",
-				stats.Records, stats.Studies, stats.Segments, stats.SnapshotSeq, stats.Quarantined)
-			//autolint:ignore droppederr read-only handle; close failures carry no durability
-			st.Close()
-		}
+	if storeSink != nil {
+		stats := storeSink.Store().Stats()
+		fmt.Printf("store: %d records in %d studies (%d segments, snapshot seq %d, %d quarantined)\n",
+			stats.Records, stats.Studies, stats.Segments, stats.SnapshotSeq, stats.Quarantined)
+		fmt.Printf("store commit: %d appends, %d bytes, %d fsyncs in %d groups (mean %.1f, max %d)%s\n",
+			stats.Appended, stats.AppendedBytes, stats.Fsyncs, stats.Groups,
+			stats.MeanGroup(), stats.MaxGroup, poisonedSuffix(stats.Poisoned))
 	}
 	if hardened != nil {
 		s := hardened.Stats()
@@ -326,6 +337,15 @@ func run(o cliOptions) error {
 		fmt.Printf("\nreport written to %s\n", o.out)
 	}
 	return nil
+}
+
+// poisonedSuffix flags a store whose write path failed mid-run: every
+// record reported above is still durable, but later appends were refused.
+func poisonedSuffix(poisoned bool) string {
+	if poisoned {
+		return "  [POISONED: writes refused after an fsync failure]"
+	}
+	return ""
 }
 
 func absf(v float64) float64 {

@@ -40,12 +40,17 @@ func main() {
 		replay    = flag.Bool("replay", false, "run the study-store write/replay benchmark instead of the experiment suite")
 		serve     = flag.Bool("serve", false, "run the tuning-as-a-service load benchmark instead of the experiment suite")
 		scale     = flag.Bool("scalebench", false, "run the surrogate tier scaling benchmark (BENCH_8) instead of the experiment suite")
+		observeB  = flag.Bool("observebench", false, "run the durable observe throughput benchmark (BENCH_9) instead of the experiment suite")
 		out       = flag.String("out", "", "write benchmark results to this JSON file")
 		minSpeed  = flag.Float64("minspeedup", 0, "fail unless the benchmark speedup reaches this factor (0 disables)")
 		minAlloc  = flag.Float64("minallocratio", 0, "with -sessions: relax -minspeedup to 2x when allocs/session shrink by this factor (0 disables)")
 		minReplay = flag.Float64("minreplay", 0, "with -replay: fail unless replay sustains this many records/sec (0 disables)")
 		minStudy  = flag.Int("minstudies", 0, "with -serve: fail unless this many concurrent studies are sustained (0 disables)")
 		minSugg   = flag.Float64("minsuggest", 0, "with -serve: fail unless this many suggests/sec are sustained (0 disables)")
+		srvWork   = flag.Int("serve-workers", 0, "with -serve/-observebench: load worker count override (0 = arm default)")
+		obsBatch  = flag.Int("observe-per-batch", 0, "with -serve/-observebench: observations per observe request (0 = arm default)")
+		minObs    = flag.Float64("minobserve", 0, "with -observebench: fail unless the group-commit service arm sustains this many durable observes/sec (0 disables)")
+		minObsRat = flag.Float64("minobserveratio", 0, "with -observebench: fail unless group-commit beats the per-caller-fsync baseline by this factor at the store (0 disables)")
 		maxRegret = flag.Float64("maxregret", 0, "with -scalebench: fail if the tiered/dense regret ratio exceeds this (0 disables)")
 		boHistCap = flag.Int("bo-history-cap", 0, "with -serve: observation feed cap per model-guided study; with -scalebench: deep-history study size (0 = default)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -88,8 +93,15 @@ func main() {
 		}
 		return
 	}
+	if *observeB {
+		if err := runObserveBench(*quick, *seed, *out, *srvWork, *obsBatch, *minObs, *minObsRat); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serve {
-		if err := runServeBench(*quick, *seed, *out, *minStudy, *minSugg, *boHistCap); err != nil {
+		if err := runServeBench(*quick, *seed, *out, *minStudy, *minSugg, *boHistCap, *srvWork, *obsBatch); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

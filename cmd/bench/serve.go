@@ -14,9 +14,9 @@ import (
 // observation crossing the fsync barrier. It prints the table, optionally
 // writes JSON, and optionally enforces the PR-7 gate: at least minStudies
 // concurrent studies sustained and a suggest/sec floor.
-func runServeBench(quick bool, seed int64, outPath string, minStudies int, minSuggest float64, boHistoryCap int) error {
+func runServeBench(quick bool, seed int64, outPath string, minStudies int, minSuggest float64, boHistoryCap, workers, observePerBatch int) error {
 	start := time.Now()
-	res, err := experiments.ServiceThroughput(quick, seed, boHistoryCap)
+	res, err := experiments.ServiceThroughput(quick, seed, boHistoryCap, workers, observePerBatch)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}

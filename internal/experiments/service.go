@@ -131,7 +131,9 @@ func (e *serviceEnv) Close() error {
 // overrides the per-study feed cap for the model-guided share; 0 keeps the
 // default, 1024 — deep enough that those studies climb the surrogate tier
 // ladder during the run instead of being frozen at dense-GP depth.
-func ServiceThroughput(quick bool, seed int64, boHistoryCap int) (ServiceResult, error) {
+// workers and observePerBatch override the arm's load shape when > 0
+// (the cmd/bench -serve-workers and -observe-per-batch flags).
+func ServiceThroughput(quick bool, seed int64, boHistoryCap, workers, observePerBatch int) (ServiceResult, error) {
 	arm := ServiceArm{
 		Name:            "serve-full",
 		Studies:         1024,
@@ -151,6 +153,12 @@ func ServiceThroughput(quick bool, seed int64, boHistoryCap int) (ServiceResult,
 	}
 	if boHistoryCap > 0 {
 		arm.BOHistoryCap = boHistoryCap
+	}
+	if workers > 0 {
+		arm.Workers = workers
+	}
+	if observePerBatch > 0 {
+		arm.ObservePerBatch = observePerBatch
 	}
 	measure, err := time.ParseDuration(arm.Duration)
 	if err != nil {

@@ -115,12 +115,20 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	meta := studyMeta{Meta: 1, Study: req.Study, Optimizer: req.Optimizer, Seed: req.Seed, Space: req.Space}
 
+	sh := s.enter(w, req.Study)
+	if sh == nil {
+		return
+	}
+	defer sh.drainMu.RUnlock()
+
 	// createMu serializes check-then-append so two racing creates cannot
 	// both write a meta record; the meta append is the durability barrier
-	// that makes the study survive a crash the instant it is acked.
-	s.createMu.Lock()
-	defer s.createMu.Unlock()
-	if existing := s.session(req.Study); existing != nil {
+	// that makes the study survive a crash the instant it is acked. The
+	// lock is per shard — study→shard is a stable hash, so two creates of
+	// the same name always contend on the same mutex.
+	sh.createMu.Lock()
+	defer sh.createMu.Unlock()
+	if existing := sh.session(req.Study); existing != nil {
 		if sameSpec(existing.meta, meta) {
 			s.writeJSON(w, http.StatusOK, createResponse{
 				Study: req.Study, Optimizer: existing.meta.Optimizer,
@@ -131,10 +139,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusConflict, "spec_mismatch", "study exists with a different spec")
 		return
 	}
-	s.mu.RLock()
-	full := len(s.sessions) >= s.opts.MaxStudies
-	s.mu.RUnlock()
-	if full {
+	if s.nstudies.Load() >= int64(s.opts.MaxStudies) {
 		s.writeError(w, http.StatusServiceUnavailable, "capacity", "study limit reached")
 		return
 	}
@@ -152,13 +157,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad_spec", err.Error())
 		return
 	}
-	if err := s.store.Append(studystore.Record{Study: req.Study, ID: metaID, Payload: payload}); err != nil {
+	if err := sh.store.Append(studystore.Record{Study: req.Study, ID: metaID, Payload: payload}); err != nil {
 		s.writeSessionError(w, &storeFailure{err})
 		return
 	}
-	s.mu.Lock()
-	s.sessions[req.Study] = ss
-	s.mu.Unlock()
+	ss.st = sh.store
+	sh.mu.Lock()
+	sh.sessions[req.Study] = ss
+	sh.mu.Unlock()
+	s.nstudies.Add(1)
 	s.m.creates.Add(1)
 	s.writeJSON(w, http.StatusCreated, createResponse{
 		Study: req.Study, Optimizer: meta.Optimizer, Created: true,
@@ -174,19 +181,31 @@ func sameSpec(a, b studyMeta) bool {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	infos := make([]StudyInfo, 0, len(s.sessions))
-	for _, ss := range s.sessions {
-		infos = append(infos, ss.info())
+	infos := make([]StudyInfo, 0, s.nstudies.Load())
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		names := make([]string, 0, len(sh.sessions))
+		for name := range sh.sessions {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			infos = append(infos, sh.sessions[name].info())
+		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Study < infos[j].Study })
 	s.writeJSON(w, http.StatusOK, listResponse{Studies: infos})
 }
 
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	study := r.PathValue("study")
-	ss := s.session(study)
+	sh := s.enter(w, study)
+	if sh == nil {
+		return
+	}
+	defer sh.drainMu.RUnlock()
+	ss := sh.session(study)
 	if ss == nil {
 		s.writeError(w, http.StatusNotFound, "not_found", "no such study")
 		return
@@ -225,7 +244,12 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	study := r.PathValue("study")
-	ss := s.session(study)
+	sh := s.enter(w, study)
+	if sh == nil {
+		return
+	}
+	defer sh.drainMu.RUnlock()
+	ss := sh.session(study)
 	if ss == nil {
 		s.writeError(w, http.StatusNotFound, "not_found", "no such study")
 		return
@@ -250,7 +274,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "batch_too_large", "observe batch exceeds limit")
 		return
 	}
-	acked, dups, err := ss.observe(r.Context(), s.store, obs)
+	acked, dups, err := ss.observe(r.Context(), obs)
 	s.m.observes.Add(int64(acked))
 	s.m.duplicates.Add(int64(dups))
 	if err != nil {

@@ -25,17 +25,17 @@ type counters struct {
 
 // handleMetrics writes the exposition page.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.store.Stats()
-	s.mu.RLock()
-	studies := len(s.sessions)
-	s.mu.RUnlock()
+	st := s.StoreStats()
+	studies := s.nstudies.Load()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	var b []byte
 	line := func(name string, v int64) {
 		b = fmt.Appendf(b, "%s %d\n", name, v)
 	}
 	line("autotuned_requests_total", s.m.requests.Load())
-	line("autotuned_studies", int64(studies))
+	line("autotuned_studies", studies)
+	line("autotuned_shards", int64(len(s.shards)))
+	line("autotuned_stores", int64(len(s.stores)))
 	line("autotuned_creates_total", s.m.creates.Load())
 	line("autotuned_suggests_total", s.m.suggests.Load())
 	line("autotuned_observes_total", s.m.observes.Load())
@@ -52,6 +52,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	line("autotuned_store_segments", int64(st.Segments))
 	line("autotuned_store_torn_tail_bytes", st.TornTailBytes)
 	line("autotuned_store_quarantined", int64(st.Quarantined))
+	line("autotuned_store_appends_total", int64(st.Appended))
+	line("autotuned_store_appended_bytes_total", st.AppendedBytes)
+	line("autotuned_store_fsyncs_total", int64(st.Fsyncs))
+	line("autotuned_store_group_commits_total", int64(st.Groups))
+	line("autotuned_store_group_batches_total", int64(st.GroupBatches))
+	line("autotuned_store_group_max", int64(st.MaxGroup))
+	b = fmt.Appendf(b, "autotuned_store_group_mean %.3f\n", st.MeanGroup())
+	line("autotuned_store_poisoned", boolGauge(st.Poisoned))
 	if _, err := w.Write(b); err != nil {
 		s.m.writeErrs.Add(1)
 	}

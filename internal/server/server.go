@@ -27,6 +27,11 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +69,21 @@ type Options struct {
 	// DefaultOptimizer names the strategy used when a create omits one
 	// (default "bo").
 	DefaultOptimizer string
+	// Shards partitions studies across independently locked shards
+	// (default GOMAXPROCS): suggest/observe for studies on different
+	// shards never contend on a shared mutex. Study → shard by name hash.
+	Shards int
+	// ShardStores gives every shard its own store directory
+	// (StoreDir/shard-NNN) so shards do not even share a commit queue —
+	// useful when the store directories live on independent devices. The
+	// root StoreDir keeps serving any studies it already holds. Default:
+	// one store shared by all shards (group commit coalesces their
+	// writes into shared fsyncs).
+	ShardStores bool
+	// DisableGroupCommit forces every observe batch to pay its own store
+	// fsync (the pre-group-commit write path). It exists as the
+	// benchmark baseline; leave it off in production.
+	DisableGroupCommit bool
 	// Log receives operational messages; nil means silent.
 	Log *log.Logger
 }
@@ -93,27 +113,30 @@ func (o Options) withDefaults() Options {
 	if o.DefaultOptimizer == "" {
 		o.DefaultOptimizer = "bo"
 	}
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
 // Server is the daemon. Create with New, serve with ListenAndServe (or
 // mount it as an http.Handler), stop with Drain or Close.
+//
+// Studies are partitioned across shards by name hash: each shard owns
+// its slice of the session map behind its own locks and tracks its own
+// in-flight requests, so requests for studies on different shards never
+// contend on a shared mutex. Drain is a barrier across every shard.
 type Server struct {
-	opts  Options
-	store *studystore.Store
+	opts Options
 
-	// drainMu tracks in-flight API requests: each holds the read side for
-	// its duration; Drain takes the write side as a barrier that waits
-	// for all of them. TryRLock keeps new requests from queueing behind
-	// a waiting drain.
-	drainMu  sync.RWMutex
+	shards []*shard
+	// stores are the distinct open study stores: the root StoreDir store
+	// first, then any per-shard stores when Options.ShardStores is set.
+	stores []*studystore.Store
+
 	draining atomic.Bool
 	poisoned atomic.Bool
-
-	mu       sync.RWMutex // guards sessions
-	sessions map[string]*session
-
-	createMu sync.Mutex // serializes study creation against the store
+	nstudies atomic.Int64 // live sessions across all shards
 
 	adm *admission
 	m   counters
@@ -128,44 +151,148 @@ type Server struct {
 	testGate chan struct{}
 }
 
-// New opens (or creates) the study store under opts.StoreDir and recovers
-// every persisted study into a live session. Recovery is read-only on the
-// optimizer side: each study's observations are replayed in trial-ID
-// order into a freshly seeded strategy, so the daemon resumes exactly
-// where the durable history says it was.
+// shard is one partition of the study space: its own session map, its
+// own creation serialization, its own in-flight tracking, and the store
+// its new studies are created in.
+type shard struct {
+	// store is the create-target for new studies on this shard; recovered
+	// sessions keep appending to whichever store their history lives in.
+	store *studystore.Store
+
+	// drainMu tracks this shard's in-flight API requests: each holds the
+	// read side for its duration; Drain takes the write side of every
+	// shard as a barrier. TryRLock keeps new requests from queueing
+	// behind a waiting drain.
+	drainMu sync.RWMutex
+
+	mu       sync.RWMutex // guards sessions
+	sessions map[string]*session
+
+	createMu sync.Mutex // serializes study creation against the store
+}
+
+// session returns the shard's live session for a study, or nil.
+func (sh *shard) session(study string) *session {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.sessions[study]
+}
+
+// shardOf routes a study name to its shard: an FNV-1a hash, stable
+// across restarts for a fixed shard count. (Histories survive a changed
+// count regardless — sessions append to the store they were recovered
+// from, wherever the hash now routes their requests.)
+func (s *Server) shardOf(study string) *shard {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(study); i++ {
+		h ^= uint32(study[i])
+		h *= prime32
+	}
+	return s.shards[h%uint32(len(s.shards))]
+}
+
+// shardDirName renders the store subdirectory for shard i under
+// Options.ShardStores.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// New opens (or creates) the study stores under opts.StoreDir and
+// recovers every persisted study into a live session on its hash shard.
+// Recovery is read-only on the optimizer side: each study's observations
+// are replayed in trial-ID order into a freshly seeded strategy, so the
+// daemon resumes exactly where the durable history says it was. With
+// ShardStores, every store directory found on disk is opened — including
+// shards beyond the current count — so histories survive shard-count
+// changes; a recovered session keeps appending to the store it came from.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	if opts.StoreDir == "" {
 		return nil, errors.New("server: Options.StoreDir is required")
 	}
-	st, err := studystore.Open(opts.StoreDir, studystore.Options{SegmentBytes: opts.SegmentBytes})
+	stOpts := studystore.Options{
+		SegmentBytes:       opts.SegmentBytes,
+		DisableGroupCommit: opts.DisableGroupCommit,
+	}
+	root, err := studystore.Open(opts.StoreDir, stOpts)
 	if err != nil {
 		return nil, fmt.Errorf("server: open store: %w", err)
 	}
 	s := &Server{
-		opts:     opts,
-		store:    st,
-		sessions: make(map[string]*session),
-		adm:      newAdmission(opts.AdmissionLimit, opts.ReadyHighWater),
+		opts:   opts,
+		stores: []*studystore.Store{root},
+		adm:    newAdmission(opts.AdmissionLimit, opts.ReadyHighWater),
 	}
-	for _, study := range st.Studies() {
-		ss := recoverSession(study, st.Records(study))
-		if ss.degraded != "" {
-			s.logf("study %q recovered read-only: %s", study, ss.degraded)
+	closeAll := func() {
+		for _, st := range s.stores {
+			//autolint:ignore droppederr already failing; nothing was written through these handles
+			st.Close()
 		}
-		s.sessions[study] = ss
 	}
-	if stats := st.Stats(); stats.TornTailBytes > 0 || stats.Quarantined > 0 {
-		s.logf("store repair: %d torn-tail bytes truncated, %d ranges quarantined", stats.TornTailBytes, stats.Quarantined)
+	s.shards = make([]*shard, opts.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{store: root, sessions: make(map[string]*session)}
+	}
+	if opts.ShardStores {
+		// Open the store for every shard index, plus any shard directory
+		// a previous (larger) configuration left behind.
+		want := map[string]bool{}
+		for i := range s.shards {
+			want[shardDirName(i)] = true
+		}
+		if entries, err := os.ReadDir(opts.StoreDir); err == nil {
+			for _, e := range entries {
+				if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+					want[e.Name()] = true
+				}
+			}
+		}
+		names := make([]string, 0, len(want))
+		for name := range want {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		byName := map[string]*studystore.Store{}
+		for _, name := range names {
+			st, err := studystore.Open(filepath.Join(opts.StoreDir, name), stOpts)
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("server: open store %s: %w", name, err)
+			}
+			s.stores = append(s.stores, st)
+			byName[name] = st
+		}
+		for i := range s.shards {
+			s.shards[i].store = byName[shardDirName(i)]
+		}
+	}
+	for _, st := range s.stores {
+		for _, study := range st.Studies() {
+			sh := s.shardOf(study)
+			if _, exists := sh.sessions[study]; exists {
+				s.logf("study %q exists in multiple stores; first recovery wins", study)
+				continue
+			}
+			ss := recoverSession(study, st.Records(study))
+			ss.st = st
+			if ss.degraded != "" {
+				s.logf("study %q recovered read-only: %s", study, ss.degraded)
+			}
+			sh.sessions[study] = ss
+			s.nstudies.Add(1)
+		}
+		if stats := st.Stats(); stats.TornTailBytes > 0 || stats.Quarantined > 0 {
+			s.logf("store repair: %d torn-tail bytes truncated, %d ranges quarantined", stats.TornTailBytes, stats.Quarantined)
+		}
 	}
 	s.mux = s.routes()
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler: probes bypass the drain gate, API
-// requests register in-flight, get a deadline derived from the request
-// context, and run under a panic guard so one bad request cannot take
-// down the process.
+// requests get a deadline derived from the request context and run under
+// a panic guard so one bad request cannot take down the process. Study
+// handlers additionally register in-flight on their study's shard (see
+// enter), which is what Drain's barrier waits on.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/healthz":
@@ -178,11 +305,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleMetrics(w, r)
 		return
 	}
-	if s.draining.Load() || !s.drainMu.TryRLock() {
+	if s.draining.Load() {
 		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
-	defer s.drainMu.RUnlock()
 	s.m.requests.Add(1)
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
@@ -196,27 +322,49 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// session returns the live session for a study, or nil.
-func (s *Server) session(study string) *session {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sessions[study]
+// enter registers a request in-flight on the study's shard by taking the
+// read side of the shard's drain lock; the caller must sh.drainMu.RUnlock
+// when done. A nil return means the server is draining and a 503 was
+// already written — TryRLock keeps late requests from queueing behind the
+// drain barrier's pending write lock.
+func (s *Server) enter(w http.ResponseWriter, study string) *shard {
+	sh := s.shardOf(study)
+	if s.draining.Load() || !sh.drainMu.TryRLock() {
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return nil
+	}
+	return sh
 }
 
-// Drain stops admitting API requests, waits for in-flight ones to finish,
-// then seals the study store so the log ends on a durable terminator.
-// It is idempotent; the seal happens once and later calls return the same
-// result. If ctx expires the drain gate stays shut but the store is left
-// unsealed (every acked observation is already durable regardless).
+// session returns the live session for a study, or nil.
+func (s *Server) session(study string) *session {
+	sh := s.shardOf(study)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.sessions[study]
+}
+
+// Drain stops admitting API requests, waits for in-flight ones to finish
+// on every shard, then seals each study store so the logs end on durable
+// terminators. It is idempotent; the seal happens once and later calls
+// return the same result. If ctx expires the drain gate stays shut but
+// the stores are left unsealed (every acked observation is already
+// durable regardless).
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	done := make(chan struct{})
-	//autolint:ignore nakedgo drain barrier: Lock/Unlock on a held-out RWMutex cannot panic, and the goroutine exits once in-flight requests finish
-	go func() {
-		// The critical section is empty on purpose: Lock is purely a
-		// barrier that returns once every in-flight reader is gone.
-		s.drainMu.Lock()
-		s.drainMu.Unlock()
+	//autolint:ignore goleak the loop is bounded by the fixed shard count and each Lock returns once that shard's readers finish; request deadlines bound the readers, so the goroutine cannot outlive the drain
+	go func() { //autolint:ignore nakedgo drain barrier: Lock/Unlock on held-out RWMutexes cannot panic, and the goroutine exits once in-flight requests finish
+		// The critical sections are empty on purpose: each Lock is purely
+		// a barrier that returns once that shard's in-flight readers are
+		// gone. Taken one shard at a time — with draining already set no
+		// new reader gets in, so the walk is a full barrier, not a
+		// deadlock-prone all-shards hold.
+		for _, sh := range s.shards {
+			sh.drainMu.Lock()
+			//lint:ignore SA2001 empty critical section is the barrier
+			sh.drainMu.Unlock()
+		}
 		close(done)
 	}()
 	select {
@@ -224,15 +372,35 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("server: drain: %w", ctx.Err())
 	}
-	s.sealOnce.Do(func() { s.sealErr = s.store.Seal() })
+	s.sealOnce.Do(func() {
+		var errs []error
+		for _, st := range s.stores {
+			if err := st.Seal(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		s.sealErr = errors.Join(errs...)
+	})
 	return s.sealErr
 }
 
-// Close drains with no deadline and releases the store: the teardown for
-// tests and defers. Servers that need a bounded drain call Drain.
+// Close drains with no deadline and releases the stores: the teardown
+// for tests and defers. Servers that need a bounded drain call Drain.
 func (s *Server) Close() error {
 	//autolint:ignore ctxpass Close is the one legitimate server-lifetime root: final teardown has no request context to inherit, and Drain is the ctx-aware form
 	return s.Drain(context.Background())
+}
+
+// crashClose releases every store handle without draining or sealing —
+// the test hook that simulates kill -9 at the store layer.
+func (s *Server) crashClose() error {
+	var errs []error
+	for _, st := range s.stores {
+		if err := st.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // ListenAndServe serves on addr until ctx is cancelled (the caller wires
@@ -279,9 +447,42 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net
 	return serveErr
 }
 
-// StoreStats exposes the underlying store's counters for operational
-// tooling (the /metrics page and the load harness).
-func (s *Server) StoreStats() studystore.Stats { return s.store.Stats() }
+// StoreStats exposes the underlying stores' counters, summed, for
+// operational tooling (the /metrics page and the load harness). Max-type
+// fields take the max across stores; Poisoned is true if any store is.
+func (s *Server) StoreStats() studystore.Stats {
+	var agg studystore.Stats
+	for i, st := range s.stores {
+		stats := st.Stats()
+		if i == 0 {
+			agg = stats
+			continue
+		}
+		agg.Records += stats.Records
+		agg.Studies += stats.Studies
+		agg.Segments += stats.Segments
+		agg.Appended += stats.Appended
+		agg.Rotations += stats.Rotations
+		agg.Compactions += stats.Compactions
+		agg.TornTailBytes += stats.TornTailBytes
+		agg.Quarantined += stats.Quarantined
+		agg.Fsyncs += stats.Fsyncs
+		agg.Groups += stats.Groups
+		agg.GroupBatches += stats.GroupBatches
+		if stats.MaxGroup > agg.MaxGroup {
+			agg.MaxGroup = stats.MaxGroup
+		}
+		agg.AppendedBytes += stats.AppendedBytes
+		agg.Poisoned = agg.Poisoned || stats.Poisoned
+		if stats.ActiveSeq > agg.ActiveSeq {
+			agg.ActiveSeq = stats.ActiveSeq
+		}
+		if stats.SnapshotSeq > agg.SnapshotSeq {
+			agg.SnapshotSeq = stats.SnapshotSeq
+		}
+	}
+	return agg
+}
 
 // failStore records that the durable layer failed: the server degrades to
 // read-only (suggest/best/pareto keep working, writes get 503s) instead

@@ -224,7 +224,7 @@ func TestCrashRecoveryExactlyOnce(t *testing.T) {
 		want[study] = mustJSON(t, stream)
 	}
 	h1.Close()
-	if err := s1.store.Close(); err != nil { // crash: no seal, no drain
+	if err := s1.crashClose(); err != nil { // crash: no seal, no drain
 		t.Fatal(err)
 	}
 
@@ -267,7 +267,7 @@ func TestCrashRecoveryExactlyOnce(t *testing.T) {
 			}
 		}
 		h2.Close()
-		if err := s2.store.Close(); err != nil {
+		if err := s2.crashClose(); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -52,6 +52,12 @@ type session struct {
 	meta  studyMeta
 	sp    *space.Space // immutable after construction; nil for orphans
 
+	// st is the store this study's history lives in; every append goes
+	// here. Set once at create/recovery, immutable after — which is what
+	// lets histories survive shard-count changes (the hash may route the
+	// study to a different shard, but its log stays where it is).
+	st *studystore.Store
+
 	lk chan struct{} // capacity-1 token; lock(ctx)/unlock()
 
 	// Guarded by lk.
@@ -245,7 +251,7 @@ func (ss *session) suggest(ctx context.Context, n int) ([]SuggestedTrial, bool, 
 // retries safe. A store failure is returned before any state changes; an
 // optimizer panic after the barrier retires the study but the batch stays
 // acked (it is durable, and replay will surface the same panic).
-func (ss *session) observe(ctx context.Context, st *studystore.Store, obs []Observation) (acked, dups int, err error) {
+func (ss *session) observe(ctx context.Context, obs []Observation) (acked, dups int, err error) {
 	if err := ss.lock(ctx); err != nil {
 		return 0, 0, err
 	}
@@ -301,7 +307,7 @@ func (ss *session) observe(ctx context.Context, st *studystore.Store, obs []Obse
 
 	// Durability barrier: nothing below runs unless the whole batch is
 	// fsynced. On failure the store is poisoned and no pair was acked.
-	if err := st.AppendBatch(recs); err != nil {
+	if err := ss.st.AppendBatch(recs); err != nil {
 		return 0, dups, &storeFailure{err}
 	}
 

@@ -1,0 +1,138 @@
+package studystore
+
+import "fmt"
+
+// group.go is the group-commit engine: the one place a record batch is
+// written and fsynced. Concurrent appenders enqueue their pre-framed
+// batches; whoever holds the leadership token drains the whole queue,
+// writes every waiting batch into the active segment, issues a single
+// fsync, and only then wakes the followers. The durability contract is
+// unchanged from the per-caller barrier it replaces — an appender's call
+// returns nil strictly after the fsync that covers its records — but the
+// fsync cost is now amortized across every batch that arrived while the
+// previous commit was on the disk. A failed write or fsync poisons the
+// store and fails every waiter in the group: none of their batches may be
+// reported durable, because the shared commit they were riding never
+// became one.
+//
+// Leadership is a token in a capacity-1 channel rather than a background
+// goroutine: the store spawns nothing, so it has no lifecycle of its own
+// to leak. An appender that enqueues either (a) is committed by the
+// current leader and woken through its done channel, or (b) acquires the
+// token, drains one group (which must include its own batch if nothing
+// else committed it), releases the token, and checks its result. Each
+// caller therefore leads at most a bounded number of drains — there is no
+// dedicated leader to starve and no queue that can be abandoned.
+
+// commitReq is one appender's framed batch waiting for a shared commit.
+type commitReq struct {
+	buf  []byte     // framed record batch, ready for the segment
+	recs []Record   // the records, for the index once durable
+	done chan error // buffered(1); the commit outcome
+}
+
+// enqueueCommit submits a framed batch to the group-commit queue and
+// blocks until some commit (this caller's own drain or another leader's)
+// has resolved it. It must be called with no store locks held.
+func (s *Store) enqueueCommit(req *commitReq) error {
+	s.qmu.Lock()
+	s.queue = append(s.queue, req)
+	s.qmu.Unlock()
+	for {
+		select {
+		case err := <-req.done:
+			return err
+		case s.leadTok <- struct{}{}:
+			s.leadDrain()
+			<-s.leadTok
+			// If our batch rode the drain (ours or a concurrent leader's),
+			// the result is ready; otherwise it is still queued and the
+			// next iteration drains it.
+			select {
+			case err := <-req.done:
+				return err
+			default:
+			}
+		}
+	}
+}
+
+// leadDrain commits every batch currently queued under one fsync barrier
+// and delivers the shared outcome to each waiter. Called by the token
+// holder with no locks held.
+func (s *Store) leadDrain() {
+	s.qmu.Lock()
+	group := s.queue
+	s.queue = nil
+	s.qmu.Unlock()
+	if len(group) == 0 {
+		return
+	}
+	s.wmu.Lock()
+	err := s.commitGroupLocked(group)
+	s.wmu.Unlock()
+	for _, r := range group {
+		r.done <- err
+	}
+}
+
+// commitGroupLocked is the single write-and-fsync path for appends: it
+// rotates if the active segment is full, writes every batch in the group
+// back-to-back, issues one fsync, and folds the records into the index.
+// The returned error is shared by every batch in the group — on a write
+// or fsync failure the store is poisoned and no batch in the group may be
+// considered durable. Caller holds wmu (and not mu).
+func (s *Store) commitGroupLocked(group []*commitReq) error {
+	if s.poison != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, s.poison)
+	}
+	if s.active == nil {
+		return ErrClosed
+	}
+	if s.activeSize >= s.segBytes {
+		if err := s.rotateLocked(); err != nil {
+			return s.poisonWith(err)
+		}
+	}
+	buf := group[0].buf
+	if len(group) > 1 {
+		total := 0
+		for _, r := range group {
+			total += len(r.buf)
+		}
+		buf = make([]byte, 0, total)
+		for _, r := range group {
+			buf = append(buf, r.buf...)
+		}
+	}
+	if n, werr := s.active.Write(buf); werr != nil || n < len(buf) {
+		return s.poisonWith(fmt.Errorf("studystore: append %s: %w",
+			segName(s.activeSeq), writeErr(n, len(buf), werr)))
+	}
+	// wmu (held by the caller) is the WAL barrier: the group's shared
+	// fsync must complete under the write-ordering lock before any waiter
+	// is acked; index readers use mu and do not wait here.
+	if serr := s.active.Sync(); serr != nil {
+		return s.poisonWith(fmt.Errorf("studystore: sync %s: %w", segName(s.activeSeq), serr))
+	}
+	s.activeSize += int64(len(buf))
+	nrecs := 0
+	s.mu.Lock()
+	for _, r := range group {
+		for _, rec := range r.recs {
+			rec.Payload = append([]byte(nil), rec.Payload...)
+			s.addRecord(rec)
+		}
+		nrecs += len(r.recs)
+	}
+	s.appended += nrecs
+	s.fsyncs++
+	s.groups++
+	s.groupBatches += len(group)
+	if len(group) > s.maxGroup {
+		s.maxGroup = len(group)
+	}
+	s.appendedBytes += int64(len(buf))
+	s.mu.Unlock()
+	return nil
+}

@@ -6,7 +6,9 @@
 // written as length-prefixed, CRC32C-framed entries into segment files
 // that rotate at a size threshold. Durability follows a strict fsync
 // barrier discipline: every append batch is fsync'd before it is
-// acknowledged, segments are sealed (seal frame + fsync) before the next
+// acknowledged — concurrent batches are group-committed under one shared
+// fsync (see group.go), but the ack still comes strictly after the fsync
+// that covers it — segments are sealed (seal frame + fsync) before the next
 // one is created, and the directory is fsync'd after every create,
 // rename, or remove that must survive a power cut. Compaction writes a
 // checkpoint snapshot of the live record set, makes it durable, and only
@@ -49,6 +51,10 @@ var ErrReadOnly = errors.New("studystore: store is read-only")
 // compaction would silently destroy the damaged ranges.
 var ErrQuarantined = errors.New("studystore: refusing to compact with quarantined records")
 
+// ErrClosed is returned by appends after Close or Seal released the
+// active segment handle.
+var ErrClosed = errors.New("studystore: store is closed")
+
 // Record is one stored entry: an opaque payload keyed by (study, ID).
 type Record struct {
 	Study   string
@@ -77,6 +83,11 @@ type Options struct {
 	// ReadOnly opens the store without repairing, creating, or writing
 	// anything; Append, Compact, and Rotate fail with ErrReadOnly.
 	ReadOnly bool
+	// DisableGroupCommit forces every append batch to pay its own fsync
+	// (the pre-group-commit barrier) instead of riding a shared one. The
+	// write path is identical otherwise — it exists as the benchmark
+	// baseline and for the byte-identity property tests.
+	DisableGroupCommit bool
 }
 
 // Stats summarizes store state and activity since Open.
@@ -91,29 +102,58 @@ type Stats struct {
 	Compactions   int    // successful compactions through this handle
 	TornTailBytes int64  // bytes truncated from the last segment at Open
 	Quarantined   int    // damaged byte ranges reported by recovery
+
+	// Group-commit amortization counters (all through this handle).
+	Fsyncs        int   // file fsyncs issued on the write path
+	Groups        int   // append group commits (one shared fsync each)
+	GroupBatches  int   // append batches committed through groups
+	MaxGroup      int   // largest group (batches under one fsync)
+	AppendedBytes int64 // framed bytes appended
+	Poisoned      bool  // writes refused after an earlier write/fsync failure
+}
+
+// MeanGroup is the mean number of append batches amortized per group
+// commit (1.0 means no amortization happened).
+func (st Stats) MeanGroup() float64 {
+	if st.Groups == 0 {
+		return 0
+	}
+	return float64(st.GroupBatches) / float64(st.Groups)
 }
 
 // Store is the embedded study store. All methods are safe for
 // concurrent use.
 //
-// Locking: two locks split the write barrier from the read path.
-// wmu orders the write path — it owns the active segment handle and is
-// held across Write/Sync/rotate/compact so the on-disk log is a serial
-// history; holding it across fsync IS the WAL barrier and is deliberate
-// (annotated where the lockheld analyzer fires). mu guards the
-// in-memory index and handle metadata and is never held across I/O, so
-// Records/Studies/Stats/Quarantine do not wait behind an fsync in
-// progress. Acquire wmu before mu, never the reverse. Fields guarded by
-// mu are written only while wmu is also held, so the write path may
-// read them under wmu alone.
+// Locking: three locks split the commit queue, the write barrier, and
+// the read path. qmu guards the group-commit queue (pending batches and
+// nothing else; never held across I/O). wmu orders the write path — it
+// owns the active segment handle and is held across Write/Sync/rotate/
+// compact so the on-disk log is a serial history; holding it across
+// fsync IS the WAL barrier and is deliberate (annotated where the
+// lockheld analyzer fires). Under group commit only the current leader
+// takes wmu, so concurrent appenders queue on qmu (cheap) rather than on
+// an fsync in progress. mu guards the in-memory index and handle
+// metadata and is never held across I/O, so Records/Studies/Stats/
+// Quarantine do not wait behind an fsync. Acquire wmu before mu, never
+// the reverse; qmu nests inside neither. Fields guarded by mu are
+// written only while wmu is also held, so the write path may read them
+// under wmu alone.
 type Store struct {
 	wmu sync.Mutex
 	mu  sync.Mutex
 	fs  FS
 	dir string
 
-	segBytes int64
-	readOnly bool
+	segBytes    int64
+	readOnly    bool
+	groupCommit bool
+
+	// Group-commit queue: qmu guards the pending batches (never held
+	// across I/O); leadTok is the capacity-1 leadership token — its
+	// holder drains the queue under wmu. See group.go.
+	qmu     sync.Mutex
+	queue   []*commitReq
+	leadTok chan struct{}
 
 	// Owned by wmu: the active segment and write-path state.
 	active     File
@@ -132,6 +172,10 @@ type Store struct {
 
 	appended, rotations, compactions int
 	tornTailBytes                    int64
+	fsyncs, groups, groupBatches     int
+	maxGroup                         int
+	appendedBytes                    int64
+	poisoned                         bool
 }
 
 // Open loads (creating if needed) the store at dir: it removes stale
@@ -142,13 +186,15 @@ type Store struct {
 // appending.
 func Open(dir string, opts Options) (*Store, error) {
 	s := &Store{
-		fs:       opts.FS,
-		dir:      dir,
-		segBytes: opts.SegmentBytes,
-		readOnly: opts.ReadOnly,
-		liveSegs: map[uint64]bool{},
-		studies:  map[string][]Record{},
-		seen:     map[string]map[int64]bool{},
+		fs:          opts.FS,
+		dir:         dir,
+		segBytes:    opts.SegmentBytes,
+		readOnly:    opts.ReadOnly,
+		groupCommit: !opts.DisableGroupCommit,
+		leadTok:     make(chan struct{}, 1),
+		liveSegs:    map[uint64]bool{},
+		studies:     map[string][]Record{},
+		seen:        map[string]map[int64]bool{},
 	}
 	if s.fs == nil {
 		s.fs = OSFS()
@@ -505,6 +551,7 @@ func (s *Store) createSegment(seq uint64) error {
 		f.Close()
 		return fmt.Errorf("studystore: sync %s: %w", name, err)
 	}
+	s.countFsyncs(1)
 	s.active, s.activeSize = f, headerSize
 	s.mu.Lock()
 	s.activeSeq = seq
@@ -524,30 +571,24 @@ func writeErr(n, want int, err error) error {
 	return nil
 }
 
-// Append writes one record with a full fsync barrier.
+// Append writes one record durably. It rides the same group-commit
+// queue as AppendBatch — there is exactly one fsync path in the store.
 func (s *Store) Append(rec Record) error { return s.AppendBatch([]Record{rec}) }
 
-// AppendBatch writes a batch of records under a single fsync barrier:
-// when it returns nil, every record in the batch is durable across a
-// power cut. On any write or fsync failure the store is poisoned — the
-// batch must be considered not durable, and subsequent appends fail with
-// ErrPoisoned until the store is reopened.
+// AppendBatch writes a batch of records under an fsync barrier: when it
+// returns nil, every record in the batch is durable across a power cut.
+// Concurrent batches are group-committed — each enqueues its framed
+// records and a leader fsyncs every waiting batch at once — but the ack
+// still happens strictly after the fsync that covers it. On any write or
+// fsync failure the store is poisoned, every waiter in the failing group
+// gets the error (none of their batches is durable), and subsequent
+// appends fail with ErrPoisoned until the store is reopened.
 func (s *Store) AppendBatch(recs []Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
 	if s.readOnly {
 		return ErrReadOnly
-	}
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
-	if s.poison != nil {
-		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, s.poison)
-	}
-	if s.activeSize >= s.segBytes {
-		if err := s.rotateLocked(); err != nil {
-			return s.poisonWith(err)
-		}
 	}
 	var buf []byte
 	var err error
@@ -557,32 +598,36 @@ func (s *Store) AppendBatch(recs []Record) error {
 			return err // encoding error: nothing written, store still clean
 		}
 	}
-	if n, werr := s.active.Write(buf); werr != nil || n < len(buf) {
-		return s.poisonWith(fmt.Errorf("studystore: append %s: %w",
-			segName(s.activeSeq), writeErr(n, len(buf), werr)))
+	req := &commitReq{buf: buf, recs: recs, done: make(chan error, 1)}
+	if !s.groupCommit {
+		// Baseline arm: the same commit path, forced to a group of one,
+		// so every batch pays its own fsync.
+		s.wmu.Lock()
+		err := s.commitGroupLocked([]*commitReq{req})
+		s.wmu.Unlock()
+		return err
 	}
-	//autolint:ignore lockheld wmu is the WAL barrier: holding the write-ordering lock across fsync is the durability contract; index readers use mu and do not wait here
-	if serr := s.active.Sync(); serr != nil {
-		return s.poisonWith(fmt.Errorf("studystore: sync %s: %w", segName(s.activeSeq), serr))
-	}
-	s.activeSize += int64(len(buf))
-	s.mu.Lock()
-	for _, rec := range recs {
-		rec.Payload = append([]byte(nil), rec.Payload...)
-		s.addRecord(rec)
-	}
-	s.appended += len(recs)
-	s.mu.Unlock()
-	return nil
+	return s.enqueueCommit(req)
 }
 
 // poisonWith records the first failure and returns it. Caller holds
-// wmu (poison is write-path state).
+// wmu (poison is write-path state); the mu-guarded mirror lets Stats
+// report the poisoning without touching write-path state.
 func (s *Store) poisonWith(err error) error {
 	if s.poison == nil {
 		s.poison = err
 	}
+	s.mu.Lock()
+	s.poisoned = true
+	s.mu.Unlock()
 	return err
+}
+
+// countFsyncs bumps the write-path fsync counter by n. Callers hold wmu.
+func (s *Store) countFsyncs(n int) {
+	s.mu.Lock()
+	s.fsyncs += n
+	s.mu.Unlock()
 }
 
 // rotateLocked seals the active segment and starts the next one:
@@ -598,6 +643,7 @@ func (s *Store) rotateLocked() error {
 	if err := s.active.Sync(); err != nil {
 		return fmt.Errorf("studystore: seal sync %s: %w", segName(s.activeSeq), err)
 	}
+	s.countFsyncs(1)
 	if err := s.active.Close(); err != nil {
 		return fmt.Errorf("studystore: close %s: %w", segName(s.activeSeq), err)
 	}
@@ -642,6 +688,7 @@ func (s *Store) Seal() error {
 	if err := s.active.Sync(); err != nil {
 		return s.poisonWith(fmt.Errorf("studystore: seal sync %s: %w", segName(s.activeSeq), err))
 	}
+	s.countFsyncs(1)
 	err := s.active.Close()
 	s.active = nil
 	if err != nil {
@@ -767,6 +814,7 @@ func (s *Store) writeSnapshot(covered uint64) error {
 		f.Close()
 		return fmt.Errorf("studystore: sync snapshot: %w", err)
 	}
+	s.countFsyncs(1)
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("studystore: close snapshot: %w", err)
 	}
@@ -805,6 +853,14 @@ func (s *Store) studiesLocked() []string {
 	return out
 }
 
+// QueueDepth reports the append batches currently waiting in the
+// group-commit queue: an instantaneous gauge of commit pressure.
+func (s *Store) QueueDepth() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return len(s.queue)
+}
+
 // Quarantine reports every damaged byte range recovery found.
 func (s *Store) Quarantine() []Quarantined {
 	s.mu.Lock()
@@ -827,6 +883,12 @@ func (s *Store) Stats() Stats {
 		Compactions:   s.compactions,
 		TornTailBytes: s.tornTailBytes,
 		Quarantined:   len(s.quarantined),
+		Fsyncs:        s.fsyncs,
+		Groups:        s.groups,
+		GroupBatches:  s.groupBatches,
+		MaxGroup:      s.maxGroup,
+		AppendedBytes: s.appendedBytes,
+		Poisoned:      s.poisoned,
 	}
 }
 
